@@ -1,0 +1,219 @@
+// Command dense mines the extension dense substructures from uncertain
+// graph files: maximal α-bicliques, maximal expected γ-quasi-cliques,
+// (k,η)-trusses and (k,η)-cores (the paper's §6 future-work directions).
+//
+// Usage:
+//
+//	dense -mode bicliques -in g.ubg -alpha 0.2            # uncertain bipartite graph
+//	dense -mode bicliques -in g.ubg -alpha 0.2 -minleft 3 -minright 2
+//	dense -mode quasi -in g.ug -gamma 0.6 -minsize 4
+//	dense -mode truss -in g.ug -k 4 -eta 0.5              # edges of the (k,η)-truss
+//	dense -mode truss-decompose -in g.ug -eta 0.5         # η-truss number per edge
+//	dense -mode core -in g.ug -k 3 -eta 0.5               # vertices of the (k,η)-core
+//	dense -mode core-decompose -in g.ug -eta 0.5          # η-core number per vertex
+//
+// Unipartite inputs accept any format internal/graphio reads (.ug/.ugb/.json
+// and their .gz variants); bicliques mode reads the bipartite text format
+// (.ubg, "bipartite nL nR" directive).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/uncertain-graphs/mule/internal/graphio"
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+	"github.com/uncertain-graphs/mule/internal/ucore"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+	"github.com/uncertain-graphs/mule/internal/uquasi"
+	"github.com/uncertain-graphs/mule/internal/utruss"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dense:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dense", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "input graph file (required)")
+		mode     = fs.String("mode", "", "bicliques|quasi|truss|truss-decompose|core|core-decompose (required)")
+		alpha    = fs.Float64("alpha", 0.5, "biclique probability threshold α in (0,1]")
+		gamma    = fs.Float64("gamma", 0.6, "quasi-clique density threshold γ in [0.5,1]")
+		eta      = fs.Float64("eta", 0.5, "truss/core confidence threshold η in (0,1]")
+		k        = fs.Int("k", 3, "truss/core order k")
+		minSize  = fs.Int("minsize", 3, "quasi: smallest set reported")
+		minLeft  = fs.Int("minleft", 0, "bicliques: smallest left side reported")
+		minRight = fs.Int("minright", 0, "bicliques: smallest right side reported")
+		quiet    = fs.Bool("quiet", false, "suppress the stats line on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *mode == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in or -mode")
+	}
+
+	start := time.Now()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	if *mode == "bicliques" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bg, err := graphio.ReadBipartiteText(f)
+		if err != nil {
+			return err
+		}
+		return runBicliques(w, bg, *alpha, *minLeft, *minRight, *quiet, start)
+	}
+
+	g, err := graphio.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "quasi":
+		return runQuasi(w, g, *gamma, *minSize, *quiet, start)
+	case "truss":
+		return runTruss(w, g, *k, *eta, *quiet, start)
+	case "truss-decompose":
+		return runTrussDecompose(w, g, *eta, *quiet, start)
+	case "core":
+		return runCore(w, g, *k, *eta, *quiet, start)
+	case "core-decompose":
+		return runCoreDecompose(w, g, *eta, *quiet, start)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// runBicliques prints "p<TAB>l1 l2 … | r1 r2 …" per maximal α-biclique.
+func runBicliques(w *bufio.Writer, bg *ubiclique.Bipartite, alpha float64, minL, minR int, quiet bool, start time.Time) error {
+	cfg := ubiclique.Config{MinLeft: minL, MinRight: minR}
+	stats, err := ubiclique.EnumerateWith(bg, alpha, func(left, right []int, p float64) bool {
+		fmt.Fprintf(w, "%.9g\t", p)
+		writeInts(w, left)
+		w.WriteString(" | ")
+		writeInts(w, right)
+		w.WriteByte('\n')
+		return true
+	}, cfg)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr,
+			"%d maximal α-bicliques (α=%g, largest %dx%d) in %s; %d search calls\n",
+			stats.Emitted, alpha, stats.MaxLeft, stats.MaxRight,
+			time.Since(start).Round(time.Millisecond), stats.Calls)
+	}
+	return nil
+}
+
+// runQuasi prints one sorted vertex set per line.
+func runQuasi(w *bufio.Writer, g *uncertain.Graph, gamma float64, minSize int, quiet bool, start time.Time) error {
+	stats, err := uquasi.Enumerate(g, uquasi.Config{Gamma: gamma, MinSize: minSize}, func(set []int) bool {
+		writeInts(w, set)
+		w.WriteByte('\n')
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr,
+			"%d maximal expected γ-quasi-cliques (γ=%g, size ≥ %d, largest %d) in %s\n",
+			stats.Emitted, gamma, minSize, stats.MaxSize,
+			time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runTruss prints the surviving edges as "u v p" lines.
+func runTruss(w *bufio.Writer, g *uncertain.Graph, k int, eta float64, quiet bool, start time.Time) error {
+	tr, err := utruss.Truss(g, k, eta)
+	if err != nil {
+		return err
+	}
+	for _, e := range tr.Edges() {
+		fmt.Fprintf(w, "%d %d %.9g\n", e.U, e.V, e.P)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "(%d,%g)-truss: %d of %d edges in %s\n",
+			k, eta, tr.NumEdges(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runTrussDecompose prints "u v truss" lines.
+func runTrussDecompose(w *bufio.Writer, g *uncertain.Graph, eta float64, quiet bool, start time.Time) error {
+	dec, err := utruss.Decompose(g, eta)
+	if err != nil {
+		return err
+	}
+	maxK := 0
+	for _, e := range dec {
+		fmt.Fprintf(w, "%d %d %d\n", e.U, e.V, e.Truss)
+		if e.Truss > maxK {
+			maxK = e.Truss
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "η-truss decomposition (η=%g): %d edges, max truss %d, in %s\n",
+			eta, len(dec), maxK, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runCore prints the core's vertices, one per line.
+func runCore(w *bufio.Writer, g *uncertain.Graph, k int, eta float64, quiet bool, start time.Time) error {
+	core, err := ucore.Core(g, k, eta)
+	if err != nil {
+		return err
+	}
+	for _, v := range core {
+		fmt.Fprintf(w, "%d\n", v)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "(%d,%g)-core: %d of %d vertices in %s\n",
+			k, eta, len(core), g.NumVertices(), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runCoreDecompose prints "v core" lines.
+func runCoreDecompose(w *bufio.Writer, g *uncertain.Graph, eta float64, quiet bool, start time.Time) error {
+	dec, err := ucore.Decompose(g, eta)
+	if err != nil {
+		return err
+	}
+	for v, c := range dec.CoreNumber {
+		fmt.Fprintf(w, "%d %d\n", v, c)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "η-core decomposition (η=%g): degeneracy %d in %s\n",
+			eta, dec.Degeneracy, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func writeInts(w *bufio.Writer, xs []int) {
+	for i, x := range xs {
+		if i > 0 {
+			w.WriteByte(' ')
+		}
+		fmt.Fprintf(w, "%d", x)
+	}
+}

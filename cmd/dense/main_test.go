@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/graphio"
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// writeUnipartite saves a certain triangle plus a weak pendant edge.
+func writeUnipartite(t *testing.T) string {
+	t.Helper()
+	g, err := uncertain.FromEdges(5, []uncertain.Edge{
+		{U: 0, V: 1, P: 1}, {U: 0, V: 2, P: 1}, {U: 1, V: 2, P: 1},
+		{U: 2, V: 3, P: 0.6}, {U: 3, V: 4, P: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.ug")
+	if err := graphio.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeBipartite saves a strong 2x2 block plus a weak pendant edge.
+func writeBipartite(t *testing.T) string {
+	t.Helper()
+	bg, err := ubiclique.FromEdges(3, 3, []ubiclique.Edge{
+		{L: 0, R: 0, P: 0.9}, {L: 0, R: 1, P: 0.9},
+		{L: 1, R: 0, P: 0.9}, {L: 1, R: 1, P: 0.9},
+		{L: 2, R: 2, P: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.ubg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteBipartiteText(f, bg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBicliques(t *testing.T) {
+	path := writeBipartite(t)
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "bicliques", "-in", path, "-alpha", "0.6", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 biclique, got %d: %q", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "0 1 | 0 1") {
+		t.Fatalf("biclique line %q, want the 2x2 block", lines[0])
+	}
+}
+
+func TestRunBicliquesSideMinima(t *testing.T) {
+	path := writeBipartite(t)
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "bicliques", "-in", path, "-alpha", "0.2",
+		"-minleft", "2", "-minright", "2", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			t.Fatalf("malformed line %q", line)
+		}
+		sides := strings.Split(parts[1], " | ")
+		if len(strings.Fields(sides[0])) < 2 || len(strings.Fields(sides[1])) < 2 {
+			t.Fatalf("side minima violated in %q", line)
+		}
+	}
+}
+
+func TestRunQuasi(t *testing.T) {
+	path := writeUnipartite(t)
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "quasi", "-in", path, "-gamma", "1", "-minsize", "3", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "0 1 2" {
+		t.Fatalf("quasi output %q, want the certain triangle", out.String())
+	}
+}
+
+func TestRunTruss(t *testing.T) {
+	path := writeUnipartite(t)
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "truss", "-in", path, "-k", "3", "-eta", "0.9", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("(3,0.9)-truss printed %d edges, want 3: %q", len(lines), out.String())
+	}
+}
+
+func TestRunTrussDecompose(t *testing.T) {
+	path := writeUnipartite(t)
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "truss-decompose", "-in", path, "-eta", "0.9", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("decomposition printed %d lines, want 5", len(lines))
+	}
+	if !strings.Contains(out.String(), "0 1 3") {
+		t.Fatalf("triangle edge should have truss 3: %q", out.String())
+	}
+}
+
+func TestRunCoreModes(t *testing.T) {
+	path := writeUnipartite(t)
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "core", "-in", path, "-k", "2", "-eta", "0.9", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Fields(strings.ReplaceAll(out.String(), "\n", " ")); len(got) != 3 {
+		t.Fatalf("(2,0.9)-core = %v, want the triangle's 3 vertices", got)
+	}
+	out.Reset()
+	if err := run([]string{"-mode", "core-decompose", "-in", path, "-eta", "0.9", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("core decomposition printed %d lines, want 5", len(lines))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing flags should fail")
+	}
+	if err := run([]string{"-mode", "truss", "-in", "/nonexistent.ug"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := writeUnipartite(t)
+	if err := run([]string{"-mode", "bogus", "-in", path}, &out); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := run([]string{"-mode", "quasi", "-in", path, "-gamma", "0.2"}, &out); err == nil {
+		t.Error("gamma below 0.5 should fail")
+	}
+	if err := run([]string{"-mode", "truss", "-in", path, "-k", "0"}, &out); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if err := run([]string{"-mode", "bicliques", "-in", path}, &out); err == nil {
+		t.Error("unipartite file in bicliques mode should fail")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBoundExperiment(t *testing.T) {
+	// The bound check is the cheapest full experiment; run it end to end.
+	if err := run([]string{"-exp", "bound", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -exp should fail")
+	}
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/graphio"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, err := uncertain.FromEdges(4, []uncertain.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 0, V: 2, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.ug")
+	if err := graphio.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEnumerate(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-alpha", "0.125", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 cliques, got %d: %q", len(lines), out.String())
+	}
+	if !strings.Contains(out.String(), "0 1 2") || !strings.Contains(out.String(), "2 3") {
+		t.Fatalf("missing cliques in output: %q", out.String())
+	}
+	// Probability column is the first field.
+	if !strings.HasPrefix(lines[0], "0.125\t") && !strings.HasPrefix(lines[1], "0.125\t") {
+		t.Fatalf("expected a clique with probability 0.125: %q", out.String())
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-alpha", "0.125", "-count", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "2" {
+		t.Fatalf("count output %q, want 2", out.String())
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-alpha", "0.125", "-top", "1", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("top-1 printed %d lines", len(lines))
+	}
+	// Highest probability maximal clique is {2,3} at 0.25.
+	if !strings.Contains(lines[0], "2 3") {
+		t.Fatalf("top-1 = %q, want clique {2,3}", lines[0])
+	}
+}
+
+func TestRunMinSize(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-alpha", "0.125", "-minsize", "3", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "0 1 2") {
+		t.Fatalf("minsize=3 output %q", out.String())
+	}
+}
+
+func TestRunOrderingsAndWorkers(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, ord := range []string{"natural", "degree", "degeneracy", "random"} {
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-alpha", "0.125", "-order", ord, "-workers", "2", "-count", "-quiet"}, &out); err != nil {
+			t.Fatalf("order %s: %v", ord, err)
+		}
+		if strings.TrimSpace(out.String()) != "2" {
+			t.Fatalf("order %s: count %q", ord, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -in should fail")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.ug"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := writeTestGraph(t)
+	if err := run([]string{"-in", path, "-alpha", "7"}, &out); err == nil {
+		t.Error("bad alpha should fail")
+	}
+	if err := run([]string{"-in", path, "-order", "bogus"}, &out); err == nil {
+		t.Error("bad ordering should fail")
+	}
+}
+
+func TestMainSmoke(t *testing.T) {
+	// Ensure the os.Stdout path compiles and runs through run().
+	path := writeTestGraph(t)
+	if err := run([]string{"-in", path, "-alpha", "0.5", "-quiet"}, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}

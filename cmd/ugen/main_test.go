@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/graphio"
+)
+
+func TestGenerateTopologyBA(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ba.ug")
+	if err := run([]string{"-topology", "ba", "-n", "200", "-m", "3", "-seed", "5", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphio.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 200 || g.NumEdges() != (200-3)*3 {
+		t.Fatalf("ba graph n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestGenerateTopologyGNPWithConstProbs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gnp.ugb")
+	if err := run([]string{"-topology", "gnp", "-n", "100", "-p", "0.1", "-probs", "const:0.8", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphio.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.P != 0.8 {
+			t.Fatalf("edge probability %v, want 0.8", e.P)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ppi.ug")
+	if err := run([]string{"-dataset", "Fruit-Fly", "-seed", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphio.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3751 || g.NumEdges() != 3692 {
+		t.Fatalf("dataset sizes n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestDatasetNameCaseInsensitive(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.ug")
+	if err := run([]string{"-dataset", "fruit-fly", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{},                  // no mode
+		{"-topology", "ba"}, // missing -out
+		{"-dataset", "nope", "-out", filepath.Join(dir, "x.ug")},
+		{"-topology", "nope", "-out", filepath.Join(dir, "x.ug")},
+		{"-topology", "gnp", "-probs", "wat", "-out", filepath.Join(dir, "x.ug")},
+		{"-topology", "gnp", "-probs", "const:z", "-out", filepath.Join(dir, "x.ug")},
+		{"-topology", "gnp", "-probs", "beta:1", "-out", filepath.Join(dir, "x.ug")},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestProbParsers(t *testing.T) {
+	for _, ok := range []string{"uniform", "dyadic", "const:0.5", "beta:2:5"} {
+		if _, err := parseProbs(ok); err != nil {
+			t.Errorf("parseProbs(%q) failed: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "const", "const:x", "beta", "beta:a:b", "zipf"} {
+		if _, err := parseProbs(bad); err == nil {
+			t.Errorf("parseProbs(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAffinityBipartiteOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "aff.ubg")
+	if err := run([]string{"-topology", "affinity", "-n", "50", "-nright", "40",
+		"-blocks", "3", "-seed", "9", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bg, err := graphio.ReadBipartiteText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.NumLeft() != 50 || bg.NumRight() != 40 {
+		t.Fatalf("sides %dx%d, want 50x40", bg.NumLeft(), bg.NumRight())
+	}
+	if bg.NumEdges() == 0 {
+		t.Fatal("affinity graph has no edges")
+	}
+}

@@ -1,0 +1,44 @@
+// Extremal bound demo: Theorem 1 of the paper states that an uncertain graph
+// on n vertices can have at most C(n, ⌊n/2⌋) α-maximal cliques for any
+// 0 < α < 1 — strictly more than the 3^{n/3} Moon–Moser bound for
+// deterministic graphs — and that the bound is achieved by a complete graph
+// with uniform edge probability q and threshold α = q^C(⌊n/2⌋,2).
+//
+// This example builds that extremal construction for growing n, enumerates
+// it with MULE, and shows the count landing exactly on the binomial while
+// the deterministic bound falls behind.
+//
+// Run with: go run ./examples/bounds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/uncertain-graphs/mule/internal/bounds"
+	"github.com/uncertain-graphs/mule/internal/core"
+)
+
+func main() {
+	fmt.Println("n   C(n,⌊n/2⌋)   enumerated   all size ⌊n/2⌋?   Moon–Moser(α=1)")
+	for n := 4; n <= 16; n++ {
+		ex := bounds.NewExtremal(n, 0.6)
+		sizesOK := true
+		var count int64
+		_, err := core.Enumerate(ex.Graph, ex.Alpha, func(c []int, _ float64) bool {
+			if len(c) != ex.CliqueSize {
+				sizesOK = false
+			}
+			count++
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3d %-12v %-12d %-17v %v\n",
+			n, ex.ExpectedCount, count, sizesOK, bounds.MoonMoserBound(n))
+	}
+	fmt.Println("\nThe uncertain bound C(n,⌊n/2⌋) ≈ 2^n/√(πn/2) grows strictly faster")
+	fmt.Println("than the deterministic 3^{n/3}: dense-substructure mining is harder")
+	fmt.Println("under uncertainty not just in constants but in the exponent.")
+}

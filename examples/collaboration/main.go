@@ -1,0 +1,78 @@
+// Collaboration-community mining: the paper's DBLP scenario. The co-
+// authorship graph is uncertain — an edge's probability 1 − e^{−c/10} models
+// the strength of a collaboration with c joint papers — and an α-maximal
+// clique is a tightly-knit research group whose members all plausibly
+// collaborate pairwise.
+//
+// This example builds a scaled DBLP-like network with the paper's exact
+// probability law, shows how LARGE-MULE's size threshold tames the output
+// (the Figure 5 effect: the paper's full DBLP run took 76797s for all
+// cliques but 32s at t = 3), and extracts the strongest research groups.
+//
+// Run with: go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mule "github.com/uncertain-graphs/mule"
+	"github.com/uncertain-graphs/mule/internal/gen"
+	"github.com/uncertain-graphs/mule/internal/topk"
+	"github.com/uncertain-graphs/mule/internal/ucore"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func main() {
+	g := gen.DBLPLike(0.01, 7) // ≈ 6800 authors
+	s := uncertain.ComputeStats(g)
+	fmt.Printf("synthetic DBLP network: %s\n\n", s)
+
+	const alpha = 0.3
+	fmt.Printf("research groups at α = %.1f, by minimum group size t:\n", alpha)
+	for _, t := range []int{2, 3, 4, 5} {
+		start := time.Now()
+		var count int64
+		_, err := mule.EnumerateLarge(g, alpha, t, func([]int, float64) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  t = %d: %6d groups in %8s\n", t, count, time.Since(start).Round(time.Microsecond))
+	}
+
+	fmt.Printf("\nstrongest groups of ≥ 3 authors at α = %.1f:\n", alpha)
+	scored, err := topk.BySize(g, alpha, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range scored {
+		if len(sc.Vertices) < 3 {
+			continue
+		}
+		fmt.Printf("  authors %v  P[pairwise collaboration] = %.4f\n", sc.Vertices, sc.Prob)
+	}
+
+	// Dense-substructure view beyond cliques (the paper's future-work
+	// direction): the (k,η)-core keeps authors with at least k probable
+	// collaborators, giving a coarser community signal.
+	const eta = 0.5
+	dec, err := ucore.Decompose(g, eta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist := map[int]int{}
+	for _, c := range dec.CoreNumber {
+		hist[c]++
+	}
+	fmt.Printf("\n(k, η=%.1f)-core sizes (core number → authors): ", eta)
+	for k := 0; k <= dec.Degeneracy; k++ {
+		if hist[k] > 0 {
+			fmt.Printf("%d→%d ", k, hist[k])
+		}
+	}
+	fmt.Println()
+}

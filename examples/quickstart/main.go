@@ -1,0 +1,51 @@
+// Quickstart: build a small uncertain graph and enumerate its α-maximal
+// cliques with MULE.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mule "github.com/uncertain-graphs/mule"
+)
+
+func main() {
+	// A protein-interaction-style toy graph: a confident triangle {0,1,2},
+	// a shakier square {2,3,4,5}, and one low-confidence bridge.
+	b := mule.NewBuilder(6)
+	edges := []mule.Edge{
+		{U: 0, V: 1, P: 0.95}, {U: 0, V: 2, P: 0.90}, {U: 1, V: 2, P: 0.90},
+		{U: 2, V: 3, P: 0.70}, {U: 3, V: 4, P: 0.80}, {U: 4, V: 5, P: 0.80},
+		{U: 3, V: 5, P: 0.75}, {U: 2, V: 4, P: 0.30},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V, e.P); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	for _, alpha := range []float64{0.7, 0.4, 0.1} {
+		fmt.Printf("α = %.1f\n", alpha)
+		stats, err := mule.Enumerate(g, alpha, func(clique []int, prob float64) bool {
+			fmt.Printf("  clique %v  (probability %.4f)\n", clique, prob)
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  → %d α-maximal cliques, %d search calls\n\n", stats.Emitted, stats.Calls)
+	}
+
+	// The same run restricted to cliques of at least 3 vertices (LARGE-MULE).
+	fmt.Println("LARGE-MULE, α = 0.1, t = 3")
+	_, err := mule.EnumerateLarge(g, 0.1, 3, func(clique []int, prob float64) bool {
+		fmt.Printf("  clique %v  (probability %.4f)\n", clique, prob)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Reliable subgraphs versus α-cliques: the contrast the paper's related-work
+// section draws (§1.2). Reliable-subgraph mining (Hintsanen & Toivonen; Jin
+// et al.) finds vertex sets that are CONNECTED with high probability — but
+// such sets can be sparse (a star is perfectly reliable with zero clique
+// probability). An α-clique demands full pairwise connection, a much
+// stronger notion of cohesion.
+//
+// This example quantifies the gap on a planted-community graph: for each
+// α-maximal clique and for some loose connected neighborhoods, it compares
+// connectivity reliability against clique probability.
+//
+// Run with: go run ./examples/reliability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	mule "github.com/uncertain-graphs/mule"
+	"github.com/uncertain-graphs/mule/internal/gen"
+	"github.com/uncertain-graphs/mule/internal/possible"
+	"github.com/uncertain-graphs/mule/internal/topk"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	edges, planted := gen.PlantedCliques(120, 3, 6, 0.04, rng)
+	g, err := gen.BuildUncertain(120, edges, gen.UniformRangeProb(0.6, 0.95), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted-community graph: %d vertices, %d edges, 3 planted 6-cliques\n\n",
+		g.NumVertices(), g.NumEdges())
+
+	const alpha = 0.05
+	const samples = 20000
+	fmt.Printf("top α-maximal cliques (α=%.2f): clique probability vs connectivity reliability\n", alpha)
+	scored, err := topk.BySize(g, alpha, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range scored {
+		if len(sc.Vertices) < 4 {
+			continue
+		}
+		rel := possible.ConnectedProbMC(g, sc.Vertices, samples, rng)
+		fmt.Printf("  %v\n    P[clique] = %.4f   P[connected] = %.4f\n",
+			sc.Vertices, sc.Prob, rel)
+	}
+
+	// A star-shaped neighborhood: reliable but nothing like a clique.
+	hub, best := -1, -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > best {
+			hub, best = v, d
+		}
+	}
+	nbrs := g.Neighbors(hub)
+	if len(nbrs) > 5 {
+		nbrs = nbrs[:5]
+	}
+	star := append([]int{hub}, nbrs...)
+	rel := possible.ConnectedProbMC(g, star, samples, rng)
+	clq := mule.CliqueProb(g, star)
+	fmt.Printf("\nhub neighborhood %v (a near-star):\n", star)
+	fmt.Printf("    P[clique] = %.4f   P[connected] = %.4f\n", clq, rel)
+	fmt.Println("\nreliable ≠ cohesive: reliability stays high for sparse sets, while")
+	fmt.Println("the α-clique requirement collapses to 0 the moment a pair is missing.")
+
+	if _, maxP, err := mule.MaximumClique(g, alpha); err == nil {
+		fmt.Printf("\nlargest α-clique probability at α=%.2f: %.4f\n", alpha, maxP)
+	}
+
+	// Verify one planted clique is recovered among the α-maximal cliques.
+	for _, want := range planted {
+		if mule.CliqueProb(g, want) >= alpha {
+			fmt.Printf("planted clique %v has clique probability %.4f (≥ α, recovered)\n",
+				want, mule.CliqueProb(g, want))
+			break
+		}
+	}
+}

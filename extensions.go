@@ -1,0 +1,177 @@
+package mule
+
+import (
+	"github.com/uncertain-graphs/mule/internal/dynamic"
+	"github.com/uncertain-graphs/mule/internal/topk"
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+	"github.com/uncertain-graphs/mule/internal/ucore"
+	"github.com/uncertain-graphs/mule/internal/uquasi"
+	"github.com/uncertain-graphs/mule/internal/utruss"
+)
+
+// This file exposes the dense-substructure extensions the paper's
+// conclusion (§6) names as future work — bicliques, quasi-cliques, trusses
+// and cores over uncertain graphs — together with top-k selection over
+// α-maximal cliques (the Zou et al. problem of §1.2 recast against
+// Definition 4).
+
+// --- Maximal α-bicliques (uncertain bipartite graphs) ---
+
+// Bipartite is an immutable uncertain bipartite graph; build one with
+// NewBipartiteBuilder or BipartiteFromEdges.
+type Bipartite = ubiclique.Bipartite
+
+// BipartiteBuilder accumulates probabilistic cross edges for a Bipartite.
+type BipartiteBuilder = ubiclique.Builder
+
+// BipartiteEdge is one probabilistic cross edge (left L, right R,
+// probability P).
+type BipartiteEdge = ubiclique.Edge
+
+// Biclique is one materialized α-maximal biclique.
+type Biclique = ubiclique.Biclique
+
+// BicliqueVisitor receives each α-maximal biclique (sides sorted, reused
+// between calls); returning false stops the enumeration.
+type BicliqueVisitor = ubiclique.Visitor
+
+// BicliqueConfig tunes biclique enumeration (per-side size minima,
+// invariant checking).
+type BicliqueConfig = ubiclique.Config
+
+// BicliqueStats reports the work performed by a biclique enumeration run.
+type BicliqueStats = ubiclique.Stats
+
+// NewBipartiteBuilder returns a builder for an uncertain bipartite graph
+// with the given side sizes.
+func NewBipartiteBuilder(nLeft, nRight int) *BipartiteBuilder {
+	return ubiclique.NewBuilder(nLeft, nRight)
+}
+
+// BipartiteFromEdges builds an uncertain bipartite graph from an edge list.
+func BipartiteFromEdges(nLeft, nRight int, edges []BipartiteEdge) (*Bipartite, error) {
+	return ubiclique.FromEdges(nLeft, nRight, edges)
+}
+
+// EnumerateBicliques enumerates every α-maximal biclique of g with the
+// MULE-style search of internal/ubiclique.
+func EnumerateBicliques(g *Bipartite, alpha float64, visit BicliqueVisitor) (BicliqueStats, error) {
+	return ubiclique.Enumerate(g, alpha, visit)
+}
+
+// EnumerateBicliquesWith runs biclique enumeration with explicit
+// configuration.
+func EnumerateBicliquesWith(g *Bipartite, alpha float64, visit BicliqueVisitor, cfg BicliqueConfig) (BicliqueStats, error) {
+	return ubiclique.EnumerateWith(g, alpha, visit, cfg)
+}
+
+// CollectBicliques returns all α-maximal bicliques in canonical order.
+func CollectBicliques(g *Bipartite, alpha float64) ([]Biclique, error) {
+	return ubiclique.Collect(g, alpha)
+}
+
+// --- Maximal expected γ-quasi-cliques ---
+
+// QuasiConfig tunes quasi-clique mining (γ, size bounds).
+type QuasiConfig = uquasi.Config
+
+// QuasiStats reports the work performed by a quasi-clique mining run.
+type QuasiStats = uquasi.Stats
+
+// CollectQuasiCliques mines all maximal expected γ-quasi-cliques: vertex
+// sets in which every member's expected degree into the set is at least
+// γ·(|set|−1) and that no proper superset satisfies. cfg.Gamma must lie in
+// [0.5, 1].
+func CollectQuasiCliques(g *Graph, cfg QuasiConfig) ([][]int, error) {
+	return uquasi.Collect(g, cfg)
+}
+
+// IsExpectedQuasiClique reports whether set satisfies the expected-degree
+// γ-quasi-clique condition.
+func IsExpectedQuasiClique(g *Graph, set []int, gamma float64) bool {
+	return uquasi.IsExpectedQuasiClique(g, set, gamma)
+}
+
+// QuasiCliqueWorldProb returns the exact probability that a sampled world
+// induces a deterministic γ-quasi-clique on set (possible-world semantics;
+// exponential in the number of induced edges, capped at 24).
+func QuasiCliqueWorldProb(g *Graph, set []int, gamma float64) (float64, error) {
+	return uquasi.WorldProbExact(g, set, gamma)
+}
+
+// QuasiCliqueWorldProbMC estimates the same probability by Monte-Carlo
+// sampling.
+func QuasiCliqueWorldProbMC(g *Graph, set []int, gamma float64, samples int, seed int64) (float64, error) {
+	return uquasi.WorldProbMC(g, set, gamma, samples, seed)
+}
+
+// --- (k,η)-trusses ---
+
+// EdgeTruss reports the η-truss number of one edge.
+type EdgeTruss = utruss.EdgeTruss
+
+// Truss returns the (k,η)-truss of g: the unique maximal subgraph whose
+// every edge has probability ≥ η of being supported by at least k−2
+// triangles within the subgraph.
+func Truss(g *Graph, k int, eta float64) (*Graph, error) {
+	return utruss.Truss(g, k, eta)
+}
+
+// TrussDecompose assigns every edge its η-truss number.
+func TrussDecompose(g *Graph, eta float64) ([]EdgeTruss, error) {
+	return utruss.Decompose(g, eta)
+}
+
+// TrussSupportProb returns P[supp(e) ≥ t] for edge {u,v}: the exact
+// Poisson-binomial tail over the wedges through the edge.
+func TrussSupportProb(g *Graph, u, v, t int) (float64, error) {
+	return utruss.SupportProb(g, u, v, t)
+}
+
+// --- (k,η)-cores ---
+
+// CoreDecomposition holds η-core numbers for every vertex.
+type CoreDecomposition = ucore.Decomposition
+
+// CoreDecompose computes the (k,η)-core decomposition of g.
+func CoreDecompose(g *Graph, eta float64) (CoreDecomposition, error) {
+	return ucore.Decompose(g, eta)
+}
+
+// Core returns the vertices of the (k,η)-core of g.
+func Core(g *Graph, k int, eta float64) ([]int, error) {
+	return ucore.Core(g, k, eta)
+}
+
+// --- Dynamic maintenance of α-maximal cliques ---
+
+// Maintainer keeps the set of α-maximal cliques in sync across edge
+// updates, re-enumerating only the neighborhoods the change can affect.
+type Maintainer = dynamic.Maintainer
+
+// CliqueDiff reports the clique-set change caused by one edge update.
+type CliqueDiff = dynamic.Diff
+
+// NewMaintainer builds a dynamic maintainer seeded with a full MULE
+// enumeration of g at threshold alpha. Subsequent SetEdge/RemoveEdge calls
+// mutate the graph and return exact clique-set diffs.
+func NewMaintainer(g *Graph, alpha float64) (*Maintainer, error) {
+	return dynamic.New(g, alpha)
+}
+
+// --- Top-k α-maximal cliques ---
+
+// ScoredClique is one α-maximal clique with its clique probability.
+type ScoredClique = topk.ScoredClique
+
+// TopKByProb returns the k α-maximal cliques with the highest clique
+// probability (descending; ties by size then lexicographic order).
+func TopKByProb(g *Graph, alpha float64, k int) ([]ScoredClique, error) {
+	return topk.ByProb(g, alpha, k)
+}
+
+// TopKBySize returns the k largest α-maximal cliques (descending; ties by
+// probability then lexicographic order).
+func TopKBySize(g *Graph, alpha float64, k int) ([]ScoredClique, error) {
+	return topk.BySize(g, alpha, k)
+}

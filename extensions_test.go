@@ -1,0 +1,213 @@
+package mule_test
+
+import (
+	"math"
+	"testing"
+
+	mule "github.com/uncertain-graphs/mule"
+)
+
+// The facade tests exercise the public extension API end to end; algorithmic
+// depth lives in the internal packages' own suites.
+
+func buildBipartite(t *testing.T) *mule.Bipartite {
+	t.Helper()
+	g, err := mule.BipartiteFromEdges(3, 3, []mule.BipartiteEdge{
+		{L: 0, R: 0, P: 0.9}, {L: 0, R: 1, P: 0.9},
+		{L: 1, R: 0, P: 0.9}, {L: 1, R: 1, P: 0.9},
+		{L: 2, R: 2, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeBicliques(t *testing.T) {
+	g := buildBipartite(t)
+	bcs, err := mule.CollectBicliques(g, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 2x2 block has probability 0.9^4 ≈ 0.656 ≥ 0.6; the weak pendant
+	// edge (0.5) fails.
+	if len(bcs) != 1 {
+		t.Fatalf("got %d bicliques, want 1: %v", len(bcs), bcs)
+	}
+	want := mule.Biclique{Left: []int{0, 1}, Right: []int{0, 1}, Prob: 0.9 * 0.9 * 0.9 * 0.9}
+	got := bcs[0]
+	if len(got.Left) != 2 || len(got.Right) != 2 ||
+		math.Abs(got.Prob-want.Prob) > 1e-15 {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+
+	stats, err := mule.EnumerateBicliquesWith(g, 0.3, nil, mule.BicliqueConfig{MinLeft: 2, MinRight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Emitted != 1 {
+		t.Fatalf("MinLeft/MinRight run emitted %d, want 1", stats.Emitted)
+	}
+}
+
+func TestFacadeBipartiteBuilder(t *testing.T) {
+	b := mule.NewBipartiteBuilder(2, 2)
+	if err := b.AddEdge(0, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 0, 0.5); err == nil {
+		t.Fatal("duplicate edge accepted through the facade")
+	}
+	g := b.Build()
+	if g.NumLeft() != 2 || g.NumRight() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("unexpected sizes: %d/%d/%d", g.NumLeft(), g.NumRight(), g.NumEdges())
+	}
+}
+
+func buildTriangleWithPendant(t *testing.T) *mule.Graph {
+	t.Helper()
+	g, err := mule.FromEdges(5, []mule.Edge{
+		{U: 0, V: 1, P: 1}, {U: 0, V: 2, P: 1}, {U: 1, V: 2, P: 1},
+		{U: 2, V: 3, P: 0.6}, {U: 3, V: 4, P: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeQuasiCliques(t *testing.T) {
+	g := buildTriangleWithPendant(t)
+	sets, err := mule.CollectQuasiCliques(g, mule.QuasiConfig{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || len(sets[0]) != 3 {
+		t.Fatalf("γ=1 mining = %v, want the certain triangle", sets)
+	}
+	if !mule.IsExpectedQuasiClique(g, []int{0, 1, 2}, 1) {
+		t.Fatal("certain triangle rejected by the predicate")
+	}
+	p, err := mule.QuasiCliqueWorldProb(g, []int{0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("world probability of certain triangle = %v, want 1", p)
+	}
+	est, err := mule.QuasiCliqueWorldProbMC(g, []int{0, 1, 2, 3}, 0.5, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := mule.QuasiCliqueWorldProb(g, []int{0, 1, 2, 3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.02 {
+		t.Fatalf("MC %v too far from exact %v", est, exact)
+	}
+}
+
+func TestFacadeTruss(t *testing.T) {
+	g := buildTriangleWithPendant(t)
+	tr, err := mule.Truss(g, 3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the certain triangle supports every edge with probability 1; the
+	// pendant edges have no triangles.
+	if tr.NumEdges() != 3 {
+		t.Fatalf("(3,0.9)-truss has %d edges, want 3", tr.NumEdges())
+	}
+	dec, err := mule.TrussDecompose(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != g.NumEdges() {
+		t.Fatalf("decomposition covers %d of %d edges", len(dec), g.NumEdges())
+	}
+	p, err := mule.TrussSupportProb(g, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("support probability of a certain triangle edge = %v, want 1", p)
+	}
+}
+
+func TestFacadeCores(t *testing.T) {
+	g := buildTriangleWithPendant(t)
+	dec, err := mule.CoreDecompose(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.CoreNumber) != g.NumVertices() {
+		t.Fatalf("core decomposition covers %d of %d vertices", len(dec.CoreNumber), g.NumVertices())
+	}
+	core, err := mule.Core(g, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The certain triangle is a (2,η)-core for any η.
+	if len(core) < 3 {
+		t.Fatalf("(2,0.5)-core = %v, want at least the triangle", core)
+	}
+}
+
+func TestFacadeMaintainer(t *testing.T) {
+	g := buildTriangleWithPendant(t)
+	m, err := mule.NewMaintainer(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCliques() == 0 {
+		t.Fatal("maintainer seeded empty")
+	}
+	// Strengthen the pendant edge {3,4} so that it qualifies at α = 0.5.
+	diff, err := m.SetEdge(3, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Added) == 0 {
+		t.Fatalf("strengthening an edge added nothing: %+v", diff)
+	}
+	// The maintainer must agree with a fresh enumeration of its own graph.
+	want, err := mule.Collect(m.Graph(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Cliques()
+	if len(got) != len(want) {
+		t.Fatalf("maintainer has %d cliques, fresh run %d", len(got), len(want))
+	}
+	if _, err := m.RemoveEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RemoveEdge(3, 4); err == nil {
+		t.Fatal("double removal succeeded")
+	}
+}
+
+func TestFacadeTopK(t *testing.T) {
+	g := buildTriangleWithPendant(t)
+	best, err := mule.TopKByProb(g, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 2 {
+		t.Fatalf("top-2 returned %d cliques", len(best))
+	}
+	if best[0].Prob < best[1].Prob {
+		t.Fatal("top-k not sorted by probability")
+	}
+	if best[0].Prob != 1 {
+		t.Fatalf("best clique probability %v, want the certain triangle's 1", best[0].Prob)
+	}
+	largest, err := mule.TopKBySize(g, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(largest) != 1 || len(largest[0].Vertices) != 3 {
+		t.Fatalf("largest clique = %+v, want the triangle", largest)
+	}
+}

@@ -1,0 +1,243 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation plus a brute-force oracle used by the test suite.
+//
+// DFS-NOIP ("DFS with NO Incremental Probability computation", Algorithm 7
+// in the paper) walks the same ascending-vertex-ID search tree as MULE but
+// recomputes clique probabilities from scratch at every step and tests
+// maximality by scanning the whole vertex set, which is precisely the cost
+// MULE's I/X bookkeeping removes. Figure 1 of the paper measures this gap.
+package baseline
+
+import (
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// Visitor receives each α-maximal clique as a sorted vertex slice. The slice
+// is only valid during the call; copy it to retain it. Returning false stops
+// the enumeration.
+type Visitor func(clique []int, prob float64) bool
+
+// NOIPStats counts the work done by a DFS-NOIP run.
+type NOIPStats struct {
+	Calls          int // recursive search-tree nodes
+	ProbProducts   int // full clique-probability products computed
+	MaximalityScan int // from-scratch maximality checks
+	Emitted        int // α-maximal cliques reported
+}
+
+// EnumerateNOIP enumerates all α-maximal cliques of g using Algorithm 7.
+// Edges with p(e) < alpha are pruned first (Observation 3), exactly as the
+// paper's implementation does for both algorithms so that the comparison
+// isolates the incremental-computation difference.
+func EnumerateNOIP(g *uncertain.Graph, alpha float64, visit Visitor) NOIPStats {
+	if alpha <= 0 || alpha >= 1 {
+		panic("baseline: alpha must be in (0,1)")
+	}
+	pg := g.PruneAlpha(alpha)
+	e := &noipEnum{g: pg, alpha: alpha, visit: visit}
+	n := pg.NumVertices()
+	initial := make([]int32, n)
+	for i := range initial {
+		initial[i] = int32(i)
+	}
+	e.recurse(nil, initial)
+	return e.stats
+}
+
+type noipEnum struct {
+	g       *uncertain.Graph
+	alpha   float64
+	visit   Visitor
+	stats   NOIPStats
+	stopped bool
+}
+
+// cliqueProbScratch recomputes clq(C, G) as the full product over all pairs
+// — the non-incremental cost the baseline is defined by.
+func (e *noipEnum) cliqueProbScratch(set []int) (float64, bool) {
+	e.stats.ProbProducts++
+	prob := 1.0
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			p, ok := e.g.Prob(set[i], set[j])
+			if !ok {
+				return 0, false
+			}
+			prob *= p
+		}
+	}
+	return prob, true
+}
+
+// isAlphaMaximalScratch scans every vertex of the graph to decide whether
+// any of them extends set into an α-clique.
+func (e *noipEnum) isAlphaMaximalScratch(set []int, q float64) bool {
+	e.stats.MaximalityScan++
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for u := 0; u < e.g.NumVertices(); u++ {
+		if in[u] {
+			continue
+		}
+		f := 1.0
+		extends := true
+		for _, v := range set {
+			p, ok := e.g.Prob(u, v)
+			if !ok {
+				extends = false
+				break
+			}
+			f *= p
+		}
+		if extends && q*f >= e.alpha {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *noipEnum) emit(set []int, q float64) {
+	e.stats.Emitted++
+	if e.visit != nil && !e.visit(set, q) {
+		e.stopped = true
+	}
+}
+
+// recurse is Algorithm 7. C is sorted ascending; cand holds vertices
+// adjacent (in the pruned support graph) to every vertex of C.
+func (e *noipEnum) recurse(C []int, cand []int32) {
+	if e.stopped {
+		return
+	}
+	e.stats.Calls++
+	maxC := -1
+	if len(C) > 0 {
+		maxC = C[len(C)-1]
+	}
+	// Line 1–4: drop candidates that are ≤ max(C) or do not keep C an
+	// α-clique; each check is a from-scratch product.
+	qC := 1.0
+	if len(C) > 0 {
+		q, ok := e.cliqueProbScratch(C)
+		if !ok {
+			return
+		}
+		qC = q
+	}
+	filtered := make([]int32, 0, len(cand))
+	for _, u := range cand {
+		if int(u) <= maxC {
+			continue
+		}
+		q, ok := e.cliqueProbScratch(append(C, int(u)))
+		if ok && q >= e.alpha {
+			filtered = append(filtered, u)
+		}
+	}
+	// Line 5–8: leaf — C may be α-maximal via vertices < max(C).
+	if len(filtered) == 0 {
+		if len(C) > 0 && e.isAlphaMaximalScratch(C, qC) {
+			e.emit(C, qC)
+		}
+		return
+	}
+	// Line 9–15.
+	for _, v := range filtered {
+		if e.stopped {
+			return
+		}
+		C2 := append(C, int(v))
+		q2, _ := e.cliqueProbScratch(C2)
+		if e.isAlphaMaximalScratch(C2, q2) {
+			e.emit(C2, q2)
+			continue
+		}
+		e.recurse(C2, intersectSorted(filtered, e.g, int(v)))
+	}
+}
+
+// intersectSorted returns cand ∩ Γ(v), preserving ascending order.
+func intersectSorted(cand []int32, g *uncertain.Graph, v int) []int32 {
+	row, _ := g.Adjacency(v)
+	out := make([]int32, 0, min(len(cand), len(row)))
+	i, j := 0, 0
+	for i < len(cand) && j < len(row) {
+		switch {
+		case cand[i] < row[j]:
+			i++
+		case cand[i] > row[j]:
+			j++
+		default:
+			out = append(out, cand[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CollectNOIP runs EnumerateNOIP and returns all cliques in canonical order.
+func CollectNOIP(g *uncertain.Graph, alpha float64) [][]int {
+	var out [][]int
+	EnumerateNOIP(g, alpha, func(c []int, _ float64) bool {
+		cp := make([]int, len(c))
+		copy(cp, c)
+		out = append(out, cp)
+		return true
+	})
+	Canonicalize(out)
+	return out
+}
+
+// Canonicalize sorts each clique ascending and the collection
+// lexicographically — the comparison form used by all cross-implementation
+// tests.
+func Canonicalize(cliques [][]int) {
+	for _, c := range cliques {
+		sort.Ints(c)
+	}
+	sort.Slice(cliques, func(i, j int) bool {
+		a, b := cliques[i], cliques[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// BruteForce enumerates all α-maximal cliques by testing every subset of
+// vertices against Definition 4 directly. Exponential: the independent
+// oracle for graphs with at most ~16 vertices.
+func BruteForce(g *uncertain.Graph, alpha float64) [][]int {
+	n := g.NumVertices()
+	if n > 24 {
+		panic("baseline: BruteForce limited to n <= 24")
+	}
+	var out [][]int
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		set := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				set = append(set, v)
+			}
+		}
+		if g.IsAlphaMaximalClique(set, alpha) {
+			out = append(out, set)
+		}
+	}
+	Canonicalize(out)
+	return out
+}

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+var dyadic = []float64{1, 0.5, 0.25, 0.125}
+
+func randomDyadic(n int, density float64, rng *rand.Rand) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				_ = b.AddEdge(u, v, dyadic[rng.Intn(len(dyadic))])
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestNOIPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphas := []float64{0.5, 0.25, 0.125, 0.0625}
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(9)
+		g := randomDyadic(n, 0.5, rng)
+		alpha := alphas[rng.Intn(len(alphas))]
+		want := BruteForce(g, alpha)
+		got := CollectNOIP(g, alpha)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d n=%d α=%v:\nNOIP  = %v\nbrute = %v\nedges = %v",
+				trial, n, alpha, got, want, g.Edges())
+		}
+	}
+}
+
+func TestNOIPHandComputed(t *testing.T) {
+	g, _ := uncertain.FromEdges(4, []uncertain.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 0, V: 2, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 2, V: 3, P: 0.25},
+	})
+	got := CollectNOIP(g, 0.125)
+	want := [][]int{{0, 1, 2}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestNOIPSingletons(t *testing.T) {
+	g := uncertain.NewBuilder(3).Build()
+	got := CollectNOIP(g, 0.5)
+	want := [][]int{{0}, {1}, {2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("isolated vertices: got %v, want %v", got, want)
+	}
+}
+
+func TestNOIPStatsCountWork(t *testing.T) {
+	g := randomDyadic(20, 0.5, rand.New(rand.NewSource(1)))
+	stats := EnumerateNOIP(g, 0.25, nil)
+	if stats.Emitted == 0 {
+		t.Fatal("nothing emitted")
+	}
+	if stats.ProbProducts == 0 || stats.MaximalityScan == 0 {
+		t.Fatalf("work counters empty: %+v", stats)
+	}
+	if stats.Calls == 0 {
+		t.Fatal("no recursive calls recorded")
+	}
+}
+
+func TestNOIPEarlyStop(t *testing.T) {
+	g := randomDyadic(20, 0.5, rand.New(rand.NewSource(2)))
+	count := 0
+	EnumerateNOIP(g, 0.25, func([]int, float64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestNOIPPanicsOnBadAlpha(t *testing.T) {
+	g := uncertain.NewBuilder(2).Build()
+	for _, alpha := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() { recover() }()
+			EnumerateNOIP(g, alpha, nil)
+			t.Errorf("alpha=%v should panic", alpha)
+		}()
+	}
+}
+
+func TestBruteForceHandComputed(t *testing.T) {
+	g, _ := uncertain.FromEdges(3, []uncertain.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5},
+	})
+	// α=0.5: both edges qualify, vertex 1 in both; no triangle (no {0,2} edge).
+	want := [][]int{{0, 1}, {1, 2}}
+	if got := BruteForce(g, 0.5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// α just above 0.5: nothing but singletons.
+	want = [][]int{{0}, {1}, {2}}
+	if got := BruteForce(g, 0.6); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestBruteForcePanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 24")
+		}
+	}()
+	BruteForce(uncertain.NewBuilder(25).Build(), 0.5)
+}
+
+func TestCanonicalize(t *testing.T) {
+	cliques := [][]int{{3, 1}, {2}, {1, 2}, {1, 10}}
+	Canonicalize(cliques)
+	want := [][]int{{1, 2}, {1, 3}, {1, 10}, {2}}
+	if !reflect.DeepEqual(cliques, want) {
+		t.Fatalf("got %v, want %v", cliques, want)
+	}
+}
+
+func TestNOIPReportedProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDyadic(12, 0.6, rng)
+	EnumerateNOIP(g, 0.25, func(c []int, p float64) bool {
+		if want := g.CliqueProb(c); want != p {
+			t.Fatalf("clique %v: reported %v, true %v", c, p, want)
+		}
+		return true
+	})
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func randomDyadicGraph(n int, density float64, rng *rand.Rand) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	vals := []float64{1, 0.5, 0.25, 0.125}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				_ = b.AddEdge(u, v, vals[rng.Intn(len(vals))])
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestHashMULEMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	alphas := []float64{0.5, 0.25, 0.125, 0.0625}
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(9)
+		g := randomDyadicGraph(n, 0.5, rng)
+		alpha := alphas[trial%len(alphas)]
+		want := BruteForce(g, alpha)
+		got := CollectHashMULE(g, alpha)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d, α=%v):\nhash  = %v\nbrute = %v",
+				trial, n, alpha, got, want)
+		}
+	}
+}
+
+func TestHashMULEMatchesNOIP(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 30; trial++ {
+		g := randomDyadicGraph(6+rng.Intn(14), 0.4, rng)
+		alpha := []float64{0.5, 0.125}[trial%2]
+		want := CollectNOIP(g, alpha)
+		got := CollectHashMULE(g, alpha)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: hash %v vs NOIP %v", trial, got, want)
+		}
+	}
+}
+
+func TestHashMULEStatsAndStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	g := randomDyadicGraph(14, 0.6, rng)
+	stats := EnumerateHashMULE(g, 0.25, nil)
+	if stats.Calls <= 0 || stats.Lookups <= 0 {
+		t.Fatalf("no work recorded: %+v", stats)
+	}
+	if stats.Emitted <= 0 {
+		t.Fatalf("nothing emitted on a dense graph: %+v", stats)
+	}
+	seen := int64(0)
+	partial := EnumerateHashMULE(g, 0.25, func([]int, float64) bool {
+		seen++
+		return seen < 2
+	})
+	if partial.Emitted != 2 || seen != 2 {
+		t.Fatalf("early stop broke: emitted %d, seen %d", partial.Emitted, seen)
+	}
+}
+
+func TestHashMULERejectsBadAlpha(t *testing.T) {
+	g := uncertain.NewBuilder(2).Build()
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v accepted", alpha)
+				}
+			}()
+			EnumerateHashMULE(g, alpha, nil)
+		}()
+	}
+}

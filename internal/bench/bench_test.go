@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/uncertain-graphs/mule/internal/core"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "a", "long-header", "c")
+	tb.Add("1", "2")
+	tb.Addf(10, "x", 3.5)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "long-header") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// All data lines share the header's column alignment width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator not aligned with header:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "x", "y")
+	tb.Add("1", "2")
+	tb.Add("a,b", "c")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n\"a,b\",c\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed == 0 || c.DBLPScale == 0 || c.Budget == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}
+
+func TestWorkloadBuildersQuick(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 3}
+	if got := Figure1Graphs(cfg); len(got) != 4 {
+		t.Fatalf("Figure1Graphs: %d graphs", len(got))
+	}
+	if got := RandomGraphs(cfg); len(got) != 6 {
+		t.Fatalf("RandomGraphs: %d graphs", len(got))
+	}
+	if got := SemiSyntheticGraphs(cfg); len(got) != 6 {
+		t.Fatalf("SemiSyntheticGraphs: %d graphs", len(got))
+	}
+	if got := LargeCliqueGraphs(cfg); len(got) != 3 {
+		t.Fatalf("LargeCliqueGraphs: %d graphs", len(got))
+	}
+	for _, ng := range RandomGraphs(cfg) {
+		if ng.G.NumVertices() == 0 || ng.G.NumEdges() == 0 {
+			t.Fatalf("%s built empty", ng.Name)
+		}
+	}
+}
+
+func TestTimedMULEHonorsBudget(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1, Budget: time.Millisecond}
+	g := RandomGraphs(cfg)[0].G
+	r, err := TimedMULE(g, 0.0001, cfg, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either it legitimately finished within a millisecond (fast machine,
+	// small graph) or it must be flagged unfinished.
+	if !r.Finished && r.Elapsed < time.Millisecond {
+		t.Fatal("unfinished run reported implausibly short elapsed time")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 10 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	ids := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if _, ok := Lookup("figure4"); !ok {
+		t.Fatal("figure4 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id should not resolve")
+	}
+}
+
+// Smoke-run every experiment in quick mode with a small budget; this is the
+// end-to-end test that the harness can regenerate every paper artifact.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 1, Budget: 20 * time.Second}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(cfg, &buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}

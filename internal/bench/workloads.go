@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/uncertain-graphs/mule/internal/baseline"
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/gen"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed drives every generator; equal seeds give identical workloads.
+	Seed int64
+	// Quick substitutes scaled-down graphs so a full experiment sweep
+	// finishes in seconds to a few minutes (the default for benchmarks and
+	// tests). Full scale reproduces the Table 1 sizes.
+	Quick bool
+	// DBLPScale scales the DBLP synthesizer in full mode (1.0 = the paper's
+	// 684911 authors). The default used by cmd/experiments is 0.05.
+	DBLPScale float64
+	// Budget caps any single enumeration run; runs that exceed it are
+	// reported as "> budget" (the paper's DFS-NOIP cells at small α take
+	// hours — a cap keeps the harness usable while preserving the shape).
+	Budget time.Duration
+	// Workers is passed to MULE's parallel driver where an experiment
+	// exercises it (0/1 = serial, the paper's setting).
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DBLPScale == 0 {
+		c.DBLPScale = 0.05
+	}
+	if c.Budget == 0 {
+		c.Budget = 2 * time.Minute
+	}
+	return c
+}
+
+// NamedGraph pairs a dataset name with a built graph.
+type NamedGraph struct {
+	Name string
+	G    *uncertain.Graph
+}
+
+// Figure1Graphs returns the four inputs of Figure 1: wiki-vote, BA5000,
+// ca-GrQc and the Fruit-Fly PPI network (quarter-scale in Quick mode; the
+// PPI network is small enough to always build at full scale).
+func Figure1Graphs(cfg Config) []NamedGraph {
+	cfg = cfg.withDefaults()
+	if cfg.Quick {
+		return []NamedGraph{
+			{"wiki-vote", gen.WikiVoteLikeN(1780, 25900, cfg.Seed)},
+			{"BA5000", gen.BA(1250, cfg.Seed)},
+			{"ca-GrQc", gen.CollaborationLikeN(1310, 7245, cfg.Seed)},
+			{"PPI", gen.PPILike(cfg.Seed)},
+		}
+	}
+	return []NamedGraph{
+		{"wiki-vote", gen.WikiVoteLike(cfg.Seed)},
+		{"BA5000", gen.BA(5000, cfg.Seed)},
+		{"ca-GrQc", gen.CollaborationLike(cfg.Seed)},
+		{"PPI", gen.PPILike(cfg.Seed)},
+	}
+}
+
+// RandomGraphs returns the Barabási–Albert family of Figures 2a/3a/4
+// (BA5000 … BA10000, scaled to BA800 … BA1800 in Quick mode).
+func RandomGraphs(cfg Config) []NamedGraph {
+	cfg = cfg.withDefaults()
+	sizes := []int{5000, 6000, 7000, 8000, 9000, 10000}
+	if cfg.Quick {
+		sizes = []int{800, 1000, 1200, 1400, 1600, 1800}
+	}
+	out := make([]NamedGraph, len(sizes))
+	for i, n := range sizes {
+		out[i] = NamedGraph{baName(n), gen.BA(n, cfg.Seed+int64(i))}
+	}
+	return out
+}
+
+func baName(n int) string {
+	switch {
+	case n >= 1000:
+		return "BA" + itoa(n)
+	default:
+		return "BA" + itoa(n)
+	}
+}
+
+// SemiSyntheticGraphs returns the real/semi-synthetic family of Figures
+// 2b/3b: PPI, ca-GrQc, three Gnutella snapshots and wiki-vote.
+func SemiSyntheticGraphs(cfg Config) []NamedGraph {
+	cfg = cfg.withDefaults()
+	if cfg.Quick {
+		return []NamedGraph{
+			{"PPI", gen.PPILike(cfg.Seed)},
+			{"ca-GrQc", gen.CollaborationLikeN(1310, 7245, cfg.Seed)},
+			{"p2p-Gnutella04", gen.GnutellaLike(2720, 9999, cfg.Seed)},
+			{"p2p-Gnutella08", gen.GnutellaLike(1575, 5194, cfg.Seed)},
+			{"p2p-Gnutella09", gen.GnutellaLike(2029, 6503, cfg.Seed)},
+			{"wiki-vote", gen.WikiVoteLikeN(1780, 25900, cfg.Seed)},
+		}
+	}
+	return []NamedGraph{
+		{"PPI", gen.PPILike(cfg.Seed)},
+		{"ca-GrQc", gen.CollaborationLike(cfg.Seed)},
+		{"p2p-Gnutella04", gen.Gnutella04Like(cfg.Seed)},
+		{"p2p-Gnutella08", gen.Gnutella08Like(cfg.Seed)},
+		{"p2p-Gnutella09", gen.Gnutella09Like(cfg.Seed)},
+		{"wiki-vote", gen.WikiVoteLike(cfg.Seed)},
+	}
+}
+
+// LargeCliqueGraphs returns the three inputs of Figures 5/6: BA10000,
+// ca-GrQc and DBLP.
+func LargeCliqueGraphs(cfg Config) []NamedGraph {
+	cfg = cfg.withDefaults()
+	if cfg.Quick {
+		return []NamedGraph{
+			{"BA10000", gen.BA(2000, cfg.Seed)},
+			{"ca-GrQc", gen.CollaborationLikeN(1310, 7245, cfg.Seed)},
+			{"DBLP", gen.DBLPLike(0.01, cfg.Seed)},
+		}
+	}
+	return []NamedGraph{
+		{"BA10000", gen.BA(10000, cfg.Seed)},
+		{"ca-GrQc", gen.CollaborationLike(cfg.Seed)},
+		{"DBLP", gen.DBLPLike(cfg.DBLPScale, cfg.Seed)},
+	}
+}
+
+// AlphaSweep is the probability-threshold grid of Figures 2 and 3
+// (log-spaced from 1e-4 to 0.9, mirroring the paper's x-axis).
+var AlphaSweep = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 0.9}
+
+// Figure1Alphas are the four thresholds of Figure 1's panels.
+var Figure1Alphas = []float64{0.9, 0.8, 0.0005, 0.0001}
+
+// Figure4Alphas are the thresholds whose output sizes Figure 4 scatters.
+var Figure4Alphas = []float64{0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001}
+
+// RunResult is one timed enumeration.
+type RunResult struct {
+	Elapsed  time.Duration
+	Cliques  int64
+	Stats    core.Stats
+	Finished bool // false if the Budget expired mid-run
+}
+
+// TimedMULE runs MULE under cfg's time budget.
+func TimedMULE(g *uncertain.Graph, alpha float64, cfg Config, coreCfg core.Config) (RunResult, error) {
+	cfg = cfg.withDefaults()
+	deadline := time.Now().Add(cfg.Budget)
+	var res RunResult
+	count := int64(0)
+	aborted := false
+	visit := func([]int, float64) bool {
+		count++
+		if count%1024 == 0 && time.Now().After(deadline) {
+			aborted = true
+			return false
+		}
+		return true
+	}
+	start := time.Now()
+	stats, err := core.EnumerateWith(g, alpha, visit, coreCfg)
+	if err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Cliques = stats.Emitted
+	res.Stats = stats
+	res.Finished = !aborted
+	return res, nil
+}
+
+// timedHashMULE runs the hash-adjacency MULE ablation under cfg's budget.
+func timedHashMULE(g *uncertain.Graph, alpha float64, cfg Config) RunResult {
+	cfg = cfg.withDefaults()
+	deadline := time.Now().Add(cfg.Budget)
+	var res RunResult
+	count := int64(0)
+	aborted := false
+	visit := func([]int, float64) bool {
+		count++
+		if count%1024 == 0 && time.Now().After(deadline) {
+			aborted = true
+			return false
+		}
+		return true
+	}
+	start := time.Now()
+	stats := baseline.EnumerateHashMULE(g, alpha, visit)
+	res.Elapsed = time.Since(start)
+	res.Cliques = stats.Emitted
+	res.Finished = !aborted
+	return res
+}
+
+// TimedNOIP runs the DFS-NOIP baseline under cfg's time budget.
+func TimedNOIP(g *uncertain.Graph, alpha float64, cfg Config) RunResult {
+	cfg = cfg.withDefaults()
+	deadline := time.Now().Add(cfg.Budget)
+	var res RunResult
+	count := int64(0)
+	aborted := false
+	visit := func([]int, float64) bool {
+		count++
+		if count%256 == 0 && time.Now().After(deadline) {
+			aborted = true
+			return false
+		}
+		return true
+	}
+	start := time.Now()
+	stats := baseline.EnumerateNOIP(g, alpha, visit)
+	res.Elapsed = time.Since(start)
+	res.Cliques = int64(stats.Emitted)
+	res.Finished = !aborted
+	return res
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

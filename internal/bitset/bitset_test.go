@@ -1,0 +1,283 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Capacity() != 100 {
+		t.Fatalf("Capacity = %d, want 100", s.Capacity())
+	}
+}
+
+func TestNewNegativeCapacity(t *testing.T) {
+	s := New(-5)
+	if s.Capacity() != 0 {
+		t.Fatalf("Capacity = %d, want 0", s.Capacity())
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) = true after Remove")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+}
+
+func TestOutOfRangeOperationsAreNoOps(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Add(1000)
+	if !s.Empty() {
+		t.Fatal("out-of-range Add should be ignored")
+	}
+	if s.Contains(-1) || s.Contains(10) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+	s.Remove(-1) // must not panic
+	s.Remove(99)
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	s := FromSlice(10, []int{1, 3, 5, 3, -2, 99})
+	want := []int{1, 3, 5}
+	if got := s.Slice(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromSlice(64, []int{0, 5, 63})
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("set not empty after Clear")
+	}
+	if s.Capacity() != 64 {
+		t.Fatal("Clear should not change capacity")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromSlice(64, []int{1, 2, 3})
+	c := s.Clone()
+	c.Add(10)
+	if s.Contains(10) {
+		t.Fatal("mutating clone affected original")
+	}
+	s.Remove(1)
+	if !c.Contains(1) {
+		t.Fatal("mutating original affected clone")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice(64, []int{1, 2})
+	b := FromSlice(64, []int{40, 41})
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	New(10).CopyFrom(New(20))
+}
+
+func TestSetAlgebra(t *testing.T) {
+	n := 200
+	a := FromSlice(n, []int{1, 2, 3, 100, 150})
+	b := FromSlice(n, []int{2, 3, 4, 150, 199})
+
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	if got, want := inter.Slice(), []int{2, 3, 150}; !reflect.DeepEqual(got, want) {
+		t.Errorf("intersection = %v, want %v", got, want)
+	}
+
+	uni := a.Clone()
+	uni.UnionWith(b)
+	if got, want := uni.Slice(), []int{1, 2, 3, 4, 100, 150, 199}; !reflect.DeepEqual(got, want) {
+		t.Errorf("union = %v, want %v", got, want)
+	}
+
+	diff := a.Clone()
+	diff.DifferenceWith(b)
+	if got, want := diff.Slice(), []int{1, 100}; !reflect.DeepEqual(got, want) {
+		t.Errorf("difference = %v, want %v", got, want)
+	}
+
+	if got := a.IntersectionCount(b); got != 3 {
+		t.Errorf("IntersectionCount = %d, want 3", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	c := FromSlice(n, []int{7})
+	if a.Intersects(c) {
+		t.Error("Intersects = true, want false")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	n := 70
+	a := FromSlice(n, []int{1, 65})
+	b := FromSlice(n, []int{1, 2, 65})
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a should be subset of itself")
+	}
+	empty := New(n)
+	if !empty.SubsetOf(a) {
+		t.Error("empty set should be subset of anything")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice(64, []int{1, 2})
+	b := FromSlice(64, []int{1, 2})
+	c := FromSlice(64, []int{1, 3})
+	d := FromSlice(128, []int{1, 2})
+	if !a.Equal(b) {
+		t.Error("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Error("a should not equal c")
+	}
+	if a.Equal(d) {
+		t.Error("sets of different capacity are never equal")
+	}
+}
+
+func TestNextAfter(t *testing.T) {
+	s := FromSlice(200, []int{5, 64, 130})
+	cases := []struct{ in, want int }{
+		{-10, 5}, {0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {130, 130}, {131, -1}, {500, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextAfter(c.in); got != c.want {
+			t.Errorf("NextAfter(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := New(0).NextAfter(0); got != -1 {
+		t.Errorf("NextAfter on empty-capacity set = %d, want -1", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(64, []int{1, 2, 3, 4})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{1, 2}) {
+		t.Fatalf("early stop saw %v, want [1 2]", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{1, 5}).String(); got != "{1, 5}" {
+		t.Fatalf("String = %q, want {1, 5}", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+}
+
+// Property: Slice() returns exactly the inserted distinct in-range elements,
+// sorted ascending.
+func TestQuickSliceMatchesModel(t *testing.T) {
+	f := func(elems []uint16) bool {
+		const n = 1 << 16
+		s := New(n)
+		model := map[int]bool{}
+		for _, e := range elems {
+			s.Add(int(e))
+			model[int(e)] = true
+		}
+		want := make([]int, 0, len(model))
+		for e := range model {
+			want = append(want, e)
+		}
+		sort.Ints(want)
+		got := s.Slice()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return s.Count() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| = |A| + |B| - |A∩B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		if u.Count() != a.Count()+b.Count()-a.IntersectionCount(b) {
+			t.Fatalf("inclusion-exclusion violated at n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package bounds implements the extremal analysis of §3 of the paper:
+// the maximum number of α-maximal cliques an uncertain graph on n vertices
+// can contain is exactly f(n, α) = C(n, ⌊n/2⌋) for every 0 < α < 1
+// (Theorem 1), in contrast to the Moon–Moser bound 3^{n/3} for
+// deterministic graphs. It provides exact big-integer binomials, the
+// Lemma 1 extremal construction, and the Stirling-order estimate behind
+// Observation 5's Ω(√n·2^n) output lower bound.
+package bounds
+
+import (
+	"math"
+	"math/big"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// Binomial returns C(n, k) exactly.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// MaxAlphaMaximalCliques returns f(n, α) = C(n, ⌊n/2⌋), the tight bound of
+// Theorem 1 for 0 < α < 1 and n ≥ 2. (For α = 1 the Moon–Moser bound
+// applies instead; see MoonMoserBound.)
+func MaxAlphaMaximalCliques(n int) *big.Int {
+	return Binomial(n, n/2)
+}
+
+// MoonMoserBound returns the deterministic (α = 1) maximum number of
+// maximal cliques on n ≥ 2 vertices as a big integer.
+func MoonMoserBound(n int) *big.Int {
+	if n <= 0 {
+		return big.NewInt(0)
+	}
+	if n == 1 {
+		return big.NewInt(1)
+	}
+	pow3 := func(k int) *big.Int {
+		return new(big.Int).Exp(big.NewInt(3), big.NewInt(int64(k)), nil)
+	}
+	switch n % 3 {
+	case 0:
+		return pow3(n / 3)
+	case 1:
+		return new(big.Int).Mul(big.NewInt(4), pow3((n-4)/3))
+	default:
+		return new(big.Int).Mul(big.NewInt(2), pow3((n-2)/3))
+	}
+}
+
+// CentralBinomialEstimate returns the Stirling approximation
+// C(n,⌊n/2⌋) ≈ 2^n / √(πn/2), the Θ(2^n/√n) growth rate quoted in
+// Observation 5 of the paper.
+func CentralBinomialEstimate(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Exp2(float64(n)) / math.Sqrt(math.Pi*float64(n)/2)
+}
+
+// Extremal is the Lemma 1 construction realizing the f(n, α) bound, plus the
+// α threshold at which to enumerate it.
+type Extremal struct {
+	Graph *uncertain.Graph
+	// Alpha is the enumeration threshold: every ⌊n/2⌋-subset has clique
+	// probability ≥ Alpha and every larger subset falls below it.
+	Alpha float64
+	// CliqueSize is ⌊n/2⌋, the size of every α-maximal clique.
+	CliqueSize int
+	// ExpectedCount is C(n, ⌊n/2⌋).
+	ExpectedCount *big.Int
+}
+
+// NewExtremal builds the extremal uncertain graph on n ≥ 3 vertices with
+// uniform edge probability q ∈ (0,1): the complete graph where every edge
+// has probability q.
+//
+// Lemma 1 uses the threshold α = q^κ with κ = C(⌊n/2⌋, 2), making each
+// ⌊n/2⌋-subset an α-clique with probability exactly α, while any
+// (⌊n/2⌋+1)-subset has probability α·q^{⌊n/2⌋} < α. To keep the boundary
+// comparison robust against floating-point rounding (MULE multiplies edge
+// probabilities in search order, the definition in any order), the returned
+// Alpha is q^κ relaxed downward by a relative 1e-9 — far above
+// α·q^{⌊n/2⌋} for any q bounded away from 1, so the construction's clique
+// family is unchanged.
+func NewExtremal(n int, q float64) Extremal {
+	if n < 3 {
+		panic("bounds: extremal construction requires n >= 3")
+	}
+	if q <= 0 || q >= 1 {
+		panic("bounds: q must be in (0,1)")
+	}
+	k := n / 2
+	kappa := k * (k - 1) / 2
+	alpha := 1.0
+	for i := 0; i < kappa; i++ {
+		alpha *= q
+	}
+	alpha *= 1 - 1e-9
+	b := uncertain.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			// Cannot fail: distinct in-range vertices, valid q.
+			_ = b.AddEdge(u, v, q)
+		}
+	}
+	return Extremal{
+		Graph:         b.Build(),
+		Alpha:         alpha,
+		CliqueSize:    k,
+		ExpectedCount: MaxAlphaMaximalCliques(n),
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// relTol is the tolerance for comparing an incrementally maintained clique
+// probability against a from-scratch product: the two multiply the same
+// values in different orders, so they may differ by a few ulps.
+const relTol = 1e-9
+
+func nearlyEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= relTol*scale
+}
+
+// verifyInvariants asserts the preconditions of Enum-Uncertain-MC stated in
+// Lemmas 6 and 7 of the paper, recomputing everything from scratch. It
+// panics on the first violation; it is wired to Config.CheckInvariants and
+// used only by the test suite (cost per call: O(n·|C|)).
+func (e *enumerator) verifyInvariants(C []int32, q float64, I, X []entry) {
+	set := make([]int, len(C))
+	for i, v := range C {
+		set[i] = int(v)
+		if i > 0 && C[i-1] >= C[i] {
+			panic(fmt.Sprintf("core invariant: C %v not strictly ascending", C))
+		}
+	}
+	trueQ := e.g.CliqueProb(set)
+	if !nearlyEqual(q, trueQ) {
+		panic(fmt.Sprintf("core invariant: q=%v but clq(%v)=%v", q, set, trueQ))
+	}
+	if len(set) > 0 && trueQ < e.alpha && !nearlyEqual(trueQ, e.alpha) {
+		panic(fmt.Sprintf("core invariant: C=%v is not an α-clique (%v < %v)", set, trueQ, e.alpha))
+	}
+	maxC := int32(-1)
+	if len(C) > 0 {
+		maxC = C[len(C)-1]
+	}
+
+	inC := make(map[int32]bool, len(C))
+	for _, v := range C {
+		inC[v] = true
+	}
+	checkEntry := func(kind string, ent entry, wantGreater bool) {
+		if inC[ent.v] {
+			panic(fmt.Sprintf("core invariant: %s entry %d already in C %v", kind, ent.v, set))
+		}
+		if wantGreater && ent.v <= maxC {
+			panic(fmt.Sprintf("core invariant: I entry %d ≤ max(C)=%d", ent.v, maxC))
+		}
+		if !wantGreater && ent.v >= maxC {
+			panic(fmt.Sprintf("core invariant: X entry %d ≥ max(C)=%d", ent.v, maxC))
+		}
+		ext := e.g.CliqueProb(append(set, int(ent.v)))
+		if !nearlyEqual(ext, q*ent.r) {
+			panic(fmt.Sprintf("core invariant: %s entry %d multiplier %v: clq=%v but q·r=%v",
+				kind, ent.v, ent.r, ext, q*ent.r))
+		}
+		if ext < e.alpha && !nearlyEqual(ext, e.alpha) {
+			panic(fmt.Sprintf("core invariant: %s entry %d does not meet α: %v < %v", kind, ent.v, ext, e.alpha))
+		}
+	}
+	for i, ent := range I {
+		if i > 0 && I[i-1].v >= ent.v {
+			panic("core invariant: I not sorted")
+		}
+		checkEntry("I", ent, true)
+	}
+	for i, ent := range X {
+		if i > 0 && X[i-1].v >= ent.v {
+			panic("core invariant: X not sorted")
+		}
+		checkEntry("X", ent, false)
+	}
+
+	// Completeness (the "all tuples" part of Lemmas 6 and 7): every vertex
+	// that could extend C must appear in I or X. X may legitimately be
+	// incomplete under LARGE-MULE's size pruning, so the backward check only
+	// runs for plain MULE.
+	inI := make(map[int32]bool, len(I))
+	for _, ent := range I {
+		inI[ent.v] = true
+	}
+	inX := make(map[int32]bool, len(X))
+	for _, ent := range X {
+		inX[ent.v] = true
+	}
+	for w := 0; w < e.g.NumVertices(); w++ {
+		if inC[int32(w)] {
+			continue
+		}
+		ext := e.g.CliqueProb(append(set, w))
+		if ext < e.alpha {
+			continue
+		}
+		if int32(w) > maxC {
+			if !inI[int32(w)] {
+				panic(fmt.Sprintf("core invariant: vertex %d extends C=%v (clq=%v) but missing from I", w, set, ext))
+			}
+		} else if e.minSize < 2 && !inX[int32(w)] {
+			panic(fmt.Sprintf("core invariant: vertex %d extends C=%v (clq=%v) but missing from X", w, set, ext))
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// sharedNeighborhoodFilter applies the Modani–Dey preprocessing the paper
+// uses before LARGE-MULE (§4.3): repeatedly
+//
+//  1. drop every edge {u,v} whose endpoints share fewer than t-2 common
+//     neighbors (a clique of size ≥ t containing the edge needs t-2 common
+//     completions), and
+//  2. drop every vertex (i.e. all its incident edges) that does not have at
+//     least t-1 neighbors u with |Γ(u) ∩ Γ(v)| ≥ t-2,
+//
+// until a fixpoint. The filter runs on the α-pruned support graph, so it
+// never removes an edge or vertex participating in an α-clique of size ≥ t;
+// LARGE-MULE's output is therefore unaffected.
+func sharedNeighborhoodFilter(g *uncertain.Graph, t int) *uncertain.Graph {
+	if t < 3 {
+		// t-2 ≤ 0: the common-neighbor constraints are vacuous.
+		return g
+	}
+	n := g.NumVertices()
+	adj := make([]map[int32]float64, n)
+	for u := 0; u < n; u++ {
+		row, probs := g.Adjacency(u)
+		adj[u] = make(map[int32]float64, len(row))
+		for i, v := range row {
+			adj[u][v] = probs[i]
+		}
+	}
+	commonCount := func(u, v int32) int {
+		a, b := adj[u], adj[v]
+		if len(a) > len(b) {
+			a, b = b, a
+		}
+		c := 0
+		for w := range a {
+			if _, ok := b[w]; ok {
+				c++
+			}
+		}
+		return c
+	}
+	removeEdge := func(u, v int32) {
+		delete(adj[u], v)
+		delete(adj[v], u)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Edge rule.
+		for u := int32(0); u < int32(n); u++ {
+			for v := range adj[u] {
+				if u < v && commonCount(u, v) < t-2 {
+					removeEdge(u, v)
+					changed = true
+				}
+			}
+		}
+		// Vertex rule.
+		for u := int32(0); u < int32(n); u++ {
+			if len(adj[u]) == 0 {
+				continue
+			}
+			qualified := 0
+			for v := range adj[u] {
+				if commonCount(u, v) >= t-2 {
+					qualified++
+				}
+			}
+			if qualified < t-1 {
+				for v := range adj[u] {
+					removeEdge(u, v)
+				}
+				changed = true
+			}
+		}
+	}
+
+	b := uncertain.NewBuilder(n)
+	for u := int32(0); u < int32(n); u++ {
+		for v, p := range adj[u] {
+			if u < v {
+				// Cannot fail: edges originate from a valid graph.
+				_ = b.AddEdge(int(u), int(v), p)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// MaximumClique returns one maximum-cardinality α-clique of g (ties broken
+// by search order) together with its clique probability. It runs the MULE
+// search with a dynamic LARGE-MULE-style bound: a branch is cut as soon as
+// |C'| + |I'| cannot beat the best clique found so far, which is exactly the
+// Algorithm 6 cut with a threshold that tightens during the search. For an
+// empty graph it returns (nil, 1).
+//
+// Note the result is a maximum α-clique, which is necessarily α-maximal;
+// enumerating all of them is possible with EnumerateWith and a MinSize of
+// the returned size, but a single witness is the common query.
+func MaximumClique(g *uncertain.Graph, alpha float64) ([]int, float64, error) {
+	if g == nil {
+		return nil, 0, fmt.Errorf("core: nil graph")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, 0, fmt.Errorf("core: alpha %v outside (0,1]", alpha)
+	}
+	work := g.PruneAlpha(alpha)
+	// bestProb starts at 1: the empty clique has probability 1 by convention.
+	m := &maxSearch{g: work, alpha: alpha, bestProb: 1}
+	n := work.NumVertices()
+	rootI := make([]entry, n)
+	for v := 0; v < n; v++ {
+		rootI[v] = entry{int32(v), 1}
+	}
+	m.recurse(nil, 1, rootI)
+	return m.best, m.bestProb, nil
+}
+
+type maxSearch struct {
+	g        *uncertain.Graph
+	alpha    float64
+	best     []int
+	bestProb float64
+}
+
+// recurse explores like Enum-Uncertain-MC but only tracks the deepest
+// α-clique; the X set is unnecessary because maximality testing is not —
+// any clique larger than the incumbent improves it regardless of
+// maximality status.
+func (m *maxSearch) recurse(C []int32, q float64, I []entry) {
+	if len(C) > len(m.best) {
+		m.best = make([]int, len(C))
+		for i, v := range C {
+			m.best[i] = int(v)
+		}
+		m.bestProb = q
+	}
+	for idx := 0; idx < len(I); idx++ {
+		// Bound: even taking every remaining candidate cannot beat best.
+		if len(C)+len(I)-idx <= len(m.best) {
+			return
+		}
+		u, r := I[idx].v, I[idx].r
+		q2 := q * r
+		C2 := append(C, u)
+		I2 := m.generateI(I[idx+1:], u, q2)
+		if len(C2)+len(I2) > len(m.best) {
+			m.recurse(C2, q2, I2)
+		}
+	}
+}
+
+func (m *maxSearch) generateI(tail []entry, u int32, q2 float64) []entry {
+	row, probs := m.g.Adjacency(int(u))
+	j := 0
+	for j < len(row) && row[j] <= u {
+		j++
+	}
+	out := make([]entry, 0, minInt(len(tail), len(row)-j))
+	i := 0
+	for i < len(tail) && j < len(row) {
+		switch {
+		case tail[i].v < row[j]:
+			i++
+		case tail[i].v > row[j]:
+			j++
+		default:
+			r2 := tail[i].r * probs[j]
+			if q2*r2 >= m.alpha {
+				out = append(out, entry{tail[i].v, r2})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// entry is one element of the candidate set I or the witness set X: vertex v
+// together with the multiplier r such that clq(C ∪ {v}) = clq(C)·r for the
+// current working clique C. Maintaining r incrementally is the paper's key
+// optimization (§4, "a key insight is to reduce this time to O(1)").
+type entry struct {
+	v int32
+	r float64
+}
+
+type enumerator struct {
+	g        *uncertain.Graph
+	alpha    float64
+	minSize  int
+	visit    Visitor
+	newToOld []int
+	identity bool
+	checkInv bool
+	stats    *Stats
+	emitBuf  []int
+	stopped  bool
+}
+
+// runSerial performs Algorithm 1: initialize Î with every vertex paired with
+// multiplier 1 (a singleton is a clique with probability 1) and recurse.
+func (e *enumerator) runSerial() {
+	n := e.g.NumVertices()
+	rootI := make([]entry, n)
+	for v := 0; v < n; v++ {
+		rootI[v] = entry{int32(v), 1}
+	}
+	e.recurse(nil, 1, rootI, nil)
+}
+
+// recurse is Enum-Uncertain-MC (Algorithm 2), with the |C'|+|I'| < t cut of
+// Algorithm 6 folded in when minSize ≥ 2.
+//
+// Invariants (Lemmas 6 and 7): C is an α-clique sorted ascending with
+// q = clq(C); every (u,r) ∈ I has u > max(C) and clq(C∪{u}) = q·r ≥ α;
+// every (x,s) ∈ X has x ∉ C, x < max(C) and clq(C∪{x}) = q·s ≥ α. Both I
+// and X are sorted ascending by vertex.
+func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
+	if e.stopped {
+		return
+	}
+	e.stats.Calls++
+	if len(C) > e.stats.MaxDepth {
+		e.stats.MaxDepth = len(C)
+	}
+	if e.checkInv {
+		e.verifyInvariants(C, q, I, X)
+	}
+	if len(I) == 0 && len(X) == 0 {
+		e.emit(C, q)
+		return
+	}
+	for idx := 0; idx < len(I); idx++ {
+		if e.stopped {
+			return
+		}
+		u, r := I[idx].v, I[idx].r
+		q2 := q * r
+		C2 := append(C, u)
+		// I entries beyond idx are exactly those greater than u, since I is
+		// sorted: GenerateI only ever inspects them.
+		I2 := e.generateI(I[idx+1:], u, q2)
+		if e.minSize >= 2 && len(C2)+len(I2) < e.minSize {
+			// Algorithm 6 line 8: this subtree cannot reach a clique of the
+			// requested size; skip it (including the X update — every
+			// clique that u could witness against is itself below size t).
+			e.stats.SizePruned++
+			continue
+		}
+		X2 := e.generateX(X, u, q2)
+		e.recurse(C2, q2, I2, X2)
+		X = append(X, entry{u, r})
+	}
+}
+
+// generateI is Algorithm 3. tail holds the I-entries greater than u (the
+// suffix of the parent's sorted I); the result keeps those that are adjacent
+// to u and still meet the threshold, with multipliers extended by p({w,u}).
+// Two-pointer merge over the sorted tail and u's sorted adjacency row makes
+// each call O(|I| + deg(u)).
+func (e *enumerator) generateI(tail []entry, u int32, q2 float64) []entry {
+	row, probs := e.g.Adjacency(int(u))
+	// Skip adjacency entries ≤ u: tail vertices are all > u.
+	j := sort.Search(len(row), func(k int) bool { return row[k] > u })
+	out := make([]entry, 0, minInt(len(tail), len(row)-j))
+	i := 0
+	for i < len(tail) && j < len(row) {
+		switch {
+		case tail[i].v < row[j]:
+			i++
+		case tail[i].v > row[j]:
+			j++
+		default:
+			r2 := tail[i].r * probs[j]
+			if q2*r2 >= e.alpha {
+				out = append(out, entry{tail[i].v, r2})
+			}
+			i++
+			j++
+		}
+	}
+	e.stats.CandidateOps += int64(len(out))
+	return out
+}
+
+// generateX is Algorithm 4: the same filter-and-extend step applied to the
+// witness set. All X entries are < u (old witnesses are below max(C), and
+// witnesses added during the loop are candidates that precede u), so X stays
+// sorted and the merge mirrors generateI.
+func (e *enumerator) generateX(X []entry, u int32, q2 float64) []entry {
+	row, probs := e.g.Adjacency(int(u))
+	out := make([]entry, 0, minInt(len(X), len(row)))
+	i, j := 0, 0
+	for i < len(X) && j < len(row) {
+		switch {
+		case X[i].v < row[j]:
+			i++
+		case X[i].v > row[j]:
+			j++
+		default:
+			s2 := X[i].r * probs[j]
+			if q2*s2 >= e.alpha {
+				out = append(out, entry{X[i].v, s2})
+			}
+			i++
+			j++
+		}
+	}
+	e.stats.WitnessOps += int64(len(out))
+	return out
+}
+
+// emit reports C (translated back to original vertex IDs) as an α-maximal
+// clique with probability q.
+func (e *enumerator) emit(C []int32, q float64) {
+	if len(C) == 0 {
+		// Only reachable on a vertex-less graph; the empty set is not a
+		// meaningful clique.
+		return
+	}
+	buf := e.emitBuf[:0]
+	if e.identity {
+		for _, v := range C {
+			buf = append(buf, int(v))
+		}
+	} else {
+		for _, v := range C {
+			buf = append(buf, e.newToOld[v])
+		}
+		sortInts(buf)
+	}
+	e.emitBuf = buf
+	e.stats.Emitted++
+	if len(buf) > e.stats.MaxCliqueSize {
+		e.stats.MaxCliqueSize = len(buf)
+	}
+	if e.visit != nil && !e.visit(buf, q) {
+		e.stopped = true
+	}
+}

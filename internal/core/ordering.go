@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// buildOrder computes the vertex renumbering for the requested strategy:
+// the returned slice maps new vertex ID → old vertex ID.
+func buildOrder(g *uncertain.Graph, ord Ordering, seed int64) ([]int, error) {
+	n := g.NumVertices()
+	order := make([]int, n)
+	switch ord {
+	case OrderNatural:
+		for i := range order {
+			order[i] = i
+		}
+	case OrderDegree:
+		for i := range order {
+			order[i] = i
+		}
+		deg := make([]int, n)
+		for v := 0; v < n; v++ {
+			deg[v] = g.Degree(v)
+		}
+		stableSortBy(order, func(a, b int) bool {
+			if deg[a] != deg[b] {
+				return deg[a] < deg[b]
+			}
+			return a < b
+		})
+	case OrderDegeneracy:
+		order = degeneracyOrder(g)
+	case OrderRandom:
+		rng := rand.New(rand.NewSource(seed))
+		order = rng.Perm(n)
+	default:
+		return nil, fmt.Errorf("core: unknown ordering %v", ord)
+	}
+	return order, nil
+}
+
+func stableSortBy(a []int, less func(x, y int) bool) {
+	sort.SliceStable(a, func(i, j int) bool { return less(a[i], a[j]) })
+}
+
+// degeneracyOrder computes a degeneracy ordering of the support graph with
+// the standard bucket algorithm, O(n + m).
+func degeneracyOrder(g *uncertain.Graph) []int {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	order := make([]int, 0, n)
+	cur := 0
+	for len(order) < n && cur <= maxDeg {
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		u := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[u] || deg[u] != cur {
+			continue // stale bucket entry
+		}
+		removed[u] = true
+		order = append(order, u)
+		row, _ := g.Adjacency(u)
+		for _, w := range row {
+			v := int(w)
+			if removed[v] {
+				continue
+			}
+			deg[v]--
+			buckets[deg[v]] = append(buckets[deg[v]], v)
+			if deg[v] < cur {
+				cur = deg[v]
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel fans the top-level branches of the search out across workers.
+//
+// Soundness: at the root C = ∅, the branch for vertex u receives
+// I_u = {(w, p(u,w)) : w ∈ Γ(u), w > u, p(u,w) ≥ α} and
+// X_u = {(x, p(u,x)) : x ∈ Γ(u), x < u, p(u,x) ≥ α}, both of which depend
+// only on u — not on how much of the loop has already run — because the
+// root's X accumulates exactly the vertices smaller than u. Top-level
+// subtrees are therefore mutually independent and can run concurrently;
+// every deeper level keeps the sequential left-to-right dependency through
+// X and stays inside one worker.
+func (e *enumerator) runParallel(workers int) {
+	n := e.g.NumVertices()
+	var stopped atomic.Bool
+	var mu sync.Mutex // serializes visit callbacks and stats merging
+
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := &enumerator{
+				g:        e.g,
+				alpha:    e.alpha,
+				minSize:  e.minSize,
+				newToOld: e.newToOld,
+				identity: e.identity,
+				checkInv: e.checkInv,
+				stats:    &Stats{},
+				emitBuf:  make([]int, 0, 64),
+			}
+			if e.visit != nil {
+				local.visit = func(c []int, p float64) bool {
+					mu.Lock()
+					defer mu.Unlock()
+					if stopped.Load() {
+						return false
+					}
+					if !e.visit(c, p) {
+						stopped.Store(true)
+						return false
+					}
+					return true
+				}
+			}
+			for {
+				u := int(atomic.AddInt64(&next, 1))
+				if u >= n || stopped.Load() {
+					break
+				}
+				local.stopped = false
+				local.branch(int32(u))
+				if local.stopped {
+					stopped.Store(true)
+				}
+			}
+			mu.Lock()
+			e.stats.merge(local.stats)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	e.stopped = stopped.Load()
+	// The root call itself is accounted once, as in the serial driver.
+	e.stats.Calls++
+}
+
+// branch runs the top-level iteration for vertex u: it reproduces exactly
+// the state the serial loop would pass to the recursive call for u.
+func (e *enumerator) branch(u int32) {
+	row, probs := e.g.Adjacency(int(u))
+	var I, X []entry
+	for i, w := range row {
+		p := probs[i]
+		if p < e.alpha {
+			continue // only reachable with SkipPrune
+		}
+		if w > u {
+			I = append(I, entry{w, p})
+		} else {
+			X = append(X, entry{w, p})
+		}
+	}
+	e.stats.CandidateOps += int64(len(I))
+	e.stats.WitnessOps += int64(len(X))
+	C := make([]int32, 0, len(I)+1)
+	C = append(C, u)
+	if e.minSize >= 2 && len(C)+len(I) < e.minSize {
+		e.stats.SizePruned++
+		return
+	}
+	e.recurse(C, 1, I, X)
+}
+
+// merge folds o into s.
+func (s *Stats) merge(o *Stats) {
+	s.Calls += o.Calls
+	s.Emitted += o.Emitted
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	if o.MaxCliqueSize > s.MaxCliqueSize {
+		s.MaxCliqueSize = o.MaxCliqueSize
+	}
+	s.CandidateOps += o.CandidateOps
+	s.WitnessOps += o.WitnessOps
+	s.SizePruned += o.SizePruned
+}

@@ -1,0 +1,180 @@
+package det
+
+import (
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/bitset"
+)
+
+// Visitor receives each maximal clique as a sorted vertex slice. The slice is
+// reused between calls; copy it if you need to retain it. Returning false
+// stops the enumeration.
+type Visitor func(clique []int) bool
+
+// CollectMaximalCliques runs the (pivoting) enumerator and returns all
+// maximal cliques, each sorted ascending, with the whole collection sorted
+// lexicographically for deterministic comparison in tests.
+func CollectMaximalCliques(g *Graph) [][]int {
+	var out [][]int
+	BronKerboschPivot(g, func(c []int) bool {
+		cp := make([]int, len(c))
+		copy(cp, c)
+		out = append(out, cp)
+		return true
+	})
+	SortCliques(out)
+	return out
+}
+
+// SortCliques sorts each clique ascending and the collection
+// lexicographically. It is the canonical form used throughout the tests.
+func SortCliques(cliques [][]int) {
+	for _, c := range cliques {
+		sort.Ints(c)
+	}
+	sort.Slice(cliques, func(i, j int) bool { return lessIntSlice(cliques[i], cliques[j]) })
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// BronKerbosch enumerates all maximal cliques with the classical algorithm
+// (no pivoting). Exponential in the worst case; intended for small graphs
+// and as a reference for the optimized variants.
+func BronKerbosch(g *Graph, visit Visitor) {
+	n := g.NumVertices()
+	adj := g.adjacencyBitsets()
+	R := make([]int, 0, n)
+	P := bitset.New(n)
+	X := bitset.New(n)
+	for u := 0; u < n; u++ {
+		P.Add(u)
+	}
+	bkBasic(adj, R, P, X, visit)
+}
+
+func bkBasic(adj []*bitset.Set, R []int, P, X *bitset.Set, visit Visitor) bool {
+	if P.Empty() && X.Empty() {
+		return visit(R)
+	}
+	// Iterate over a snapshot since P mutates during the loop.
+	for _, v := range P.Slice() {
+		P2 := P.Clone()
+		P2.IntersectWith(adj[v])
+		X2 := X.Clone()
+		X2.IntersectWith(adj[v])
+		if !bkBasic(adj, append(R, v), P2, X2, visit) {
+			return false
+		}
+		P.Remove(v)
+		X.Add(v)
+	}
+	return true
+}
+
+// BronKerboschPivot enumerates all maximal cliques using the pivot rule of
+// Tomita, Tanaka and Takahashi: pick the pivot u ∈ P ∪ X maximizing
+// |P ∩ Γ(u)| and only branch on P \ Γ(u). Worst case O(3^{n/3}), matching
+// the Moon–Moser bound.
+func BronKerboschPivot(g *Graph, visit Visitor) {
+	n := g.NumVertices()
+	adj := g.adjacencyBitsets()
+	R := make([]int, 0, n)
+	P := bitset.New(n)
+	X := bitset.New(n)
+	for u := 0; u < n; u++ {
+		P.Add(u)
+	}
+	bkPivot(adj, R, P, X, visit)
+}
+
+func bkPivot(adj []*bitset.Set, R []int, P, X *bitset.Set, visit Visitor) bool {
+	if P.Empty() && X.Empty() {
+		return visit(R)
+	}
+	pivot, best := -1, -1
+	consider := func(u int) bool {
+		if c := P.IntersectionCount(adj[u]); c > best {
+			pivot, best = u, c
+		}
+		return true
+	}
+	P.ForEach(consider)
+	X.ForEach(consider)
+
+	cand := P.Clone()
+	if pivot >= 0 {
+		cand.DifferenceWith(adj[pivot])
+	}
+	ok := true
+	cand.ForEach(func(v int) bool {
+		P2 := P.Clone()
+		P2.IntersectWith(adj[v])
+		X2 := X.Clone()
+		X2.IntersectWith(adj[v])
+		if !bkPivot(adj, append(R, v), P2, X2, visit) {
+			ok = false
+			return false
+		}
+		P.Remove(v)
+		X.Add(v)
+		return true
+	})
+	return ok
+}
+
+// BronKerboschDegeneracy enumerates all maximal cliques using the
+// Eppstein–Strash outer loop: vertices are processed in degeneracy order,
+// with the pivoting algorithm applied to each vertex's later neighborhood.
+// Runs in O(d·n·3^{d/3}) for graphs of degeneracy d, which is the right
+// regime for the sparse real-world graphs in the paper's evaluation.
+func BronKerboschDegeneracy(g *Graph, visit Visitor) {
+	n := g.NumVertices()
+	adj := g.adjacencyBitsets()
+	order, _ := g.DegeneracyOrder()
+	rank := make([]int, n)
+	for i, v := range order {
+		rank[v] = i
+	}
+	R := make([]int, 0, n)
+	for _, v := range order {
+		P := bitset.New(n)
+		X := bitset.New(n)
+		for _, w := range g.adj[v] {
+			if rank[w] > rank[v] {
+				P.Add(w)
+			} else {
+				X.Add(w)
+			}
+		}
+		if !bkPivot(adj, append(R, v), P, X, visit) {
+			return
+		}
+	}
+}
+
+// MaxCliqueSize returns the size of a maximum clique, 0 for the empty graph.
+// Implemented on top of the pivoting enumerator; exact but exponential.
+func MaxCliqueSize(g *Graph) int {
+	best := 0
+	BronKerboschPivot(g, func(c []int) bool {
+		if len(c) > best {
+			best = len(c)
+		}
+		return true
+	})
+	return best
+}
+
+// CountMaximalCliques returns the number of maximal cliques.
+func CountMaximalCliques(g *Graph) int {
+	count := 0
+	BronKerboschPivot(g, func([]int) bool { count++; return true })
+	return count
+}

@@ -1,0 +1,216 @@
+package det
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bruteForceMaximalCliques enumerates maximal cliques by checking all 2^n
+// subsets. Only usable for n ≤ ~16; the independent oracle for everything
+// else in this package.
+func bruteForceMaximalCliques(g *Graph) [][]int {
+	n := g.NumVertices()
+	var out [][]int
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				set = append(set, v)
+			}
+		}
+		if g.IsMaximalClique(set) {
+			out = append(out, set)
+		}
+	}
+	SortCliques(out)
+	return out
+}
+
+func collectWith(f func(*Graph, Visitor), g *Graph) [][]int {
+	var out [][]int
+	f(g, func(c []int) bool {
+		cp := make([]int, len(c))
+		copy(cp, c)
+		out = append(out, cp)
+		return true
+	})
+	SortCliques(out)
+	return out
+}
+
+func TestEnumeratorsAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(9)
+		g := randomGraph(n, []float64{0.1, 0.3, 0.5, 0.8}[trial%4], rng)
+		want := bruteForceMaximalCliques(g)
+		for name, f := range map[string]func(*Graph, Visitor){
+			"basic":      BronKerbosch,
+			"pivot":      BronKerboschPivot,
+			"degeneracy": BronKerboschDegeneracy,
+		} {
+			got := collectWith(f, g)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s on n=%d trial=%d: got %v want %v", name, n, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEnumeratorsAgreeOnLargerGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(40, 0.25, rng)
+		want := collectWith(BronKerbosch, g)
+		if got := collectWith(BronKerboschPivot, g); !reflect.DeepEqual(got, want) {
+			t.Fatal("pivot disagrees with basic")
+		}
+		if got := collectWith(BronKerboschDegeneracy, g); !reflect.DeepEqual(got, want) {
+			t.Fatal("degeneracy disagrees with basic")
+		}
+	}
+}
+
+func TestCliquesOfKnownGraphs(t *testing.T) {
+	// Triangle with a pendant: cliques {0,1,2} and {2,3}.
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	want := [][]int{{0, 1, 2}, {2, 3}}
+	if got := CollectMaximalCliques(g); !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+
+	// Empty graph on 3 vertices: three singleton maximal cliques.
+	g2 := NewBuilder(3).Build()
+	want2 := [][]int{{0}, {1}, {2}}
+	if got := CollectMaximalCliques(g2); !reflect.DeepEqual(got, want2) {
+		t.Errorf("empty graph: got %v, want %v", got, want2)
+	}
+
+	// Complete graph: exactly one maximal clique covering everything.
+	g3 := Complete(5)
+	want3 := [][]int{{0, 1, 2, 3, 4}}
+	if got := CollectMaximalCliques(g3); !reflect.DeepEqual(got, want3) {
+		t.Errorf("K5: got %v, want %v", got, want3)
+	}
+}
+
+func TestVisitorEarlyStop(t *testing.T) {
+	g := MoonMoser(9)
+	for name, f := range map[string]func(*Graph, Visitor){
+		"basic":      BronKerbosch,
+		"pivot":      BronKerboschPivot,
+		"degeneracy": BronKerboschDegeneracy,
+	} {
+		count := 0
+		f(g, func([]int) bool {
+			count++
+			return count < 3
+		})
+		if count != 3 {
+			t.Errorf("%s: visited %d cliques after early stop, want 3", name, count)
+		}
+	}
+}
+
+func TestMoonMoserCounts(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		g := MoonMoser(n)
+		if g.NumVertices() != n {
+			t.Fatalf("MoonMoser(%d) has %d vertices", n, g.NumVertices())
+		}
+		got := CountMaximalCliques(g)
+		want := MoonMoserCount(n)
+		if got != want {
+			t.Errorf("MoonMoser(%d): %d maximal cliques, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMoonMoserIsExtremalForSmallN(t *testing.T) {
+	// Exhaustively verify for tiny n that no graph has more maximal cliques
+	// than the Moon–Moser count (spot-check of the 1965 theorem, and thereby
+	// of our enumerator).
+	for n := 2; n <= 5; n++ {
+		pairs := [][2]int{}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+		maxSeen := 0
+		for mask := 0; mask < 1<<uint(len(pairs)); mask++ {
+			b := NewBuilder(n)
+			for i, e := range pairs {
+				if mask&(1<<uint(i)) != 0 {
+					_ = b.AddEdge(e[0], e[1])
+				}
+			}
+			if c := CountMaximalCliques(b.Build()); c > maxSeen {
+				maxSeen = c
+			}
+		}
+		if maxSeen != MoonMoserCount(n) {
+			t.Errorf("n=%d: extremal count %d, Moon–Moser predicts %d", n, maxSeen, MoonMoserCount(n))
+		}
+	}
+}
+
+func TestMoonMoserCountValues(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 3, 4: 4, 5: 6, 6: 9, 7: 12, 8: 18, 9: 27, 12: 81}
+	for n, want := range cases {
+		if got := MoonMoserCount(n); got != want {
+			t.Errorf("MoonMoserCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if MoonMoserCount(0) != 0 || MoonMoserCount(-3) != 0 {
+		t.Error("nonpositive n should give 0")
+	}
+}
+
+func TestMaxCliqueSize(t *testing.T) {
+	if got := MaxCliqueSize(Complete(7)); got != 7 {
+		t.Errorf("K7 max clique = %d", got)
+	}
+	if got := MaxCliqueSize(Cycle(5)); got != 2 {
+		t.Errorf("C5 max clique = %d", got)
+	}
+	if got := MaxCliqueSize(NewBuilder(0).Build()); got != 0 {
+		t.Errorf("empty graph max clique = %d", got)
+	}
+}
+
+func TestCliquesAndIndependentSetsDual(t *testing.T) {
+	// Maximal cliques of G = maximal independent sets of complement(G);
+	// check counts agree via the complement trick on random graphs.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		g := randomGraph(n, 0.5, rng)
+		comp := g.Complement()
+		a := CollectMaximalCliques(g)
+		// A maximal independent set of comp is a maximal clique of g.
+		b := CollectMaximalCliques(comp.Complement())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("complement-of-complement changed the clique structure")
+		}
+	}
+}
+
+func BenchmarkBronKerboschPivotMoonMoser21(b *testing.B) {
+	g := MoonMoser(21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountMaximalCliques(g)
+	}
+}
+
+func BenchmarkBronKerboschDegeneracySparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(300, 0.05, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		BronKerboschDegeneracy(g, func([]int) bool { count++; return true })
+	}
+}

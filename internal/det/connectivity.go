@@ -1,0 +1,64 @@
+package det
+
+import "sort"
+
+// Components returns the connected components as ascending vertex lists,
+// ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	n := g.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	var stack []int
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(out)
+		comp[s] = id
+		stack = append(stack[:0], s)
+		members := []int{}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, v := range g.adj[u] {
+				if comp[v] == -1 {
+					comp[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// IsConnectedSubset reports whether the subgraph induced by set is
+// connected (the empty set and singletons count as connected). Used by the
+// possible-world reliability estimators.
+func (g *Graph) IsConnectedSubset(set []int) bool {
+	if len(set) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	seen := map[int]bool{set[0]: true}
+	stack := []int{set[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if in[v] && !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return len(seen) == len(set)
+}

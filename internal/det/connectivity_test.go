@@ -1,0 +1,58 @@
+package det
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestComponents(t *testing.T) {
+	g := mustGraph(t, 7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	got := g.Components()
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}, {6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+}
+
+func TestComponentsCompleteAndEmpty(t *testing.T) {
+	if got := Complete(5).Components(); len(got) != 1 || len(got[0]) != 5 {
+		t.Fatalf("K5 components = %v", got)
+	}
+	if got := NewBuilder(0).Build().Components(); len(got) != 0 {
+		t.Fatalf("empty graph components = %v", got)
+	}
+}
+
+func TestIsConnectedSubset(t *testing.T) {
+	g := mustGraph(t, 6, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	cases := []struct {
+		set  []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{2}, true},
+		{[]int{0, 1, 2}, true},
+		{[]int{0, 2}, false}, // connected only through 1, which is excluded
+		{[]int{0, 1, 3}, false},
+		{[]int{3, 4}, true},
+		{[]int{0, 5}, false},
+	}
+	for _, c := range cases {
+		if got := g.IsConnectedSubset(c.set); got != c.want {
+			t.Errorf("IsConnectedSubset(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestIsConnectedSubsetMatchesComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(20, 0.08, rng)
+		for _, comp := range g.Components() {
+			if !g.IsConnectedSubset(comp) {
+				t.Fatalf("component %v not connected per IsConnectedSubset", comp)
+			}
+		}
+	}
+}

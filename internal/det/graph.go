@@ -1,0 +1,225 @@
+// Package det implements deterministic (certain) undirected simple graphs and
+// classical maximal clique enumeration algorithms: Bron–Kerbosch with and
+// without pivoting (Tomita et al.'s pivot rule) and the degeneracy-ordering
+// variant of Eppstein and Strash. In the reproduction these serve three roles:
+//
+//  1. the α=1 semantics of the paper: an α-maximal clique with α=1 is exactly
+//     a maximal clique of the deterministic graph formed by p(e)=1 edges;
+//  2. a correctness oracle for MULE (internal/core) via cross-checks;
+//  3. the substrate of the Moon–Moser extremal analysis referenced in §3.
+package det
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/bitset"
+)
+
+// Graph is an immutable undirected simple graph on vertices 0..n-1 with
+// sorted adjacency lists. Construct with NewBuilder / Builder.Build.
+type Graph struct {
+	adj [][]int
+	m   int
+}
+
+// Builder accumulates edges for a Graph. Duplicate edges are coalesced;
+// self-loops are rejected.
+type Builder struct {
+	n     int
+	edges map[[2]int]struct{}
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[[2]int]struct{})}
+}
+
+// AddEdge records the undirected edge {u,v}. It returns an error for
+// self-loops or out-of-range endpoints. Re-adding an existing edge is a no-op.
+func (b *Builder) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("det: self-loop at vertex %d", u)
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("det: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges[[2]int{u, v}] = struct{}{}
+	return nil
+}
+
+// Build finalizes the graph.
+func (b *Builder) Build() *Graph {
+	adj := make([][]int, b.n)
+	for e := range b.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for u := range adj {
+		sort.Ints(adj[u])
+	}
+	return &Graph{adj: adj, m: len(b.edges)}
+}
+
+// FromEdges builds a graph on n vertices from an edge list, failing on the
+// first invalid edge.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns u's adjacency list in ascending order. The returned
+// slice is shared with the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// IsClique reports whether every pair of vertices in set is adjacent.
+func (g *Graph) IsClique(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if !g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalClique reports whether set is a clique that no vertex outside it
+// extends.
+func (g *Graph) IsMaximalClique(set []int) bool {
+	if !g.IsClique(set) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for u := 0; u < len(g.adj); u++ {
+		if in[u] {
+			continue
+		}
+		all := true
+		for _, v := range set {
+			if !g.HasEdge(u, v) {
+				all = false
+				break
+			}
+		}
+		if all && len(set) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// adjacencyBitsets materializes one bitset per vertex; used by the
+// enumeration kernels for O(n/64) intersections.
+func (g *Graph) adjacencyBitsets() []*bitset.Set {
+	n := len(g.adj)
+	bs := make([]*bitset.Set, n)
+	for u := 0; u < n; u++ {
+		bs[u] = bitset.FromSlice(n, g.adj[u])
+	}
+	return bs
+}
+
+// DegeneracyOrder returns a vertex ordering v_0..v_{n-1} such that each
+// vertex has at most d neighbors later in the order, where d is the graph's
+// degeneracy (also returned). Computed with the standard bucket algorithm in
+// O(n + m).
+func (g *Graph) DegeneracyOrder() (order []int, degeneracy int) {
+	n := len(g.adj)
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = len(g.adj[u])
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket queue keyed by current degree.
+	buckets := make([][]int, maxDeg+1)
+	pos := make([]int, n) // index of vertex within its bucket
+	for u := 0; u < n; u++ {
+		pos[u] = len(buckets[deg[u]])
+		buckets[deg[u]] = append(buckets[deg[u]], u)
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		// Pop any vertex with the minimum current degree.
+		u := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[u] || deg[u] != cur {
+			continue // stale entry
+		}
+		removed[u] = true
+		order = append(order, u)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, v := range g.adj[u] {
+			if removed[v] {
+				continue
+			}
+			deg[v]--
+			pos[v] = len(buckets[deg[v]])
+			buckets[deg[v]] = append(buckets[deg[v]], v)
+			if deg[v] < cur {
+				cur = deg[v]
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// Complement returns the complement graph (useful in tests relating cliques
+// and independent sets).
+func (g *Graph) Complement() *Graph {
+	n := len(g.adj)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				// Cannot fail: u != v and both in range.
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}

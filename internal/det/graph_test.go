@@ -1,0 +1,172 @@
+package det
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]int) *Graph {
+	t.Helper()
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// randomGraph returns an Erdős–Rényi G(n,p) graph for tests.
+func randomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Fatal("expected error for self-loop")
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	for _, e := range [][2]int{{-1, 0}, {0, 3}, {5, 7}} {
+		if err := b.AddEdge(e[0], e[1]); err == nil {
+			t.Fatalf("expected error for edge %v", e)
+		}
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(3)
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {0, 1}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {2, 3}})
+	if g.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 1 {
+		t.Errorf("unexpected degrees %d %d", g.Degree(0), g.Degree(3))
+	}
+	if !reflect.DeepEqual(g.Neighbors(0), []int{1, 2}) {
+		t.Errorf("Neighbors(0) = %v", g.Neighbors(0))
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(1, 2) || g.HasEdge(-1, 0) || g.HasEdge(0, 9) {
+		t.Error("HasEdge answers wrong")
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	if !g.IsClique([]int{0, 1, 2}) {
+		t.Error("{0,1,2} should be a clique")
+	}
+	if g.IsClique([]int{0, 1, 3}) {
+		t.Error("{0,1,3} should not be a clique")
+	}
+	if !g.IsClique([]int{2}) || !g.IsClique(nil) {
+		t.Error("singletons and empty set are cliques")
+	}
+}
+
+func TestIsMaximalClique(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}})
+	if !g.IsMaximalClique([]int{0, 1, 2}) {
+		t.Error("{0,1,2} should be maximal")
+	}
+	if g.IsMaximalClique([]int{0, 1}) {
+		t.Error("{0,1} extends to {0,1,2}")
+	}
+	if !g.IsMaximalClique([]int{2, 3}) {
+		t.Error("{2,3} should be maximal")
+	}
+	if g.IsMaximalClique([]int{1, 3}) {
+		t.Error("{1,3} is not even a clique")
+	}
+}
+
+func TestDegeneracyOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomGraph(n, 0.3, rng)
+		order, d := g.DegeneracyOrder()
+		if len(order) != n {
+			t.Fatalf("order has %d vertices, want %d", len(order), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range order {
+			if seen[v] {
+				t.Fatal("vertex repeated in order")
+			}
+			seen[v] = true
+		}
+		// Defining property: each vertex has ≤ d neighbors later in the order.
+		rank := make([]int, n)
+		for i, v := range order {
+			rank[v] = i
+		}
+		for _, v := range order {
+			later := 0
+			for _, w := range g.Neighbors(v) {
+				if rank[w] > rank[v] {
+					later++
+				}
+			}
+			if later > d {
+				t.Fatalf("vertex %d has %d later neighbors > degeneracy %d", v, later, d)
+			}
+		}
+	}
+}
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	if _, d := Complete(6).DegeneracyOrder(); d != 5 {
+		t.Errorf("K6 degeneracy = %d, want 5", d)
+	}
+	if _, d := Path(10).DegeneracyOrder(); d != 1 {
+		t.Errorf("P10 degeneracy = %d, want 1", d)
+	}
+	if _, d := Cycle(10).DegeneracyOrder(); d != 2 {
+		t.Errorf("C10 degeneracy = %d, want 2", d)
+	}
+	if _, d := NewBuilder(5).Build().DegeneracyOrder(); d != 0 {
+		t.Errorf("empty graph degeneracy = %d, want 0", d)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}})
+	c := g.Complement()
+	if c.NumEdges() != 5 {
+		t.Fatalf("complement edges = %d, want 5", c.NumEdges())
+	}
+	if c.HasEdge(0, 1) || !c.HasEdge(2, 3) {
+		t.Fatal("complement adjacency wrong")
+	}
+	// Complement of complement is the original.
+	cc := c.Complement()
+	if cc.NumEdges() != g.NumEdges() || !cc.HasEdge(0, 1) {
+		t.Fatal("double complement differs from original")
+	}
+}

@@ -1,0 +1,119 @@
+package det
+
+// MoonMoser returns the Moon–Moser graph on n vertices: the complete
+// multipartite graph whose parts have size 3 (with one part of size 1 or 2
+// when n mod 3 ≠ 0). These graphs maximize the number of maximal cliques
+// among all n-vertex deterministic graphs; the count is given by
+// MoonMoserCount. The paper (§3) contrasts this 3^{n/3} deterministic bound
+// with the larger C(n,⌊n/2⌋) bound for uncertain graphs.
+func MoonMoser(n int) *Graph {
+	b := NewBuilder(n)
+	part := partSizes(n)
+	// Assign vertices to parts consecutively; connect every cross-part pair.
+	starts := make([]int, len(part)+1)
+	for i, s := range part {
+		starts[i+1] = starts[i] + s
+	}
+	for i := 0; i < len(part); i++ {
+		for j := i + 1; j < len(part); j++ {
+			for u := starts[i]; u < starts[i+1]; u++ {
+				for v := starts[j]; v < starts[j+1]; v++ {
+					// Cannot fail: distinct in-range vertices.
+					_ = b.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// partSizes splits n into parts of size 3, following Moon and Moser:
+// n ≡ 0 (mod 3): all parts of size 3;
+// n ≡ 1 (mod 3): one part of size 4 replaced by... the extremal family uses
+// either one part of 4 or two parts of 2; we use two parts of size 2, which
+// achieves the same count 4·3^{(n-4)/3};
+// n ≡ 2 (mod 3): one part of size 2.
+func partSizes(n int) []int {
+	var parts []int
+	switch n % 3 {
+	case 0:
+		for i := 0; i < n/3; i++ {
+			parts = append(parts, 3)
+		}
+	case 1:
+		for i := 0; i < (n-4)/3; i++ {
+			parts = append(parts, 3)
+		}
+		if n >= 4 {
+			parts = append(parts, 2, 2)
+		} else {
+			parts = append(parts, 1)
+		}
+	case 2:
+		for i := 0; i < (n-2)/3; i++ {
+			parts = append(parts, 3)
+		}
+		parts = append(parts, 2)
+	}
+	return parts
+}
+
+// MoonMoserCount returns the Moon–Moser maximum number of maximal cliques in
+// a deterministic graph on n ≥ 2 vertices: 3^{n/3} when 3 | n,
+// 4·3^{(n-4)/3} when n ≡ 1 (mod 3), and 2·3^{(n-2)/3} when n ≡ 2 (mod 3).
+func MoonMoserCount(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	pow3 := func(k int) int {
+		r := 1
+		for i := 0; i < k; i++ {
+			r *= 3
+		}
+		return r
+	}
+	switch n % 3 {
+	case 0:
+		return pow3(n / 3)
+	case 1:
+		return 4 * pow3((n-4)/3)
+	default:
+		return 2 * pow3((n-2)/3)
+	}
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Path returns the path graph 0-1-2-…-(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u+1 < n; u++ {
+		_ = b.AddEdge(u, u+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n ≥ 3 vertices (for n < 3 it degenerates
+// to a path).
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u+1 < n; u++ {
+		_ = b.AddEdge(u, u+1)
+	}
+	if n >= 3 {
+		_ = b.AddEdge(n-1, 0)
+	}
+	return b.Build()
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sampleGamma draws from a Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang squeeze method for shape ≥ 1, boosted to shape < 1 via
+// Gamma(a) = Gamma(a+1) · U^{1/a}.
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic("gen: gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Boost: if X ~ Gamma(shape+1) and U ~ Uniform(0,1), then
+		// X·U^{1/shape} ~ Gamma(shape).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// sampleBeta draws from Beta(a, b) as Ga/(Ga+Gb) with independent gammas.
+func sampleBeta(rng *rand.Rand, a, b float64) float64 {
+	ga := sampleGamma(rng, a)
+	gb := sampleGamma(rng, b)
+	if ga+gb == 0 {
+		return 0.5
+	}
+	return ga / (ga + gb)
+}
+
+// sampleZipfWeights returns n weights w_i = (i+1)^{-s}, the standard
+// power-law profile used for author productivity and Chung–Lu degree
+// sequences. The weights are unnormalized.
+func sampleZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return w
+}
+
+// cumulative returns the prefix-sum table of w for binary-search sampling.
+func cumulative(w []float64) []float64 {
+	c := make([]float64, len(w)+1)
+	for i, x := range w {
+		c[i+1] = c[i] + x
+	}
+	return c
+}
+
+// sampleIndex draws an index proportional to the weights behind the
+// cumulative table c (as produced by cumulative).
+func sampleIndex(rng *rand.Rand, c []float64) int {
+	total := c[len(c)-1]
+	x := rng.Float64() * total
+	lo, hi := 0, len(c)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if c[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

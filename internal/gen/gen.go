@@ -1,0 +1,131 @@
+// Package gen generates synthetic uncertain graphs: classical random graph
+// topologies (Erdős–Rényi, Barabási–Albert, Watts–Strogatz, Holme–Kim,
+// Chung–Lu), team/affiliation processes, and probability assigners. On top
+// of these it provides dataset synthesizers that reproduce the scale and
+// character of the inputs in Table 1 of the paper (PPI, DBLP, Gnutella,
+// ca-GrQc, wiki-vote, BA5000–BA10000); see DESIGN.md §3 for the substitution
+// rationale.
+//
+// Every generator takes an explicit *rand.Rand (or a seed) so that all
+// workloads are reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// ProbFunc assigns an existence probability in (0,1] to the edge {u,v}.
+type ProbFunc func(rng *rand.Rand, u, v int) float64
+
+// UniformProb returns probabilities uniform on (0,1], the scheme the paper
+// uses for its semi-synthetic and random graphs ("edges were assigned
+// probabilities uniformly at random").
+func UniformProb() ProbFunc {
+	return func(rng *rand.Rand, _, _ int) float64 { return 1 - rng.Float64() }
+}
+
+// UniformRangeProb returns probabilities uniform on (lo, hi]; requires
+// 0 ≤ lo < hi ≤ 1.
+func UniformRangeProb(lo, hi float64) ProbFunc {
+	return func(rng *rand.Rand, _, _ int) float64 {
+		return hi - rng.Float64()*(hi-lo)
+	}
+}
+
+// ConstProb assigns probability p to every edge.
+func ConstProb(p float64) ProbFunc {
+	return func(*rand.Rand, int, int) float64 { return p }
+}
+
+// DyadicProb returns probabilities drawn uniformly from
+// {1, 1/2, 1/4, …, 2^-maxExp}. Powers of two multiply exactly in float64, so
+// cross-implementation equality tests built on these probabilities are free
+// of rounding ambiguity.
+func DyadicProb(maxExp int) ProbFunc {
+	if maxExp < 0 {
+		maxExp = 0
+	}
+	vals := make([]float64, maxExp+1)
+	v := 1.0
+	for i := range vals {
+		vals[i] = v
+		v /= 2
+	}
+	return func(rng *rand.Rand, _, _ int) float64 { return vals[rng.Intn(len(vals))] }
+}
+
+// BetaProb samples probabilities from a Beta(a, b) distribution, clamped
+// into (0, 1]. Beta shapes model confidence-score distributions such as
+// STRING's protein-interaction scores.
+func BetaProb(a, b float64) ProbFunc {
+	return func(rng *rand.Rand, _, _ int) float64 {
+		return clampProb(sampleBeta(rng, a, b))
+	}
+}
+
+// MixtureComponent is one weighted component of a mixture assigner.
+type MixtureComponent struct {
+	Weight float64
+	F      ProbFunc
+}
+
+// MixtureProb samples from components with probability proportional to their
+// weights. It panics if no component has positive weight, since that is a
+// programming error in workload construction.
+func MixtureProb(components ...MixtureComponent) ProbFunc {
+	total := 0.0
+	for _, c := range components {
+		if c.Weight < 0 {
+			panic("gen: negative mixture weight")
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		panic("gen: mixture has no positive-weight component")
+	}
+	return func(rng *rand.Rand, u, v int) float64 {
+		x := rng.Float64() * total
+		for _, c := range components {
+			if x < c.Weight {
+				return c.F(rng, u, v)
+			}
+			x -= c.Weight
+		}
+		return components[len(components)-1].F(rng, u, v)
+	}
+}
+
+func clampProb(p float64) float64 {
+	if p <= 0 {
+		return 1e-9
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// BuildUncertain assembles an uncertain graph from a deduplicated edge list
+// and a probability assigner.
+func BuildUncertain(n int, edges [][2]int, pf ProbFunc, rng *rand.Rand) (*uncertain.Graph, error) {
+	b := uncertain.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1], pf(rng, e[0], e[1])); err != nil {
+			return nil, fmt.Errorf("gen: %w", err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// mustBuild is BuildUncertain for internally generated (known valid,
+// deduplicated) edge lists.
+func mustBuild(n int, edges [][2]int, pf ProbFunc, rng *rand.Rand) *uncertain.Graph {
+	g, err := BuildUncertain(n, edges, pf, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

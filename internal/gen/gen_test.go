@@ -1,0 +1,514 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func checkEdgeList(t *testing.T, n int, edges [][2]int) {
+	t.Helper()
+	seen := make(map[int64]struct{}, len(edges))
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			t.Fatalf("edge %v out of range [0,%d)", e, n)
+		}
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not normalized (u < v)", e)
+		}
+		k := pairKey(e[0], e[1])
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[k] = struct{}{}
+	}
+}
+
+func TestGNPBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, p := 300, 0.05
+	edges := GNP(n, p, rng)
+	checkEdgeList(t, n, edges)
+	want := p * float64(n*(n-1)/2)
+	got := float64(len(edges))
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("GNP edge count %v, expected ≈ %v", got, want)
+	}
+}
+
+func TestGNPEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if len(GNP(10, 0, rng)) != 0 {
+		t.Error("p=0 should give no edges")
+	}
+	if len(GNP(1, 0.5, rng)) != 0 {
+		t.Error("n=1 should give no edges")
+	}
+	if got := len(GNP(10, 1, rng)); got != 45 {
+		t.Errorf("p=1 should give complete graph, got %d edges", got)
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	edges := GNM(100, 500, rng)
+	checkEdgeList(t, 100, edges)
+	if len(edges) != 500 {
+		t.Fatalf("GNM returned %d edges, want 500", len(edges))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GNM should panic when m > C(n,2)")
+		}
+	}()
+	GNM(4, 7, rng)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 500, 10
+	edges := BarabasiAlbert(n, m, rng)
+	checkEdgeList(t, n, edges)
+	if want := (n - m) * m; len(edges) != want {
+		t.Fatalf("BA edge count %d, want %d", len(edges), want)
+	}
+	// Every arriving vertex v ≥ m has degree ≥ m.
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v := m; v < n; v++ {
+		if deg[v] < m {
+			t.Fatalf("vertex %d has degree %d < m", v, deg[v])
+		}
+	}
+	// Preferential attachment yields a heavy tail: max degree well above m.
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 3*m {
+		t.Fatalf("max degree %d suspiciously small for preferential attachment", maxDeg)
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bad := range [][2]int{{10, 0}, {10, 10}, {5, 9}} {
+		func() {
+			defer func() { recover() }()
+			BarabasiAlbert(bad[0], bad[1], rng)
+			t.Errorf("BarabasiAlbert(%d,%d) should panic", bad[0], bad[1])
+		}()
+	}
+}
+
+// globalClustering returns 3·triangles / open-triads of the edge list.
+func globalClustering(n int, edges [][2]int) float64 {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	triangles, triads := 0, 0
+	for u := 0; u < n; u++ {
+		nbrs := make([]int, 0, len(adj[u]))
+		for v := range adj[u] {
+			nbrs = append(nbrs, v)
+		}
+		d := len(nbrs)
+		triads += d * (d - 1) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if adj[nbrs[i]][nbrs[j]] {
+					triangles++
+				}
+			}
+		}
+	}
+	if triads == 0 {
+		return 0
+	}
+	return float64(triangles) / float64(triads) // triangles already counted 3×
+}
+
+func TestHolmeKimClustersMoreThanBA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, m := 800, 4
+	ba := BarabasiAlbert(n, m, rand.New(rand.NewSource(4)))
+	hk := HolmeKim(n, m, 0.8, rng)
+	checkEdgeList(t, n, hk)
+	if want := (n - m) * m; len(hk) != want {
+		t.Fatalf("HolmeKim edge count %d, want %d", len(hk), want)
+	}
+	cBA := globalClustering(n, ba)
+	cHK := globalClustering(n, hk)
+	if cHK < 2*cBA {
+		t.Fatalf("HolmeKim clustering %.4f not clearly above BA %.4f", cHK, cBA)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, k := 200, 6
+	// beta=0: exact ring lattice.
+	edges := WattsStrogatz(n, k, 0, rng)
+	checkEdgeList(t, n, edges)
+	if len(edges) != n*k/2 {
+		t.Fatalf("ring lattice has %d edges, want %d", len(edges), n*k/2)
+	}
+	// beta=0.3: same order of magnitude, valid edges.
+	edges = WattsStrogatz(n, k, 0.3, rng)
+	checkEdgeList(t, n, edges)
+	if len(edges) < n*k/2-n/10 {
+		t.Fatalf("rewired lattice lost too many edges: %d", len(edges))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd k should panic")
+		}
+	}()
+	WattsStrogatz(10, 3, 0.1, rng)
+}
+
+func TestPlantedCliques(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 60
+	edges, planted := PlantedCliques(n, 3, 6, 0.05, rng)
+	checkEdgeList(t, n, edges)
+	if len(planted) != 3 {
+		t.Fatalf("planted %d cliques", len(planted))
+	}
+	adj := make(map[int64]bool)
+	for _, e := range edges {
+		adj[pairKey(e[0], e[1])] = true
+	}
+	for _, clique := range planted {
+		if len(clique) != 6 {
+			t.Fatalf("planted clique size %d", len(clique))
+		}
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				if !adj[pairKey(clique[i], clique[j])] {
+					t.Fatalf("planted pair {%d,%d} missing", clique[i], clique[j])
+				}
+			}
+		}
+	}
+}
+
+func TestChungLuDegreeTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	weights := PowerLawWeights(n, 2.3, 12)
+	edges := ChungLu(weights, rng)
+	checkEdgeList(t, n, edges)
+	// Total degree should be near Σw (up to clamping loss at hubs).
+	want := 0.0
+	for _, w := range weights {
+		want += w
+	}
+	got := float64(2 * len(edges))
+	if got < want*0.75 || got > want*1.1 {
+		t.Fatalf("ChungLu total degree %v, expected near %v", got, want)
+	}
+}
+
+func TestPowerLawWeightsMean(t *testing.T) {
+	w := PowerLawWeights(1000, 2.5, 8)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if mean := sum / 1000; math.Abs(mean-8) > 1e-9 {
+		t.Fatalf("mean weight %v, want 8", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gamma <= 1 should panic")
+		}
+	}()
+	PowerLawWeights(10, 1.0, 5)
+}
+
+func TestTrimEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	edges := CompletePairs(10)
+	trimmed := TrimEdges(edges, 20, rng)
+	checkEdgeList(t, 10, trimmed)
+	if len(trimmed) != 20 {
+		t.Fatalf("trimmed to %d, want 20", len(trimmed))
+	}
+	if got := TrimEdges(edges, 100, rng); len(got) != len(edges) {
+		t.Fatal("trim above size should be identity")
+	}
+}
+
+func TestUniformProbRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pf := UniformProb()
+	for i := 0; i < 10000; i++ {
+		p := pf(rng, 0, 1)
+		if p <= 0 || p > 1 {
+			t.Fatalf("UniformProb emitted %v outside (0,1]", p)
+		}
+	}
+	pf2 := UniformRangeProb(0.4, 0.9)
+	for i := 0; i < 10000; i++ {
+		p := pf2(rng, 0, 1)
+		if p <= 0.4 || p > 0.9 {
+			t.Fatalf("UniformRangeProb emitted %v outside (0.4,0.9]", p)
+		}
+	}
+}
+
+func TestDyadicProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pf := DyadicProb(3)
+	allowed := map[float64]bool{1: true, 0.5: true, 0.25: true, 0.125: true}
+	for i := 0; i < 1000; i++ {
+		if p := pf(rng, 0, 0); !allowed[p] {
+			t.Fatalf("DyadicProb emitted %v", p)
+		}
+	}
+}
+
+func TestConstProb(t *testing.T) {
+	pf := ConstProb(0.42)
+	if pf(nil, 3, 4) != 0.42 {
+		t.Fatal("ConstProb wrong")
+	}
+}
+
+func TestBetaProbDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pf := BetaProb(2, 5)
+	sum := 0.0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		p := pf(rng, 0, 0)
+		if p <= 0 || p > 1 {
+			t.Fatalf("BetaProb emitted %v", p)
+		}
+		sum += p
+	}
+	mean := sum / trials
+	if math.Abs(mean-2.0/7.0) > 0.02 {
+		t.Fatalf("Beta(2,5) sample mean %v, want ≈ %v", mean, 2.0/7.0)
+	}
+}
+
+func TestMixtureProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pf := MixtureProb(
+		MixtureComponent{Weight: 1, F: ConstProb(0.2)},
+		MixtureComponent{Weight: 3, F: ConstProb(0.8)},
+	)
+	lo, hi := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch pf(rng, 0, 0) {
+		case 0.2:
+			lo++
+		case 0.8:
+			hi++
+		default:
+			t.Fatal("unexpected mixture value")
+		}
+	}
+	ratio := float64(hi) / float64(lo)
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Fatalf("mixture ratio %v, want ≈ 3", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-weight mixture should panic")
+		}
+	}()
+	MixtureProb(MixtureComponent{Weight: 0, F: ConstProb(0.5)})
+}
+
+func TestGammaSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range []float64{0.5, 1, 2, 7.5} {
+		sum := 0.0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += sampleGamma(rng, shape)
+		}
+		mean := sum / trials
+		if math.Abs(mean-shape) > 0.08*shape+0.03 {
+			t.Fatalf("Gamma(%v) sample mean %v", shape, mean)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive shape should panic")
+		}
+	}()
+	sampleGamma(rng, 0)
+}
+
+func TestTeamModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	model := TeamModel{Members: 200, Teams: 300, ActivityExp: 0.8,
+		SizeDist: []float64{0.2, 0.4, 0.3, 0.1}}
+	counts := model.CollabCounts(rng)
+	if len(counts) == 0 {
+		t.Fatal("no collaborations generated")
+	}
+	for pair, c := range counts {
+		if pair[0] >= pair[1] {
+			t.Fatalf("pair %v not normalized", pair)
+		}
+		if c < 1 {
+			t.Fatalf("count %d < 1", c)
+		}
+	}
+}
+
+func TestCoauthorshipProb(t *testing.T) {
+	if got := CoauthorshipProb(10); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("CoauthorshipProb(10) = %v", got)
+	}
+	if CoauthorshipProb(1) >= CoauthorshipProb(5) {
+		t.Fatal("probability must grow with collaboration count")
+	}
+}
+
+func TestBuildUncertain(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g, err := BuildUncertain(5, [][2]int{{0, 1}, {1, 2}}, ConstProb(0.5), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.NumVertices() != 5 {
+		t.Fatal("BuildUncertain wrong shape")
+	}
+	if _, err := BuildUncertain(5, [][2]int{{0, 0}}, ConstProb(0.5), rng); err == nil {
+		t.Fatal("self-loop should propagate error")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := BarabasiAlbert(300, 5, rand.New(rand.NewSource(99)))
+	b := BarabasiAlbert(300, 5, rand.New(rand.NewSource(99)))
+	if len(a) != len(b) {
+		t.Fatal("same seed, different edge counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+}
+
+func sameGraph(a, b *uncertain.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDatasetScalesAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset synthesis in -short mode")
+	}
+	cases := []struct {
+		name   string
+		build  func(int64) *uncertain.Graph
+		n, m   int
+		exactM bool
+	}{
+		{"PPILike", PPILike, 3751, 3692, true},
+		{"Gnutella08Like", Gnutella08Like, 6301, 20777, true},
+		{"CollaborationLike", CollaborationLike, 5242, 28980, true},
+		{"WikiVoteLike", WikiVoteLike, 7118, 103689, true},
+	}
+	for _, c := range cases {
+		g := c.build(1)
+		if g.NumVertices() != c.n {
+			t.Errorf("%s: n = %d, want %d", c.name, g.NumVertices(), c.n)
+		}
+		if c.exactM && g.NumEdges() != c.m {
+			t.Errorf("%s: m = %d, want %d", c.name, g.NumEdges(), c.m)
+		}
+		if !sameGraph(g, c.build(1)) {
+			t.Errorf("%s: not deterministic for equal seeds", c.name)
+		}
+		if sameGraph(g, c.build(2)) {
+			t.Errorf("%s: identical graphs for different seeds", c.name)
+		}
+	}
+}
+
+func TestDBLPLikeScaled(t *testing.T) {
+	dblpTestScale := 0.005
+	g := DBLPLike(dblpTestScale, 7) // ≈ 3424 authors
+	want := int(684911 * dblpTestScale)
+	if got := g.NumVertices(); got != want {
+		t.Fatalf("DBLPLike vertices = %d, want %d", got, want)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("DBLPLike generated no edges")
+	}
+	// Probabilities must follow the 1-e^{-c/10} law: all values in the
+	// discrete set {CoauthorshipProb(1), CoauthorshipProb(2), ...}.
+	valid := map[float64]bool{}
+	for c := 1; c <= 200; c++ {
+		valid[CoauthorshipProb(c)] = true
+	}
+	for _, e := range g.Edges() {
+		if !valid[e.P] {
+			t.Fatalf("edge probability %v not on the co-authorship law", e.P)
+		}
+	}
+}
+
+func TestPPIConfidencesBimodal(t *testing.T) {
+	g := PPILike(3)
+	h := uncertain.ProbHistogram(g, 10)
+	low := h[1] + h[2] + h[3] + h[4] // (0.1, 0.5]
+	high := h[7] + h[8] + h[9]       // (0.7, 1.0]
+	if low == 0 || high == 0 {
+		t.Fatalf("expected bimodal confidences, histogram %v", h)
+	}
+	if float64(high) < 0.15*float64(g.NumEdges()) {
+		t.Fatalf("high-confidence mode too small: %v of %d", high, g.NumEdges())
+	}
+}
+
+func TestTable1Registry(t *testing.T) {
+	ds := Table1(0.05)
+	if len(ds) != 13 {
+		t.Fatalf("Table1 has %d entries, want 13", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset name %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.Build == nil || d.PaperN <= 0 || d.PaperM <= 0 {
+			t.Fatalf("dataset %s malformed", d.Name)
+		}
+	}
+	for _, want := range []string{"Fruit-Fly", "DBLP10", "ca-GrQc", "wiki-vote", "BA5000", "BA10000"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TeamModel is an affiliation (bipartite) process: nTeams teams are formed,
+// each drawing a team size from SizeDist and members from a heavy-tailed
+// member-activity distribution (Zipf exponent ActivityExp). Collapsing the
+// bipartite structure yields a co-membership multigraph: every pair inside a
+// team gains one unit of collaboration count.
+//
+// This is the natural generative model for collaboration networks: teams are
+// papers and members are authors, so each paper induces a clique among its
+// authors — exactly the structure that makes ca-GrQc and DBLP clique-rich in
+// the paper's evaluation.
+type TeamModel struct {
+	Members     int
+	Teams       int
+	ActivityExp float64   // Zipf exponent of member activity (≈1.0–1.6)
+	SizeDist    []float64 // SizeDist[k] ∝ P(team size = k+1)
+}
+
+// CollabCounts runs the process and returns, for every co-membership pair,
+// the number of shared teams.
+func (m TeamModel) CollabCounts(rng *rand.Rand) map[[2]int]int {
+	if m.Members < 2 || m.Teams < 1 {
+		panic("gen: TeamModel requires at least 2 members and 1 team")
+	}
+	if len(m.SizeDist) == 0 {
+		panic("gen: TeamModel requires a team size distribution")
+	}
+	weights := sampleZipfWeights(m.Members, m.ActivityExp)
+	cw := cumulative(weights)
+	sizeCum := cumulative(m.SizeDist)
+
+	counts := make(map[[2]int]int)
+	team := make([]int, 0, len(m.SizeDist)+1)
+	inTeam := make(map[int]struct{}, len(m.SizeDist)+1)
+	for t := 0; t < m.Teams; t++ {
+		size := sampleIndex(rng, sizeCum) + 1
+		if size > m.Members {
+			size = m.Members
+		}
+		team = team[:0]
+		for k := range inTeam {
+			delete(inTeam, k)
+		}
+		for tries := 0; len(team) < size && tries < 50*size; tries++ {
+			a := sampleIndex(rng, cw)
+			if _, dup := inTeam[a]; dup {
+				continue
+			}
+			inTeam[a] = struct{}{}
+			team = append(team, a)
+		}
+		for i := 0; i < len(team); i++ {
+			for j := i + 1; j < len(team); j++ {
+				u, v := team[i], team[j]
+				if u > v {
+					u, v = v, u
+				}
+				counts[[2]int{u, v}]++
+			}
+		}
+	}
+	return counts
+}
+
+// CoauthorshipProb is the paper's DBLP edge probability: 1 − e^{−c/10} where
+// c is the number of co-authored papers ("strength" of the collaboration).
+func CoauthorshipProb(c int) float64 {
+	return 1 - math.Exp(-float64(c)/10)
+}
+
+// CoMembershipGraph collapses the team process into an uncertain graph using
+// prob(c) to map collaboration counts to edge probabilities. Members that
+// never co-occur stay isolated vertices.
+func CoMembershipGraph(m TeamModel, prob func(c int) float64, rng *rand.Rand) ([][2]int, []float64) {
+	counts := m.CollabCounts(rng)
+	edges := make([][2]int, 0, len(counts))
+	for e := range counts {
+		edges = append(edges, e)
+	}
+	sortEdges(edges)
+	probs := make([]float64, len(edges))
+	for i, e := range edges {
+		probs[i] = clampProb(prob(counts[e]))
+	}
+	return edges, probs
+}

@@ -1,0 +1,321 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// pairKey encodes the unordered pair {u,v} (u ≠ v) as a single int64.
+func pairKey(u, v int) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// GNP returns the edge set of an Erdős–Rényi G(n, p) graph. Implemented with
+// geometric skip sampling (Batagelj–Brandes), O(n + m) expected, so sparse
+// graphs with large n are cheap.
+func GNP(n int, p float64, rng *rand.Rand) [][2]int {
+	var edges [][2]int
+	if p <= 0 || n < 2 {
+		return edges
+	}
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		return edges
+	}
+	lq := math.Log(1 - p)
+	// Walk the implicit index of all C(n,2) pairs in row-major order,
+	// skipping a geometric number of non-edges each step.
+	v, w := 1, -1
+	for v < n {
+		r := rng.Float64()
+		for r == 0 {
+			r = rng.Float64()
+		}
+		w += 1 + int(math.Log(r)/lq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			edges = append(edges, [2]int{w, v})
+		}
+	}
+	return edges
+}
+
+// GNM returns m distinct uniformly random edges on n vertices. It panics if
+// m exceeds C(n,2), which indicates a malformed workload.
+func GNM(n, m int, rng *rand.Rand) [][2]int {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic("gen: GNM requested more edges than C(n,2)")
+	}
+	seen := make(map[int64]struct{}, m)
+	edges := make([][2]int, 0, m)
+	for len(edges) < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		k := pairKey(u, v)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	return edges
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: m0 = m seed vertices,
+// then each new vertex attaches to m distinct existing vertices chosen
+// proportionally to degree (the first attachment round is uniform). This is
+// the process behind the paper's BA5000–BA10000 inputs (m = 10 reproduces
+// their edge counts). Returns the edge list.
+func BarabasiAlbert(n, m int, rng *rand.Rand) [][2]int {
+	if m < 1 || n <= m {
+		panic("gen: BarabasiAlbert requires 1 <= m < n")
+	}
+	var edges [][2]int
+	// repeated holds each endpoint once per incident edge; sampling a
+	// uniform element of it is preferential attachment.
+	repeated := make([]int, 0, 2*(n-m)*m)
+	targets := make(map[int]struct{}, m)
+	targetList := make([]int, 0, m)
+	for v := m; v < n; v++ {
+		for t := range targets {
+			delete(targets, t)
+		}
+		targetList = targetList[:0]
+		sample := func() int {
+			if len(repeated) == 0 {
+				// First incoming vertex: attach uniformly to the seeds.
+				return rng.Intn(v)
+			}
+			return repeated[rng.Intn(len(repeated))]
+		}
+		for len(targetList) < m {
+			t := sample()
+			if _, dup := targets[t]; dup {
+				continue
+			}
+			targets[t] = struct{}{}
+			targetList = append(targetList, t)
+		}
+		// Append in draw order (not map order) so the growth process — and
+		// therefore the whole graph — is a deterministic function of the
+		// seed.
+		for _, t := range targetList {
+			edges = append(edges, [2]int{t, v})
+			repeated = append(repeated, t, v)
+		}
+	}
+	sortEdges(edges)
+	return edges
+}
+
+// HolmeKim grows a power-law-cluster graph: Barabási–Albert attachment where
+// each subsequent link of a new vertex is, with probability pt, a "triad
+// formation" step connecting to a random neighbor of the previous target
+// (creating a triangle). High pt yields the clustered, clique-rich structure
+// of collaboration networks such as ca-GrQc.
+func HolmeKim(n, m int, pt float64, rng *rand.Rand) [][2]int {
+	if m < 1 || n <= m {
+		panic("gen: HolmeKim requires 1 <= m < n")
+	}
+	// Adjacency as append-ordered lists so neighbor sampling is
+	// deterministic for a given seed (map iteration order is not).
+	adjList := make([][]int, n)
+	seen := make(map[int64]struct{}, (n-m)*m)
+	var edges [][2]int
+	repeated := make([]int, 0, 2*(n-m)*m)
+	addEdge := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		if _, dup := seen[pairKey(u, v)]; dup {
+			return false
+		}
+		seen[pairKey(u, v)] = struct{}{}
+		adjList[u] = append(adjList[u], v)
+		adjList[v] = append(adjList[v], u)
+		edges = append(edges, [2]int{u, v})
+		repeated = append(repeated, u, v)
+		return true
+	}
+	randomNeighbor := func(u int) int {
+		if len(adjList[u]) == 0 {
+			return -1
+		}
+		return adjList[u][rng.Intn(len(adjList[u]))]
+	}
+	for v := m; v < n; v++ {
+		prev := -1
+		links := 0
+		// failures counts consecutive unsuccessful attempts for the current
+		// link; after a burst of collisions (e.g. the first arriving vertex,
+		// whose preferential pool contains only itself and its first target)
+		// fall back to uniform sampling over the existing vertices, which
+		// always makes progress because v has fewer than m < v+1 neighbors.
+		failures := 0
+		for links < m {
+			if prev >= 0 && failures < 16 && rng.Float64() < pt {
+				// Triad formation: close a triangle through prev.
+				if w := randomNeighbor(prev); w >= 0 && addEdge(w, v) {
+					prev = w
+					links++
+					failures = 0
+					continue
+				}
+			}
+			var t int
+			if len(repeated) == 0 || failures >= 16 {
+				t = rng.Intn(v)
+			} else {
+				t = repeated[rng.Intn(len(repeated))]
+			}
+			if addEdge(t, v) {
+				prev = t
+				links++
+				failures = 0
+			} else {
+				failures++
+			}
+		}
+	}
+	sortEdges(edges)
+	return edges
+}
+
+// WattsStrogatz builds a small-world ring lattice on n vertices with k
+// neighbors per vertex (k even), each edge rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) [][2]int {
+	if k%2 != 0 || k >= n || k < 2 {
+		panic("gen: WattsStrogatz requires even k with 2 <= k < n")
+	}
+	seen := make(map[int64]struct{}, n*k/2)
+	var edges [][2]int
+	add := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		key := pairKey(u, v)
+		if _, dup := seen[key]; dup {
+			return false
+		}
+		seen[key] = struct{}{}
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, [2]int{u, v})
+		return true
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				// Rewire to a uniformly random non-duplicate endpoint.
+				for tries := 0; tries < 100; tries++ {
+					w := rng.Intn(n)
+					if add(u, w) {
+						v = -1
+						break
+					}
+				}
+				if v == -1 {
+					continue
+				}
+			}
+			add(u, v)
+		}
+	}
+	sortEdges(edges)
+	return edges
+}
+
+// PlantedCliques overlays numCliques vertex subsets of size cliqueSize, made
+// complete, on a sparse G(n, pBackground) background. Returns the combined
+// deduplicated edge list and the planted vertex sets; handy for tests that
+// need graphs with known dense substructure.
+func PlantedCliques(n, numCliques, cliqueSize int, pBackground float64, rng *rand.Rand) ([][2]int, [][]int) {
+	if cliqueSize > n {
+		panic("gen: planted clique larger than graph")
+	}
+	seen := make(map[int64]struct{})
+	var edges [][2]int
+	add := func(u, v int) {
+		key := pairKey(u, v)
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	for _, e := range GNP(n, pBackground, rng) {
+		add(e[0], e[1])
+	}
+	planted := make([][]int, numCliques)
+	for c := range planted {
+		perm := rng.Perm(n)[:cliqueSize]
+		sort.Ints(perm)
+		planted[c] = perm
+		for i := 0; i < cliqueSize; i++ {
+			for j := i + 1; j < cliqueSize; j++ {
+				add(perm[i], perm[j])
+			}
+		}
+	}
+	sortEdges(edges)
+	return edges, planted
+}
+
+// CompletePairs returns all C(n,2) pairs.
+func CompletePairs(n int) [][2]int {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return edges
+}
+
+// TrimEdges returns a copy of edges with exactly target edges, dropping a
+// uniformly random subset. If target ≥ len(edges) the input is returned
+// unchanged. Dataset synthesizers use this to hit the exact edge counts of
+// Table 1.
+func TrimEdges(edges [][2]int, target int, rng *rand.Rand) [][2]int {
+	if target >= len(edges) {
+		return edges
+	}
+	cp := make([][2]int, len(edges))
+	copy(cp, edges)
+	rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	cp = cp[:target]
+	sortEdges(cp)
+	return cp
+}
+
+func sortEdges(edges [][2]int) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+}

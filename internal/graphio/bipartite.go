@@ -1,0 +1,96 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+)
+
+// WriteBipartiteText writes an uncertain bipartite graph in a line-oriented
+// text format (extension .ubg):
+//
+//	# comment
+//	bipartite 3 4
+//	0 2 0.5
+//
+// The mandatory "bipartite nL nR" directive fixes the side sizes; edge lines
+// are "l r p" with each endpoint 0-based in its own side.
+func WriteBipartiteText(w io.Writer, g *ubiclique.Bipartite) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "bipartite %d %d\n", g.NumLeft(), g.NumRight()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %s\n", e.L, e.R, strconv.FormatFloat(e.P, 'g', 17, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBipartiteText parses the bipartite text format. The "bipartite nL nR"
+// directive must precede every edge line.
+func ReadBipartiteText(r io.Reader) (*ubiclique.Bipartite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *ubiclique.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "bipartite" {
+			if b != nil {
+				return nil, fmt.Errorf("graphio: line %d: repeated bipartite directive", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graphio: line %d: want 'bipartite nL nR'", line)
+			}
+			nL, err := strconv.Atoi(fields[1])
+			if err != nil || nL < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad left size %q", line, fields[1])
+			}
+			nR, err := strconv.Atoi(fields[2])
+			if err != nil || nR < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad right size %q", line, fields[2])
+			}
+			b = ubiclique.NewBuilder(nL, nR)
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("graphio: line %d: edge before bipartite directive", line)
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graphio: line %d: want 'l r p', got %q", line, text)
+		}
+		l, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad left vertex %q", line, fields[0])
+		}
+		rr, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad right vertex %q", line, fields[1])
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad probability %q", line, fields[2])
+		}
+		if err := b.AddEdge(l, rr, p); err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graphio: missing bipartite directive")
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,365 @@
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// randomGraph and graphsEqual live in graphio_test.go.
+
+// --- JSON ---
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := randomGraph(20, 0.3, 11)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("JSON round trip changed the graph")
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "vertices 3",
+		"unknown field":  `{"vertices": 2, "nodes": []}`,
+		"negative count": `{"vertices": -1, "edges": []}`,
+		"self loop":      `{"vertices": 2, "edges": [{"u":1,"v":1,"p":0.5}]}`,
+		"bad prob":       `{"vertices": 2, "edges": [{"u":0,"v":1,"p":2}]}`,
+		"range":          `{"vertices": 2, "edges": [{"u":0,"v":5,"p":0.5}]}`,
+		"duplicate":      `{"vertices": 2, "edges": [{"u":0,"v":1,"p":0.5},{"u":1,"v":0,"p":0.5}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestJSONEmptyGraph(t *testing.T) {
+	g := uncertain.NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 0 || back.NumEdges() != 0 {
+		t.Fatal("empty graph round trip grew")
+	}
+}
+
+// --- gzip + sniffing ---
+
+func TestSaveLoadAllExtensions(t *testing.T) {
+	g := randomGraph(25, 0.3, 22)
+	dir := t.TempDir()
+	for _, name := range []string{
+		"g.ug", "g.ugb", "g.json",
+		"g.ug.gz", "g.ugb.gz", "g.json.gz",
+		"g.unknownext",
+	} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatalf("%s: round trip changed the graph", name)
+		}
+	}
+}
+
+func TestGzipFilesAreCompressed(t *testing.T) {
+	g := randomGraph(60, 0.4, 33)
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "g.ug")
+	zipped := filepath.Join(dir, "g.ug.gz")
+	if err := SaveFile(plain, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(zipped, g); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := os.Stat(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs, err := os.Stat(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zs.Size() >= ps.Size() {
+		t.Fatalf("gzip file (%d bytes) not smaller than plain (%d bytes)", zs.Size(), ps.Size())
+	}
+	// And the payload really is a gzip stream.
+	raw, err := os.ReadFile(zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("gzip magic missing from .gz file")
+	}
+}
+
+func TestReadAnySniffsFormats(t *testing.T) {
+	g := randomGraph(12, 0.5, 44)
+	writers := map[string]func(*bytes.Buffer) error{
+		"text":   func(b *bytes.Buffer) error { return WriteText(b, g) },
+		"binary": func(b *bytes.Buffer) error { return WriteBinary(b, g) },
+		"json":   func(b *bytes.Buffer) error { return WriteJSON(b, g) },
+	}
+	for name, write := range writers {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAny(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatalf("%s: sniffed round trip changed the graph", name)
+		}
+		// Same payload gzipped.
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		if _, err := zw.Write(buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		back, err = ReadAny(&zbuf)
+		if err != nil {
+			t.Fatalf("%s gzipped: %v", name, err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatalf("%s gzipped: round trip changed the graph", name)
+		}
+	}
+}
+
+// --- failure injection ---
+
+func TestReadAnyCorruptGzip(t *testing.T) {
+	// Valid gzip magic followed by garbage.
+	corrupt := append([]byte{0x1f, 0x8b}, bytes.Repeat([]byte{0xff}, 32)...)
+	if _, err := ReadAny(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt gzip stream accepted")
+	}
+}
+
+func TestReadBinaryTruncations(t *testing.T) {
+	g := randomGraph(10, 0.5, 55)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail, never crash or succeed.
+	for _, cut := range []int{0, 1, 3, 4, 7, 8, 15, 20, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("prefix of %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestReadBinaryCorruptions(t *testing.T) {
+	g := randomGraph(6, 0.6, 66)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	badMagic := append([]byte{}, full...)
+	badMagic[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(badMagic)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	badVersion := append([]byte{}, full...)
+	badVersion[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(badVersion)); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	// Implausibly large header must be rejected before allocation.
+	hugeHeader := append([]byte{}, full[:8]...)
+	hugeHeader = append(hugeHeader, bytes.Repeat([]byte{0xff}, 16)...)
+	if _, err := ReadBinary(bytes.NewReader(hugeHeader)); err == nil {
+		t.Error("implausible header accepted")
+	}
+}
+
+// errWriter fails after a fixed number of bytes, exercising the error
+// propagation of every writer.
+type errWriter struct {
+	remaining int
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errors.New("disk full")
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestWritersPropagateErrors(t *testing.T) {
+	// ~900 edges: 14 KB binary, larger in text/JSON, so every budget below
+	// is exceeded in all three formats.
+	g := randomGraph(60, 0.5, 77)
+	// The writers buffer internally (bufio defaults to 4096 bytes), so give
+	// budgets both below and above one buffer flush.
+	for _, budget := range []int{0, 10, 5000} {
+		if err := WriteText(&errWriter{remaining: budget}, g); err == nil {
+			t.Errorf("WriteText survived a failing writer (budget %d)", budget)
+		}
+		if err := WriteBinary(&errWriter{remaining: budget}, g); err == nil {
+			t.Errorf("WriteBinary survived a failing writer (budget %d)", budget)
+		}
+		if err := WriteJSON(&errWriter{remaining: budget}, g); err == nil {
+			t.Errorf("WriteJSON survived a failing writer (budget %d)", budget)
+		}
+	}
+}
+
+func TestSaveFileToUnwritablePath(t *testing.T) {
+	g := randomGraph(3, 1, 88)
+	if err := SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "g.ug"), g); err == nil {
+		t.Fatal("SaveFile into a missing directory succeeded")
+	}
+}
+
+// --- bipartite text format ---
+
+func randomBipartiteGraph(t *testing.T, nL, nR int, density float64, seed int64) *ubiclique.Bipartite {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := ubiclique.NewBuilder(nL, nR)
+	for l := 0; l < nL; l++ {
+		for r := 0; r < nR; r++ {
+			if rng.Float64() < density {
+				if err := b.AddEdge(l, r, 1-rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestBipartiteRoundTrip(t *testing.T) {
+	g := randomBipartiteGraph(t, 9, 7, 0.4, 99)
+	var buf bytes.Buffer
+	if err := WriteBipartiteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBipartiteText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumLeft() != g.NumLeft() || back.NumRight() != g.NumRight() ||
+		back.NumEdges() != g.NumEdges() {
+		t.Fatal("bipartite round trip changed sizes")
+	}
+	ae, be := g.Edges(), back.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+func TestBipartiteRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no directive":       "0 1 0.5\n",
+		"repeated directive": "bipartite 2 2\nbipartite 2 2\n",
+		"short directive":    "bipartite 2\n",
+		"negative side":      "bipartite -1 2\n",
+		"bad edge arity":     "bipartite 2 2\n0 1\n",
+		"bad left":           "bipartite 2 2\nx 1 0.5\n",
+		"bad right":          "bipartite 2 2\n0 y 0.5\n",
+		"bad prob":           "bipartite 2 2\n0 1 zebra\n",
+		"range":              "bipartite 2 2\n0 7 0.5\n",
+		"dup":                "bipartite 2 2\n0 1 0.5\n0 1 0.5\n",
+		"empty":              "",
+	}
+	for name, in := range cases {
+		if _, err := ReadBipartiteText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestBipartiteCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nbipartite 2 3\n# another\n0 2 0.5\n\n1 0 1\n"
+	g, err := ReadBipartiteText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLeft() != 2 || g.NumRight() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %d/%d/%d, want 2/3/2", g.NumLeft(), g.NumRight(), g.NumEdges())
+	}
+}
+
+// --- fuzz (runs its seed corpus under plain `go test`) ---
+
+func FuzzReadAny(f *testing.F) {
+	g := randomGraph(6, 0.5, 101)
+	var text, bin, js bytes.Buffer
+	if err := WriteText(&text, g); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteBinary(&bin, g); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteJSON(&js, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(text.Bytes())
+	f.Add(bin.Bytes())
+	f.Add(js.Bytes())
+	f.Add([]byte("vertices 3\n0 1 0.5\n"))
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Add([]byte("UGRF"))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are fine.
+		g, err := ReadAny(bytes.NewReader(data))
+		if err == nil && g != nil {
+			// Whatever parsed must re-serialize.
+			var buf bytes.Buffer
+			if err := WriteText(&buf, g); err != nil {
+				t.Fatalf("re-serialization failed: %v", err)
+			}
+		}
+	})
+}

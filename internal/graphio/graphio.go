@@ -1,0 +1,265 @@
+// Package graphio reads and writes uncertain graphs in two formats:
+//
+// Text (extension .ug): line-oriented, human-editable.
+//
+//	# comment
+//	vertices 4
+//	0 1 0.5
+//	2 3 0.25
+//
+// The "vertices N" directive is optional; without it the vertex count is
+// inferred as max endpoint + 1 (isolated trailing vertices then need the
+// directive). Edge lines are "u v p" with 0-based endpoints.
+//
+// Binary (extension .ugb): "UGRF" magic, format version, then fixed-width
+// little-endian records — compact and fast for the larger Table 1 graphs.
+//
+// JSON (extension .json): {"vertices": N, "edges": [{"u","v","p"}, …]} for
+// interchange with external tooling.
+//
+// Any format gzip-compresses transparently with a ".gz" suffix, and LoadFile
+// sniffs compression and format from content rather than trusting the
+// extension. Uncertain bipartite graphs (internal/ubiclique) have their own
+// text format (extension .ubg) with a "bipartite nL nR" directive.
+package graphio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// WriteText writes g in the text format, edges sorted by (U,V).
+func WriteText(w io.Writer, g *uncertain.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "vertices %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %s\n", e.U, e.V, strconv.FormatFloat(e.P, 'g', 17, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) (*uncertain.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := -1
+	var edges []uncertain.Edge
+	maxV := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "vertices" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: malformed vertices directive", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[1])
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graphio: line %d: want 'u v p', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", line, fields[1])
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad probability %q", line, fields[2])
+		}
+		edges = append(edges, uncertain.Edge{U: u, V: v, P: p})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if n < 0 {
+		n = maxV + 1
+	}
+	if maxV >= n {
+		return nil, fmt.Errorf("graphio: edge endpoint %d exceeds declared vertex count %d", maxV, n)
+	}
+	g, err := uncertain.FromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}
+
+var binaryMagic = [4]byte{'U', 'G', 'R', 'F'}
+
+const binaryVersion uint32 = 1
+
+// WriteBinary writes g in the binary format.
+func WriteBinary(w io.Writer, g *uncertain.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{binaryVersion, uint64(g.NumVertices()), uint64(g.NumEdges())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(e.U)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(e.V)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.P); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*uncertain.Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graphio: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graphio: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("graphio: unsupported version %d", version)
+	}
+	var n, m uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n > 1<<31 || m > 1<<33 {
+		return nil, fmt.Errorf("graphio: implausible header n=%d m=%d", n, m)
+	}
+	b := uncertain.NewBuilder(int(n))
+	for i := uint64(0); i < m; i++ {
+		var u, v uint32
+		var p float64
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
+			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
+		}
+		if err := b.AddEdge(int(u), int(v), p); err != nil {
+			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// SaveFile writes g to path, choosing the format by extension: ".ugb" is
+// binary, ".json" is JSON, anything else text. A trailing ".gz" on any of
+// these compresses the output transparently (e.g. "graph.ugb.gz").
+func SaveFile(path string, g *uncertain.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	base := path
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		base = strings.TrimSuffix(path, ".gz")
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	switch {
+	case strings.HasSuffix(base, ".ugb"):
+		err = WriteBinary(w, g)
+	case strings.HasSuffix(base, ".json"):
+		err = WriteJSON(w, g)
+	default:
+		err = WriteText(w, g)
+	}
+	if err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// LoadFile reads a graph from path. The format is sniffed from content, not
+// from the extension: gzip streams are decompressed, the "UGRF" magic
+// selects the binary decoder, a leading '{' the JSON decoder, and anything
+// else the text decoder.
+func LoadFile(path string) (*uncertain.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAny(f)
+}
+
+// ReadAny decodes a graph from r, sniffing gzip compression and the three
+// formats as LoadFile does.
+func ReadAny(r io.Reader) (*uncertain.Graph, error) {
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(2); err == nil && [2]byte(head) == gzipMagic {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: opening gzip stream: %w", err)
+		}
+		defer zr.Close()
+		br = bufio.NewReader(zr)
+	}
+	if head, err := br.Peek(4); err == nil && [4]byte(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	if head, err := br.Peek(1); err == nil && head[0] == '{' {
+		return ReadJSON(br)
+	}
+	return ReadText(br)
+}

@@ -1,0 +1,230 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func randomGraph(n int, density float64, seed int64) *uncertain.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := uncertain.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				_ = b.AddEdge(u, v, 1-rng.Float64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *uncertain.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := randomGraph(40, 0.3, 1)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("text round trip changed the graph")
+	}
+}
+
+func TestTextRoundTripPreservesProbabilitiesExactly(t *testing.T) {
+	// 17 significant digits round-trip any float64 exactly.
+	g := randomGraph(20, 0.5, 2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := g.Edges(), got.Edges()
+	for i := range ae {
+		if ae[i].P != be[i].P {
+			t.Fatalf("probability changed: %v → %v", ae[i].P, be[i].P)
+		}
+	}
+}
+
+func TestTextIsolatedVertices(t *testing.T) {
+	b := uncertain.NewBuilder(5)
+	_ = b.AddEdge(0, 1, 0.5)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 5 {
+		t.Fatalf("isolated vertices lost: n = %d", got.NumVertices())
+	}
+}
+
+func TestReadTextCommentsAndBlankLines(t *testing.T) {
+	in := `# a comment
+
+vertices 3
+# another
+0 1 0.5
+1 2 0.25
+`
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadTextInfersVertexCount(t *testing.T) {
+	g, err := ReadText(strings.NewReader("0 7 0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 8 {
+		t.Fatalf("inferred n = %d, want 8", g.NumVertices())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"short edge line":        "0 1\n",
+		"bad vertex":             "x 1 0.5\n",
+		"bad second vertex":      "1 y 0.5\n",
+		"bad probability":        "0 1 zebra\n",
+		"bad directive":          "vertices\n",
+		"negative count":         "vertices -1\n",
+		"endpoint out of range":  "vertices 2\n0 5 0.5\n",
+		"probability out of rng": "0 1 1.5\n",
+		"self loop":              "1 1 0.5\n",
+		"duplicate edge":         "0 1 0.5\n1 0 0.5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(60, 0.2, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph file"))); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("UG"))); err == nil {
+		t.Fatal("truncated magic should fail")
+	}
+	// Valid magic, bogus version.
+	var buf bytes.Buffer
+	buf.WriteString("UGRF")
+	buf.Write([]byte{9, 0, 0, 0})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("bad version should fail")
+	}
+}
+
+func TestBinaryTruncatedEdges(t *testing.T) {
+	g := randomGraph(10, 0.5, 4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+}
+
+func TestSaveLoadFileBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(30, 0.3, 5)
+	for _, name := range []string{"g.ug", "g.ugb"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatalf("%s: file round trip changed the graph", name)
+		}
+	}
+}
+
+func TestLoadFileSniffsBinaryWithWrongExtension(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(15, 0.4, 6)
+	path := filepath.Join(dir, "mislabeled.ug")
+	f, err := openForWrite(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("sniffed load changed the graph")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.ug")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+// openForWrite is a tiny indirection so tests can create files without
+// importing os at every call site.
+func openForWrite(path string) (*os.File, error) { return os.Create(path) }

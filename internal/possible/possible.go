@@ -1,0 +1,164 @@
+// Package possible implements the possible-world semantics of uncertain
+// graphs: an uncertain graph G = (V, E, p) is a distribution over the 2^m
+// subgraphs of (V, E), where each edge appears independently with its
+// probability. The package provides world sampling, Monte-Carlo estimation
+// of clique probabilities, and exact expectation by exhaustive world
+// enumeration for tiny graphs — the independent ground truth against which
+// Observation 1 (clq(C) = ∏ p(e)) and the enumerators' reported
+// probabilities are validated.
+package possible
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/uncertain-graphs/mule/internal/det"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// SampleWorld draws one possible world: a deterministic graph containing
+// each edge e of g independently with probability p(e).
+func SampleWorld(g *uncertain.Graph, rng *rand.Rand) *det.Graph {
+	b := det.NewBuilder(g.NumVertices())
+	for _, e := range g.Edges() {
+		if rng.Float64() < e.P {
+			// Cannot fail: edges come from a valid uncertain graph.
+			_ = b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.Build()
+}
+
+// CliqueProbMC estimates clq(set, G) as the fraction of sampled worlds in
+// which set forms a clique. Only the C(|set|,2) induced edges are sampled,
+// so each trial costs O(|set|²).
+func CliqueProbMC(g *uncertain.Graph, set []int, samples int, rng *rand.Rand) float64 {
+	if samples <= 0 {
+		panic("possible: samples must be positive")
+	}
+	// Collect induced edge probabilities once. A missing support edge means
+	// the set can never be a clique.
+	var probs []float64
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			p, ok := g.Prob(set[i], set[j])
+			if !ok {
+				return 0
+			}
+			probs = append(probs, p)
+		}
+	}
+	hits := 0
+trials:
+	for t := 0; t < samples; t++ {
+		for _, p := range probs {
+			if rng.Float64() >= p {
+				continue trials
+			}
+		}
+		hits++
+	}
+	return float64(hits) / float64(samples)
+}
+
+// ExactCliqueProbByWorlds computes clq(set, G) by enumerating every possible
+// world of the whole graph and summing the probability mass of worlds where
+// set is a clique. Exponential in m; it exists to validate Observation 1
+// without assuming edge independence is exploited correctly elsewhere.
+// Graphs with more than 20 edges are rejected.
+func ExactCliqueProbByWorlds(g *uncertain.Graph, set []int) (float64, error) {
+	edges := g.Edges()
+	m := len(edges)
+	if m > 20 {
+		return 0, fmt.Errorf("possible: exact world enumeration limited to m <= 20, got %d", m)
+	}
+	total := 0.0
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		pw := 1.0
+		b := det.NewBuilder(g.NumVertices())
+		for i, e := range edges {
+			if mask&(1<<uint(i)) != 0 {
+				pw *= e.P
+				_ = b.AddEdge(e.U, e.V)
+			} else {
+				pw *= 1 - e.P
+			}
+		}
+		if pw == 0 {
+			continue
+		}
+		if b.Build().IsClique(set) {
+			total += pw
+		}
+	}
+	return total, nil
+}
+
+// ExpectedMaximalCliques computes, by exhaustive world enumeration, the
+// expected number of deterministic maximal cliques in a sampled world.
+// This quantity is NOT the number of α-maximal cliques — the package
+// documents the distinction the paper's problem definition draws — but it is
+// useful as a workload statistic. Limited to m ≤ 18.
+func ExpectedMaximalCliques(g *uncertain.Graph) (float64, error) {
+	edges := g.Edges()
+	m := len(edges)
+	if m > 18 {
+		return 0, fmt.Errorf("possible: world enumeration limited to m <= 18, got %d", m)
+	}
+	total := 0.0
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		pw := 1.0
+		b := det.NewBuilder(g.NumVertices())
+		for i, e := range edges {
+			if mask&(1<<uint(i)) != 0 {
+				pw *= e.P
+				_ = b.AddEdge(e.U, e.V)
+			} else {
+				pw *= 1 - e.P
+			}
+		}
+		if pw == 0 {
+			continue
+		}
+		total += pw * float64(det.CountMaximalCliques(b.Build()))
+	}
+	return total, nil
+}
+
+// ExpectedMaximalCliquesMC estimates the expected number of deterministic
+// maximal cliques in a sampled world by Monte-Carlo: it samples `samples`
+// worlds and averages their Bron–Kerbosch maximal-clique counts. Unlike
+// ExpectedMaximalCliques it has no edge-count limit, at the price of
+// sampling error (the per-world counts can have heavy tails on dense
+// graphs, so the returned standard error should be inspected).
+func ExpectedMaximalCliquesMC(g *uncertain.Graph, samples int, rng *rand.Rand) (mean, stderr float64, err error) {
+	if samples <= 0 {
+		return 0, 0, fmt.Errorf("possible: sample count %d not positive", samples)
+	}
+	sum, sumSq := 0.0, 0.0
+	for s := 0; s < samples; s++ {
+		world := SampleWorld(g, rng)
+		c := float64(det.CountMaximalCliques(world))
+		sum += c
+		sumSq += c * c
+	}
+	mean = sum / float64(samples)
+	variance := sumSq/float64(samples) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	stderr = math.Sqrt(variance / float64(samples))
+	return mean, stderr, nil
+}
+
+// MCConfidenceRadius returns the half-width of a normal-approximation
+// confidence interval for a Monte-Carlo probability estimate with the given
+// sample count at z standard deviations (z ≈ 1.96 for 95%). Worst case
+// (p = 1/2) is assumed.
+func MCConfidenceRadius(samples int, z float64) float64 {
+	if samples <= 0 {
+		return math.Inf(1)
+	}
+	return z * 0.5 / math.Sqrt(float64(samples))
+}

@@ -1,0 +1,228 @@
+package possible
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func triangleGraph(p01, p02, p12 float64) *uncertain.Graph {
+	g, err := uncertain.FromEdges(3, []uncertain.Edge{
+		{U: 0, V: 1, P: p01}, {U: 0, V: 2, P: p02}, {U: 1, V: 2, P: p12},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestSampleWorldEdgeFrequencies(t *testing.T) {
+	g := triangleGraph(0.2, 0.5, 0.9)
+	rng := rand.New(rand.NewSource(1))
+	const trials = 20000
+	counts := map[[2]int]int{}
+	for i := 0; i < trials; i++ {
+		w := SampleWorld(g, rng)
+		for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+			if w.HasEdge(e[0], e[1]) {
+				counts[e]++
+			}
+		}
+	}
+	want := map[[2]int]float64{{0, 1}: 0.2, {0, 2}: 0.5, {1, 2}: 0.9}
+	for e, p := range want {
+		got := float64(counts[e]) / trials
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("edge %v frequency %v, want ≈ %v", e, got, p)
+		}
+	}
+}
+
+func TestSampleWorldExtremes(t *testing.T) {
+	g, _ := uncertain.FromEdges(2, []uncertain.Edge{{U: 0, V: 1, P: 1}})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		if !SampleWorld(g, rng).HasEdge(0, 1) {
+			t.Fatal("p=1 edge missing from sampled world")
+		}
+	}
+}
+
+// Observation 1 validated against exhaustive world enumeration: the product
+// formula equals the true probability mass of clique-containing worlds.
+func TestObservation1ExactWorlds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(3) // ≤ 5 vertices → ≤ 10 edges → ≤ 1024 worlds
+		b := uncertain.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.8 {
+					_ = b.AddEdge(u, v, 0.1+0.9*rng.Float64())
+				}
+			}
+		}
+		g := b.Build()
+		// Random subset.
+		var set []int
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				set = append(set, v)
+			}
+		}
+		exact, err := ExactCliqueProbByWorlds(g, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formula := g.CliqueProb(set)
+		if math.Abs(exact-formula) > 1e-9 {
+			t.Fatalf("trial %d: worlds %v vs product %v for set %v (edges %v)",
+				trial, exact, formula, set, g.Edges())
+		}
+	}
+}
+
+func TestExactCliqueProbRejectsLargeGraphs(t *testing.T) {
+	b := uncertain.NewBuilder(30)
+	for u := 0; u < 21; u++ {
+		_ = b.AddEdge(u, u+1, 0.5)
+	}
+	if _, err := ExactCliqueProbByWorlds(b.Build(), []int{0, 1}); err == nil {
+		t.Fatal("expected error for m > 20")
+	}
+}
+
+func TestCliqueProbMCMatchesFormula(t *testing.T) {
+	g := triangleGraph(0.8, 0.7, 0.6)
+	rng := rand.New(rand.NewSource(4))
+	set := []int{0, 1, 2}
+	want := 0.8 * 0.7 * 0.6
+	got := CliqueProbMC(g, set, 40000, rng)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("MC estimate %v, want ≈ %v", got, want)
+	}
+}
+
+func TestCliqueProbMCNonClique(t *testing.T) {
+	g, _ := uncertain.FromEdges(3, []uncertain.Edge{{U: 0, V: 1, P: 0.9}})
+	rng := rand.New(rand.NewSource(5))
+	if got := CliqueProbMC(g, []int{0, 1, 2}, 100, rng); got != 0 {
+		t.Fatalf("MC on non-support-clique = %v, want 0", got)
+	}
+}
+
+func TestCliqueProbMCPanicsOnZeroSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CliqueProbMC(triangleGraph(0.5, 0.5, 0.5), []int{0, 1}, 0, nil)
+}
+
+// Property: MC estimate converges to the product formula within the
+// statistical confidence radius (quick-checked over random triangles).
+func TestQuickMCWithinConfidence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(a, b, c uint8) bool {
+		p01 := 0.05 + 0.9*float64(a)/255
+		p02 := 0.05 + 0.9*float64(b)/255
+		p12 := 0.05 + 0.9*float64(c)/255
+		g := triangleGraph(p01, p02, p12)
+		const samples = 5000
+		got := CliqueProbMC(g, []int{0, 1, 2}, samples, rng)
+		want := p01 * p02 * p12
+		// 5 standard deviations: essentially never fails honestly.
+		return math.Abs(got-want) <= MCConfidenceRadius(samples, 5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedMaximalCliques(t *testing.T) {
+	// Single edge with probability p: world with edge has 1 maximal clique
+	// ({0,1}); world without has 2 (the singletons).
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		g, _ := uncertain.FromEdges(2, []uncertain.Edge{{U: 0, V: 1, P: p}})
+		got, err := ExpectedMaximalCliques(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p*1 + (1-p)*2
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v: expected cliques %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestMCConfidenceRadius(t *testing.T) {
+	if !math.IsInf(MCConfidenceRadius(0, 2), 1) {
+		t.Error("zero samples should give infinite radius")
+	}
+	r1, r2 := MCConfidenceRadius(100, 2), MCConfidenceRadius(10000, 2)
+	if r2*10 != r1 {
+		t.Errorf("radius should shrink as 1/√samples: %v vs %v", r1, r2)
+	}
+}
+
+func TestExpectedMaximalCliquesMCMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		// Small graphs so the exact 2^m enumeration is available.
+		g := randomGraphPossible(6, 0.5, rng)
+		if g.NumEdges() > 18 {
+			continue
+		}
+		exact, err := ExpectedMaximalCliques(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, stderr, err := ExpectedMaximalCliquesMC(g, 40000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 5-sigma band plus a floor for the tiny-variance case.
+		tol := 5*stderr + 0.05
+		if math.Abs(mean-exact) > tol {
+			t.Fatalf("trial %d: MC %v ± %v vs exact %v", trial, mean, stderr, exact)
+		}
+	}
+}
+
+func TestExpectedMaximalCliquesMCErrors(t *testing.T) {
+	g := uncertain.NewBuilder(3).Build()
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := ExpectedMaximalCliquesMC(g, 0, rng); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	// Edgeless graph: every world has exactly n singleton maximal cliques…
+	// except that Bron–Kerbosch counts isolated vertices as singletons.
+	mean, stderr, err := ExpectedMaximalCliquesMC(g, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stderr != 0 {
+		t.Fatalf("deterministic input produced stderr %v", stderr)
+	}
+	if mean != 3 {
+		t.Fatalf("edgeless mean %v, want 3 singletons", mean)
+	}
+}
+
+// randomGraphPossible builds a G(n, density) uncertain graph with uniform
+// probabilities for the MC-vs-exact comparisons.
+func randomGraphPossible(n int, density float64, rng *rand.Rand) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				_ = b.AddEdge(u, v, 1-rng.Float64())
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,95 @@
+package possible
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/uncertain-graphs/mule/internal/det"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// This file implements subgraph reliability — the probability that a vertex
+// set is CONNECTED in a sampled world. The paper's related-work section
+// (§1.2) contrasts its problem with reliable-subgraph mining (Hintsanen &
+// Toivonen; Jin et al.): a reliable subgraph need only be connected with
+// high probability and may be sparse, whereas an α-clique must be fully
+// connected with high probability. These estimators make that contrast
+// measurable: for any vertex set, ConnectedProbMC ≥ CliqueProbMC, usually by
+// a wide margin.
+
+// ConnectedProbMC estimates the probability that set is connected in a
+// world sampled from g, using the given number of Monte-Carlo samples. Only
+// the edges induced by set are sampled.
+func ConnectedProbMC(g *uncertain.Graph, set []int, samples int, rng *rand.Rand) float64 {
+	if samples <= 0 {
+		panic("possible: samples must be positive")
+	}
+	if len(set) <= 1 {
+		return 1
+	}
+	sub, _, err := g.InducedSubgraph(set)
+	if err != nil {
+		panic(fmt.Sprintf("possible: %v", err))
+	}
+	edges := sub.Edges()
+	all := make([]int, sub.NumVertices())
+	for i := range all {
+		all[i] = i
+	}
+	hits := 0
+	for t := 0; t < samples; t++ {
+		b := det.NewBuilder(sub.NumVertices())
+		for _, e := range edges {
+			if rng.Float64() < e.P {
+				// Cannot fail: valid induced edge.
+				_ = b.AddEdge(e.U, e.V)
+			}
+		}
+		if b.Build().IsConnectedSubset(all) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// ExactConnectedProbByWorlds computes the connectivity reliability of set by
+// enumerating every world of the induced subgraph. Exponential in the number
+// of induced edges; limited to 20 of them.
+func ExactConnectedProbByWorlds(g *uncertain.Graph, set []int) (float64, error) {
+	if len(set) <= 1 {
+		return 1, nil
+	}
+	sub, _, err := g.InducedSubgraph(set)
+	if err != nil {
+		return 0, err
+	}
+	edges := sub.Edges()
+	m := len(edges)
+	if m > 20 {
+		return 0, fmt.Errorf("possible: exact reliability limited to 20 induced edges, got %d", m)
+	}
+	all := make([]int, sub.NumVertices())
+	for i := range all {
+		all[i] = i
+	}
+	total := 0.0
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		pw := 1.0
+		b := det.NewBuilder(sub.NumVertices())
+		for i, e := range edges {
+			if mask&(1<<uint(i)) != 0 {
+				pw *= e.P
+				_ = b.AddEdge(e.U, e.V)
+			} else {
+				pw *= 1 - e.P
+			}
+		}
+		if pw == 0 {
+			continue
+		}
+		if b.Build().IsConnectedSubset(all) {
+			total += pw
+		}
+	}
+	return total, nil
+}

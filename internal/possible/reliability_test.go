@@ -1,0 +1,135 @@
+package possible
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func TestConnectedProbTrivial(t *testing.T) {
+	g := triangleGraph(0.5, 0.5, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	if got := ConnectedProbMC(g, nil, 10, rng); got != 1 {
+		t.Fatalf("empty set reliability = %v", got)
+	}
+	if got := ConnectedProbMC(g, []int{1}, 10, rng); got != 1 {
+		t.Fatalf("singleton reliability = %v", got)
+	}
+}
+
+func TestExactConnectedProbPath(t *testing.T) {
+	// Path 0-1-2: {0,1,2} connected iff both edges present: 0.5·0.8 = 0.4.
+	g, _ := uncertain.FromEdges(3, []uncertain.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.8},
+	})
+	got, err := ExactConnectedProbByWorlds(g, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("path reliability = %v, want 0.4", got)
+	}
+}
+
+func TestExactConnectedProbTriangle(t *testing.T) {
+	// Triangle with all p: connected unless ≥ 2 edges missing.
+	// P = 3p²(1-p) + p³ ... plus exactly-two-edges cases:
+	// connected configurations: all 3 edges (p³) or any 2 edges (3p²(1-p)).
+	p := 0.5
+	g := triangleGraph(p, p, p)
+	got, err := ExactConnectedProbByWorlds(g, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(p, 3) + 3*math.Pow(p, 2)*(1-p)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("triangle reliability = %v, want %v", got, want)
+	}
+}
+
+func TestConnectedProbMCMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(2)
+		b := uncertain.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.7 {
+					_ = b.AddEdge(u, v, 0.2+0.7*rng.Float64())
+				}
+			}
+		}
+		g := b.Build()
+		set := make([]int, n)
+		for i := range set {
+			set[i] = i
+		}
+		exact, err := ExactConnectedProbByWorlds(g, set)
+		if err != nil {
+			continue // too many induced edges this trial
+		}
+		const samples = 20000
+		mc := ConnectedProbMC(g, set, samples, rng)
+		if math.Abs(mc-exact) > 5*MCConfidenceRadius(samples, 1) {
+			t.Fatalf("trial %d: MC %v vs exact %v", trial, mc, exact)
+		}
+	}
+}
+
+// The related-work contrast the paper draws (§1.2): a set can be highly
+// reliable (connected) while being a terrible clique.
+func TestReliabilityVersusCliqueProbability(t *testing.T) {
+	// Star: center 0 with 4 certain spokes. Connected with probability 1,
+	// clique probability 0 (no spoke-to-spoke edges).
+	b := uncertain.NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		_ = b.AddEdge(0, v, 1.0)
+	}
+	g := b.Build()
+	set := []int{0, 1, 2, 3, 4}
+	rel, err := ExactConnectedProbByWorlds(g, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != 1 {
+		t.Fatalf("star reliability = %v, want 1", rel)
+	}
+	if clq := g.CliqueProb(set); clq != 0 {
+		t.Fatalf("star clique probability = %v, want 0", clq)
+	}
+	// And in general reliability dominates clique probability.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(3)
+		bb := uncertain.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				_ = bb.AddEdge(u, v, 0.1+0.8*rng.Float64())
+			}
+		}
+		gg := bb.Build()
+		set := make([]int, n)
+		for i := range set {
+			set[i] = i
+		}
+		rel, err := ExactConnectedProbByWorlds(gg, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clq := gg.CliqueProb(set); rel < clq-1e-12 {
+			t.Fatalf("reliability %v below clique probability %v", rel, clq)
+		}
+	}
+}
+
+func TestConnectedProbMCPanics(t *testing.T) {
+	g := triangleGraph(0.5, 0.5, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero samples")
+		}
+	}()
+	ConnectedProbMC(g, []int{0, 1}, 0, nil)
+}

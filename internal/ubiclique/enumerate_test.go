@@ -1,0 +1,410 @@
+package ubiclique
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var dyadicAlphas = []float64{0.5, 0.25, 0.125, 0.0625, 0.03125}
+
+func collectOrFail(t *testing.T, g *Bipartite, alpha float64, cfg Config) []Biclique {
+	t.Helper()
+	out, err := CollectWith(g, alpha, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// --- Soundness and completeness against the brute-force oracle ---
+
+func TestEnumerateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	densities := []float64{0.2, 0.4, 0.7, 1.0}
+	for trial := 0; trial < 150; trial++ {
+		nL := 1 + rng.Intn(5)
+		nR := 1 + rng.Intn(5)
+		g := randomBipartite(nL, nR, densities[trial%len(densities)], rng)
+		alpha := dyadicAlphas[rng.Intn(len(dyadicAlphas))]
+		want := CollectBrute(g, alpha)
+		got := collectOrFail(t, g, alpha, Config{CheckInvariants: true})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (nL=%d, nR=%d, α=%v):\nenum  = %v\nbrute = %v\nedges = %v",
+				trial, nL, nR, alpha, got, want, g.Edges())
+		}
+	}
+}
+
+func TestEnumerateMatchesBruteForceAsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 40; trial++ {
+		// Skewed shapes stress the side cut: one side much larger.
+		g := randomBipartite(1+rng.Intn(2), 4+rng.Intn(4), 0.5, rng)
+		alpha := dyadicAlphas[rng.Intn(len(dyadicAlphas))]
+		want := CollectBrute(g, alpha)
+		got := collectOrFail(t, g, alpha, Config{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (α=%v): enum %v vs brute %v", trial, alpha, got, want)
+		}
+	}
+}
+
+// --- Hand-computed answers ---
+
+func TestEnumerateHandComputed(t *testing.T) {
+	// l0-r0 (0.5), l0-r1 (0.5), l1-r0 (0.25).
+	g, err := FromEdges(2, 2, []Edge{
+		{L: 0, R: 0, P: 0.5},
+		{L: 0, R: 1, P: 0.5},
+		{L: 1, R: 0, P: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		alpha float64
+		want  []Biclique
+	}{
+		// All three pairs, each maximal where its extensions fail.
+		{0.5, []Biclique{
+			{Left: []int{0}, Right: []int{0}, Prob: 0.5},
+			{Left: []int{0}, Right: []int{1}, Prob: 0.5},
+		}},
+		{0.25, []Biclique{
+			{Left: []int{0}, Right: []int{0, 1}, Prob: 0.25},
+			{Left: []int{1}, Right: []int{0}, Prob: 0.25},
+		}},
+		{0.125, []Biclique{
+			{Left: []int{0}, Right: []int{0, 1}, Prob: 0.25},
+			{Left: []int{0, 1}, Right: []int{0}, Prob: 0.125},
+		}},
+		// Everything qualifies that the support allows: the two-by-one and
+		// one-by-two shapes merge only if edge (1,1) existed, which it does
+		// not, so the same two maximal shapes survive at any lower α.
+		{0.0001, []Biclique{
+			{Left: []int{0}, Right: []int{0, 1}, Prob: 0.25},
+			{Left: []int{0, 1}, Right: []int{0}, Prob: 0.125},
+		}},
+	}
+	for _, tc := range cases {
+		got := collectOrFail(t, g, tc.alpha, Config{})
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("α=%v: got %v, want %v", tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestEnumerateCompleteBipartiteCertain(t *testing.T) {
+	// K_{3,4} with all probabilities 1: the unique maximal biclique is
+	// (L, R) at any α.
+	b := NewBuilder(3, 4)
+	for l := 0; l < 3; l++ {
+		for r := 0; r < 4; r++ {
+			if err := b.AddEdge(l, r, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Build()
+	for _, alpha := range []float64{1, 0.5, 0.0001} {
+		got := collectOrFail(t, g, alpha, Config{})
+		want := []Biclique{{Left: []int{0, 1, 2}, Right: []int{0, 1, 2, 3}, Prob: 1}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("α=%v: got %v, want %v", alpha, got, want)
+		}
+	}
+}
+
+func TestEnumerateEdgelessGraph(t *testing.T) {
+	g := NewBuilder(6, 6).Build()
+	stats, err := Enumerate(g, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Emitted != 0 {
+		t.Fatalf("%d bicliques on an edgeless graph", stats.Emitted)
+	}
+	// The side cut must keep the walk linear-ish, not 2^6 + 2^6.
+	if stats.Calls > 20 {
+		t.Fatalf("edgeless graph cost %d search calls; the side cut is not engaging", stats.Calls)
+	}
+}
+
+// --- Threshold semantics ---
+
+func TestAlphaOneKeepsOnlyCertainEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 30; trial++ {
+		g := randomBipartite(4, 4, 0.6, rng)
+		got := collectOrFail(t, g, 1, Config{})
+		for _, bc := range got {
+			if bc.Prob != 1 {
+				t.Fatalf("α=1 emitted probability %v", bc.Prob)
+			}
+			for _, l := range bc.Left {
+				for _, r := range bc.Right {
+					if p, ok := g.Prob(l, r); !ok || p != 1 {
+						t.Fatalf("α=1 biclique uses uncertain edge (%d,%d)", l, r)
+					}
+				}
+			}
+		}
+		want := CollectBrute(g, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("α=1 mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestPruneAlphaPreservesOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 25; trial++ {
+		g := randomBipartite(5, 5, 0.6, rng)
+		alpha := dyadicAlphas[rng.Intn(len(dyadicAlphas))]
+		whole := collectOrFail(t, g, alpha, Config{})
+		pruned := collectOrFail(t, g.PruneAlpha(alpha), alpha, Config{})
+		if !reflect.DeepEqual(whole, pruned) {
+			t.Fatalf("α=%v: pruning changed output: %v vs %v", alpha, whole, pruned)
+		}
+	}
+}
+
+// --- LARGE variant: MinLeft / MinRight ---
+
+func TestMinSidesMatchFilteredOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 60; trial++ {
+		g := randomBipartite(5, 5, 0.8, rng)
+		alpha := dyadicAlphas[rng.Intn(3)]
+		minL := 1 + rng.Intn(3)
+		minR := 1 + rng.Intn(3)
+		all := collectOrFail(t, g, alpha, Config{})
+		var want []Biclique
+		for _, bc := range all {
+			if len(bc.Left) >= minL && len(bc.Right) >= minR {
+				want = append(want, bc)
+			}
+		}
+		got := collectOrFail(t, g, alpha, Config{MinLeft: minL, MinRight: minR})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (α=%v, min %d/%d): got %v, want %v",
+				trial, alpha, minL, minR, got, want)
+		}
+	}
+}
+
+func TestMinSidesPruneSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	g := randomBipartite(12, 12, 0.5, rng)
+	full, err := Enumerate(g, 0.03125, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, err := EnumerateWith(g, 0.03125, nil, Config{MinLeft: 3, MinRight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Calls >= full.Calls {
+		t.Fatalf("size constraint did not shrink the search: %d vs %d calls",
+			constrained.Calls, full.Calls)
+	}
+}
+
+// --- Driver-level behaviour ---
+
+func TestEnumerateErrors(t *testing.T) {
+	g := NewBuilder(1, 1).Build()
+	if _, err := Enumerate(nil, 0.5, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := Enumerate(g, alpha, nil); err == nil {
+			t.Errorf("alpha %v accepted", alpha)
+		}
+	}
+	if _, err := EnumerateWith(g, 0.5, nil, Config{MinLeft: -1}); err == nil {
+		t.Error("negative MinLeft accepted")
+	}
+	if _, err := EnumerateWith(g, 0.5, nil, Config{MinRight: -2}); err == nil {
+		t.Error("negative MinRight accepted")
+	}
+}
+
+func TestVisitorStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	g := randomBipartite(6, 6, 0.9, rng)
+	total, err := Count(g, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 3 {
+		t.Skipf("workload too small (%d bicliques) to test early stop", total)
+	}
+	seen := int64(0)
+	stats, err := Enumerate(g, 0.125, func([]int, []int, float64) bool {
+		seen++
+		return seen < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Fatalf("visitor ran %d times after requesting stop at 2", seen)
+	}
+	if stats.Emitted != 2 {
+		t.Fatalf("stats.Emitted = %d after early stop, want 2", stats.Emitted)
+	}
+}
+
+func TestVisitorSlicesAreSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	g := randomBipartite(6, 6, 0.7, rng)
+	_, err := Enumerate(g, 0.25, func(l, r []int, p float64) bool {
+		for i := 1; i < len(l); i++ {
+			if l[i-1] >= l[i] {
+				t.Fatalf("left side not strictly ascending: %v", l)
+			}
+		}
+		for i := 1; i < len(r); i++ {
+			if r[i-1] >= r[i] {
+				t.Fatalf("right side not strictly ascending: %v", r)
+			}
+		}
+		if p <= 0 || p > 1 {
+			t.Fatalf("probability %v outside (0,1]", p)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(333))
+	g := randomBipartite(7, 7, 0.6, rng)
+	stats, err := Enumerate(g, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Calls <= 0 {
+		t.Error("no search calls recorded")
+	}
+	if stats.Emitted < 0 || stats.Calls < stats.Emitted {
+		t.Errorf("implausible accounting: %+v", stats)
+	}
+	if stats.MaxLeft < 0 || stats.MaxRight < 0 {
+		t.Errorf("negative side maxima: %+v", stats)
+	}
+	if stats.Emitted > 0 && (stats.MaxLeft == 0 || stats.MaxRight == 0) {
+		t.Errorf("emitted bicliques but a side max is zero: %+v", stats)
+	}
+}
+
+// --- Property tests ---
+
+// Every emitted pair satisfies the reference Definition 4 analogue, and the
+// number of emissions matches a repeat run (determinism).
+func TestQuickEmittedAreMaximal(t *testing.T) {
+	check := func(seed int64, alphaIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBipartite(2+rng.Intn(4), 2+rng.Intn(4), 0.6, rng)
+		alpha := dyadicAlphas[int(alphaIdx)%len(dyadicAlphas)]
+		ok := true
+		n1, err := Enumerate(g, alpha, func(l, r []int, p float64) bool {
+			if !g.IsAlphaMaximalBiclique(l, r, alpha) {
+				ok = false
+			}
+			if p != g.BicliqueProb(l, r) {
+				ok = false
+			}
+			return ok
+		})
+		if err != nil || !ok {
+			return false
+		}
+		n2, err := Count(g, alpha)
+		return err == nil && n1.Emitted == n2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lower α can only grow or reshape the output, never lose qualifying
+// support shapes entirely: every α-maximal biclique remains an α'-biclique
+// for α' ≤ α (monotonicity of the threshold on fixed pairs).
+func TestQuickThresholdMonotonicity(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBipartite(2+rng.Intn(4), 2+rng.Intn(4), 0.7, rng)
+		hi, err := Collect(g, 0.25)
+		if err != nil {
+			return false
+		}
+		for _, bc := range hi {
+			// Still an α-biclique at the lower threshold (maximality may
+			// change, qualification cannot).
+			if !g.IsAlphaBiclique(bc.Left, bc.Right, 0.125) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// No two emitted bicliques are in containment (the non-redundant-collection
+// property of Definition 6).
+func TestQuickOutputIsAntichain(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomBipartite(2+rng.Intn(4), 2+rng.Intn(4), 0.8, rng)
+		out, err := Collect(g, 0.125)
+		if err != nil {
+			return false
+		}
+		for i := range out {
+			for j := range out {
+				if i == j {
+					continue
+				}
+				if sideSubset(out[i].Left, out[j].Left) && sideSubset(out[i].Right, out[j].Right) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sideSubset reports a ⊆ b for ascending-sorted int slices.
+func sideSubset(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func TestCollectBruteGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CollectBrute accepted an oversized side")
+		}
+	}()
+	CollectBrute(NewBuilder(21, 2).Build(), 0.5)
+}

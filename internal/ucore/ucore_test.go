@@ -1,0 +1,228 @@
+package ucore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func TestDegreeTailKnownValues(t *testing.T) {
+	// Two fair coins: Pr[deg ≥ 0] = 1, ≥1 = 0.75, ≥2 = 0.25.
+	probs := []float64{0.5, 0.5}
+	cases := []struct {
+		k    int
+		want float64
+	}{{0, 1}, {1, 0.75}, {2, 0.25}, {3, 0}}
+	for _, c := range cases {
+		if got := DegreeTail(probs, c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DegreeTail(k=%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestDegreeTailCertainEdges(t *testing.T) {
+	probs := []float64{1, 1, 1}
+	if got := DegreeTail(probs, 3); got != 1 {
+		t.Fatalf("three certain edges: tail(3) = %v", got)
+	}
+	if got := DegreeTail(probs, 4); got != 0 {
+		t.Fatalf("tail beyond degree = %v", got)
+	}
+}
+
+// Property: the tail is non-increasing in k and matches a direct Monte-Carlo
+// estimate.
+func TestQuickDegreeTailMonotoneAndCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		probs := make([]float64, len(raw))
+		for i, r := range raw {
+			probs[i] = (float64(r) + 1) / 257 // (0,1)
+		}
+		prev := 1.0
+		for k := 0; k <= len(probs); k++ {
+			tail := DegreeTail(probs, k)
+			if tail > prev+1e-12 {
+				return false
+			}
+			prev = tail
+		}
+		// Exact check by enumerating all 2^d outcomes.
+		for k := 1; k <= len(probs); k++ {
+			exact := 0.0
+			for mask := 0; mask < 1<<uint(len(probs)); mask++ {
+				pw, cnt := 1.0, 0
+				for i, p := range probs {
+					if mask&(1<<uint(i)) != 0 {
+						pw *= p
+						cnt++
+					} else {
+						pw *= 1 - p
+					}
+				}
+				if cnt >= k {
+					exact += pw
+				}
+			}
+			if math.Abs(exact-DegreeTail(probs, k)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEtaDegree(t *testing.T) {
+	probs := []float64{0.5, 0.5} // tails: 1, 0.75, 0.25
+	cases := []struct {
+		eta  float64
+		want int
+	}{{0.2, 2}, {0.25, 2}, {0.3, 1}, {0.75, 1}, {0.8, 0}, {1, 0}}
+	for _, c := range cases {
+		if got := EtaDegree(probs, c.eta); got != c.want {
+			t.Errorf("EtaDegree(η=%v) = %d, want %d", c.eta, got, c.want)
+		}
+	}
+	if EtaDegree(nil, 0.5) != 0 {
+		t.Error("no edges should give η-degree 0")
+	}
+}
+
+func TestEtaDegreePanics(t *testing.T) {
+	for _, eta := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() { recover() }()
+			EtaDegree([]float64{0.5}, eta)
+			t.Errorf("eta=%v should panic", eta)
+		}()
+	}
+}
+
+func completeUncertain(n int, p float64) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			_ = b.AddEdge(u, v, p)
+		}
+	}
+	return b.Build()
+}
+
+func TestDecomposeCertainGraphMatchesDeterministicCore(t *testing.T) {
+	// All p=1: η-core = deterministic k-core for any η.
+	// K5 plus a pendant path: core numbers 4 for the K5, then 1s.
+	b := uncertain.NewBuilder(7)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			_ = b.AddEdge(u, v, 1)
+		}
+	}
+	_ = b.AddEdge(4, 5, 1)
+	_ = b.AddEdge(5, 6, 1)
+	dec, err := Decompose(b.Build(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 4, 4, 4, 4, 1, 1}
+	for v, c := range dec.CoreNumber {
+		if c != want[v] {
+			t.Fatalf("core numbers %v, want %v", dec.CoreNumber, want)
+		}
+	}
+	if dec.Degeneracy != 4 {
+		t.Fatalf("degeneracy = %d, want 4", dec.Degeneracy)
+	}
+}
+
+func TestDecomposeMonotoneInEta(t *testing.T) {
+	g := completeUncertain(8, 0.6)
+	prev := math.MaxInt
+	for _, eta := range []float64{0.1, 0.3, 0.5, 0.9} {
+		dec, err := Decompose(g, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Degeneracy > prev {
+			t.Fatalf("degeneracy increased with η at η=%v", eta)
+		}
+		prev = dec.Degeneracy
+	}
+}
+
+func TestCoreDefiningProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 12 + rng.Intn(8)
+		b := uncertain.NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					_ = b.AddEdge(u, v, 0.2+0.8*rng.Float64())
+				}
+			}
+		}
+		g := b.Build()
+		eta := 0.3
+		dec, err := Decompose(g, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= dec.Degeneracy; k++ {
+			verts, err := Core(g, k, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := make(map[int]bool, len(verts))
+			for _, v := range verts {
+				in[v] = true
+			}
+			// Every core member must keep η-degree ≥ k inside the core.
+			for _, v := range verts {
+				var probs []float64
+				g.ForEachNeighbor(v, func(w int, p float64) bool {
+					if in[w] {
+						probs = append(probs, p)
+					}
+					return true
+				})
+				if EtaDegree(probs, eta) < k {
+					t.Fatalf("vertex %d in (%d,η)-core has η-degree %d inside it",
+						v, k, EtaDegree(probs, eta))
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	g := completeUncertain(3, 0.5)
+	for _, eta := range []float64{0, -0.5, 1.2} {
+		if _, err := Decompose(g, eta); err == nil {
+			t.Errorf("eta=%v should fail", eta)
+		}
+	}
+}
+
+func TestDecomposeEmptyAndIsolated(t *testing.T) {
+	dec, err := Decompose(uncertain.NewBuilder(4).Build(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range dec.CoreNumber {
+		if c != 0 {
+			t.Fatal("isolated vertices must have core number 0")
+		}
+	}
+	if len(dec.Order) != 4 {
+		t.Fatal("all vertices must appear in peeling order")
+	}
+}

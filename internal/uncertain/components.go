@@ -1,0 +1,65 @@
+package uncertain
+
+import "sort"
+
+// ExpectedDegree returns the expected degree of u in a sampled world:
+// the sum of its incident edge probabilities.
+func (g *Graph) ExpectedDegree(u int) float64 {
+	_, probs := g.Adjacency(u)
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	return sum
+}
+
+// Components returns the connected components of the support graph (V, E),
+// each as an ascending vertex list, ordered by smallest member. Isolated
+// vertices form singleton components. Support connectivity is the coarsest
+// possible pruning unit for clique enumeration: no clique spans two
+// components, so large inputs can be mined component by component.
+func (g *Graph) Components() [][]int {
+	n := g.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	queue := make([]int32, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(out)
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		members := []int{s}
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			row, _ := g.Adjacency(int(u))
+			for _, v := range row {
+				if comp[v] == -1 {
+					comp[v] = id
+					queue = append(queue, v)
+					members = append(members, int(v))
+				}
+			}
+		}
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// ComponentOf returns the vertices of u's support component, ascending.
+func (g *Graph) ComponentOf(u int) []int {
+	for _, comp := range g.Components() {
+		for _, v := range comp {
+			if v == u {
+				return comp
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedDegree(t *testing.T) {
+	g, _ := FromEdges(3, []Edge{{U: 0, V: 1, P: 0.5}, {U: 0, V: 2, P: 0.25}})
+	if got := g.ExpectedDegree(0); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ExpectedDegree(0) = %v, want 0.75", got)
+	}
+	if got := g.ExpectedDegree(2); got != 0.25 {
+		t.Fatalf("ExpectedDegree(2) = %v, want 0.25", got)
+	}
+}
+
+func TestComponentsKnown(t *testing.T) {
+	g, _ := FromEdges(6, []Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}, {U: 4, V: 5, P: 0.5},
+	})
+	got := g.Components()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Components = %v, want %v", got, want)
+	}
+	if got := g.ComponentOf(5); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Fatalf("ComponentOf(5) = %v", got)
+	}
+}
+
+func TestComponentsEmptyGraph(t *testing.T) {
+	if got := NewBuilder(0).Build().Components(); len(got) != 0 {
+		t.Fatalf("empty graph components = %v", got)
+	}
+}
+
+// Property: components partition V, and every edge stays within one
+// component.
+func TestQuickComponentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		g := randomUncertain(n, 0.08, r)
+		comps := g.Components()
+		seen := map[int]int{}
+		for ci, comp := range comps {
+			for _, v := range comp {
+				if _, dup := seen[v]; dup {
+					return false
+				}
+				seen[v] = ci
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if seen[e.U] != seen[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adjacency views agree with the edge list (CSR integrity under
+// arbitrary random graphs, quick-checked).
+func TestQuickAdjacencyMatchesEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		g := randomUncertain(n, 0.3, r)
+		count := 0
+		for u := 0; u < n; u++ {
+			row, probs := g.Adjacency(u)
+			for i, v := range row {
+				p, ok := g.Prob(int(v), u)
+				if !ok || p != probs[i] {
+					return false
+				}
+				if int32(u) < v {
+					count++
+				}
+			}
+		}
+		return count == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

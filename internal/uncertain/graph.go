@@ -1,0 +1,391 @@
+// Package uncertain implements the uncertain graph model of the paper:
+// an undirected simple graph G = (V, E, p) where each possible edge e ∈ E
+// carries an independent existence probability p(e) ∈ (0, 1]. G is a
+// probability distribution over the 2^m subgraphs of (V, E) ("possible
+// worlds"); sampling a world keeps each edge e independently with
+// probability p(e).
+//
+// The Graph type is an immutable CSR (compressed sparse row) structure with
+// sorted adjacency and a parallel probability array, built once via Builder.
+// Immutability is what lets the enumeration algorithms in internal/core share
+// a graph across goroutines without locks.
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is one probabilistic edge of an uncertain graph.
+type Edge struct {
+	U, V int     // endpoints, 0-based
+	P    float64 // existence probability in (0, 1]
+}
+
+// Graph is an immutable uncertain graph on vertices 0..n-1.
+type Graph struct {
+	n       int
+	offsets []int32   // len n+1
+	nbrs    []int32   // len 2m, sorted within each row
+	probs   []float64 // parallel to nbrs
+}
+
+// Builder accumulates probabilistic edges for a Graph.
+type Builder struct {
+	n     int
+	edges map[[2]int32]float64
+}
+
+// NewBuilder returns a Builder for an uncertain graph on n ≥ 0 vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[[2]int32]float64)}
+}
+
+func (b *Builder) key(u, v int) ([2]int32, error) {
+	if u == v {
+		return [2]int32{}, fmt.Errorf("uncertain: self-loop at vertex %d", u)
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return [2]int32{}, fmt.Errorf("uncertain: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}, nil
+}
+
+func validProb(p float64) error {
+	if math.IsNaN(p) || p <= 0 || p > 1 {
+		return fmt.Errorf("uncertain: probability %v outside (0,1]", p)
+	}
+	return nil
+}
+
+// AddEdge records edge {u,v} with probability p. It returns an error for
+// self-loops, out-of-range endpoints, probabilities outside (0,1], or if the
+// edge was already added.
+func (b *Builder) AddEdge(u, v int, p float64) error {
+	k, err := b.key(u, v)
+	if err != nil {
+		return err
+	}
+	if err := validProb(p); err != nil {
+		return err
+	}
+	if _, dup := b.edges[k]; dup {
+		return fmt.Errorf("uncertain: duplicate edge {%d,%d}", u, v)
+	}
+	b.edges[k] = p
+	return nil
+}
+
+// UpsertEdge is AddEdge except that an existing edge has its probability
+// replaced instead of causing an error. Generators that naturally revisit
+// pairs (e.g. co-authorship) use this.
+func (b *Builder) UpsertEdge(u, v int, p float64) error {
+	k, err := b.key(u, v)
+	if err != nil {
+		return err
+	}
+	if err := validProb(p); err != nil {
+		return err
+	}
+	b.edges[k] = p
+	return nil
+}
+
+// NumEdges reports how many distinct edges have been added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build finalizes the graph. The Builder may be reused afterwards, but edges
+// already added remain.
+func (b *Builder) Build() *Graph {
+	deg := make([]int32, b.n)
+	for k := range b.edges {
+		deg[k[0]]++
+		deg[k[1]]++
+	}
+	offsets := make([]int32, b.n+1)
+	for u := 0; u < b.n; u++ {
+		offsets[u+1] = offsets[u] + deg[u]
+	}
+	nbrs := make([]int32, offsets[b.n])
+	probs := make([]float64, offsets[b.n])
+	fill := make([]int32, b.n)
+	for k, p := range b.edges {
+		u, v := k[0], k[1]
+		iu := offsets[u] + fill[u]
+		nbrs[iu], probs[iu] = v, p
+		fill[u]++
+		iv := offsets[v] + fill[v]
+		nbrs[iv], probs[iv] = u, p
+		fill[v]++
+	}
+	g := &Graph{n: b.n, offsets: offsets, nbrs: nbrs, probs: probs}
+	g.sortRows()
+	return g
+}
+
+func (g *Graph) sortRows() {
+	for u := 0; u < g.n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		row := rowSorter{nbrs: g.nbrs[lo:hi], probs: g.probs[lo:hi]}
+		sort.Sort(row)
+	}
+}
+
+type rowSorter struct {
+	nbrs  []int32
+	probs []float64
+}
+
+func (r rowSorter) Len() int           { return len(r.nbrs) }
+func (r rowSorter) Less(i, j int) bool { return r.nbrs[i] < r.nbrs[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.nbrs[i], r.nbrs[j] = r.nbrs[j], r.nbrs[i]
+	r.probs[i], r.probs[j] = r.probs[j], r.probs[i]
+}
+
+// FromEdges builds an uncertain graph on n vertices from an edge list,
+// failing on the first invalid or duplicate edge.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V, e.P); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.nbrs) / 2 }
+
+// Degree returns the number of possible edges incident to u.
+func (g *Graph) Degree(u int) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Adjacency returns u's neighbor IDs (ascending) and the parallel edge
+// probabilities. Both slices are views into the graph's storage and must not
+// be modified. This is the zero-allocation access path used by the
+// enumeration kernels.
+func (g *Graph) Adjacency(u int) ([]int32, []float64) {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	return g.nbrs[lo:hi], g.probs[lo:hi]
+}
+
+// Neighbors returns a freshly allocated slice of u's neighbors, ascending.
+func (g *Graph) Neighbors(u int) []int {
+	row, _ := g.Adjacency(u)
+	out := make([]int, len(row))
+	for i, v := range row {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// ForEachNeighbor calls f for each neighbor of u in ascending order with the
+// edge probability; returning false stops early.
+func (g *Graph) ForEachNeighbor(u int, f func(v int, p float64) bool) {
+	row, pr := g.Adjacency(u)
+	for i, v := range row {
+		if !f(int(v), pr[i]) {
+			return
+		}
+	}
+}
+
+// Prob returns the probability of edge {u,v} and whether the edge exists in
+// E. Lookups are O(log deg) via binary search on the sorted row.
+func (g *Graph) Prob(u, v int) (float64, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return 0, false
+	}
+	// Search the smaller row.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	row, pr := g.Adjacency(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	if i < len(row) && row[i] == int32(v) {
+		return pr[i], true
+	}
+	return 0, false
+}
+
+// HasEdge reports whether {u,v} ∈ E.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.Prob(u, v)
+	return ok
+}
+
+// Edges returns all edges with U < V, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.n; u++ {
+		row, pr := g.Adjacency(u)
+		for i, v := range row {
+			if int32(u) < v {
+				out = append(out, Edge{U: u, V: int(v), P: pr[i]})
+			}
+		}
+	}
+	return out
+}
+
+// IsSupportClique reports whether set is a clique of the support graph
+// (V, E), i.e. every pair is connected by a possible edge.
+func (g *Graph) IsSupportClique(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if !g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CliqueProb returns clq(set, G): the probability that set is a clique in a
+// sampled world. By Observation 1 of the paper this is the product of the
+// probabilities of the C(|set|,2) induced edges, and 0 if any pair is not a
+// possible edge. The empty set and singletons are cliques with probability 1.
+func (g *Graph) CliqueProb(set []int) float64 {
+	prob := 1.0
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			p, ok := g.Prob(set[i], set[j])
+			if !ok {
+				return 0
+			}
+			prob *= p
+		}
+	}
+	return prob
+}
+
+// IsAlphaClique reports whether clq(set, G) ≥ alpha.
+func (g *Graph) IsAlphaClique(set []int, alpha float64) bool {
+	return g.CliqueProb(set) >= alpha
+}
+
+// IsAlphaMaximalClique reports whether set is an α-maximal clique
+// (Definition 4): an α-clique that no single outside vertex extends to
+// another α-clique. This is the O(n·|set|²) reference predicate used by the
+// oracles and tests; the enumeration algorithms never call it.
+func (g *Graph) IsAlphaMaximalClique(set []int, alpha float64) bool {
+	q := g.CliqueProb(set)
+	if q < alpha {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for u := 0; u < g.n; u++ {
+		if in[u] {
+			continue
+		}
+		// clq(set ∪ {u}) = q · ∏_{v∈set} p(u,v)
+		f := 1.0
+		ok := true
+		for _, v := range set {
+			p, has := g.Prob(u, v)
+			if !has {
+				ok = false
+				break
+			}
+			f *= p
+		}
+		if ok && q*f >= alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// PruneAlpha returns the graph with every edge of probability < alpha
+// removed. By Observation 3 of the paper this preserves the set of α-cliques
+// and hence of α-maximal cliques. Vertices are preserved (isolated vertices
+// remain valid α-maximal singleton candidates).
+func (g *Graph) PruneAlpha(alpha float64) *Graph {
+	b := NewBuilder(g.n)
+	for u := 0; u < g.n; u++ {
+		row, pr := g.Adjacency(u)
+		for i, v := range row {
+			if int32(u) < v && pr[i] >= alpha {
+				// Cannot fail: edges come from a valid graph.
+				_ = b.AddEdge(u, int(v), pr[i])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by verts (which may be in any
+// order and must not contain duplicates) together with the mapping from new
+// vertex IDs to original ones (newToOld[i] is the original ID of new vertex
+// i). Vertices keep the relative order of verts.
+func (g *Graph) InducedSubgraph(verts []int) (*Graph, []int, error) {
+	oldToNew := make(map[int]int, len(verts))
+	newToOld := make([]int, len(verts))
+	for i, v := range verts {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("uncertain: vertex %d out of range", v)
+		}
+		if _, dup := oldToNew[v]; dup {
+			return nil, nil, fmt.Errorf("uncertain: duplicate vertex %d", v)
+		}
+		oldToNew[v] = i
+		newToOld[i] = v
+	}
+	b := NewBuilder(len(verts))
+	for _, u := range verts {
+		row, pr := g.Adjacency(u)
+		for i, v := range row {
+			nv, ok := oldToNew[int(v)]
+			if !ok {
+				continue
+			}
+			nu := oldToNew[u]
+			if nu < nv {
+				_ = b.AddEdge(nu, nv, pr[i])
+			}
+		}
+	}
+	return b.Build(), newToOld, nil
+}
+
+// Relabel returns the graph with vertices renumbered so that new vertex i is
+// old vertex order[i]; order must be a permutation of 0..n-1. The inverse
+// mapping (old → new) is returned for translating results back.
+func (g *Graph) Relabel(order []int) (*Graph, []int, error) {
+	if len(order) != g.n {
+		return nil, nil, fmt.Errorf("uncertain: order has %d entries, want %d", len(order), g.n)
+	}
+	oldToNew := make([]int, g.n)
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for newID, oldID := range order {
+		if oldID < 0 || oldID >= g.n || oldToNew[oldID] != -1 {
+			return nil, nil, fmt.Errorf("uncertain: order is not a permutation")
+		}
+		oldToNew[oldID] = newID
+	}
+	b := NewBuilder(g.n)
+	for u := 0; u < g.n; u++ {
+		row, pr := g.Adjacency(u)
+		for i, v := range row {
+			if int32(u) < v {
+				_ = b.AddEdge(oldToNew[u], oldToNew[int(v)], pr[i])
+			}
+		}
+	}
+	return b.Build(), oldToNew, nil
+}

@@ -1,0 +1,98 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stats summarizes structural and probabilistic properties of an uncertain
+// graph; cmd/experiments prints these rows for the Table 1 reproduction.
+type Stats struct {
+	Vertices      int
+	Edges         int
+	MinDegree     int
+	MaxDegree     int
+	AvgDegree     float64
+	MinProb       float64
+	MaxProb       float64
+	MeanProb      float64
+	ExpectedM     float64 // expected number of edges in a sampled world: Σ p(e)
+	IsolatedVerts int
+}
+
+// ComputeStats scans the graph once and returns its summary.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		MinProb:  math.Inf(1),
+		MaxProb:  math.Inf(-1),
+	}
+	if s.Vertices == 0 {
+		s.MinProb, s.MaxProb = 0, 0
+		return s
+	}
+	s.MinDegree = math.MaxInt
+	totalDeg := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		d := g.Degree(u)
+		totalDeg += d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.IsolatedVerts++
+		}
+	}
+	s.AvgDegree = float64(totalDeg) / float64(s.Vertices)
+	sum := 0.0
+	for _, e := range g.Edges() {
+		if e.P < s.MinProb {
+			s.MinProb = e.P
+		}
+		if e.P > s.MaxProb {
+			s.MaxProb = e.P
+		}
+		sum += e.P
+	}
+	if s.Edges == 0 {
+		s.MinProb, s.MaxProb = 0, 0
+	} else {
+		s.MeanProb = sum / float64(s.Edges)
+	}
+	s.ExpectedM = sum
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d m=%d deg[min=%d avg=%.2f max=%d] p[min=%.3f mean=%.3f max=%.3f] E[m']=%.1f",
+		s.Vertices, s.Edges, s.MinDegree, s.AvgDegree, s.MaxDegree, s.MinProb, s.MeanProb, s.MaxProb, s.ExpectedM)
+	if s.IsolatedVerts > 0 {
+		fmt.Fprintf(&b, " isolated=%d", s.IsolatedVerts)
+	}
+	return b.String()
+}
+
+// ProbHistogram bins edge probabilities into k equal-width buckets over
+// (0, 1] and returns the counts. Used by dataset synthesizers' tests to
+// check that generated confidence distributions have the intended shape.
+func ProbHistogram(g *Graph, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	h := make([]int, k)
+	for _, e := range g.Edges() {
+		i := int(e.P * float64(k))
+		if i >= k {
+			i = k - 1
+		}
+		h[i]++
+	}
+	return h
+}

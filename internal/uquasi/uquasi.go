@@ -1,0 +1,413 @@
+// Package uquasi mines maximal γ-quasi-cliques from an uncertain graph — the
+// second of the "various dense substructures" the paper's conclusion (§6)
+// names as future work.
+//
+// A deterministic γ-quasi-clique is a vertex set S in which every vertex is
+// adjacent to at least γ·(|S|−1) of the others. Two uncertain-graph readings
+// are provided:
+//
+//   - The expected-degree (first-moment) reading used by Enumerate: S is an
+//     expected γ-quasi-clique if for every v ∈ S the expected number of
+//     present edges from v into S — the sum Σ p(u,v) over support neighbors
+//     u ∈ S — is at least γ·(|S|−1). By linearity of expectation this is
+//     exactly E[deg_S(v)] ≥ γ·(|S|−1). At γ = 1 it degenerates to cliques
+//     over the certain (p = 1) edges, matching MULE at α = 1.
+//   - The possible-world reading used by WorldProbExact / WorldProbMC: the
+//     probability that a sampled world induces a deterministic
+//     γ-quasi-clique on S. Computing it exactly costs 2^|E_S| (the joint
+//     degree constraints do not factorize), so it serves as a verifier for
+//     sets found under the first reading rather than as a mining objective.
+//
+// Quasi-cliques are not hereditary — subsets of a γ-quasi-clique need not be
+// γ-quasi-cliques — so MULE's candidate/witness machinery does not apply and
+// maximality means "no proper superset is an expected γ-quasi-clique" (the
+// Liu–Wong convention). Enumerate therefore runs a Quick-style depth-first
+// search with weighted-degree pruning bounds, restricted to γ ≥ 1/2, where
+// every γ-quasi-clique is connected with diameter ≤ 2 (the classical
+// structural result, which carries over because an expected γ-quasi-clique
+// is in particular a support-graph γ-quasi-clique), followed by a
+// containment filter that keeps only maximal sets.
+package uquasi
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// Config tunes a mining run.
+type Config struct {
+	// Gamma is the density threshold γ. Enumerate requires γ ∈ [0.5, 1];
+	// the predicate and verifier functions accept any γ ∈ (0, 1].
+	Gamma float64
+	// MinSize is the smallest quasi-clique reported; at least 2 (a single
+	// vertex vacuously satisfies any degree bound). Defaults to 3, the
+	// smallest size for which a quasi-clique differs from an edge.
+	MinSize int
+	// MaxSize, when > 0, caps the search depth. Sets larger than MaxSize
+	// are neither reported nor used to disqualify smaller sets, so the
+	// output is "maximal among expected γ-quasi-cliques of size ≤ MaxSize".
+	MaxSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSize == 0 {
+		c.MinSize = 3
+	}
+	return c
+}
+
+// Stats reports the work performed by a mining run.
+type Stats struct {
+	Calls     int64 // search-tree nodes visited
+	Found     int64 // expected γ-quasi-cliques encountered (pre-filter)
+	Emitted   int64 // maximal expected γ-quasi-cliques reported
+	Pruned    int64 // subtrees cut by the weighted-degree bounds
+	MaxSize   int   // largest emitted set
+	Universe  int64 // total anchored candidate-universe size across anchors
+	FilterOps int64 // containment comparisons in the maximality filter
+}
+
+// ExpectedDegree returns E[deg_S(v)] = Σ_{u ∈ S, u ≠ v, {u,v} ∈ E} p(u,v):
+// the expected number of present edges from v into set in a sampled world.
+// v itself may appear in set and is skipped.
+func ExpectedDegree(g *uncertain.Graph, set []int, v int) float64 {
+	d := 0.0
+	for _, u := range set {
+		if u == v {
+			continue
+		}
+		if p, ok := g.Prob(u, v); ok {
+			d += p
+		}
+	}
+	return d
+}
+
+// IsExpectedQuasiClique reports whether set (|set| ≥ 2, no duplicates) is an
+// expected γ-quasi-clique: every member's expected degree into the set is at
+// least γ·(|set|−1).
+func IsExpectedQuasiClique(g *uncertain.Graph, set []int, gamma float64) bool {
+	if len(set) < 2 {
+		return false
+	}
+	need := gamma * float64(len(set)-1)
+	for _, v := range set {
+		if ExpectedDegree(g, set, v) < need-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalExpectedQuasiClique reports whether set is an expected
+// γ-quasi-clique with no proper superset that is one. It checks every
+// superset reachable by adding subsets of the diameter-2 ball, which is
+// exponential; it exists as the reference predicate for tests on tiny
+// graphs (n ≤ 20).
+func IsMaximalExpectedQuasiClique(g *uncertain.Graph, set []int, gamma float64) bool {
+	if g.NumVertices() > 20 {
+		panic("uquasi: IsMaximalExpectedQuasiClique limited to 20 vertices")
+	}
+	if !IsExpectedQuasiClique(g, set, gamma) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	var rest []int
+	for v := 0; v < g.NumVertices(); v++ {
+		if !in[v] {
+			rest = append(rest, v)
+		}
+	}
+	// Any proper superset is set ∪ T for a non-empty subset T of rest.
+	for mask := 1; mask < 1<<uint(len(rest)); mask++ {
+		candidate := append([]int(nil), set...)
+		for i, v := range rest {
+			if mask&(1<<uint(i)) != 0 {
+				candidate = append(candidate, v)
+			}
+		}
+		if IsExpectedQuasiClique(g, candidate, gamma) {
+			return false
+		}
+	}
+	return true
+}
+
+// Visitor receives each maximal expected γ-quasi-clique as a sorted vertex
+// slice. The slice is owned by the caller (freshly allocated). Returning
+// false stops the report loop (the search itself has already completed;
+// maximality requires global knowledge).
+type Visitor func(set []int) bool
+
+// Enumerate mines all maximal expected γ-quasi-cliques with at least
+// cfg.MinSize vertices. cfg.Gamma must lie in [0.5, 1] (see the package
+// comment for why the structural prunes need γ ≥ 1/2).
+func Enumerate(g *uncertain.Graph, cfg Config, visit Visitor) (Stats, error) {
+	sets, stats, err := collect(g, cfg)
+	if err != nil {
+		return stats, err
+	}
+	for _, s := range sets {
+		if visit != nil && !visit(s) {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// Collect returns all maximal expected γ-quasi-cliques in canonical order
+// (each sorted ascending; sets sorted lexicographically).
+func Collect(g *uncertain.Graph, cfg Config) ([][]int, error) {
+	sets, _, err := collect(g, cfg)
+	return sets, err
+}
+
+func collect(g *uncertain.Graph, cfg Config) ([][]int, Stats, error) {
+	var stats Stats
+	if g == nil {
+		return nil, stats, fmt.Errorf("uquasi: nil graph")
+	}
+	cfg = cfg.withDefaults()
+	if !(cfg.Gamma >= 0.5 && cfg.Gamma <= 1) { // also rejects NaN
+		return nil, stats, fmt.Errorf("uquasi: gamma %v outside [0.5, 1]", cfg.Gamma)
+	}
+	if cfg.MinSize < 2 {
+		return nil, stats, fmt.Errorf("uquasi: MinSize %d below 2", cfg.MinSize)
+	}
+	if cfg.MaxSize != 0 && cfg.MaxSize < cfg.MinSize {
+		return nil, stats, fmt.Errorf("uquasi: MaxSize %d below MinSize %d", cfg.MaxSize, cfg.MinSize)
+	}
+
+	m := &miner{g: g, cfg: cfg, stats: &stats}
+	m.run()
+	sets := maximalOnly(m.found, &stats)
+	for _, s := range sets {
+		if len(s) > stats.MaxSize {
+			stats.MaxSize = len(s)
+		}
+	}
+	stats.Emitted = int64(len(sets))
+	sortSets(sets)
+	return sets, stats, nil
+}
+
+type miner struct {
+	g     *uncertain.Graph
+	cfg   Config
+	stats *Stats
+	found [][]int
+}
+
+// run anchors the search at every vertex u in turn. A γ-quasi-clique with
+// minimum vertex u lies, for γ ≥ 1/2, entirely inside u's distance-2 ball,
+// so the anchored universe is ball2(u) ∩ {v : v > u}.
+func (m *miner) run() {
+	n := m.g.NumVertices()
+	for u := 0; u < n; u++ {
+		universe := m.ballTwoAbove(u)
+		m.stats.Universe += int64(len(universe))
+		m.extend([]int{u}, universe)
+	}
+}
+
+// ballTwoAbove returns the vertices v > u within support-graph distance 2 of
+// u, ascending.
+func (m *miner) ballTwoAbove(u int) []int {
+	seen := map[int]bool{}
+	m.g.ForEachNeighbor(u, func(w int, _ float64) bool {
+		if w > u {
+			seen[w] = true
+		}
+		m.g.ForEachNeighbor(w, func(x int, _ float64) bool {
+			if x > u && x != u {
+				seen[x] = true
+			}
+			return true
+		})
+		return true
+	})
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// extend grows S with candidates from cand (all > max(S), ascending). The
+// search must pass through non-quasi-clique intermediate sets — the property
+// is not hereditary — so it records qualifying sets as it goes and recurses
+// regardless, subject to the sound prunes below.
+func (m *miner) extend(S []int, cand []int) {
+	m.stats.Calls++
+	if len(S) >= m.cfg.MinSize && IsExpectedQuasiClique(m.g, S, m.cfg.Gamma) {
+		m.stats.Found++
+		m.found = append(m.found, append([]int(nil), S...))
+	}
+	if len(cand) == 0 {
+		return
+	}
+	if m.cfg.MaxSize > 0 && len(S) >= m.cfg.MaxSize {
+		return
+	}
+	cand = m.filterCandidates(S, cand)
+	if m.sizeBoundPrunes(S, cand) {
+		m.stats.Pruned++
+		return
+	}
+	for i, v := range cand {
+		// Diameter-2 restriction: keep only candidates within distance 2 of
+		// the newly added vertex (sound for γ ≥ 1/2, see package comment).
+		next := make([]int, 0, len(cand)-i-1)
+		for _, w := range cand[i+1:] {
+			if m.withinTwo(v, w) {
+				next = append(next, w)
+			}
+		}
+		m.extend(append(S, v), next)
+	}
+}
+
+// filterCandidates removes, to fixpoint, candidates whose best achievable
+// expected degree cannot meet the γ requirement of even the smallest
+// feasible superset. For candidate v joining a superset T ⊇ S∪{v} of size t,
+// E[deg_T(v)] ≤ ExpectedDegree(S∪cand, v), while the requirement is
+// γ·(t−1) ≥ γ·max(MinSize, |S|+1) − γ. Removing one candidate lowers the
+// bound for others, hence the fixpoint loop.
+func (m *miner) filterCandidates(S []int, cand []int) []int {
+	tMin := m.cfg.MinSize
+	if len(S)+1 > tMin {
+		tMin = len(S) + 1
+	}
+	need := m.cfg.Gamma * float64(tMin-1)
+	for {
+		kept := cand[:0:0]
+		for _, v := range cand {
+			d := ExpectedDegree(m.g, S, v) + ExpectedDegree(m.g, cand, v)
+			if d >= need-1e-12 {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == len(cand) {
+			return kept
+		}
+		cand = kept
+	}
+}
+
+// sizeBoundPrunes reports whether no superset of S inside S∪cand can be an
+// expected γ-quasi-clique of size ≥ MinSize. For each v ∈ S its expected
+// degree in any such superset is at most d_v = E-deg into S∪cand, so the
+// superset size t obeys γ·(t−1) ≤ d_v, i.e. t ≤ ⌊d_v/γ⌋ + 1; and t is also
+// at most |S|+|cand|. If the resulting feasible ceiling is below
+// max(MinSize, |S|) the subtree is dead. (S itself, if it qualified, has
+// already been recorded.)
+func (m *miner) sizeBoundPrunes(S []int, cand []int) bool {
+	tCap := len(S) + len(cand)
+	for _, v := range S {
+		d := ExpectedDegree(m.g, S, v) + ExpectedDegree(m.g, cand, v)
+		bound := int(d/m.cfg.Gamma+1e-12) + 1
+		if bound < tCap {
+			tCap = bound
+		}
+	}
+	needed := m.cfg.MinSize
+	if len(S)+1 > needed {
+		needed = len(S) + 1
+	}
+	return tCap < needed
+}
+
+// withinTwo reports whether support-graph distance(u, v) ≤ 2.
+func (m *miner) withinTwo(u, v int) bool {
+	if m.g.HasEdge(u, v) {
+		return true
+	}
+	found := false
+	m.g.ForEachNeighbor(u, func(w int, _ float64) bool {
+		if m.g.HasEdge(w, v) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// maximalOnly keeps the sets with no proper superset in the collection.
+// Because the search enumerates every expected γ-quasi-clique of size ≥
+// MinSize (and supersets of a size-≥-MinSize set are themselves of size ≥
+// MinSize), containment within the collection coincides with true
+// maximality.
+func maximalOnly(sets [][]int, stats *Stats) [][]int {
+	if len(sets) == 0 {
+		return nil
+	}
+	// Deduplicate (each set is found exactly once by the ascending-order
+	// search, but be defensive) and sort by size descending so that any
+	// superset of a set precedes it.
+	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) > len(sets[j]) })
+	var kept [][]int
+	for _, s := range sets {
+		dominated := false
+		for _, big := range kept {
+			stats.FilterOps++
+			if len(big) > len(s) && subsetOf(s, big) {
+				dominated = true
+				break
+			}
+			if len(big) == len(s) && equalSets(s, big) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// subsetOf reports a ⊆ b for ascending-sorted slices.
+func subsetOf(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortSets(sets [][]int) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -1,0 +1,347 @@
+package uquasi
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// randomDyadic builds a G(n, density) uncertain graph with power-of-two
+// probabilities so threshold comparisons are float-exact.
+func randomDyadic(n int, density float64, rng *rand.Rand) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	vals := []float64{1, 0.5, 0.25}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				_ = b.AddEdge(u, v, vals[rng.Intn(len(vals))])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// bruteMaximal enumerates maximal expected γ-quasi-cliques by scanning all
+// subsets — the ground-truth oracle (n ≤ 16).
+func bruteMaximal(g *uncertain.Graph, gamma float64, minSize, maxSize int) [][]int {
+	n := g.NumVertices()
+	var all [][]int
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				set = append(set, v)
+			}
+		}
+		if len(set) < minSize {
+			continue
+		}
+		if maxSize > 0 && len(set) > maxSize {
+			continue
+		}
+		if IsExpectedQuasiClique(g, set, gamma) {
+			all = append(all, set)
+		}
+	}
+	var out [][]int
+	for i, s := range all {
+		dominated := false
+		for j, t := range all {
+			if i != j && len(t) > len(s) && subsetOf(s, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, s)
+		}
+	}
+	sortSets(out)
+	return out
+}
+
+func TestExpectedDegree(t *testing.T) {
+	g, err := uncertain.FromEdges(4, []uncertain.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 0, V: 2, P: 0.25}, {U: 1, V: 2, P: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ExpectedDegree(g, []int{0, 1, 2}, 0); d != 0.75 {
+		t.Errorf("ExpectedDegree(0) = %v, want 0.75", d)
+	}
+	if d := ExpectedDegree(g, []int{0, 1, 2}, 1); d != 1.5 {
+		t.Errorf("ExpectedDegree(1) = %v, want 1.5", d)
+	}
+	// Vertex 3 is isolated.
+	if d := ExpectedDegree(g, []int{0, 1, 2}, 3); d != 0 {
+		t.Errorf("ExpectedDegree(3) = %v, want 0", d)
+	}
+	// v inside set is skipped, outside membership irrelevant.
+	if d := ExpectedDegree(g, []int{1, 2}, 0); d != 0.75 {
+		t.Errorf("ExpectedDegree over {1,2} from 0 = %v, want 0.75", d)
+	}
+}
+
+func TestIsExpectedQuasiCliqueHandComputed(t *testing.T) {
+	// Triangle 0-1-2 with certain edges plus a weak pendant 2-3.
+	g, err := uncertain.FromEdges(4, []uncertain.Edge{
+		{U: 0, V: 1, P: 1}, {U: 0, V: 2, P: 1}, {U: 1, V: 2, P: 1}, {U: 2, V: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsExpectedQuasiClique(g, []int{0, 1, 2}, 1) {
+		t.Error("certain triangle rejected at γ=1")
+	}
+	// With vertex 3: |S|=4 needs expected degree ≥ 0.5·3 = 1.5 each;
+	// vertex 3 has only 0.5.
+	if IsExpectedQuasiClique(g, []int{0, 1, 2, 3}, 0.5) {
+		t.Error("weak pendant accepted at γ=0.5")
+	}
+	// Singletons and empty sets are never quasi-cliques.
+	if IsExpectedQuasiClique(g, []int{0}, 0.5) || IsExpectedQuasiClique(g, nil, 0.5) {
+		t.Error("degenerate set accepted")
+	}
+	// A certain edge is a γ-quasi-clique for any γ.
+	if !IsExpectedQuasiClique(g, []int{0, 1}, 1) {
+		t.Error("certain edge rejected")
+	}
+}
+
+func TestEnumerateMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	gammas := []float64{0.5, 0.6, 0.75, 1}
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(8)
+		g := randomDyadic(n, 0.5, rng)
+		gamma := gammas[trial%len(gammas)]
+		want := bruteMaximal(g, gamma, 3, 0)
+		got, err := Collect(g, Config{Gamma: gamma})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d, γ=%v):\nminer = %v\nbrute = %v\nedges = %v",
+				trial, n, gamma, got, want, g.Edges())
+		}
+	}
+}
+
+func TestEnumerateMinSizeTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		g := randomDyadic(n, 0.6, rng)
+		want := bruteMaximal(g, 0.5, 2, 0)
+		got, err := Collect(g, Config{Gamma: 0.5, MinSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: miner %v vs brute %v", trial, got, want)
+		}
+	}
+}
+
+func TestEnumerateMaxSizeCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3003))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(7)
+		g := randomDyadic(n, 0.7, rng)
+		want := bruteMaximal(g, 0.5, 3, 4)
+		got, err := Collect(g, Config{Gamma: 0.5, MinSize: 3, MaxSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: capped miner %v vs brute %v", trial, got, want)
+		}
+	}
+}
+
+// At γ = 1 the expected-degree condition forces every pair to be a certain
+// edge, so maximal expected 1-quasi-cliques are the maximal cliques of the
+// p=1 subgraph — which MULE also produces at α = 1.
+func TestGammaOneMatchesMULEAlphaOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4004))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		g := randomDyadic(n, 0.7, rng)
+		cliques, err := core.Collect(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [][]int
+		for _, c := range cliques {
+			if len(c) >= 3 {
+				want = append(want, c)
+			}
+		}
+		got, err := Collect(g, Config{Gamma: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: quasi(γ=1) %v vs MULE(α=1) %v", trial, got, want)
+		}
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	g := uncertain.NewBuilder(2).Build()
+	if _, err := Collect(nil, Config{Gamma: 0.5}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	for _, gamma := range []float64{0, 0.49, 1.01, -1, math.NaN()} {
+		if _, err := Collect(g, Config{Gamma: gamma}); err == nil {
+			t.Errorf("gamma %v accepted", gamma)
+		}
+	}
+	if _, err := Collect(g, Config{Gamma: 0.5, MinSize: 1}); err == nil {
+		t.Error("MinSize 1 accepted")
+	}
+	if _, err := Collect(g, Config{Gamma: 0.5, MinSize: 4, MaxSize: 3}); err == nil {
+		t.Error("MaxSize below MinSize accepted")
+	}
+}
+
+func TestEnumerateVisitorStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(5005))
+	g := randomDyadic(10, 0.8, rng)
+	all, err := Collect(g, Config{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Skipf("workload produced %d sets, early stop untestable", len(all))
+	}
+	calls := 0
+	if _, err := Enumerate(g, Config{Gamma: 0.5}, func([]int) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("visitor called %d times after requesting stop", calls)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6006))
+	g := randomDyadic(12, 0.6, rng)
+	var emitted int64
+	stats, err := Enumerate(g, Config{Gamma: 0.5}, func([]int) bool {
+		emitted++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Emitted != emitted {
+		t.Fatalf("stats.Emitted = %d, visitor saw %d", stats.Emitted, emitted)
+	}
+	if stats.Found < stats.Emitted {
+		t.Fatalf("found %d < emitted %d", stats.Found, stats.Emitted)
+	}
+	if stats.Calls <= 0 || stats.Universe < 0 {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+	if emitted > 0 && stats.MaxSize < 3 {
+		t.Fatalf("MaxSize %d below MinSize with non-empty output", stats.MaxSize)
+	}
+}
+
+// Every reported set passes the exponential reference maximality predicate.
+func TestQuickEmittedAreMaximal(t *testing.T) {
+	check := func(seed int64, gi uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDyadic(3+rng.Intn(6), 0.6, rng)
+		gammas := []float64{0.5, 0.75, 1}
+		gamma := gammas[int(gi)%len(gammas)]
+		sets, err := Collect(g, Config{Gamma: gamma})
+		if err != nil {
+			return false
+		}
+		for _, s := range sets {
+			if !IsMaximalExpectedQuasiClique(g, s, gamma) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Raising γ only shrinks or fragments the qualifying family: every set that
+// qualifies at γ' also qualifies at any γ ≤ γ'.
+func TestQuickGammaMonotonicity(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDyadic(3+rng.Intn(6), 0.7, rng)
+		strict, err := Collect(g, Config{Gamma: 0.75})
+		if err != nil {
+			return false
+		}
+		for _, s := range strict {
+			if !IsExpectedQuasiClique(g, s, 0.5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cliques always qualify: any α-clique of the support graph with |S| ≥ 3 and
+// all-certain edges is an expected γ-quasi-clique for every γ.
+func TestCertainCliquesAlwaysQualify(t *testing.T) {
+	b := uncertain.NewBuilder(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if err := b.AddEdge(u, v, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Build()
+	got, err := Collect(g, Config{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2, 3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("K5 mining = %v, want %v", got, want)
+	}
+}
+
+func TestPruningEngages(t *testing.T) {
+	rng := rand.New(rand.NewSource(7007))
+	g := randomDyadic(20, 0.4, rng)
+	var stats Stats
+	sets, statsOut, err := collect(g, Config{Gamma: 0.75, MinSize: 4})
+	stats = statsOut
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sets
+	if stats.Pruned == 0 {
+		t.Log("no prunes fired on this workload (not an error, but unexpected)")
+	}
+	if stats.Calls <= 0 {
+		t.Fatal("no search performed")
+	}
+}

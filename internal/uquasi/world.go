@@ -1,0 +1,118 @@
+package uquasi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// inducedEdges lists the support edges inside set as index pairs into set,
+// with their probabilities.
+func inducedEdges(g *uncertain.Graph, set []int) (pairs [][2]int, probs []float64) {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if p, ok := g.Prob(set[i], set[j]); ok {
+				pairs = append(pairs, [2]int{i, j})
+				probs = append(probs, p)
+			}
+		}
+	}
+	return pairs, probs
+}
+
+// worldIsQuasiClique checks the deterministic γ-quasi-clique condition for
+// the world selected by mask over the induced edges.
+func worldIsQuasiClique(n int, pairs [][2]int, mask uint64, gamma float64) bool {
+	if n < 2 {
+		return false
+	}
+	deg := make([]int, n)
+	for i, pr := range pairs {
+		if mask&(1<<uint(i)) != 0 {
+			deg[pr[0]]++
+			deg[pr[1]]++
+		}
+	}
+	need := gamma * float64(n-1)
+	for _, d := range deg {
+		if float64(d) < need-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// WorldProbExact returns the exact probability that a world sampled from g
+// induces a deterministic γ-quasi-clique on set, by enumerating all 2^|E_S|
+// configurations of the induced edges. It errors when set induces more than
+// 24 edges (the enumeration would be too large) or has fewer than 2
+// vertices. Any γ ∈ (0, 1] is accepted.
+func WorldProbExact(g *uncertain.Graph, set []int, gamma float64) (float64, error) {
+	if len(set) < 2 {
+		return 0, fmt.Errorf("uquasi: set of %d vertices has no quasi-clique semantics", len(set))
+	}
+	if !(gamma > 0 && gamma <= 1) { // also rejects NaN
+		return 0, fmt.Errorf("uquasi: gamma %v outside (0,1]", gamma)
+	}
+	pairs, probs := inducedEdges(g, set)
+	if len(pairs) > 24 {
+		return 0, fmt.Errorf("uquasi: %d induced edges exceed the exact-enumeration limit of 24", len(pairs))
+	}
+	total := 0.0
+	for mask := uint64(0); mask < 1<<uint(len(pairs)); mask++ {
+		if !worldIsQuasiClique(len(set), pairs, mask, gamma) {
+			continue
+		}
+		w := 1.0
+		for i, p := range probs {
+			if mask&(1<<uint(i)) != 0 {
+				w *= p
+			} else {
+				w *= 1 - p
+			}
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// WorldProbMC estimates the probability that a sampled world induces a
+// deterministic γ-quasi-clique on set, using `samples` independent worlds
+// drawn with the given seed. The standard error is about
+// sqrt(p(1−p)/samples).
+func WorldProbMC(g *uncertain.Graph, set []int, gamma float64, samples int, seed int64) (float64, error) {
+	if len(set) < 2 {
+		return 0, fmt.Errorf("uquasi: set of %d vertices has no quasi-clique semantics", len(set))
+	}
+	if !(gamma > 0 && gamma <= 1) { // also rejects NaN
+		return 0, fmt.Errorf("uquasi: gamma %v outside (0,1]", gamma)
+	}
+	if samples <= 0 {
+		return 0, fmt.Errorf("uquasi: sample count %d not positive", samples)
+	}
+	pairs, probs := inducedEdges(g, set)
+	rng := rand.New(rand.NewSource(seed))
+	deg := make([]int, len(set))
+	need := gamma * float64(len(set)-1)
+	hits := 0
+sampling:
+	for s := 0; s < samples; s++ {
+		for i := range deg {
+			deg[i] = 0
+		}
+		for i, pr := range pairs {
+			if rng.Float64() < probs[i] {
+				deg[pr[0]]++
+				deg[pr[1]]++
+			}
+		}
+		for _, d := range deg {
+			if float64(d) < need-1e-12 {
+				continue sampling
+			}
+		}
+		hits++
+	}
+	return float64(hits) / float64(samples), nil
+}

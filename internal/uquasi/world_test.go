@@ -1,0 +1,160 @@
+package uquasi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func TestWorldProbExactCertainGraph(t *testing.T) {
+	// Certain triangle: it is a γ-quasi-clique in the single possible world
+	// for every γ.
+	g, err := uncertain.FromEdges(3, []uncertain.Edge{
+		{U: 0, V: 1, P: 1}, {U: 0, V: 2, P: 1}, {U: 1, V: 2, P: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range []float64{0.1, 0.5, 1} {
+		p, err := WorldProbExact(g, []int{0, 1, 2}, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 1 {
+			t.Errorf("γ=%v: exact probability %v, want 1", gamma, p)
+		}
+	}
+}
+
+func TestWorldProbExactHandComputed(t *testing.T) {
+	// Single uncertain edge {0,1} with p = 0.25. At γ ≤ 1 the pair is a
+	// quasi-clique exactly when the edge is present.
+	g, err := uncertain.FromEdges(2, []uncertain.Edge{{U: 0, V: 1, P: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := WorldProbExact(g, []int{0, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.25 {
+		t.Fatalf("exact probability %v, want 0.25", p)
+	}
+
+	// Triangle with p = 0.5 each, γ = 0.5: each vertex needs degree ≥ 1,
+	// which holds for the complete world (1/8) and the three two-edge
+	// worlds (3/8): total 1/2.
+	tri, err := uncertain.FromEdges(3, []uncertain.Edge{
+		{U: 0, V: 1, P: 0.5}, {U: 0, V: 2, P: 0.5}, {U: 1, V: 2, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = WorldProbExact(tri, []int{0, 1, 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Fatalf("triangle exact probability %v, want 0.5", p)
+	}
+	// γ = 1 needs all three edges: 1/8.
+	p, err = WorldProbExact(tri, []int{0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.125 {
+		t.Fatalf("triangle γ=1 exact probability %v, want 0.125", p)
+	}
+}
+
+func TestWorldProbExactErrors(t *testing.T) {
+	g := uncertain.NewBuilder(30).Build()
+	if _, err := WorldProbExact(g, []int{0}, 0.5); err == nil {
+		t.Error("singleton accepted")
+	}
+	if _, err := WorldProbExact(g, []int{0, 1}, 0); err == nil {
+		t.Error("gamma 0 accepted")
+	}
+	if _, err := WorldProbExact(g, []int{0, 1}, 1.5); err == nil {
+		t.Error("gamma 1.5 accepted")
+	}
+	// Build a set with too many induced edges.
+	b := uncertain.NewBuilder(8)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			if err := b.AddEdge(u, v, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dense := b.Build()
+	if _, err := WorldProbExact(dense, []int{0, 1, 2, 3, 4, 5, 6, 7}, 0.5); err == nil {
+		t.Error("28 induced edges accepted beyond the exact limit")
+	}
+}
+
+func TestWorldProbMCMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDyadic(6, 0.7, rng)
+		set := []int{0, 1, 2, 3}
+		gamma := []float64{0.5, 0.75}[trial%2]
+		exact, err := WorldProbExact(g, set, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := WorldProbMC(g, set, gamma, 60000, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Standard error ≤ 0.5/sqrt(60000) ≈ 0.002; allow 5 sigma.
+		if math.Abs(est-exact) > 0.011 {
+			t.Fatalf("trial %d: MC %v vs exact %v", trial, est, exact)
+		}
+	}
+}
+
+func TestWorldProbMCErrors(t *testing.T) {
+	g := uncertain.NewBuilder(4).Build()
+	if _, err := WorldProbMC(g, []int{0, 1}, 0.5, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := WorldProbMC(g, []int{0}, 0.5, 10, 1); err == nil {
+		t.Error("singleton accepted")
+	}
+	if _, err := WorldProbMC(g, []int{0, 1}, -0.5, 10, 1); err == nil {
+		t.Error("negative gamma accepted")
+	}
+}
+
+// The expected-degree condition is the first-moment relaxation: for sets
+// whose world probability is high, the expected-degree test must also pass
+// (E[deg] ≥ γ(s−1) whenever P[all degrees ≥ γ(s−1)] is large enough that
+// each vertex's expected degree clears the bar). The converse fails in
+// general; this test documents the direction that does hold on a concrete
+// family.
+func TestExpectedDegreeVsWorldProbability(t *testing.T) {
+	// Certain 4-clique minus one edge, all present edges certain: S is a
+	// 2/3-quasi-clique in every world.
+	g, err := uncertain.FromEdges(4, []uncertain.Edge{
+		{U: 0, V: 1, P: 1}, {U: 0, V: 2, P: 1}, {U: 0, V: 3, P: 1},
+		{U: 1, V: 2, P: 1}, {U: 1, V: 3, P: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []int{0, 1, 2, 3}
+	gamma := 2.0 / 3
+	p, err := WorldProbExact(g, set, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("world probability %v, want 1", p)
+	}
+	if !IsExpectedQuasiClique(g, set, gamma) {
+		t.Fatal("first-moment test fails where the world test is certain")
+	}
+}

@@ -1,0 +1,294 @@
+// Package utruss computes (k,η)-truss decompositions of an uncertain graph
+// — a third entry in the paper's future-work list of dense substructures
+// (§6), following the probabilistic-truss line of Huang, Lu and Lakshmanan.
+//
+// In a deterministic graph the support of an edge e = {u,v} in a subgraph H
+// is the number of triangles of H through e, and the k-truss is the maximal
+// subgraph whose every edge has support ≥ k−2. In an uncertain graph the
+// support of e within H becomes a random variable: for each common neighbor
+// w of u and v in H, the wedge {u,w},{v,w} is present with probability
+// q_w = p(u,w)·p(v,w), and wedges over distinct w share no edges, so they
+// are independent. The support therefore follows a Poisson-binomial
+// distribution whose tail P[supp ≥ t] is computed exactly by dynamic
+// programming (no sampling involved).
+//
+// For k ≥ 2 and η ∈ (0, 1], the (k,η)-truss of G is the maximal edge
+// subgraph H such that every edge e ∈ H satisfies
+//
+//	P[supp_H(e) ≥ k−2] ≥ η.
+//
+// The condition is monotone under edge removal (removing edges never raises
+// another edge's support distribution), so the family of qualifying
+// subgraphs is union-closed and the maximal one is unique; Truss computes it
+// by iterative peeling, and Decompose assigns every edge its η-truss number
+// (the largest k whose truss retains it) by peeling level by level.
+//
+// Support probabilities are conditional on the edge e itself: they quantify
+// how well e's neighborhood supports it, independently of e's own existence
+// probability, which is the convention that makes the k=2 floor exact
+// (P[supp ≥ 0] = 1, so the (2,η)-truss is all of E for every η).
+package utruss
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// EdgeTruss reports the η-truss number of one edge.
+type EdgeTruss struct {
+	U, V  int // endpoints, U < V
+	Truss int // largest k such that the (k,η)-truss contains the edge; ≥ 2
+}
+
+// graphState is the mutable peeling state over one uncertain graph.
+type graphState struct {
+	g     *uncertain.Graph
+	alive map[[2]int32]bool
+}
+
+func edgeKey(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
+func newGraphState(g *uncertain.Graph) *graphState {
+	s := &graphState{g: g, alive: make(map[[2]int32]bool, g.NumEdges())}
+	for _, e := range g.Edges() {
+		s.alive[edgeKey(e.U, e.V)] = true
+	}
+	return s
+}
+
+// wedgeProbs lists q_w = p(u,w)·p(v,w) for every common neighbor w of u and
+// v whose wedge edges are both alive.
+func (s *graphState) wedgeProbs(u, v int) []float64 {
+	rowU, prU := s.g.Adjacency(u)
+	rowV, prV := s.g.Adjacency(v)
+	var qs []float64
+	i, j := 0, 0
+	for i < len(rowU) && j < len(rowV) {
+		switch {
+		case rowU[i] < rowV[j]:
+			i++
+		case rowU[i] > rowV[j]:
+			j++
+		default:
+			w := int(rowU[i])
+			if w != u && w != v &&
+				s.alive[edgeKey(u, w)] && s.alive[edgeKey(v, w)] {
+				qs = append(qs, prU[i]*prV[j])
+			}
+			i++
+			j++
+		}
+	}
+	return qs
+}
+
+// tailProb returns P[X ≥ t] for X a sum of independent Bernoulli(qs[i]).
+// The DP keeps P[X = 0..t−1] and accumulates the overflow mass at ≥ t,
+// costing O(len(qs)·t).
+func tailProb(qs []float64, t int) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if len(qs) < t {
+		return 0
+	}
+	// dp[j] = P[X = j] over the prefix processed so far, for j < t.
+	dp := make([]float64, t)
+	dp[0] = 1
+	atLeast := 0.0
+	for _, q := range qs {
+		// Mass moving from t−1 to t leaves the tracked range.
+		atLeast += dp[t-1] * q
+		for j := t - 1; j >= 1; j-- {
+			dp[j] = dp[j]*(1-q) + dp[j-1]*q
+		}
+		dp[0] *= 1 - q
+	}
+	return atLeast
+}
+
+// SupportProb returns P[supp_G(e) ≥ t] for the edge {u,v} of g, with the
+// whole graph as the ambient subgraph. It errors if {u,v} is not a possible
+// edge or t is negative.
+func SupportProb(g *uncertain.Graph, u, v int, t int) (float64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("utruss: nil graph")
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("utruss: negative support threshold %d", t)
+	}
+	if !g.HasEdge(u, v) {
+		return 0, fmt.Errorf("utruss: {%d,%d} is not a possible edge", u, v)
+	}
+	s := newGraphState(g)
+	return tailProb(s.wedgeProbs(u, v), t), nil
+}
+
+// peel removes, to fixpoint, every alive edge whose support probability at
+// threshold t falls below eta, and returns the removed edges.
+func (s *graphState) peel(t int, eta float64) [][2]int32 {
+	var removed [][2]int32
+	// Seed the work queue with every alive edge.
+	queue := make([][2]int32, 0, len(s.alive))
+	inQueue := make(map[[2]int32]bool, len(s.alive))
+	for k, ok := range s.alive {
+		if ok {
+			queue = append(queue, k)
+			inQueue[k] = true
+		}
+	}
+	// Deterministic processing order for reproducible stats; the fixpoint
+	// itself is order-independent.
+	sort.Slice(queue, func(i, j int) bool {
+		if queue[i][0] != queue[j][0] {
+			return queue[i][0] < queue[j][0]
+		}
+		return queue[i][1] < queue[j][1]
+	})
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		inQueue[k] = false
+		if !s.alive[k] {
+			continue
+		}
+		u, v := int(k[0]), int(k[1])
+		if tailProb(s.wedgeProbs(u, v), t) >= eta {
+			continue
+		}
+		// e fails: remove it and re-check the edges of every triangle it
+		// participated in.
+		s.alive[k] = false
+		removed = append(removed, k)
+		for _, q := range s.triangleEdges(u, v) {
+			if s.alive[q] && !inQueue[q] {
+				queue = append(queue, q)
+				inQueue[q] = true
+			}
+		}
+	}
+	return removed
+}
+
+// triangleEdges returns the alive edges {u,w} and {v,w} over common alive
+// neighbors w — exactly the edges whose support distribution changes when
+// {u,v} is removed.
+func (s *graphState) triangleEdges(u, v int) [][2]int32 {
+	rowU, _ := s.g.Adjacency(u)
+	rowV, _ := s.g.Adjacency(v)
+	var out [][2]int32
+	i, j := 0, 0
+	for i < len(rowU) && j < len(rowV) {
+		switch {
+		case rowU[i] < rowV[j]:
+			i++
+		case rowU[i] > rowV[j]:
+			j++
+		default:
+			w := int(rowU[i])
+			uw, vw := edgeKey(u, w), edgeKey(v, w)
+			if s.alive[uw] && s.alive[vw] {
+				out = append(out, uw, vw)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func validateTrussArgs(g *uncertain.Graph, k int, eta float64) error {
+	if g == nil {
+		return fmt.Errorf("utruss: nil graph")
+	}
+	if k < 2 {
+		return fmt.Errorf("utruss: k = %d below 2", k)
+	}
+	if !(eta > 0 && eta <= 1) { // also rejects NaN
+		return fmt.Errorf("utruss: eta %v outside (0,1]", eta)
+	}
+	return nil
+}
+
+// Truss returns the (k,η)-truss of g: the unique maximal subgraph whose
+// every edge e satisfies P[supp(e) ≥ k−2] ≥ η within the subgraph. The
+// result preserves g's vertex set; only edges are removed.
+func Truss(g *uncertain.Graph, k int, eta float64) (*uncertain.Graph, error) {
+	if err := validateTrussArgs(g, k, eta); err != nil {
+		return nil, err
+	}
+	s := newGraphState(g)
+	s.peel(k-2, eta)
+	return s.export()
+}
+
+// export materializes the alive edges as an uncertain graph.
+func (s *graphState) export() (*uncertain.Graph, error) {
+	b := uncertain.NewBuilder(s.g.NumVertices())
+	for _, e := range s.g.Edges() {
+		if s.alive[edgeKey(e.U, e.V)] {
+			if err := b.AddEdge(e.U, e.V, e.P); err != nil {
+				return nil, fmt.Errorf("utruss: rebuilding truss: %w", err)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Decompose assigns every edge of g its η-truss number: the largest k such
+// that the (k,η)-truss contains the edge. Edges are returned sorted by
+// (U, V). Every edge has truss number ≥ 2, the trivial level.
+func Decompose(g *uncertain.Graph, eta float64) ([]EdgeTruss, error) {
+	if err := validateTrussArgs(g, 2, eta); err != nil {
+		return nil, err
+	}
+	s := newGraphState(g)
+	truss := make(map[[2]int32]int, g.NumEdges())
+	for k := range s.alive {
+		truss[k] = 2
+	}
+	// Peel level by level: edges removed while enforcing the (k,η)-truss
+	// condition have truss number k−1.
+	alive := len(truss)
+	for k := 3; alive > 0; k++ {
+		removed := s.peel(k-2, eta)
+		for _, e := range removed {
+			truss[e] = k - 1
+		}
+		alive -= len(removed)
+	}
+	out := make([]EdgeTruss, 0, len(truss))
+	for key, tn := range truss {
+		out = append(out, EdgeTruss{U: int(key[0]), V: int(key[1]), Truss: tn})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out, nil
+}
+
+// MaxTruss returns the largest k for which the (k,η)-truss of g is
+// non-empty, or 0 for an edgeless graph.
+func MaxTruss(g *uncertain.Graph, eta float64) (int, error) {
+	dec, err := Decompose(g, eta)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for _, e := range dec {
+		if e.Truss > best {
+			best = e.Truss
+		}
+	}
+	return best, nil
+}

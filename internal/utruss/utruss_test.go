@@ -1,0 +1,550 @@
+package utruss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+func randomUncertain(n int, density float64, rng *rand.Rand) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	vals := []float64{1, 0.9, 0.5, 0.25}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				_ = b.AddEdge(u, v, vals[rng.Intn(len(vals))])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// --- Poisson-binomial tail ---
+
+// bruteTail computes P[X ≥ t] by enumerating all wedge on/off patterns.
+func bruteTail(qs []float64, t int) float64 {
+	total := 0.0
+	for mask := 0; mask < 1<<uint(len(qs)); mask++ {
+		cnt := 0
+		w := 1.0
+		for i, q := range qs {
+			if mask&(1<<uint(i)) != 0 {
+				cnt++
+				w *= q
+			} else {
+				w *= 1 - q
+			}
+		}
+		if cnt >= t {
+			total += w
+		}
+	}
+	return total
+}
+
+func TestTailProbMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(11)
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = rng.Float64()
+		}
+		for thr := 0; thr <= n+1; thr++ {
+			got := tailProb(qs, thr)
+			want := bruteTail(qs, thr)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: tailProb(%v, %d) = %v, enumeration %v",
+					trial, qs, thr, got, want)
+			}
+		}
+	}
+}
+
+func TestTailProbBoundaries(t *testing.T) {
+	if got := tailProb(nil, 0); got != 1 {
+		t.Errorf("P[X ≥ 0] over empty = %v, want 1", got)
+	}
+	if got := tailProb(nil, 1); got != 0 {
+		t.Errorf("P[X ≥ 1] over empty = %v, want 0", got)
+	}
+	if got := tailProb([]float64{1, 1, 1}, 3); got != 1 {
+		t.Errorf("three certain wedges at t=3 = %v, want 1", got)
+	}
+	if got := tailProb([]float64{1, 1}, 3); got != 0 {
+		t.Errorf("two wedges at t=3 = %v, want 0", got)
+	}
+}
+
+// --- SupportProb ---
+
+func TestSupportProbHandComputed(t *testing.T) {
+	// Edge {0,1}; two wedges via 2 and 3 with q = 0.5·0.5 = 0.25 each.
+	g, err := uncertain.FromEdges(4, []uncertain.Edge{
+		{U: 0, V: 1, P: 1},
+		{U: 0, V: 2, P: 0.5}, {U: 1, V: 2, P: 0.5},
+		{U: 0, V: 3, P: 0.5}, {U: 1, V: 3, P: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    int
+		want float64
+	}{
+		{0, 1},
+		{1, 1 - 0.75*0.75}, // 1 − P[no wedge]
+		{2, 0.25 * 0.25},   // both wedges
+		{3, 0},             // only two wedges exist
+	}
+	for _, tc := range cases {
+		got, err := SupportProb(g, 0, 1, tc.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-15 {
+			t.Errorf("SupportProb(t=%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSupportProbErrors(t *testing.T) {
+	g := uncertain.NewBuilder(3).Build()
+	if _, err := SupportProb(nil, 0, 1, 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := SupportProb(g, 0, 1, 0); err == nil {
+		t.Error("missing edge accepted")
+	}
+	g2, err := uncertain.FromEdges(2, []uncertain.Edge{{U: 0, V: 1, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SupportProb(g2, 0, 1, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestSupportProbMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomUncertain(8, 0.7, rng)
+	edges := g.Edges()
+	if len(edges) == 0 {
+		t.Skip("empty random graph")
+	}
+	e := edges[0]
+	want, err := SupportProb(g, e.U, e.V, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 60000
+	hits := 0
+	for s := 0; s < samples; s++ {
+		// Sample the whole world, count triangles through e.
+		present := map[[2]int32]bool{}
+		for _, ed := range edges {
+			if rng.Float64() < ed.P {
+				present[edgeKey(ed.U, ed.V)] = true
+			}
+		}
+		cnt := 0
+		for w := 0; w < g.NumVertices(); w++ {
+			if w == e.U || w == e.V {
+				continue
+			}
+			if present[edgeKey(e.U, w)] && present[edgeKey(e.V, w)] {
+				cnt++
+			}
+		}
+		if cnt >= 2 {
+			hits++
+		}
+	}
+	got := float64(hits) / samples
+	if math.Abs(got-want) > 0.012 {
+		t.Fatalf("MC estimate %v vs exact %v", got, want)
+	}
+}
+
+// --- Truss ---
+
+// detTruss computes the deterministic k-truss by integer peeling — the
+// independent reference for the p=1 reduction.
+func detTruss(edges [][2]int, n, k int) map[[2]int]bool {
+	alive := map[[2]int]bool{}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		alive[[2]int{u, v}] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for e := range alive {
+			if !alive[e] {
+				continue
+			}
+			support := 0
+			for w := 0; w < n; w++ {
+				if w == e[0] || w == e[1] {
+					continue
+				}
+				uw := [2]int{min2(e[0], w), max2(e[0], w)}
+				vw := [2]int{min2(e[1], w), max2(e[1], w)}
+				if alive[uw] && alive[vw] {
+					support++
+				}
+			}
+			if support < k-2 {
+				delete(alive, e)
+				changed = true
+			}
+		}
+	}
+	return alive
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestTrussCertainGraphMatchesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		b := uncertain.NewBuilder(n)
+		var pairs [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					_ = b.AddEdge(u, v, 1)
+					pairs = append(pairs, [2]int{u, v})
+				}
+			}
+		}
+		g := b.Build()
+		for _, k := range []int{3, 4, 5} {
+			got, err := Truss(g, k, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := detTruss(pairs, n, k)
+			if got.NumEdges() != len(want) {
+				t.Fatalf("trial %d k=%d: %d edges vs deterministic %d",
+					trial, k, got.NumEdges(), len(want))
+			}
+			for _, e := range got.Edges() {
+				if !want[[2]int{e.U, e.V}] {
+					t.Fatalf("trial %d k=%d: spurious edge {%d,%d}", trial, k, e.U, e.V)
+				}
+			}
+		}
+	}
+}
+
+// bruteMaxTruss finds the maximal qualifying subgraph by scanning all edge
+// subsets — the union of qualifying subgraphs (m ≤ 12).
+func bruteMaxTruss(g *uncertain.Graph, k int, eta float64) map[[2]int32]bool {
+	edges := g.Edges()
+	best := map[[2]int32]bool{}
+	for mask := 0; mask < 1<<uint(len(edges)); mask++ {
+		b := uncertain.NewBuilder(g.NumVertices())
+		var keys [][2]int32
+		for i, e := range edges {
+			if mask&(1<<uint(i)) != 0 {
+				_ = b.AddEdge(e.U, e.V, e.P)
+				keys = append(keys, edgeKey(e.U, e.V))
+			}
+		}
+		h := b.Build()
+		ok := true
+		for _, e := range h.Edges() {
+			p, err := SupportProb(h, e.U, e.V, k-2)
+			if err != nil || p < eta {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, key := range keys {
+				best[key] = true
+			}
+		}
+	}
+	return best
+}
+
+func TestTrussMatchesBruteForceUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	for trial := 0; trial < 25; trial++ {
+		// Small graphs: at most 10 edges for the 2^m scan.
+		n := 4 + rng.Intn(3)
+		var g *uncertain.Graph
+		for {
+			g = randomUncertain(n, 0.5, rng)
+			if g.NumEdges() <= 10 {
+				break
+			}
+		}
+		eta := []float64{0.3, 0.6, 0.9}[trial%3]
+		for _, k := range []int{3, 4} {
+			got, err := Truss(g, k, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteMaxTruss(g, k, eta)
+			if got.NumEdges() != len(want) {
+				t.Fatalf("trial %d (k=%d, η=%v): truss has %d edges, brute union %d\nedges=%v",
+					trial, k, eta, got.NumEdges(), len(want), g.Edges())
+			}
+			for _, e := range got.Edges() {
+				if !want[edgeKey(e.U, e.V)] {
+					t.Fatalf("trial %d: edge {%d,%d} not in brute union", trial, e.U, e.V)
+				}
+			}
+		}
+	}
+}
+
+func TestTrussIsFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	for trial := 0; trial < 20; trial++ {
+		g := randomUncertain(10, 0.6, rng)
+		tr, err := Truss(g, 4, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range tr.Edges() {
+			p, err := SupportProb(tr, e.U, e.V, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < 0.4 {
+				t.Fatalf("edge {%d,%d} in truss has support prob %v < η", e.U, e.V, p)
+			}
+		}
+	}
+}
+
+func TestTrussNesting(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	g := randomUncertain(12, 0.7, rng)
+	prev, err := Truss(g, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 4; k <= 6; k++ {
+		cur, err := Truss(g, k, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range cur.Edges() {
+			if !prev.HasEdge(e.U, e.V) {
+				t.Fatalf("(%d,η)-truss edge {%d,%d} missing from (%d,η)-truss", k, e.U, e.V, k-1)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestTrussEtaMonotonicity(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomUncertain(4+rng.Intn(6), 0.7, rng)
+		loose, err := Truss(g, 3, 0.2)
+		if err != nil {
+			return false
+		}
+		tight, err := Truss(g, 3, 0.8)
+		if err != nil {
+			return false
+		}
+		for _, e := range tight.Edges() {
+			if !loose.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrussK2IsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	g := randomUncertain(8, 0.5, rng)
+	tr, err := Truss(g, 2, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEdges() != g.NumEdges() {
+		t.Fatalf("(2,η)-truss dropped edges: %d vs %d", tr.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestTrussErrors(t *testing.T) {
+	g := uncertain.NewBuilder(3).Build()
+	if _, err := Truss(nil, 3, 0.5); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Truss(g, 1, 0.5); err == nil {
+		t.Error("k=1 accepted")
+	}
+	for _, eta := range []float64{0, -0.1, 1.1, math.NaN()} {
+		if _, err := Truss(g, 3, eta); err == nil {
+			t.Errorf("eta %v accepted", eta)
+		}
+	}
+	if _, err := Decompose(nil, 0.5); err == nil {
+		t.Error("Decompose accepted nil graph")
+	}
+	if _, err := Decompose(g, 2); err == nil {
+		t.Error("Decompose accepted eta 2")
+	}
+}
+
+// --- Decompose ---
+
+func TestDecomposeConsistentWithTruss(t *testing.T) {
+	rng := rand.New(rand.NewSource(246))
+	for trial := 0; trial < 15; trial++ {
+		g := randomUncertain(9, 0.6, rng)
+		eta := []float64{0.3, 0.7}[trial%2]
+		dec, err := Decompose(g, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != g.NumEdges() {
+			t.Fatalf("decomposition covers %d of %d edges", len(dec), g.NumEdges())
+		}
+		byEdge := map[[2]int32]int{}
+		maxK := 2
+		for _, e := range dec {
+			byEdge[edgeKey(e.U, e.V)] = e.Truss
+			if e.Truss > maxK {
+				maxK = e.Truss
+			}
+			if e.Truss < 2 {
+				t.Fatalf("edge {%d,%d} has truss number %d < 2", e.U, e.V, e.Truss)
+			}
+		}
+		for k := 3; k <= maxK+1; k++ {
+			tr, err := Truss(g, k, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inTruss := map[[2]int32]bool{}
+			for _, e := range tr.Edges() {
+				inTruss[edgeKey(e.U, e.V)] = true
+			}
+			for key, tn := range byEdge {
+				if (tn >= k) != inTruss[key] {
+					t.Fatalf("trial %d η=%v k=%d: edge %v truss number %d vs membership %v",
+						trial, eta, k, key, tn, inTruss[key])
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeEdgeless(t *testing.T) {
+	g := uncertain.NewBuilder(5).Build()
+	dec, err := Decompose(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("edgeless graph produced %d truss entries", len(dec))
+	}
+	k, err := MaxTruss(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("MaxTruss of edgeless graph = %d, want 0", k)
+	}
+}
+
+func TestMaxTrussPlantedClique(t *testing.T) {
+	// Certain K6 plus a few weak stray edges: the 6-clique is a 6-truss in
+	// every world, so MaxTruss at any η ≤ 1 is at least 6.
+	b := uncertain.NewBuilder(10)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			if err := b.AddEdge(u, v, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_ = b.AddEdge(6, 7, 0.3)
+	_ = b.AddEdge(7, 8, 0.3)
+	_ = b.AddEdge(8, 9, 0.3)
+	g := b.Build()
+	k, err := MaxTruss(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 6 {
+		t.Fatalf("MaxTruss = %d, want 6 for a certain K6", k)
+	}
+	// The stray path has no triangles: truss number 2.
+	dec, err := Decompose(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range dec {
+		if e.U >= 6 && e.Truss != 2 {
+			t.Fatalf("stray edge {%d,%d} has truss %d, want 2", e.U, e.V, e.Truss)
+		}
+		if e.V < 6 && e.Truss != 6 {
+			t.Fatalf("clique edge {%d,%d} has truss %d, want 6", e.U, e.V, e.Truss)
+		}
+	}
+}
+
+// Lower η keeps more: the truss number of every edge is monotone
+// non-increasing in η.
+func TestQuickDecomposeEtaMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomUncertain(4+rng.Intn(6), 0.7, rng)
+		lo, err := Decompose(g, 0.25)
+		if err != nil {
+			return false
+		}
+		hi, err := Decompose(g, 0.75)
+		if err != nil {
+			return false
+		}
+		if len(lo) != len(hi) {
+			return false
+		}
+		for i := range lo {
+			if lo[i].U != hi[i].U || lo[i].V != hi[i].V {
+				return false
+			}
+			if hi[i].Truss > lo[i].Truss {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

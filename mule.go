@@ -1,0 +1,123 @@
+// Package mule is a Go implementation of "Mining Maximal Cliques from an
+// Uncertain Graph" (Mukherjee, Xu, Tirthapura; ICDE 2015).
+//
+// An uncertain graph G = (V, E, p) assigns each possible edge an independent
+// existence probability. For a threshold α ∈ (0,1], a vertex set M is an
+// α-maximal clique if it is a clique with probability ≥ α (the product of
+// its edge probabilities) and no vertex can be added without dropping below
+// α. This package enumerates all α-maximal cliques with the paper's MULE
+// algorithm — depth-first search with incremental probability maintenance
+// and O(1) maximality detection — and its LARGE-MULE variant restricted to
+// cliques of a minimum size.
+//
+// Quick start:
+//
+//	b := mule.NewBuilder(4)
+//	_ = b.AddEdge(0, 1, 0.9)
+//	_ = b.AddEdge(0, 2, 0.8)
+//	_ = b.AddEdge(1, 2, 0.9)
+//	_ = b.AddEdge(2, 3, 0.5)
+//	g := b.Build()
+//	mule.Enumerate(g, 0.5, func(clique []int, prob float64) bool {
+//		fmt.Println(clique, prob)
+//		return true
+//	})
+//
+// The facade re-exports the core types from the internal packages; the
+// internal packages additionally provide generators (internal/gen), file
+// formats (internal/graphio), baselines and oracles (internal/baseline),
+// extremal-bound machinery (internal/bounds) and the experiment harness
+// (internal/bench) used by cmd/experiments.
+//
+// The dense-substructure extensions the paper's conclusion names as future
+// work live in extensions.go: maximal α-bicliques (EnumerateBicliques),
+// expected γ-quasi-cliques (CollectQuasiCliques), (k,η)-trusses (Truss,
+// TrussDecompose), (k,η)-cores (Core, CoreDecompose), top-k selection
+// (TopKByProb, TopKBySize) and incremental maintenance under edge updates
+// (NewMaintainer).
+package mule
+
+import (
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// Graph is an immutable uncertain graph; build one with NewBuilder or
+// FromEdges.
+type Graph = uncertain.Graph
+
+// Builder accumulates probabilistic edges for a Graph.
+type Builder = uncertain.Builder
+
+// Edge is one probabilistic edge (endpoints U, V and probability P).
+type Edge = uncertain.Edge
+
+// Stats reports the work performed by an enumeration run.
+type Stats = core.Stats
+
+// Config tunes an enumeration run; the zero value is the paper's plain MULE.
+type Config = core.Config
+
+// Visitor receives each α-maximal clique (sorted, reused between calls) and
+// its clique probability; returning false stops the enumeration.
+type Visitor = core.Visitor
+
+// Ordering selects the vertex numbering used by the search.
+type Ordering = core.Ordering
+
+// Vertex ordering strategies.
+const (
+	OrderNatural    = core.OrderNatural
+	OrderDegree     = core.OrderDegree
+	OrderDegeneracy = core.OrderDegeneracy
+	OrderRandom     = core.OrderRandom
+)
+
+// NewBuilder returns a Builder for an uncertain graph on n vertices.
+func NewBuilder(n int) *Builder { return uncertain.NewBuilder(n) }
+
+// FromEdges builds an uncertain graph on n vertices from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return uncertain.FromEdges(n, edges) }
+
+// Enumerate enumerates every α-maximal clique of g (Algorithm 1, MULE).
+// visit may be nil to only count (see Stats.Emitted).
+func Enumerate(g *Graph, alpha float64, visit Visitor) (Stats, error) {
+	return core.Enumerate(g, alpha, visit)
+}
+
+// EnumerateLarge enumerates every α-maximal clique with at least minSize
+// vertices (Algorithm 5, LARGE-MULE).
+func EnumerateLarge(g *Graph, alpha float64, minSize int, visit Visitor) (Stats, error) {
+	return core.EnumerateLarge(g, alpha, minSize, visit)
+}
+
+// EnumerateWith runs MULE with explicit configuration (ordering, parallel
+// workers, minimum size, instrumentation).
+func EnumerateWith(g *Graph, alpha float64, visit Visitor, cfg Config) (Stats, error) {
+	return core.EnumerateWith(g, alpha, visit, cfg)
+}
+
+// Collect returns all α-maximal cliques in canonical order (each clique
+// sorted ascending; cliques sorted lexicographically).
+func Collect(g *Graph, alpha float64) ([][]int, error) { return core.Collect(g, alpha) }
+
+// Count returns the number of α-maximal cliques without materializing them.
+func Count(g *Graph, alpha float64) (int64, error) { return core.Count(g, alpha) }
+
+// CliqueProb returns clq(set, g): the probability that set is a clique in a
+// world sampled from g (Observation 1: the product of induced edge
+// probabilities; 0 if set is not a clique of the support graph).
+func CliqueProb(g *Graph, set []int) float64 { return g.CliqueProb(set) }
+
+// IsAlphaMaximalClique reports whether set satisfies Definition 4 of the
+// paper for the given α. This is the O(n·|set|²) reference predicate, not
+// the enumeration fast path.
+func IsAlphaMaximalClique(g *Graph, set []int, alpha float64) bool {
+	return g.IsAlphaMaximalClique(set, alpha)
+}
+
+// MaximumClique returns one maximum-cardinality α-clique and its probability
+// using a branch-and-bound variant of the MULE search.
+func MaximumClique(g *Graph, alpha float64) ([]int, float64, error) {
+	return core.MaximumClique(g, alpha)
+}

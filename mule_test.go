@@ -1,0 +1,124 @@
+package mule_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	mule "github.com/uncertain-graphs/mule"
+)
+
+// buildDocGraph is the graph from the package documentation.
+func buildDocGraph(t *testing.T) *mule.Graph {
+	t.Helper()
+	b := mule.NewBuilder(4)
+	for _, e := range []mule.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 0, V: 2, P: 0.8}, {U: 1, V: 2, P: 0.9}, {U: 2, V: 3, P: 0.5},
+	} {
+		if err := b.AddEdge(e.U, e.V, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := buildDocGraph(t)
+	got, err := mule.Collect(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// clq({0,1,2}) = 0.9·0.8·0.9 = 0.648 ≥ 0.5; {2,3} = 0.5 ≥ 0.5.
+	want := [][]int{{0, 1, 2}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Collect = %v, want %v", got, want)
+	}
+}
+
+func TestFacadeEnumerateAndCount(t *testing.T) {
+	g := buildDocGraph(t)
+	var seen int
+	stats, err := mule.Enumerate(g, 0.5, func(c []int, p float64) bool {
+		seen++
+		if p < 0.5 {
+			t.Fatalf("clique %v reported with prob %v < α", c, p)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 || stats.Emitted != 2 {
+		t.Fatalf("enumerated %d cliques (stats %d), want 2", seen, stats.Emitted)
+	}
+	n, err := mule.Count(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+}
+
+func TestFacadeLarge(t *testing.T) {
+	g := buildDocGraph(t)
+	var got [][]int
+	_, err := mule.EnumerateLarge(g, 0.5, 3, func(c []int, _ float64) bool {
+		cp := make([]int, len(c))
+		copy(cp, c)
+		got = append(got, cp)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, [][]int{{0, 1, 2}}) {
+		t.Fatalf("LARGE-MULE(3) = %v", got)
+	}
+}
+
+func TestFacadeConfigAndOrderings(t *testing.T) {
+	g := buildDocGraph(t)
+	want, _ := mule.Collect(g, 0.5)
+	for _, ord := range []mule.Ordering{mule.OrderNatural, mule.OrderDegree, mule.OrderDegeneracy, mule.OrderRandom} {
+		var got [][]int
+		_, err := mule.EnumerateWith(g, 0.5, func(c []int, _ float64) bool {
+			cp := make([]int, len(c))
+			copy(cp, c)
+			got = append(got, cp)
+			return true
+		}, mule.Config{Ordering: ord, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ordering %v: %d cliques, want %d", ord, len(got), len(want))
+		}
+	}
+}
+
+func TestFacadePredicates(t *testing.T) {
+	g := buildDocGraph(t)
+	if p := mule.CliqueProb(g, []int{0, 1, 2}); math.Abs(p-0.648) > 1e-12 {
+		t.Fatalf("CliqueProb = %v, want ≈ 0.648", p)
+	}
+	if !mule.IsAlphaMaximalClique(g, []int{0, 1, 2}, 0.5) {
+		t.Fatal("{0,1,2} should be 0.5-maximal")
+	}
+	if mule.IsAlphaMaximalClique(g, []int{0, 1}, 0.5) {
+		t.Fatal("{0,1} is extendable")
+	}
+}
+
+func TestFacadeFromEdges(t *testing.T) {
+	g, err := mule.FromEdges(3, []mule.Edge{{U: 0, V: 1, P: 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 1 {
+		t.Fatal("FromEdges built wrong graph")
+	}
+	if _, err := mule.FromEdges(2, []mule.Edge{{U: 0, V: 0, P: 0.5}}); err == nil {
+		t.Fatal("self-loop should fail")
+	}
+}

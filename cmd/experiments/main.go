@@ -8,6 +8,7 @@
 //	experiments -exp figure2              # paper-scale inputs
 //	experiments -exp all -quick           # everything, scaled down
 //	experiments -exp figure5 -dblp-scale 0.1 -budget 10m
+//	experiments -exp parallel -workers 8  # work-stealing vs top-level speedups
 //
 // Paper-scale DFS-NOIP cells at small α can take hours (the paper reports
 // 11+ hours for wiki-vote at α=0.0001); -budget caps each run and reports
@@ -39,7 +40,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "workload seed")
 		dblpScale = fs.Float64("dblp-scale", 0.05, "DBLP scale for full mode (1.0 = 685k authors)")
 		budget    = fs.Duration("budget", 2*time.Minute, "per-run time budget")
-		workers   = fs.Int("workers", 0, "parallel workers for ablation runs")
+		workers   = fs.Int("workers", 0, "max parallel workers for the ablation and parallel experiments (0 = NumCPU)")
 		list      = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {

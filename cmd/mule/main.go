@@ -6,10 +6,14 @@
 //	mule -in graph.ug -alpha 0.1 -minsize 4      # LARGE-MULE: only cliques ≥ 4
 //	mule -in graph.ug -alpha 0.5 -count          # count only
 //	mule -in graph.ug -alpha 0.5 -top 10         # 10 highest-probability cliques
-//	mule -in graph.ugb -alpha 0.5 -workers 8     # parallel top-level fan-out
+//	mule -in graph.ugb -alpha 0.5 -workers 8     # parallel work-stealing search
+//	mule -in g.ug -alpha 0.5 -workers 8 -engine toplevel  # legacy fan-out
 //
-// Each output line is "p<TAB>v1 v2 v3 …". The input format is described in
-// internal/graphio (text: "u v p" lines; binary: .ugb).
+// With -workers > 1 the search runs on the work-stealing engine by default;
+// -engine toplevel selects the legacy top-level fan-out and -granularity
+// tunes how small a subtree may be published for stealing. Each output line
+// is "p<TAB>v1 v2 v3 …". The input format is described in internal/graphio
+// (text: "u v p" lines; binary: .ugb).
 package main
 
 import (
@@ -36,14 +40,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mule", flag.ContinueOnError)
 	var (
-		in        = fs.String("in", "", "input graph file (.ug text or .ugb binary; required)")
-		alpha     = fs.Float64("alpha", 0.5, "probability threshold α in (0,1]")
-		minSize   = fs.Int("minsize", 0, "enumerate only cliques with at least this many vertices (LARGE-MULE)")
-		workers   = fs.Int("workers", 0, "parallel workers (0 = serial)")
-		ordering  = fs.String("order", "natural", "vertex ordering: natural|degree|degeneracy|random")
-		countOnly = fs.Bool("count", false, "print only the number of α-maximal cliques")
-		top       = fs.Int("top", 0, "print only the k highest-probability α-maximal cliques")
-		quiet     = fs.Bool("quiet", false, "suppress the stats line on stderr")
+		in          = fs.String("in", "", "input graph file (.ug text or .ugb binary; required)")
+		alpha       = fs.Float64("alpha", 0.5, "probability threshold α in (0,1]")
+		minSize     = fs.Int("minsize", 0, "enumerate only cliques with at least this many vertices (LARGE-MULE)")
+		workers     = fs.Int("workers", 0, "parallel workers (0 = serial)")
+		engine      = fs.String("engine", "worksteal", "parallel engine: worksteal|toplevel")
+		granularity = fs.Int("granularity", 0, "work-stealing steal granularity (0 = default)")
+		ordering    = fs.String("order", "natural", "vertex ordering: natural|degree|degeneracy|random")
+		countOnly   = fs.Bool("count", false, "print only the number of α-maximal cliques")
+		top         = fs.Int("top", 0, "print only the k highest-probability α-maximal cliques")
+		quiet       = fs.Bool("quiet", false, "suppress the stats line on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,11 +62,21 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	mode, err := parseEngine(*engine)
+	if err != nil {
+		return err
+	}
 	g, err := graphio.LoadFile(*in)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{MinSize: *minSize, Workers: *workers, Ordering: ord}
+	cfg := core.Config{
+		MinSize:          *minSize,
+		Workers:          *workers,
+		Parallel:         mode,
+		StealGranularity: *granularity,
+		Ordering:         ord,
+	}
 
 	start := time.Now()
 	w := bufio.NewWriter(out)
@@ -113,6 +129,17 @@ func printClique(w *bufio.Writer, c []int, p float64) {
 		fmt.Fprintf(w, "%d", v)
 	}
 	w.WriteByte('\n')
+}
+
+func parseEngine(s string) (core.ParallelMode, error) {
+	switch strings.ToLower(s) {
+	case "worksteal", "workstealing":
+		return core.ParallelWorkStealing, nil
+	case "toplevel", "top-level":
+		return core.ParallelTopLevel, nil
+	default:
+		return 0, fmt.Errorf("unknown parallel engine %q", s)
+	}
 }
 
 func parseOrdering(s string) (core.Ordering, error) {

@@ -1,0 +1,108 @@
+package mule_test
+
+import (
+	"fmt"
+	"sort"
+
+	mule "github.com/uncertain-graphs/mule"
+)
+
+// ExampleEnumerate mirrors the package quick start: enumerate every
+// α-maximal clique of a four-vertex uncertain graph.
+func ExampleEnumerate() {
+	b := mule.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(0, 2, 0.8)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(2, 3, 0.5)
+	g := b.Build()
+
+	_, _ = mule.Enumerate(g, 0.5, func(clique []int, prob float64) bool {
+		fmt.Printf("%v %.3f\n", clique, prob)
+		return true
+	})
+	// Output:
+	// [0 1 2] 0.648
+	// [2 3] 0.500
+}
+
+// ExampleEnumerate_parallel runs the same enumeration on the work-stealing
+// parallel engine. Workers visit cliques in a scheduling-dependent order,
+// so the visitor copies them out and the result is sorted before printing;
+// the emitted set is identical to a serial run.
+func ExampleEnumerate_parallel() {
+	b := mule.NewBuilder(6)
+	// Two overlapping triangles sharing vertex 2, plus a pendant edge.
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(0, 2, 0.9)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(2, 3, 0.8)
+	_ = b.AddEdge(2, 4, 0.8)
+	_ = b.AddEdge(3, 4, 0.8)
+	_ = b.AddEdge(4, 5, 0.7)
+	g := b.Build()
+
+	var cliques [][]int
+	_, _ = mule.EnumerateWith(g, 0.5, func(clique []int, _ float64) bool {
+		cliques = append(cliques, append([]int(nil), clique...))
+		return true
+	}, mule.Config{Workers: 4})
+
+	sort.Slice(cliques, func(i, j int) bool {
+		a, b := cliques[i], cliques[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	for _, c := range cliques {
+		fmt.Println(c)
+	}
+	// Output:
+	// [0 1 2]
+	// [2 3 4]
+	// [4 5]
+}
+
+// ExampleNewMaintainer keeps the α-maximal clique set in sync across edge
+// updates, receiving an exact diff per change.
+func ExampleNewMaintainer() {
+	b := mule.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(1, 2, 0.9)
+	g := b.Build()
+
+	m, _ := mule.NewMaintainer(g, 0.5)
+	fmt.Println("cliques:", m.NumCliques())
+
+	// Closing the triangle replaces {0,1} and {1,2} with {0,1,2}.
+	diff, _ := m.SetEdge(0, 2, 0.9)
+	fmt.Println("added:", len(diff.Added), "removed:", len(diff.Removed))
+	fmt.Println("cliques:", m.NumCliques())
+	// Output:
+	// cliques: 3
+	// added: 1 removed: 2
+	// cliques: 2
+}
+
+// ExampleTopKByProb selects the k most probable α-maximal cliques without
+// materializing the full output.
+func ExampleTopKByProb() {
+	b := mule.NewBuilder(5)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(0, 2, 0.8)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(2, 3, 0.6)
+	_ = b.AddEdge(3, 4, 0.95)
+	g := b.Build()
+
+	top, _ := mule.TopKByProb(g, 0.5, 2)
+	for _, sc := range top {
+		fmt.Printf("%v %.3f\n", sc.Vertices, sc.Prob)
+	}
+	// Output:
+	// [3 4] 0.950
+	// [0 1 2] 0.648
+}

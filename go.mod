@@ -1,0 +1,3 @@
+module github.com/uncertain-graphs/mule
+
+go 1.22

@@ -90,7 +90,7 @@ func TestTimedMULEHonorsBudget(t *testing.T) {
 
 func TestRegistryLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 10 {
+	if len(reg) != 11 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	ids := map[string]bool{}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"runtime"
+	"sort"
 
 	"github.com/uncertain-graphs/mule/internal/bounds"
 	"github.com/uncertain-graphs/mule/internal/core"
@@ -76,6 +78,12 @@ func Registry() []Experiment {
 			Title: "Ablations: pruning, ordering, parallelism",
 			Paper: "design-choice measurements beyond the paper",
 			Run:   runAblation,
+		},
+		{
+			ID:    "parallel",
+			Title: "Parallel scaling: work stealing vs top-level fan-out",
+			Paper: "beyond the paper: speedup on a skewed workload where one top-level branch owns >99% of the search",
+			Run:   runParallelScaling,
 		},
 		{
 			ID:    "extensions",
@@ -350,8 +358,12 @@ func runAblation(cfg Config, w io.Writer) error {
 		if err := run("MULE (degree order)", alpha, core.Config{Ordering: core.OrderDegree}); err != nil {
 			return err
 		}
-		for _, workers := range []int{2, 4} {
-			if err := run(fmt.Sprintf("MULE (parallel x%d)", workers), alpha, core.Config{Workers: workers}); err != nil {
+		for _, workers := range parallelWorkerGrid(cfg) {
+			if err := run(fmt.Sprintf("MULE (work-steal x%d)", workers), alpha, core.Config{Workers: workers}); err != nil {
+				return err
+			}
+			if err := run(fmt.Sprintf("MULE (top-level x%d)", workers), alpha,
+				core.Config{Workers: workers, Parallel: core.ParallelTopLevel}); err != nil {
 				return err
 			}
 		}
@@ -361,6 +373,80 @@ func runAblation(cfg Config, w io.Writer) error {
 		noip := TimedNOIP(g, alpha, cfg)
 		t.Add("DFS-NOIP", fmt.Sprintf("%g", alpha), formatRun(noip),
 			fmt.Sprintf("%d", noip.Cliques), "-")
+	}
+	return t.Render(w)
+}
+
+// parallelWorkerGrid returns the worker counts measured by the parallel
+// scaling experiment: 2, 4, and the configured maximum (cfg.Workers when
+// set, else NumCPU), deduplicated and ascending.
+func parallelWorkerGrid(cfg Config) []int {
+	maxW := cfg.Workers
+	if maxW < 2 {
+		maxW = runtime.NumCPU()
+	}
+	grid := []int{}
+	for _, w := range []int{2, 4, maxW} {
+		if w < 2 || w > maxW {
+			continue
+		}
+		dup := false
+		for _, g := range grid {
+			if g == w {
+				dup = true
+			}
+		}
+		if !dup {
+			grid = append(grid, w)
+		}
+	}
+	sort.Ints(grid)
+	return grid
+}
+
+// runParallelScaling measures serial MULE against both parallel engines on
+// the skewed hub workload (where the top-level fan-out starves) and on a
+// Barabási–Albert graph (a conventional power-law input). One row per
+// engine × worker count, with speedup relative to the serial run of the
+// same graph.
+func runParallelScaling(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	type workload struct {
+		ng    NamedGraph
+		alpha float64
+	}
+	baN := 5000
+	if cfg.Quick {
+		baN = 800
+	}
+	loads := []workload{
+		{SkewedCliqueGraph(cfg), SkewedAlpha},
+		{NamedGraph{baName(baN), gen.BA(baN, cfg.Seed)}, 0.001},
+	}
+	t := NewTable(fmt.Sprintf("Parallel scaling (GOMAXPROCS=%d): work stealing vs top-level fan-out", runtime.GOMAXPROCS(0)),
+		"graph", "engine", "workers", "runtime", "speedup", "cliques", "steals", "splits")
+	for _, ld := range loads {
+		serial, err := TimedMULE(ld.ng.G, ld.alpha, cfg, core.Config{})
+		if err != nil {
+			return err
+		}
+		t.Add(ld.ng.Name, "serial", "1", formatRun(serial), "1.00x",
+			fmt.Sprintf("%d", serial.Cliques), "-", "-")
+		for _, workers := range parallelWorkerGrid(cfg) {
+			for _, engine := range []core.ParallelMode{core.ParallelTopLevel, core.ParallelWorkStealing} {
+				r, err := TimedMULE(ld.ng.G, ld.alpha, cfg, core.Config{Workers: workers, Parallel: engine})
+				if err != nil {
+					return err
+				}
+				speedup := "-"
+				if r.Finished && serial.Finished && r.Elapsed > 0 {
+					speedup = fmt.Sprintf("%.2fx", float64(serial.Elapsed)/float64(r.Elapsed))
+				}
+				t.Add(ld.ng.Name, engine.String(), fmt.Sprintf("%d", workers), formatRun(r), speedup,
+					fmt.Sprintf("%d", r.Cliques),
+					fmt.Sprintf("%d", r.Stats.Steals), fmt.Sprintf("%d", r.Stats.Splits))
+			}
+		}
 	}
 	return t.Render(w)
 }

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/uncertain-graphs/mule/internal/core"
+)
+
+// TestSkewedWorkloadShape pins the property the parallel-scaling experiment
+// depends on: the skewed hub workload concentrates nearly all α-maximal
+// cliques in the top-level branch of vertex 0, the shape that starves the
+// legacy fan-out.
+func TestSkewedWorkloadShape(t *testing.T) {
+	g := SkewedCliqueGraph(Config{Quick: true, Seed: 1}).G
+	total, branch0 := 0, 0
+	_, err := core.Enumerate(g, SkewedAlpha, func(c []int, _ float64) bool {
+		total++
+		if c[0] == 0 {
+			branch0++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("skewed workload produced no cliques")
+	}
+	if share := float64(branch0) / float64(total); share < 0.9 {
+		t.Fatalf("top-level branch 0 owns only %.1f%% of %d cliques; workload is not skewed",
+			100*share, total)
+	}
+}
+
+// TestParallelEnginesMatchSerialOnSkewed checks both engines emit the
+// identical clique set as serial on the scaling workload, regardless of the
+// machine's core count.
+func TestParallelEnginesMatchSerialOnSkewed(t *testing.T) {
+	g := SkewedCliqueGraph(Config{Quick: true, Seed: 1}).G
+	want, _, err := core.CollectWith(g, SkewedAlpha, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []core.Config{
+		{Workers: 4},
+		{Workers: 4, StealGranularity: 1},
+		{Workers: 4, Parallel: core.ParallelTopLevel},
+	} {
+		got, _, err := core.CollectWith(g, SkewedAlpha, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("config %+v diverged from serial (%d vs %d cliques)", cfg, len(got), len(want))
+		}
+	}
+}
+
+// TestWorkStealingSpeedup is the acceptance benchmark: on a machine with at
+// least 4 cores, the work-stealing engine must be ≥2× faster than serial on
+// the skewed workload and strictly faster than the legacy top-level
+// fan-out, with identical output. Skipped on smaller machines, where no
+// engine can demonstrate a speedup.
+func TestWorkStealingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup benchmark in -short mode")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 || runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need ≥4 usable CPUs for a meaningful speedup, have NumCPU=%d GOMAXPROCS=%d",
+			cpus, runtime.GOMAXPROCS(0))
+	}
+	if runtime.GOMAXPROCS(0) < cpus {
+		cpus = runtime.GOMAXPROCS(0)
+	}
+	cfg := Config{Seed: 1, Budget: 10 * time.Minute}
+	g := SkewedCliqueGraph(cfg).G
+
+	run := func(c core.Config) (time.Duration, int64) {
+		r, err := TimedMULE(g, SkewedAlpha, cfg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Finished {
+			t.Fatalf("run %+v exceeded budget", c)
+		}
+		return r.Elapsed, r.Cliques
+	}
+	// Warm up caches, then measure each engine once on the ~0.5s workload.
+	run(core.Config{})
+	serial, serialCliques := run(core.Config{})
+	topLevel, topCliques := run(core.Config{Workers: cpus, Parallel: core.ParallelTopLevel})
+	workSteal, wsCliques := run(core.Config{Workers: cpus})
+
+	if wsCliques != serialCliques || topCliques != serialCliques {
+		t.Fatalf("clique counts diverge: serial=%d toplevel=%d worksteal=%d",
+			serialCliques, topCliques, wsCliques)
+	}
+	t.Logf("serial=%v toplevel=%v worksteal=%v (%d cliques, %d workers)",
+		serial, topLevel, workSteal, serialCliques, cpus)
+	if workSteal > serial/2 {
+		t.Errorf("work stealing %v is not ≥2x faster than serial %v", workSteal, serial)
+	}
+	if workSteal >= topLevel {
+		t.Errorf("work stealing %v is not faster than top-level fan-out %v", workSteal, topLevel)
+	}
+}

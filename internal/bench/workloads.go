@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math/rand"
 	"time"
 
 	"github.com/uncertain-graphs/mule/internal/baseline"
@@ -135,6 +136,51 @@ func LargeCliqueGraphs(cfg Config) []NamedGraph {
 		{"DBLP", gen.DBLPLike(cfg.DBLPScale, cfg.Seed)},
 	}
 }
+
+// SkewedCliqueGraph builds the parallel-scaling workload: a graph whose
+// search tree is dominated by a single top-level branch, the shape that
+// starves the legacy top-level fan-out. Hub vertices 0..h-1 attach to every
+// core vertex with near-certain probability, so almost every α-maximal
+// clique contains hub 0 and the entire heavy subtree hangs off one top-level
+// branch (measured: >99% of cliques at SkewedAlpha in full mode). The core
+// is an Erdős–Rényi block with probabilities in [0.82, 0.98]; a ring of
+// tail vertices supplies many trivial top-level branches, mimicking the
+// hub-plus-periphery shape of PPI and collaboration networks.
+func SkewedCliqueGraph(cfg Config) NamedGraph {
+	cfg = cfg.withDefaults()
+	hubs, core, tail, dens := 2, 520, 600, 0.18
+	if cfg.Quick {
+		core, tail, dens = 260, 300, 0.14
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := uncertain.NewBuilder(hubs + core + tail)
+	for h := 0; h < hubs; h++ {
+		for h2 := h + 1; h2 < hubs; h2++ {
+			_ = b.AddEdge(h, h2, 0.99)
+		}
+		for v := hubs; v < hubs+core; v++ {
+			_ = b.AddEdge(h, v, 0.96+0.03*rng.Float64())
+		}
+	}
+	for u := hubs; u < hubs+core; u++ {
+		for v := u + 1; v < hubs+core; v++ {
+			if rng.Float64() < dens {
+				_ = b.AddEdge(u, v, 0.82+0.16*rng.Float64())
+			}
+		}
+	}
+	for i := 0; i < tail; i++ {
+		u := hubs + core + i
+		v := hubs + core + (i+1)%tail
+		if u != v {
+			_ = b.AddEdge(u, v, 0.9)
+		}
+	}
+	return NamedGraph{"skewed-hub", b.Build()}
+}
+
+// SkewedAlpha is the probability threshold used with SkewedCliqueGraph.
+const SkewedAlpha = 0.02
 
 // AlphaSweep is the probability-threshold grid of Figures 2 and 3
 // (log-spaced from 1e-4 to 0.9, mirroring the paper's x-axis).

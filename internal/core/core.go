@@ -14,8 +14,17 @@
 //
 // The package also implements LARGE-MULE (Algorithm 5/6) for enumerating
 // only α-maximal cliques with at least MinSize vertices, with the
-// Modani–Dey shared-neighborhood prefilter, plus a parallel driver that fans
-// the provably independent top-level branches out across workers.
+// Modani–Dey shared-neighborhood prefilter.
+//
+// Two parallel engines are available when Config.Workers > 1. The default
+// work-stealing engine (worksteal.go) turns the recursion into explicit,
+// splittable search frames: each worker runs its own subtree depth-first
+// from a private deque and steals half of the oldest frames from a victim
+// when its deque drains, so a single heavy subtree — the norm on skewed
+// power-law inputs — is subdivided on demand instead of pinning one worker.
+// The legacy top-level fan-out (parallel.go) that only distributes the
+// provably independent root branches is kept as ParallelTopLevel for
+// comparison benchmarks.
 package core
 
 import (
@@ -63,6 +72,32 @@ func (o Ordering) String() string {
 	}
 }
 
+// ParallelMode selects the engine used when Config.Workers > 1.
+type ParallelMode int
+
+const (
+	// ParallelWorkStealing (the default) executes the search over
+	// per-worker deques of splittable frames with work stealing. It keeps
+	// all workers busy even when one subtree dominates the search tree.
+	ParallelWorkStealing ParallelMode = iota
+	// ParallelTopLevel is the legacy driver that only fans out the
+	// independent top-level branches; on skewed inputs most workers idle
+	// while one owns the heavy subtree. Kept for comparison benchmarks.
+	ParallelTopLevel
+)
+
+// String names the parallel engine for logs and benchmark labels.
+func (m ParallelMode) String() string {
+	switch m {
+	case ParallelWorkStealing:
+		return "worksteal"
+	case ParallelTopLevel:
+		return "toplevel"
+	default:
+		return fmt.Sprintf("ParallelMode(%d)", int(m))
+	}
+}
+
 // Config tunes an enumeration run. The zero value reproduces the paper's
 // plain MULE: all α-maximal cliques, natural ordering, single-threaded.
 type Config struct {
@@ -75,8 +110,18 @@ type Config struct {
 	Ordering Ordering
 	// Seed feeds OrderRandom.
 	Seed int64
-	// Workers > 1 enables the parallel driver with that many goroutines.
+	// Workers > 1 enables a parallel engine with that many goroutines.
 	Workers int
+	// Parallel selects the engine used when Workers > 1: work stealing
+	// (the default) or the legacy top-level fan-out.
+	Parallel ParallelMode
+	// StealGranularity is the minimum number of candidate vertices a
+	// subtree must have before the work-stealing engine publishes it as a
+	// stealable frame; smaller subtrees run inline with the serial
+	// recursion. Lower values balance load at finer grain but pay more
+	// synchronization; 0 selects the default (8). Ignored unless the
+	// work-stealing engine runs.
+	StealGranularity int
 	// SkipPrune disables the α-edge-pruning preprocessing step
 	// (Observation 3). Only useful for ablation benchmarks; the output is
 	// identical either way.
@@ -97,6 +142,8 @@ type Stats struct {
 	PrunedEdges   int   // edges removed by α-pruning (Observation 3)
 	SizePruned    int64 // LARGE-MULE: branches cut by |C'|+|I'| < MinSize
 	FilterRemoved int   // LARGE-MULE: edges removed by shared-neighborhood filtering
+	Steals        int64 // work-stealing: successful steal operations
+	Splits        int64 // work-stealing: lone frames split at the iteration level
 }
 
 // Enumerate runs plain MULE (Algorithm 1): it enumerates every α-maximal
@@ -126,6 +173,12 @@ func EnumerateWith(g *uncertain.Graph, alpha float64, visit Visitor, cfg Config)
 	}
 	if cfg.Workers < 0 {
 		return Stats{}, fmt.Errorf("core: negative Workers %d", cfg.Workers)
+	}
+	if cfg.StealGranularity < 0 {
+		return Stats{}, fmt.Errorf("core: negative StealGranularity %d", cfg.StealGranularity)
+	}
+	if cfg.Parallel != ParallelWorkStealing && cfg.Parallel != ParallelTopLevel {
+		return Stats{}, fmt.Errorf("core: unknown parallel mode %d", int(cfg.Parallel))
 	}
 
 	work := g
@@ -166,9 +219,12 @@ func EnumerateWith(g *uncertain.Graph, alpha float64, visit Visitor, cfg Config)
 		stats:    &stats,
 		emitBuf:  make([]int, 0, 64),
 	}
-	if cfg.Workers > 1 {
-		e.runParallel(cfg.Workers)
-	} else {
+	switch {
+	case cfg.Workers > 1 && cfg.Parallel == ParallelTopLevel:
+		e.runTopLevel(cfg.Workers)
+	case cfg.Workers > 1:
+		e.runWorkStealing(cfg.Workers, cfg.StealGranularity)
+	default:
 		e.runSerial()
 	}
 	return stats, nil

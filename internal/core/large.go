@@ -4,6 +4,24 @@ import (
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
+// Witness sets under size pruning, serial vs work stealing.
+//
+// Algorithm 6's serial loop skips the witness append for a size-pruned
+// candidate u (recurse in mule.go): any clique u could witness against is
+// itself below the size threshold t, so u can never block an emission. The
+// work-stealing engine instead appends u anyway, keeping the frame's
+// witness set equal to X₀ ++ I[:next] so a frame can be split at any
+// iteration boundary. This is safe: suppose u was pruned at clique C
+// because |C|+1+|I_u| < t, and later some node C' ⊇ C in a sibling subtree
+// still carries u in its witness set at emission time. Carrying u requires
+// clq(C'∪{u}) ≥ α (generateX filters by α at every step), and every vertex
+// of C'∖C is a candidate greater than u adjacent to u within the α budget —
+// exactly the membership test of I_u. Hence |C'∪{u}| ≤ |C|+1+|I_u| < t,
+// while LARGE-MULE only emits cliques of size ≥ t (the |C'|+|I'| ≥ t cut
+// holds on every recursion edge). So u is never present in the witness set
+// of an emitting node, and the emitted clique set is identical; only
+// Stats.WitnessOps can differ from a serial run when MinSize ≥ 2.
+
 // sharedNeighborhoodFilter applies the Modani–Dey preprocessing the paper
 // uses before LARGE-MULE (§4.3): repeatedly
 //

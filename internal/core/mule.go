@@ -28,6 +28,25 @@ type enumerator struct {
 	stopped  bool
 }
 
+// workerClone returns an enumerator that shares e's graph and configuration
+// but owns its stats and emit buffer, with the visitor routed through the
+// run's shared serialization/early-stop state. Both parallel engines build
+// their per-worker enumerators with it; stats is worker-local and merged
+// deterministically after the run.
+func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
+	return &enumerator{
+		g:        e.g,
+		alpha:    e.alpha,
+		minSize:  e.minSize,
+		visit:    s.wrapVisitor(),
+		newToOld: e.newToOld,
+		identity: e.identity,
+		checkInv: e.checkInv,
+		stats:    stats,
+		emitBuf:  make([]int, 0, 64),
+	}
+}
+
 // runSerial performs Algorithm 1: initialize Î with every vertex paired with
 // multiplier 1 (a singleton is a clique with probability 1) and recurse.
 func (e *enumerator) runSerial() {

@@ -5,7 +5,12 @@ import (
 	"sync/atomic"
 )
 
-// runParallel fans the top-level branches of the search out across workers.
+// runTopLevel is the legacy parallel driver (ParallelTopLevel): it fans only
+// the top-level branches of the search out across workers. It predates the
+// work-stealing engine in worksteal.go and is kept because it is the natural
+// comparison point: on skewed inputs where one top-level subtree dominates,
+// this driver degenerates to serial execution while work stealing keeps
+// subdividing the heavy branch.
 //
 // Soundness: at the root C = ∅, the branch for vertex u receives
 // I_u = {(w, p(u,w)) : w ∈ Γ(u), w > u, p(u,w) ≥ α} and
@@ -15,59 +20,35 @@ import (
 // subtrees are therefore mutually independent and can run concurrently;
 // every deeper level keeps the sequential left-to-right dependency through
 // X and stays inside one worker.
-func (e *enumerator) runParallel(workers int) {
+func (e *enumerator) runTopLevel(workers int) {
 	n := e.g.NumVertices()
-	var stopped atomic.Bool
-	var mu sync.Mutex // serializes visit callbacks and stats merging
+	s := &wsShared{visit: e.visit}
+	locals := make([]Stats, workers)
 
-	next := int64(-1)
+	var next atomic.Int64
+	next.Store(-1)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(local *enumerator) {
 			defer wg.Done()
-			local := &enumerator{
-				g:        e.g,
-				alpha:    e.alpha,
-				minSize:  e.minSize,
-				newToOld: e.newToOld,
-				identity: e.identity,
-				checkInv: e.checkInv,
-				stats:    &Stats{},
-				emitBuf:  make([]int, 0, 64),
-			}
-			if e.visit != nil {
-				local.visit = func(c []int, p float64) bool {
-					mu.Lock()
-					defer mu.Unlock()
-					if stopped.Load() {
-						return false
-					}
-					if !e.visit(c, p) {
-						stopped.Store(true)
-						return false
-					}
-					return true
-				}
-			}
 			for {
-				u := int(atomic.AddInt64(&next, 1))
-				if u >= n || stopped.Load() {
-					break
+				u := next.Add(1)
+				if int(u) >= n || s.stop.Load() {
+					return
 				}
-				local.stopped = false
 				local.branch(int32(u))
 				if local.stopped {
-					stopped.Store(true)
+					return // the wrapped visitor has already latched s.stop
 				}
 			}
-			mu.Lock()
-			e.stats.merge(local.stats)
-			mu.Unlock()
-		}()
+		}(e.workerClone(&locals[i], s))
 	}
 	wg.Wait()
-	e.stopped = stopped.Load()
+	for i := range locals {
+		e.stats.merge(&locals[i])
+	}
+	e.stopped = s.stop.Load()
 	// The root call itself is accounted once, as in the serial driver.
 	e.stats.Calls++
 }
@@ -99,7 +80,8 @@ func (e *enumerator) branch(u int32) {
 	e.recurse(C, 1, I, X)
 }
 
-// merge folds o into s.
+// merge folds o into s. All fields are sums or maxes, so merging per-worker
+// stats in ascending worker order yields a deterministic aggregate.
 func (s *Stats) merge(o *Stats) {
 	s.Calls += o.Calls
 	s.Emitted += o.Emitted
@@ -111,5 +93,9 @@ func (s *Stats) merge(o *Stats) {
 	}
 	s.CandidateOps += o.CandidateOps
 	s.WitnessOps += o.WitnessOps
+	s.PrunedEdges += o.PrunedEdges
 	s.SizePruned += o.SizePruned
+	s.FilterRemoved += o.FilterRemoved
+	s.Steals += o.Steals
+	s.Splits += o.Splits
 }

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the default parallel engine: a work-stealing
+// depth-first search over explicit, splittable frames.
+//
+// A wsFrame is one suspended invocation of Enum-Uncertain-MC (Algorithm 2):
+// the working clique C with clq(C) = q, the node's full candidate list I,
+// and the iteration range [next, end) of candidates this frame still has to
+// expand. The witness set is maintained under the invariant
+//
+//	X == X₀ ++ I[:next]
+//
+// where X₀ is the witness set the node was created with. The serial loop
+// maintains exactly this (it appends every expanded candidate to X), which
+// makes a frame splittable at any iteration boundary: the witness set of
+// iteration mid is X ++ I[next:mid], computable from the frame alone. A
+// thief can therefore take the upper half of a lone frame's pending range,
+// or — the common case — half of the oldest (shallowest, and hence biggest)
+// frames of a victim's deque.
+//
+// Ownership rules keep the engine race-free without fine-grained locking:
+// a frame is mutated only by the worker currently holding it, and the only
+// handoff points (deque push/pop/steal) are guarded by the deque mutex.
+// C and I are read-only after frame creation and may be shared by a split;
+// X is written by the owner, so a split gives the thief a private copy.
+
+// defaultStealGranularity is the Config.StealGranularity used when the knob
+// is zero: subtrees with fewer pending candidates than this run inline with
+// the serial recursion instead of becoming stealable frames. A node with k
+// candidates roots a subtree of at most 2^k set-visits, so 8 bounds an
+// unstealable chunk to a few hundred cheap nodes.
+const defaultStealGranularity = 8
+
+type wsFrame struct {
+	C    []int32 // working clique; read-only once the frame exists
+	q    float64 // clq(C)
+	I    []entry // full candidate list of the node; read-only
+	X    []entry // witness set, kept equal to X₀ ++ I[:next]
+	next int     // first pending candidate index
+	end  int     // one past the last candidate this frame owns
+}
+
+// wsDeque is a mutex-guarded deque of frames. The owner pushes and pops at
+// the tail (newest, deepest); thieves take from the head (oldest,
+// shallowest — the frames with the most work under them).
+type wsDeque struct {
+	mu     sync.Mutex
+	n      atomic.Int32 // mirror of len(frames) for lock-free peeking
+	frames []*wsFrame
+}
+
+func (d *wsDeque) push(f *wsFrame) {
+	d.mu.Lock()
+	d.frames = append(d.frames, f)
+	d.n.Store(int32(len(d.frames)))
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) pop() *wsFrame {
+	d.mu.Lock()
+	k := len(d.frames)
+	if k == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	f := d.frames[k-1]
+	d.frames[k-1] = nil
+	d.frames = d.frames[:k-1]
+	d.n.Store(int32(k - 1))
+	d.mu.Unlock()
+	return f
+}
+
+// popIf removes the newest frame iff it is exactly f. The owner calls it
+// after returning from a child subtree: success means the continuation it
+// exposed was not stolen and it may resume; failure means a thief owns f.
+func (d *wsDeque) popIf(f *wsFrame) bool {
+	d.mu.Lock()
+	k := len(d.frames)
+	if k == 0 || d.frames[k-1] != f {
+		d.mu.Unlock()
+		return false
+	}
+	d.frames[k-1] = nil
+	d.frames = d.frames[:k-1]
+	d.n.Store(int32(k - 1))
+	d.mu.Unlock()
+	return true
+}
+
+// wsShared is the state common to all workers of one run (and reused by the
+// legacy top-level driver for its visitor wrapping).
+type wsShared struct {
+	stop    atomic.Bool  // a visitor returned false; everyone unwinds
+	busy    atomic.Int32 // workers not parked in waitForWork
+	visitMu sync.Mutex   // serializes user-visitor invocations
+	visit   Visitor      // the user's visitor; nil = count only
+	workers []*wsWorker
+}
+
+// wrapVisitor serializes the user visitor across workers and latches the
+// early-stop: after any visitor invocation returns false, every later
+// emission is swallowed, preserving the serial contract that no clique is
+// delivered after the stop.
+func (s *wsShared) wrapVisitor() Visitor {
+	if s.visit == nil {
+		return nil
+	}
+	return func(c []int, p float64) bool {
+		s.visitMu.Lock()
+		defer s.visitMu.Unlock()
+		if s.stop.Load() {
+			return false
+		}
+		if !s.visit(c, p) {
+			s.stop.Store(true)
+			return false
+		}
+		return true
+	}
+}
+
+type wsWorker struct {
+	id          int
+	granularity int
+	shared      *wsShared
+	deque       wsDeque
+	e           *enumerator // worker-local clone; private stats and emit buffer
+	scratch     []int32     // reusable C∪{u} buffer for leaf nodes
+}
+
+// runWorkStealing executes the search with the work-stealing engine. Worker
+// 0 is seeded with the root frame (all n vertices pending); the others
+// start by stealing. Per-worker stats are merged in ascending worker order
+// after the run, so the aggregate is deterministic for a deterministic
+// workload split and reproducibly summed regardless of scheduling.
+func (e *enumerator) runWorkStealing(workers, granularity int) {
+	if granularity <= 0 {
+		granularity = defaultStealGranularity
+	}
+	n := e.g.NumVertices()
+	// The root call is accounted once, exactly as in the serial driver.
+	e.stats.Calls++
+	if n == 0 {
+		return
+	}
+	rootI := make([]entry, n)
+	for v := 0; v < n; v++ {
+		rootI[v] = entry{int32(v), 1}
+	}
+	s := &wsShared{visit: e.visit, workers: make([]*wsWorker, workers)}
+	s.busy.Store(int32(workers))
+	locals := make([]Stats, workers)
+	for i := range s.workers {
+		s.workers[i] = &wsWorker{
+			id:          i,
+			granularity: granularity,
+			shared:      s,
+			e:           e.workerClone(&locals[i], s),
+		}
+	}
+	root := &wsFrame{q: 1, I: rootI, end: n}
+	var wg sync.WaitGroup
+	for i := range s.workers {
+		seed := (*wsFrame)(nil)
+		if i == 0 {
+			seed = root
+		}
+		wg.Add(1)
+		go func(w *wsWorker, cur *wsFrame) {
+			defer wg.Done()
+			w.run(cur)
+		}(s.workers[i], seed)
+	}
+	wg.Wait()
+	for i := range locals {
+		e.stats.merge(&locals[i])
+	}
+	e.stopped = s.stop.Load()
+}
+
+// run is the worker loop: drain the own deque, then steal, then park.
+func (w *wsWorker) run(cur *wsFrame) {
+	s := w.shared
+	for {
+		if s.stop.Load() || w.e.stopped {
+			return
+		}
+		if cur == nil {
+			cur = w.deque.pop()
+		}
+		if cur == nil {
+			cur = w.steal()
+		}
+		if cur == nil {
+			if !w.waitForWork() {
+				return
+			}
+			continue
+		}
+		w.executeFrame(cur)
+		cur = nil
+	}
+}
+
+// executeFrame runs f's pending candidate range depth-first. Before
+// descending into a non-final child it pushes the continuation of f so
+// thieves can take the remaining iterations; on the way back, popIf tells
+// it whether the continuation survived.
+func (w *wsWorker) executeFrame(f *wsFrame) {
+	e := w.e
+	s := w.shared
+	for {
+		if e.stopped || s.stop.Load() {
+			return
+		}
+		if f.next >= f.end {
+			return
+		}
+		j := f.next
+		f.next = j + 1
+		u, r := f.I[j].v, f.I[j].r
+		q2 := f.q * r
+		I2 := e.generateI(f.I[j+1:], u, q2)
+		if e.minSize >= 2 && len(f.C)+1+len(I2) < e.minSize {
+			e.stats.SizePruned++
+			// The serial loop skips the witness append here; keeping it
+			// preserves the X == X₀ ++ I[:next] split invariant and cannot
+			// change the emitted set (see the note in large.go).
+			f.X = append(f.X, entry{u, r})
+			continue
+		}
+		X2 := e.generateX(f.X, u, q2)
+		f.X = append(f.X, entry{u, r})
+		if len(I2) == 0 {
+			// Leaf (emit) or dead end (witnessed): account for the node
+			// without allocating a frame or recursing.
+			e.stats.Calls++
+			if d := len(f.C) + 1; d > e.stats.MaxDepth {
+				e.stats.MaxDepth = d
+			}
+			w.scratch = append(append(w.scratch[:0], f.C...), u)
+			if e.checkInv {
+				e.verifyInvariants(w.scratch, q2, I2, X2)
+			}
+			if len(X2) == 0 {
+				e.emit(w.scratch, q2)
+			}
+			continue
+		}
+		C2 := make([]int32, len(f.C)+1, len(f.C)+1+len(I2))
+		copy(C2, f.C)
+		C2[len(f.C)] = u
+		if len(I2) < w.granularity {
+			// Small subtree: run it inline with the serial recursion. It
+			// accounts for its own nodes and is never exposed for stealing.
+			e.recurse(C2, q2, I2, X2)
+			continue
+		}
+		e.stats.Calls++
+		if d := len(C2); d > e.stats.MaxDepth {
+			e.stats.MaxDepth = d
+		}
+		if e.checkInv {
+			e.verifyInvariants(C2, q2, I2, X2)
+		}
+		child := &wsFrame{C: C2, q: q2, I: I2, X: X2, end: len(I2)}
+		if f.next >= f.end {
+			// Final candidate: nothing left to expose, descend in place.
+			f = child
+			continue
+		}
+		w.deque.push(f)
+		w.executeFrame(child)
+		if !w.deque.popIf(f) {
+			return // continuation stolen; the thief owns f now
+		}
+	}
+}
+
+// steal sweeps the other workers once, nearest id first.
+func (w *wsWorker) steal() *wsFrame {
+	p := len(w.shared.workers)
+	for off := 1; off < p; off++ {
+		if f := w.stealFrom(w.shared.workers[(w.id+off)%p]); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// stealFrom takes half of the oldest frames from v's deque. With two or
+// more frames queued, the older half moves wholesale (all but one parked on
+// the thief's own deque, so they stay stealable by others). A lone frame
+// with at least two pending candidates is split at the iteration level:
+// the thief receives the upper half of the range with a private witness
+// set reconstructed from the split invariant.
+func (w *wsWorker) stealFrom(v *wsWorker) *wsFrame {
+	d := &v.deque
+	if d.n.Load() == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	k := len(d.frames)
+	switch {
+	case k == 0:
+		d.mu.Unlock()
+		return nil
+	case k == 1:
+		f := d.frames[0]
+		if f.end-f.next >= 2 {
+			mid := f.next + (f.end-f.next)/2
+			X := make([]entry, len(f.X), len(f.X)+(mid-f.next))
+			copy(X, f.X)
+			X = append(X, f.I[f.next:mid]...)
+			g := &wsFrame{C: f.C, q: f.q, I: f.I, X: X, next: mid, end: f.end}
+			f.end = mid
+			d.mu.Unlock()
+			w.e.stats.Steals++
+			w.e.stats.Splits++
+			return g
+		}
+		d.frames[0] = nil
+		d.frames = d.frames[:0]
+		d.n.Store(0)
+		d.mu.Unlock()
+		w.e.stats.Steals++
+		return f
+	default:
+		h := k / 2
+		stolen := make([]*wsFrame, h)
+		copy(stolen, d.frames[:h])
+		m := copy(d.frames, d.frames[h:])
+		for i := m; i < k; i++ {
+			d.frames[i] = nil
+		}
+		d.frames = d.frames[:m]
+		d.n.Store(int32(m))
+		d.mu.Unlock()
+		for _, f := range stolen[:h-1] {
+			w.deque.push(f)
+		}
+		w.e.stats.Steals++
+		return stolen[h-1]
+	}
+}
+
+// waitForWork parks the worker until another deque shows work or the run
+// ends. It returns false on termination. A worker is counted busy from the
+// moment it claims work until its next failed pop+steal, and only the owner
+// pushes to a deque, so busy == 0 implies every deque is empty and no frame
+// is held: the run is complete.
+func (w *wsWorker) waitForWork() bool {
+	s := w.shared
+	if s.busy.Add(-1) == 0 {
+		return false
+	}
+	spins := 0
+	for {
+		if s.stop.Load() || s.busy.Load() == 0 {
+			return false
+		}
+		for _, v := range s.workers {
+			if v != w && v.deque.n.Load() > 0 {
+				s.busy.Add(1)
+				return true
+			}
+		}
+		spins++
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}

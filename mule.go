@@ -23,6 +23,15 @@
 //		return true
 //	})
 //
+// Setting Config.Workers > 1 runs the search on a work-stealing parallel
+// engine: each worker executes its own subtree depth-first from a private
+// deque of splittable search frames and steals half of the oldest frames
+// from a victim when its deque drains, so even a single dominant subtree —
+// the norm on skewed power-law inputs — is spread across all cores. The
+// visitor is serialized across workers and early stop (returning false)
+// aborts every worker; the emitted clique set is identical to a serial run,
+// though the order cliques are visited in is scheduling-dependent.
+//
 // The facade re-exports the core types from the internal packages; the
 // internal packages additionally provide generators (internal/gen), file
 // formats (internal/graphio), baselines and oracles (internal/baseline),
@@ -71,6 +80,17 @@ const (
 	OrderDegree     = core.OrderDegree
 	OrderDegeneracy = core.OrderDegeneracy
 	OrderRandom     = core.OrderRandom
+)
+
+// ParallelMode selects the engine used when Config.Workers > 1.
+type ParallelMode = core.ParallelMode
+
+// Parallel engines: work stealing (the default) subdivides heavy subtrees
+// on demand; the legacy top-level fan-out only distributes root branches
+// and is kept for comparison benchmarks.
+const (
+	ParallelWorkStealing = core.ParallelWorkStealing
+	ParallelTopLevel     = core.ParallelTopLevel
 )
 
 // NewBuilder returns a Builder for an uncertain graph on n vertices.

@@ -59,6 +59,39 @@ func runMULE(b *testing.B, g *uncertain.Graph, alpha float64, cfg core.Config) {
 	}
 }
 
+// BenchmarkEnumerate measures the enumeration kernel itself — the
+// allocation-free arena kernel is held to its numbers here (ns/op and,
+// via -benchmem, allocs/op and B/op) on the standard random (BA) and
+// skewed-hub workloads, serial and both parallel engines. cmd/experiments
+// -exp kernel records the same cells into the BENCH_kernel.json trajectory.
+func BenchmarkEnumerate(b *testing.B) {
+	random := named(b, "random", func() []bench.NamedGraph { return bench.RandomGraphs(benchCfg) })
+	loads := []struct {
+		ng    bench.NamedGraph
+		alpha float64
+	}{
+		{random[2], 0.001}, // BA1200 in quick mode
+		{bench.SkewedCliqueGraph(benchCfg), bench.SkewedAlpha},
+	}
+	engines := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"serial", core.Config{}},
+		{"worksteal-4", core.Config{Workers: 4}},
+		{"toplevel-4", core.Config{Workers: 4, Parallel: core.ParallelTopLevel}},
+	}
+	for _, ld := range loads {
+		for _, eng := range engines {
+			ld, eng := ld, eng
+			b.Run(ld.ng.Name+"/"+eng.name, func(b *testing.B) {
+				b.ReportAllocs()
+				runMULE(b, ld.ng.G, ld.alpha, eng.cfg)
+			})
+		}
+	}
+}
+
 // BenchmarkTable1 times the dataset synthesizers themselves (building the
 // Table 1 inputs) and reports their sizes.
 func BenchmarkTable1(b *testing.B) {

@@ -42,6 +42,10 @@ func run(args []string) error {
 		budget    = fs.Duration("budget", 2*time.Minute, "per-run time budget")
 		workers   = fs.Int("workers", 0, "max parallel workers for the ablation and parallel experiments (0 = NumCPU)")
 		list      = fs.Bool("list", false, "list experiments and exit")
+
+		kernelOut   = fs.String("kernel-out", "", "kernel experiment: trajectory file to merge the run into (e.g. BENCH_kernel.json)")
+		kernelLabel = fs.String("kernel-label", "", "kernel experiment: label for this run in the trajectory")
+		kernelOnce  = fs.Bool("kernel-once", false, "kernel experiment: single timed iteration per cell (CI smoke mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,11 +61,14 @@ func run(args []string) error {
 		return fmt.Errorf("missing -exp (or -list)")
 	}
 	cfg := bench.Config{
-		Seed:      *seed,
-		Quick:     *quick,
-		DBLPScale: *dblpScale,
-		Budget:    *budget,
-		Workers:   *workers,
+		Seed:        *seed,
+		Quick:       *quick,
+		DBLPScale:   *dblpScale,
+		Budget:      *budget,
+		Workers:     *workers,
+		KernelOut:   *kernelOut,
+		KernelLabel: *kernelLabel,
+		KernelOnce:  *kernelOnce,
 	}
 	if *exp == "all" {
 		for _, e := range bench.Registry() {

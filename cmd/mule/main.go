@@ -8,6 +8,7 @@
 //	mule -in graph.ug -alpha 0.5 -top 10         # 10 highest-probability cliques
 //	mule -in graph.ugb -alpha 0.5 -workers 8     # parallel work-stealing search
 //	mule -in g.ug -alpha 0.5 -workers 8 -engine toplevel  # legacy fan-out
+//	mule -in g.ug -alpha 0.5 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // With -workers > 1 the search runs on the work-stealing engine by default;
 // -engine toplevel selects the legacy top-level fan-out and -granularity
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,6 +53,8 @@ func run(args []string, out io.Writer) error {
 		countOnly   = fs.Bool("count", false, "print only the number of α-maximal cliques")
 		top         = fs.Int("top", 0, "print only the k highest-probability α-maximal cliques")
 		quiet       = fs.Bool("quiet", false, "suppress the stats line on stderr")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file before exiting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +62,17 @@ func run(args []string, out io.Writer) error {
 	if *in == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	ord, err := parseOrdering(*ordering)
 	if err != nil {
@@ -94,7 +110,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(os.Stderr, "top-%d of α=%g maximal cliques in %s (n=%d m=%d)\n",
 				*top, *alpha, time.Since(start).Round(time.Millisecond), g.NumVertices(), g.NumEdges())
 		}
-		return nil
+		return writeMemProfile(*memprofile)
 	}
 
 	var visit core.Visitor
@@ -117,7 +133,23 @@ func run(args []string, out io.Writer) error {
 			stats.Emitted, *alpha, stats.MaxCliqueSize,
 			time.Since(start).Round(time.Millisecond), stats.Calls, stats.PrunedEdges)
 	}
-	return nil
+	return writeMemProfile(*memprofile)
+}
+
+// writeMemProfile dumps a heap profile after a final GC so kernel
+// regressions (e.g. the arena losing its steady state) can be diagnosed
+// straight from a mule run, without editing code. No-op for an empty path.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the steady-state picture, not transient garbage
+	return pprof.WriteHeapProfile(f)
 }
 
 func printClique(w *bufio.Writer, c []int, p float64) {

@@ -121,3 +121,34 @@ func TestMainSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunProfiles(t *testing.T) {
+	path := writeTestGraph(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-alpha", "0.125", "-count", "-quiet",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// The -top path exits through a different return; it must still write
+	// the heap profile.
+	mem2 := filepath.Join(dir, "mem2.pb.gz")
+	if err := run([]string{"-in", path, "-alpha", "0.125", "-top", "1", "-quiet",
+		"-memprofile", mem2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(mem2); err != nil || fi.Size() == 0 {
+		t.Fatalf("top-k path did not write the heap profile: %v", err)
+	}
+}

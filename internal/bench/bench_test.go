@@ -90,7 +90,7 @@ func TestTimedMULEHonorsBudget(t *testing.T) {
 
 func TestRegistryLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 11 {
+	if len(reg) != 12 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	ids := map[string]bool{}
@@ -117,7 +117,9 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test in -short mode")
 	}
-	cfg := Config{Quick: true, Seed: 1, Budget: 20 * time.Second}
+	// KernelOnce keeps the kernel sweep to one iteration per cell so the
+	// smoke test stays fast; the checked-in trajectory uses full benchtime.
+	cfg := Config{Quick: true, Seed: 1, Budget: 20 * time.Second, KernelOnce: true}
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

@@ -86,6 +86,12 @@ func Registry() []Experiment {
 			Run:   runParallelScaling,
 		},
 		{
+			ID:    "kernel",
+			Title: "Kernel: ns/op, allocs/op, B/op across engines",
+			Paper: "beyond the paper: allocation/runtime trajectory of the enumeration kernel (BENCH_kernel.json)",
+			Run:   runKernel,
+		},
+		{
 			ID:    "extensions",
 			Title: "Extensions: bicliques, quasi-cliques, trusses, cores",
 			Paper: "the future-work dense substructures of §6, measured on planted workloads",

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/gen"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// The kernel experiment measures the enumeration kernel itself — ns/op,
+// allocs/op and B/op for the serial driver and both parallel engines across
+// the standard workloads — and appends the results to a machine-readable
+// trajectory file (BENCH_kernel.json at the repo root). Every performance PR
+// records a labeled run, so regressions and wins are visible across the
+// repo's history rather than only in prose.
+
+// KernelEntry is one measured (workload, engine) cell.
+type KernelEntry struct {
+	Workload    string  `json:"workload"`
+	Alpha       float64 `json:"alpha"`
+	MinSize     int     `json:"min_size,omitempty"`
+	Engine      string  `json:"engine"` // serial | worksteal | toplevel
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Cliques     int64   `json:"cliques"`
+	Calls       int64   `json:"search_calls"`
+}
+
+// KernelRun is one labeled sweep of the kernel benchmark.
+type KernelRun struct {
+	Label     string        `json:"label"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Quick     bool          `json:"quick"`
+	Once      bool          `json:"once,omitempty"` // single-iteration smoke run
+	Entries   []KernelEntry `json:"entries"`
+}
+
+// KernelReport is the on-disk trajectory: one run per measured kernel state,
+// oldest first.
+type KernelReport struct {
+	Note string      `json:"note"`
+	Runs []KernelRun `json:"runs"`
+}
+
+const kernelReportNote = "MULE kernel benchmark trajectory; append one labeled run per performance-relevant PR (cmd/experiments -exp kernel -kernel-out BENCH_kernel.json -kernel-label \"...\")"
+
+// kernelWorkload is one input of the kernel sweep.
+type kernelWorkload struct {
+	ng      NamedGraph
+	alpha   float64
+	minSize int
+}
+
+// kernelWorkloads returns the sweep inputs: a Barabási–Albert power-law
+// graph at a low threshold (deep search tree, long candidate lists), the
+// skewed hub workload (one dominant subtree, hub rows ≫ tails — the shape
+// the adaptive intersection targets), a collaboration-like graph, and a
+// LARGE-MULE run exercising the size-pruned path.
+func kernelWorkloads(cfg Config) []kernelWorkload {
+	cfg = cfg.withDefaults()
+	baN := 5000
+	if cfg.Quick {
+		baN = 800
+	}
+	ba := NamedGraph{baName(baN), gen.BA(baN, cfg.Seed)}
+	collab := NamedGraph{"ca-GrQc", gen.CollaborationLikeN(1310, 7245, cfg.Seed)}
+	if !cfg.Quick {
+		collab = NamedGraph{"ca-GrQc", gen.CollaborationLike(cfg.Seed)}
+	}
+	return []kernelWorkload{
+		{ba, 0.001, 0},
+		{SkewedCliqueGraph(cfg), SkewedAlpha, 0},
+		{collab, 0.0005, 0},
+		{ba, 0.001, 3},
+	}
+}
+
+// kernelEngines returns the engine grid: serial plus both parallel engines
+// at the configured worker count (cfg.Workers when ≥ 2, else min(NumCPU, 4)
+// to keep the numbers comparable across differently sized CI machines).
+func kernelEngines(cfg Config) []core.Config {
+	w := cfg.Workers
+	if w < 2 {
+		w = runtime.NumCPU()
+		if w > 4 {
+			w = 4
+		}
+	}
+	engines := []core.Config{{}}
+	if w >= 2 {
+		engines = append(engines,
+			core.Config{Workers: w, Parallel: core.ParallelWorkStealing},
+			core.Config{Workers: w, Parallel: core.ParallelTopLevel})
+	}
+	return engines
+}
+
+func engineLabel(c core.Config) string {
+	if c.Workers <= 1 {
+		return "serial"
+	}
+	return c.Parallel.String()
+}
+
+// measureKernel benchmarks one (workload, engine) cell. With once set it
+// performs a single timed iteration (CI smoke mode, equivalent in spirit to
+// -benchtime=1x); otherwise it defers to testing.Benchmark's auto-scaling.
+func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once bool) (KernelEntry, error) {
+	var stats core.Stats
+	var runErr error
+	runOnce := func() {
+		stats, runErr = core.EnumerateWith(g, alpha, nil, coreCfg)
+	}
+	e := KernelEntry{
+		Alpha:   alpha,
+		MinSize: coreCfg.MinSize,
+		Engine:  engineLabel(coreCfg),
+		Workers: maxInt(coreCfg.Workers, 1),
+	}
+	if once {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		runOnce()
+		e.NsPerOp = float64(time.Since(start).Nanoseconds())
+		runtime.ReadMemStats(&after)
+		e.AllocsPerOp = int64(after.Mallocs - before.Mallocs)
+		e.BytesPerOp = int64(after.TotalAlloc - before.TotalAlloc)
+	} else {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runOnce()
+			}
+		})
+		e.NsPerOp = float64(r.NsPerOp())
+		e.AllocsPerOp = r.AllocsPerOp()
+		e.BytesPerOp = r.AllocedBytesPerOp()
+	}
+	if runErr != nil {
+		return e, runErr
+	}
+	e.Cliques = stats.Emitted
+	e.Calls = stats.Calls
+	return e, nil
+}
+
+// runKernel executes the kernel benchmark sweep, renders the table, and —
+// when cfg.KernelOut is set — merges the run into the trajectory file.
+func runKernel(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	run := KernelRun{
+		Label:     cfg.KernelLabel,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     cfg.Quick,
+		Once:      cfg.KernelOnce,
+	}
+	if run.Label == "" {
+		run.Label = "unlabeled " + run.Date
+	}
+	t := NewTable(fmt.Sprintf("Kernel benchmark (%s): ns/op, allocs/op, B/op", run.Label),
+		"workload", "α", "minsize", "engine", "workers", "ns/op", "allocs/op", "B/op", "cliques", "calls")
+	for _, wl := range kernelWorkloads(cfg) {
+		for _, ec := range kernelEngines(cfg) {
+			ec.MinSize = wl.minSize
+			e, err := measureKernel(wl.ng.G, wl.alpha, ec, cfg.KernelOnce)
+			if err != nil {
+				return fmt.Errorf("kernel %s/%s: %w", wl.ng.Name, engineLabel(ec), err)
+			}
+			e.Workload = wl.ng.Name
+			run.Entries = append(run.Entries, e)
+			t.Add(wl.ng.Name, fmt.Sprintf("%g", wl.alpha), fmt.Sprintf("%d", wl.minSize),
+				e.Engine, fmt.Sprintf("%d", e.Workers),
+				fmt.Sprintf("%.0f", e.NsPerOp), fmt.Sprintf("%d", e.AllocsPerOp),
+				fmt.Sprintf("%d", e.BytesPerOp), fmt.Sprintf("%d", e.Cliques),
+				fmt.Sprintf("%d", e.Calls))
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if cfg.KernelOut == "" {
+		return nil
+	}
+	if err := MergeKernelRun(cfg.KernelOut, run); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "kernel run %q appended to %s\n", run.Label, cfg.KernelOut)
+	return err
+}
+
+// LoadKernelReport reads a trajectory file; a missing file yields an empty
+// report.
+func LoadKernelReport(path string) (KernelReport, error) {
+	var rep KernelReport
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return rep, nil
+	}
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// MergeKernelRun appends run to the trajectory at path, replacing any
+// existing run with the same label so a re-measured PR overwrites itself
+// instead of duplicating.
+func MergeKernelRun(path string, run KernelRun) error {
+	rep, err := LoadKernelReport(path)
+	if err != nil {
+		return err
+	}
+	rep.Note = kernelReportNote
+	kept := rep.Runs[:0]
+	for _, r := range rep.Runs {
+		if r.Label != run.Label {
+			kept = append(kept, r)
+		}
+	}
+	rep.Runs = append(kept, run)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

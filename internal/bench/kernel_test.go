@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestKernelTrajectoryMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	run1 := KernelRun{Label: "a", Entries: []KernelEntry{{Workload: "w", Engine: "serial", Workers: 1, NsPerOp: 100, AllocsPerOp: 5}}}
+	if err := MergeKernelRun(path, run1); err != nil {
+		t.Fatal(err)
+	}
+	run2 := KernelRun{Label: "b", Entries: []KernelEntry{{Workload: "w", Engine: "serial", Workers: 1, NsPerOp: 50, AllocsPerOp: 1}}}
+	if err := MergeKernelRun(path, run2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadKernelReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Label != "a" || rep.Runs[1].Label != "b" {
+		t.Fatalf("trajectory = %+v", rep.Runs)
+	}
+	// Re-measuring a label replaces it in place instead of duplicating.
+	run1b := run1
+	run1b.Entries[0].NsPerOp = 80
+	if err := MergeKernelRun(path, run1b); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = LoadKernelReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[1].Label != "a" || rep.Runs[1].Entries[0].NsPerOp != 80 {
+		t.Fatalf("label replacement failed: %+v", rep.Runs)
+	}
+	if rep.Note == "" {
+		t.Fatal("trajectory note not stamped")
+	}
+	// A missing file is an empty report, not an error.
+	empty, err := LoadKernelReport(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || len(empty.Runs) != 0 {
+		t.Fatalf("missing file: %+v, %v", empty, err)
+	}
+}
+
+func TestKernelWorkloadsAndEngines(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	wls := kernelWorkloads(cfg)
+	if len(wls) != 4 {
+		t.Fatalf("kernel workloads: %d", len(wls))
+	}
+	names := map[string]bool{}
+	for _, wl := range wls {
+		if wl.ng.G.NumVertices() == 0 {
+			t.Fatalf("workload %s built empty", wl.ng.Name)
+		}
+		names[wl.ng.Name] = true
+	}
+	if !names["skewed-hub"] {
+		t.Fatal("kernel sweep must include the skewed hub workload")
+	}
+	engines := kernelEngines(Config{Workers: 4})
+	if len(engines) != 3 {
+		t.Fatalf("engine grid: %+v", engines)
+	}
+	if engineLabel(engines[0]) != "serial" {
+		t.Fatalf("first engine %q", engineLabel(engines[0]))
+	}
+}

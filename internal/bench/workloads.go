@@ -28,6 +28,16 @@ type Config struct {
 	// Workers is passed to MULE's parallel driver where an experiment
 	// exercises it (0/1 = serial, the paper's setting).
 	Workers int
+	// KernelOut, when non-empty, is the trajectory file the kernel
+	// experiment merges its run into (conventionally BENCH_kernel.json at
+	// the repo root).
+	KernelOut string
+	// KernelLabel names the kernel run in the trajectory (e.g. "arena
+	// kernel (PR 2)"); a run with the same label is replaced.
+	KernelLabel string
+	// KernelOnce makes the kernel experiment time a single iteration per
+	// cell instead of testing.Benchmark auto-scaling — the CI smoke mode.
+	KernelOnce bool
 }
 
 // withDefaults fills zero fields.

@@ -1,0 +1,86 @@
+package core
+
+// This file implements the frame arena backing the enumeration kernel.
+//
+// Every node of the MULE search tree needs two scratch slices — the child
+// candidate set I' and witness set X' (Algorithms 3 and 4). Allocating them
+// with make() puts millions of short-lived slices on the exponential hot
+// path, which is exactly where GC pressure hurts most. The search is a
+// depth-first recursion, so the lifetimes are strictly nested: a node's
+// scratch dies when its subtree finishes. That makes the allocations a
+// textbook fit for a stack allocator with watermarks — mark on entering an
+// iteration, carve sub-slices while expanding it, release back to the mark
+// when the subtree returns.
+//
+// entryArena is that allocator: a list of geometrically growing blocks with
+// a (block, offset) cursor. Steady state performs zero heap allocations;
+// blocks are only added while the high-water mark still grows (bounded by
+// the deepest candidate/witness chain, not by the tree size). Blocks are
+// never freed mid-run and never shrink, so slices handed out earlier remain
+// valid even after the cursor moves to a newer block.
+//
+// Ownership: an arena belongs to exactly one enumerator (one worker). The
+// work-stealing engine keeps every stealable frame on the heap — frames are
+// the only state that crosses workers — so arena memory is never visible to
+// another goroutine (worksteal.go documents the handoff rules).
+
+// arenaMinBlock is the entry count of the first block (64 KiB at 16 bytes
+// per entry); later blocks double.
+const arenaMinBlock = 4096
+
+type entryArena struct {
+	blocks [][]entry
+	cur    int // index of the block the cursor is in
+	off    int // next free slot within blocks[cur]
+}
+
+// arenaMark is a watermark: the cursor position to restore on release.
+type arenaMark struct {
+	blk, off int
+}
+
+func (a *entryArena) mark() arenaMark { return arenaMark{a.cur, a.off} }
+
+// release returns every allocation made since mark to the arena. Slices
+// carved in between must not be used afterwards.
+func (a *entryArena) release(m arenaMark) { a.cur, a.off = m.blk, m.off }
+
+// alloc carves a zero-length slice with the given capacity from the arena.
+// The caller appends into it (never past the capacity) and may hand the
+// unused tail back with shrink.
+func (a *entryArena) alloc(capacity int) []entry {
+	for {
+		if a.cur < len(a.blocks) {
+			b := a.blocks[a.cur]
+			if len(b)-a.off >= capacity {
+				s := b[a.off : a.off : a.off+capacity]
+				a.off += capacity
+				return s
+			}
+			// Doesn't fit in the remainder of this block; the tail is
+			// wasted until the enclosing release, which is fine — blocks
+			// grow geometrically so waste is a constant fraction.
+			a.cur++
+			a.off = 0
+			continue
+		}
+		size := arenaMinBlock
+		if n := len(a.blocks); n > 0 {
+			size = 2 * len(a.blocks[n-1])
+		}
+		if size < capacity {
+			size = capacity
+		}
+		a.blocks = append(a.blocks, make([]entry, size))
+		a.cur = len(a.blocks) - 1
+		a.off = 0
+	}
+}
+
+// shrink gives the unused tail of the most recent alloc back to the arena.
+// reserved is the capacity that alloc was asked for; kept is how much of it
+// stays reserved (the filled length plus any append room the caller wants
+// to retain). It must be called before any further alloc.
+func (a *entryArena) shrink(reserved, kept int) {
+	a.off -= reserved - kept
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/baseline"
+	"github.com/uncertain-graphs/mule/internal/gen"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// --- Arena allocator semantics ---
+
+func TestArenaStackDiscipline(t *testing.T) {
+	var a entryArena
+	m0 := a.mark()
+	s1 := a.alloc(10)
+	s1 = append(s1, entry{1, 0.5}, entry{2, 0.25})
+	m1 := a.mark()
+	s2 := a.alloc(5)
+	s2 = append(s2, entry{3, 1})
+	if &s1[0] == &s2[0] {
+		t.Fatal("overlapping allocations")
+	}
+	a.release(m1)
+	s3 := a.alloc(5)
+	s3 = append(s3, entry{9, 1})
+	// s3 reuses s2's region, s1 is untouched.
+	if s1[0].v != 1 || s1[1].v != 2 {
+		t.Fatalf("release corrupted earlier allocation: %v", s1)
+	}
+	if s2[0].v != 9 {
+		t.Fatal("released region was not reused")
+	}
+	a.release(m0)
+	if got := a.mark(); got != m0 {
+		t.Fatalf("release did not restore the cursor: %+v", got)
+	}
+}
+
+func TestArenaShrink(t *testing.T) {
+	var a entryArena
+	s := a.alloc(100)
+	s = append(s, entry{1, 1}, entry{2, 1})
+	a.shrink(100, len(s)+3) // keep 2 filled + 3 reserved for appends
+	next := a.alloc(1)
+	next = append(next, entry{7, 1})
+	s = append(s, entry{3, 1}, entry{4, 1}, entry{5, 1}) // within reservation
+	if next[0].v != 7 {
+		t.Fatalf("reserved append room overlaps the next allocation: %v", next)
+	}
+	if s[4].v != 5 {
+		t.Fatalf("appends within the reservation failed: %v", s)
+	}
+}
+
+func TestArenaBlockGrowth(t *testing.T) {
+	var a entryArena
+	// Allocate more than one block's worth without releasing; earlier
+	// slices must stay valid after the arena adds blocks.
+	var all [][]entry
+	for i := 0; i < 10; i++ {
+		s := a.alloc(arenaMinBlock / 2)
+		s = append(s, entry{int32(i), 1})
+		all = append(all, s)
+	}
+	for i, s := range all {
+		if s[0].v != int32(i) {
+			t.Fatalf("slice %d corrupted after block growth: %v", i, s[0])
+		}
+	}
+	if len(a.blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(a.blocks))
+	}
+	// A single oversized request must be honored too.
+	big := a.alloc(3 * arenaMinBlock)
+	if cap(big) < 3*arenaMinBlock {
+		t.Fatalf("oversized alloc cap %d", cap(big))
+	}
+}
+
+// --- Adaptive intersection ---
+
+// naiveIntersect is the reference two-pointer merge.
+func naiveIntersect(src []entry, row []int32, probs []float64, thr float64) []entry {
+	var out []entry
+	i, j := 0, 0
+	for i < len(src) && j < len(row) {
+		switch {
+		case src[i].v < row[j]:
+			i++
+		case src[i].v > row[j]:
+			j++
+		default:
+			if r2 := src[i].r * probs[j]; r2 >= thr {
+				out = append(out, entry{src[i].v, r2})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func randomSorted(rng *rand.Rand, n, max int) []int32 {
+	seen := map[int32]bool{}
+	for len(seen) < n {
+		seen[int32(rng.Intn(max))] = true
+	}
+	out := make([]int32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestIntersectEntriesMatchesMerge drives every regime of the adaptive
+// intersection (balanced, row-dominant galloping, src-dominant galloping)
+// against the reference merge on random sorted inputs.
+func TestIntersectEntriesMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ nSrc, nRow int }{
+		{0, 0}, {0, 50}, {50, 0}, {1, 1},
+		{20, 25},     // balanced: linear merge
+		{5, 400},     // row ≫ src: gallop in row
+		{400, 5},     // src ≫ row: gallop in src
+		{1, 1000},    // extreme hub row
+		{1000, 1},    // extreme witness list
+		{63, 8 * 63}, // exactly at the ratio boundary
+	}
+	for trial := 0; trial < 40; trial++ {
+		for _, sh := range shapes {
+			universe := 4 * (sh.nSrc + sh.nRow + 1)
+			srcV := randomSorted(rng, sh.nSrc, universe)
+			src := make([]entry, len(srcV))
+			for i, v := range srcV {
+				src[i] = entry{v, 1 / float64(1+rng.Intn(8))}
+			}
+			row := randomSorted(rng, sh.nRow, universe)
+			probs := make([]float64, len(row))
+			for i := range probs {
+				probs[i] = 1 / float64(1+rng.Intn(8))
+			}
+			thr := 1 / float64(1+rng.Intn(16))
+			want := naiveIntersect(src, row, probs, thr)
+			got := intersectEntries(make([]entry, 0, minInt(len(src), len(row))), src, row, probs, thr)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shape %+v trial %d: got %v want %v", sh, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestGallopBoundaries(t *testing.T) {
+	row := []int32{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	for _, c := range []struct {
+		from, want int
+		v          int32
+	}{
+		{0, 0, 1}, {0, 0, 2}, {0, 1, 3}, {0, 9, 19}, {0, 9, 20}, {0, 10, 21},
+		{3, 3, 1}, {3, 4, 9}, {9, 10, 99},
+		{10, 10, 5}, // from already past the end
+	} {
+		if got := gallopRow(row, c.from, c.v); got != c.want {
+			t.Errorf("gallopRow(from=%d, v=%d) = %d, want %d", c.from, c.v, got, c.want)
+		}
+	}
+	src := make([]entry, len(row))
+	for i, v := range row {
+		src[i] = entry{v, 1}
+	}
+	for _, c := range []struct {
+		from, want int
+		v          int32
+	}{
+		{0, 0, 2}, {0, 4, 9}, {0, 10, 25}, {5, 8, 18},
+	} {
+		if got := gallopEntries(src, c.from, c.v); got != c.want {
+			t.Errorf("gallopEntries(from=%d, v=%d) = %d, want %d", c.from, c.v, got, c.want)
+		}
+	}
+}
+
+// --- Allocation regression: the kernel must be allocation-free in steady
+// state (the tentpole of this PR) ---
+
+// kernelAllocsPerNode measures heap allocations per search-tree node for a
+// full run on a pre-pruned graph (preprocessing — PruneAlpha's builder — is
+// O(m) one-time work and measured separately by the bench pipeline).
+func kernelAllocsPerNode(t *testing.T, cfg Config, alpha float64, minCalls int64) float64 {
+	t.Helper()
+	g := gen.BA(500, 11).PruneAlpha(alpha)
+	cfg.SkipPrune = true
+	var stats Stats
+	allocs := testing.AllocsPerRun(5, func() {
+		var err error
+		stats, err = EnumerateWith(g, alpha, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if stats.Calls < minCalls {
+		t.Fatalf("graph too small to be meaningful: %d search calls", stats.Calls)
+	}
+	t.Logf("%.1f allocs/run over %d calls (%.4f per node)",
+		allocs, stats.Calls, allocs/float64(stats.Calls))
+	return allocs / float64(stats.Calls)
+}
+
+func TestEnumerateSteadyStateAllocs(t *testing.T) {
+	if perNode := kernelAllocsPerNode(t, Config{}, 0.002, 2000); perNode > 0.02 {
+		t.Fatalf("Enumerate allocates %.4f per search node; the arena kernel should be ~0", perNode)
+	}
+}
+
+func TestEnumerateLargeSteadyStateAllocs(t *testing.T) {
+	// MinSize 2 exercises LARGE-MULE's size-pruned search path without the
+	// Modani–Dey prefilter (vacuous below t=3), so the measurement isolates
+	// the kernel like the plain-MULE test above.
+	if perNode := kernelAllocsPerNode(t, Config{MinSize: 2}, 0.002, 1000); perNode > 0.02 {
+		t.Fatalf("EnumerateLarge allocates %.4f per search node; the arena kernel should be ~0", perNode)
+	}
+}
+
+// --- Output equivalence: the arena kernel against the independent DFS-NOIP
+// implementation, plain and LARGE, over 50 random graphs ---
+
+func TestArenaKernelMatchesNOIPRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	densities := []float64{0.15, 0.3, 0.5, 0.8}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(36)
+		g := randomDyadic(n, densities[trial%len(densities)], rng)
+		alpha := dyadicAlphas[rng.Intn(len(dyadicAlphas))]
+		all := baseline.CollectNOIP(g, alpha)
+		got := mustCollect(t, g, alpha, Config{})
+		if !reflect.DeepEqual(got, all) {
+			t.Fatalf("trial %d (n=%d, α=%v): arena kernel diverges from DFS-NOIP\nMULE = %v\nNOIP = %v",
+				trial, n, alpha, got, all)
+		}
+		// LARGE-MULE must equal the size-filtered full output.
+		minSize := 3
+		var want [][]int
+		for _, c := range all {
+			if len(c) >= minSize {
+				want = append(want, c)
+			}
+		}
+		large := mustCollect(t, g, alpha, Config{MinSize: minSize})
+		if len(large) != len(want) || (len(want) > 0 && !reflect.DeepEqual(large, want)) {
+			t.Fatalf("trial %d: LARGE-MULE diverges\ngot  = %v\nwant = %v", trial, large, want)
+		}
+	}
+}
+
+// --- Emission ordering: the relabeled path must hand the visitor sorted
+// cliques, and identity-resolving orderings must keep working ---
+
+func TestRelabeledEmissionsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(910))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDyadic(8+rng.Intn(20), 0.5, rng)
+		for _, ord := range []Ordering{OrderDegree, OrderDegeneracy, OrderRandom} {
+			_, err := EnumerateWith(g, 0.25, func(c []int, _ float64) bool {
+				if !sort.IntsAreSorted(c) {
+					t.Fatalf("ordering %v emitted unsorted clique %v", ord, c)
+				}
+				return true
+			}, Config{Ordering: ord, Seed: int64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestIsIdentityOrder(t *testing.T) {
+	if !isIdentityOrder(nil) || !isIdentityOrder([]int{0, 1, 2}) {
+		t.Error("identity permutations misclassified")
+	}
+	if isIdentityOrder([]int{1, 0, 2}) || isIdentityOrder([]int{0, 2, 1}) {
+		t.Error("non-identity permutations misclassified")
+	}
+}
+
+// TestIdentityResolvingOrderingStillCorrect pins the identity fast path: a
+// graph already numbered in ascending degree makes OrderDegree resolve to
+// the identity permutation, which skips the relabel and the per-emission
+// sort — the output must be identical to the natural run anyway.
+func TestIdentityResolvingOrderingStillCorrect(t *testing.T) {
+	// Star with the hub last: leaves 0..3 have degree 1, hub 4 degree 4,
+	// so the stable degree sort keeps 0,1,2,3,4 — the identity.
+	g, err := uncertain.FromEdges(5, []uncertain.Edge{
+		{U: 0, V: 4, P: 0.75}, {U: 1, V: 4, P: 0.75},
+		{U: 2, V: 4, P: 0.75}, {U: 3, V: 4, P: 0.75},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustCollect(t, g, 0.5, Config{})
+	got := mustCollect(t, g, 0.5, Config{Ordering: OrderDegree})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("identity-resolving degree order changed output: %v vs %v", got, want)
+	}
+}

@@ -194,12 +194,16 @@ func EnumerateWith(g *uncertain.Graph, alpha float64, visit Visitor, cfg Config)
 		stats.FilterRemoved = before - work.NumEdges()
 	}
 
-	// Renumber vertices; newToOld translates results back.
+	// Renumber vertices; newToOld translates results back. An ordering
+	// that resolves to the identity permutation — always for OrderNatural,
+	// coincidentally for the others (e.g. degree order on an input already
+	// numbered by degree) — skips both the relabel and the per-emission
+	// sort, since original IDs then come out ascending by construction.
 	newToOld, err := buildOrder(work, cfg.Ordering, cfg.Seed)
 	if err != nil {
 		return stats, err
 	}
-	identity := cfg.Ordering == OrderNatural
+	identity := isIdentityOrder(newToOld)
 	if !identity {
 		relabeled, _, rerr := work.Relabel(newToOld)
 		if rerr != nil {
@@ -218,6 +222,7 @@ func EnumerateWith(g *uncertain.Graph, alpha float64, visit Visitor, cfg Config)
 		checkInv: cfg.CheckInvariants,
 		stats:    &stats,
 		emitBuf:  make([]int, 0, 64),
+		cbuf:     make([]int32, 0, 128),
 	}
 	switch {
 	case cfg.Workers > 1 && cfg.Parallel == ParallelTopLevel:

@@ -1,0 +1,139 @@
+package core
+
+// Adaptive sorted-set intersection for GenerateI/GenerateX (Algorithms 3
+// and 4). Both algorithms intersect a sorted entry list (candidates or
+// witnesses) with a sorted adjacency row, extending each surviving
+// multiplier by the edge probability and filtering against the threshold.
+//
+// On balanced inputs a linear two-pointer merge is optimal. On hub-heavy
+// power-law graphs the two sides routinely differ by orders of magnitude —
+// a short tail intersected with a hub's multi-thousand-entry row — and the
+// merge wastes its time stepping through the long side one element at a
+// time. When the lengths differ by gallopRatio or more, the kernel instead
+// walks the short side and advances through the long side by galloping
+// (exponential search followed by binary search), making each step
+// O(log gap) instead of O(gap).
+
+// gallopRatio is the length disparity at which the merge switches to
+// galloping. Below ~8× the branchy binary search costs more than the linear
+// steps it replaces.
+const gallopRatio = 8
+
+// intersectEntries appends to dst every vertex common to src (sorted
+// entries) and row (sorted adjacency with parallel probs) whose extended
+// multiplier src[i].r·probs[j] still meets thr, and returns dst. dst must
+// have capacity for min(len(src), len(row)) appends.
+//
+// thr is the hoisted threshold α/clq(C∪{u}): comparing r' ≥ α/q' once per
+// match replaces the q'·r' ≥ α multiply of the textbook formulation. The
+// two comparisons can disagree by at most one ulp of rounding on the
+// boundary; every ordering and engine uses the same rule, so results stay
+// internally consistent.
+func intersectEntries(dst, src []entry, row []int32, probs []float64, thr float64) []entry {
+	switch {
+	case len(src) == 0 || len(row) == 0:
+		return dst
+	case len(row) >= gallopRatio*len(src):
+		j := 0
+		for i := range src {
+			j = gallopRow(row, j, src[i].v)
+			if j == len(row) {
+				break
+			}
+			if row[j] == src[i].v {
+				if r2 := src[i].r * probs[j]; r2 >= thr {
+					dst = append(dst, entry{src[i].v, r2})
+				}
+				j++
+			}
+		}
+	case len(src) >= gallopRatio*len(row):
+		i := 0
+		for j := range row {
+			i = gallopEntries(src, i, row[j])
+			if i == len(src) {
+				break
+			}
+			if src[i].v == row[j] {
+				if r2 := src[i].r * probs[j]; r2 >= thr {
+					dst = append(dst, entry{row[j], r2})
+				}
+				i++
+			}
+		}
+	default:
+		i, j := 0, 0
+		for i < len(src) && j < len(row) {
+			switch {
+			case src[i].v < row[j]:
+				i++
+			case src[i].v > row[j]:
+				j++
+			default:
+				if r2 := src[i].r * probs[j]; r2 >= thr {
+					dst = append(dst, entry{src[i].v, r2})
+				}
+				i++
+				j++
+			}
+		}
+	}
+	return dst
+}
+
+// gallopRow returns the smallest k ≥ from with row[k] ≥ v, or len(row):
+// exponential probes double the step until they overshoot, then a binary
+// search pins the boundary inside the last doubling window.
+func gallopRow(row []int32, from int, v int32) int {
+	n := len(row)
+	if from >= n || row[from] >= v {
+		return from
+	}
+	lo, step := from, 1
+	hi := from + step
+	for hi < n && row[hi] < v {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// row[lo] < v, and hi == n or row[hi] ≥ v.
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// gallopEntries is gallopRow over the vertex field of an entry list.
+func gallopEntries(src []entry, from int, v int32) int {
+	n := len(src)
+	if from >= n || src[from].v >= v {
+		return from
+	}
+	lo, step := from, 1
+	hi := from + step
+	for hi < n && src[hi].v < v {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if src[mid].v < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

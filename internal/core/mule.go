@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -24,15 +22,18 @@ type enumerator struct {
 	identity bool
 	checkInv bool
 	stats    *Stats
+	arena    entryArena
 	emitBuf  []int
+	cbuf     []int32 // working-clique stack for the serial recursion
 	stopped  bool
 }
 
 // workerClone returns an enumerator that shares e's graph and configuration
-// but owns its stats and emit buffer, with the visitor routed through the
-// run's shared serialization/early-stop state. Both parallel engines build
-// their per-worker enumerators with it; stats is worker-local and merged
-// deterministically after the run.
+// but owns its stats, arena, and scratch buffers, with the visitor routed
+// through the run's shared serialization/early-stop state. Both parallel
+// engines build their per-worker enumerators with it; everything mutable is
+// worker-local (stats are merged deterministically after the run, arenas
+// never cross workers).
 func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
 	return &enumerator{
 		g:        e.g,
@@ -44,18 +45,23 @@ func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
 		checkInv: e.checkInv,
 		stats:    stats,
 		emitBuf:  make([]int, 0, 64),
+		cbuf:     make([]int32, 0, 128),
 	}
 }
 
 // runSerial performs Algorithm 1: initialize Î with every vertex paired with
-// multiplier 1 (a singleton is a clique with probability 1) and recurse.
+// multiplier 1 (a singleton is a clique with probability 1) and recurse. The
+// root candidate and witness sets live in the arena like every other node's.
 func (e *enumerator) runSerial() {
 	n := e.g.NumVertices()
-	rootI := make([]entry, n)
+	m := e.arena.mark()
+	rootI := e.arena.alloc(n)
 	for v := 0; v < n; v++ {
-		rootI[v] = entry{int32(v), 1}
+		rootI = append(rootI, entry{int32(v), 1})
 	}
-	e.recurse(nil, 1, rootI, nil)
+	rootX := e.arena.alloc(n) // filled by the root loop's witness appends
+	e.recurse(e.cbuf[:0], 1, rootI, rootX)
+	e.arena.release(m)
 }
 
 // recurse is Enum-Uncertain-MC (Algorithm 2), with the |C'|+|I'| < t cut of
@@ -65,6 +71,12 @@ func (e *enumerator) runSerial() {
 // q = clq(C); every (u,r) ∈ I has u > max(C) and clq(C∪{u}) = q·r ≥ α;
 // every (x,s) ∈ X has x ∉ C, x < max(C) and clq(C∪{x}) = q·s ≥ α. Both I
 // and X are sorted ascending by vertex.
+//
+// Memory discipline: I and X are arena slices owned by the caller; X was
+// allocated with len(I) spare capacity so the witness appends below never
+// reallocate. Each iteration marks the arena, carves I' and X' for the
+// child, and releases the mark when the subtree returns — steady state does
+// no heap allocation.
 func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
 	if e.stopped {
 		return
@@ -86,19 +98,21 @@ func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
 		}
 		u, r := I[idx].v, I[idx].r
 		q2 := q * r
-		C2 := append(C, u)
+		m := e.arena.mark()
 		// I entries beyond idx are exactly those greater than u, since I is
 		// sorted: GenerateI only ever inspects them.
 		I2 := e.generateI(I[idx+1:], u, q2)
-		if e.minSize >= 2 && len(C2)+len(I2) < e.minSize {
+		if e.minSize >= 2 && len(C)+1+len(I2) < e.minSize {
 			// Algorithm 6 line 8: this subtree cannot reach a clique of the
 			// requested size; skip it (including the X update — every
 			// clique that u could witness against is itself below size t).
 			e.stats.SizePruned++
+			e.arena.release(m)
 			continue
 		}
-		X2 := e.generateX(X, u, q2)
-		e.recurse(C2, q2, I2, X2)
+		X2 := e.generateX(X, u, q2, len(I2))
+		e.recurse(append(C, u), q2, I2, X2)
+		e.arena.release(m)
 		X = append(X, entry{u, r})
 	}
 }
@@ -106,29 +120,15 @@ func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
 // generateI is Algorithm 3. tail holds the I-entries greater than u (the
 // suffix of the parent's sorted I); the result keeps those that are adjacent
 // to u and still meet the threshold, with multipliers extended by p({w,u}).
-// Two-pointer merge over the sorted tail and u's sorted adjacency row makes
-// each call O(|I| + deg(u)).
+// The intersection with u's adjacency row (restricted to neighbors > u via
+// the AdjacencySuffix fast path) is adaptive: linear merge on balanced
+// inputs, galloping when one side dominates — see intersect.go.
 func (e *enumerator) generateI(tail []entry, u int32, q2 float64) []entry {
-	row, probs := e.g.Adjacency(int(u))
-	// Skip adjacency entries ≤ u: tail vertices are all > u.
-	j := sort.Search(len(row), func(k int) bool { return row[k] > u })
-	out := make([]entry, 0, minInt(len(tail), len(row)-j))
-	i := 0
-	for i < len(tail) && j < len(row) {
-		switch {
-		case tail[i].v < row[j]:
-			i++
-		case tail[i].v > row[j]:
-			j++
-		default:
-			r2 := tail[i].r * probs[j]
-			if q2*r2 >= e.alpha {
-				out = append(out, entry{tail[i].v, r2})
-			}
-			i++
-			j++
-		}
-	}
+	row, probs := e.g.AdjacencySuffix(int(u), u)
+	maxOut := minInt(len(tail), len(row))
+	out := e.arena.alloc(maxOut)
+	out = intersectEntries(out, tail, row, probs, e.alpha/q2)
+	e.arena.shrink(maxOut, len(out))
 	e.stats.CandidateOps += int64(len(out))
 	return out
 }
@@ -136,26 +136,16 @@ func (e *enumerator) generateI(tail []entry, u int32, q2 float64) []entry {
 // generateX is Algorithm 4: the same filter-and-extend step applied to the
 // witness set. All X entries are < u (old witnesses are below max(C), and
 // witnesses added during the loop are candidates that precede u), so X stays
-// sorted and the merge mirrors generateI.
-func (e *enumerator) generateX(X []entry, u int32, q2 float64) []entry {
+// sorted and the intersection mirrors generateI. extra reserves append room
+// beyond the intersection: the child's loop pushes one witness per expanded
+// candidate, so passing the child's |I'| guarantees its appends stay inside
+// the arena slice.
+func (e *enumerator) generateX(X []entry, u int32, q2 float64, extra int) []entry {
 	row, probs := e.g.Adjacency(int(u))
-	out := make([]entry, 0, minInt(len(X), len(row)))
-	i, j := 0, 0
-	for i < len(X) && j < len(row) {
-		switch {
-		case X[i].v < row[j]:
-			i++
-		case X[i].v > row[j]:
-			j++
-		default:
-			s2 := X[i].r * probs[j]
-			if q2*s2 >= e.alpha {
-				out = append(out, entry{X[i].v, s2})
-			}
-			i++
-			j++
-		}
-	}
+	maxOut := minInt(len(X), len(row))
+	out := e.arena.alloc(maxOut + extra)
+	out = intersectEntries(out, X, row, probs, e.alpha/q2)
+	e.arena.shrink(maxOut+extra, len(out)+extra)
 	e.stats.WitnessOps += int64(len(out))
 	return out
 }
@@ -168,12 +158,21 @@ func (e *enumerator) emit(C []int32, q float64) {
 		// meaningful clique.
 		return
 	}
+	if cap(e.emitBuf) < len(C) {
+		// Grow to exactly twice the requirement: the buffer is kept for the
+		// whole run, so growth stays bounded by 2× the largest clique
+		// emitted instead of compounding append doublings.
+		e.emitBuf = make([]int, 0, 2*len(C))
+	}
 	buf := e.emitBuf[:0]
 	if e.identity {
 		for _, v := range C {
 			buf = append(buf, int(v))
 		}
 	} else {
+		// newToOld is a non-identity permutation (identity orders — natural
+		// or coincidental — skip the relabel entirely), so the translated
+		// IDs are unordered and must be sorted for the visitor contract.
 		for _, v := range C {
 			buf = append(buf, e.newToOld[v])
 		}

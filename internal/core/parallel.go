@@ -54,30 +54,42 @@ func (e *enumerator) runTopLevel(workers int) {
 }
 
 // branch runs the top-level iteration for vertex u: it reproduces exactly
-// the state the serial loop would pass to the recursive call for u.
+// the state the serial loop would pass to the recursive call for u. Like
+// the serial driver, it builds I and X in the worker's arena — the row is
+// sorted, so neighbors < u (the witnesses) form the prefix and neighbors
+// > u (the candidates) the suffix.
 func (e *enumerator) branch(u int32) {
 	row, probs := e.g.Adjacency(int(u))
-	var I, X []entry
-	for i, w := range row {
-		p := probs[i]
-		if p < e.alpha {
-			continue // only reachable with SkipPrune
-		}
-		if w > u {
-			I = append(I, entry{w, p})
-		} else {
-			X = append(X, entry{w, p})
+	irow, iprobs := e.g.AdjacencySuffix(int(u), u)
+	k := len(row) - len(irow) // witnesses: row[:k]
+
+	m := e.arena.mark()
+	// X holds ≤ k filtered witnesses plus ≤ len(irow) appends from the
+	// recursion's loop, so the full row length bounds its capacity.
+	X := e.arena.alloc(len(row))
+	for i := 0; i < k; i++ {
+		if p := probs[i]; p >= e.alpha {
+			X = append(X, entry{row[i], p})
 		}
 	}
+	I := e.arena.alloc(len(irow))
+	for i, w := range irow {
+		if p := iprobs[i]; p >= e.alpha {
+			I = append(I, entry{w, p})
+		}
+	}
+	e.arena.shrink(len(irow), len(I))
+	// The p < α skips above are only reachable with SkipPrune.
 	e.stats.CandidateOps += int64(len(I))
 	e.stats.WitnessOps += int64(len(X))
-	C := make([]int32, 0, len(I)+1)
-	C = append(C, u)
-	if e.minSize >= 2 && len(C)+len(I) < e.minSize {
+	if e.minSize >= 2 && 1+len(I) < e.minSize {
 		e.stats.SizePruned++
+		e.arena.release(m)
 		return
 	}
+	C := append(e.cbuf[:0], u)
 	e.recurse(C, 1, I, X)
+	e.arena.release(m)
 }
 
 // merge folds o into s. All fields are sums or maxes, so merging per-worker

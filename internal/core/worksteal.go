@@ -30,6 +30,16 @@ import (
 // handoff points (deque push/pop/steal) are guarded by the deque mutex.
 // C and I are read-only after frame creation and may be shared by a split;
 // X is written by the owner, so a split gives the thief a private copy.
+//
+// Arena discipline: each worker's enumerator owns a private frame arena
+// (arena.go) used for all within-node scratch — the I'/X' produced while
+// expanding a frame's candidates, and the entire inline recursion below the
+// steal granularity. Frames are the one thing that crosses workers, so
+// frame state (C, I, X) always lives on the heap: a frame-worthy child
+// copies its arena-built I'/X' into fresh heap slices before the arena mark
+// is released. A thief therefore never observes another worker's arena
+// memory, keeping the engine -race clean with zero cross-worker
+// synchronization beyond the deque mutexes.
 
 // defaultStealGranularity is the Config.StealGranularity used when the knob
 // is zero: subtrees with fewer pending candidates than this run inline with
@@ -228,6 +238,7 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 		f.next = j + 1
 		u, r := f.I[j].v, f.I[j].r
 		q2 := f.q * r
+		m := e.arena.mark()
 		I2 := e.generateI(f.I[j+1:], u, q2)
 		if e.minSize >= 2 && len(f.C)+1+len(I2) < e.minSize {
 			e.stats.SizePruned++
@@ -235,9 +246,10 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 			// preserves the X == X₀ ++ I[:next] split invariant and cannot
 			// change the emitted set (see the note in large.go).
 			f.X = append(f.X, entry{u, r})
+			e.arena.release(m)
 			continue
 		}
-		X2 := e.generateX(f.X, u, q2)
+		X2 := e.generateX(f.X, u, q2, len(I2))
 		f.X = append(f.X, entry{u, r})
 		if len(I2) == 0 {
 			// Leaf (emit) or dead end (witnessed): account for the node
@@ -253,25 +265,39 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 			if len(X2) == 0 {
 				e.emit(w.scratch, q2)
 			}
+			e.arena.release(m)
 			continue
 		}
-		C2 := make([]int32, len(f.C)+1, len(f.C)+1+len(I2))
+		if len(I2) < w.granularity {
+			// Small subtree: run it inline with the serial recursion on
+			// worker-private scratch. It accounts for its own nodes and is
+			// never exposed for stealing, so the arena-backed I2/X2 and the
+			// scratch clique stay owned by this worker throughout.
+			w.scratch = append(append(w.scratch[:0], f.C...), u)
+			e.recurse(w.scratch, q2, I2, X2)
+			e.arena.release(m)
+			continue
+		}
+		// Frame-worthy child: its state may be handed to a thief, so copy
+		// the arena-built I2/X2 (and the extended clique) onto the heap
+		// before releasing the mark. X gets the spare capacity its own
+		// witness appends will need.
+		C2 := make([]int32, len(f.C)+1)
 		copy(C2, f.C)
 		C2[len(f.C)] = u
-		if len(I2) < w.granularity {
-			// Small subtree: run it inline with the serial recursion. It
-			// accounts for its own nodes and is never exposed for stealing.
-			e.recurse(C2, q2, I2, X2)
-			continue
-		}
+		IH := make([]entry, len(I2))
+		copy(IH, I2)
+		XH := make([]entry, len(X2), len(X2)+len(I2))
+		copy(XH, X2)
+		e.arena.release(m)
 		e.stats.Calls++
 		if d := len(C2); d > e.stats.MaxDepth {
 			e.stats.MaxDepth = d
 		}
 		if e.checkInv {
-			e.verifyInvariants(C2, q2, I2, X2)
+			e.verifyInvariants(C2, q2, IH, XH)
 		}
-		child := &wsFrame{C: C2, q: q2, I: I2, X: X2, end: len(I2)}
+		child := &wsFrame{C: C2, q: q2, I: IH, X: XH, end: len(IH)}
 		if f.next >= f.end {
 			// Final candidate: nothing left to expose, descend in place.
 			f = child

@@ -179,6 +179,26 @@ func (g *Graph) Adjacency(u int) ([]int32, []float64) {
 	return g.nbrs[lo:hi], g.probs[lo:hi]
 }
 
+// AdjacencySuffix returns the tail of u's adjacency row holding the
+// neighbors strictly greater than after, with the parallel probabilities.
+// Like Adjacency, both slices are views into the graph's storage and must
+// not be modified. The inlined binary search replaces a sort.Search closure
+// on the enumeration hot path (GenerateI restricts every row to neighbors
+// above the branching vertex).
+func (g *Graph) AdjacencySuffix(u int, after int32) ([]int32, []float64) {
+	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
+	i, j := lo, hi
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if g.nbrs[mid] <= after {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	return g.nbrs[i:hi], g.probs[i:hi]
+}
+
 // Neighbors returns a freshly allocated slice of u's neighbors, ascending.
 func (g *Graph) Neighbors(u int) []int {
 	row, _ := g.Adjacency(u)

@@ -383,3 +383,29 @@ func TestProbHistogram(t *testing.T) {
 		t.Fatal("k=0 should return nil")
 	}
 }
+
+// TestAdjacencySuffix checks the hot-path row accessor against the plain
+// Adjacency view for every vertex and a sweep of split points, including
+// the before-first / after-last boundaries.
+func TestAdjacencySuffix(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomUncertain(40, 0.3, rng)
+	for u := 0; u < g.NumVertices(); u++ {
+		row, probs := g.Adjacency(u)
+		for after := int32(-1); after <= int32(g.NumVertices()); after++ {
+			srow, sprobs := g.AdjacencySuffix(u, after)
+			k := sort.Search(len(row), func(i int) bool { return row[i] > after })
+			if !reflect.DeepEqual(append([]int32{}, srow...), append([]int32{}, row[k:]...)) {
+				t.Fatalf("u=%d after=%d: suffix %v, want %v", u, after, srow, row[k:])
+			}
+			if len(sprobs) != len(srow) {
+				t.Fatalf("u=%d after=%d: probs length %d != row length %d", u, after, len(sprobs), len(srow))
+			}
+			for i := range sprobs {
+				if sprobs[i] != probs[k+i] {
+					t.Fatalf("u=%d after=%d: prob[%d] = %v, want %v", u, after, i, sprobs[i], probs[k+i])
+				}
+			}
+		}
+	}
+}

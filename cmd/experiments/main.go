@@ -43,9 +43,11 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "max parallel workers for the ablation and parallel experiments (0 = NumCPU)")
 		list      = fs.Bool("list", false, "list experiments and exit")
 
-		kernelOut   = fs.String("kernel-out", "", "kernel experiment: trajectory file to merge the run into (e.g. BENCH_kernel.json)")
-		kernelLabel = fs.String("kernel-label", "", "kernel experiment: label for this run in the trajectory")
-		kernelOnce  = fs.Bool("kernel-once", false, "kernel experiment: single timed iteration per cell (CI smoke mode)")
+		kernelOut     = fs.String("kernel-out", "", "kernel experiment: trajectory file to merge the run into (e.g. BENCH_kernel.json)")
+		kernelLabel   = fs.String("kernel-label", "", "kernel experiment: label for this run in the trajectory")
+		kernelOnce    = fs.Bool("kernel-once", false, "kernel experiment: single timed iteration per cell (CI smoke mode)")
+		kernelDiff    = fs.String("kernel-diff", "", "kernel experiment: fail on ns/op regressions vs the latest comparable row of this trajectory file")
+		kernelDiffPct = fs.Float64("kernel-diff-pct", 25, "kernel experiment: regression tolerance for -kernel-diff, in percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,14 +63,16 @@ func run(args []string) error {
 		return fmt.Errorf("missing -exp (or -list)")
 	}
 	cfg := bench.Config{
-		Seed:        *seed,
-		Quick:       *quick,
-		DBLPScale:   *dblpScale,
-		Budget:      *budget,
-		Workers:     *workers,
-		KernelOut:   *kernelOut,
-		KernelLabel: *kernelLabel,
-		KernelOnce:  *kernelOnce,
+		Seed:          *seed,
+		Quick:         *quick,
+		DBLPScale:     *dblpScale,
+		Budget:        *budget,
+		Workers:       *workers,
+		KernelOut:     *kernelOut,
+		KernelLabel:   *kernelLabel,
+		KernelOnce:    *kernelOnce,
+		KernelDiff:    *kernelDiff,
+		KernelDiffPct: *kernelDiffPct,
 	}
 	if *exp == "all" {
 		for _, e := range bench.Registry() {

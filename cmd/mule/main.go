@@ -8,7 +8,15 @@
 //	mule -in graph.ug -alpha 0.5 -top 10         # 10 highest-probability cliques
 //	mule -in graph.ugb -alpha 0.5 -workers 8     # parallel work-stealing search
 //	mule -in g.ug -alpha 0.5 -workers 8 -engine toplevel  # legacy fan-out
+//	mule -in g.ug -alpha 0.5 -timeout 30s        # deadline-bounded run
+//	mule -in g.ug -alpha 0.5 -limit 1000         # stop after 1000 cliques
 //	mule -in g.ug -alpha 0.5 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//
+// The command is built on mule.NewQuery, so every run is cancellable:
+// -timeout bounds the wall clock, and SIGINT/SIGTERM abort the enumeration
+// cleanly — buffered output and the stats line are flushed with whatever
+// was found so far, and the process exits with status 130 (interrupt) or
+// 124 (deadline) instead of dying mid-write.
 //
 // With -workers > 1 the search runs on the work-stealing engine by default;
 // -engine toplevel selects the legacy top-level fan-out and -granularity
@@ -19,28 +27,56 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
-	"github.com/uncertain-graphs/mule/internal/core"
+	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/graphio"
-	"github.com/uncertain-graphs/mule/internal/topk"
+)
+
+// Exit statuses for aborted runs, matching shell conventions (128+SIGINT
+// and timeout(1) respectively).
+const (
+	exitInterrupted = 130
+	exitDeadline    = 124
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "mule:", err)
+	ctx, stop := signalContext(context.Background())
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "mule:", err)
+	switch {
+	case errors.Is(err, context.Canceled):
+		os.Exit(exitInterrupted)
+	case errors.Is(err, context.DeadlineExceeded):
+		os.Exit(exitDeadline)
+	default:
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// signalContext returns a context canceled on SIGINT or SIGTERM, so an
+// interrupted enumeration unwinds through the query layer (flushing stats
+// and partial output) instead of being killed mid-write.
+func signalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mule", flag.ContinueOnError)
 	var (
 		in          = fs.String("in", "", "input graph file (.ug text or .ugb binary; required)")
@@ -52,6 +88,9 @@ func run(args []string, out io.Writer) error {
 		ordering    = fs.String("order", "natural", "vertex ordering: natural|degree|degeneracy|random")
 		countOnly   = fs.Bool("count", false, "print only the number of α-maximal cliques")
 		top         = fs.Int("top", 0, "print only the k highest-probability α-maximal cliques")
+		limit       = fs.Int64("limit", 0, "stop after this many cliques (0 = no limit)")
+		budget      = fs.Int64("budget", 0, "abort after this many search-tree nodes (0 = no budget)")
+		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		quiet       = fs.Bool("quiet", false, "suppress the stats line on stderr")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file before exiting")
@@ -82,16 +121,26 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	g, err := graphio.LoadFile(*in)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{
-		MinSize:          *minSize,
-		Workers:          *workers,
-		Parallel:         mode,
-		StealGranularity: *granularity,
-		Ordering:         ord,
+	q, err := mule.NewQuery(g, *alpha,
+		mule.WithMinSize(*minSize),
+		mule.WithWorkers(*workers),
+		mule.WithParallelMode(mode),
+		mule.WithStealGranularity(*granularity),
+		mule.WithOrdering(ord),
+		mule.WithLimit(*limit),
+		mule.WithBudget(*budget),
+	)
+	if err != nil {
+		return err
 	}
 
 	start := time.Now()
@@ -99,7 +148,7 @@ func run(args []string, out io.Writer) error {
 	defer w.Flush()
 
 	if *top > 0 {
-		scored, terr := topk.ByProb(g, *alpha, *top)
+		scored, terr := q.TopK(ctx, *top, mule.ByProb)
 		if terr != nil {
 			return terr
 		}
@@ -113,25 +162,31 @@ func run(args []string, out io.Writer) error {
 		return writeMemProfile(*memprofile)
 	}
 
-	var visit core.Visitor
+	var visit mule.Visitor
 	if !*countOnly {
 		visit = func(c []int, p float64) bool {
 			printClique(w, c, p)
 			return true
 		}
 	}
-	stats, err := core.EnumerateWith(g, *alpha, visit, cfg)
-	if err != nil {
-		return err
-	}
+	stats, runErr := q.Run(ctx, visit)
 	if *countOnly {
 		fmt.Fprintf(w, "%d\n", stats.Emitted)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr,
-			"%d α-maximal cliques (α=%g, max size %d) in %s; %d search calls, %d edges pruned\n",
-			stats.Emitted, *alpha, stats.MaxCliqueSize,
+			"%d α-maximal cliques (α=%g, max size %d, %s) in %s; %d search calls, %d edges pruned\n",
+			stats.Emitted, *alpha, stats.MaxCliqueSize, stats.Status,
 			time.Since(start).Round(time.Millisecond), stats.Calls, stats.PrunedEdges)
+	}
+	if runErr != nil {
+		// Flush what we have before surfacing the abort: a canceled run
+		// still reports its partial output and the stats line above.
+		w.Flush()
+		if merr := writeMemProfile(*memprofile); merr != nil {
+			return merr
+		}
+		return runErr
 	}
 	return writeMemProfile(*memprofile)
 }
@@ -163,27 +218,27 @@ func printClique(w *bufio.Writer, c []int, p float64) {
 	w.WriteByte('\n')
 }
 
-func parseEngine(s string) (core.ParallelMode, error) {
+func parseEngine(s string) (mule.ParallelMode, error) {
 	switch strings.ToLower(s) {
 	case "worksteal", "workstealing":
-		return core.ParallelWorkStealing, nil
+		return mule.ParallelWorkStealing, nil
 	case "toplevel", "top-level":
-		return core.ParallelTopLevel, nil
+		return mule.ParallelTopLevel, nil
 	default:
 		return 0, fmt.Errorf("unknown parallel engine %q", s)
 	}
 }
 
-func parseOrdering(s string) (core.Ordering, error) {
+func parseOrdering(s string) (mule.Ordering, error) {
 	switch strings.ToLower(s) {
 	case "natural":
-		return core.OrderNatural, nil
+		return mule.OrderNatural, nil
 	case "degree":
-		return core.OrderDegree, nil
+		return mule.OrderDegree, nil
 	case "degeneracy":
-		return core.OrderDegeneracy, nil
+		return mule.OrderDegeneracy, nil
 	case "random":
-		return core.OrderRandom, nil
+		return mule.OrderRandom, nil
 	default:
 		return 0, fmt.Errorf("unknown ordering %q", s)
 	}

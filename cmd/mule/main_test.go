@@ -2,11 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
+	"github.com/uncertain-graphs/mule/internal/gen"
 	"github.com/uncertain-graphs/mule/internal/graphio"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
@@ -26,10 +34,27 @@ func writeTestGraph(t *testing.T) string {
 	return path
 }
 
+// writeBigGraph writes a dense graph whose enumeration at a low alpha runs
+// for seconds — long enough to reliably cancel mid-run.
+func writeBigGraph(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	edges := gen.GNP(140, 0.6, rng)
+	g, err := gen.BuildUncertain(140, edges, gen.ConstProb(0.95), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "big.ug")
+	if err := graphio.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func TestRunEnumerate(t *testing.T) {
 	path := writeTestGraph(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-alpha", "0.125", "-quiet"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-quiet"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -48,7 +73,7 @@ func TestRunEnumerate(t *testing.T) {
 func TestRunCount(t *testing.T) {
 	path := writeTestGraph(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-alpha", "0.125", "-count", "-quiet"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-count", "-quiet"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "2" {
@@ -59,7 +84,7 @@ func TestRunCount(t *testing.T) {
 func TestRunTopK(t *testing.T) {
 	path := writeTestGraph(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-alpha", "0.125", "-top", "1", "-quiet"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-top", "1", "-quiet"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -75,7 +100,7 @@ func TestRunTopK(t *testing.T) {
 func TestRunMinSize(t *testing.T) {
 	path := writeTestGraph(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-alpha", "0.125", "-minsize", "3", "-quiet"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-minsize", "3", "-quiet"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -84,11 +109,23 @@ func TestRunMinSize(t *testing.T) {
 	}
 }
 
+func TestRunLimit(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-limit", "1", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("limit=1 printed %d lines: %q", len(lines), out.String())
+	}
+}
+
 func TestRunOrderingsAndWorkers(t *testing.T) {
 	path := writeTestGraph(t)
 	for _, ord := range []string{"natural", "degree", "degeneracy", "random"} {
 		var out bytes.Buffer
-		if err := run([]string{"-in", path, "-alpha", "0.125", "-order", ord, "-workers", "2", "-count", "-quiet"}, &out); err != nil {
+		if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-order", ord, "-workers", "2", "-count", "-quiet"}, &out); err != nil {
 			t.Fatalf("order %s: %v", ord, err)
 		}
 		if strings.TrimSpace(out.String()) != "2" {
@@ -98,26 +135,156 @@ func TestRunOrderingsAndWorkers(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
+	ctx := context.Background()
 	var out bytes.Buffer
-	if err := run([]string{}, &out); err == nil {
+	if err := run(ctx, []string{}, &out); err == nil {
 		t.Error("missing -in should fail")
 	}
-	if err := run([]string{"-in", "/nonexistent/file.ug"}, &out); err == nil {
+	if err := run(ctx, []string{"-in", "/nonexistent/file.ug"}, &out); err == nil {
 		t.Error("missing file should fail")
 	}
 	path := writeTestGraph(t)
-	if err := run([]string{"-in", path, "-alpha", "7"}, &out); err == nil {
+	if err := run(ctx, []string{"-in", path, "-alpha", "7"}, &out); err == nil {
 		t.Error("bad alpha should fail")
 	}
-	if err := run([]string{"-in", path, "-order", "bogus"}, &out); err == nil {
+	if err := run(ctx, []string{"-in", path, "-order", "bogus"}, &out); err == nil {
 		t.Error("bad ordering should fail")
 	}
+}
+
+// TestRunCanceledMidRun cancels the context while the enumeration is in
+// flight and checks the clean-abort contract: a wrapped context.Canceled
+// comes back (so main exits 130) and the partial output was flushed intact
+// — every emitted line is complete, no mid-write kill.
+func TestRunCanceledMidRun(t *testing.T) {
+	path := writeBigGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	lineSeen := make(chan struct{}, 1)
+	out.onWrite = func() {
+		select {
+		case lineSeen <- struct{}{}:
+		default:
+		}
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-in", path, "-alpha", "0.00001", "-quiet"}, &out)
+	}()
+	select {
+	case <-lineSeen:
+		cancel()
+	case <-time.After(30 * time.Second):
+		t.Fatal("no output before timeout")
+	}
+	err := <-errc
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run returned %v, want wrapped context.Canceled", err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var p float64
+		var rest string
+		if _, serr := fmt.Sscanf(line, "%g\t%s", &p, &rest); serr != nil {
+			t.Fatalf("flushed line %d is malformed: %q (%v)", i, line, serr)
+		}
+	}
+}
+
+// TestRunTimeoutFlag bounds a heavy run with -timeout and expects a wrapped
+// context.DeadlineExceeded (the exit-124 path of main).
+func TestRunTimeoutFlag(t *testing.T) {
+	path := writeBigGraph(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-in", path, "-alpha", "0.00001", "-count", "-quiet", "-timeout", "50ms"}, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("run returned %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestSignalContext delivers a real SIGINT to the process and checks that
+// the signal context — the one main wires to the query layer — cancels, so
+// an interactive ^C aborts the enumeration instead of killing the process
+// mid-write.
+func TestSignalContext(t *testing.T) {
+	ctx, stop := signalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+		if !errors.Is(ctx.Err(), context.Canceled) {
+			t.Fatalf("signal context err = %v", ctx.Err())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGINT did not cancel the signal context")
+	}
+}
+
+// TestSignalInterruptFlushes runs a heavy enumeration under the signal
+// context, interrupts it with SIGINT, and verifies the run aborts with
+// context.Canceled and flushed stats — the end-to-end ^C story.
+func TestSignalInterruptFlushes(t *testing.T) {
+	path := writeBigGraph(t)
+	ctx, stop := signalContext(context.Background())
+	defer stop()
+	var out syncBuffer
+	started := make(chan struct{}, 1)
+	out.onWrite = func() {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-in", path, "-alpha", "0.00001", "-quiet"}, &out)
+	}()
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no output before timeout")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want wrapped context.Canceled", err)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the cross-goroutine write/read the
+// cancellation tests do, with a write hook to detect first output.
+type syncBuffer struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	onWrite func()
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	n, err := b.buf.Write(p)
+	b.mu.Unlock()
+	if b.onWrite != nil {
+		b.onWrite()
+	}
+	return n, err
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 func TestMainSmoke(t *testing.T) {
 	// Ensure the os.Stdout path compiles and runs through run().
 	path := writeTestGraph(t)
-	if err := run([]string{"-in", path, "-alpha", "0.5", "-quiet"}, os.Stderr); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.5", "-quiet"}, os.Stderr); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -128,7 +295,7 @@ func TestRunProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pb.gz")
 	mem := filepath.Join(dir, "mem.pb.gz")
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-alpha", "0.125", "-count", "-quiet",
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-count", "-quiet",
 		"-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +311,7 @@ func TestRunProfiles(t *testing.T) {
 	// The -top path exits through a different return; it must still write
 	// the heap profile.
 	mem2 := filepath.Join(dir, "mem2.pb.gz")
-	if err := run([]string{"-in", path, "-alpha", "0.125", "-top", "1", "-quiet",
+	if err := run(context.Background(), []string{"-in", path, "-alpha", "0.125", "-top", "1", "-quiet",
 		"-memprofile", mem2}, &out); err != nil {
 		t.Fatal(err)
 	}

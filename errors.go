@@ -1,0 +1,61 @@
+package mule
+
+import (
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// Typed sentinel errors. Graph construction, the Query API, and the
+// biclique/maintainer surfaces wrap one of these (or context.Canceled /
+// context.DeadlineExceeded for aborted runs) with the offending values;
+// match with errors.Is:
+//
+//	if _, err := mule.NewQuery(g, 1.5); errors.Is(err, mule.ErrAlphaRange) { … }
+//
+// The remaining §6 lenses (quasi-cliques, trusses, cores) validate
+// parameters that have no sentinel here (γ ranges, k minima, η) and keep
+// descriptive errors.
+var (
+	// ErrNilGraph reports a nil *Graph passed to a query or enumeration.
+	ErrNilGraph = core.ErrNilGraph
+	// ErrAlphaRange reports a probability threshold α outside (0, 1].
+	ErrAlphaRange = core.ErrAlphaRange
+	// ErrConfig reports an invalid option or Config field (negative sizes,
+	// worker counts, limits or budgets; unknown orderings or engines).
+	ErrConfig = core.ErrConfig
+	// ErrStopped reports that a Visitor ended a Query.Run early by
+	// returning false; the run's Stats remain valid for the delivered
+	// prefix. The deprecated callback functions swallow it (their original
+	// contract treats an early stop as success).
+	ErrStopped = core.ErrStopped
+	// ErrBudget reports that a run exhausted its WithBudget node budget
+	// before completing.
+	ErrBudget = core.ErrBudget
+
+	// ErrVertexRange reports an edge endpoint or vertex ID outside [0, n).
+	ErrVertexRange = uncertain.ErrVertexRange
+	// ErrSelfLoop reports an edge with identical endpoints.
+	ErrSelfLoop = uncertain.ErrSelfLoop
+	// ErrProbRange reports an edge probability outside (0, 1] (or NaN).
+	ErrProbRange = uncertain.ErrProbRange
+	// ErrDuplicateEdge reports an edge added twice to a Builder.
+	ErrDuplicateEdge = uncertain.ErrDuplicateEdge
+)
+
+// RunStatus is the terminal state of an enumeration run, recorded in
+// Stats.Status.
+type RunStatus = core.RunStatus
+
+// Terminal run states.
+const (
+	// StatusComplete: the search space was exhausted.
+	StatusComplete = core.StatusComplete
+	// StatusStopped: a visitor returned false or a WithLimit bound hit.
+	StatusStopped = core.StatusStopped
+	// StatusCanceled: the context was canceled mid-run.
+	StatusCanceled = core.StatusCanceled
+	// StatusDeadline: the context deadline expired mid-run.
+	StatusDeadline = core.StatusDeadline
+	// StatusBudget: the WithBudget node budget ran out mid-run.
+	StatusBudget = core.StatusBudget
+)

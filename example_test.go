@@ -1,14 +1,130 @@
 package mule_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"sort"
 
 	mule "github.com/uncertain-graphs/mule"
 )
 
-// ExampleEnumerate mirrors the package quick start: enumerate every
-// α-maximal clique of a four-vertex uncertain graph.
+// ExampleNewQuery mirrors the package quick start: prepare a query and
+// enumerate every α-maximal clique through a visitor.
+func ExampleNewQuery() {
+	b := mule.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(0, 2, 0.8)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(2, 3, 0.5)
+	g := b.Build()
+
+	q, err := mule.NewQuery(g, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	_, _ = q.Run(context.Background(), func(clique []int, prob float64) bool {
+		fmt.Printf("%v %.3f\n", clique, prob)
+		return true
+	})
+	// Output:
+	// [0 1 2] 0.648
+	// [2 3] 0.500
+}
+
+// ExampleQuery_cliques streams the cliques with Go 1.23 range-over-func:
+// each iteration yields one Clique (caller-owned, unlike the reused visitor
+// slice), and a break simply stops the underlying search.
+func ExampleQuery_cliques() {
+	b := mule.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(0, 2, 0.8)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(2, 3, 0.5)
+	g := b.Build()
+
+	q, _ := mule.NewQuery(g, 0.5)
+	for c, err := range q.Cliques(context.Background()) {
+		if err != nil {
+			fmt.Println("aborted:", err)
+			return
+		}
+		fmt.Printf("%v %.3f\n", c.Vertices, c.Prob)
+	}
+	// Output:
+	// [0 1 2] 0.648
+	// [2 3] 0.500
+}
+
+// ExampleQuery_timeout bounds an enumeration with a context deadline. An
+// expired context aborts the run — serial or parallel — within one poll
+// interval; the error wraps context.DeadlineExceeded and the stats record
+// how far the search got.
+func ExampleQuery_timeout() {
+	b := mule.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(0, 2, 0.9)
+	g := b.Build()
+
+	q, _ := mule.NewQuery(g, 0.5)
+	ctx, cancel := context.WithTimeout(context.Background(), 0) // already expired
+	defer cancel()
+	stats, err := q.Run(ctx, nil)
+	fmt.Println(errors.Is(err, context.DeadlineExceeded), stats.Status)
+	// Output:
+	// true deadline
+}
+
+// ExampleQuery_parallel runs a query on the work-stealing engine. Workers
+// emit cliques in a scheduling-dependent order, so the example materializes
+// with Collect, which returns canonical order; the set is identical to a
+// serial run.
+func ExampleQuery_parallel() {
+	b := mule.NewBuilder(6)
+	// Two overlapping triangles sharing vertex 2, plus a pendant edge.
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(0, 2, 0.9)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(2, 3, 0.8)
+	_ = b.AddEdge(2, 4, 0.8)
+	_ = b.AddEdge(3, 4, 0.8)
+	_ = b.AddEdge(4, 5, 0.7)
+	g := b.Build()
+
+	q, _ := mule.NewQuery(g, 0.5, mule.WithWorkers(4))
+	cliques, _ := q.Collect(context.Background())
+	for _, c := range cliques {
+		fmt.Println(c.Vertices)
+	}
+	// Output:
+	// [0 1 2]
+	// [2 3 4]
+	// [4 5]
+}
+
+// ExampleQuery_topK selects the k most probable α-maximal cliques without
+// materializing the full output.
+func ExampleQuery_topK() {
+	b := mule.NewBuilder(5)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(0, 2, 0.8)
+	_ = b.AddEdge(1, 2, 0.9)
+	_ = b.AddEdge(2, 3, 0.6)
+	_ = b.AddEdge(3, 4, 0.95)
+	g := b.Build()
+
+	q, _ := mule.NewQuery(g, 0.5)
+	top, _ := q.TopK(context.Background(), 2, mule.ByProb)
+	for _, sc := range top {
+		fmt.Printf("%v %.3f\n", sc.Vertices, sc.Prob)
+	}
+	// Output:
+	// [3 4] 0.950
+	// [0 1 2] 0.648
+}
+
+// ExampleEnumerate shows the original callback entry point, which survives
+// as a deprecated thin wrapper over NewQuery with identical behavior.
 func ExampleEnumerate() {
 	b := mule.NewBuilder(4)
 	_ = b.AddEdge(0, 1, 0.9)
@@ -26,55 +142,16 @@ func ExampleEnumerate() {
 	// [2 3] 0.500
 }
 
-// ExampleEnumerate_parallel runs the same enumeration on the work-stealing
-// parallel engine. Workers visit cliques in a scheduling-dependent order,
-// so the visitor copies them out and the result is sorted before printing;
-// the emitted set is identical to a serial run.
-func ExampleEnumerate_parallel() {
-	b := mule.NewBuilder(6)
-	// Two overlapping triangles sharing vertex 2, plus a pendant edge.
-	_ = b.AddEdge(0, 1, 0.9)
-	_ = b.AddEdge(0, 2, 0.9)
-	_ = b.AddEdge(1, 2, 0.9)
-	_ = b.AddEdge(2, 3, 0.8)
-	_ = b.AddEdge(2, 4, 0.8)
-	_ = b.AddEdge(3, 4, 0.8)
-	_ = b.AddEdge(4, 5, 0.7)
-	g := b.Build()
-
-	var cliques [][]int
-	_, _ = mule.EnumerateWith(g, 0.5, func(clique []int, _ float64) bool {
-		cliques = append(cliques, append([]int(nil), clique...))
-		return true
-	}, mule.Config{Workers: 4})
-
-	sort.Slice(cliques, func(i, j int) bool {
-		a, b := cliques[i], cliques[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
-	for _, c := range cliques {
-		fmt.Println(c)
-	}
-	// Output:
-	// [0 1 2]
-	// [2 3 4]
-	// [4 5]
-}
-
 // ExampleNewMaintainer keeps the α-maximal clique set in sync across edge
-// updates, receiving an exact diff per change.
+// updates, receiving an exact diff per change. NewMaintainerContext bounds
+// the seeding enumeration with a context.
 func ExampleNewMaintainer() {
 	b := mule.NewBuilder(4)
 	_ = b.AddEdge(0, 1, 0.9)
 	_ = b.AddEdge(1, 2, 0.9)
 	g := b.Build()
 
-	m, _ := mule.NewMaintainer(g, 0.5)
+	m, _ := mule.NewMaintainerContext(context.Background(), g, 0.5)
 	fmt.Println("cliques:", m.NumCliques())
 
 	// Closing the triangle replaces {0,1} and {1,2} with {0,1,2}.
@@ -85,24 +162,4 @@ func ExampleNewMaintainer() {
 	// cliques: 3
 	// added: 1 removed: 2
 	// cliques: 2
-}
-
-// ExampleTopKByProb selects the k most probable α-maximal cliques without
-// materializing the full output.
-func ExampleTopKByProb() {
-	b := mule.NewBuilder(5)
-	_ = b.AddEdge(0, 1, 0.9)
-	_ = b.AddEdge(0, 2, 0.8)
-	_ = b.AddEdge(1, 2, 0.9)
-	_ = b.AddEdge(2, 3, 0.6)
-	_ = b.AddEdge(3, 4, 0.95)
-	g := b.Build()
-
-	top, _ := mule.TopKByProb(g, 0.5, 2)
-	for _, sc := range top {
-		fmt.Printf("%v %.3f\n", sc.Vertices, sc.Prob)
-	}
-	// Output:
-	// [3 4] 0.950
-	// [0 1 2] 0.648
 }

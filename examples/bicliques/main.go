@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,10 +41,12 @@ func main() {
 			alpha, stats.Emitted, stats.MaxLeft, stats.MaxRight, stats.Calls)
 	}
 
-	// Blocks worth acting on have at least 3 users and 2 products.
+	// Blocks worth acting on have at least 3 users and 2 products. Like the
+	// clique Query API, the biclique search is cancellable via its context
+	// variant.
 	fmt.Println("\ncohorts with ≥ 3 users and ≥ 2 products at α = 0.2:")
 	cfg := mule.BicliqueConfig{MinLeft: 3, MinRight: 2}
-	_, err := mule.EnumerateBicliquesWith(g, 0.2, func(users, products []int, prob float64) bool {
+	_, err := mule.EnumerateBicliquesContext(context.Background(), g, 0.2, func(users, products []int, prob float64) bool {
 		fmt.Printf("  users %v x products %v   P[all buy all] = %.3f\n", users, products, prob)
 		return true
 	}, cfg)

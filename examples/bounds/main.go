@@ -12,28 +12,33 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/bounds"
-	"github.com/uncertain-graphs/mule/internal/core"
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("n   C(n,⌊n/2⌋)   enumerated   all size ⌊n/2⌋?   Moon–Moser(α=1)")
 	for n := 4; n <= 16; n++ {
 		ex := bounds.NewExtremal(n, 0.6)
+		q, err := mule.NewQuery(ex.Graph, ex.Alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sizesOK := true
 		var count int64
-		_, err := core.Enumerate(ex.Graph, ex.Alpha, func(c []int, _ float64) bool {
-			if len(c) != ex.CliqueSize {
+		for c, err := range q.Cliques(ctx) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(c.Vertices) != ex.CliqueSize {
 				sizesOK = false
 			}
 			count++
-			return true
-		})
-		if err != nil {
-			log.Fatal(err)
 		}
 		fmt.Printf("%-3d %-12v %-12d %-17v %v\n",
 			n, ex.ExpectedCount, count, sizesOK, bounds.MoonMoserBound(n))

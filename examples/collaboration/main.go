@@ -13,18 +13,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/gen"
-	"github.com/uncertain-graphs/mule/internal/topk"
 	"github.com/uncertain-graphs/mule/internal/ucore"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
 func main() {
+	ctx := context.Background()
 	g := gen.DBLPLike(0.01, 7) // ≈ 6800 authors
 	s := uncertain.ComputeStats(g)
 	fmt.Printf("synthetic DBLP network: %s\n\n", s)
@@ -33,11 +34,11 @@ func main() {
 	fmt.Printf("research groups at α = %.1f, by minimum group size t:\n", alpha)
 	for _, t := range []int{2, 3, 4, 5} {
 		start := time.Now()
-		var count int64
-		_, err := mule.EnumerateLarge(g, alpha, t, func([]int, float64) bool {
-			count++
-			return true
-		})
+		q, err := mule.NewQuery(g, alpha, mule.WithMinSize(t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		count, err := q.Count(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,7 +46,11 @@ func main() {
 	}
 
 	fmt.Printf("\nstrongest groups of ≥ 3 authors at α = %.1f:\n", alpha)
-	scored, err := topk.BySize(g, alpha, 8)
+	q, err := mule.NewQuery(g, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scored, err := q.TopK(ctx, 8, mule.BySize)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,7 @@ import (
 const n = 24
 
 func main() {
+	ctx := context.Background()
 	g := buildCommunityGraph()
 	fmt.Printf("graph: %d vertices, %d possible edges\n", g.NumVertices(), g.NumEdges())
 	fmt.Println("planted community: vertices 0-6 (vertex 6 attached by only 3 of 6 ties)")
@@ -30,18 +32,16 @@ func main() {
 	// usable threshold, so MULE reports fragments.
 	fmt.Println("\n--- α-maximal cliques (MULE) ---")
 	for _, alpha := range []float64{0.5, 0.1} {
-		var largest int
-		stats, err := mule.Enumerate(g, alpha, func(c []int, _ float64) bool {
-			if len(c) > largest {
-				largest = len(c)
-			}
-			return true
-		})
+		q, err := mule.NewQuery(g, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := q.Run(ctx, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("α = %-4g  %4d maximal cliques, largest has %d vertices\n",
-			alpha, stats.Emitted, largest)
+			alpha, stats.Emitted, stats.MaxCliqueSize)
 	}
 
 	// 2. The quasi-clique lens tolerates missing ties: at γ = 0.5 every
@@ -98,7 +98,11 @@ func main() {
 
 	// 5. And the sharpest summary: the top cliques by probability.
 	fmt.Println("\n--- top-3 α-maximal cliques by probability (α = 0.1) ---")
-	top, err := mule.TopKByProb(g, 0.1, 3)
+	q, err := mule.NewQuery(g, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := q.TopK(ctx, 3, mule.ByProb)
 	if err != nil {
 		log.Fatal(err)
 	}

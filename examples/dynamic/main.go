@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,8 +25,9 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	g, rng := buildInitialNetwork()
-	m, err := mule.NewMaintainer(g, alpha)
+	m, err := mule.NewMaintainerContext(ctx, g, alpha)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +86,11 @@ func main() {
 	fmt.Printf("\nafter %d revisions: %d complexes tracked (+%d/−%d across the run, %d neighborhood rebuilds)\n",
 		stats.Updates, m.NumCliques(), stats.CliquesAdded, stats.CliquesRemoved, stats.Rebuilt)
 
-	fresh, err := mule.Count(m.Graph(), alpha)
+	audit, err := mule.NewQuery(m.Graph(), alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := audit.Count(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

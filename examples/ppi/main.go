@@ -13,16 +13,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/gen"
-	"github.com/uncertain-graphs/mule/internal/topk"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
 func main() {
+	ctx := context.Background()
 	g := gen.PPILike(42)
 	s := uncertain.ComputeStats(g)
 	fmt.Printf("synthetic PPI network: %s\n\n", s)
@@ -30,25 +31,26 @@ func main() {
 	// How the threshold shapes the candidate-complex catalog.
 	fmt.Println("complexes (α-maximal cliques, size ≥ 2) vs confidence threshold:")
 	for _, alpha := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
-		var count, largest int64
-		_, err := mule.EnumerateLarge(g, alpha, 2, func(c []int, _ float64) bool {
-			count++
-			if int64(len(c)) > largest {
-				largest = int64(len(c))
-			}
-			return true
-		})
+		q, err := mule.NewQuery(g, alpha, mule.WithMinSize(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := q.Run(ctx, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  α = %.2f: %6d candidate complexes, largest has %d proteins\n",
-			alpha, count, largest)
+			alpha, stats.Emitted, stats.MaxCliqueSize)
 	}
 
 	// The ten most reliable multi-protein complexes at a permissive α.
 	const alpha = 0.2
 	fmt.Printf("\nmost reliable complexes at α = %.2f:\n", alpha)
-	scored, err := topk.ByProb(g, alpha, 50)
+	q, err := mule.NewQuery(g, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scored, err := q.TopK(ctx, 50, mule.ByProb)
 	if err != nil {
 		log.Fatal(err)
 	}

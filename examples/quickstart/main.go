@@ -1,10 +1,13 @@
 // Quickstart: build a small uncertain graph and enumerate its α-maximal
-// cliques with MULE.
+// cliques with MULE through the Query API — prepare once with NewQuery,
+// run with a visitor for per-run stats, and stream the LARGE-MULE variant
+// with range-over-func, all under a context.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,9 +30,14 @@ func main() {
 	}
 	g := b.Build()
 
+	ctx := context.Background()
 	for _, alpha := range []float64{0.7, 0.4, 0.1} {
 		fmt.Printf("α = %.1f\n", alpha)
-		stats, err := mule.Enumerate(g, alpha, func(clique []int, prob float64) bool {
+		q, err := mule.NewQuery(g, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := q.Run(ctx, func(clique []int, prob float64) bool {
 			fmt.Printf("  clique %v  (probability %.4f)\n", clique, prob)
 			return true
 		})
@@ -41,11 +49,14 @@ func main() {
 
 	// The same run restricted to cliques of at least 3 vertices (LARGE-MULE).
 	fmt.Println("LARGE-MULE, α = 0.1, t = 3")
-	_, err := mule.EnumerateLarge(g, 0.1, 3, func(clique []int, prob float64) bool {
-		fmt.Printf("  clique %v  (probability %.4f)\n", clique, prob)
-		return true
-	})
+	q, err := mule.NewQuery(g, 0.1, mule.WithMinSize(3))
 	if err != nil {
 		log.Fatal(err)
+	}
+	for c, err := range q.Cliques(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  clique %v  (probability %.4f)\n", c.Vertices, c.Prob)
 	}
 }

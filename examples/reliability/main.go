@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,7 +21,6 @@ import (
 	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/gen"
 	"github.com/uncertain-graphs/mule/internal/possible"
-	"github.com/uncertain-graphs/mule/internal/topk"
 )
 
 func main() {
@@ -33,10 +33,15 @@ func main() {
 	fmt.Printf("planted-community graph: %d vertices, %d edges, 3 planted 6-cliques\n\n",
 		g.NumVertices(), g.NumEdges())
 
+	ctx := context.Background()
 	const alpha = 0.05
 	const samples = 20000
 	fmt.Printf("top α-maximal cliques (α=%.2f): clique probability vs connectivity reliability\n", alpha)
-	scored, err := topk.BySize(g, alpha, 6)
+	q, err := mule.NewQuery(g, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scored, err := q.TopK(ctx, 6, mule.BySize)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +73,7 @@ func main() {
 	fmt.Println("\nreliable ≠ cohesive: reliability stays high for sparse sets, while")
 	fmt.Println("the α-clique requirement collapses to 0 the moment a pair is missing.")
 
-	if _, maxP, err := mule.MaximumClique(g, alpha); err == nil {
+	if _, maxP, err := q.Maximum(ctx); err == nil {
 		fmt.Printf("\nlargest α-clique probability at α=%.2f: %.4f\n", alpha, maxP)
 	}
 

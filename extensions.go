@@ -1,6 +1,8 @@
 package mule
 
 import (
+	"context"
+
 	"github.com/uncertain-graphs/mule/internal/dynamic"
 	"github.com/uncertain-graphs/mule/internal/topk"
 	"github.com/uncertain-graphs/mule/internal/ubiclique"
@@ -63,6 +65,14 @@ func EnumerateBicliques(g *Bipartite, alpha float64, visit BicliqueVisitor) (Bic
 // configuration.
 func EnumerateBicliquesWith(g *Bipartite, alpha float64, visit BicliqueVisitor, cfg BicliqueConfig) (BicliqueStats, error) {
 	return ubiclique.EnumerateWith(g, alpha, visit, cfg)
+}
+
+// EnumerateBicliquesContext is EnumerateBicliquesWith under ctx: the search
+// polls the context on a node-count interval, exactly like Query runs, and
+// returns an error wrapping context.Canceled or context.DeadlineExceeded if
+// it fires mid-run.
+func EnumerateBicliquesContext(ctx context.Context, g *Bipartite, alpha float64, visit BicliqueVisitor, cfg BicliqueConfig) (BicliqueStats, error) {
+	return ubiclique.EnumerateContext(ctx, g, alpha, visit, cfg)
 }
 
 // CollectBicliques returns all α-maximal bicliques in canonical order.
@@ -159,19 +169,44 @@ func NewMaintainer(g *Graph, alpha float64) (*Maintainer, error) {
 	return dynamic.New(g, alpha)
 }
 
+// NewMaintainerContext is NewMaintainer under ctx: the seeding enumeration
+// — a full graph-sized MULE run, the expensive part of construction — is
+// cancellable and deadline-bounded like any Query run.
+func NewMaintainerContext(ctx context.Context, g *Graph, alpha float64) (*Maintainer, error) {
+	return dynamic.NewContext(ctx, g, alpha)
+}
+
 // --- Top-k α-maximal cliques ---
 
 // ScoredClique is one α-maximal clique with its clique probability.
 type ScoredClique = topk.ScoredClique
 
+// TopKCriterion selects the ranking used by Query.TopK.
+type TopKCriterion = topk.Criterion
+
+// Rankings for Query.TopK.
+const (
+	// ByProb ranks by clique probability, highest first (ties: larger
+	// cliques, then lexicographically smaller vertex sets).
+	ByProb = topk.CriterionProb
+	// BySize ranks by clique size, largest first (ties: higher probability,
+	// then lexicographically smaller vertex sets).
+	BySize = topk.CriterionSize
+)
+
 // TopKByProb returns the k α-maximal cliques with the highest clique
 // probability (descending; ties by size then lexicographic order).
+//
+// Deprecated: use NewQuery(g, alpha) and Query.TopK(ctx, k, ByProb), which
+// honors a context and composes with the other query options.
 func TopKByProb(g *Graph, alpha float64, k int) ([]ScoredClique, error) {
 	return topk.ByProb(g, alpha, k)
 }
 
 // TopKBySize returns the k largest α-maximal cliques (descending; ties by
 // probability then lexicographic order).
+//
+// Deprecated: use NewQuery(g, alpha) and Query.TopK(ctx, k, BySize).
 func TopKBySize(g *Graph, alpha float64, k int) ([]ScoredClique, error) {
 	return topk.BySize(g, alpha, k)
 }

@@ -1,6 +1,8 @@
 package mule_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -209,5 +211,51 @@ func TestFacadeTopK(t *testing.T) {
 	}
 	if len(largest) != 1 || len(largest[0].Vertices) != 3 {
 		t.Fatalf("largest clique = %+v, want the triangle", largest)
+	}
+}
+
+func TestFacadeBicliquesContext(t *testing.T) {
+	b := mule.NewBipartiteBuilder(3, 3)
+	for l := 0; l < 3; l++ {
+		for r := 0; r < 3; r++ {
+			if err := b.AddEdge(l, r, 0.9); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Build()
+	// A live context enumerates normally.
+	stats, err := mule.EnumerateBicliquesContext(context.Background(), g, 0.5, nil, mule.BicliqueConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Emitted == 0 {
+		t.Fatal("no bicliques found")
+	}
+	// A dead context aborts with a wrapped context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mule.EnumerateBicliquesContext(ctx, g, 0.5, nil, mule.BicliqueConfig{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context biclique run returned %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestFacadeMaintainerContext(t *testing.T) {
+	b := mule.NewBuilder(3)
+	if err := b.AddEdge(0, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	m, err := mule.NewMaintainerContext(context.Background(), g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCliques() == 0 {
+		t.Fatal("maintainer seeded empty")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mule.NewMaintainerContext(ctx, g, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context seeding returned %v, want wrapped context.Canceled", err)
 	}
 }

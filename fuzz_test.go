@@ -1,0 +1,127 @@
+package mule_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	mule "github.com/uncertain-graphs/mule"
+)
+
+// FuzzFromEdges drives graph construction with arbitrary (n, edge-triple)
+// inputs and asserts the validation contract of the typed sentinel errors:
+// every rejection wraps exactly one of ErrVertexRange / ErrSelfLoop /
+// ErrProbRange, every acceptance round-trips through the graph's accessors,
+// and the classification matches a from-scratch predicate.
+func FuzzFromEdges(f *testing.F) {
+	f.Add(4, 0, 1, 0.5, 2, 3, 0.9)
+	f.Add(4, 0, 0, 0.5, 1, 2, 0.5)        // self-loop
+	f.Add(3, -1, 2, 0.5, 0, 1, 0.5)       // negative endpoint
+	f.Add(3, 0, 7, 0.5, 0, 1, 0.5)        // endpoint ≥ n
+	f.Add(3, 0, 1, 0.0, 1, 2, 0.5)        // zero probability
+	f.Add(3, 0, 1, 1.5, 1, 2, 0.5)        // probability > 1
+	f.Add(3, 0, 1, math.NaN(), 1, 2, 1.0) // NaN probability
+	f.Add(3, 0, 1, 0.5, 1, 0, 0.7)        // duplicate edge (reversed)
+	f.Add(0, 0, 1, 0.5, 1, 2, 0.5)        // empty vertex set
+	f.Add(2, 0, 1, 1e-300, 0, 1, 0.5)     // tiny but valid probability
+	f.Fuzz(func(t *testing.T, n, u1, v1 int, p1 float64, u2, v2 int, p2 float64) {
+		if n < 0 || n > 1000 {
+			return
+		}
+		edges := []mule.Edge{{U: u1, V: v1, P: p1}, {U: u2, V: v2, P: p2}}
+		g, err := mule.FromEdges(n, edges)
+		if err != nil {
+			if !errors.Is(err, mule.ErrVertexRange) &&
+				!errors.Is(err, mule.ErrSelfLoop) &&
+				!errors.Is(err, mule.ErrProbRange) &&
+				!errors.Is(err, mule.ErrDuplicateEdge) {
+				t.Fatalf("FromEdges(%d, %v) returned untyped error %v", n, edges, err)
+			}
+			// The sentinel must match the first offending check.
+			if want := firstError(n, edges); !errors.Is(err, want) {
+				t.Fatalf("FromEdges(%d, %v) = %v, want sentinel %v", n, edges, err, want)
+			}
+			return
+		}
+		if want := firstError(n, edges); want != nil {
+			t.Fatalf("FromEdges(%d, %v) accepted input that violates %v", n, edges, want)
+		}
+		if g.NumVertices() != n {
+			t.Fatalf("NumVertices = %d, want %d", g.NumVertices(), n)
+		}
+		if g.NumEdges() != 2 {
+			t.Fatalf("NumEdges = %d, want 2 (distinct valid edges)", g.NumEdges())
+		}
+		for _, e := range edges {
+			p, ok := g.Prob(e.U, e.V)
+			if !ok || p != e.P {
+				t.Fatalf("Prob(%d,%d) = (%v,%v), want (%v,true)", e.U, e.V, p, ok, e.P)
+			}
+		}
+	})
+}
+
+// firstError reimplements the documented validation order from scratch:
+// edges are checked in sequence, each for self-loop, then vertex range,
+// then probability, then duplication. It returns the sentinel the library
+// must report, nil if the input is valid.
+func firstError(n int, edges []mule.Edge) error {
+	type key struct{ u, v int }
+	seen := map[key]bool{}
+	for _, e := range edges {
+		if e.U == e.V {
+			return mule.ErrSelfLoop
+		}
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return mule.ErrVertexRange
+		}
+		if math.IsNaN(e.P) || e.P <= 0 || e.P > 1 {
+			return mule.ErrProbRange
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if seen[key{u, v}] {
+			return mule.ErrDuplicateEdge
+		}
+		seen[key{u, v}] = true
+	}
+	return nil
+}
+
+// FuzzBuilderAddEdge checks the Builder path directly, including the
+// AddEdge/UpsertEdge duplicate split.
+func FuzzBuilderAddEdge(f *testing.F) {
+	f.Add(5, 0, 1, 0.5)
+	f.Add(5, 1, 1, 0.5)
+	f.Add(5, -2, 1, 0.5)
+	f.Add(5, 0, 9, 2.0)
+	f.Fuzz(func(t *testing.T, n, u, v int, p float64) {
+		if n < 0 || n > 1000 {
+			return
+		}
+		b := mule.NewBuilder(n)
+		err := b.AddEdge(u, v, p)
+		if want := firstError(n, []mule.Edge{{U: u, V: v, P: p}}); want != nil {
+			if !errors.Is(err, want) {
+				t.Fatalf("AddEdge(%d,%d,%v) = %v, want sentinel %v", u, v, p, err, want)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("AddEdge(%d,%d,%v) rejected valid edge: %v", u, v, p, err)
+		}
+		// A second add of the same edge must be a typed duplicate error,
+		// while UpsertEdge overwrites.
+		if err := b.AddEdge(v, u, p); !errors.Is(err, mule.ErrDuplicateEdge) {
+			t.Fatalf("duplicate AddEdge = %v, want wrapped ErrDuplicateEdge", err)
+		}
+		if err := b.UpsertEdge(u, v, p/2+0.1); err != nil {
+			t.Fatalf("UpsertEdge on existing edge: %v", err)
+		}
+		if b.NumEdges() != 1 {
+			t.Fatalf("NumEdges = %d, want 1", b.NumEdges())
+		}
+	})
+}

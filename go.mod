@@ -1,3 +1,3 @@
 module github.com/uncertain-graphs/mule
 
-go 1.22
+go 1.23

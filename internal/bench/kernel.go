@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -122,8 +123,12 @@ func engineLabel(c core.Config) string {
 func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once bool) (KernelEntry, error) {
 	var stats core.Stats
 	var runErr error
+	ctx := context.Background()
 	runOnce := func() {
-		stats, runErr = core.EnumerateWith(g, alpha, nil, coreCfg)
+		// Measured through the public query API (runEnumeration), so the
+		// trajectory reflects what callers of mule.NewQuery actually pay —
+		// including the per-node cancellation accounting.
+		stats, runErr = runEnumeration(ctx, g, alpha, coreCfg)
 	}
 	e := KernelEntry{
 		Alpha:   alpha,
@@ -198,6 +203,11 @@ func runKernel(cfg Config, w io.Writer) error {
 	if err := t.Render(w); err != nil {
 		return err
 	}
+	if cfg.KernelDiff != "" {
+		if err := diffAgainstTrajectory(cfg, run, w); err != nil {
+			return err
+		}
+	}
 	if cfg.KernelOut == "" {
 		return nil
 	}
@@ -206,6 +216,101 @@ func runKernel(cfg Config, w io.Writer) error {
 	}
 	_, err := fmt.Fprintf(w, "kernel run %q appended to %s\n", run.Label, cfg.KernelOut)
 	return err
+}
+
+// KernelRegression is one cell that got slower than the baseline run by
+// more than the tolerance.
+type KernelRegression struct {
+	Workload string
+	Engine   string
+	MinSize  int
+	OldNs    float64
+	NewNs    float64
+	Pct      float64 // percent slower than the baseline
+}
+
+// DiffKernelRuns compares cur against base cell-by-cell (matching workload,
+// alpha, minsize, engine, and worker count; other cells are skipped) and
+// returns the cells whose ns/op regressed by more than tolerancePct.
+func DiffKernelRuns(base, cur KernelRun, tolerancePct float64) []KernelRegression {
+	type cellKey struct {
+		workload string
+		alpha    float64
+		minSize  int
+		engine   string
+		workers  int
+	}
+	baseline := make(map[cellKey]KernelEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseline[cellKey{e.Workload, e.Alpha, e.MinSize, e.Engine, e.Workers}] = e
+	}
+	var regs []KernelRegression
+	for _, e := range cur.Entries {
+		b, ok := baseline[cellKey{e.Workload, e.Alpha, e.MinSize, e.Engine, e.Workers}]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		pct := 100 * (e.NsPerOp - b.NsPerOp) / b.NsPerOp
+		if pct > tolerancePct {
+			regs = append(regs, KernelRegression{
+				Workload: e.Workload, Engine: e.Engine, MinSize: e.MinSize,
+				OldNs: b.NsPerOp, NewNs: e.NsPerOp, Pct: pct,
+			})
+		}
+	}
+	return regs
+}
+
+// LatestComparableRun returns the most recent run in rep measured the same
+// way as cur — same Quick and Once modes AND the same machine class (OS,
+// architecture, CPU count). Absolute ns/op across machine classes is not
+// comparable, so a trajectory recorded on a developer container never
+// produces false regressions against a differently-sized CI runner; the
+// diff simply reports "no comparable run" there until the runner class has
+// a row of its own.
+func LatestComparableRun(rep KernelReport, cur KernelRun) (KernelRun, bool) {
+	for i := len(rep.Runs) - 1; i >= 0; i-- {
+		r := rep.Runs[i]
+		if r.Label == cur.Label {
+			continue // a re-measure must not diff against itself
+		}
+		if r.Quick == cur.Quick && r.Once == cur.Once &&
+			r.GOOS == cur.GOOS && r.GOARCH == cur.GOARCH && r.NumCPU == cur.NumCPU {
+			return r, true
+		}
+	}
+	return KernelRun{}, false
+}
+
+// diffAgainstTrajectory flags >tolerance ns/op regressions of run against
+// the latest comparable row of the trajectory at cfg.KernelDiff — the CI
+// smoke job's guard rail. A missing or incomparable trajectory only notes
+// the fact; a regression is an error.
+func diffAgainstTrajectory(cfg Config, run KernelRun, w io.Writer) error {
+	rep, err := LoadKernelReport(cfg.KernelDiff)
+	if err != nil {
+		return err
+	}
+	base, ok := LatestComparableRun(rep, run)
+	if !ok {
+		_, err := fmt.Fprintf(w, "kernel diff: no comparable prior run in %s (quick=%v once=%v), skipping\n",
+			cfg.KernelDiff, run.Quick, run.Once)
+		return err
+	}
+	tol := cfg.KernelDiffPct
+	if tol <= 0 {
+		tol = 25
+	}
+	regs := DiffKernelRuns(base, run, tol)
+	if len(regs) == 0 {
+		_, err := fmt.Fprintf(w, "kernel diff: no cell slower than %q by >%g%% ns/op\n", base.Label, tol)
+		return err
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "kernel diff: REGRESSION %s/%s minsize=%d: %.0f → %.0f ns/op (+%.1f%%)\n",
+			r.Workload, r.Engine, r.MinSize, r.OldNs, r.NewNs, r.Pct)
+	}
+	return fmt.Errorf("bench: %d kernel cell(s) regressed >%g%% ns/op vs %q", len(regs), tol, base.Label)
 }
 
 // LoadKernelReport reads a trajectory file; a missing file yields an empty

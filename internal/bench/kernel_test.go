@@ -69,3 +69,66 @@ func TestKernelWorkloadsAndEngines(t *testing.T) {
 		t.Fatalf("first engine %q", engineLabel(engines[0]))
 	}
 }
+
+func TestDiffKernelRuns(t *testing.T) {
+	cell := func(workload, engine string, ns float64) KernelEntry {
+		return KernelEntry{Workload: workload, Alpha: 0.01, Engine: engine, Workers: 4, NsPerOp: ns}
+	}
+	base := KernelRun{Label: "base", Entries: []KernelEntry{
+		cell("ba", "serial", 1000), cell("ba", "worksteal", 400), cell("hub", "serial", 2000),
+	}}
+	cur := KernelRun{Label: "cur", Entries: []KernelEntry{
+		cell("ba", "serial", 1200),   // +20%: within a 25% tolerance
+		cell("ba", "worksteal", 600), // +50%: regression
+		cell("new", "serial", 99999), // no baseline cell: skipped
+	}}
+	regs := DiffKernelRuns(base, cur, 25)
+	if len(regs) != 1 || regs[0].Workload != "ba" || regs[0].Engine != "worksteal" {
+		t.Fatalf("DiffKernelRuns = %+v, want the worksteal cell only", regs)
+	}
+	if regs[0].Pct < 49 || regs[0].Pct > 51 {
+		t.Fatalf("regression pct = %v, want ≈50", regs[0].Pct)
+	}
+	if regs := DiffKernelRuns(base, cur, 60); len(regs) != 0 {
+		t.Fatalf("tolerance 60%% should pass, got %+v", regs)
+	}
+}
+
+func TestLatestComparableRun(t *testing.T) {
+	rep := KernelReport{Runs: []KernelRun{
+		{Label: "old-full", Quick: false},
+		{Label: "old-quick", Quick: true},
+		{Label: "smoke", Quick: true, Once: true},
+		{Label: "newer-quick", Quick: true},
+	}}
+	cur := KernelRun{Label: "current", Quick: true}
+	base, ok := LatestComparableRun(rep, cur)
+	if !ok || base.Label != "newer-quick" {
+		t.Fatalf("LatestComparableRun = (%q, %v), want newer-quick", base.Label, ok)
+	}
+	// A re-measure of the same label must not diff against itself.
+	cur = KernelRun{Label: "newer-quick", Quick: true}
+	base, ok = LatestComparableRun(rep, cur)
+	if !ok || base.Label != "old-quick" {
+		t.Fatalf("self-exclusion: got (%q, %v), want old-quick", base.Label, ok)
+	}
+	if _, ok := LatestComparableRun(rep, KernelRun{Quick: false, Once: true}); ok {
+		t.Fatal("no comparable run should report ok=false")
+	}
+}
+
+func TestLatestComparableRunMachineClass(t *testing.T) {
+	rep := KernelReport{Runs: []KernelRun{
+		{Label: "dev-box", Quick: true, GOOS: "linux", GOARCH: "amd64", NumCPU: 1},
+	}}
+	// Same modes but a different machine class must not match: absolute
+	// ns/op across machine classes is not comparable.
+	cur := KernelRun{Label: "ci", Quick: true, GOOS: "linux", GOARCH: "amd64", NumCPU: 4}
+	if _, ok := LatestComparableRun(rep, cur); ok {
+		t.Fatal("cross-machine-class rows must not be compared")
+	}
+	cur.NumCPU = 1
+	if base, ok := LatestComparableRun(rep, cur); !ok || base.Label != "dev-box" {
+		t.Fatalf("same-class row not found: (%q, %v)", base.Label, ok)
+	}
+}

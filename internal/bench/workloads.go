@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"time"
 
+	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/baseline"
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/gen"
@@ -35,6 +38,13 @@ type Config struct {
 	// KernelLabel names the kernel run in the trajectory (e.g. "arena
 	// kernel (PR 2)"); a run with the same label is replaced.
 	KernelLabel string
+	// KernelDiff, when non-empty, makes the kernel experiment compare its
+	// run against the latest comparable row of this trajectory file and
+	// fail on any cell slower by more than KernelDiffPct percent ns/op.
+	KernelDiff string
+	// KernelDiffPct is the regression tolerance for KernelDiff in percent;
+	// 0 selects the default (25).
+	KernelDiffPct float64
 	// KernelOnce makes the kernel experiment time a single iteration per
 	// cell instead of testing.Benchmark auto-scaling — the CI smoke mode.
 	KernelOnce bool
@@ -210,31 +220,54 @@ type RunResult struct {
 	Finished bool // false if the Budget expired mid-run
 }
 
-// TimedMULE runs MULE under cfg's time budget.
+// TimedMULE runs MULE under cfg's time budget, enforced with a context
+// deadline through the public query API: the engines poll the context on a
+// node-count interval, so even emission-free stretches of the search (which
+// the old per-1024-emissions visitor check slept through) respect the
+// budget. A run that outlives the deadline reports Finished == false with
+// the stats of the truncated run.
 func TimedMULE(g *uncertain.Graph, alpha float64, cfg Config, coreCfg core.Config) (RunResult, error) {
 	cfg = cfg.withDefaults()
-	deadline := time.Now().Add(cfg.Budget)
 	var res RunResult
-	count := int64(0)
-	aborted := false
-	visit := func([]int, float64) bool {
-		count++
-		if count%1024 == 0 && time.Now().After(deadline) {
-			aborted = true
-			return false
-		}
-		return true
-	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Budget)
+	defer cancel()
 	start := time.Now()
-	stats, err := core.EnumerateWith(g, alpha, visit, coreCfg)
-	if err != nil {
+	stats, err := runEnumeration(ctx, g, alpha, coreCfg)
+	res.Elapsed = time.Since(start)
+	switch {
+	case err == nil:
+		res.Finished = true
+	case errors.Is(err, context.DeadlineExceeded):
+		res.Finished = false
+	default:
 		return res, err
 	}
-	res.Elapsed = time.Since(start)
 	res.Cliques = stats.Emitted
 	res.Stats = stats
-	res.Finished = !aborted
 	return res, nil
+}
+
+// runEnumeration executes one enumeration through mule.NewQuery — the
+// public API every benchmark number should reflect — falling back to the
+// core entry point only for the ablation-only knobs that the query surface
+// deliberately does not expose (SkipPrune, CheckInvariants).
+func runEnumeration(ctx context.Context, g *uncertain.Graph, alpha float64, c core.Config) (core.Stats, error) {
+	if c.SkipPrune || c.CheckInvariants {
+		return core.EnumerateContext(ctx, g, alpha, nil, c)
+	}
+	q, err := mule.NewQuery(g, alpha,
+		mule.WithMinSize(c.MinSize),
+		mule.WithOrdering(c.Ordering),
+		mule.WithSeed(c.Seed),
+		mule.WithWorkers(c.Workers),
+		mule.WithParallelMode(c.Parallel),
+		mule.WithStealGranularity(c.StealGranularity),
+		mule.WithBudget(c.Budget),
+	)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	return q.Run(ctx, nil)
 }
 
 // timedHashMULE runs the hash-adjacency MULE ablation under cfg's budget.

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/uncertain-graphs/mule/internal/uncertain"
@@ -122,6 +123,11 @@ type Config struct {
 	// synchronization; 0 selects the default (8). Ignored unless the
 	// work-stealing engine runs.
 	StealGranularity int
+	// Budget, when > 0, bounds the number of search-tree nodes the run may
+	// expand before aborting with ErrBudget. The budget is charged in
+	// batches of abortCheckInterval nodes per worker, so a parallel run can
+	// overshoot by up to Workers×interval nodes.
+	Budget int64
 	// SkipPrune disables the α-edge-pruning preprocessing step
 	// (Observation 3). Only useful for ablation benchmarks; the output is
 	// identical either way.
@@ -133,17 +139,18 @@ type Config struct {
 
 // Stats reports the work performed by an enumeration run.
 type Stats struct {
-	Calls         int64 // Enum-Uncertain-MC invocations (search-tree nodes)
-	Emitted       int64 // α-maximal cliques reported
-	MaxDepth      int   // deepest recursion (= largest working clique)
-	MaxCliqueSize int   // largest emitted clique
-	CandidateOps  int64 // candidate entries produced across all GenerateI calls
-	WitnessOps    int64 // witness entries produced across all GenerateX calls
-	PrunedEdges   int   // edges removed by α-pruning (Observation 3)
-	SizePruned    int64 // LARGE-MULE: branches cut by |C'|+|I'| < MinSize
-	FilterRemoved int   // LARGE-MULE: edges removed by shared-neighborhood filtering
-	Steals        int64 // work-stealing: successful steal operations
-	Splits        int64 // work-stealing: lone frames split at the iteration level
+	Status        RunStatus // how the run ended (complete, stopped, canceled, …)
+	Calls         int64     // Enum-Uncertain-MC invocations (search-tree nodes)
+	Emitted       int64     // α-maximal cliques reported
+	MaxDepth      int       // deepest recursion (= largest working clique)
+	MaxCliqueSize int       // largest emitted clique
+	CandidateOps  int64     // candidate entries produced across all GenerateI calls
+	WitnessOps    int64     // witness entries produced across all GenerateX calls
+	PrunedEdges   int       // edges removed by α-pruning (Observation 3)
+	SizePruned    int64     // LARGE-MULE: branches cut by |C'|+|I'| < MinSize
+	FilterRemoved int       // LARGE-MULE: edges removed by shared-neighborhood filtering
+	Steals        int64     // work-stealing: successful steal operations
+	Splits        int64     // work-stealing: lone frames split at the iteration level
 }
 
 // Enumerate runs plain MULE (Algorithm 1): it enumerates every α-maximal
@@ -151,34 +158,67 @@ type Stats struct {
 // alpha must lie in (0, 1]; at alpha = 1 the semantics coincide with
 // deterministic maximal clique enumeration over the p(e)=1 edges.
 func Enumerate(g *uncertain.Graph, alpha float64, visit Visitor) (Stats, error) {
-	return EnumerateWith(g, alpha, visit, Config{})
+	return EnumerateContext(context.Background(), g, alpha, visit, Config{})
 }
 
 // EnumerateLarge runs LARGE-MULE (Algorithm 5): it enumerates every
 // α-maximal clique with at least minSize vertices.
 func EnumerateLarge(g *uncertain.Graph, alpha float64, minSize int, visit Visitor) (Stats, error) {
-	return EnumerateWith(g, alpha, visit, Config{MinSize: minSize})
+	return EnumerateContext(context.Background(), g, alpha, visit, Config{MinSize: minSize})
 }
 
-// EnumerateWith runs MULE with explicit configuration.
+// EnumerateWith runs MULE with explicit configuration and no cancellation.
 func EnumerateWith(g *uncertain.Graph, alpha float64, visit Visitor, cfg Config) (Stats, error) {
+	return EnumerateContext(context.Background(), g, alpha, visit, cfg)
+}
+
+// Validate checks the (graph, alpha, config) triple that every enumeration
+// entry point accepts, returning the first violation wrapped around the
+// matching sentinel (ErrNilGraph, ErrAlphaRange, ErrConfig).
+func Validate(g *uncertain.Graph, alpha float64, cfg Config) error {
 	if g == nil {
-		return Stats{}, fmt.Errorf("core: nil graph")
+		return fmt.Errorf("core: %w", ErrNilGraph)
 	}
-	if alpha <= 0 || alpha > 1 {
-		return Stats{}, fmt.Errorf("core: alpha %v outside (0,1]", alpha)
+	if !(alpha > 0 && alpha <= 1) { // also rejects NaN
+		return fmt.Errorf("core: alpha %v: %w", alpha, ErrAlphaRange)
 	}
 	if cfg.MinSize < 0 {
-		return Stats{}, fmt.Errorf("core: negative MinSize %d", cfg.MinSize)
+		return fmt.Errorf("core: negative MinSize %d: %w", cfg.MinSize, ErrConfig)
 	}
 	if cfg.Workers < 0 {
-		return Stats{}, fmt.Errorf("core: negative Workers %d", cfg.Workers)
+		return fmt.Errorf("core: negative Workers %d: %w", cfg.Workers, ErrConfig)
 	}
 	if cfg.StealGranularity < 0 {
-		return Stats{}, fmt.Errorf("core: negative StealGranularity %d", cfg.StealGranularity)
+		return fmt.Errorf("core: negative StealGranularity %d: %w", cfg.StealGranularity, ErrConfig)
+	}
+	if cfg.Budget < 0 {
+		return fmt.Errorf("core: negative Budget %d: %w", cfg.Budget, ErrConfig)
 	}
 	if cfg.Parallel != ParallelWorkStealing && cfg.Parallel != ParallelTopLevel {
-		return Stats{}, fmt.Errorf("core: unknown parallel mode %d", int(cfg.Parallel))
+		return fmt.Errorf("core: unknown parallel mode %d: %w", int(cfg.Parallel), ErrConfig)
+	}
+	if cfg.Ordering != OrderNatural && cfg.Ordering != OrderDegree &&
+		cfg.Ordering != OrderDegeneracy && cfg.Ordering != OrderRandom {
+		return fmt.Errorf("core: unknown ordering %d: %w", int(cfg.Ordering), ErrConfig)
+	}
+	return nil
+}
+
+// EnumerateContext runs MULE with explicit configuration under ctx. The
+// engines poll ctx every abortCheckInterval search nodes; on cancellation or
+// deadline expiry every worker unwinds within one interval and the call
+// returns an error wrapping context.Canceled or context.DeadlineExceeded,
+// with Stats.Status recording the terminal state and the stats counters
+// covering the work done up to the abort. A visitor returning false is a
+// successful early stop (Stats.Status == StatusStopped, nil error).
+func EnumerateContext(ctx context.Context, g *uncertain.Graph, alpha float64, visit Visitor, cfg Config) (Stats, error) {
+	if err := Validate(g, alpha, cfg); err != nil {
+		return Stats{}, err
+	}
+	ctl := newRunControl(ctx, cfg.Budget)
+	if ctl.poll(0) { // fail fast on an already-dead context
+		var stats Stats
+		return stats, ctl.finish(&stats, false)
 	}
 
 	work := g
@@ -221,6 +261,8 @@ func EnumerateWith(g *uncertain.Graph, alpha float64, visit Visitor, cfg Config)
 		identity: identity,
 		checkInv: cfg.CheckInvariants,
 		stats:    &stats,
+		ctl:      ctl,
+		tick:     abortCheckInterval,
 		emitBuf:  make([]int, 0, 64),
 		cbuf:     make([]int32, 0, 128),
 	}
@@ -232,7 +274,7 @@ func EnumerateWith(g *uncertain.Graph, alpha float64, visit Visitor, cfg Config)
 	default:
 		e.runSerial()
 	}
-	return stats, nil
+	return stats, ctl.finish(&stats, e.stopped)
 }
 
 // Collect runs Enumerate and returns all cliques in canonical order (each
@@ -246,8 +288,13 @@ func Collect(g *uncertain.Graph, alpha float64) ([][]int, error) {
 // CollectWith is Collect with explicit configuration. It returns the cliques
 // in canonical order and the run's stats.
 func CollectWith(g *uncertain.Graph, alpha float64, cfg Config) ([][]int, Stats, error) {
+	return CollectContext(context.Background(), g, alpha, cfg)
+}
+
+// CollectContext is CollectWith under a context.
+func CollectContext(ctx context.Context, g *uncertain.Graph, alpha float64, cfg Config) ([][]int, Stats, error) {
 	var out [][]int
-	stats, err := EnumerateWith(g, alpha, func(c []int, _ float64) bool {
+	stats, err := EnumerateContext(ctx, g, alpha, func(c []int, _ float64) bool {
 		cp := make([]int, len(c))
 		copy(cp, c)
 		out = append(out, cp)
@@ -263,6 +310,12 @@ func CollectWith(g *uncertain.Graph, alpha float64, cfg Config) ([][]int, Stats,
 // Count returns the number of α-maximal cliques without materializing them.
 func Count(g *uncertain.Graph, alpha float64) (int64, error) {
 	stats, err := Enumerate(g, alpha, nil)
+	return stats.Emitted, err
+}
+
+// CountContext is Count under a context and explicit configuration.
+func CountContext(ctx context.Context, g *uncertain.Graph, alpha float64, cfg Config) (int64, error) {
+	stats, err := EnumerateContext(ctx, g, alpha, nil, cfg)
 	return stats.Emitted, err
 }
 

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Typed sentinel errors for the enumeration entry points. Callers match them
+// with errors.Is; the concrete errors returned wrap these with the offending
+// values. Context aborts are reported by wrapping context.Canceled or
+// context.DeadlineExceeded directly, so errors.Is(err, context.Canceled)
+// works without a package-specific sentinel.
+var (
+	// ErrNilGraph reports a nil *uncertain.Graph argument.
+	ErrNilGraph = errors.New("nil graph")
+	// ErrAlphaRange reports a probability threshold outside (0, 1].
+	ErrAlphaRange = errors.New("alpha outside (0,1]")
+	// ErrConfig reports an invalid Config field (negative sizes or counts,
+	// unknown ordering or parallel mode).
+	ErrConfig = errors.New("invalid config")
+	// ErrStopped reports that the visitor ended the enumeration early by
+	// returning false. The core entry points never return it — an early stop
+	// is a successful run with Stats.Status == StatusStopped — but the query
+	// layer above uses it to distinguish truncated streams.
+	ErrStopped = errors.New("enumeration stopped by visitor")
+	// ErrBudget reports that the run exhausted its Config.Budget of search
+	// nodes before completing.
+	ErrBudget = errors.New("search budget exhausted")
+)
+
+// RunStatus is the terminal state of an enumeration run, recorded in
+// Stats.Status.
+type RunStatus int
+
+const (
+	// StatusComplete: the search space was exhausted; the output is the full
+	// α-maximal clique set (subject to MinSize).
+	StatusComplete RunStatus = iota
+	// StatusStopped: the visitor returned false; the output is a prefix.
+	StatusStopped
+	// StatusCanceled: the context was canceled mid-run.
+	StatusCanceled
+	// StatusDeadline: the context deadline expired mid-run.
+	StatusDeadline
+	// StatusBudget: the Config.Budget node budget ran out mid-run.
+	StatusBudget
+)
+
+// String names the status for logs and error messages.
+func (s RunStatus) String() string {
+	switch s {
+	case StatusComplete:
+		return "complete"
+	case StatusStopped:
+		return "stopped"
+	case StatusCanceled:
+		return "canceled"
+	case StatusDeadline:
+		return "deadline"
+	case StatusBudget:
+		return "budget"
+	default:
+		return fmt.Sprintf("RunStatus(%d)", int(s))
+	}
+}
+
+// abortCheckInterval is how many search-tree nodes an enumerator expands
+// between context/budget polls. The poll itself is a channel-free ctx.Err()
+// call plus one shared atomic add, so the amortized per-node cost is a
+// single local counter decrement — no per-node atomics (the engines' hard
+// latency bound is therefore one interval's worth of nodes, a few
+// microseconds of work).
+const abortCheckInterval = 1024
+
+// runControl is the per-run shared state that lets every engine observe
+// cancellation, deadlines, node budgets, and visitor early-stop. One
+// instance exists per EnumerateContext call; the serial driver and every
+// parallel worker hold a pointer to it.
+type runControl struct {
+	ctx    context.Context // nil when the context can never be canceled
+	budget int64           // max search nodes; 0 = unlimited
+	used   atomic.Int64    // nodes charged against the budget, in batches
+	stop   atomic.Bool     // latched: unwind everything (abort or early stop)
+	cause  atomic.Pointer[error]
+}
+
+// newRunControl builds the control block. A context that can never fire
+// (Background, TODO, pure value contexts) is dropped so the poll reduces to
+// a nil check.
+func newRunControl(ctx context.Context, budget int64) *runControl {
+	c := &runControl{budget: budget}
+	if ctx != nil && ctx.Done() != nil {
+		c.ctx = ctx
+	}
+	return c
+}
+
+// abort latches err as the run's abort cause (first caller wins) and raises
+// the stop flag.
+func (c *runControl) abort(err error) {
+	c.cause.CompareAndSwap(nil, &err)
+	c.stop.Store(true)
+}
+
+// abortErr returns the latched abort cause, nil if the run was not aborted.
+func (c *runControl) abortErr() error {
+	if p := c.cause.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// poll checks the context and the node budget, charging nodes spent search
+// nodes against the budget. It returns true when the run must unwind. The
+// enumerators call it every abortCheckInterval nodes.
+func (c *runControl) poll(nodes int64) bool {
+	if c.stop.Load() {
+		return true
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			c.abort(err)
+			return true
+		}
+	}
+	if c.budget > 0 && c.used.Add(nodes) >= c.budget {
+		c.abort(ErrBudget)
+		return true
+	}
+	return false
+}
+
+// finish translates the control's terminal state into the run's status and
+// returned error. A visitor early-stop is a successful run (the legacy
+// callback contract); aborts surface as wrapped sentinel errors.
+func (c *runControl) finish(stats *Stats, visitorStopped bool) error {
+	err := c.abortErr()
+	switch {
+	case err == nil && !visitorStopped:
+		stats.Status = StatusComplete
+		return nil
+	case err == nil:
+		stats.Status = StatusStopped
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		stats.Status = StatusDeadline
+	case errors.Is(err, ErrBudget):
+		stats.Status = StatusBudget
+	default:
+		stats.Status = StatusCanceled
+	}
+	return fmt.Errorf("core: enumeration aborted after %d search calls: %w", stats.Calls, err)
+}

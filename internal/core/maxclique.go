@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
@@ -17,21 +17,45 @@ import (
 // enumerating all of them is possible with EnumerateWith and a MinSize of
 // the returned size, but a single witness is the common query.
 func MaximumClique(g *uncertain.Graph, alpha float64) ([]int, float64, error) {
-	if g == nil {
-		return nil, 0, fmt.Errorf("core: nil graph")
-	}
-	if alpha <= 0 || alpha > 1 {
-		return nil, 0, fmt.Errorf("core: alpha %v outside (0,1]", alpha)
+	return MaximumCliqueContext(context.Background(), g, alpha)
+}
+
+// MaximumCliqueContext is MaximumClique under ctx: the branch-and-bound
+// search polls the context every abortCheckInterval nodes and returns a
+// wrapped context error if it fires before the search space is exhausted.
+func MaximumCliqueContext(ctx context.Context, g *uncertain.Graph, alpha float64) ([]int, float64, error) {
+	return MaximumCliqueBudget(ctx, g, alpha, 0)
+}
+
+// MaximumCliqueBudget is MaximumCliqueContext with a node budget: the
+// search aborts with a wrapped ErrBudget after expanding more than budget
+// search nodes (0 = unlimited), the same accounting as Config.Budget.
+func MaximumCliqueBudget(ctx context.Context, g *uncertain.Graph, alpha float64, budget int64) ([]int, float64, error) {
+	if err := Validate(g, alpha, Config{Budget: budget}); err != nil {
+		return nil, 0, err
 	}
 	work := g.PruneAlpha(alpha)
 	// bestProb starts at 1: the empty clique has probability 1 by convention.
-	m := &maxSearch{g: work, alpha: alpha, bestProb: 1}
+	m := &maxSearch{
+		g:        work,
+		alpha:    alpha,
+		bestProb: 1,
+		ctl:      newRunControl(ctx, budget),
+		tick:     abortCheckInterval,
+	}
 	n := work.NumVertices()
 	rootI := make([]entry, n)
 	for v := 0; v < n; v++ {
 		rootI[v] = entry{int32(v), 1}
 	}
-	m.recurse(nil, 1, rootI)
+	if !m.ctl.poll(0) {
+		m.recurse(nil, 1, rootI)
+	}
+	var stats Stats
+	stats.Calls = m.calls
+	if err := m.ctl.finish(&stats, false); err != nil {
+		return nil, 0, err
+	}
 	return m.best, m.bestProb, nil
 }
 
@@ -40,6 +64,10 @@ type maxSearch struct {
 	alpha    float64
 	best     []int
 	bestProb float64
+	ctl      *runControl
+	tick     int
+	calls    int64
+	stopped  bool
 }
 
 // recurse explores like Enum-Uncertain-MC but only tracks the deepest
@@ -47,6 +75,18 @@ type maxSearch struct {
 // any clique larger than the incumbent improves it regardless of
 // maximality status.
 func (m *maxSearch) recurse(C []int32, q float64, I []entry) {
+	if m.stopped {
+		return
+	}
+	m.calls++
+	m.tick--
+	if m.tick <= 0 {
+		m.tick = abortCheckInterval
+		if m.ctl.poll(abortCheckInterval) {
+			m.stopped = true
+			return
+		}
+	}
 	if len(C) > len(m.best) {
 		m.best = make([]int, len(C))
 		for i, v := range C {
@@ -55,6 +95,9 @@ func (m *maxSearch) recurse(C []int32, q float64, I []entry) {
 		m.bestProb = q
 	}
 	for idx := 0; idx < len(I); idx++ {
+		if m.stopped {
+			return
+		}
 		// Bound: even taking every remaining candidate cannot beat best.
 		if len(C)+len(I)-idx <= len(m.best) {
 			return

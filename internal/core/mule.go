@@ -22,10 +22,31 @@ type enumerator struct {
 	identity bool
 	checkInv bool
 	stats    *Stats
+	ctl      *runControl
+	tick     int // nodes until the next ctl.poll; amortizes the abort check
 	arena    entryArena
 	emitBuf  []int
 	cbuf     []int32 // working-clique stack for the serial recursion
 	stopped  bool
+}
+
+// countNode accounts one search-tree node and polls the run control every
+// abortCheckInterval nodes. It returns true when the run must unwind — the
+// context fired, the budget ran out, or another worker latched the stop —
+// in which case e.stopped is raised so the recursion drains without further
+// checks. The steady-state cost is one counter decrement per node.
+func (e *enumerator) countNode() bool {
+	e.stats.Calls++
+	e.tick--
+	if e.tick > 0 {
+		return false
+	}
+	e.tick = abortCheckInterval
+	if e.ctl.poll(abortCheckInterval) {
+		e.stopped = true
+		return true
+	}
+	return false
 }
 
 // workerClone returns an enumerator that shares e's graph and configuration
@@ -44,6 +65,8 @@ func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
 		identity: e.identity,
 		checkInv: e.checkInv,
 		stats:    stats,
+		ctl:      e.ctl,
+		tick:     abortCheckInterval,
 		emitBuf:  make([]int, 0, 64),
 		cbuf:     make([]int32, 0, 128),
 	}
@@ -78,10 +101,9 @@ func (e *enumerator) runSerial() {
 // child, and releases the mark when the subtree returns — steady state does
 // no heap allocation.
 func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
-	if e.stopped {
+	if e.stopped || e.countNode() {
 		return
 	}
-	e.stats.Calls++
 	if len(C) > e.stats.MaxDepth {
 		e.stats.MaxDepth = len(C)
 	}

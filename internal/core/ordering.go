@@ -38,7 +38,7 @@ func buildOrder(g *uncertain.Graph, ord Ordering, seed int64) ([]int, error) {
 		rng := rand.New(rand.NewSource(seed))
 		order = rng.Perm(n)
 	default:
-		return nil, fmt.Errorf("core: unknown ordering %v", ord)
+		return nil, fmt.Errorf("core: unknown ordering %v: %w", ord, ErrConfig)
 	}
 	return order, nil
 }

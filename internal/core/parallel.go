@@ -22,7 +22,7 @@ import (
 // X and stays inside one worker.
 func (e *enumerator) runTopLevel(workers int) {
 	n := e.g.NumVertices()
-	s := &wsShared{visit: e.visit}
+	s := &wsShared{ctl: e.ctl, visit: e.visit}
 	locals := make([]Stats, workers)
 
 	var next atomic.Int64
@@ -34,12 +34,12 @@ func (e *enumerator) runTopLevel(workers int) {
 			defer wg.Done()
 			for {
 				u := next.Add(1)
-				if int(u) >= n || s.stop.Load() {
+				if int(u) >= n || s.ctl.stop.Load() {
 					return
 				}
 				local.branch(int32(u))
 				if local.stopped {
-					return // the wrapped visitor has already latched s.stop
+					return // the visitor or the run control latched the stop
 				}
 			}
 		}(e.workerClone(&locals[i], s))
@@ -48,7 +48,7 @@ func (e *enumerator) runTopLevel(workers int) {
 	for i := range locals {
 		e.stats.merge(&locals[i])
 	}
-	e.stopped = s.stop.Load()
+	e.stopped = e.ctl.stop.Load()
 	// The root call itself is accounted once, as in the serial driver.
 	e.stats.Calls++
 }
@@ -92,8 +92,10 @@ func (e *enumerator) branch(u int32) {
 	e.arena.release(m)
 }
 
-// merge folds o into s. All fields are sums or maxes, so merging per-worker
-// stats in ascending worker order yields a deterministic aggregate.
+// merge folds o into s. All counter fields are sums or maxes, so merging
+// per-worker stats in ascending worker order yields a deterministic
+// aggregate. Status is not merged: the terminal state is decided once by
+// the run control after all workers have drained.
 func (s *Stats) merge(o *Stats) {
 	s.Calls += o.Calls
 	s.Emitted += o.Emitted

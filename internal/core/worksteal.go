@@ -40,6 +40,18 @@ import (
 // is released. A thief therefore never observes another worker's arena
 // memory, keeping the engine -race clean with zero cross-worker
 // synchronization beyond the deque mutexes.
+//
+// Frame free list: the heap copies are the engine's one remaining steady-
+// state allocation (frame struct + C + I + X per frame-worthy node). A
+// fully executed frame therefore goes onto the executing worker's private
+// free list and the next frame-worthy child reuses its struct and slice
+// capacity. The only frames excluded are those whose C/I became aliased by
+// an iteration-level split (shared flag, set under the victim's deque mutex
+// — the same mutex every ownership handoff goes through, so the owner
+// always observes it): the thief's half-frame still reads those slices, so
+// both aliases are left to the GC. Splits are rare (Stats.Splits), so in
+// steady state frame churn recycles entirely within the free lists; a
+// frame stolen wholesale is simply recycled by the thief that finishes it.
 
 // defaultStealGranularity is the Config.StealGranularity used when the knob
 // is zero: subtrees with fewer pending candidates than this run inline with
@@ -48,13 +60,19 @@ import (
 // unstealable chunk to a few hundred cheap nodes.
 const defaultStealGranularity = 8
 
+// wsFreeListMax bounds a worker's frame free list. Deques are rarely more
+// than a few dozen frames deep, so 64 recycled frames cover the working set
+// without pinning arbitrarily large C/I/X capacities for the whole run.
+const wsFreeListMax = 64
+
 type wsFrame struct {
-	C    []int32 // working clique; read-only once the frame exists
-	q    float64 // clq(C)
-	I    []entry // full candidate list of the node; read-only
-	X    []entry // witness set, kept equal to X₀ ++ I[:next]
-	next int     // first pending candidate index
-	end  int     // one past the last candidate this frame owns
+	C      []int32 // working clique; read-only once the frame exists
+	q      float64 // clq(C)
+	I      []entry // full candidate list of the node; read-only
+	X      []entry // witness set, kept equal to X₀ ++ I[:next]
+	next   int     // first pending candidate index
+	end    int     // one past the last candidate this frame owns
+	shared bool    // C/I aliased by an iteration-level split; never recycle
 }
 
 // wsDeque is a mutex-guarded deque of frames. The owner pushes and pops at
@@ -106,9 +124,11 @@ func (d *wsDeque) popIf(f *wsFrame) bool {
 }
 
 // wsShared is the state common to all workers of one run (and reused by the
-// legacy top-level driver for its visitor wrapping).
+// legacy top-level driver for its visitor wrapping). The stop flag lives in
+// the run control so that visitor early-stop, context cancellation, and
+// budget exhaustion all unwind every worker through the same latch.
 type wsShared struct {
-	stop    atomic.Bool  // a visitor returned false; everyone unwinds
+	ctl     *runControl
 	busy    atomic.Int32 // workers not parked in waitForWork
 	visitMu sync.Mutex   // serializes user-visitor invocations
 	visit   Visitor      // the user's visitor; nil = count only
@@ -126,11 +146,11 @@ func (s *wsShared) wrapVisitor() Visitor {
 	return func(c []int, p float64) bool {
 		s.visitMu.Lock()
 		defer s.visitMu.Unlock()
-		if s.stop.Load() {
+		if s.ctl.stop.Load() {
 			return false
 		}
 		if !s.visit(c, p) {
-			s.stop.Store(true)
+			s.ctl.stop.Store(true)
 			return false
 		}
 		return true
@@ -144,6 +164,31 @@ type wsWorker struct {
 	deque       wsDeque
 	e           *enumerator // worker-local clone; private stats and emit buffer
 	scratch     []int32     // reusable C∪{u} buffer for leaf nodes
+	free        []*wsFrame  // recycled frames; reused for frame-worthy children
+}
+
+// takeFrame returns a recycled frame (slice capacities intact) or a fresh
+// zero frame. The caller overwrites every field.
+func (w *wsWorker) takeFrame() *wsFrame {
+	n := len(w.free)
+	if n == 0 {
+		return &wsFrame{}
+	}
+	f := w.free[n-1]
+	w.free[n-1] = nil
+	w.free = w.free[:n-1]
+	return f
+}
+
+// recycle puts a fully executed frame onto the worker's free list. A frame
+// whose C/I are aliased by a split stays out — the other alias may still
+// read them — as does anything beyond the list bound.
+func (w *wsWorker) recycle(f *wsFrame) {
+	if f.shared || len(w.free) >= wsFreeListMax {
+		return
+	}
+	f.C, f.I, f.X = f.C[:0], f.I[:0], f.X[:0]
+	w.free = append(w.free, f)
 }
 
 // runWorkStealing executes the search with the work-stealing engine. Worker
@@ -165,7 +210,7 @@ func (e *enumerator) runWorkStealing(workers, granularity int) {
 	for v := 0; v < n; v++ {
 		rootI[v] = entry{int32(v), 1}
 	}
-	s := &wsShared{visit: e.visit, workers: make([]*wsWorker, workers)}
+	s := &wsShared{ctl: e.ctl, visit: e.visit, workers: make([]*wsWorker, workers)}
 	s.busy.Store(int32(workers))
 	locals := make([]Stats, workers)
 	for i := range s.workers {
@@ -193,14 +238,14 @@ func (e *enumerator) runWorkStealing(workers, granularity int) {
 	for i := range locals {
 		e.stats.merge(&locals[i])
 	}
-	e.stopped = s.stop.Load()
+	e.stopped = e.ctl.stop.Load()
 }
 
 // run is the worker loop: drain the own deque, then steal, then park.
 func (w *wsWorker) run(cur *wsFrame) {
 	s := w.shared
 	for {
-		if s.stop.Load() || w.e.stopped {
+		if s.ctl.stop.Load() || w.e.stopped {
 			return
 		}
 		if cur == nil {
@@ -223,15 +268,17 @@ func (w *wsWorker) run(cur *wsFrame) {
 // executeFrame runs f's pending candidate range depth-first. Before
 // descending into a non-final child it pushes the continuation of f so
 // thieves can take the remaining iterations; on the way back, popIf tells
-// it whether the continuation survived.
+// it whether the continuation survived. A frame that runs dry is recycled
+// onto the worker's free list on the spot.
 func (w *wsWorker) executeFrame(f *wsFrame) {
 	e := w.e
 	s := w.shared
 	for {
-		if e.stopped || s.stop.Load() {
+		if e.stopped || s.ctl.stop.Load() {
 			return
 		}
 		if f.next >= f.end {
+			w.recycle(f)
 			return
 		}
 		j := f.next
@@ -254,7 +301,10 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 		if len(I2) == 0 {
 			// Leaf (emit) or dead end (witnessed): account for the node
 			// without allocating a frame or recursing.
-			e.stats.Calls++
+			if e.countNode() {
+				e.arena.release(m)
+				return
+			}
 			if d := len(f.C) + 1; d > e.stats.MaxDepth {
 				e.stats.MaxDepth = d
 			}
@@ -279,27 +329,32 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 			continue
 		}
 		// Frame-worthy child: its state may be handed to a thief, so copy
-		// the arena-built I2/X2 (and the extended clique) onto the heap
-		// before releasing the mark. X gets the spare capacity its own
-		// witness appends will need.
-		C2 := make([]int32, len(f.C)+1)
-		copy(C2, f.C)
-		C2[len(f.C)] = u
-		IH := make([]entry, len(I2))
-		copy(IH, I2)
-		XH := make([]entry, len(X2), len(X2)+len(I2))
-		copy(XH, X2)
+		// the arena-built I2/X2 (and the extended clique) out of the arena
+		// before releasing the mark — into a recycled frame's slices when
+		// the free list has one. X gets the spare capacity its own witness
+		// appends will need.
+		child := w.takeFrame()
+		child.C = append(append(child.C[:0], f.C...), u)
+		child.q = q2
+		child.I = append(child.I[:0], I2...)
+		if need := len(X2) + len(I2); cap(child.X) < need {
+			child.X = make([]entry, 0, need)
+		}
+		child.X = append(child.X[:0], X2...)
+		child.next, child.end, child.shared = 0, len(child.I), false
 		e.arena.release(m)
-		e.stats.Calls++
-		if d := len(C2); d > e.stats.MaxDepth {
+		if e.countNode() {
+			return
+		}
+		if d := len(child.C); d > e.stats.MaxDepth {
 			e.stats.MaxDepth = d
 		}
 		if e.checkInv {
-			e.verifyInvariants(C2, q2, IH, XH)
+			e.verifyInvariants(child.C, q2, child.I, child.X)
 		}
-		child := &wsFrame{C: C2, q: q2, I: IH, X: XH, end: len(IH)}
 		if f.next >= f.end {
 			// Final candidate: nothing left to expose, descend in place.
+			w.recycle(f)
 			f = child
 			continue
 		}
@@ -327,7 +382,8 @@ func (w *wsWorker) steal() *wsFrame {
 // the thief's own deque, so they stay stealable by others). A lone frame
 // with at least two pending candidates is split at the iteration level:
 // the thief receives the upper half of the range with a private witness
-// set reconstructed from the split invariant.
+// set reconstructed from the split invariant; both halves then alias the
+// same C/I and are marked unrecyclable.
 func (w *wsWorker) stealFrom(v *wsWorker) *wsFrame {
 	d := &v.deque
 	if d.n.Load() == 0 {
@@ -346,8 +402,9 @@ func (w *wsWorker) stealFrom(v *wsWorker) *wsFrame {
 			X := make([]entry, len(f.X), len(f.X)+(mid-f.next))
 			copy(X, f.X)
 			X = append(X, f.I[f.next:mid]...)
-			g := &wsFrame{C: f.C, q: f.q, I: f.I, X: X, next: mid, end: f.end}
+			g := &wsFrame{C: f.C, q: f.q, I: f.I, X: X, next: mid, end: f.end, shared: true}
 			f.end = mid
+			f.shared = true
 			d.mu.Unlock()
 			w.e.stats.Steals++
 			w.e.stats.Splits++
@@ -390,7 +447,7 @@ func (w *wsWorker) waitForWork() bool {
 	}
 	spins := 0
 	for {
-		if s.stop.Load() || s.busy.Load() == 0 {
+		if s.ctl.stop.Load() || s.busy.Load() == 0 {
 			return false
 		}
 		for _, v := range s.workers {

@@ -26,6 +26,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -68,11 +69,19 @@ type Diff struct {
 // New builds a maintainer for g at threshold alpha, running one full MULE
 // enumeration to seed the clique set.
 func New(g *uncertain.Graph, alpha float64) (*Maintainer, error) {
+	return NewContext(context.Background(), g, alpha)
+}
+
+// NewContext is New under ctx: the seeding enumeration — the expensive,
+// graph-sized part of construction — aborts with a wrapped context error if
+// ctx fires. Per-update rebuilds are neighborhood-sized and run without a
+// context.
+func NewContext(ctx context.Context, g *uncertain.Graph, alpha float64) (*Maintainer, error) {
 	if g == nil {
-		return nil, fmt.Errorf("dynamic: nil graph")
+		return nil, fmt.Errorf("dynamic: %w", core.ErrNilGraph)
 	}
 	if !(alpha > 0 && alpha <= 1) { // also rejects NaN
-		return nil, fmt.Errorf("dynamic: alpha %v outside (0,1]", alpha)
+		return nil, fmt.Errorf("dynamic: alpha %v: %w", alpha, core.ErrAlphaRange)
 	}
 	n := g.NumVertices()
 	m := &Maintainer{
@@ -90,7 +99,7 @@ func New(g *uncertain.Graph, alpha float64) (*Maintainer, error) {
 		m.adj[e.U][e.V] = e.P
 		m.adj[e.V][e.U] = e.P
 	}
-	cliques, stats, err := core.CollectWith(g, alpha, core.Config{})
+	cliques, stats, err := core.CollectContext(ctx, g, alpha, core.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +171,7 @@ func (m *Maintainer) SetEdge(u, v int, p float64) (Diff, error) {
 		return Diff{}, err
 	}
 	if !(p > 0 && p <= 1) { // also rejects NaN
-		return Diff{}, fmt.Errorf("dynamic: probability %v outside (0,1]", p)
+		return Diff{}, fmt.Errorf("dynamic: probability %v: %w", p, uncertain.ErrProbRange)
 	}
 	m.adj[u][v] = p
 	m.adj[v][u] = p
@@ -185,10 +194,10 @@ func (m *Maintainer) RemoveEdge(u, v int) (Diff, error) {
 
 func (m *Maintainer) checkPair(u, v int) error {
 	if u == v {
-		return fmt.Errorf("dynamic: self-loop at vertex %d", u)
+		return fmt.Errorf("dynamic: edge {%d,%d}: %w", u, u, uncertain.ErrSelfLoop)
 	}
 	if u < 0 || u >= m.n || v < 0 || v >= m.n {
-		return fmt.Errorf("dynamic: edge {%d,%d} out of range [0,%d)", u, v, m.n)
+		return fmt.Errorf("dynamic: edge {%d,%d} outside [0,%d): %w", u, v, m.n, uncertain.ErrVertexRange)
 	}
 	return nil
 }

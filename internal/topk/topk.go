@@ -27,39 +27,93 @@ type ScoredClique struct {
 	Prob     float64
 }
 
+// Criterion selects the ranking used by a top-k query.
+type Criterion int
+
+const (
+	// CriterionProb ranks by clique probability, highest first; ties break
+	// toward larger cliques, then lexicographically smaller vertex sets.
+	CriterionProb Criterion = iota
+	// CriterionSize ranks by clique size, largest first; ties break toward
+	// higher probability, then lexicographically smaller vertex sets.
+	CriterionSize
+)
+
+// String names the criterion for logs and error messages.
+func (c Criterion) String() string {
+	switch c {
+	case CriterionProb:
+		return "prob"
+	case CriterionSize:
+		return "size"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Collector keeps the k best cliques seen so far in a bounded min-heap.
+// Feed it as a core.Visitor (Visit) and finish with Drain; it composes with
+// any enumeration driver, which is how the query layer runs top-k under a
+// context without this package knowing about cancellation.
+type Collector struct {
+	h *cliqueHeap
+	k int
+}
+
+// NewCollector returns a collector retaining the k best cliques under the
+// criterion. k must be positive; parameter violations wrap core.ErrConfig
+// like every other query-surface validation failure.
+func NewCollector(k int, by Criterion) (*Collector, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("topk: k must be positive, got %d: %w", k, core.ErrConfig)
+	}
+	var less func(a, b ScoredClique) bool
+	switch by {
+	case CriterionProb:
+		less = lessByProb
+	case CriterionSize:
+		less = lessBySize
+	default:
+		return nil, fmt.Errorf("topk: unknown criterion %d: %w", int(by), core.ErrConfig)
+	}
+	return &Collector{h: &cliqueHeap{less: less}, k: k}, nil
+}
+
+// Visit offers one clique to the collector; it always returns true (a top-k
+// query must see the whole family). It has the core.Visitor signature.
+func (c *Collector) Visit(clique []int, p float64) bool {
+	pushBounded(c.h, ScoredClique{Vertices: copyInts(clique), Prob: p}, c.k)
+	return true
+}
+
+// Drain removes and returns the retained cliques, best-first. The collector
+// is empty afterwards.
+func (c *Collector) Drain() []ScoredClique {
+	return drainDescending(c.h)
+}
+
 // ByProb returns the k α-maximal cliques with the highest clique
 // probability, ordered best-first. Ties break toward larger cliques, then
 // lexicographically smaller vertex sets, making the result deterministic.
 func ByProb(g *uncertain.Graph, alpha float64, k int) ([]ScoredClique, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("topk: k must be positive, got %d", k)
-	}
-	h := &cliqueHeap{less: lessByProb}
-	_, err := core.Enumerate(g, alpha, func(c []int, p float64) bool {
-		pushBounded(h, ScoredClique{Vertices: copyInts(c), Prob: p}, k)
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	return drainDescending(h), nil
+	return collect(g, alpha, k, CriterionProb)
 }
 
 // BySize returns the k largest α-maximal cliques, ordered largest-first.
 // Ties break toward higher probability, then lexicographically.
 func BySize(g *uncertain.Graph, alpha float64, k int) ([]ScoredClique, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("topk: k must be positive, got %d", k)
-	}
-	h := &cliqueHeap{less: lessBySize}
-	_, err := core.Enumerate(g, alpha, func(c []int, p float64) bool {
-		pushBounded(h, ScoredClique{Vertices: copyInts(c), Prob: p}, k)
-		return true
-	})
+	return collect(g, alpha, k, CriterionSize)
+}
+
+func collect(g *uncertain.Graph, alpha float64, k int, by Criterion) ([]ScoredClique, error) {
+	col, err := NewCollector(k, by)
 	if err != nil {
 		return nil, err
 	}
-	return drainDescending(h), nil
+	if _, err := core.Enumerate(g, alpha, col.Visit); err != nil {
+		return nil, err
+	}
+	return col.Drain(), nil
 }
 
 func copyInts(a []int) []int {

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
 // Edge is one probabilistic cross edge: left endpoint L, right endpoint R
@@ -66,17 +68,17 @@ func NewBuilder(nLeft, nRight int) *Builder {
 
 func (b *Builder) key(l, r int) ([2]int32, error) {
 	if l < 0 || l >= b.nL {
-		return [2]int32{}, fmt.Errorf("ubiclique: left vertex %d out of range [0,%d)", l, b.nL)
+		return [2]int32{}, fmt.Errorf("ubiclique: left vertex %d outside [0,%d): %w", l, b.nL, uncertain.ErrVertexRange)
 	}
 	if r < 0 || r >= b.nR {
-		return [2]int32{}, fmt.Errorf("ubiclique: right vertex %d out of range [0,%d)", r, b.nR)
+		return [2]int32{}, fmt.Errorf("ubiclique: right vertex %d outside [0,%d): %w", r, b.nR, uncertain.ErrVertexRange)
 	}
 	return [2]int32{int32(l), int32(r)}, nil
 }
 
 func validProb(p float64) error {
 	if math.IsNaN(p) || p <= 0 || p > 1 {
-		return fmt.Errorf("ubiclique: probability %v outside (0,1]", p)
+		return fmt.Errorf("ubiclique: probability %v: %w", p, uncertain.ErrProbRange)
 	}
 	return nil
 }
@@ -92,7 +94,7 @@ func (b *Builder) AddEdge(l, r int, p float64) error {
 		return err
 	}
 	if _, dup := b.edges[k]; dup {
-		return fmt.Errorf("ubiclique: duplicate edge (%d,%d)", l, r)
+		return fmt.Errorf("ubiclique: edge (%d,%d): %w", l, r, uncertain.ErrDuplicateEdge)
 	}
 	b.edges[k] = p
 	return nil

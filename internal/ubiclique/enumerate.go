@@ -1,8 +1,11 @@
 package ubiclique
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/core"
 )
 
 // Visitor receives each α-maximal biclique: the left side and right side as
@@ -59,14 +62,23 @@ func Enumerate(g *Bipartite, alpha float64, visit Visitor) (Stats, error) {
 
 // EnumerateWith runs the enumeration with explicit configuration.
 func EnumerateWith(g *Bipartite, alpha float64, visit Visitor, cfg Config) (Stats, error) {
+	return EnumerateContext(context.Background(), g, alpha, visit, cfg)
+}
+
+// EnumerateContext is EnumerateWith under ctx: the recursion polls the
+// context every abortCheckInterval search nodes (a counter decrement per
+// node, no per-node atomics) and, if it fires, unwinds and returns an error
+// wrapping context.Canceled or context.DeadlineExceeded. A visitor
+// returning false remains a successful early stop.
+func EnumerateContext(ctx context.Context, g *Bipartite, alpha float64, visit Visitor, cfg Config) (Stats, error) {
 	if g == nil {
-		return Stats{}, fmt.Errorf("ubiclique: nil graph")
+		return Stats{}, fmt.Errorf("ubiclique: %w", core.ErrNilGraph)
 	}
-	if alpha <= 0 || alpha > 1 {
-		return Stats{}, fmt.Errorf("ubiclique: alpha %v outside (0,1]", alpha)
+	if !(alpha > 0 && alpha <= 1) { // also rejects NaN
+		return Stats{}, fmt.Errorf("ubiclique: alpha %v: %w", alpha, core.ErrAlphaRange)
 	}
 	if cfg.MinLeft < 0 || cfg.MinRight < 0 {
-		return Stats{}, fmt.Errorf("ubiclique: negative side minimum (%d, %d)", cfg.MinLeft, cfg.MinRight)
+		return Stats{}, fmt.Errorf("ubiclique: negative side minimum (%d, %d): %w", cfg.MinLeft, cfg.MinRight, core.ErrConfig)
 	}
 	minL, minR := cfg.MinLeft, cfg.MinRight
 	if minL < 1 {
@@ -91,10 +103,22 @@ func EnumerateWith(g *Bipartite, alpha float64, visit Visitor, cfg Config) (Stat
 		visit:    visit,
 		checkInv: cfg.CheckInvariants,
 		stats:    &stats,
+		tick:     abortCheckInterval,
 		leftBuf:  make([]int, 0, 16),
 		rightBuf: make([]int, 0, 16),
 	}
+	if ctx != nil && ctx.Done() != nil {
+		e.ctx = ctx
+	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return stats, fmt.Errorf("ubiclique: enumeration aborted: %w", err)
+		}
+	}
 	e.run()
+	if e.abortErr != nil {
+		return stats, fmt.Errorf("ubiclique: enumeration aborted after %d search calls: %w", stats.Calls, e.abortErr)
+	}
 	return stats, nil
 }
 
@@ -169,9 +193,36 @@ type enumerator struct {
 	visit    Visitor
 	checkInv bool
 	stats    *Stats
+	ctx      context.Context // nil when the context can never fire
+	tick     int             // nodes until the next context poll
+	abortErr error
 	leftBuf  []int
 	rightBuf []int
 	stopped  bool
+}
+
+// abortCheckInterval matches the clique kernel's polling cadence: one
+// context check per this many search nodes, amortized to a counter
+// decrement per node.
+const abortCheckInterval = 1024
+
+// countNode accounts one search node and polls the context on the
+// interval; it returns true when the run must unwind.
+func (e *enumerator) countNode() bool {
+	e.stats.Calls++
+	e.tick--
+	if e.tick > 0 {
+		return false
+	}
+	e.tick = abortCheckInterval
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			e.abortErr = err
+			e.stopped = true
+			return true
+		}
+	}
+	return false
 }
 
 // run performs the Algorithm 1 analogue: every ground vertex starts as a
@@ -195,10 +246,9 @@ func (e *enumerator) run() {
 // x < max(C) and extension probability q·s ≥ α. I and X are sorted
 // ascending, so their left entries precede their right entries.
 func (e *enumerator) recurse(C []int32, q float64, I, X []entry, cL, cR int) {
-	if e.stopped {
+	if e.stopped || e.countNode() {
 		return
 	}
-	e.stats.Calls++
 	if e.checkInv {
 		e.verifyInvariants(C, q, I, X)
 	}

@@ -12,9 +12,24 @@
 package uncertain
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+)
+
+// Typed sentinel errors for graph construction. The concrete errors wrap
+// these with the offending values; match with errors.Is.
+var (
+	// ErrVertexRange reports a vertex ID outside [0, n).
+	ErrVertexRange = errors.New("vertex out of range")
+	// ErrSelfLoop reports an edge with identical endpoints.
+	ErrSelfLoop = errors.New("self-loop")
+	// ErrProbRange reports an edge probability outside (0, 1] (or NaN).
+	ErrProbRange = errors.New("probability outside (0,1]")
+	// ErrDuplicateEdge reports an edge added twice to a Builder (AddEdge
+	// only; UpsertEdge overwrites instead).
+	ErrDuplicateEdge = errors.New("duplicate edge")
 )
 
 // Edge is one probabilistic edge of an uncertain graph.
@@ -44,10 +59,10 @@ func NewBuilder(n int) *Builder {
 
 func (b *Builder) key(u, v int) ([2]int32, error) {
 	if u == v {
-		return [2]int32{}, fmt.Errorf("uncertain: self-loop at vertex %d", u)
+		return [2]int32{}, fmt.Errorf("uncertain: edge {%d,%d}: %w", u, v, ErrSelfLoop)
 	}
 	if u < 0 || u >= b.n || v < 0 || v >= b.n {
-		return [2]int32{}, fmt.Errorf("uncertain: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+		return [2]int32{}, fmt.Errorf("uncertain: edge {%d,%d} outside [0,%d): %w", u, v, b.n, ErrVertexRange)
 	}
 	if u > v {
 		u, v = v, u
@@ -57,7 +72,7 @@ func (b *Builder) key(u, v int) ([2]int32, error) {
 
 func validProb(p float64) error {
 	if math.IsNaN(p) || p <= 0 || p > 1 {
-		return fmt.Errorf("uncertain: probability %v outside (0,1]", p)
+		return fmt.Errorf("uncertain: probability %v: %w", p, ErrProbRange)
 	}
 	return nil
 }
@@ -74,7 +89,7 @@ func (b *Builder) AddEdge(u, v int, p float64) error {
 		return err
 	}
 	if _, dup := b.edges[k]; dup {
-		return fmt.Errorf("uncertain: duplicate edge {%d,%d}", u, v)
+		return fmt.Errorf("uncertain: edge {%d,%d}: %w", u, v, ErrDuplicateEdge)
 	}
 	b.edges[k] = p
 	return nil
@@ -356,7 +371,7 @@ func (g *Graph) InducedSubgraph(verts []int) (*Graph, []int, error) {
 	newToOld := make([]int, len(verts))
 	for i, v := range verts {
 		if v < 0 || v >= g.n {
-			return nil, nil, fmt.Errorf("uncertain: vertex %d out of range", v)
+			return nil, nil, fmt.Errorf("uncertain: vertex %d outside [0,%d): %w", v, g.n, ErrVertexRange)
 		}
 		if _, dup := oldToNew[v]; dup {
 			return nil, nil, fmt.Errorf("uncertain: duplicate vertex %d", v)

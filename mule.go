@@ -10,7 +10,7 @@
 // and O(1) maximality detection — and its LARGE-MULE variant restricted to
 // cliques of a minimum size.
 //
-// Quick start:
+// Quick start — build a graph, prepare a Query, range over its cliques:
 //
 //	b := mule.NewBuilder(4)
 //	_ = b.AddEdge(0, 1, 0.9)
@@ -18,10 +18,21 @@
 //	_ = b.AddEdge(1, 2, 0.9)
 //	_ = b.AddEdge(2, 3, 0.5)
 //	g := b.Build()
-//	mule.Enumerate(g, 0.5, func(clique []int, prob float64) bool {
-//		fmt.Println(clique, prob)
-//		return true
-//	})
+//	q, _ := mule.NewQuery(g, 0.5)
+//	for c, err := range q.Cliques(context.Background()) {
+//		if err != nil {
+//			log.Fatal(err)
+//		}
+//		fmt.Println(c.Vertices, c.Prob)
+//	}
+//
+// NewQuery with functional options (WithMinSize, WithWorkers, WithLimit,
+// WithBudget, …) is the primary API: a Query is validated once, reusable,
+// and every run method — Run, Collect, Count, TopK, Maximum, Cliques —
+// takes a context.Context, so enumerations are cancellable and
+// deadline-bounded all the way into the search kernels. The original
+// flat functions (Enumerate, Collect, Count, …) remain as thin deprecated
+// wrappers with their exact historical behavior.
 //
 // Setting Config.Workers > 1 runs the search on a work-stealing parallel
 // engine: each worker executes its own subtree depth-first from a private
@@ -47,6 +58,9 @@
 package mule
 
 import (
+	"context"
+	"errors"
+
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
@@ -61,10 +75,16 @@ type Builder = uncertain.Builder
 // Edge is one probabilistic edge (endpoints U, V and probability P).
 type Edge = uncertain.Edge
 
-// Stats reports the work performed by an enumeration run.
+// Stats reports the work performed by an enumeration run, including its
+// terminal Status (complete, stopped, canceled, deadline, budget).
 type Stats = core.Stats
 
 // Config tunes an enumeration run; the zero value is the paper's plain MULE.
+//
+// Deprecated: Config survives for the legacy EnumerateWith entry point.
+// New code should build a Query with NewQuery and functional options
+// (WithMinSize, WithOrdering, WithWorkers, …), which validates eagerly and
+// adds context support.
 type Config = core.Config
 
 // Visitor receives each α-maximal clique (sorted, reused between calls) and
@@ -99,30 +119,80 @@ func NewBuilder(n int) *Builder { return uncertain.NewBuilder(n) }
 // FromEdges builds an uncertain graph on n vertices from an edge list.
 func FromEdges(n int, edges []Edge) (*Graph, error) { return uncertain.FromEdges(n, edges) }
 
+// runLegacy executes a Config-shaped run through the Query layer with the
+// historical callback contract: a visitor returning false is a successful
+// early stop, not an error.
+func runLegacy(g *Graph, alpha float64, visit Visitor, cfg Config) (Stats, error) {
+	q, err := newQueryFromConfig(g, alpha, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	stats, err := q.Run(context.Background(), visit)
+	if errors.Is(err, ErrStopped) {
+		err = nil
+	}
+	return stats, err
+}
+
 // Enumerate enumerates every α-maximal clique of g (Algorithm 1, MULE).
 // visit may be nil to only count (see Stats.Emitted).
+//
+// Deprecated: use NewQuery(g, alpha) and Query.Run, which adds context
+// cancellation and typed errors. Enumerate remains a thin wrapper with the
+// original behavior.
 func Enumerate(g *Graph, alpha float64, visit Visitor) (Stats, error) {
-	return core.Enumerate(g, alpha, visit)
+	return runLegacy(g, alpha, visit, Config{})
 }
 
 // EnumerateLarge enumerates every α-maximal clique with at least minSize
 // vertices (Algorithm 5, LARGE-MULE).
+//
+// Deprecated: use NewQuery(g, alpha, WithMinSize(minSize)) and Query.Run.
 func EnumerateLarge(g *Graph, alpha float64, minSize int, visit Visitor) (Stats, error) {
-	return core.EnumerateLarge(g, alpha, minSize, visit)
+	return runLegacy(g, alpha, visit, Config{MinSize: minSize})
 }
 
 // EnumerateWith runs MULE with explicit configuration (ordering, parallel
 // workers, minimum size, instrumentation).
+//
+// Deprecated: use NewQuery with the matching functional options
+// (WithOrdering, WithWorkers, WithParallelMode, WithStealGranularity, …)
+// and Query.Run.
 func EnumerateWith(g *Graph, alpha float64, visit Visitor, cfg Config) (Stats, error) {
-	return core.EnumerateWith(g, alpha, visit, cfg)
+	return runLegacy(g, alpha, visit, cfg)
 }
 
 // Collect returns all α-maximal cliques in canonical order (each clique
 // sorted ascending; cliques sorted lexicographically).
-func Collect(g *Graph, alpha float64) ([][]int, error) { return core.Collect(g, alpha) }
+//
+// Deprecated: use NewQuery(g, alpha) and Query.Collect, which returns typed
+// Clique values carrying the probabilities.
+func Collect(g *Graph, alpha float64) ([][]int, error) {
+	q, err := newQueryFromConfig(g, alpha, Config{})
+	if err != nil {
+		return nil, err
+	}
+	cliques, err := q.Collect(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(cliques))
+	for i, c := range cliques {
+		out[i] = c.Vertices
+	}
+	return out, nil
+}
 
 // Count returns the number of α-maximal cliques without materializing them.
-func Count(g *Graph, alpha float64) (int64, error) { return core.Count(g, alpha) }
+//
+// Deprecated: use NewQuery(g, alpha) and Query.Count.
+func Count(g *Graph, alpha float64) (int64, error) {
+	q, err := newQueryFromConfig(g, alpha, Config{})
+	if err != nil {
+		return 0, err
+	}
+	return q.Count(context.Background())
+}
 
 // CliqueProb returns clq(set, g): the probability that set is a clique in a
 // world sampled from g (Observation 1: the product of induced edge
@@ -138,6 +208,9 @@ func IsAlphaMaximalClique(g *Graph, set []int, alpha float64) bool {
 
 // MaximumClique returns one maximum-cardinality α-clique and its probability
 // using a branch-and-bound variant of the MULE search.
+//
+// Deprecated: use NewQuery(g, alpha) and Query.Maximum, which honors a
+// context.
 func MaximumClique(g *Graph, alpha float64) ([]int, float64, error) {
 	return core.MaximumClique(g, alpha)
 }

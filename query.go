@@ -1,0 +1,306 @@
+package mule
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/topk"
+)
+
+// Clique is one α-maximal clique materialized by a Query: the vertex set in
+// original IDs, sorted ascending, and its clique probability. Unlike the
+// Visitor callback slice, Vertices is caller-owned and never reused.
+type Clique struct {
+	Vertices []int
+	Prob     float64
+}
+
+// Query is a prepared enumeration of the α-maximal cliques of one graph at
+// one threshold. Build it once with NewQuery and run it any number of ways:
+// Run (callback), Collect (materialize), Count, TopK, Maximum, or Cliques
+// (a range-over-func stream). Every run method takes a context.Context and
+// honors cancellation and deadlines: the engines poll the context on a
+// node-count interval, so a fired context unwinds serial and parallel
+// searches alike within microseconds, returning an error that wraps
+// context.Canceled or context.DeadlineExceeded.
+//
+// A Query is immutable after construction and safe for concurrent use; each
+// run is independent.
+type Query struct {
+	g     *Graph
+	alpha float64
+	cfg   core.Config
+	limit int64
+}
+
+// Option configures a Query. Options are applied in order by NewQuery;
+// invalid combinations surface as wrapped ErrConfig errors from NewQuery,
+// not from the option itself.
+type Option func(*Query)
+
+// WithMinSize restricts the enumeration to α-maximal cliques with at least
+// t vertices (LARGE-MULE, Algorithm 5, with the shared-neighborhood
+// prefilter). Values below 2 are the unrestricted default.
+func WithMinSize(t int) Option { return func(q *Query) { q.cfg.MinSize = t } }
+
+// WithOrdering selects the vertex numbering used by the search (the output
+// set is always the same; the tree shape and therefore the wall-clock may
+// differ). The default is OrderNatural, the paper's setting.
+func WithOrdering(o Ordering) Option { return func(q *Query) { q.cfg.Ordering = o } }
+
+// WithSeed feeds OrderRandom; ignored by the other orderings.
+func WithSeed(seed int64) Option { return func(q *Query) { q.cfg.Seed = seed } }
+
+// WithWorkers runs the search on w goroutines when w > 1 (the work-stealing
+// engine by default; see WithParallelMode). The default is a serial search.
+func WithWorkers(w int) Option { return func(q *Query) { q.cfg.Workers = w } }
+
+// WithParallelMode selects the engine used when WithWorkers enables
+// parallelism: ParallelWorkStealing (the default) or the legacy
+// ParallelTopLevel fan-out.
+func WithParallelMode(m ParallelMode) Option { return func(q *Query) { q.cfg.Parallel = m } }
+
+// WithStealGranularity sets the minimum number of candidate vertices a
+// subtree must have before the work-stealing engine publishes it as a
+// stealable frame; 0 selects the default (8).
+func WithStealGranularity(k int) Option { return func(q *Query) { q.cfg.StealGranularity = k } }
+
+// WithLimit stops the enumeration after n cliques have been delivered.
+// Reaching the limit is a successful run (nil error, Stats.Status ==
+// StatusStopped); it is the streaming analogue of SQL's LIMIT, useful for
+// sampling and pagination-style probes. It applies to Run, Collect, Count,
+// and Cliques; TopK and Maximum ignore it — their answers are only correct
+// over the full family.
+func WithLimit(n int64) Option { return func(q *Query) { q.limit = n } }
+
+// WithBudget bounds the run to at most n search-tree node expansions; a run
+// that exhausts the budget aborts with an error wrapping ErrBudget. The
+// budget is charged in per-worker batches, so parallel runs can overshoot
+// by a few thousand nodes. Use it to cap worst-case work on untrusted
+// inputs, where the clique count — and hence any time bound — is
+// exponential in the worst case.
+func WithBudget(n int64) Option { return func(q *Query) { q.cfg.Budget = n } }
+
+// NewQuery prepares an enumeration of the α-maximal cliques of g. It
+// validates eagerly: a nil graph, an alpha outside (0,1], or an invalid
+// option combination is reported here (wrapping ErrNilGraph, ErrAlphaRange,
+// or ErrConfig), so every run method on the returned Query starts from a
+// well-formed question.
+func NewQuery(g *Graph, alpha float64, opts ...Option) (*Query, error) {
+	q := &Query{g: g, alpha: alpha}
+	for _, opt := range opts {
+		opt(q)
+	}
+	if q.limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", q.limit, ErrConfig)
+	}
+	if err := core.Validate(g, alpha, q.cfg); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// newQueryFromConfig adapts a legacy Config to a Query; the deprecated
+// top-level functions funnel through it.
+func newQueryFromConfig(g *Graph, alpha float64, cfg Config) (*Query, error) {
+	q := &Query{g: g, alpha: alpha, cfg: cfg}
+	if err := core.Validate(g, alpha, cfg); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// run executes the query under its WithLimit bound, reporting whether the
+// user-supplied visitor ended the run early (as opposed to the limit doing
+// so). The closure flags are safe: the engines serialize visitor
+// invocations and the run's completion happens-after the last call.
+func (q *Query) run(ctx context.Context, visit Visitor) (stats Stats, userStopped bool, err error) {
+	wrapped := visit
+	if q.limit > 0 {
+		remaining := q.limit
+		wrapped = func(c []int, p float64) bool {
+			if visit != nil && !visit(c, p) {
+				userStopped = true
+				return false
+			}
+			remaining--
+			return remaining > 0
+		}
+	} else if visit != nil {
+		wrapped = func(c []int, p float64) bool {
+			if !visit(c, p) {
+				userStopped = true
+				return false
+			}
+			return true
+		}
+	}
+	stats, err = core.EnumerateContext(ctx, q.g, q.alpha, wrapped, q.cfg)
+	return stats, userStopped, err
+}
+
+// Run enumerates the query's cliques, invoking visit for each (visit may be
+// nil to only count; see Stats.Emitted). It returns an error wrapping
+// context.Canceled or context.DeadlineExceeded if ctx fires mid-run, an
+// error wrapping ErrBudget if a WithBudget bound runs out, and an error
+// wrapping ErrStopped if visit returned false — so err == nil means the
+// enumeration ran to completion (or to its WithLimit bound). In every
+// abnormal case the returned Stats are valid for the work done up to the
+// stop, with Stats.Status recording the terminal state.
+func (q *Query) Run(ctx context.Context, visit Visitor) (Stats, error) {
+	stats, userStopped, err := q.run(ctx, visit)
+	if err != nil {
+		return stats, err
+	}
+	if userStopped {
+		return stats, fmt.Errorf("mule: %w", ErrStopped)
+	}
+	return stats, nil
+}
+
+// Collect materializes the query's cliques in canonical order: each vertex
+// set sorted ascending, cliques sorted lexicographically.
+func (q *Query) Collect(ctx context.Context) ([]Clique, error) {
+	var out []Clique
+	_, _, err := q.run(ctx, func(c []int, p float64) bool {
+		out = append(out, Clique{Vertices: append([]int(nil), c...), Prob: p})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i].Vertices, out[j].Vertices) })
+	return out, nil
+}
+
+// Count returns the number of cliques the query enumerates, without
+// materializing them.
+func (q *Query) Count(ctx context.Context) (int64, error) {
+	stats, err := q.Run(ctx, nil)
+	return stats.Emitted, err
+}
+
+// TopK returns the k best cliques of the query under the given criterion
+// (ByProb: highest clique probability first; BySize: largest first), with
+// deterministic tie-breaking. It enumerates the full α-maximal family once
+// through a bounded min-heap — the threshold cannot be raised to the
+// running k-th best, because α-maximality itself is defined relative to α.
+// A WithLimit bound is ignored for the same reason: the best-of-a-prefix
+// is not the best of the family. WithBudget still applies (an exhausted
+// budget is an error, not a silently truncated answer).
+func (q *Query) TopK(ctx context.Context, k int, by TopKCriterion) ([]ScoredClique, error) {
+	col, err := topk.NewCollector(k, by)
+	if err != nil {
+		return nil, err
+	}
+	full := *q
+	full.limit = 0
+	if _, err := full.Run(ctx, col.Visit); err != nil {
+		return nil, err
+	}
+	return col.Drain(), nil
+}
+
+// Maximum returns one maximum-cardinality α-clique of the query's graph and
+// its probability, via branch-and-bound (see MaximumClique). It honors ctx
+// and WithBudget like every other run method; the parallel, ordering, and
+// WithLimit options do not apply to this search.
+func (q *Query) Maximum(ctx context.Context) ([]int, float64, error) {
+	return core.MaximumCliqueBudget(ctx, q.g, q.alpha, q.cfg.Budget)
+}
+
+// Cliques returns the query's cliques as a Go 1.23 range-over-func stream:
+//
+//	for c, err := range q.Cliques(ctx) {
+//		if err != nil {
+//			return err // ctx fired or the budget ran out
+//		}
+//		use(c)
+//	}
+//
+// Cliques are yielded as the engines find them (engine order, not canonical
+// order), each with a nil error; if the run aborts, one final (Clique{},
+// err) pair carries the wrapped cause and the stream ends. Breaking out of
+// the loop stops the underlying enumeration — serial runs stop on the spot,
+// parallel runs within one poll interval — and never leaks goroutines.
+func (q *Query) Cliques(ctx context.Context) iter.Seq2[Clique, error] {
+	if q.cfg.Workers > 1 {
+		return q.cliquesParallel(ctx)
+	}
+	return func(yield func(Clique, error) bool) {
+		consumerDone := false
+		_, _, err := q.run(ctx, func(c []int, p float64) bool {
+			if !yield(Clique{Vertices: append([]int(nil), c...), Prob: p}, nil) {
+				consumerDone = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !consumerDone {
+			yield(Clique{}, err)
+		}
+	}
+}
+
+// cliquesParallel bridges a parallel run to the consumer through a channel:
+// the engines' visitor fires on worker goroutines, and a range-over-func
+// yield must only be called on the consumer's goroutine. Breaking the loop
+// cancels the producer's context; the producer unwinds within one poll
+// interval and the drain below guarantees it is never left blocked on a
+// send, so nothing outlives the loop.
+func (q *Query) cliquesParallel(ctx context.Context) iter.Seq2[Clique, error] {
+	return func(yield func(Clique, error) bool) {
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		cliques := make(chan Clique, 64)
+		errc := make(chan error, 1)
+		go func() {
+			ctxStopped := false
+			_, _, err := q.run(runCtx, func(c []int, p float64) bool {
+				select {
+				case cliques <- Clique{Vertices: append([]int(nil), c...), Prob: p}:
+					return true
+				case <-runCtx.Done():
+					ctxStopped = true
+					return false
+				}
+			})
+			if err == nil && ctxStopped && ctx.Err() != nil {
+				// The caller's context fired while the visitor was parked in
+				// the select above, so the engines saw an ordinary visitor
+				// stop before their next poll; report the true cause. Runs
+				// that completed (or hit their WithLimit) before the context
+				// fired keep their nil error.
+				err = fmt.Errorf("mule: enumeration aborted: %w", ctx.Err())
+			}
+			close(cliques)
+			errc <- err
+		}()
+		for c := range cliques {
+			if !yield(c, nil) {
+				cancel()
+				for range cliques { // unblock the producer until it closes
+				}
+				<-errc
+				return
+			}
+		}
+		if err := <-errc; err != nil {
+			yield(Clique{}, err)
+		}
+	}
+}
+
+// lexLess orders vertex sets lexicographically (canonical collection
+// order).
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

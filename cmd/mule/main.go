@@ -86,6 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		engine      = fs.String("engine", "worksteal", "parallel engine: worksteal|toplevel")
 		granularity = fs.Int("granularity", 0, "work-stealing steal granularity (0 = default)")
 		ordering    = fs.String("order", "natural", "vertex ordering: natural|degree|degeneracy|random")
+		intersect   = fs.String("intersect", "adaptive", "intersection kernel: adaptive|sorted|bitset (forced modes are ablation-only; output is identical)")
 		countOnly   = fs.Bool("count", false, "print only the number of α-maximal cliques")
 		top         = fs.Int("top", 0, "print only the k highest-probability α-maximal cliques")
 		limit       = fs.Int64("limit", 0, "stop after this many cliques (0 = no limit)")
@@ -121,6 +122,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	imode, err := parseIntersect(*intersect)
+	if err != nil {
+		return err
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -136,6 +141,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		mule.WithParallelMode(mode),
 		mule.WithStealGranularity(*granularity),
 		mule.WithOrdering(ord),
+		mule.WithIntersect(imode),
 		mule.WithLimit(*limit),
 		mule.WithBudget(*budget),
 	)
@@ -226,6 +232,19 @@ func parseEngine(s string) (mule.ParallelMode, error) {
 		return mule.ParallelTopLevel, nil
 	default:
 		return 0, fmt.Errorf("unknown parallel engine %q", s)
+	}
+}
+
+func parseIntersect(s string) (mule.IntersectMode, error) {
+	switch strings.ToLower(s) {
+	case "adaptive":
+		return mule.IntersectAdaptive, nil
+	case "sorted":
+		return mule.IntersectSorted, nil
+	case "bitset":
+		return mule.IntersectBitset, nil
+	default:
+		return 0, fmt.Errorf("unknown intersect mode %q", s)
 	}
 }
 

@@ -69,8 +69,11 @@ type kernelWorkload struct {
 // kernelWorkloads returns the sweep inputs: a Barabási–Albert power-law
 // graph at a low threshold (deep search tree, long candidate lists), the
 // skewed hub workload (one dominant subtree, hub rows ≫ tails — the shape
-// the adaptive intersection targets), a collaboration-like graph, and a
-// LARGE-MULE run exercising the size-pruned path.
+// the adaptive gallop intersection targets), a collaboration-like graph, a
+// LARGE-MULE run exercising the size-pruned path and the CSR prefilter,
+// and the dense G(n,p) cell at a high α (the shape the word-parallel
+// bitset kernel targets — this is the cell the CI -kernel-diff smoke run
+// relies on to exercise the bitset path).
 func kernelWorkloads(cfg Config) []kernelWorkload {
 	cfg = cfg.withDefaults()
 	baN := 5000
@@ -87,6 +90,7 @@ func kernelWorkloads(cfg Config) []kernelWorkload {
 		{SkewedCliqueGraph(cfg), SkewedAlpha, 0},
 		{collab, 0.0005, 0},
 		{ba, 0.001, 3},
+		{DenseGNPGraph(cfg), DenseAlpha, 0},
 	}
 }
 

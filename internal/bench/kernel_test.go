@@ -48,7 +48,7 @@ func TestKernelTrajectoryMerge(t *testing.T) {
 func TestKernelWorkloadsAndEngines(t *testing.T) {
 	cfg := Config{Quick: true, Seed: 1}
 	wls := kernelWorkloads(cfg)
-	if len(wls) != 4 {
+	if len(wls) != 5 {
 		t.Fatalf("kernel workloads: %d", len(wls))
 	}
 	names := map[string]bool{}
@@ -60,6 +60,21 @@ func TestKernelWorkloadsAndEngines(t *testing.T) {
 	}
 	if !names["skewed-hub"] {
 		t.Fatal("kernel sweep must include the skewed hub workload")
+	}
+	if !names["dense-gnp300"] {
+		t.Fatal("kernel sweep must include the dense G(n,p) workload")
+	}
+	// The dense cell must actually exercise the bitset path: its rows have
+	// to clear the adaptive mirroring threshold.
+	dense := DenseGNPGraph(cfg)
+	long := 0
+	for u := 0; u < dense.G.NumVertices(); u++ {
+		if dense.G.Degree(u) >= 64 {
+			long++
+		}
+	}
+	if long < dense.G.NumVertices()/2 {
+		t.Fatalf("dense workload has only %d rows of ≥64 neighbors", long)
 	}
 	engines := kernelEngines(Config{Workers: 4})
 	if len(engines) != 3 {

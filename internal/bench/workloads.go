@@ -202,6 +202,34 @@ func SkewedCliqueGraph(cfg Config) NamedGraph {
 // SkewedAlpha is the probability threshold used with SkewedCliqueGraph.
 const SkewedAlpha = 0.02
 
+// DenseGNPGraph builds the dense-neighborhood workload: an Erdős–Rényi
+// G(n, p≈0.3) block with high edge probabilities. Every adjacency row is
+// ~0.3n long and candidate sets stay packed into the remaining vertex
+// range, which is exactly the shape where the sorted merge/gallop kernels
+// pay per-element comparisons for members that almost all survive — the
+// regime the word-parallel bitset kernel targets. Used with the high
+// DenseAlpha so the probability filter, not the topology, bounds clique
+// size and the sweep finishes in benchmark time.
+func DenseGNPGraph(cfg Config) NamedGraph {
+	cfg = cfg.withDefaults()
+	n := 500
+	if cfg.Quick {
+		n = 300
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := uncertain.NewBuilder(n)
+	for _, e := range gen.GNP(n, 0.3, rng) {
+		_ = b.AddEdge(e[0], e[1], 0.85+0.14*rng.Float64())
+	}
+	return NamedGraph{"dense-gnp" + itoa(n), b.Build()}
+}
+
+// DenseAlpha is the probability threshold used with DenseGNPGraph: high
+// enough that cliques stay small (the product of ~0.9 edge probabilities
+// crosses it within a handful of vertices) while the candidate sets the
+// kernel intersects remain long and dense.
+const DenseAlpha = 0.25
+
 // AlphaSweep is the probability-threshold grid of Figures 2 and 3
 // (log-spaced from 1e-4 to 0.9, mirroring the paper's x-axis).
 var AlphaSweep = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 0.9}

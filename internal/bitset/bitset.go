@@ -42,6 +42,13 @@ func FromSlice(n int, elems []int) *Set {
 // Capacity returns the size of the universe.
 func (s *Set) Capacity() int { return s.n }
 
+// Words exposes the backing 64-bit words of the set (bit i of the set is
+// bit i%64 of word i/64). The slice aliases the set's storage: callers may
+// read it freely — this is the zero-cost view the enumeration kernels use
+// for word-parallel AND — and may write it only through the same ownership
+// rules as the set itself. Bits at or beyond Capacity must stay zero.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Add inserts i into the set. Out-of-range indices are ignored.
 func (s *Set) Add(i int) {
 	if i < 0 || i >= s.n {

@@ -1,0 +1,78 @@
+package bitset
+
+import (
+	"testing"
+)
+
+// FuzzFromSliceIteration fuzzes the constructor-and-iteration surface the
+// enumeration kernel leans on: FromSlice must keep exactly the in-range
+// elements, NextAfter must walk them in ascending order, and ForEach must
+// visit the same sequence. The element bytes are interpreted as deltas so
+// the fuzzer explores duplicates, out-of-range values, and dense clusters
+// without needing structured input.
+func FuzzFromSliceIteration(f *testing.F) {
+	f.Add(64, []byte{0, 1, 2, 200, 3, 3})
+	f.Add(1, []byte{0, 0, 0})
+	f.Add(0, []byte{5})
+	f.Add(130, []byte{129, 1, 63, 64, 65, 127, 128})
+	f.Fuzz(func(t *testing.T, n int, raw []byte) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 12 // keep universes small enough to check exhaustively
+		elems := make([]int, len(raw))
+		v := -3
+		for i, d := range raw {
+			v += int(d) - 1 // deltas in [-1, 254]: revisits, duplicates, runs
+			elems[i] = v
+		}
+		s := FromSlice(n, elems)
+		want := map[int]bool{}
+		for _, e := range elems {
+			if e >= 0 && e < n {
+				want[e] = true
+			}
+		}
+		if s.Capacity() != n {
+			t.Fatalf("capacity %d, want %d", s.Capacity(), n)
+		}
+		if s.Count() != len(want) {
+			t.Fatalf("Count = %d, want %d", s.Count(), len(want))
+		}
+		// NextAfter chain enumerates the set ascending; cross-check against
+		// the model and against ForEach.
+		var chain []int
+		for v := s.NextAfter(0); v != -1; v = s.NextAfter(v + 1) {
+			chain = append(chain, v)
+		}
+		if len(chain) != len(want) {
+			t.Fatalf("NextAfter chain has %d elements, want %d", len(chain), len(want))
+		}
+		for i, v := range chain {
+			if !want[v] {
+				t.Fatalf("NextAfter produced %d not in model", v)
+			}
+			if i > 0 && chain[i-1] >= v {
+				t.Fatalf("NextAfter chain not ascending at %d", v)
+			}
+		}
+		i := 0
+		s.ForEach(func(v int) bool {
+			if i >= len(chain) || chain[i] != v {
+				t.Fatalf("ForEach diverges from NextAfter at index %d: %d", i, v)
+			}
+			i++
+			return true
+		})
+		if i != len(chain) {
+			t.Fatalf("ForEach visited %d elements, NextAfter %d", i, len(chain))
+		}
+		// Out-of-range probes must be total, not panic.
+		if s.NextAfter(-5) != s.NextAfter(0) {
+			t.Fatal("NextAfter must clamp negative starts to 0")
+		}
+		if s.NextAfter(n) != -1 || s.Contains(n) || s.Contains(-1) {
+			t.Fatal("out-of-range probes must report absence")
+		}
+	})
+}

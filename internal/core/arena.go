@@ -2,7 +2,7 @@ package core
 
 // This file implements the frame arena backing the enumeration kernel.
 //
-// Every node of the MULE search tree needs two scratch slices — the child
+// Every node of the MULE search tree needs two scratch sets — the child
 // candidate set I' and witness set X' (Algorithms 3 and 4). Allocating them
 // with make() puts millions of short-lived slices on the exponential hot
 // path, which is exactly where GC pressure hurts most. The search is a
@@ -12,26 +12,60 @@ package core
 // iteration, carve sub-slices while expanding it, release back to the mark
 // when the subtree returns.
 //
-// entryArena is that allocator: a list of geometrically growing blocks with
-// a (block, offset) cursor. Steady state performs zero heap allocations;
-// blocks are only added while the high-water mark still grows (bounded by
-// the deepest candidate/witness chain, not by the tree size). Blocks are
-// never freed mid-run and never shrink, so slices handed out earlier remain
-// valid even after the cursor moves to a newer block.
+// entryArena is that allocator: a list of geometrically growing block pairs
+// with a (block, offset) cursor. Steady state performs zero heap
+// allocations; blocks are only added while the high-water mark still grows
+// (bounded by the deepest candidate/witness chain, not by the tree size).
+// Blocks are never freed mid-run and never shrink, so sets handed out
+// earlier remain valid even after the cursor moves to a newer block.
+//
+// Layout: sets are stored structure-of-arrays. An (v int32, r float64)
+// element pair costs 16 bytes in an array-of-structs layout (4 bytes of
+// padding per element); splitting the set into a vertex lane ([]int32) and
+// a multiplier lane ([]float64) lets the intersection kernels scan 4 bytes
+// per element on the vertex comparisons and touch the multiplier lane only
+// on a match. Both lanes are carved from parallel blocks that share one
+// cursor, so the watermark discipline is unchanged.
 //
 // Ownership: an arena belongs to exactly one enumerator (one worker). The
 // work-stealing engine keeps every stealable frame on the heap — frames are
 // the only state that crosses workers — so arena memory is never visible to
 // another goroutine (worksteal.go documents the handoff rules).
 
-// arenaMinBlock is the entry count of the first block (64 KiB at 16 bytes
-// per entry); later blocks double.
+// arenaMinBlock is the element count of the first block pair (48 KiB at 12
+// bytes per element across the two lanes); later blocks double.
 const arenaMinBlock = 4096
 
+// entrySet is one candidate (I) or witness (X) set in SoA layout: vertex
+// lane v and multiplier lane r, parallel and equal in length. The zero
+// value is an empty set. Sets are passed by value like slices; push returns
+// the updated set the same way append returns the updated slice.
+type entrySet struct {
+	v []int32
+	r []float64
+}
+
+// length returns the number of elements in the set.
+func (s entrySet) length() int { return len(s.v) }
+
+// push appends one (vertex, multiplier) element.
+func (s entrySet) push(v int32, r float64) entrySet {
+	s.v = append(s.v, v)
+	s.r = append(s.r, r)
+	return s
+}
+
+// reset empties the set, keeping both lanes' capacity.
+func (s entrySet) reset() entrySet {
+	s.v, s.r = s.v[:0], s.r[:0]
+	return s
+}
+
 type entryArena struct {
-	blocks [][]entry
-	cur    int // index of the block the cursor is in
-	off    int // next free slot within blocks[cur]
+	vblocks [][]int32   // vertex lanes, parallel to rblocks
+	rblocks [][]float64 // multiplier lanes
+	cur     int         // index of the block pair the cursor is in
+	off     int         // next free slot within blocks[cur]
 }
 
 // arenaMark is a watermark: the cursor position to restore on release.
@@ -41,19 +75,23 @@ type arenaMark struct {
 
 func (a *entryArena) mark() arenaMark { return arenaMark{a.cur, a.off} }
 
-// release returns every allocation made since mark to the arena. Slices
+// release returns every allocation made since mark to the arena. Sets
 // carved in between must not be used afterwards.
 func (a *entryArena) release(m arenaMark) { a.cur, a.off = m.blk, m.off }
 
-// alloc carves a zero-length slice with the given capacity from the arena.
-// The caller appends into it (never past the capacity) and may hand the
+// alloc carves a zero-length set with the given capacity from the arena.
+// The caller pushes into it (never past the capacity) and may hand the
 // unused tail back with shrink.
-func (a *entryArena) alloc(capacity int) []entry {
+func (a *entryArena) alloc(capacity int) entrySet {
 	for {
-		if a.cur < len(a.blocks) {
-			b := a.blocks[a.cur]
-			if len(b)-a.off >= capacity {
-				s := b[a.off : a.off : a.off+capacity]
+		if a.cur < len(a.vblocks) {
+			vb := a.vblocks[a.cur]
+			if len(vb)-a.off >= capacity {
+				rb := a.rblocks[a.cur]
+				s := entrySet{
+					v: vb[a.off : a.off : a.off+capacity],
+					r: rb[a.off : a.off : a.off+capacity],
+				}
 				a.off += capacity
 				return s
 			}
@@ -65,14 +103,15 @@ func (a *entryArena) alloc(capacity int) []entry {
 			continue
 		}
 		size := arenaMinBlock
-		if n := len(a.blocks); n > 0 {
-			size = 2 * len(a.blocks[n-1])
+		if n := len(a.vblocks); n > 0 {
+			size = 2 * len(a.vblocks[n-1])
 		}
 		if size < capacity {
 			size = capacity
 		}
-		a.blocks = append(a.blocks, make([]entry, size))
-		a.cur = len(a.blocks) - 1
+		a.vblocks = append(a.vblocks, make([]int32, size))
+		a.rblocks = append(a.rblocks, make([]float64, size))
+		a.cur = len(a.vblocks) - 1
 		a.off = 0
 	}
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"github.com/uncertain-graphs/mule/internal/bitset"
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// Bit-row adjacency index for the word-parallel intersection kernel
+// (intersect.go). Dense rows of the (pruned, filtered, relabeled) working
+// graph are mirrored as bit sets over the vertex universe, so a node whose
+// candidate set is dense relative to the remaining vertex range can
+// intersect against the row with word-parallel AND instead of walking the
+// row element by element.
+//
+// The index is built once per run, after every graph transformation, and is
+// read-only afterwards — workers share it without synchronization. Memory
+// is the gate: a full bit matrix costs n²/8 bytes, so the index only exists
+// for graphs up to bitsetMaxVertices (8 MiB worst case) and, under the
+// adaptive policy, only rows long enough for the dense kernel to ever win
+// are mirrored. Sparse rows keep nil and fall back to the sorted kernels.
+
+const (
+	// bitsetMaxVertices bounds the vertex count for which bit rows are
+	// built: beyond it the bit matrix (n²/8 bytes worst case) and the
+	// per-worker masks stop paying for themselves on the workloads this
+	// kernel targets.
+	bitsetMaxVertices = 8192
+	// bitsetMinRowLen is the shortest row mirrored under the adaptive
+	// policy; a row shorter than one mask word per gallopRatio elements
+	// never routes to the bitset kernel anyway.
+	bitsetMinRowLen = 64
+)
+
+// bitAdjacency is the per-run index: rows[u] holds the word view of vertex
+// u's adjacency bit set (the bitset.Set backing stays alive through the
+// view), or nil when u's row is not mirrored. A nil *bitAdjacency (index
+// disabled) behaves as the empty index.
+type bitAdjacency struct {
+	words int        // words per row: ⌈n/64⌉
+	rows  [][]uint64 // word views, indexed by vertex; nil = not mirrored
+}
+
+// row returns the bit words of u's adjacency row, or nil when u is not
+// mirrored (or the index is disabled).
+func (b *bitAdjacency) row(u int32) []uint64 {
+	if b == nil {
+		return nil
+	}
+	return b.rows[u]
+}
+
+// buildBitAdjacency constructs the index for the working graph under the
+// configured intersect mode: nil for IntersectSorted or oversized graphs,
+// every row for IntersectBitset, and only rows of at least bitsetMinRowLen
+// neighbors for the adaptive default. Returns nil when no row qualifies,
+// so the engines skip the per-worker mask allocation entirely.
+func buildBitAdjacency(g *uncertain.Graph, mode IntersectMode) *bitAdjacency {
+	n := g.NumVertices()
+	if mode == IntersectSorted || n == 0 || n > bitsetMaxVertices {
+		return nil
+	}
+	minLen := bitsetMinRowLen
+	if mode == IntersectBitset {
+		minLen = 1
+	}
+	b := &bitAdjacency{
+		words: (n + 63) / 64,
+		rows:  make([][]uint64, n),
+	}
+	mirrored := false
+	for u := 0; u < n; u++ {
+		if g.Degree(u) < minLen {
+			continue
+		}
+		s := bitset.New(n)
+		g.FillRowBits(u, s.Words())
+		b.rows[u] = s.Words()
+		mirrored = true
+	}
+	if !mirrored {
+		return nil
+	}
+	return b
+}
+
+// newMask allocates one worker's scratch mask, sized to the index's rows.
+func (b *bitAdjacency) newMask() []uint64 {
+	if b == nil {
+		return nil
+	}
+	return bitset.New(b.words * 64).Words()
+}

@@ -73,6 +73,40 @@ func (o Ordering) String() string {
 	}
 }
 
+// IntersectMode selects how the kernel's candidate/witness intersections
+// are computed. The default is density-adaptive; the forced modes exist for
+// equivalence tests and ablation benchmarks — the output set is identical
+// under every mode.
+type IntersectMode int
+
+const (
+	// IntersectAdaptive (the default) chooses per node: word-parallel
+	// bitset AND when the candidate set is dense relative to the remaining
+	// vertex range and the row has a bit mirror, merge/gallop otherwise.
+	IntersectAdaptive IntersectMode = iota
+	// IntersectSorted disables the bitset path entirely (no bit rows are
+	// built): every intersection runs on the sorted merge/gallop kernels.
+	IntersectSorted
+	// IntersectBitset forces the bitset path wherever a bit row can exist
+	// (every row of a graph within the bitsetMaxVertices gate is mirrored);
+	// intersections on larger graphs fall back to the sorted kernels.
+	IntersectBitset
+)
+
+// String names the intersect mode for logs and benchmark labels.
+func (m IntersectMode) String() string {
+	switch m {
+	case IntersectAdaptive:
+		return "adaptive"
+	case IntersectSorted:
+		return "sorted"
+	case IntersectBitset:
+		return "bitset"
+	default:
+		return fmt.Sprintf("IntersectMode(%d)", int(m))
+	}
+}
+
 // ParallelMode selects the engine used when Config.Workers > 1.
 type ParallelMode int
 
@@ -128,6 +162,10 @@ type Config struct {
 	// batches of abortCheckInterval nodes per worker, so a parallel run can
 	// overshoot by up to Workers×interval nodes.
 	Budget int64
+	// Intersect selects the intersection kernel policy: density-adaptive
+	// (the default), or forced sorted/bitset for tests and ablations. The
+	// enumerated clique set is identical under every mode.
+	Intersect IntersectMode
 	// SkipPrune disables the α-edge-pruning preprocessing step
 	// (Observation 3). Only useful for ablation benchmarks; the output is
 	// identical either way.
@@ -146,6 +184,7 @@ type Stats struct {
 	MaxCliqueSize int       // largest emitted clique
 	CandidateOps  int64     // candidate entries produced across all GenerateI calls
 	WitnessOps    int64     // witness entries produced across all GenerateX calls
+	BitsetOps     int64     // intersections routed to the word-parallel bitset kernel
 	PrunedEdges   int       // edges removed by α-pruning (Observation 3)
 	SizePruned    int64     // LARGE-MULE: branches cut by |C'|+|I'| < MinSize
 	FilterRemoved int       // LARGE-MULE: edges removed by shared-neighborhood filtering
@@ -197,6 +236,10 @@ func Validate(g *uncertain.Graph, alpha float64, cfg Config) error {
 	if cfg.Parallel != ParallelWorkStealing && cfg.Parallel != ParallelTopLevel {
 		return fmt.Errorf("core: unknown parallel mode %d: %w", int(cfg.Parallel), ErrConfig)
 	}
+	if cfg.Intersect != IntersectAdaptive && cfg.Intersect != IntersectSorted &&
+		cfg.Intersect != IntersectBitset {
+		return fmt.Errorf("core: unknown intersect mode %d: %w", int(cfg.Intersect), ErrConfig)
+	}
 	if cfg.Ordering != OrderNatural && cfg.Ordering != OrderDegree &&
 		cfg.Ordering != OrderDegeneracy && cfg.Ordering != OrderRandom {
 		return fmt.Errorf("core: unknown ordering %d: %w", int(cfg.Ordering), ErrConfig)
@@ -230,7 +273,11 @@ func EnumerateContext(ctx context.Context, g *uncertain.Graph, alpha float64, vi
 	}
 	if cfg.MinSize >= 2 {
 		before := work.NumEdges()
-		work = sharedNeighborhoodFilter(work, cfg.MinSize)
+		filtered, ferr := sharedNeighborhoodFilter(work, cfg.MinSize)
+		if ferr != nil {
+			return stats, ferr
+		}
+		work = filtered
 		stats.FilterRemoved = before - work.NumEdges()
 	}
 
@@ -252,19 +299,27 @@ func EnumerateContext(ctx context.Context, g *uncertain.Graph, alpha float64, vi
 		work = relabeled
 	}
 
+	// The bit-row index mirrors dense adjacency rows of the final working
+	// graph (post-prune, post-filter, post-relabel) for the word-parallel
+	// intersection kernel; nil when the graph or policy rules it out.
+	bits := buildBitAdjacency(work, cfg.Intersect)
+
 	e := &enumerator{
-		g:        work,
-		alpha:    alpha,
-		minSize:  cfg.MinSize,
-		visit:    visit,
-		newToOld: newToOld,
-		identity: identity,
-		checkInv: cfg.CheckInvariants,
-		stats:    &stats,
-		ctl:      ctl,
-		tick:     abortCheckInterval,
-		emitBuf:  make([]int, 0, 64),
-		cbuf:     make([]int32, 0, 128),
+		g:             work,
+		alpha:         alpha,
+		minSize:       cfg.MinSize,
+		visit:         visit,
+		newToOld:      newToOld,
+		identity:      identity,
+		checkInv:      cfg.CheckInvariants,
+		intersectMode: cfg.Intersect,
+		bits:          bits,
+		mask:          bits.newMask(),
+		stats:         &stats,
+		ctl:           ctl,
+		tick:          abortCheckInterval,
+		emitBuf:       make([]int, 0, 64),
+		cbuf:          make([]int32, 0, 128),
 	}
 	switch {
 	case cfg.Workers > 1 && cfg.Parallel == ParallelTopLevel:

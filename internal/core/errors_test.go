@@ -175,8 +175,8 @@ func TestFreeListRecycling(t *testing.T) {
 		t.Fatal("takeFrame on empty list")
 	}
 	f.C = append(f.C, 1, 2, 3)
-	f.I = append(f.I, entry{1, 0.5})
-	f.X = append(f.X, entry{0, 0.5})
+	f.I = f.I.push(1, 0.5)
+	f.X = f.X.push(0, 0.5)
 	w.recycle(f)
 	if len(w.free) != 1 {
 		t.Fatalf("free list has %d frames, want 1", len(w.free))
@@ -185,10 +185,10 @@ func TestFreeListRecycling(t *testing.T) {
 	if g != f {
 		t.Fatal("takeFrame did not reuse the recycled frame")
 	}
-	if len(g.C) != 0 || len(g.I) != 0 || len(g.X) != 0 {
+	if len(g.C) != 0 || g.I.length() != 0 || g.X.length() != 0 {
 		t.Fatal("recycled frame not reset")
 	}
-	if cap(g.C) < 3 || cap(g.I) < 1 {
+	if cap(g.C) < 3 || cap(g.I.v) < 1 || cap(g.I.r) < 1 {
 		t.Fatal("recycled frame lost its slice capacity")
 	}
 

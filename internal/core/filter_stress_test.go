@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// hashFilterReference is the pre-CSR implementation of the Modani–Dey
+// prefilter (per-vertex hash maps), kept verbatim as the semantic oracle
+// for the CSR rewrite.
+func hashFilterReference(g *uncertain.Graph, t int) *uncertain.Graph {
+	if t < 3 {
+		return g
+	}
+	n := g.NumVertices()
+	adj := make([]map[int32]float64, n)
+	for u := 0; u < n; u++ {
+		row, probs := g.Adjacency(u)
+		adj[u] = make(map[int32]float64, len(row))
+		for i, v := range row {
+			adj[u][v] = probs[i]
+		}
+	}
+	commonCount := func(u, v int32) int {
+		a, b := adj[u], adj[v]
+		if len(a) > len(b) {
+			a, b = b, a
+		}
+		c := 0
+		for w := range a {
+			if _, ok := b[w]; ok {
+				c++
+			}
+		}
+		return c
+	}
+	removeEdge := func(u, v int32) {
+		delete(adj[u], v)
+		delete(adj[v], u)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := int32(0); u < int32(n); u++ {
+			for v := range adj[u] {
+				if u < v && commonCount(u, v) < t-2 {
+					removeEdge(u, v)
+					changed = true
+				}
+			}
+		}
+		for u := int32(0); u < int32(n); u++ {
+			if len(adj[u]) == 0 {
+				continue
+			}
+			qualified := 0
+			for v := range adj[u] {
+				if commonCount(u, v) >= t-2 {
+					qualified++
+				}
+			}
+			if qualified < t-1 {
+				for v := range adj[u] {
+					removeEdge(u, v)
+				}
+				changed = true
+			}
+		}
+	}
+	b := uncertain.NewBuilder(n)
+	for u := int32(0); u < int32(n); u++ {
+		for v, p := range adj[u] {
+			if u < v {
+				_ = b.AddEdge(int(u), int(v), p)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestCSRFilterMatchesHashReference drives the CSR prefilter against the
+// old hash-map implementation on random graphs: identical surviving edge
+// sets and probabilities for every threshold.
+func TestCSRFilterMatchesHashReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 40; trial++ {
+		g := randomDyadic(8+rng.Intn(30), 0.15+0.7*rng.Float64(), rng)
+		for _, minSize := range []int{3, 4, 5, 7} {
+			want := hashFilterReference(g, minSize)
+			got := mustFilter(t, g, minSize)
+			if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+				t.Fatalf("trial %d t=%d: CSR filter diverges from hash reference\ngot  %v\nwant %v",
+					trial, minSize, got.Edges(), want.Edges())
+			}
+		}
+	}
+}

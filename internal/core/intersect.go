@@ -1,125 +1,217 @@
 package core
 
-// Adaptive sorted-set intersection for GenerateI/GenerateX (Algorithms 3
-// and 4). Both algorithms intersect a sorted entry list (candidates or
-// witnesses) with a sorted adjacency row, extending each surviving
-// multiplier by the edge probability and filtering against the threshold.
+import "math/bits"
+
+// Density-adaptive sorted-set intersection for GenerateI/GenerateX
+// (Algorithms 3 and 4). Both algorithms intersect a sorted entry set
+// (candidates or witnesses) with a sorted adjacency row, extending each
+// surviving multiplier by the edge probability and filtering against the
+// threshold.
 //
-// On balanced inputs a linear two-pointer merge is optimal. On hub-heavy
-// power-law graphs the two sides routinely differ by orders of magnitude —
-// a short tail intersected with a hub's multi-thousand-entry row — and the
-// merge wastes its time stepping through the long side one element at a
-// time. When the lengths differ by gallopRatio or more, the kernel instead
-// walks the short side and advances through the long side by galloping
-// (exponential search followed by binary search), making each step
-// O(log gap) instead of O(gap).
+// Three regimes, chosen per node:
+//
+//   - On balanced inputs a linear two-pointer merge is optimal.
+//   - On hub-heavy power-law graphs the two sides routinely differ by
+//     orders of magnitude — a short tail intersected with a hub's
+//     multi-thousand-entry row — and the merge wastes its time stepping
+//     through the long side one element at a time. When the lengths differ
+//     by gallopRatio or more, the kernel instead walks the short side and
+//     advances through the long side by galloping (exponential search
+//     followed by binary search), making each step O(log gap).
+//   - On dense neighborhoods — the entry set packed tightly into the
+//     remaining vertex range, against a long row — both sorted kernels pay
+//     per-element comparisons for members that almost all survive. There
+//     the kernel switches representation: it scatters the entry set's
+//     vertex lane into a worker-local bit mask and intersects with the
+//     row's precomputed bit row (bitrows.go) by word-parallel AND, visiting
+//     only the 64-element words the set occupies. Matches pop out of the
+//     AND words via trailing-zero iteration; the multiplier comes from a
+//     linear cursor over the (sorted) source lanes and the edge probability
+//     from a galloping cursor over the row. This is the BBMC-style
+//     bit-parallel kernel of the dense-graph clique literature, restricted
+//     to the nodes where the density makes it pay.
 
 // gallopRatio is the length disparity at which the merge switches to
 // galloping. Below ~8× the branchy binary search costs more than the linear
 // steps it replaces.
 const gallopRatio = 8
 
-// intersectEntries appends to dst every vertex common to src (sorted
-// entries) and row (sorted adjacency with parallel probs) whose extended
-// multiplier src[i].r·probs[j] still meets thr, and returns dst. dst must
-// have capacity for min(len(src), len(row)) appends.
+const (
+	// bitsetMinSrc is the smallest entry set routed to the bitset kernel
+	// under the adaptive policy: below it the mask setup dominates and the
+	// sorted kernels win.
+	bitsetMinSrc = 4
+	// bitsetRowRatio is the minimum row/src length ratio for the bitset
+	// kernel: when the row is not meaningfully longer than the set, the
+	// two-pointer merge is already near optimal.
+	bitsetRowRatio = 1
+	// bitsetSpanPerEntry bounds the vertex span the mask may cover per set
+	// element (one 64-bit word each): the set must be dense relative to the
+	// remaining vertex range or clearing and ANDing the span costs more
+	// than the comparisons it saves.
+	bitsetSpanPerEntry = 64
+)
+
+// useBitset is the per-node representation choice: it reports whether the
+// (src, row) intersection should run on the word-parallel bitset kernel.
+// rowBits availability is checked by the caller.
+func (e *enumerator) useBitset(srcV []int32, nrow int) bool {
+	if e.intersectMode == IntersectBitset {
+		return true
+	}
+	ns := len(srcV)
+	if ns < bitsetMinSrc || nrow < bitsetRowRatio*ns {
+		return false
+	}
+	span := int(srcV[ns-1]) - int(srcV[0]) + 1
+	return span <= ns*bitsetSpanPerEntry
+}
+
+// intersectSets appends to dst every vertex common to src (a sorted entry
+// set) and row (sorted adjacency with parallel probs) whose extended
+// multiplier src.r[i]·probs[j] still meets thr. dst must have capacity for
+// min(src.length(), len(row)) pushes. rowBits, when non-nil, is the row's
+// bit representation (bitrows.go) and enables the word-parallel kernel;
+// the per-node policy is useBitset. dst and src are passed by pointer so
+// the hot per-node call keeps its arguments in registers — by-value
+// entrySets (six words each) spill to the stack on every search node.
 //
 // thr is the hoisted threshold α/clq(C∪{u}): comparing r' ≥ α/q' once per
 // match replaces the q'·r' ≥ α multiply of the textbook formulation. The
 // two comparisons can disagree by at most one ulp of rounding on the
-// boundary; every ordering and engine uses the same rule, so results stay
-// internally consistent.
-func intersectEntries(dst, src []entry, row []int32, probs []float64, thr float64) []entry {
+// boundary; every ordering, engine, and representation uses the same rule,
+// so results stay internally consistent.
+func (e *enumerator) intersectSets(dst, src *entrySet, row []int32, probs []float64, rowBits []uint64, thr float64) {
+	if len(src.v) == 0 || len(row) == 0 {
+		return
+	}
+	if rowBits != nil && e.useBitset(src.v, len(row)) {
+		e.stats.BitsetOps++
+		e.intersectBitset(dst, src, row, probs, rowBits, thr)
+		return
+	}
+	// Re-slicing the secondary lanes to the primary lane's length lets the
+	// compiler drop their bounds checks inside the loops (the AoS layout
+	// got that for free; SoA has to state the lane parallelism explicitly).
+	// Survivors are written by index through the capacity-extended output
+	// lanes — one cursor bump instead of two append length updates.
+	srcV := src.v
+	srcR := src.r[:len(srcV)]
+	probs = probs[:len(row)]
+	k := len(dst.v)
+	dv := dst.v[:cap(dst.v)]
+	dr := dst.r[:cap(dst.v)]
 	switch {
-	case len(src) == 0 || len(row) == 0:
-		return dst
-	case len(row) >= gallopRatio*len(src):
+	case len(row) >= gallopRatio*len(srcV):
 		j := 0
-		for i := range src {
-			j = gallopRow(row, j, src[i].v)
+		for i, v := range srcV {
+			j = gallop32(row, j, v)
 			if j == len(row) {
 				break
 			}
-			if row[j] == src[i].v {
-				if r2 := src[i].r * probs[j]; r2 >= thr {
-					dst = append(dst, entry{src[i].v, r2})
+			if row[j] == v {
+				if r2 := srcR[i] * probs[j]; r2 >= thr {
+					dv[k] = v
+					dr[k] = r2
+					k++
 				}
 				j++
 			}
 		}
-	case len(src) >= gallopRatio*len(row):
+	case len(srcV) >= gallopRatio*len(row):
 		i := 0
-		for j := range row {
-			i = gallopEntries(src, i, row[j])
-			if i == len(src) {
+		for j, v := range row {
+			i = gallop32(srcV, i, v)
+			if i == len(srcV) {
 				break
 			}
-			if src[i].v == row[j] {
-				if r2 := src[i].r * probs[j]; r2 >= thr {
-					dst = append(dst, entry{row[j], r2})
+			if srcV[i] == v {
+				if r2 := srcR[i] * probs[j]; r2 >= thr {
+					dv[k] = v
+					dr[k] = r2
+					k++
 				}
 				i++
 			}
 		}
 	default:
 		i, j := 0, 0
-		for i < len(src) && j < len(row) {
+		for i < len(srcV) && j < len(row) {
 			switch {
-			case src[i].v < row[j]:
+			case srcV[i] < row[j]:
 				i++
-			case src[i].v > row[j]:
+			case srcV[i] > row[j]:
 				j++
 			default:
-				if r2 := src[i].r * probs[j]; r2 >= thr {
-					dst = append(dst, entry{src[i].v, r2})
+				if r2 := srcR[i] * probs[j]; r2 >= thr {
+					dv[k] = srcV[i]
+					dr[k] = r2
+					k++
 				}
 				i++
 				j++
 			}
 		}
 	}
-	return dst
+	dst.v, dst.r = dv[:k], dr[:k]
 }
 
-// gallopRow returns the smallest k ≥ from with row[k] ≥ v, or len(row):
-// exponential probes double the step until they overshoot, then a binary
-// search pins the boundary inside the last doubling window.
-func gallopRow(row []int32, from int, v int32) int {
-	n := len(row)
-	if from >= n || row[from] >= v {
-		return from
+// intersectBitset is the word-parallel kernel. It scatters src's vertex
+// lane into the worker-local mask (clearing only the words the set spans),
+// ANDs the mask against the row's bit words, and walks the set bits of
+// each AND word: a set bit is a match by construction, so the inner loop
+// touches the multiplier lane and the probability array only for
+// survivors. The mask covers exactly src's span, so per-node cost is
+// O(span/64 + |src| + matches·log gap) independent of the row length.
+func (e *enumerator) intersectBitset(dst, src *entrySet, row []int32, probs []float64, rowBits []uint64, thr float64) {
+	mask := e.mask
+	wlo := int(src.v[0]) >> 6
+	whi := int(src.v[len(src.v)-1]) >> 6
+	for k := wlo; k <= whi; k++ {
+		mask[k] = 0
 	}
-	lo, step := from, 1
-	hi := from + step
-	for hi < n && row[hi] < v {
-		lo = hi
-		step <<= 1
-		hi = from + step
+	for _, v := range src.v {
+		mask[v>>6] |= 1 << (uint32(v) & 63)
 	}
-	if hi > n {
-		hi = n
-	}
-	// row[lo] < v, and hi == n or row[hi] ≥ v.
-	for lo+1 < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if row[mid] < v {
-			lo = mid
-		} else {
-			hi = mid
+	srcV := src.v
+	srcR := src.r[:len(srcV)]
+	n := len(dst.v)
+	dv := dst.v[:cap(dst.v)]
+	dr := dst.r[:cap(dst.v)]
+	si, j := 0, 0
+	for k := wlo; k <= whi; k++ {
+		w := mask[k] & rowBits[k]
+		for w != 0 {
+			v := int32(k<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			for srcV[si] < v {
+				si++
+			}
+			// The row bit is set, so v ∈ row and the gallop lands on it.
+			j = gallop32(row, j, v)
+			if r2 := srcR[si] * probs[j]; r2 >= thr {
+				dv[n] = v
+				dr[n] = r2
+				n++
+			}
+			si++
+			j++
 		}
 	}
-	return hi
+	dst.v, dst.r = dv[:n], dr[:n]
 }
 
-// gallopEntries is gallopRow over the vertex field of an entry list.
-func gallopEntries(src []entry, from int, v int32) int {
-	n := len(src)
-	if from >= n || src[from].v >= v {
+// gallop32 returns the smallest k ≥ from with xs[k] ≥ v, or len(xs):
+// exponential probes double the step until they overshoot, then a binary
+// search pins the boundary inside the last doubling window.
+func gallop32(xs []int32, from int, v int32) int {
+	n := len(xs)
+	if from >= n || xs[from] >= v {
 		return from
 	}
 	lo, step := from, 1
 	hi := from + step
-	for hi < n && src[hi].v < v {
+	for hi < n && xs[hi] < v {
 		lo = hi
 		step <<= 1
 		hi = from + step
@@ -127,9 +219,10 @@ func gallopEntries(src []entry, from int, v int32) int {
 	if hi > n {
 		hi = n
 	}
+	// xs[lo] < v, and hi == n or xs[hi] ≥ v.
 	for lo+1 < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if src[mid].v < v {
+		if xs[mid] < v {
 			lo = mid
 		} else {
 			hi = mid

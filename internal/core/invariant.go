@@ -23,7 +23,7 @@ func nearlyEqual(a, b float64) bool {
 // Lemmas 6 and 7 of the paper, recomputing everything from scratch. It
 // panics on the first violation; it is wired to Config.CheckInvariants and
 // used only by the test suite (cost per call: O(n·|C|)).
-func (e *enumerator) verifyInvariants(C []int32, q float64, I, X []entry) {
+func (e *enumerator) verifyInvariants(C []int32, q float64, I, X entrySet) {
 	set := make([]int, len(C))
 	for i, v := range C {
 		set[i] = int(v)
@@ -66,30 +66,30 @@ func (e *enumerator) verifyInvariants(C []int32, q float64, I, X []entry) {
 			panic(fmt.Sprintf("core invariant: %s entry %d does not meet α: %v < %v", kind, ent.v, ext, e.alpha))
 		}
 	}
-	for i, ent := range I {
-		if i > 0 && I[i-1].v >= ent.v {
+	for i, v := range I.v {
+		if i > 0 && I.v[i-1] >= v {
 			panic("core invariant: I not sorted")
 		}
-		checkEntry("I", ent, true)
+		checkEntry("I", entry{v, I.r[i]}, true)
 	}
-	for i, ent := range X {
-		if i > 0 && X[i-1].v >= ent.v {
+	for i, v := range X.v {
+		if i > 0 && X.v[i-1] >= v {
 			panic("core invariant: X not sorted")
 		}
-		checkEntry("X", ent, false)
+		checkEntry("X", entry{v, X.r[i]}, false)
 	}
 
 	// Completeness (the "all tuples" part of Lemmas 6 and 7): every vertex
 	// that could extend C must appear in I or X. X may legitimately be
 	// incomplete under LARGE-MULE's size pruning, so the backward check only
 	// runs for plain MULE.
-	inI := make(map[int32]bool, len(I))
-	for _, ent := range I {
-		inI[ent.v] = true
+	inI := make(map[int32]bool, I.length())
+	for _, v := range I.v {
+		inI[v] = true
 	}
-	inX := make(map[int32]bool, len(X))
-	for _, ent := range X {
-		inX[ent.v] = true
+	inX := make(map[int32]bool, X.length())
+	for _, v := range X.v {
+		inX[v] = true
 	}
 	for w := 0; w < e.g.NumVertices(); w++ {
 		if inC[int32(w)] {

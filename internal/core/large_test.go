@@ -9,6 +9,18 @@ import (
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
+// mustFilter runs the shared-neighborhood prefilter, failing the test on a
+// rebuild error (the CSR assembly is infallible for well-formed inputs, so
+// any error is a filter bug).
+func mustFilter(t *testing.T, g *uncertain.Graph, minSize int) *uncertain.Graph {
+	t.Helper()
+	fg, err := sharedNeighborhoodFilter(g, minSize)
+	if err != nil {
+		t.Fatalf("sharedNeighborhoodFilter(t=%d): %v", minSize, err)
+	}
+	return fg
+}
+
 // filterBySize keeps cliques with at least t vertices.
 func filterBySize(cliques [][]int, t int) [][]int {
 	var out [][]int
@@ -108,7 +120,7 @@ func TestSharedNeighborhoodFilterSafety(t *testing.T) {
 			// against plain MULE + size filter.
 			want := filterBySize(mustCollect(t, g, alpha, Config{}), minSize)
 			pg := g.PruneAlpha(alpha)
-			fg := sharedNeighborhoodFilter(pg, minSize)
+			fg := mustFilter(t, pg, minSize)
 			got := filterBySize(mustCollect(t, fg, alpha, Config{}), minSize)
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("filter lost cliques: t=%d α=%v\nfiltered = %v\nwant     = %v",
@@ -125,12 +137,12 @@ func TestSharedNeighborhoodFilterRemovesHopelessEdges(t *testing.T) {
 		_ = b.AddEdge(u, u+1, 0.9)
 	}
 	g := b.Build()
-	fg := sharedNeighborhoodFilter(g, 3)
+	fg := mustFilter(t, g, 3)
 	if fg.NumEdges() != 0 {
 		t.Fatalf("path filtered for t=3 kept %d edges", fg.NumEdges())
 	}
 	// t=2 is vacuous.
-	if fg2 := sharedNeighborhoodFilter(g, 2); fg2.NumEdges() != g.NumEdges() {
+	if fg2 := mustFilter(t, g, 2); fg2.NumEdges() != g.NumEdges() {
 		t.Fatal("t=2 filter should be identity")
 	}
 }
@@ -149,7 +161,7 @@ func TestSharedNeighborhoodFilterIterates(t *testing.T) {
 	_ = b.AddEdge(3, 5, 0.9)
 	_ = b.AddEdge(4, 5, 0.9)
 	g := b.Build()
-	fg := sharedNeighborhoodFilter(g, 4)
+	fg := mustFilter(t, g, 4)
 	// The pendant triangle cannot be part of a 4-clique; only K4 survives.
 	if fg.NumEdges() != 6 {
 		t.Fatalf("filter kept %d edges, want the 6 K4 edges", fg.NumEdges())

@@ -4,30 +4,36 @@ import (
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
-// entry is one element of the candidate set I or the witness set X: vertex v
-// together with the multiplier r such that clq(C ∪ {v}) = clq(C)·r for the
-// current working clique C. Maintaining r incrementally is the paper's key
-// optimization (§4, "a key insight is to reduce this time to O(1)").
+// entry is one element of a candidate or witness set in array-of-structs
+// form: vertex v together with the multiplier r such that clq(C ∪ {v}) =
+// clq(C)·r for the current working clique C. Maintaining r incrementally is
+// the paper's key optimization (§4, "a key insight is to reduce this time
+// to O(1)"). The enumeration kernel itself stores sets structure-of-arrays
+// (entrySet, arena.go) so the vertex scans touch 4 bytes per element; entry
+// survives for the paths that don't run on the arena (maxclique.go).
 type entry struct {
 	v int32
 	r float64
 }
 
 type enumerator struct {
-	g        *uncertain.Graph
-	alpha    float64
-	minSize  int
-	visit    Visitor
-	newToOld []int
-	identity bool
-	checkInv bool
-	stats    *Stats
-	ctl      *runControl
-	tick     int // nodes until the next ctl.poll; amortizes the abort check
-	arena    entryArena
-	emitBuf  []int
-	cbuf     []int32 // working-clique stack for the serial recursion
-	stopped  bool
+	g             *uncertain.Graph
+	alpha         float64
+	minSize       int
+	visit         Visitor
+	newToOld      []int
+	identity      bool
+	checkInv      bool
+	intersectMode IntersectMode
+	bits          *bitAdjacency // shared read-only bit-row index; may be nil
+	mask          []uint64      // worker-local scatter mask for the bitset kernel
+	stats         *Stats
+	ctl           *runControl
+	tick          int // nodes until the next ctl.poll; amortizes the abort check
+	arena         entryArena
+	emitBuf       []int
+	cbuf          []int32 // working-clique stack for the serial recursion
+	stopped       bool
 }
 
 // countNode accounts one search-tree node and polls the run control every
@@ -49,26 +55,29 @@ func (e *enumerator) countNode() bool {
 	return false
 }
 
-// workerClone returns an enumerator that shares e's graph and configuration
-// but owns its stats, arena, and scratch buffers, with the visitor routed
-// through the run's shared serialization/early-stop state. Both parallel
-// engines build their per-worker enumerators with it; everything mutable is
-// worker-local (stats are merged deterministically after the run, arenas
-// never cross workers).
+// workerClone returns an enumerator that shares e's graph, configuration,
+// and bit-row index but owns its stats, arena, mask, and scratch buffers,
+// with the visitor routed through the run's shared serialization/early-stop
+// state. Both parallel engines build their per-worker enumerators with it;
+// everything mutable is worker-local (stats are merged deterministically
+// after the run, arenas and masks never cross workers).
 func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
 	return &enumerator{
-		g:        e.g,
-		alpha:    e.alpha,
-		minSize:  e.minSize,
-		visit:    s.wrapVisitor(),
-		newToOld: e.newToOld,
-		identity: e.identity,
-		checkInv: e.checkInv,
-		stats:    stats,
-		ctl:      e.ctl,
-		tick:     abortCheckInterval,
-		emitBuf:  make([]int, 0, 64),
-		cbuf:     make([]int32, 0, 128),
+		g:             e.g,
+		alpha:         e.alpha,
+		minSize:       e.minSize,
+		visit:         s.wrapVisitor(),
+		newToOld:      e.newToOld,
+		identity:      e.identity,
+		checkInv:      e.checkInv,
+		intersectMode: e.intersectMode,
+		bits:          e.bits,
+		mask:          e.bits.newMask(),
+		stats:         stats,
+		ctl:           e.ctl,
+		tick:          abortCheckInterval,
+		emitBuf:       make([]int, 0, 64),
+		cbuf:          make([]int32, 0, 128),
 	}
 }
 
@@ -80,9 +89,9 @@ func (e *enumerator) runSerial() {
 	m := e.arena.mark()
 	rootI := e.arena.alloc(n)
 	for v := 0; v < n; v++ {
-		rootI = append(rootI, entry{int32(v), 1})
+		rootI = rootI.push(int32(v), 1)
 	}
-	rootX := e.arena.alloc(n) // filled by the root loop's witness appends
+	rootX := e.arena.alloc(n) // filled by the root loop's witness pushes
 	e.recurse(e.cbuf[:0], 1, rootI, rootX)
 	e.arena.release(m)
 }
@@ -95,12 +104,17 @@ func (e *enumerator) runSerial() {
 // every (x,s) ∈ X has x ∉ C, x < max(C) and clq(C∪{x}) = q·s ≥ α. Both I
 // and X are sorted ascending by vertex.
 //
-// Memory discipline: I and X are arena slices owned by the caller; X was
-// allocated with len(I) spare capacity so the witness appends below never
-// reallocate. Each iteration marks the arena, carves I' and X' for the
-// child, and releases the mark when the subtree returns — steady state does
-// no heap allocation.
-func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
+// Memory discipline: I and X are arena sets owned by the caller; X was
+// allocated with I.length() spare capacity so the witness pushes below
+// never reallocate. Each iteration marks the arena, carves I' and X' for
+// the child, and releases the mark when the subtree returns — steady state
+// does no heap allocation. The recursive call itself takes the sets by
+// value — recursion makes escape analysis treat pointer arguments
+// conservatively, and a heap-escaping set per node would cost far more
+// than the six copied words — while the non-recursive helpers underneath
+// (generateI/generateX/intersectSets) take pointers so the per-node hot
+// calls keep their arguments in registers.
+func (e *enumerator) recurse(C []int32, q float64, I, X entrySet) {
 	if e.stopped || e.countNode() {
 		return
 	}
@@ -110,21 +124,23 @@ func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
 	if e.checkInv {
 		e.verifyInvariants(C, q, I, X)
 	}
-	if len(I) == 0 && len(X) == 0 {
+	if I.length() == 0 && X.length() == 0 {
 		e.emit(C, q)
 		return
 	}
-	for idx := 0; idx < len(I); idx++ {
+	for idx := 0; idx < I.length(); idx++ {
 		if e.stopped {
 			return
 		}
-		u, r := I[idx].v, I[idx].r
+		u, r := I.v[idx], I.r[idx]
 		q2 := q * r
 		m := e.arena.mark()
 		// I entries beyond idx are exactly those greater than u, since I is
 		// sorted: GenerateI only ever inspects them.
-		I2 := e.generateI(I[idx+1:], u, q2)
-		if e.minSize >= 2 && len(C)+1+len(I2) < e.minSize {
+		tail := entrySet{I.v[idx+1:], I.r[idx+1:]}
+		var I2, X2 entrySet
+		e.generateI(&I2, &tail, u, q2)
+		if e.minSize >= 2 && len(C)+1+I2.length() < e.minSize {
 			// Algorithm 6 line 8: this subtree cannot reach a clique of the
 			// requested size; skip it (including the X update — every
 			// clique that u could witness against is itself below size t).
@@ -132,10 +148,10 @@ func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
 			e.arena.release(m)
 			continue
 		}
-		X2 := e.generateX(X, u, q2, len(I2))
+		e.generateX(&X2, &X, u, q2, I2.length())
 		e.recurse(append(C, u), q2, I2, X2)
 		e.arena.release(m)
-		X = append(X, entry{u, r})
+		X = X.push(u, r)
 	}
 }
 
@@ -143,33 +159,34 @@ func (e *enumerator) recurse(C []int32, q float64, I, X []entry) {
 // suffix of the parent's sorted I); the result keeps those that are adjacent
 // to u and still meet the threshold, with multipliers extended by p({w,u}).
 // The intersection with u's adjacency row (restricted to neighbors > u via
-// the AdjacencySuffix fast path) is adaptive: linear merge on balanced
-// inputs, galloping when one side dominates — see intersect.go.
-func (e *enumerator) generateI(tail []entry, u int32, q2 float64) []entry {
+// the AdjacencySuffix fast path) is density-adaptive: linear merge on
+// balanced inputs, galloping when one side dominates, word-parallel AND
+// against u's bit row on dense nodes — see intersect.go. The bit row covers
+// the full row, but the mask only ever holds tail vertices (> u), so the
+// AND lands exactly on the suffix.
+func (e *enumerator) generateI(out, tail *entrySet, u int32, q2 float64) {
 	row, probs := e.g.AdjacencySuffix(int(u), u)
-	maxOut := minInt(len(tail), len(row))
-	out := e.arena.alloc(maxOut)
-	out = intersectEntries(out, tail, row, probs, e.alpha/q2)
-	e.arena.shrink(maxOut, len(out))
-	e.stats.CandidateOps += int64(len(out))
-	return out
+	maxOut := minInt(tail.length(), len(row))
+	*out = e.arena.alloc(maxOut)
+	e.intersectSets(out, tail, row, probs, e.bits.row(u), e.alpha/q2)
+	e.arena.shrink(maxOut, out.length())
+	e.stats.CandidateOps += int64(out.length())
 }
 
 // generateX is Algorithm 4: the same filter-and-extend step applied to the
 // witness set. All X entries are < u (old witnesses are below max(C), and
 // witnesses added during the loop are candidates that precede u), so X stays
-// sorted and the intersection mirrors generateI. extra reserves append room
+// sorted and the intersection mirrors generateI. extra reserves push room
 // beyond the intersection: the child's loop pushes one witness per expanded
-// candidate, so passing the child's |I'| guarantees its appends stay inside
-// the arena slice.
-func (e *enumerator) generateX(X []entry, u int32, q2 float64, extra int) []entry {
+// candidate, so passing the child's |I'| guarantees its pushes stay inside
+// the arena set.
+func (e *enumerator) generateX(out, X *entrySet, u int32, q2 float64, extra int) {
 	row, probs := e.g.Adjacency(int(u))
-	maxOut := minInt(len(X), len(row))
-	out := e.arena.alloc(maxOut + extra)
-	out = intersectEntries(out, X, row, probs, e.alpha/q2)
-	e.arena.shrink(maxOut+extra, len(out)+extra)
-	e.stats.WitnessOps += int64(len(out))
-	return out
+	maxOut := minInt(X.length(), len(row))
+	*out = e.arena.alloc(maxOut + extra)
+	e.intersectSets(out, X, row, probs, e.bits.row(u), e.alpha/q2)
+	e.arena.shrink(maxOut+extra, out.length()+extra)
+	e.stats.WitnessOps += int64(out.length())
 }
 
 // emit reports C (translated back to original vertex IDs) as an α-maximal

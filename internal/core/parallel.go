@@ -23,12 +23,17 @@ import (
 func (e *enumerator) runTopLevel(workers int) {
 	n := e.g.NumVertices()
 	s := &wsShared{ctl: e.ctl, visit: e.visit}
-	locals := make([]Stats, workers)
+	// Per-worker stats are separate heap blocks rather than adjacent slots
+	// of one slice, so the per-node counting is unlikely to false-share
+	// across workers (separate allocations can still land on neighboring
+	// cache lines; a flat []Stats guarantees that they do).
+	locals := make([]*Stats, workers)
 
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
+		locals[i] = new(Stats)
 		wg.Add(1)
 		go func(local *enumerator) {
 			defer wg.Done()
@@ -42,11 +47,11 @@ func (e *enumerator) runTopLevel(workers int) {
 					return // the visitor or the run control latched the stop
 				}
 			}
-		}(e.workerClone(&locals[i], s))
+		}(e.workerClone(locals[i], s))
 	}
 	wg.Wait()
 	for i := range locals {
-		e.stats.merge(&locals[i])
+		e.stats.merge(locals[i])
 	}
 	e.stopped = e.ctl.stop.Load()
 	// The root call itself is accounted once, as in the serial driver.
@@ -64,25 +69,25 @@ func (e *enumerator) branch(u int32) {
 	k := len(row) - len(irow) // witnesses: row[:k]
 
 	m := e.arena.mark()
-	// X holds ≤ k filtered witnesses plus ≤ len(irow) appends from the
+	// X holds ≤ k filtered witnesses plus ≤ len(irow) pushes from the
 	// recursion's loop, so the full row length bounds its capacity.
 	X := e.arena.alloc(len(row))
 	for i := 0; i < k; i++ {
 		if p := probs[i]; p >= e.alpha {
-			X = append(X, entry{row[i], p})
+			X = X.push(row[i], p)
 		}
 	}
 	I := e.arena.alloc(len(irow))
 	for i, w := range irow {
 		if p := iprobs[i]; p >= e.alpha {
-			I = append(I, entry{w, p})
+			I = I.push(w, p)
 		}
 	}
-	e.arena.shrink(len(irow), len(I))
+	e.arena.shrink(len(irow), I.length())
 	// The p < α skips above are only reachable with SkipPrune.
-	e.stats.CandidateOps += int64(len(I))
-	e.stats.WitnessOps += int64(len(X))
-	if e.minSize >= 2 && 1+len(I) < e.minSize {
+	e.stats.CandidateOps += int64(I.length())
+	e.stats.WitnessOps += int64(X.length())
+	if e.minSize >= 2 && 1+I.length() < e.minSize {
 		e.stats.SizePruned++
 		e.arena.release(m)
 		return
@@ -107,6 +112,7 @@ func (s *Stats) merge(o *Stats) {
 	}
 	s.CandidateOps += o.CandidateOps
 	s.WitnessOps += o.WitnessOps
+	s.BitsetOps += o.BitsetOps
 	s.PrunedEdges += o.PrunedEdges
 	s.SizePruned += o.SizePruned
 	s.FilterRemoved += o.FilterRemoved

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -44,6 +45,90 @@ func TestWorkStealingMatchesSerialRandom(t *testing.T) {
 				t.Fatalf("trial %d (minSize=%d): stats diverge\nserial = %+v\nws     = %+v",
 					trial, minSize, sstats, pstats)
 			}
+		}
+	}
+}
+
+// TestStealCounterStorm hammers stealFrom from many concurrent thieves —
+// the exact interleaving where incrementing engine-wide counters after
+// dropping the victim's deque mutex would race (two thieves robbing
+// different victims increment concurrently). The counters live on
+// thief-private wsWorker fields, so this test under -race is the
+// regression guard against moving them back onto shared stats; frame
+// conservation (every split mints exactly one frame) cross-checks that no
+// increment was lost.
+func TestStealCounterStorm(t *testing.T) {
+	const (
+		thieves = 16
+		seeds   = 64
+		rounds  = 200
+	)
+	workers := make([]*wsWorker, thieves)
+	for i := range workers {
+		workers[i] = &wsWorker{id: i}
+	}
+	// Seed every deque with splittable frames (≥ 2 pending candidates each)
+	// so lone-frame steals exercise the split path too.
+	I := entrySet{v: []int32{0, 1, 2, 3}, r: []float64{1, 1, 1, 1}}
+	for i := 0; i < seeds; i++ {
+		w := workers[i%thieves]
+		w.deque.push(&wsFrame{q: 1, I: I, end: I.length()})
+	}
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(w *wsWorker) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w.id)))
+			for r := 0; r < rounds; r++ {
+				v := workers[rng.Intn(thieves)]
+				if v == w {
+					continue
+				}
+				if f := w.stealFrom(v); f != nil {
+					// Keep the frame in circulation so conservation holds
+					// and other thieves can re-steal it.
+					w.deque.push(f)
+				}
+			}
+		}(workers[i])
+	}
+	wg.Wait()
+	var steals, splits, frames int64
+	for _, w := range workers {
+		steals += w.steals
+		splits += w.splits
+		frames += int64(len(w.deque.frames))
+	}
+	if steals == 0 || splits == 0 {
+		t.Fatalf("storm exercised nothing: %d steals, %d splits", steals, splits)
+	}
+	if splits > steals {
+		t.Fatalf("%d splits but only %d steals (every split is a steal)", splits, steals)
+	}
+	if frames != seeds+splits {
+		t.Fatalf("frame conservation broken: %d frames in deques, want %d seeds + %d splits",
+			frames, seeds, splits)
+	}
+}
+
+// TestWorkStealingStatsAggregate checks that the merged engine stats keep
+// the Steals ≥ Splits invariant and the output stays equivalent under a
+// steal-heavy configuration (granularity 1, many workers).
+func TestWorkStealingStatsAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	g := randomDyadic(42, 0.55, rng)
+	serial := mustCollect(t, g, 0.0625, Config{})
+	for round := 0; round < 4; round++ {
+		got, stats, err := CollectWith(g, 0.0625, Config{Workers: 16, StealGranularity: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("round %d: steal-heavy run diverged from serial", round)
+		}
+		if stats.Steals < stats.Splits {
+			t.Fatalf("round %d: %d splits but only %d steals", round, stats.Splits, stats.Steals)
 		}
 	}
 }

@@ -11,19 +11,20 @@ import (
 // depth-first search over explicit, splittable frames.
 //
 // A wsFrame is one suspended invocation of Enum-Uncertain-MC (Algorithm 2):
-// the working clique C with clq(C) = q, the node's full candidate list I,
+// the working clique C with clq(C) = q, the node's full candidate set I,
 // and the iteration range [next, end) of candidates this frame still has to
 // expand. The witness set is maintained under the invariant
 //
 //	X == X₀ ++ I[:next]
 //
 // where X₀ is the witness set the node was created with. The serial loop
-// maintains exactly this (it appends every expanded candidate to X), which
+// maintains exactly this (it pushes every expanded candidate onto X), which
 // makes a frame splittable at any iteration boundary: the witness set of
-// iteration mid is X ++ I[next:mid], computable from the frame alone. A
-// thief can therefore take the upper half of a lone frame's pending range,
-// or — the common case — half of the oldest (shallowest, and hence biggest)
-// frames of a victim's deque.
+// iteration mid is X ++ I[next:mid], computable from the frame alone — the
+// invariant holds lane-wise in the SoA layout, so a split copies both
+// lanes. A thief can therefore take the upper half of a lone frame's
+// pending range, or — the common case — half of the oldest (shallowest, and
+// hence biggest) frames of a victim's deque.
 //
 // Ownership rules keep the engine race-free without fine-grained locking:
 // a frame is mutated only by the worker currently holding it, and the only
@@ -36,13 +37,25 @@ import (
 // expanding a frame's candidates, and the entire inline recursion below the
 // steal granularity. Frames are the one thing that crosses workers, so
 // frame state (C, I, X) always lives on the heap: a frame-worthy child
-// copies its arena-built I'/X' into fresh heap slices before the arena mark
-// is released. A thief therefore never observes another worker's arena
-// memory, keeping the engine -race clean with zero cross-worker
+// copies its arena-built I'/X' lanes into fresh heap slices before the
+// arena mark is released. A thief therefore never observes another worker's
+// arena memory, keeping the engine -race clean with zero cross-worker
 // synchronization beyond the deque mutexes.
 //
+// Accounting: everything a worker counts — search-tree stats and the
+// steal/split counters its thieving increments — lives in the worker's own
+// wsWorker (the stats block and the steals/splits fields), never in
+// engine-wide memory. Per-worker blocks are merged in worker order after
+// the run. Incrementing a shared counter from stealFrom after dropping the
+// victim's deque mutex would race between two thieves robbing different
+// victims; keeping the counters worker-private makes that impossible by
+// construction (regression-tested by the steal-storm test under -race),
+// and keeps the node-counting hot path free of cross-worker cache-line
+// contention, which a flat []Stats slice of adjacent per-worker blocks
+// would reintroduce as false sharing.
+//
 // Frame free list: the heap copies are the engine's one remaining steady-
-// state allocation (frame struct + C + I + X per frame-worthy node). A
+// state allocation (frame struct + C + I/X lanes per frame-worthy node). A
 // fully executed frame therefore goes onto the executing worker's private
 // free list and the next frame-worthy child reuses its struct and slice
 // capacity. The only frames excluded are those whose C/I became aliased by
@@ -66,13 +79,13 @@ const defaultStealGranularity = 8
 const wsFreeListMax = 64
 
 type wsFrame struct {
-	C      []int32 // working clique; read-only once the frame exists
-	q      float64 // clq(C)
-	I      []entry // full candidate list of the node; read-only
-	X      []entry // witness set, kept equal to X₀ ++ I[:next]
-	next   int     // first pending candidate index
-	end    int     // one past the last candidate this frame owns
-	shared bool    // C/I aliased by an iteration-level split; never recycle
+	C      []int32  // working clique; read-only once the frame exists
+	q      float64  // clq(C)
+	I      entrySet // full candidate set of the node; read-only
+	X      entrySet // witness set, kept equal (lane-wise) to X₀ ++ I[:next]
+	next   int      // first pending candidate index
+	end    int      // one past the last candidate this frame owns
+	shared bool     // C/I aliased by an iteration-level split; never recycle
 }
 
 // wsDeque is a mutex-guarded deque of frames. The owner pushes and pops at
@@ -161,10 +174,13 @@ type wsWorker struct {
 	id          int
 	granularity int
 	shared      *wsShared
-	deque       wsDeque
 	e           *enumerator // worker-local clone; private stats and emit buffer
-	scratch     []int32     // reusable C∪{u} buffer for leaf nodes
-	free        []*wsFrame  // recycled frames; reused for frame-worthy children
+	deque       wsDeque
+	stats       Stats      // this worker's counters; merged after the run
+	steals      int64      // successful steals by this worker (as the thief)
+	splits      int64      // iteration-level splits by this worker (as the thief)
+	scratch     []int32    // reusable C∪{u} buffer for leaf nodes
+	free        []*wsFrame // recycled frames; reused for frame-worthy children
 }
 
 // takeFrame returns a recycled frame (slice capacities intact) or a fresh
@@ -187,15 +203,17 @@ func (w *wsWorker) recycle(f *wsFrame) {
 	if f.shared || len(w.free) >= wsFreeListMax {
 		return
 	}
-	f.C, f.I, f.X = f.C[:0], f.I[:0], f.X[:0]
+	f.C, f.I, f.X = f.C[:0], f.I.reset(), f.X.reset()
 	w.free = append(w.free, f)
 }
 
 // runWorkStealing executes the search with the work-stealing engine. Worker
 // 0 is seeded with the root frame (all n vertices pending); the others
-// start by stealing. Per-worker stats are merged in ascending worker order
-// after the run, so the aggregate is deterministic for a deterministic
-// workload split and reproducibly summed regardless of scheduling.
+// start by stealing. Per-worker stats (including the steal/split counters,
+// which a thief increments only on its own wsWorker) are merged in
+// ascending worker order after the run, so the aggregate is deterministic
+// for a deterministic workload split and reproducibly summed regardless of
+// scheduling.
 func (e *enumerator) runWorkStealing(workers, granularity int) {
 	if granularity <= 0 {
 		granularity = defaultStealGranularity
@@ -206,20 +224,26 @@ func (e *enumerator) runWorkStealing(workers, granularity int) {
 	if n == 0 {
 		return
 	}
-	rootI := make([]entry, n)
+	rootI := entrySet{v: make([]int32, n), r: make([]float64, n)}
 	for v := 0; v < n; v++ {
-		rootI[v] = entry{int32(v), 1}
+		rootI.v[v] = int32(v)
+		rootI.r[v] = 1
 	}
 	s := &wsShared{ctl: e.ctl, visit: e.visit, workers: make([]*wsWorker, workers)}
 	s.busy.Store(int32(workers))
-	locals := make([]Stats, workers)
 	for i := range s.workers {
-		s.workers[i] = &wsWorker{
+		w := &wsWorker{
 			id:          i,
 			granularity: granularity,
 			shared:      s,
-			e:           e.workerClone(&locals[i], s),
 		}
+		// Each worker counts into its own wsWorker block — separate heap
+		// objects, not adjacent slots of one slice — so the per-node
+		// Calls++ hot path and the thief-side steal counters are unlikely
+		// to share a cache line with another worker's (a flat []Stats
+		// would guarantee that they do).
+		w.e = e.workerClone(&w.stats, s)
+		s.workers[i] = w
 	}
 	root := &wsFrame{q: 1, I: rootI, end: n}
 	var wg sync.WaitGroup
@@ -235,8 +259,10 @@ func (e *enumerator) runWorkStealing(workers, granularity int) {
 		}(s.workers[i], seed)
 	}
 	wg.Wait()
-	for i := range locals {
-		e.stats.merge(&locals[i])
+	for _, w := range s.workers {
+		w.stats.Steals += w.steals
+		w.stats.Splits += w.splits
+		e.stats.merge(&w.stats)
 	}
 	e.stopped = e.ctl.stop.Load()
 }
@@ -283,22 +309,24 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 		}
 		j := f.next
 		f.next = j + 1
-		u, r := f.I[j].v, f.I[j].r
+		u, r := f.I.v[j], f.I.r[j]
 		q2 := f.q * r
 		m := e.arena.mark()
-		I2 := e.generateI(f.I[j+1:], u, q2)
-		if e.minSize >= 2 && len(f.C)+1+len(I2) < e.minSize {
+		tail := entrySet{f.I.v[j+1:], f.I.r[j+1:]}
+		var I2, X2 entrySet
+		e.generateI(&I2, &tail, u, q2)
+		if e.minSize >= 2 && len(f.C)+1+I2.length() < e.minSize {
 			e.stats.SizePruned++
-			// The serial loop skips the witness append here; keeping it
+			// The serial loop skips the witness push here; keeping it
 			// preserves the X == X₀ ++ I[:next] split invariant and cannot
 			// change the emitted set (see the note in large.go).
-			f.X = append(f.X, entry{u, r})
+			f.X = f.X.push(u, r)
 			e.arena.release(m)
 			continue
 		}
-		X2 := e.generateX(f.X, u, q2, len(I2))
-		f.X = append(f.X, entry{u, r})
-		if len(I2) == 0 {
+		e.generateX(&X2, &f.X, u, q2, I2.length())
+		f.X = f.X.push(u, r)
+		if I2.length() == 0 {
 			// Leaf (emit) or dead end (witnessed): account for the node
 			// without allocating a frame or recursing.
 			if e.countNode() {
@@ -312,13 +340,13 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 			if e.checkInv {
 				e.verifyInvariants(w.scratch, q2, I2, X2)
 			}
-			if len(X2) == 0 {
+			if X2.length() == 0 {
 				e.emit(w.scratch, q2)
 			}
 			e.arena.release(m)
 			continue
 		}
-		if len(I2) < w.granularity {
+		if I2.length() < w.granularity {
 			// Small subtree: run it inline with the serial recursion on
 			// worker-private scratch. It accounts for its own nodes and is
 			// never exposed for stealing, so the arena-backed I2/X2 and the
@@ -329,19 +357,21 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 			continue
 		}
 		// Frame-worthy child: its state may be handed to a thief, so copy
-		// the arena-built I2/X2 (and the extended clique) out of the arena
-		// before releasing the mark — into a recycled frame's slices when
-		// the free list has one. X gets the spare capacity its own witness
-		// appends will need.
+		// the arena-built I2/X2 lanes (and the extended clique) out of the
+		// arena before releasing the mark — into a recycled frame's slices
+		// when the free list has one. X gets the push capacity its own
+		// witness pushes will need.
 		child := w.takeFrame()
 		child.C = append(append(child.C[:0], f.C...), u)
 		child.q = q2
-		child.I = append(child.I[:0], I2...)
-		if need := len(X2) + len(I2); cap(child.X) < need {
-			child.X = make([]entry, 0, need)
+		child.I.v = append(child.I.v[:0], I2.v...)
+		child.I.r = append(child.I.r[:0], I2.r...)
+		if need := X2.length() + I2.length(); cap(child.X.v) < need {
+			child.X = entrySet{v: make([]int32, 0, need), r: make([]float64, 0, need)}
 		}
-		child.X = append(child.X[:0], X2...)
-		child.next, child.end, child.shared = 0, len(child.I), false
+		child.X.v = append(child.X.v[:0], X2.v...)
+		child.X.r = append(child.X.r[:0], X2.r...)
+		child.next, child.end, child.shared = 0, I2.length(), false
 		e.arena.release(m)
 		if e.countNode() {
 			return
@@ -381,9 +411,11 @@ func (w *wsWorker) steal() *wsFrame {
 // more frames queued, the older half moves wholesale (all but one parked on
 // the thief's own deque, so they stay stealable by others). A lone frame
 // with at least two pending candidates is split at the iteration level:
-// the thief receives the upper half of the range with a private witness
-// set reconstructed from the split invariant; both halves then alias the
-// same C/I and are marked unrecyclable.
+// the thief receives the upper half of the range with private witness
+// lanes reconstructed from the split invariant; both halves then alias the
+// same C/I and are marked unrecyclable. The steal/split counters touched
+// after dropping the victim's mutex are w's own (merged at run end), so
+// concurrent thieves never write shared memory here.
 func (w *wsWorker) stealFrom(v *wsWorker) *wsFrame {
 	d := &v.deque
 	if d.n.Load() == 0 {
@@ -399,22 +431,27 @@ func (w *wsWorker) stealFrom(v *wsWorker) *wsFrame {
 		f := d.frames[0]
 		if f.end-f.next >= 2 {
 			mid := f.next + (f.end-f.next)/2
-			X := make([]entry, len(f.X), len(f.X)+(mid-f.next))
-			copy(X, f.X)
-			X = append(X, f.I[f.next:mid]...)
+			X := entrySet{
+				v: make([]int32, f.X.length(), f.X.length()+(mid-f.next)),
+				r: make([]float64, f.X.length(), f.X.length()+(mid-f.next)),
+			}
+			copy(X.v, f.X.v)
+			copy(X.r, f.X.r)
+			X.v = append(X.v, f.I.v[f.next:mid]...)
+			X.r = append(X.r, f.I.r[f.next:mid]...)
 			g := &wsFrame{C: f.C, q: f.q, I: f.I, X: X, next: mid, end: f.end, shared: true}
 			f.end = mid
 			f.shared = true
 			d.mu.Unlock()
-			w.e.stats.Steals++
-			w.e.stats.Splits++
+			w.steals++
+			w.splits++
 			return g
 		}
 		d.frames[0] = nil
 		d.frames = d.frames[:0]
 		d.n.Store(0)
 		d.mu.Unlock()
-		w.e.stats.Steals++
+		w.steals++
 		return f
 	default:
 		h := k / 2
@@ -430,7 +467,7 @@ func (w *wsWorker) stealFrom(v *wsWorker) *wsFrame {
 		for _, f := range stolen[:h-1] {
 			w.deque.push(f)
 		}
-		w.e.stats.Steals++
+		w.steals++
 		return stolen[h-1]
 	}
 }

@@ -174,6 +174,82 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 	return b.Build(), nil
 }
 
+// FromSortedAdjacency builds a Graph directly from CSR arrays — offsets of
+// length n+1 and parallel nbrs/probs of length offsets[n] — without going
+// through a Builder (no per-edge hash map, no re-sort). The arrays are
+// adopted, not copied; the caller must not modify them afterwards. Every
+// Graph invariant is validated: monotone offsets, strictly ascending rows
+// (which excludes duplicates), in-range neighbors, no self-loops, valid
+// probabilities, and symmetry (v ∈ row(u) ⇔ u ∈ row(v), with equal
+// probability). Graph transformations that filter an existing CSR use this
+// to stay allocation-lean and to surface any assembly bug as an error
+// instead of silently dropping edges.
+func FromSortedAdjacency(n int, offsets []int32, nbrs []int32, probs []float64) (*Graph, error) {
+	if n < 0 || len(offsets) != n+1 || offsets[0] != 0 {
+		return nil, fmt.Errorf("uncertain: malformed offsets (n=%d, len=%d)", n, len(offsets))
+	}
+	if int(offsets[n]) != len(nbrs) || len(nbrs) != len(probs) {
+		return nil, fmt.Errorf("uncertain: offsets end %d but %d neighbors, %d probs",
+			offsets[n], len(nbrs), len(probs))
+	}
+	g := &Graph{n: n, offsets: offsets, nbrs: nbrs, probs: probs}
+	for u := 0; u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		if lo > hi {
+			return nil, fmt.Errorf("uncertain: offsets decrease at vertex %d", u)
+		}
+		for i := lo; i < hi; i++ {
+			v := nbrs[i]
+			if int(v) < 0 || int(v) >= n {
+				return nil, fmt.Errorf("uncertain: row %d neighbor %d outside [0,%d): %w", u, v, n, ErrVertexRange)
+			}
+			if int(v) == u {
+				return nil, fmt.Errorf("uncertain: edge {%d,%d}: %w", u, u, ErrSelfLoop)
+			}
+			if i > lo && nbrs[i-1] >= v {
+				return nil, fmt.Errorf("uncertain: row %d not strictly ascending at %d", u, v)
+			}
+			if err := validProb(probs[i]); err != nil {
+				return nil, fmt.Errorf("uncertain: edge {%d,%d}: %w", u, v, err)
+			}
+			if p, ok := g.Prob(u, int(v)); !ok || p != probs[i] {
+				return nil, fmt.Errorf("uncertain: edge {%d,%d} not symmetric", u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// prunedCopy returns the graph with every directed slot rejected by keep
+// removed from its row, assembled directly on fresh CSR arrays. keep must
+// be symmetric (keep(u,i) for slot i holding v must equal keep(v,j) for the
+// reciprocal slot), which every per-edge predicate is; under that
+// contract the result satisfies all Graph invariants by construction.
+func (g *Graph) prunedCopy(keep func(u int, i int32) bool) *Graph {
+	offsets := make([]int32, g.n+1)
+	for u := 0; u < g.n; u++ {
+		kept := int32(0)
+		for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+			if keep(u, i) {
+				kept++
+			}
+		}
+		offsets[u+1] = offsets[u] + kept
+	}
+	nbrs := make([]int32, offsets[g.n])
+	probs := make([]float64, offsets[g.n])
+	for u := 0; u < g.n; u++ {
+		w := offsets[u]
+		for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+			if keep(u, i) {
+				nbrs[w], probs[w] = g.nbrs[i], g.probs[i]
+				w++
+			}
+		}
+	}
+	return &Graph{n: g.n, offsets: offsets, nbrs: nbrs, probs: probs}
+}
+
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return g.n }
 
@@ -212,6 +288,18 @@ func (g *Graph) AdjacencySuffix(u int, after int32) ([]int32, []float64) {
 		}
 	}
 	return g.nbrs[i:hi], g.probs[i:hi]
+}
+
+// FillRowBits scatters u's adjacency row into words as a bitmap: bit v%64
+// of words[v/64] is set for every neighbor v of u. words must span the
+// vertex universe (at least ⌈n/64⌉ entries) and is not cleared first —
+// callers reuse zeroed buffers. This is the row accessor the bit-parallel
+// intersection kernel builds its per-row bit sets from.
+func (g *Graph) FillRowBits(u int, words []uint64) {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	for _, v := range g.nbrs[lo:hi] {
+		words[v>>6] |= 1 << (uint32(v) & 63)
+	}
 }
 
 // Neighbors returns a freshly allocated slice of u's neighbors, ascending.
@@ -347,19 +435,11 @@ func (g *Graph) IsAlphaMaximalClique(set []int, alpha float64) bool {
 // PruneAlpha returns the graph with every edge of probability < alpha
 // removed. By Observation 3 of the paper this preserves the set of α-cliques
 // and hence of α-maximal cliques. Vertices are preserved (isolated vertices
-// remain valid α-maximal singleton candidates).
+// remain valid α-maximal singleton candidates). The copy filters the CSR
+// rows directly — the probability test is symmetric, so sortedness and
+// symmetry carry over from the source graph without a Builder round-trip.
 func (g *Graph) PruneAlpha(alpha float64) *Graph {
-	b := NewBuilder(g.n)
-	for u := 0; u < g.n; u++ {
-		row, pr := g.Adjacency(u)
-		for i, v := range row {
-			if int32(u) < v && pr[i] >= alpha {
-				// Cannot fail: edges come from a valid graph.
-				_ = b.AddEdge(u, int(v), pr[i])
-			}
-		}
-	}
-	return b.Build()
+	return g.prunedCopy(func(_ int, i int32) bool { return g.probs[i] >= alpha })
 }
 
 // InducedSubgraph returns the subgraph induced by verts (which may be in any

@@ -102,6 +102,17 @@ const (
 	OrderRandom     = core.OrderRandom
 )
 
+// IntersectMode selects the intersection kernel policy (see WithIntersect).
+type IntersectMode = core.IntersectMode
+
+// Intersection kernel policies: density-adaptive (the default), or forced
+// sorted/bitset for equivalence tests and ablations.
+const (
+	IntersectAdaptive = core.IntersectAdaptive
+	IntersectSorted   = core.IntersectSorted
+	IntersectBitset   = core.IntersectBitset
+)
+
 // ParallelMode selects the engine used when Config.Workers > 1.
 type ParallelMode = core.ParallelMode
 

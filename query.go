@@ -84,6 +84,27 @@ func WithLimit(n int64) Option { return func(q *Query) { q.limit = n } }
 // exponential in the worst case.
 func WithBudget(n int64) Option { return func(q *Query) { q.cfg.Budget = n } }
 
+// WithIntersect selects the intersection kernel policy: IntersectAdaptive
+// (the default — word-parallel bitset AND on dense nodes, merge/gallop
+// elsewhere), or the forced IntersectSorted / IntersectBitset modes for
+// equivalence testing and ablation benchmarks. The enumerated clique set
+// is identical under every mode.
+func WithIntersect(m IntersectMode) Option { return func(q *Query) { q.cfg.Intersect = m } }
+
+// newQuery is the single constructor behind NewQuery and every legacy
+// wrapper: all Query invariants — the WithLimit bound and the full
+// core.Validate contract — are enforced here, so no entry point can build
+// a Query that another would reject.
+func newQuery(g *Graph, alpha float64, cfg core.Config, limit int64) (*Query, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", limit, ErrConfig)
+	}
+	if err := core.Validate(g, alpha, cfg); err != nil {
+		return nil, err
+	}
+	return &Query{g: g, alpha: alpha, cfg: cfg, limit: limit}, nil
+}
+
 // NewQuery prepares an enumeration of the α-maximal cliques of g. It
 // validates eagerly: a nil graph, an alpha outside (0,1], or an invalid
 // option combination is reported here (wrapping ErrNilGraph, ErrAlphaRange,
@@ -94,23 +115,14 @@ func NewQuery(g *Graph, alpha float64, opts ...Option) (*Query, error) {
 	for _, opt := range opts {
 		opt(q)
 	}
-	if q.limit < 0 {
-		return nil, fmt.Errorf("mule: negative limit %d: %w", q.limit, ErrConfig)
-	}
-	if err := core.Validate(g, alpha, q.cfg); err != nil {
-		return nil, err
-	}
-	return q, nil
+	return newQuery(g, alpha, q.cfg, q.limit)
 }
 
 // newQueryFromConfig adapts a legacy Config to a Query; the deprecated
-// top-level functions funnel through it.
+// top-level functions funnel through it and inherit NewQuery's validation
+// through the shared constructor.
 func newQueryFromConfig(g *Graph, alpha float64, cfg Config) (*Query, error) {
-	q := &Query{g: g, alpha: alpha, cfg: cfg}
-	if err := core.Validate(g, alpha, cfg); err != nil {
-		return nil, err
-	}
-	return q, nil
+	return newQuery(g, alpha, cfg, 0)
 }
 
 // run executes the query under its WithLimit bound, reporting whether the

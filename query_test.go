@@ -470,6 +470,7 @@ func TestNewQueryValidation(t *testing.T) {
 		{"negative granularity", g, 0.5, []mule.Option{mule.WithStealGranularity(-1)}, mule.ErrConfig},
 		{"bad ordering", g, 0.5, []mule.Option{mule.WithOrdering(mule.Ordering(99))}, mule.ErrConfig},
 		{"bad engine", g, 0.5, []mule.Option{mule.WithParallelMode(mule.ParallelMode(9))}, mule.ErrConfig},
+		{"bad intersect", g, 0.5, []mule.Option{mule.WithIntersect(mule.IntersectMode(9))}, mule.ErrConfig},
 	}
 	for _, tc := range cases {
 		_, err := mule.NewQuery(tc.g, tc.alpha, tc.opts...)
@@ -479,6 +480,43 @@ func TestNewQueryValidation(t *testing.T) {
 	}
 	if _, err := mule.NewQuery(g, 0.5, mule.WithWorkers(2), mule.WithMinSize(3), mule.WithSeed(1)); err != nil {
 		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+// TestLegacyWrappersShareQueryValidation pins that the deprecated flat
+// functions funnel through the same constructor as NewQuery: every Config
+// a NewQuery would reject is rejected by the wrappers with the same
+// sentinel, so no entry point can run an invalid Query.
+func TestLegacyWrappersShareQueryValidation(t *testing.T) {
+	g, err := mule.FromEdges(3, []mule.Edge{{U: 0, V: 1, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []mule.Config{
+		{MinSize: -1},
+		{Workers: -2},
+		{Budget: -5},
+		{StealGranularity: -1},
+		{Parallel: mule.ParallelMode(9)},
+		{Ordering: mule.Ordering(99)},
+		{Intersect: mule.IntersectMode(9)},
+	}
+	for i, cfg := range bad {
+		if _, err := mule.EnumerateWith(g, 0.5, nil, cfg); !errors.Is(err, mule.ErrConfig) {
+			t.Errorf("bad config %d: EnumerateWith err = %v, want wrapped ErrConfig", i, err)
+		}
+	}
+	if _, err := mule.Enumerate(nil, 0.5, nil); !errors.Is(err, mule.ErrNilGraph) {
+		t.Errorf("Enumerate(nil): err = %v, want wrapped ErrNilGraph", err)
+	}
+	if _, err := mule.Count(g, 0); !errors.Is(err, mule.ErrAlphaRange) {
+		t.Errorf("Count(α=0): err = %v, want wrapped ErrAlphaRange", err)
+	}
+	if _, err := mule.Collect(g, 1.01); !errors.Is(err, mule.ErrAlphaRange) {
+		t.Errorf("Collect(α>1): err = %v, want wrapped ErrAlphaRange", err)
+	}
+	if _, err := mule.EnumerateLarge(g, 0.5, -3, nil); !errors.Is(err, mule.ErrConfig) {
+		t.Errorf("EnumerateLarge(minSize<0): err = %v, want wrapped ErrConfig", err)
 	}
 }
 
@@ -497,6 +535,8 @@ func TestQueryOptionEquivalence(t *testing.T) {
 			{[]mule.Option{mule.WithOrdering(mule.OrderDegeneracy)}, mule.Config{Ordering: mule.OrderDegeneracy}},
 			{[]mule.Option{mule.WithOrdering(mule.OrderRandom), mule.WithSeed(42)}, mule.Config{Ordering: mule.OrderRandom, Seed: 42}},
 			{[]mule.Option{mule.WithWorkers(3), mule.WithStealGranularity(2)}, mule.Config{Workers: 3, StealGranularity: 2}},
+			{[]mule.Option{mule.WithIntersect(mule.IntersectBitset)}, mule.Config{Intersect: mule.IntersectBitset}},
+			{[]mule.Option{mule.WithIntersect(mule.IntersectSorted)}, mule.Config{Intersect: mule.IntersectSorted}},
 		}
 		for ci, tc := range cfgs {
 			q, err := mule.NewQuery(g, 0.2, tc.opts...)

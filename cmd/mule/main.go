@@ -1,4 +1,4 @@
-// Command mule enumerates α-maximal cliques from an uncertain graph file.
+// Command mule mines dense substructures from an uncertain graph file.
 //
 // Usage:
 //
@@ -12,17 +12,32 @@
 //	mule -in g.ug -alpha 0.5 -limit 1000         # stop after 1000 cliques
 //	mule -in g.ug -alpha 0.5 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
-// The command is built on mule.NewQuery, so every run is cancellable:
-// -timeout bounds the wall clock, and SIGINT/SIGTERM abort the enumeration
-// cleanly — buffered output and the stats line are flushed with whatever
-// was found so far, and the process exits with status 130 (interrupt) or
-// 124 (deadline) instead of dying mid-write.
+//	mule -in b.ubg -mine bicliques -alpha 0.5 -minl 2 -minr 2  # α-maximal bicliques
+//	mule -in g.ug  -mine quasi -gamma 0.6                      # expected γ-quasi-cliques
+//	mule -in g.ug  -mine truss -eta 0.9                        # η-truss decomposition
+//	mule -in g.ug  -mine truss -eta 0.9 -k 4                   # the (4,η)-truss subgraph
+//	mule -in g.ug  -mine core  -eta 0.9                        # η-core decomposition
+//	mule -in g.ug  -mine core  -eta 0.9 -k 3                   # the (3,η)-core vertices
 //
-// With -workers > 1 the search runs on the work-stealing engine by default;
-// -engine toplevel selects the legacy top-level fan-out and -granularity
-// tunes how small a subtree may be published for stealing. Each output line
-// is "p<TAB>v1 v2 v3 …". The input format is described in internal/graphio
-// (text: "u v p" lines; binary: .ugb).
+// The command is built on the mule prepared-query API (mule.NewQuery,
+// mule.NewBicliqueQuery, mule.NewQuasiQuery, mule.NewTrussQuery,
+// mule.NewCoreQuery), so every mode is cancellable: -timeout bounds the
+// wall clock, -limit caps the delivered results, -budget caps the search
+// work, and SIGINT/SIGTERM abort the run cleanly — buffered output and the
+// stats line are flushed with whatever was found so far, and the process
+// exits with status 130 (interrupt) or 124 (deadline) instead of dying
+// mid-write, in every mode.
+//
+// With -workers > 1 the clique search runs on the work-stealing engine by
+// default; -engine toplevel selects the legacy top-level fan-out and
+// -granularity tunes how small a subtree may be published for stealing.
+// Clique output lines are "p<TAB>v1 v2 v3 …"; biclique lines are
+// "p<TAB>l1 l2 … | r1 r2 …" (sides in their own ID spaces); quasi lines are
+// "v1 v2 v3 …"; truss decomposition lines are "u v k"; core decomposition
+// lines are "v c". The unipartite input format is described in
+// internal/graphio (text: "u v p" lines; binary: .ugb); bicliques read the
+// bipartite text format (.ubg: a "bipartite nL nR" directive, then
+// "l r p" lines).
 package main
 
 import (
@@ -79,9 +94,15 @@ func signalContext(parent context.Context) (context.Context, context.CancelFunc)
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mule", flag.ContinueOnError)
 	var (
-		in          = fs.String("in", "", "input graph file (.ug text or .ugb binary; required)")
-		alpha       = fs.Float64("alpha", 0.5, "probability threshold α in (0,1]")
-		minSize     = fs.Int("minsize", 0, "enumerate only cliques with at least this many vertices (LARGE-MULE)")
+		in          = fs.String("in", "", "input graph file (.ug text or .ugb binary; .ubg bipartite text for -mine bicliques; required)")
+		mine        = fs.String("mine", "cliques", "what to mine: cliques|bicliques|quasi|truss|core")
+		alpha       = fs.Float64("alpha", 0.5, "probability threshold α in (0,1] (cliques, bicliques)")
+		gamma       = fs.Float64("gamma", 0, "quasi-clique density threshold γ in [0.5,1] (-mine quasi)")
+		eta         = fs.Float64("eta", 0, "truss/core confidence threshold η in (0,1] (-mine truss|core)")
+		kParam      = fs.Int("k", 0, "with -mine truss: print the (k,η)-truss subgraph; with -mine core: print the (k,η)-core vertices; 0 prints the full decomposition")
+		minL        = fs.Int("minl", 0, "bicliques: minimum left-side size")
+		minR        = fs.Int("minr", 0, "bicliques: minimum right-side size")
+		minSize     = fs.Int("minsize", 0, "enumerate only cliques (LARGE-MULE) or quasi-cliques with at least this many vertices")
 		workers     = fs.Int("workers", 0, "parallel workers (0 = serial)")
 		engine      = fs.String("engine", "worksteal", "parallel engine: worksteal|toplevel")
 		granularity = fs.Int("granularity", 0, "work-stealing steal granularity (0 = default)")
@@ -114,36 +135,84 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	ord, err := parseOrdering(*ordering)
-	if err != nil {
-		return err
-	}
-	mode, err := parseEngine(*engine)
-	if err != nil {
-		return err
-	}
-	imode, err := parseIntersect(*intersect)
-	if err != nil {
-		return err
-	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	g, err := graphio.LoadFile(*in)
+
+	m := modeFlags{
+		in: *in, alpha: *alpha, gamma: *gamma, eta: *eta, k: *kParam,
+		minL: *minL, minR: *minR, minSize: *minSize,
+		limit: *limit, budget: *budget, countOnly: *countOnly, quiet: *quiet,
+	}
+	var runErr error
+	switch strings.ToLower(*mine) {
+	case "cliques", "clique":
+		runErr = runCliques(ctx, m, *ordering, *engine, *intersect, *workers, *granularity, *top, out)
+	case "bicliques", "biclique":
+		runErr = runBicliques(ctx, m, out)
+	case "quasi", "quasi-cliques", "quasicliques":
+		runErr = runQuasi(ctx, m, out)
+	case "truss", "trusses":
+		runErr = runTruss(ctx, m, out)
+	case "core", "cores":
+		runErr = runCore(ctx, m, out)
+	default:
+		return fmt.Errorf("unknown -mine mode %q (want cliques|bicliques|quasi|truss|core)", *mine)
+	}
+	// The heap profile is written even for aborted runs, so kernel
+	// regressions can be diagnosed from a truncated enumeration.
+	if merr := writeMemProfile(*memprofile); merr != nil && runErr == nil {
+		runErr = merr
+	}
+	return runErr
+}
+
+// modeFlags carries the flags every -mine mode shares (plus the per-miner
+// thresholds, which each mode reads as applicable).
+type modeFlags struct {
+	in         string
+	alpha      float64
+	gamma      float64
+	eta        float64
+	k          int
+	minL, minR int
+	minSize    int
+	limit      int64
+	budget     int64
+	countOnly  bool
+	quiet      bool
+}
+
+// runCliques is the original mode: α-maximal clique enumeration, count,
+// or top-k through mule.NewQuery.
+func runCliques(ctx context.Context, m modeFlags, ordering, engine, intersect string, workers, granularity, top int, out io.Writer) error {
+	ord, err := parseOrdering(ordering)
 	if err != nil {
 		return err
 	}
-	q, err := mule.NewQuery(g, *alpha,
-		mule.WithMinSize(*minSize),
-		mule.WithWorkers(*workers),
+	mode, err := parseEngine(engine)
+	if err != nil {
+		return err
+	}
+	imode, err := parseIntersect(intersect)
+	if err != nil {
+		return err
+	}
+	g, err := graphio.LoadFile(m.in)
+	if err != nil {
+		return err
+	}
+	q, err := mule.NewQuery(g, m.alpha,
+		mule.WithMinSize(m.minSize),
+		mule.WithWorkers(workers),
 		mule.WithParallelMode(mode),
-		mule.WithStealGranularity(*granularity),
+		mule.WithStealGranularity(granularity),
 		mule.WithOrdering(ord),
 		mule.WithIntersect(imode),
-		mule.WithLimit(*limit),
-		mule.WithBudget(*budget),
+		mule.WithLimit(m.limit),
+		mule.WithBudget(m.budget),
 	)
 	if err != nil {
 		return err
@@ -153,48 +222,257 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 
-	if *top > 0 {
-		scored, terr := q.TopK(ctx, *top, mule.ByProb)
+	if top > 0 {
+		scored, terr := q.TopK(ctx, top, mule.ByProb)
 		if terr != nil {
 			return terr
 		}
 		for _, sc := range scored {
 			printClique(w, sc.Vertices, sc.Prob)
 		}
-		if !*quiet {
+		if !m.quiet {
 			fmt.Fprintf(os.Stderr, "top-%d of α=%g maximal cliques in %s (n=%d m=%d)\n",
-				*top, *alpha, time.Since(start).Round(time.Millisecond), g.NumVertices(), g.NumEdges())
+				top, m.alpha, time.Since(start).Round(time.Millisecond), g.NumVertices(), g.NumEdges())
 		}
-		return writeMemProfile(*memprofile)
+		return nil
 	}
 
 	var visit mule.Visitor
-	if !*countOnly {
+	if !m.countOnly {
 		visit = func(c []int, p float64) bool {
 			printClique(w, c, p)
 			return true
 		}
 	}
 	stats, runErr := q.Run(ctx, visit)
-	if *countOnly {
+	if m.countOnly {
 		fmt.Fprintf(w, "%d\n", stats.Emitted)
 	}
-	if !*quiet {
+	if !m.quiet {
 		fmt.Fprintf(os.Stderr,
 			"%d α-maximal cliques (α=%g, max size %d, %s) in %s; %d search calls, %d edges pruned\n",
-			stats.Emitted, *alpha, stats.MaxCliqueSize, stats.Status,
+			stats.Emitted, m.alpha, stats.MaxCliqueSize, stats.Status,
 			time.Since(start).Round(time.Millisecond), stats.Calls, stats.PrunedEdges)
 	}
-	if runErr != nil {
-		// Flush what we have before surfacing the abort: a canceled run
-		// still reports its partial output and the stats line above.
-		w.Flush()
-		if merr := writeMemProfile(*memprofile); merr != nil {
-			return merr
-		}
-		return runErr
+	// Flush what we have before surfacing an abort: a canceled run still
+	// reports its partial output and the stats line above.
+	w.Flush()
+	return runErr
+}
+
+// runBicliques mines α-maximal bicliques from a bipartite input file.
+func runBicliques(ctx context.Context, m modeFlags, out io.Writer) error {
+	g, err := graphio.LoadBipartiteFile(m.in)
+	if err != nil {
+		return err
 	}
-	return writeMemProfile(*memprofile)
+	q, err := mule.NewBicliqueQuery(g, m.alpha,
+		mule.WithSides(m.minL, m.minR),
+		mule.WithLimit(m.limit),
+		mule.WithBudget(m.budget),
+	)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	var visit mule.BicliqueVisitor
+	if !m.countOnly {
+		visit = func(left, right []int, p float64) bool {
+			fmt.Fprintf(w, "%.9g\t", p)
+			for i, v := range left {
+				if i > 0 {
+					w.WriteByte(' ')
+				}
+				fmt.Fprintf(w, "%d", v)
+			}
+			w.WriteString(" |")
+			for _, v := range right {
+				fmt.Fprintf(w, " %d", v)
+			}
+			w.WriteByte('\n')
+			return true
+		}
+	}
+	stats, runErr := q.Run(ctx, visit)
+	if m.countOnly {
+		fmt.Fprintf(w, "%d\n", stats.Emitted)
+	}
+	if !m.quiet {
+		fmt.Fprintf(os.Stderr,
+			"%d α-maximal bicliques (α=%g, max %d×%d, %s) in %s; %d search calls, %d edges pruned\n",
+			stats.Emitted, m.alpha, stats.MaxLeft, stats.MaxRight, stats.Status,
+			time.Since(start).Round(time.Millisecond), stats.Calls, stats.PrunedEdges)
+	}
+	w.Flush()
+	return runErr
+}
+
+// runQuasi mines maximal expected γ-quasi-cliques.
+func runQuasi(ctx context.Context, m modeFlags, out io.Writer) error {
+	g, err := graphio.LoadFile(m.in)
+	if err != nil {
+		return err
+	}
+	q, err := mule.NewQuasiQuery(g,
+		mule.WithGamma(m.gamma),
+		mule.WithMinSize(m.minSize),
+		mule.WithLimit(m.limit),
+		mule.WithBudget(m.budget),
+	)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	var visit mule.QuasiVisitor
+	if !m.countOnly {
+		visit = func(set []int) bool {
+			for i, v := range set {
+				if i > 0 {
+					w.WriteByte(' ')
+				}
+				fmt.Fprintf(w, "%d", v)
+			}
+			w.WriteByte('\n')
+			return true
+		}
+	}
+	stats, runErr := q.Run(ctx, visit)
+	if m.countOnly {
+		fmt.Fprintf(w, "%d\n", stats.Emitted)
+	}
+	if !m.quiet {
+		fmt.Fprintf(os.Stderr,
+			"%d maximal expected γ-quasi-cliques (γ=%g, max size %d, %s) in %s; %d search calls\n",
+			stats.Emitted, m.gamma, stats.MaxSize, stats.Status,
+			time.Since(start).Round(time.Millisecond), stats.Calls)
+	}
+	w.Flush()
+	return runErr
+}
+
+// runTruss prints the η-truss decomposition ("u v k" per edge, peel
+// order), or with -k > 0 the (k,η)-truss subgraph ("u v p" per surviving
+// edge).
+func runTruss(ctx context.Context, m modeFlags, out io.Writer) error {
+	g, err := graphio.LoadFile(m.in)
+	if err != nil {
+		return err
+	}
+	q, err := mule.NewTrussQuery(g, m.eta,
+		mule.WithLimit(m.limit),
+		mule.WithBudget(m.budget),
+	)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	if m.k > 0 {
+		tr, terr := q.Truss(ctx, m.k)
+		if terr != nil {
+			return terr
+		}
+		switch {
+		case m.countOnly:
+			fmt.Fprintf(w, "%d\n", tr.NumEdges())
+		default:
+			for i, e := range tr.Edges() {
+				if m.limit > 0 && int64(i) >= m.limit {
+					break
+				}
+				fmt.Fprintf(w, "%d %d %.9g\n", e.U, e.V, e.P)
+			}
+		}
+		if !m.quiet {
+			fmt.Fprintf(os.Stderr, "(%d,%g)-truss: %d of %d edges in %s\n",
+				m.k, m.eta, tr.NumEdges(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+	var visit mule.TrussVisitor
+	if !m.countOnly {
+		visit = func(e mule.EdgeTruss) bool {
+			fmt.Fprintf(w, "%d %d %d\n", e.U, e.V, e.Truss)
+			return true
+		}
+	}
+	stats, runErr := q.Run(ctx, visit)
+	if m.countOnly {
+		fmt.Fprintf(w, "%d\n", stats.Emitted)
+	}
+	if !m.quiet {
+		fmt.Fprintf(os.Stderr,
+			"η-truss decomposition of %d edges (η=%g, max truss %d, %s) in %s; %d support checks\n",
+			stats.Emitted, m.eta, stats.MaxTruss, stats.Status,
+			time.Since(start).Round(time.Millisecond), stats.Checks)
+	}
+	w.Flush()
+	return runErr
+}
+
+// runCore prints the η-core decomposition ("v c" per vertex, peel order),
+// or with -k > 0 the (k,η)-core vertex set.
+func runCore(ctx context.Context, m modeFlags, out io.Writer) error {
+	g, err := graphio.LoadFile(m.in)
+	if err != nil {
+		return err
+	}
+	q, err := mule.NewCoreQuery(g, m.eta,
+		mule.WithLimit(m.limit),
+		mule.WithBudget(m.budget),
+	)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	if m.k > 0 {
+		verts, cerr := q.Core(ctx, m.k)
+		if cerr != nil {
+			return cerr
+		}
+		switch {
+		case m.countOnly:
+			fmt.Fprintf(w, "%d\n", len(verts))
+		default:
+			for i, v := range verts {
+				if m.limit > 0 && int64(i) >= m.limit {
+					break
+				}
+				fmt.Fprintf(w, "%d\n", v)
+			}
+		}
+		if !m.quiet {
+			fmt.Fprintf(os.Stderr, "(%d,%g)-core: %d of %d vertices in %s\n",
+				m.k, m.eta, len(verts), g.NumVertices(), time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+	var visit mule.CoreVisitor
+	if !m.countOnly {
+		visit = func(vc mule.VertexCore) bool {
+			fmt.Fprintf(w, "%d %d\n", vc.V, vc.Core)
+			return true
+		}
+	}
+	stats, runErr := q.Run(ctx, visit)
+	if m.countOnly {
+		fmt.Fprintf(w, "%d\n", stats.Emitted)
+	}
+	if !m.quiet {
+		fmt.Fprintf(os.Stderr,
+			"η-core decomposition of %d vertices (η=%g, degeneracy %d, %s) in %s; %d recomputes\n",
+			stats.Emitted, m.eta, stats.Degeneracy, stats.Status,
+			time.Since(start).Round(time.Millisecond), stats.Recomputes)
+	}
+	w.Flush()
+	return runErr
 }
 
 // writeMemProfile dumps a heap profile after a final GC so kernel

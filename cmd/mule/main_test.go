@@ -14,8 +14,10 @@ import (
 	"testing"
 	"time"
 
+	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/gen"
 	"github.com/uncertain-graphs/mule/internal/graphio"
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -289,6 +291,148 @@ func TestMainSmoke(t *testing.T) {
 	}
 }
 
+func writeTestBipartite(t *testing.T) string {
+	t.Helper()
+	b := ubiclique.NewBuilder(3, 3)
+	for l := 0; l < 2; l++ {
+		for r := 0; r < 2; r++ {
+			if err := b.AddEdge(l, r, 0.9); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.AddEdge(2, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.ubg")
+	if err := graphio.SaveBipartiteFile(path, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMineBicliques(t *testing.T) {
+	path := writeTestBipartite(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-mine", "bicliques", "-alpha", "0.6", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Only the 2×2 block (0.9^4 ≈ 0.656) survives α = 0.6.
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "0 1 | 0 1") {
+		t.Fatalf("biclique output %q", out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-mine", "bicliques", "-alpha", "0.3", "-minl", "2", "-minr", "2", "-count", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "1" {
+		t.Fatalf("biclique -minl/-minr count %q, want 1", out.String())
+	}
+}
+
+func TestRunMineQuasi(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-mine", "quasi", "-gamma", "1", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// No certain triangle exists (all p = 0.5 < 1)… the expected-degree
+	// condition at γ=1 needs expected degree |S|−1, impossible with p=0.5,
+	// so the output is empty; re-run at γ=0.5 where {0,1,2} qualifies.
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-mine", "quasi", "-gamma", "0.5", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 1 2") {
+		t.Fatalf("quasi output %q, want the triangle", out.String())
+	}
+	// Missing -gamma fails eagerly with the typed sentinel.
+	if err := run(context.Background(), []string{"-in", path, "-mine", "quasi", "-quiet"}, &out); !errors.Is(err, mule.ErrGammaRange) {
+		t.Fatalf("quasi without -gamma returned %v, want wrapped ErrGammaRange", err)
+	}
+}
+
+func TestRunMineTruss(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-mine", "truss", "-eta", "0.1", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // every edge gets a truss number
+		t.Fatalf("truss decomposition printed %d lines: %q", len(lines), out.String())
+	}
+	// The triangle edges have support probability 0.25 ≥ 0.1, so the
+	// (3,0.1)-truss keeps exactly the triangle.
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-mine", "truss", "-eta", "0.1", "-k", "3", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("(3,0.1)-truss printed %d edges: %q", len(lines), out.String())
+	}
+	// -eta is required.
+	if err := run(context.Background(), []string{"-in", path, "-mine", "truss", "-quiet"}, &out); !errors.Is(err, mule.ErrEtaRange) {
+		t.Fatalf("truss without -eta returned %v, want wrapped ErrEtaRange", err)
+	}
+}
+
+func TestRunMineCore(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-mine", "core", "-eta", "0.2", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // every vertex gets a core number
+		t.Fatalf("core decomposition printed %d lines: %q", len(lines), out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-mine", "core", "-eta", "0.2", "-k", "2", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Vertices 0,1,2 keep η-degree ≥ 2 at η=0.2 (two incident 0.5 edges:
+	// P[deg ≥ 2] = 0.25 ≥ 0.2); vertex 3's best is the pendant pair.
+	if got := strings.Fields(strings.ReplaceAll(strings.TrimSpace(out.String()), "\n", " ")); len(got) != 3 {
+		t.Fatalf("(2,0.2)-core = %v, want 3 vertices", got)
+	}
+}
+
+// TestRunMineLimitAndTimeout: the cross-cutting -limit and -timeout flags
+// apply to the extension modes exactly as to cliques.
+func TestRunMineLimitAndTimeout(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-mine", "truss", "-eta", "0.1", "-limit", "2", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) != 2 {
+		t.Fatalf("-limit 2 printed %d truss lines: %q", len(lines), out.String())
+	}
+	// A heavy graph under a tiny -timeout aborts with the deadline error
+	// (the exit-124 path of main) in the truss and core modes too.
+	big := writeBigGraph(t)
+	for _, mode := range [][]string{
+		{"-mine", "truss", "-eta", "0.99"},
+		{"-mine", "core", "-eta", "0.99"},
+	} {
+		args := append([]string{"-in", big, "-quiet", "-timeout", "1ms"}, mode...)
+		if err := run(context.Background(), args, &out); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%v: err = %v, want wrapped context.DeadlineExceeded", mode, err)
+		}
+	}
+}
+
+func TestRunMineUnknown(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-mine", "bogus"}, &out); err == nil || !strings.Contains(err.Error(), "unknown -mine mode") {
+		t.Fatalf("unknown mode returned %v", err)
+	}
+}
+
 func TestRunProfiles(t *testing.T) {
 	path := writeTestGraph(t)
 	dir := t.TempDir()
@@ -317,5 +461,39 @@ func TestRunProfiles(t *testing.T) {
 	}
 	if fi, err := os.Stat(mem2); err != nil || fi.Size() == 0 {
 		t.Fatalf("top-k path did not write the heap profile: %v", err)
+	}
+}
+
+// TestRunMineKPathsCountAndLimit: -count and -limit apply to the -k
+// subgraph/vertex-set paths of the truss and core modes too.
+func TestRunMineKPathsCountAndLimit(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-mine", "truss", "-eta", "0.1", "-k", "3", "-count", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "3" {
+		t.Fatalf("truss -k -count = %q, want 3", out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-mine", "truss", "-eta", "0.1", "-k", "3", "-limit", "1", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) != 1 {
+		t.Fatalf("truss -k -limit 1 printed %d lines: %q", len(lines), out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-mine", "core", "-eta", "0.2", "-k", "2", "-count", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "3" {
+		t.Fatalf("core -k -count = %q, want 3", out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-mine", "core", "-eta", "0.2", "-k", "2", "-limit", "2", "-quiet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) != 2 {
+		t.Fatalf("core -k -limit 2 printed %d lines: %q", len(lines), out.String())
 	}
 }

@@ -5,16 +5,12 @@ import (
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
-// Typed sentinel errors. Graph construction, the Query API, and the
-// biclique/maintainer surfaces wrap one of these (or context.Canceled /
-// context.DeadlineExceeded for aborted runs) with the offending values;
-// match with errors.Is:
+// Typed sentinel errors. Graph construction and every query surface —
+// cliques, bicliques, quasi-cliques, trusses, cores, and the maintainer —
+// wrap one of these (or context.Canceled / context.DeadlineExceeded for
+// aborted runs) with the offending values; match with errors.Is:
 //
 //	if _, err := mule.NewQuery(g, 1.5); errors.Is(err, mule.ErrAlphaRange) { … }
-//
-// The remaining §6 lenses (quasi-cliques, trusses, cores) validate
-// parameters that have no sentinel here (γ ranges, k minima, η) and keep
-// descriptive errors.
 var (
 	// ErrNilGraph reports a nil *Graph passed to a query or enumeration.
 	ErrNilGraph = core.ErrNilGraph
@@ -31,6 +27,16 @@ var (
 	// ErrBudget reports that a run exhausted its WithBudget node budget
 	// before completing.
 	ErrBudget = core.ErrBudget
+	// ErrGammaRange reports a quasi-clique density threshold γ outside the
+	// range the miner supports: WithGamma must lie in [0.5, 1] (the
+	// predicate helpers accept (0, 1]).
+	ErrGammaRange = core.ErrGammaRange
+	// ErrEtaRange reports a truss/core confidence threshold η outside
+	// (0, 1].
+	ErrEtaRange = core.ErrEtaRange
+	// ErrKRange reports a structural size parameter k below its floor:
+	// 2 for TrussQuery.Truss, 0 for CoreQuery.Core.
+	ErrKRange = core.ErrKRange
 
 	// ErrVertexRange reports an edge endpoint or vertex ID outside [0, n).
 	ErrVertexRange = uncertain.ErrVertexRange
@@ -58,4 +64,7 @@ const (
 	StatusDeadline = core.StatusDeadline
 	// StatusBudget: the WithBudget node budget ran out mid-run.
 	StatusBudget = core.StatusBudget
+	// StatusFailed: a maintainer update was rejected by validation before
+	// any work ran (queries validate at construction and never report it).
+	StatusFailed = core.StatusFailed
 )

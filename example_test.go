@@ -142,6 +142,90 @@ func ExampleEnumerate() {
 	// [2 3] 0.500
 }
 
+// ExampleNewBicliqueQuery_stream streams the α-maximal bicliques of an
+// uncertain bipartite graph with the same range-over-func contract as
+// Query.Cliques: results arrive as the search finds them, a non-nil error
+// ends the stream with the abort cause, and breaking the loop stops the
+// engine with nothing leaked.
+func ExampleNewBicliqueQuery_stream() {
+	b := mule.NewBipartiteBuilder(3, 3)
+	// A strong 2×2 user-product block plus one weak pendant edge.
+	_ = b.AddEdge(0, 0, 0.9)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(1, 0, 0.9)
+	_ = b.AddEdge(1, 1, 0.9)
+	_ = b.AddEdge(2, 2, 0.5)
+	g := b.Build()
+
+	q, err := mule.NewBicliqueQuery(g, 0.6)
+	if err != nil {
+		panic(err)
+	}
+	for bc, err := range q.Stream(context.Background()) {
+		if err != nil {
+			fmt.Println("aborted:", err)
+			return
+		}
+		fmt.Printf("%v x %v %.4f\n", bc.Left, bc.Right, bc.Prob)
+	}
+	// Output:
+	// [0 1] x [0 1] 0.6561
+}
+
+// ExampleNewTrussQuery computes the (k,η)-truss of an uncertain graph: the
+// maximal subgraph whose every edge is supported by at least k−2 triangles
+// with probability ≥ η.
+func ExampleNewTrussQuery() {
+	b := mule.NewBuilder(5)
+	// A certain triangle plus a pendant path.
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(0, 2, 1)
+	_ = b.AddEdge(1, 2, 1)
+	_ = b.AddEdge(2, 3, 0.6)
+	_ = b.AddEdge(3, 4, 0.4)
+	g := b.Build()
+
+	q, err := mule.NewTrussQuery(g, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := q.Truss(context.Background(), 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges in the (3,0.9)-truss:", tr.NumEdges())
+	// Output:
+	// edges in the (3,0.9)-truss: 3
+}
+
+// ExampleMaintainer_Apply applies a batch of edge updates atomically per
+// update and receives the net clique-set diff: a clique that appears and
+// then disappears within the batch cancels out.
+func ExampleMaintainer_Apply() {
+	b := mule.NewBuilder(4)
+	_ = b.AddEdge(0, 1, 0.9)
+	_ = b.AddEdge(1, 2, 0.9)
+	g := b.Build()
+
+	m, _ := mule.NewMaintainerContext(context.Background(), g, 0.5)
+	fmt.Println("cliques:", m.NumCliques())
+
+	diff, stats, err := m.Apply(context.Background(), []mule.EdgeUpdate{
+		{U: 0, V: 2, P: 0.9},       // close the triangle
+		{U: 2, V: 3, P: 0.8},       // attach a pendant
+		{U: 2, V: 3, Remove: true}, // …and detach it again (cancels out)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("added:", len(diff.Added), "removed:", len(diff.Removed), "updates:", stats.Updates)
+	fmt.Println("cliques:", m.NumCliques())
+	// Output:
+	// cliques: 3
+	// added: 1 removed: 2 updates: 3
+	// cliques: 2
+}
+
 // ExampleNewMaintainer keeps the α-maximal clique set in sync across edge
 // updates, receiving an exact diff per change. NewMaintainerContext bounds
 // the seeding enumeration with a context.

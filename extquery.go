@@ -1,0 +1,581 @@
+package mule
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+	"github.com/uncertain-graphs/mule/internal/ucore"
+	"github.com/uncertain-graphs/mule/internal/uquasi"
+	"github.com/uncertain-graphs/mule/internal/utruss"
+)
+
+// This file gives every §6 dense-substructure miner the same prepared-query
+// ergonomics as NewQuery: an immutable, concurrency-safe query value
+// validated eagerly against the shared typed sentinels, context-aware run
+// methods (Run / Collect / Count plus per-miner extras), and a Stream
+// range-over-func with the same break-stops-the-engine, no-goroutine-leak
+// contract as Query.Cliques. The deprecated flat functions in extensions.go
+// funnel through these constructors, so no entry point can run a
+// configuration the query surface would reject.
+
+// streamOf adapts a visitor-driven run to a range-over-func stream with
+// the Query.Cliques contract: runFn invokes emit once per result and
+// returns the run's error; results are yielded with a nil error, an
+// aborted run ends the stream with one final (zero, err) pair, and a
+// consumer break makes emit return false so the engine stops on the spot.
+// Every extension Stream method routes through this one adapter, so the
+// break/error shape cannot drift between miners.
+func streamOf[T any](runFn func(emit func(T) bool) error) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		consumerDone := false
+		err := runFn(func(v T) bool {
+			if !yield(v, nil) {
+				consumerDone = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !consumerDone {
+			var zero T
+			yield(zero, err)
+		}
+	}
+}
+
+// limitVisitor wraps a single-argument visitor with the WithLimit bound,
+// reporting through userStopped whether the user's visitor (as opposed to
+// the limit) ended the run. A nil visit with no limit stays nil so the
+// engines skip the callback entirely.
+func limitVisitor[T any](visit func(T) bool, limit int64, userStopped *bool) func(T) bool {
+	if limit > 0 {
+		remaining := limit
+		return func(v T) bool {
+			if visit != nil && !visit(v) {
+				*userStopped = true
+				return false
+			}
+			remaining--
+			return remaining > 0
+		}
+	}
+	if visit == nil {
+		return nil
+	}
+	return func(v T) bool {
+		if !visit(v) {
+			*userStopped = true
+			return false
+		}
+		return true
+	}
+}
+
+// --- Biclique queries ---
+
+// BicliqueQuery is a prepared enumeration of the α-maximal bicliques of one
+// uncertain bipartite graph at one threshold. Build it with
+// NewBicliqueQuery; it is immutable after construction and safe for
+// concurrent use, and every run method honors its context exactly like a
+// clique Query (the search polls on a node-count interval).
+type BicliqueQuery struct {
+	g     *Bipartite
+	alpha float64
+	cfg   ubiclique.Config
+	limit int64
+}
+
+// NewBicliqueQuery prepares an enumeration of the α-maximal bicliques of g.
+// It validates eagerly: a nil graph, an alpha outside (0,1], or an invalid
+// option combination is reported here (wrapping ErrNilGraph, ErrAlphaRange,
+// or ErrConfig). Applicable options: WithSides, WithLimit, WithBudget.
+func NewBicliqueQuery(g *Bipartite, alpha float64, opts ...Option) (*BicliqueQuery, error) {
+	o, err := applyOptions(kindBiclique, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ubiclique.Config{MinLeft: o.minL, MinRight: o.minR, Budget: o.cfg.Budget}
+	return newBicliqueQuery(g, alpha, cfg, o.limit)
+}
+
+// newBicliqueQuery is the single constructor behind NewBicliqueQuery and
+// the deprecated wrappers; all invariants are enforced here.
+func newBicliqueQuery(g *Bipartite, alpha float64, cfg ubiclique.Config, limit int64) (*BicliqueQuery, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", limit, ErrConfig)
+	}
+	if err := ubiclique.Validate(g, alpha, cfg); err != nil {
+		return nil, err
+	}
+	return &BicliqueQuery{g: g, alpha: alpha, cfg: cfg, limit: limit}, nil
+}
+
+// run executes the query under its WithLimit bound, reporting whether the
+// user-supplied visitor ended the run early (as opposed to the limit).
+func (q *BicliqueQuery) run(ctx context.Context, visit BicliqueVisitor) (stats BicliqueStats, userStopped bool, err error) {
+	wrapped := visit
+	if q.limit > 0 {
+		remaining := q.limit
+		wrapped = func(l, r []int, p float64) bool {
+			if visit != nil && !visit(l, r, p) {
+				userStopped = true
+				return false
+			}
+			remaining--
+			return remaining > 0
+		}
+	} else if visit != nil {
+		wrapped = func(l, r []int, p float64) bool {
+			if !visit(l, r, p) {
+				userStopped = true
+				return false
+			}
+			return true
+		}
+	}
+	stats, err = ubiclique.EnumerateContext(ctx, q.g, q.alpha, wrapped, q.cfg)
+	return stats, userStopped, err
+}
+
+// Run enumerates the query's bicliques, invoking visit for each (visit may
+// be nil to only count; see BicliqueStats.Emitted). Like Query.Run it
+// returns an error wrapping context.Canceled / context.DeadlineExceeded on
+// a fired context, ErrBudget on an exhausted WithBudget bound, and
+// ErrStopped when visit returned false — err == nil means the enumeration
+// ran to completion or to its WithLimit bound, with Stats.Status recording
+// the terminal state either way.
+func (q *BicliqueQuery) Run(ctx context.Context, visit BicliqueVisitor) (BicliqueStats, error) {
+	stats, userStopped, err := q.run(ctx, visit)
+	if err != nil {
+		return stats, err
+	}
+	if userStopped {
+		return stats, fmt.Errorf("mule: %w", ErrStopped)
+	}
+	return stats, nil
+}
+
+// Collect materializes the query's bicliques in canonical order (each side
+// sorted ascending; bicliques sorted by left side, ties by right).
+func (q *BicliqueQuery) Collect(ctx context.Context) ([]Biclique, error) {
+	var out []Biclique
+	_, _, err := q.run(ctx, func(l, r []int, p float64) bool {
+		out = append(out, Biclique{
+			Left:  append([]int(nil), l...),
+			Right: append([]int(nil), r...),
+			Prob:  p,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	ubiclique.SortBicliques(out)
+	return out, nil
+}
+
+// Count returns the number of bicliques the query enumerates, without
+// materializing them.
+func (q *BicliqueQuery) Count(ctx context.Context) (int64, error) {
+	stats, err := q.Run(ctx, nil)
+	return stats.Emitted, err
+}
+
+// Stream returns the query's bicliques as a range-over-func stream:
+//
+//	for b, err := range q.Stream(ctx) {
+//		if err != nil {
+//			return err // ctx fired or the budget ran out
+//		}
+//		use(b)
+//	}
+//
+// Bicliques are yielded as the search finds them, each with a nil error; if
+// the run aborts, one final (Biclique{}, err) pair carries the wrapped
+// cause and the stream ends. Breaking out of the loop stops the underlying
+// enumeration on the spot and never leaks goroutines (the search is
+// single-threaded, so nothing outlives the loop).
+func (q *BicliqueQuery) Stream(ctx context.Context) iter.Seq2[Biclique, error] {
+	return streamOf(func(emit func(Biclique) bool) error {
+		_, _, err := q.run(ctx, func(l, r []int, p float64) bool {
+			return emit(Biclique{
+				Left:  append([]int(nil), l...),
+				Right: append([]int(nil), r...),
+				Prob:  p,
+			})
+		})
+		return err
+	})
+}
+
+// --- Quasi-clique queries ---
+
+// QuasiVisitor receives each maximal expected γ-quasi-clique as a sorted
+// vertex slice (caller-owned); returning false stops the report loop.
+type QuasiVisitor = uquasi.Visitor
+
+// QuasiQuery is a prepared mining run for the maximal expected
+// γ-quasi-cliques of one uncertain graph. Build it with NewQuasiQuery; it
+// is immutable after construction and safe for concurrent use.
+//
+// Quasi-cliques are not hereditary, so maximality needs global knowledge:
+// the search must complete before anything is reported. Run, Stream, and
+// the WithLimit bound therefore apply to the report loop over the finished
+// result — cancellation and WithBudget still abort the mining itself
+// mid-search.
+type QuasiQuery struct {
+	g     *Graph
+	cfg   uquasi.Config
+	limit int64
+}
+
+// NewQuasiQuery prepares a mining run for the maximal expected
+// γ-quasi-cliques of g. The density threshold γ comes from WithGamma and is
+// required: the mining algorithm supports γ ∈ [0.5, 1], and anything else —
+// including the zero value from omitting WithGamma — is rejected here with
+// a wrapped ErrGammaRange. Applicable options: WithGamma, WithMinSize,
+// WithMaxSize, WithLimit, WithBudget.
+func NewQuasiQuery(g *Graph, opts ...Option) (*QuasiQuery, error) {
+	o, err := applyOptions(kindQuasi, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := uquasi.Config{Gamma: o.gamma, MinSize: o.cfg.MinSize, MaxSize: o.maxSize, Budget: o.cfg.Budget}
+	return newQuasiQuery(g, cfg, o.limit)
+}
+
+// newQuasiQuery is the single constructor behind NewQuasiQuery and the
+// deprecated wrappers; all invariants are enforced here.
+func newQuasiQuery(g *Graph, cfg uquasi.Config, limit int64) (*QuasiQuery, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", limit, ErrConfig)
+	}
+	if err := uquasi.Validate(g, cfg); err != nil {
+		return nil, err
+	}
+	return &QuasiQuery{g: g, cfg: cfg, limit: limit}, nil
+}
+
+// run mines the sets and reports them through visit under the WithLimit
+// bound. Stats.Emitted reflects the delivered count when a limit or early
+// stop truncates the report loop.
+func (q *QuasiQuery) run(ctx context.Context, visit QuasiVisitor) (stats QuasiStats, userStopped bool, err error) {
+	sets, stats, err := uquasi.CollectContext(ctx, q.g, q.cfg)
+	if err != nil {
+		return stats, false, err
+	}
+	delivered := int64(0)
+	for _, s := range sets {
+		// Count before invoking the visitor, like every other miner: a set
+		// that reached the visitor is emitted even if it stopped the run.
+		delivered++
+		if visit != nil && !visit(s) {
+			userStopped = true
+			stats.Status = StatusStopped
+			break
+		}
+		if q.limit > 0 && delivered >= q.limit {
+			// Matching Query's WithLimit contract, hitting the bound is a
+			// stop even when it lands on the final set.
+			stats.Status = StatusStopped
+			break
+		}
+	}
+	stats.Emitted = delivered
+	return stats, userStopped, err
+}
+
+// Run mines the query's quasi-cliques and reports each to visit (visit may
+// be nil to only count). The error contract matches Query.Run: wrapped
+// context/budget causes for aborts, ErrStopped when visit returned false,
+// nil for complete runs and WithLimit truncation.
+func (q *QuasiQuery) Run(ctx context.Context, visit QuasiVisitor) (QuasiStats, error) {
+	stats, userStopped, err := q.run(ctx, visit)
+	if err != nil {
+		return stats, err
+	}
+	if userStopped {
+		return stats, fmt.Errorf("mule: %w", ErrStopped)
+	}
+	return stats, nil
+}
+
+// Collect returns the maximal expected γ-quasi-cliques in canonical order
+// (each sorted ascending; sets sorted lexicographically).
+func (q *QuasiQuery) Collect(ctx context.Context) ([][]int, error) {
+	var out [][]int
+	_, _, err := q.run(ctx, func(s []int) bool {
+		out = append(out, append([]int(nil), s...))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns the number of maximal expected γ-quasi-cliques, without
+// materializing them (subject to WithLimit, like every run method).
+func (q *QuasiQuery) Count(ctx context.Context) (int64, error) {
+	stats, err := q.Run(ctx, nil)
+	return stats.Emitted, err
+}
+
+// Stream returns the query's quasi-cliques as a range-over-func stream with
+// the same contract as Query.Cliques: each set is yielded with a nil error,
+// an aborted run ends with one final (nil, err) pair, and breaking the loop
+// stops the report immediately with nothing leaked. Because maximality
+// needs global knowledge, the mining runs to completion when the first
+// element is requested; sets then stream in canonical order.
+func (q *QuasiQuery) Stream(ctx context.Context) iter.Seq2[[]int, error] {
+	return streamOf(func(emit func([]int) bool) error {
+		_, _, err := q.run(ctx, func(s []int) bool {
+			return emit(append([]int(nil), s...))
+		})
+		return err
+	})
+}
+
+// --- Truss queries ---
+
+// TrussVisitor receives one edge with its final η-truss number, in peel
+// order; returning false stops the decomposition early.
+type TrussVisitor = utruss.Visitor
+
+// TrussStats reports the work performed by a truss computation.
+type TrussStats = utruss.Stats
+
+// TrussQuery is a prepared (k,η)-truss decomposition of one uncertain
+// graph at one confidence threshold η. Build it with NewTrussQuery; it is
+// immutable after construction and safe for concurrent use. The peeling
+// polls its context between support-probability evaluations, so
+// cancellation, deadlines, and WithBudget bounds abort mid-decomposition.
+type TrussQuery struct {
+	g     *Graph
+	eta   float64
+	cfg   utruss.Config
+	limit int64
+}
+
+// NewTrussQuery prepares the η-truss decomposition of g. It validates
+// eagerly: a nil graph wraps ErrNilGraph, an eta outside (0,1] wraps
+// ErrEtaRange. Applicable options: WithLimit, WithBudget.
+func NewTrussQuery(g *Graph, eta float64, opts ...Option) (*TrussQuery, error) {
+	o, err := applyOptions(kindTruss, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newTrussQuery(g, eta, utruss.Config{Budget: o.cfg.Budget}, o.limit)
+}
+
+// newTrussQuery is the single constructor behind NewTrussQuery and the
+// deprecated wrappers; all invariants are enforced here.
+func newTrussQuery(g *Graph, eta float64, cfg utruss.Config, limit int64) (*TrussQuery, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", limit, ErrConfig)
+	}
+	if err := utruss.Validate(g, eta, cfg); err != nil {
+		return nil, err
+	}
+	return &TrussQuery{g: g, eta: eta, cfg: cfg, limit: limit}, nil
+}
+
+// run executes the decomposition under the WithLimit bound.
+func (q *TrussQuery) run(ctx context.Context, visit TrussVisitor) (stats TrussStats, userStopped bool, err error) {
+	stats, err = utruss.RunContext(ctx, q.g, q.eta, q.cfg, limitVisitor(visit, q.limit, &userStopped))
+	return stats, userStopped, err
+}
+
+// Run performs the decomposition, streaming every edge with its final
+// η-truss number to visit in peel order (visit may be nil to only count;
+// see TrussStats.Emitted). The error contract matches Query.Run.
+func (q *TrussQuery) Run(ctx context.Context, visit TrussVisitor) (TrussStats, error) {
+	stats, userStopped, err := q.run(ctx, visit)
+	if err != nil {
+		return stats, err
+	}
+	if userStopped {
+		return stats, fmt.Errorf("mule: %w", ErrStopped)
+	}
+	return stats, nil
+}
+
+// Collect returns the full decomposition — every edge with its η-truss
+// number — sorted by (U, V).
+func (q *TrussQuery) Collect(ctx context.Context) ([]EdgeTruss, error) {
+	var out []EdgeTruss
+	_, _, err := q.run(ctx, func(e EdgeTruss) bool {
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out, nil
+}
+
+// Count returns the number of edges the decomposition assigns a truss
+// number (the graph's edge count on a complete run, fewer under WithLimit).
+func (q *TrussQuery) Count(ctx context.Context) (int64, error) {
+	stats, err := q.Run(ctx, nil)
+	return stats.Emitted, err
+}
+
+// Stream returns the decomposition as a range-over-func stream in peel
+// order, with the same contract as Query.Cliques: each edge is yielded with
+// a nil error, an aborted run ends with one final (EdgeTruss{}, err) pair,
+// and breaking the loop stops the peeling on the spot with nothing leaked.
+func (q *TrussQuery) Stream(ctx context.Context) iter.Seq2[EdgeTruss, error] {
+	return streamOf(func(emit func(EdgeTruss) bool) error {
+		_, _, err := q.run(ctx, emit)
+		return err
+	})
+}
+
+// Truss returns the (k,η)-truss of the query's graph: the unique maximal
+// subgraph whose every edge has probability ≥ η of being supported by at
+// least k−2 triangles within the subgraph. k below 2 wraps ErrKRange. The
+// result preserves the graph's vertex set; only edges are removed.
+// WithLimit does not apply (the truss is one subgraph, not a stream).
+func (q *TrussQuery) Truss(ctx context.Context, k int) (*Graph, error) {
+	tr, _, err := utruss.TrussContext(ctx, q.g, k, q.eta, q.cfg)
+	return tr, err
+}
+
+// MaxTruss returns the largest k for which the (k,η)-truss is non-empty,
+// or 0 for an edgeless graph.
+func (q *TrussQuery) MaxTruss(ctx context.Context) (int, error) {
+	full := *q
+	full.limit = 0
+	stats, err := full.Run(ctx, nil)
+	if err != nil {
+		return 0, err
+	}
+	return stats.MaxTruss, nil
+}
+
+// --- Core queries ---
+
+// CoreVisitor receives one vertex with its final η-core number, in peel
+// order; returning false stops the decomposition early.
+type CoreVisitor = ucore.Visitor
+
+// CoreStats reports the work performed by a core decomposition run.
+type CoreStats = ucore.Stats
+
+// VertexCore reports the η-core number of one vertex.
+type VertexCore = ucore.VertexCore
+
+// CoreQuery is a prepared (k,η)-core decomposition of one uncertain graph
+// at one confidence threshold η. Build it with NewCoreQuery; it is
+// immutable after construction and safe for concurrent use. The min-peeling
+// polls its context between η-degree recomputations, so cancellation,
+// deadlines, and WithBudget bounds abort mid-decomposition.
+type CoreQuery struct {
+	g     *Graph
+	eta   float64
+	cfg   ucore.Config
+	limit int64
+}
+
+// NewCoreQuery prepares the η-core decomposition of g. It validates
+// eagerly: a nil graph wraps ErrNilGraph, an eta outside (0,1] wraps
+// ErrEtaRange. Applicable options: WithLimit, WithBudget.
+func NewCoreQuery(g *Graph, eta float64, opts ...Option) (*CoreQuery, error) {
+	o, err := applyOptions(kindCore, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newCoreQuery(g, eta, ucore.Config{Budget: o.cfg.Budget}, o.limit)
+}
+
+// newCoreQuery is the single constructor behind NewCoreQuery and the
+// deprecated wrappers; all invariants are enforced here.
+func newCoreQuery(g *Graph, eta float64, cfg ucore.Config, limit int64) (*CoreQuery, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", limit, ErrConfig)
+	}
+	if err := ucore.Validate(g, eta, cfg); err != nil {
+		return nil, err
+	}
+	return &CoreQuery{g: g, eta: eta, cfg: cfg, limit: limit}, nil
+}
+
+// run executes the decomposition under the WithLimit bound.
+func (q *CoreQuery) run(ctx context.Context, visit CoreVisitor) (stats CoreStats, userStopped bool, err error) {
+	stats, err = ucore.RunContext(ctx, q.g, q.eta, q.cfg, limitVisitor(visit, q.limit, &userStopped))
+	return stats, userStopped, err
+}
+
+// Run performs the decomposition, streaming every vertex with its final
+// η-core number to visit in peel order (visit may be nil to only count;
+// see CoreStats.Emitted). The error contract matches Query.Run.
+func (q *CoreQuery) Run(ctx context.Context, visit CoreVisitor) (CoreStats, error) {
+	stats, userStopped, err := q.run(ctx, visit)
+	if err != nil {
+		return stats, err
+	}
+	if userStopped {
+		return stats, fmt.Errorf("mule: %w", ErrStopped)
+	}
+	return stats, nil
+}
+
+// Collect returns the full decomposition — every vertex with its η-core
+// number — sorted by vertex ID.
+func (q *CoreQuery) Collect(ctx context.Context) ([]VertexCore, error) {
+	var out []VertexCore
+	_, _, err := q.run(ctx, func(vc VertexCore) bool {
+		out = append(out, vc)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+	return out, nil
+}
+
+// Count returns the number of vertices the decomposition assigns a core
+// number (the graph's vertex count on a complete run, fewer under
+// WithLimit).
+func (q *CoreQuery) Count(ctx context.Context) (int64, error) {
+	stats, err := q.Run(ctx, nil)
+	return stats.Emitted, err
+}
+
+// Stream returns the decomposition as a range-over-func stream in peel
+// order (non-decreasing core number), with the same contract as
+// Query.Cliques: each vertex is yielded with a nil error, an aborted run
+// ends with one final (VertexCore{}, err) pair, and breaking the loop stops
+// the peeling on the spot with nothing leaked.
+func (q *CoreQuery) Stream(ctx context.Context) iter.Seq2[VertexCore, error] {
+	return streamOf(func(emit func(VertexCore) bool) error {
+		_, _, err := q.run(ctx, emit)
+		return err
+	})
+}
+
+// Decompose returns the decomposition in its classical form: per-vertex
+// core numbers, the degeneracy, and the peel order. WithLimit does not
+// apply — the arrays are only meaningful complete.
+func (q *CoreQuery) Decompose(ctx context.Context) (CoreDecomposition, error) {
+	dec, _, err := ucore.DecomposeContext(ctx, q.g, q.eta, q.cfg)
+	return dec, err
+}
+
+// Core returns the vertices of the (k,η)-core: the maximal induced
+// subgraph where every vertex keeps η-degree ≥ k within it. Negative k
+// wraps ErrKRange. WithLimit does not apply.
+func (q *CoreQuery) Core(ctx context.Context, k int) ([]int, error) {
+	verts, _, err := ucore.CoreContext(ctx, q.g, k, q.eta, q.cfg)
+	return verts, err
+}

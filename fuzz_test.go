@@ -90,6 +90,117 @@ func firstError(n int, edges []mule.Edge) error {
 	return nil
 }
 
+// FuzzBipartiteFromEdges drives bipartite graph construction with arbitrary
+// (nL, nR, edge-triple) inputs and asserts the validation contract: every
+// rejection wraps exactly one of ErrVertexRange / ErrProbRange /
+// ErrDuplicateEdge (bipartite edges have no self-loop concept), every
+// acceptance round-trips through the graph's accessors, and the
+// classification matches a from-scratch predicate — the mirror of
+// FuzzFromEdges for the biclique surface.
+func FuzzBipartiteFromEdges(f *testing.F) {
+	f.Add(3, 3, 0, 1, 0.5, 2, 2, 0.9)
+	f.Add(3, 3, -1, 2, 0.5, 0, 1, 0.5)          // negative left endpoint
+	f.Add(3, 3, 0, 7, 0.5, 0, 1, 0.5)           // right endpoint ≥ nR
+	f.Add(3, 3, 0, 1, 0.0, 1, 2, 0.5)           // zero probability
+	f.Add(3, 3, 0, 1, 1.5, 1, 2, 0.5)           // probability > 1
+	f.Add(3, 3, 0, 1, math.NaN(), 1, 2, 1.0)    // NaN probability
+	f.Add(3, 3, 0, 1, 0.5, 0, 1, 0.7)           // duplicate edge
+	f.Add(0, 0, 0, 1, 0.5, 1, 2, 0.5)           // empty sides
+	f.Add(2, 2, 0, 0, 1e-300, 1, 1, 0.5)        // tiny but valid probability
+	f.Add(1000, 1000, 999, 999, 1.0, 0, 0, 1.0) // boundary endpoints
+	f.Fuzz(func(t *testing.T, nL, nR, l1, r1 int, p1 float64, l2, r2 int, p2 float64) {
+		if nL < 0 || nL > 1000 || nR < 0 || nR > 1000 {
+			return
+		}
+		edges := []mule.BipartiteEdge{{L: l1, R: r1, P: p1}, {L: l2, R: r2, P: p2}}
+		g, err := mule.BipartiteFromEdges(nL, nR, edges)
+		if err != nil {
+			if !errors.Is(err, mule.ErrVertexRange) &&
+				!errors.Is(err, mule.ErrProbRange) &&
+				!errors.Is(err, mule.ErrDuplicateEdge) {
+				t.Fatalf("BipartiteFromEdges(%d, %d, %v) returned untyped error %v", nL, nR, edges, err)
+			}
+			if want := firstBipartiteError(nL, nR, edges); !errors.Is(err, want) {
+				t.Fatalf("BipartiteFromEdges(%d, %d, %v) = %v, want sentinel %v", nL, nR, edges, err, want)
+			}
+			return
+		}
+		if want := firstBipartiteError(nL, nR, edges); want != nil {
+			t.Fatalf("BipartiteFromEdges(%d, %d, %v) accepted input that violates %v", nL, nR, edges, want)
+		}
+		if g.NumLeft() != nL || g.NumRight() != nR {
+			t.Fatalf("sides = (%d, %d), want (%d, %d)", g.NumLeft(), g.NumRight(), nL, nR)
+		}
+		if g.NumEdges() != 2 {
+			t.Fatalf("NumEdges = %d, want 2 (distinct valid edges)", g.NumEdges())
+		}
+		for _, e := range edges {
+			p, ok := g.Prob(e.L, e.R)
+			if !ok || p != e.P {
+				t.Fatalf("Prob(%d,%d) = (%v,%v), want (%v,true)", e.L, e.R, p, ok, e.P)
+			}
+		}
+	})
+}
+
+// firstBipartiteError reimplements the documented bipartite validation
+// order from scratch: edges are checked in sequence, each for left range,
+// then right range, then probability, then duplication.
+func firstBipartiteError(nL, nR int, edges []mule.BipartiteEdge) error {
+	type key struct{ l, r int }
+	seen := map[key]bool{}
+	for _, e := range edges {
+		if e.L < 0 || e.L >= nL || e.R < 0 || e.R >= nR {
+			return mule.ErrVertexRange
+		}
+		if math.IsNaN(e.P) || e.P <= 0 || e.P > 1 {
+			return mule.ErrProbRange
+		}
+		if seen[key{e.L, e.R}] {
+			return mule.ErrDuplicateEdge
+		}
+		seen[key{e.L, e.R}] = true
+	}
+	return nil
+}
+
+// FuzzBipartiteBuilderAddEdge checks the BipartiteBuilder path directly,
+// including the AddEdge/UpsertEdge duplicate split — the mirror of
+// FuzzBuilderAddEdge.
+func FuzzBipartiteBuilderAddEdge(f *testing.F) {
+	f.Add(5, 4, 0, 1, 0.5)
+	f.Add(5, 4, -2, 1, 0.5)
+	f.Add(5, 4, 0, 9, 2.0)
+	f.Add(5, 4, 4, 3, 1.0)
+	f.Fuzz(func(t *testing.T, nL, nR, l, r int, p float64) {
+		if nL < 0 || nL > 1000 || nR < 0 || nR > 1000 {
+			return
+		}
+		b := mule.NewBipartiteBuilder(nL, nR)
+		err := b.AddEdge(l, r, p)
+		if want := firstBipartiteError(nL, nR, []mule.BipartiteEdge{{L: l, R: r, P: p}}); want != nil {
+			if !errors.Is(err, want) {
+				t.Fatalf("AddEdge(%d,%d,%v) = %v, want sentinel %v", l, r, p, err, want)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("AddEdge(%d,%d,%v) rejected valid edge: %v", l, r, p, err)
+		}
+		// A second add of the same edge must be a typed duplicate error,
+		// while UpsertEdge overwrites.
+		if err := b.AddEdge(l, r, p); !errors.Is(err, mule.ErrDuplicateEdge) {
+			t.Fatalf("duplicate AddEdge = %v, want wrapped ErrDuplicateEdge", err)
+		}
+		if err := b.UpsertEdge(l, r, p/2+0.1); err != nil {
+			t.Fatalf("UpsertEdge on existing edge: %v", err)
+		}
+		if b.NumEdges() != 1 {
+			t.Fatalf("NumEdges = %d, want 1", b.NumEdges())
+		}
+	})
+}
+
 // FuzzBuilderAddEdge checks the Builder path directly, including the
 // AddEdge/UpsertEdge duplicate split.
 func FuzzBuilderAddEdge(f *testing.F) {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/gen"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
@@ -121,25 +122,10 @@ func engineLabel(c core.Config) string {
 	return c.Parallel.String()
 }
 
-// measureKernel benchmarks one (workload, engine) cell. With once set it
-// performs a single timed iteration (CI smoke mode, equivalent in spirit to
-// -benchtime=1x); otherwise it defers to testing.Benchmark's auto-scaling.
-func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once bool) (KernelEntry, error) {
-	var stats core.Stats
-	var runErr error
-	ctx := context.Background()
-	runOnce := func() {
-		// Measured through the public query API (runEnumeration), so the
-		// trajectory reflects what callers of mule.NewQuery actually pay —
-		// including the per-node cancellation accounting.
-		stats, runErr = runEnumeration(ctx, g, alpha, coreCfg)
-	}
-	e := KernelEntry{
-		Alpha:   alpha,
-		MinSize: coreCfg.MinSize,
-		Engine:  engineLabel(coreCfg),
-		Workers: maxInt(coreCfg.Workers, 1),
-	}
+// measureTimed times runOnce into e. With once set it performs a single
+// timed iteration (CI smoke mode, equivalent in spirit to -benchtime=1x);
+// otherwise it defers to testing.Benchmark's auto-scaling.
+func measureTimed(e *KernelEntry, runOnce func(), once bool) {
 	if once {
 		var before, after runtime.MemStats
 		runtime.GC()
@@ -161,12 +147,77 @@ func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once 
 		e.AllocsPerOp = r.AllocsPerOp()
 		e.BytesPerOp = r.AllocedBytesPerOp()
 	}
+}
+
+// measureKernel benchmarks one (workload, engine) cell.
+func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once bool) (KernelEntry, error) {
+	var stats core.Stats
+	var runErr error
+	ctx := context.Background()
+	e := KernelEntry{
+		Alpha:   alpha,
+		MinSize: coreCfg.MinSize,
+		Engine:  engineLabel(coreCfg),
+		Workers: maxInt(coreCfg.Workers, 1),
+	}
+	measureTimed(&e, func() {
+		// Measured through the public query API (runEnumeration), so the
+		// trajectory reflects what callers of mule.NewQuery actually pay —
+		// including the per-node cancellation accounting.
+		stats, runErr = runEnumeration(ctx, g, alpha, coreCfg)
+	}, once)
 	if runErr != nil {
 		return e, runErr
 	}
 	e.Cliques = stats.Emitted
 	e.Calls = stats.Calls
 	return e, nil
+}
+
+// extensionKernelCells returns the extension-path cells of the sweep: a
+// small biclique enumeration and an η-truss decomposition, both measured
+// through the public prepared-query API so the trajectory catches
+// regressions on the §6 query surface (run-control polling included). The
+// cells are sized to stay 1-CPU-friendly per the trajectory-comparability
+// convention; both are serial by construction. KernelEntry reuse: Alpha
+// carries the miner's threshold (α / η), Cliques the emitted results
+// (bicliques / edges), Calls the charged work units (search nodes / support
+// checks).
+func extensionKernelCells(cfg Config, once bool) ([]KernelEntry, error) {
+	ctx := context.Background()
+	out := make([]KernelEntry, 0, 2)
+
+	bg := AffinityBipartite(200, 150, 6, cfg.Seed)
+	be := KernelEntry{Workload: "biclique-aff200x150", Alpha: 0.2, Engine: "serial", Workers: 1}
+	var bStats mule.BicliqueStats
+	var runErr error
+	bq, err := mule.NewBicliqueQuery(bg, be.Alpha, mule.WithSides(2, 2))
+	if err != nil {
+		return nil, err
+	}
+	measureTimed(&be, func() { bStats, runErr = bq.Run(ctx, nil) }, once)
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: biclique kernel cell: %w", runErr)
+	}
+	be.Cliques = bStats.Emitted
+	be.Calls = bStats.Calls
+	out = append(out, be)
+
+	tg := CommunityGraph(150, 8, 7, cfg.Seed)
+	te := KernelEntry{Workload: "truss-community150", Alpha: 0.5, Engine: "serial", Workers: 1}
+	var tStats mule.TrussStats
+	tq, err := mule.NewTrussQuery(tg, te.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	measureTimed(&te, func() { tStats, runErr = tq.Run(ctx, nil) }, once)
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: truss kernel cell: %w", runErr)
+	}
+	te.Cliques = tStats.Emitted
+	te.Calls = tStats.Checks
+	out = append(out, te)
+	return out, nil
 }
 
 // runKernel executes the kernel benchmark sweep, renders the table, and —
@@ -204,6 +255,17 @@ func runKernel(cfg Config, w io.Writer) error {
 				fmt.Sprintf("%d", e.Calls))
 		}
 	}
+	extCells, err := extensionKernelCells(cfg, cfg.KernelOnce)
+	if err != nil {
+		return err
+	}
+	for _, e := range extCells {
+		run.Entries = append(run.Entries, e)
+		t.Add(e.Workload, fmt.Sprintf("%g", e.Alpha), "0", e.Engine, "1",
+			fmt.Sprintf("%.0f", e.NsPerOp), fmt.Sprintf("%d", e.AllocsPerOp),
+			fmt.Sprintf("%d", e.BytesPerOp), fmt.Sprintf("%d", e.Cliques),
+			fmt.Sprintf("%d", e.Calls))
+	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
@@ -218,7 +280,7 @@ func runKernel(cfg Config, w io.Writer) error {
 	if err := MergeKernelRun(cfg.KernelOut, run); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "kernel run %q appended to %s\n", run.Label, cfg.KernelOut)
+	_, err = fmt.Fprintf(w, "kernel run %q appended to %s\n", run.Label, cfg.KernelOut)
 	return err
 }
 

@@ -258,8 +258,8 @@ func EnumerateContext(ctx context.Context, g *uncertain.Graph, alpha float64, vi
 	if err := Validate(g, alpha, cfg); err != nil {
 		return Stats{}, err
 	}
-	ctl := newRunControl(ctx, cfg.Budget)
-	if ctl.poll(0) { // fail fast on an already-dead context
+	ctl := NewRunControl(ctx, cfg.Budget)
+	if ctl.Poll(0) { // fail fast on an already-dead context
 		var stats Stats
 		return stats, ctl.finish(&stats, false)
 	}

@@ -28,6 +28,16 @@ var (
 	// ErrBudget reports that the run exhausted its Config.Budget of search
 	// nodes before completing.
 	ErrBudget = errors.New("search budget exhausted")
+
+	// ErrGammaRange reports a quasi-clique density threshold γ outside the
+	// range the mining algorithm supports ([0.5, 1]; the predicate and
+	// verifier helpers accept (0, 1]).
+	ErrGammaRange = errors.New("gamma out of range")
+	// ErrEtaRange reports a truss/core confidence threshold η outside (0, 1].
+	ErrEtaRange = errors.New("eta outside (0,1]")
+	// ErrKRange reports a structural size parameter k below its floor (2 for
+	// trusses, 0 for cores).
+	ErrKRange = errors.New("k out of range")
 )
 
 // RunStatus is the terminal state of an enumeration run, recorded in
@@ -46,6 +56,11 @@ const (
 	StatusDeadline
 	// StatusBudget: the Config.Budget node budget ran out mid-run.
 	StatusBudget
+	// StatusFailed: the operation was rejected by validation before any
+	// search work ran. Queries validate at construction and never report
+	// it; the maintainer's per-operation stats use it so an invalid update
+	// is never mistaken for a completed one.
+	StatusFailed
 )
 
 // String names the status for logs and error messages.
@@ -61,6 +76,8 @@ func (s RunStatus) String() string {
 		return "deadline"
 	case StatusBudget:
 		return "budget"
+	case StatusFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("RunStatus(%d)", int(s))
 	}
@@ -74,11 +91,14 @@ func (s RunStatus) String() string {
 // microseconds of work).
 const abortCheckInterval = 1024
 
-// runControl is the per-run shared state that lets every engine observe
+// RunControl is the per-run shared state that lets every engine observe
 // cancellation, deadlines, node budgets, and visitor early-stop. One
-// instance exists per EnumerateContext call; the serial driver and every
-// parallel worker hold a pointer to it.
-type runControl struct {
+// instance exists per run; the serial driver and every parallel worker hold
+// a pointer to it. It is exported to the sibling miner packages (ubiclique,
+// uquasi, utruss, ucore, dynamic) so the whole §6 extension surface shares
+// one cancellation/budget discipline instead of reimplementing it per
+// algorithm.
+type RunControl struct {
 	ctx    context.Context // nil when the context can never be canceled
 	budget int64           // max search nodes; 0 = unlimited
 	used   atomic.Int64    // nodes charged against the budget, in batches
@@ -86,70 +106,81 @@ type runControl struct {
 	cause  atomic.Pointer[error]
 }
 
-// newRunControl builds the control block. A context that can never fire
+// NewRunControl builds the control block. A context that can never fire
 // (Background, TODO, pure value contexts) is dropped so the poll reduces to
 // a nil check.
-func newRunControl(ctx context.Context, budget int64) *runControl {
-	c := &runControl{budget: budget}
+func NewRunControl(ctx context.Context, budget int64) *RunControl {
+	c := &RunControl{budget: budget}
 	if ctx != nil && ctx.Done() != nil {
 		c.ctx = ctx
 	}
 	return c
 }
 
-// abort latches err as the run's abort cause (first caller wins) and raises
+// Abort latches err as the run's abort cause (first caller wins) and raises
 // the stop flag.
-func (c *runControl) abort(err error) {
+func (c *RunControl) Abort(err error) {
 	c.cause.CompareAndSwap(nil, &err)
 	c.stop.Store(true)
 }
 
-// abortErr returns the latched abort cause, nil if the run was not aborted.
-func (c *runControl) abortErr() error {
+// Err returns the latched abort cause, nil if the run was not aborted.
+func (c *RunControl) Err() error {
 	if p := c.cause.Load(); p != nil {
 		return *p
 	}
 	return nil
 }
 
-// poll checks the context and the node budget, charging nodes spent search
+// Poll checks the context and the node budget, charging nodes spent search
 // nodes against the budget. It returns true when the run must unwind. The
-// enumerators call it every abortCheckInterval nodes.
-func (c *runControl) poll(nodes int64) bool {
+// enumerators call it every abortCheckInterval nodes (cheap nodes are
+// charged in interval batches; expensive units of work — a Poisson-binomial
+// tail evaluation, an η-degree recompute — may be charged at finer grain).
+func (c *RunControl) Poll(nodes int64) bool {
 	if c.stop.Load() {
 		return true
 	}
 	if c.ctx != nil {
 		if err := c.ctx.Err(); err != nil {
-			c.abort(err)
+			c.Abort(err)
 			return true
 		}
 	}
 	if c.budget > 0 && c.used.Add(nodes) >= c.budget {
-		c.abort(ErrBudget)
+		c.Abort(ErrBudget)
 		return true
 	}
 	return false
 }
 
+// Status translates the control's terminal state into a RunStatus: complete
+// when nothing aborted and the visitor ran to the end, stopped on a visitor
+// early-stop, and the matching abort status otherwise.
+func (c *RunControl) Status(visitorStopped bool) RunStatus {
+	err := c.Err()
+	switch {
+	case err == nil && !visitorStopped:
+		return StatusComplete
+	case err == nil:
+		return StatusStopped
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline
+	case errors.Is(err, ErrBudget):
+		return StatusBudget
+	default:
+		return StatusCanceled
+	}
+}
+
 // finish translates the control's terminal state into the run's status and
 // returned error. A visitor early-stop is a successful run (the legacy
 // callback contract); aborts surface as wrapped sentinel errors.
-func (c *runControl) finish(stats *Stats, visitorStopped bool) error {
-	err := c.abortErr()
-	switch {
-	case err == nil && !visitorStopped:
-		stats.Status = StatusComplete
+func (c *RunControl) finish(stats *Stats, visitorStopped bool) error {
+	stats.Status = c.Status(visitorStopped)
+	err := c.Err()
+	if err == nil {
 		return nil
-	case err == nil:
-		stats.Status = StatusStopped
-		return nil
-	case errors.Is(err, context.DeadlineExceeded):
-		stats.Status = StatusDeadline
-	case errors.Is(err, ErrBudget):
-		stats.Status = StatusBudget
-	default:
-		stats.Status = StatusCanceled
 	}
 	return fmt.Errorf("core: enumeration aborted after %d search calls: %w", stats.Calls, err)
 }

@@ -55,39 +55,39 @@ func TestValidateSentinels(t *testing.T) {
 // cancellation, budget accounting, and first-cause-wins.
 func TestRunControlPoll(t *testing.T) {
 	// Non-cancellable context collapses to the nil fast path.
-	c := newRunControl(context.Background(), 0)
+	c := NewRunControl(context.Background(), 0)
 	if c.ctx != nil {
 		t.Fatal("Background context should be dropped")
 	}
-	if c.poll(1 << 20) {
+	if c.Poll(1 << 20) {
 		t.Fatal("unlimited budget tripped")
 	}
 
 	// Budget exhaustion latches ErrBudget.
-	c = newRunControl(context.Background(), 100)
-	if c.poll(99) {
+	c = NewRunControl(context.Background(), 100)
+	if c.Poll(99) {
 		t.Fatal("budget tripped early")
 	}
-	if !c.poll(1) {
+	if !c.Poll(1) {
 		t.Fatal("budget did not trip at the bound")
 	}
-	if !errors.Is(c.abortErr(), ErrBudget) {
-		t.Fatalf("abort cause = %v", c.abortErr())
+	if !errors.Is(c.Err(), ErrBudget) {
+		t.Fatalf("abort cause = %v", c.Err())
 	}
 
 	// Cancellation latches the context error; a later budget trip must not
 	// overwrite the first cause.
 	ctx, cancel := context.WithCancel(context.Background())
-	c = newRunControl(ctx, 1)
+	c = NewRunControl(ctx, 1)
 	cancel()
-	if !c.poll(5) {
+	if !c.Poll(5) {
 		t.Fatal("canceled context did not trip")
 	}
-	if !errors.Is(c.abortErr(), context.Canceled) {
-		t.Fatalf("abort cause = %v", c.abortErr())
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("abort cause = %v", c.Err())
 	}
-	c.abort(ErrBudget)
-	if !errors.Is(c.abortErr(), context.Canceled) {
+	c.Abort(ErrBudget)
+	if !errors.Is(c.Err(), context.Canceled) {
 		t.Fatal("second abort overwrote the first cause")
 	}
 }

@@ -40,7 +40,7 @@ func MaximumCliqueBudget(ctx context.Context, g *uncertain.Graph, alpha float64,
 		g:        work,
 		alpha:    alpha,
 		bestProb: 1,
-		ctl:      newRunControl(ctx, budget),
+		ctl:      NewRunControl(ctx, budget),
 		tick:     abortCheckInterval,
 	}
 	n := work.NumVertices()
@@ -48,7 +48,7 @@ func MaximumCliqueBudget(ctx context.Context, g *uncertain.Graph, alpha float64,
 	for v := 0; v < n; v++ {
 		rootI[v] = entry{int32(v), 1}
 	}
-	if !m.ctl.poll(0) {
+	if !m.ctl.Poll(0) {
 		m.recurse(nil, 1, rootI)
 	}
 	var stats Stats
@@ -64,7 +64,7 @@ type maxSearch struct {
 	alpha    float64
 	best     []int
 	bestProb float64
-	ctl      *runControl
+	ctl      *RunControl
 	tick     int
 	calls    int64
 	stopped  bool
@@ -82,7 +82,7 @@ func (m *maxSearch) recurse(C []int32, q float64, I []entry) {
 	m.tick--
 	if m.tick <= 0 {
 		m.tick = abortCheckInterval
-		if m.ctl.poll(abortCheckInterval) {
+		if m.ctl.Poll(abortCheckInterval) {
 			m.stopped = true
 			return
 		}

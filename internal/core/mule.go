@@ -28,7 +28,7 @@ type enumerator struct {
 	bits          *bitAdjacency // shared read-only bit-row index; may be nil
 	mask          []uint64      // worker-local scatter mask for the bitset kernel
 	stats         *Stats
-	ctl           *runControl
+	ctl           *RunControl
 	tick          int // nodes until the next ctl.poll; amortizes the abort check
 	arena         entryArena
 	emitBuf       []int
@@ -48,7 +48,7 @@ func (e *enumerator) countNode() bool {
 		return false
 	}
 	e.tick = abortCheckInterval
-	if e.ctl.poll(abortCheckInterval) {
+	if e.ctl.Poll(abortCheckInterval) {
 		e.stopped = true
 		return true
 	}

@@ -141,7 +141,7 @@ func (d *wsDeque) popIf(f *wsFrame) bool {
 // the run control so that visitor early-stop, context cancellation, and
 // budget exhaustion all unwind every worker through the same latch.
 type wsShared struct {
-	ctl     *runControl
+	ctl     *RunControl
 	busy    atomic.Int32 // workers not parked in waitForWork
 	visitMu sync.Mutex   // serializes user-visitor invocations
 	visit   Visitor      // the user's visitor; nil = count only

@@ -27,7 +27,9 @@ package dynamic
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"iter"
 	"sort"
 
 	"github.com/uncertain-graphs/mule/internal/core"
@@ -50,13 +52,17 @@ type Maintainer struct {
 	stats Stats
 }
 
-// Stats reports the cumulative work performed by a maintainer.
+// Stats reports the work performed by a maintainer. Maintainer.Stats
+// returns the cumulative totals since construction (Status stays zero
+// there); the context-aware update methods additionally return a per-call
+// Stats covering just that operation, with Status recording how it ended.
 type Stats struct {
-	Updates        int   // SetEdge/RemoveEdge calls applied
-	Rebuilt        int   // neighborhood enumerations run (≤ 2 per update)
-	SearchCalls    int64 // MULE search calls across all rebuilds
-	CliquesAdded   int   // cliques that appeared across all updates
-	CliquesRemoved int   // cliques that disappeared across all updates
+	Status         core.RunStatus // per-op: how the update ended (complete, canceled, …)
+	Updates        int            // edge updates applied
+	Rebuilt        int            // neighborhood enumerations run (≤ 2 per update)
+	SearchCalls    int64          // MULE search calls across all rebuilds
+	CliquesAdded   int            // cliques that appeared across all updates
+	CliquesRemoved int            // cliques that disappeared across all updates
 }
 
 // Diff reports the clique-set change caused by one update; both slices are
@@ -64,6 +70,14 @@ type Stats struct {
 type Diff struct {
 	Added   [][]int
 	Removed [][]int
+}
+
+// EdgeUpdate is one element of an Apply batch: set edge {U,V} to
+// probability P, or remove it when Remove is true (P is then ignored).
+type EdgeUpdate struct {
+	U, V   int
+	P      float64
+	Remove bool
 }
 
 // New builds a maintainer for g at threshold alpha, running one full MULE
@@ -166,30 +180,147 @@ func (m *Maintainer) Graph() *uncertain.Graph {
 
 // SetEdge sets the probability of edge {u,v} to p (inserting the edge if
 // absent) and returns the clique-set diff.
+//
+// Deprecated: use SetEdgeContext, which bounds the neighborhood
+// re-enumerations with a context and reports per-operation Stats. SetEdge
+// remains a thin wrapper with the original behavior.
 func (m *Maintainer) SetEdge(u, v int, p float64) (Diff, error) {
+	diff, _, err := m.SetEdgeContext(context.Background(), u, v, p)
+	return diff, err
+}
+
+// SetEdgeContext sets the probability of edge {u,v} to p (inserting the
+// edge if absent) and returns the clique-set diff plus the Stats of this
+// operation. The affected-neighborhood re-enumerations poll ctx exactly
+// like a Query run; if it fires mid-update the mutation is rolled back —
+// the maintainer's graph and clique set are unchanged — and the error wraps
+// context.Canceled or context.DeadlineExceeded.
+func (m *Maintainer) SetEdgeContext(ctx context.Context, u, v int, p float64) (Diff, Stats, error) {
 	if err := m.checkPair(u, v); err != nil {
-		return Diff{}, err
+		return Diff{}, Stats{Status: core.StatusFailed}, err
 	}
 	if !(p > 0 && p <= 1) { // also rejects NaN
-		return Diff{}, fmt.Errorf("dynamic: probability %v: %w", p, uncertain.ErrProbRange)
+		return Diff{}, Stats{Status: core.StatusFailed}, fmt.Errorf("dynamic: probability %v: %w", p, uncertain.ErrProbRange)
 	}
+	oldP, existed := m.adj[u][v]
 	m.adj[u][v] = p
 	m.adj[v][u] = p
-	return m.refresh(u, v), nil
+	diff, stats, err := m.refresh(ctx, u, v)
+	if err != nil {
+		if existed {
+			m.adj[u][v] = oldP
+			m.adj[v][u] = oldP
+		} else {
+			delete(m.adj[u], v)
+			delete(m.adj[v], u)
+		}
+		return Diff{}, stats, err
+	}
+	return diff, stats, nil
 }
 
 // RemoveEdge deletes edge {u,v} (equivalent to probability 0) and returns
 // the clique-set diff. Removing a non-existent edge is an error.
+//
+// Deprecated: use RemoveEdgeContext, which bounds the neighborhood
+// re-enumerations with a context and reports per-operation Stats.
+// RemoveEdge remains a thin wrapper with the original behavior.
 func (m *Maintainer) RemoveEdge(u, v int) (Diff, error) {
+	diff, _, err := m.RemoveEdgeContext(context.Background(), u, v)
+	return diff, err
+}
+
+// RemoveEdgeContext deletes edge {u,v} (equivalent to probability 0) and
+// returns the clique-set diff plus the Stats of this operation. Removing a
+// non-existent edge is an error wrapping core.ErrConfig. Like
+// SetEdgeContext, an aborted update is rolled back completely.
+func (m *Maintainer) RemoveEdgeContext(ctx context.Context, u, v int) (Diff, Stats, error) {
 	if err := m.checkPair(u, v); err != nil {
-		return Diff{}, err
+		return Diff{}, Stats{Status: core.StatusFailed}, err
 	}
-	if _, ok := m.adj[u][v]; !ok {
-		return Diff{}, fmt.Errorf("dynamic: edge {%d,%d} does not exist", u, v)
+	oldP, ok := m.adj[u][v]
+	if !ok {
+		return Diff{}, Stats{Status: core.StatusFailed}, fmt.Errorf("dynamic: edge {%d,%d} does not exist: %w", u, v, core.ErrConfig)
 	}
 	delete(m.adj[u], v)
 	delete(m.adj[v], u)
-	return m.refresh(u, v), nil
+	diff, stats, err := m.refresh(ctx, u, v)
+	if err != nil {
+		m.adj[u][v] = oldP
+		m.adj[v][u] = oldP
+		return Diff{}, stats, err
+	}
+	return diff, stats, nil
+}
+
+// Apply applies a batch of edge updates in order and returns the net
+// clique-set diff — a clique that appears and then disappears within the
+// batch (or vice versa) cancels out — plus the combined Stats of the whole
+// batch. Updates are committed one at a time: if ctx fires (or an update is
+// invalid) mid-batch, the failing update is rolled back, every earlier
+// update stays committed, and the returned diff covers exactly the
+// committed prefix, so the maintainer is always in a consistent state
+// matching its Graph().
+func (m *Maintainer) Apply(ctx context.Context, batch []EdgeUpdate) (Diff, Stats, error) {
+	var total Stats
+	added := make(map[string][]int)
+	removed := make(map[string][]int)
+	merge := func(diff Diff) {
+		for _, c := range diff.Added {
+			k := key(c)
+			if _, wasRemoved := removed[k]; wasRemoved {
+				delete(removed, k)
+			} else {
+				added[k] = c
+			}
+		}
+		for _, c := range diff.Removed {
+			k := key(c)
+			if _, wasAdded := added[k]; wasAdded {
+				delete(added, k)
+			} else {
+				removed[k] = c
+			}
+		}
+	}
+	net := func() Diff {
+		var d Diff
+		for _, c := range added {
+			d.Added = append(d.Added, c)
+		}
+		for _, c := range removed {
+			d.Removed = append(d.Removed, c)
+		}
+		sortCliques(d.Added)
+		sortCliques(d.Removed)
+		return d
+	}
+	for _, up := range batch {
+		var diff Diff
+		var stats Stats
+		var err error
+		if up.Remove {
+			diff, stats, err = m.RemoveEdgeContext(ctx, up.U, up.V)
+		} else {
+			diff, stats, err = m.SetEdgeContext(ctx, up.U, up.V, up.P)
+		}
+		total.Updates += stats.Updates
+		total.Rebuilt += stats.Rebuilt
+		total.SearchCalls += stats.SearchCalls
+		if err != nil {
+			total.Status = stats.Status
+			d := net()
+			total.CliquesAdded = len(d.Added)
+			total.CliquesRemoved = len(d.Removed)
+			return d, total, err
+		}
+		merge(diff)
+	}
+	total.Status = core.StatusComplete
+	d := net()
+	total.CliquesAdded = len(d.Added)
+	total.CliquesRemoved = len(d.Removed)
+	return d, total, nil
 }
 
 func (m *Maintainer) checkPair(u, v int) error {
@@ -203,9 +334,15 @@ func (m *Maintainer) checkPair(u, v int) error {
 }
 
 // refresh re-derives the maximal cliques containing u or v after the edge
-// {u,v} changed, and applies the difference to the store.
-func (m *Maintainer) refresh(u, v int) Diff {
-	m.stats.Updates++
+// {u,v} changed, and applies the difference to the store. The clique store
+// is only mutated after both neighborhood enumerations succeed, so an abort
+// leaves it untouched and the caller can roll back the adjacency mutation
+// for a fully atomic update.
+func (m *Maintainer) refresh(ctx context.Context, u, v int) (Diff, Stats, error) {
+	// Updates counts committed updates only — it is raised at the end, so
+	// an aborted (rolled-back) refresh reports the rebuild work it did but
+	// zero applied updates.
+	var op Stats
 
 	// Old affected cliques: those containing u or v.
 	oldKeys := make(map[string][]int)
@@ -220,11 +357,20 @@ func (m *Maintainer) refresh(u, v int) Diff {
 	// in the updated graph (cliques containing both are found twice and
 	// deduplicated by key).
 	newKeys := make(map[string][]int)
-	for _, c := range m.maximalCliquesThrough(u) {
-		newKeys[key(c)] = c
+	throughU, err := m.maximalCliquesThrough(ctx, u, &op)
+	if err == nil {
+		var throughV [][]int
+		throughV, err = m.maximalCliquesThrough(ctx, v, &op)
+		for _, c := range throughU {
+			newKeys[key(c)] = c
+		}
+		for _, c := range throughV {
+			newKeys[key(c)] = c
+		}
 	}
-	for _, c := range m.maximalCliquesThrough(v) {
-		newKeys[key(c)] = c
+	if err != nil {
+		op.Status = statusOf(err)
+		return Diff{}, op, fmt.Errorf("dynamic: update of edge {%d,%d} aborted: %w", u, v, err)
 	}
 
 	var diff Diff
@@ -242,16 +388,35 @@ func (m *Maintainer) refresh(u, v int) Diff {
 	}
 	sortCliques(diff.Added)
 	sortCliques(diff.Removed)
+	op.Status = core.StatusComplete
+	op.Updates = 1
+	op.CliquesAdded = len(diff.Added)
+	op.CliquesRemoved = len(diff.Removed)
+	m.stats.Updates++
 	m.stats.CliquesAdded += len(diff.Added)
 	m.stats.CliquesRemoved += len(diff.Removed)
-	return diff
+	return diff, op, nil
+}
+
+// statusOf classifies an enumeration abort cause for the per-op stats.
+func statusOf(err error) core.RunStatus {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return core.StatusDeadline
+	case errors.Is(err, core.ErrBudget):
+		return core.StatusBudget
+	default:
+		return core.StatusCanceled
+	}
 }
 
 // maximalCliquesThrough returns the α-maximal cliques of the current graph
 // that contain center. Any extender of such a clique is adjacent to center,
 // so enumerating the induced subgraph on N[center] and keeping the cliques
-// through center is exact.
-func (m *Maintainer) maximalCliquesThrough(center int) [][]int {
+// through center is exact. The enumeration runs under ctx and charges its
+// work to both op and the cumulative stats.
+func (m *Maintainer) maximalCliquesThrough(ctx context.Context, center int, op *Stats) ([][]int, error) {
+	op.Rebuilt++
 	m.stats.Rebuilt++
 	// verts = {center} ∪ N(center), with center first; newID 0 = center.
 	verts := make([]int, 0, len(m.adj[center])+1)
@@ -275,7 +440,7 @@ func (m *Maintainer) maximalCliquesThrough(center int) [][]int {
 		}
 	}
 	var out [][]int
-	stats, err := core.Enumerate(b.Build(), m.alpha, func(c []int, _ float64) bool {
+	stats, err := core.EnumerateContext(ctx, b.Build(), m.alpha, func(c []int, _ float64) bool {
 		through := false
 		mapped := make([]int, len(c))
 		for i, nv := range c {
@@ -289,13 +454,37 @@ func (m *Maintainer) maximalCliquesThrough(center int) [][]int {
 			out = append(out, mapped)
 		}
 		return true
-	})
-	if err != nil {
-		// Unreachable: the graph and alpha were validated at construction.
-		panic(fmt.Sprintf("dynamic: neighborhood enumeration failed: %v", err))
-	}
+	}, core.Config{})
+	op.SearchCalls += stats.Calls
 	m.stats.SearchCalls += stats.Calls
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream returns the maintainer's current α-maximal cliques as a
+// range-over-func stream in canonical order. The snapshot is taken when the
+// stream is created, so concurrent use of the iterator does not observe
+// later updates; each yielded slice is caller-owned. If ctx fires between
+// yields the stream ends with one (nil, err) pair wrapping the cause.
+// Like every Maintainer method, Stream itself is not safe for concurrent
+// use with updates — wrap the maintainer in a mutex to share it.
+func (m *Maintainer) Stream(ctx context.Context) iter.Seq2[[]int, error] {
+	snapshot := m.Cliques()
+	return func(yield func([]int, error) bool) {
+		for _, c := range snapshot {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					yield(nil, fmt.Errorf("dynamic: clique stream aborted: %w", err))
+					return
+				}
+			}
+			if !yield(c, nil) {
+				return
+			}
+		}
+	}
 }
 
 func (m *Maintainer) insert(c []int) {

@@ -2,8 +2,10 @@ package graphio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -30,6 +32,51 @@ func WriteBipartiteText(w io.Writer, g *ubiclique.Bipartite) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// SaveBipartiteFile writes an uncertain bipartite graph to path in the
+// text format; a trailing ".gz" compresses the output transparently.
+func SaveBipartiteFile(path string, g *ubiclique.Bipartite) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := WriteBipartiteText(w, g); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// LoadBipartiteFile reads an uncertain bipartite graph from path
+// (conventionally .ubg); gzip streams are decompressed transparently.
+func LoadBipartiteFile(path string) (*ubiclique.Bipartite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if head, err := br.Peek(2); err == nil && [2]byte(head) == gzipMagic {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: opening gzip stream: %w", err)
+		}
+		defer zr.Close()
+		return ReadBipartiteText(zr)
+	}
+	return ReadBipartiteText(br)
 }
 
 // ReadBipartiteText parses the bipartite text format. The "bipartite nL nR"

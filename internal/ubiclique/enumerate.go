@@ -29,6 +29,10 @@ type Config struct {
 	// analogue). Values ≤ 1 mean "non-empty", which every biclique already
 	// satisfies.
 	MinLeft, MinRight int
+	// Budget, when > 0, bounds the number of search-tree nodes the run may
+	// expand before aborting with core.ErrBudget, charged in
+	// abortCheckInterval batches like the clique kernel's budget.
+	Budget int64
 	// CheckInvariants verifies the Lemma 6/7 analogues at every search node
 	// against from-scratch recomputation. Massively slow; test-only.
 	CheckInvariants bool
@@ -36,14 +40,15 @@ type Config struct {
 
 // Stats reports the work performed by an enumeration run.
 type Stats struct {
-	Calls        int64 // search-tree nodes visited
-	Emitted      int64 // α-maximal bicliques reported
-	Cut          int64 // subtrees skipped by the side/size reachability cut
-	MaxLeft      int   // largest emitted left side
-	MaxRight     int   // largest emitted right side
-	CandidateOps int64 // candidate entries produced across all generateI calls
-	WitnessOps   int64 // witness entries produced across all generateX calls
-	PrunedEdges  int   // edges removed by α-pruning
+	Status       core.RunStatus // how the run ended (complete, stopped, canceled, …)
+	Calls        int64          // search-tree nodes visited
+	Emitted      int64          // α-maximal bicliques reported
+	Cut          int64          // subtrees skipped by the side/size reachability cut
+	MaxLeft      int            // largest emitted left side
+	MaxRight     int            // largest emitted right side
+	CandidateOps int64          // candidate entries produced across all generateI calls
+	WitnessOps   int64          // witness entries produced across all generateX calls
+	PrunedEdges  int            // edges removed by α-pruning
 }
 
 // entry is one element of the candidate set I or the witness set X: ground
@@ -66,19 +71,15 @@ func EnumerateWith(g *Bipartite, alpha float64, visit Visitor, cfg Config) (Stat
 }
 
 // EnumerateContext is EnumerateWith under ctx: the recursion polls the
-// context every abortCheckInterval search nodes (a counter decrement per
-// node, no per-node atomics) and, if it fires, unwinds and returns an error
-// wrapping context.Canceled or context.DeadlineExceeded. A visitor
-// returning false remains a successful early stop.
+// shared run-control block every abortCheckInterval search nodes (a counter
+// decrement per node, no per-node atomics) and, if the context fires or the
+// Config.Budget runs out, unwinds and returns an error wrapping
+// context.Canceled, context.DeadlineExceeded, or core.ErrBudget, with
+// Stats.Status recording the terminal state. A visitor returning false
+// remains a successful early stop (Stats.Status == StatusStopped).
 func EnumerateContext(ctx context.Context, g *Bipartite, alpha float64, visit Visitor, cfg Config) (Stats, error) {
-	if g == nil {
-		return Stats{}, fmt.Errorf("ubiclique: %w", core.ErrNilGraph)
-	}
-	if !(alpha > 0 && alpha <= 1) { // also rejects NaN
-		return Stats{}, fmt.Errorf("ubiclique: alpha %v: %w", alpha, core.ErrAlphaRange)
-	}
-	if cfg.MinLeft < 0 || cfg.MinRight < 0 {
-		return Stats{}, fmt.Errorf("ubiclique: negative side minimum (%d, %d): %w", cfg.MinLeft, cfg.MinRight, core.ErrConfig)
+	if err := Validate(g, alpha, cfg); err != nil {
+		return Stats{}, err
 	}
 	minL, minR := cfg.MinLeft, cfg.MinRight
 	if minL < 1 {
@@ -89,6 +90,11 @@ func EnumerateContext(ctx context.Context, g *Bipartite, alpha float64, visit Vi
 	}
 
 	var stats Stats
+	ctl := core.NewRunControl(ctx, cfg.Budget)
+	if ctl.Poll(0) { // fail fast on an already-dead context
+		return stats, finish(ctl, &stats, false)
+	}
+
 	work := g
 	before := work.NumEdges()
 	work = work.PruneAlpha(alpha)
@@ -103,23 +109,44 @@ func EnumerateContext(ctx context.Context, g *Bipartite, alpha float64, visit Vi
 		visit:    visit,
 		checkInv: cfg.CheckInvariants,
 		stats:    &stats,
+		ctl:      ctl,
 		tick:     abortCheckInterval,
 		leftBuf:  make([]int, 0, 16),
 		rightBuf: make([]int, 0, 16),
 	}
-	if ctx != nil && ctx.Done() != nil {
-		e.ctx = ctx
-	}
-	if e.ctx != nil {
-		if err := e.ctx.Err(); err != nil {
-			return stats, fmt.Errorf("ubiclique: enumeration aborted: %w", err)
-		}
-	}
 	e.run()
-	if e.abortErr != nil {
-		return stats, fmt.Errorf("ubiclique: enumeration aborted after %d search calls: %w", stats.Calls, e.abortErr)
+	return stats, finish(ctl, &stats, e.userStopped)
+}
+
+// Validate checks the (graph, alpha, config) triple that every enumeration
+// entry point accepts, returning the first violation wrapped around the
+// matching sentinel (core.ErrNilGraph, core.ErrAlphaRange, core.ErrConfig).
+func Validate(g *Bipartite, alpha float64, cfg Config) error {
+	if g == nil {
+		return fmt.Errorf("ubiclique: %w", core.ErrNilGraph)
 	}
-	return stats, nil
+	if !(alpha > 0 && alpha <= 1) { // also rejects NaN
+		return fmt.Errorf("ubiclique: alpha %v: %w", alpha, core.ErrAlphaRange)
+	}
+	if cfg.MinLeft < 0 || cfg.MinRight < 0 {
+		return fmt.Errorf("ubiclique: negative side minimum (%d, %d): %w", cfg.MinLeft, cfg.MinRight, core.ErrConfig)
+	}
+	if cfg.Budget < 0 {
+		return fmt.Errorf("ubiclique: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
+	}
+	return nil
+}
+
+// finish records the terminal status on stats and formats the abort error,
+// mirroring the clique kernel's contract: nil for complete runs and visitor
+// early-stops, a wrapped cause otherwise.
+func finish(ctl *core.RunControl, stats *Stats, visitorStopped bool) error {
+	stats.Status = ctl.Status(visitorStopped)
+	err := ctl.Err()
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("ubiclique: enumeration aborted after %d search calls: %w", stats.Calls, err)
 }
 
 // Collect returns all α-maximal bicliques in canonical order (each side
@@ -185,28 +212,28 @@ func compareInts(a, b []int) int {
 }
 
 type enumerator struct {
-	g        *Bipartite
-	nL       int32 // ground IDs < nL are left, ≥ nL are right
-	alpha    float64
-	minL     int
-	minR     int
-	visit    Visitor
-	checkInv bool
-	stats    *Stats
-	ctx      context.Context // nil when the context can never fire
-	tick     int             // nodes until the next context poll
-	abortErr error
-	leftBuf  []int
-	rightBuf []int
-	stopped  bool
+	g           *Bipartite
+	nL          int32 // ground IDs < nL are left, ≥ nL are right
+	alpha       float64
+	minL        int
+	minR        int
+	visit       Visitor
+	checkInv    bool
+	stats       *Stats
+	ctl         *core.RunControl
+	tick        int // nodes until the next control poll
+	leftBuf     []int
+	rightBuf    []int
+	stopped     bool // unwind everything (abort or visitor stop)
+	userStopped bool // the visitor returned false
 }
 
 // abortCheckInterval matches the clique kernel's polling cadence: one
-// context check per this many search nodes, amortized to a counter
+// control poll per this many search nodes, amortized to a counter
 // decrement per node.
 const abortCheckInterval = 1024
 
-// countNode accounts one search node and polls the context on the
+// countNode accounts one search node and polls the run control on the
 // interval; it returns true when the run must unwind.
 func (e *enumerator) countNode() bool {
 	e.stats.Calls++
@@ -215,12 +242,9 @@ func (e *enumerator) countNode() bool {
 		return false
 	}
 	e.tick = abortCheckInterval
-	if e.ctx != nil {
-		if err := e.ctx.Err(); err != nil {
-			e.abortErr = err
-			e.stopped = true
-			return true
-		}
+	if e.ctl.Poll(abortCheckInterval) {
+		e.stopped = true
+		return true
 	}
 	return false
 }
@@ -383,6 +407,7 @@ func (e *enumerator) emit(C []int32, q float64, cL, cR int) {
 	}
 	if e.visit != nil && !e.visit(left, right, q) {
 		e.stopped = true
+		e.userStopped = true
 	}
 }
 

@@ -14,11 +14,45 @@
 package ucore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
+
+// Config tunes a core decomposition run.
+type Config struct {
+	// Budget, when > 0, bounds the number of η-degree recomputations (the
+	// O(d²) Poisson-binomial DPs that dominate the cost) the run may
+	// perform before aborting with core.ErrBudget.
+	Budget int64
+}
+
+// Stats reports the work performed by a core decomposition run.
+type Stats struct {
+	Status     core.RunStatus // how the run ended (complete, stopped, canceled, …)
+	Recomputes int64          // η-degree recomputations (the charged work unit)
+	Emitted    int64          // vertices reported with a final core number
+	Degeneracy int            // largest core number seen so far
+}
+
+// VertexCore reports the η-core number of one vertex.
+type VertexCore struct {
+	V    int // vertex ID
+	Core int // largest k such that v is in the (k,η)-core
+}
+
+// Visitor receives one vertex with its final η-core number, in peel order
+// (non-decreasing core number). Returning false stops the peeling early.
+type Visitor func(VertexCore) bool
+
+// abortCheckInterval is how many η-degree recomputations pass between
+// run-control polls. Each recompute is an O(d²) DP — far heavier than a
+// clique search node — so the cadence is finer than the clique kernel's
+// 1024-node interval.
+const abortCheckInterval = 64
 
 // DegreeTail returns Pr[deg ≥ k] where deg is the sum of independent
 // Bernoulli variables with the given success probabilities (the
@@ -90,32 +124,101 @@ type Decomposition struct {
 	Order []int
 }
 
-// Decompose computes the η-core decomposition of g by min-peeling: repeatedly
-// remove a vertex of minimum η-degree, recording max-so-far as its core
-// number. Each removal recomputes the η-degree of the affected neighbors
-// from their surviving incident probabilities (O(d²) per recompute).
-func Decompose(g *uncertain.Graph, eta float64) (Decomposition, error) {
-	if eta <= 0 || eta > 1 {
-		return Decomposition{}, fmt.Errorf("ucore: eta %v outside (0,1]", eta)
+// peeler carries the mutable min-peeling state and the run control.
+type peeler struct {
+	eta     float64
+	adj     []map[int32]float64
+	stats   *Stats
+	ctl     *core.RunControl
+	tick    int
+	stopped bool
+}
+
+// countRecompute accounts one η-degree recomputation and polls the run
+// control on the interval; it returns true when the run must unwind.
+func (p *peeler) countRecompute() bool {
+	p.stats.Recomputes++
+	p.tick--
+	if p.tick > 0 {
+		return false
+	}
+	p.tick = abortCheckInterval
+	if p.ctl.Poll(abortCheckInterval) {
+		p.stopped = true
+		return true
+	}
+	return false
+}
+
+// Validate checks the (graph, eta, config) triple every decomposition entry
+// point accepts, returning the first violation wrapped around the matching
+// sentinel (core.ErrNilGraph, core.ErrEtaRange, core.ErrConfig). The k of a
+// specific core is validated by CoreContext (core.ErrKRange).
+func Validate(g *uncertain.Graph, eta float64, cfg Config) error {
+	return validateCoreArgs(g, eta, cfg)
+}
+
+func validateCoreArgs(g *uncertain.Graph, eta float64, cfg Config) error {
+	if g == nil {
+		return fmt.Errorf("ucore: %w", core.ErrNilGraph)
+	}
+	if !(eta > 0 && eta <= 1) { // also rejects NaN
+		return fmt.Errorf("ucore: eta %v outside (0,1]: %w", eta, core.ErrEtaRange)
+	}
+	if cfg.Budget < 0 {
+		return fmt.Errorf("ucore: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
+	}
+	return nil
+}
+
+// finish records the terminal status on stats and formats the abort error.
+func finish(ctl *core.RunControl, stats *Stats, visitorStopped bool) error {
+	stats.Status = ctl.Status(visitorStopped)
+	err := ctl.Err()
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("ucore: core decomposition aborted after %d eta-degree recomputes: %w", stats.Recomputes, err)
+}
+
+// RunContext performs the η-core decomposition under ctx by min-peeling,
+// streaming every vertex with its final core number to visit as it is
+// peeled: the core number of the minimum-η-degree vertex is final the
+// moment it is removed, so the visitor fires in peel order (non-decreasing
+// core number) without waiting for the full decomposition. visit may be nil
+// to only count. A visitor returning false stops the peeling early
+// (StatusStopped, nil error); a context or budget abort returns an error
+// wrapping the cause.
+func RunContext(ctx context.Context, g *uncertain.Graph, eta float64, cfg Config, visit Visitor) (Stats, error) {
+	var stats Stats
+	if err := validateCoreArgs(g, eta, cfg); err != nil {
+		return stats, err
+	}
+	ctl := core.NewRunControl(ctx, cfg.Budget)
+	if ctl.Poll(0) { // fail fast on an already-dead context
+		return stats, finish(ctl, &stats, false)
 	}
 	n := g.NumVertices()
 	// Mutable adjacency probability lists.
-	adj := make([]map[int32]float64, n)
+	p := &peeler{eta: eta, adj: make([]map[int32]float64, n), stats: &stats, ctl: ctl, tick: abortCheckInterval}
 	for u := 0; u < n; u++ {
 		row, probs := g.Adjacency(u)
-		adj[u] = make(map[int32]float64, len(row))
+		p.adj[u] = make(map[int32]float64, len(row))
 		for i, v := range row {
-			adj[u][v] = probs[i]
+			p.adj[u][v] = probs[i]
 		}
 	}
 	etaDeg := make([]int, n)
-	for u := 0; u < n; u++ {
-		etaDeg[u] = etaDegreeOf(adj[u], eta)
+	for u := 0; u < n && !p.stopped; u++ {
+		if p.countRecompute() {
+			break
+		}
+		etaDeg[u] = etaDegreeOf(p.adj[u], eta)
 	}
 	removed := make([]bool, n)
-	dec := Decomposition{CoreNumber: make([]int, n), Order: make([]int, 0, n)}
 	current := 0
-	for len(dec.Order) < n {
+	visitorStopped := false
+	for peeled := 0; peeled < n && !p.stopped && !visitorStopped; peeled++ {
 		// Find the unremoved vertex of minimum η-degree. A bucket queue
 		// would be asymptotically better; linear selection keeps the
 		// recompute-heavy loop simple and is dwarfed by the O(d²) DPs.
@@ -128,22 +231,63 @@ func Decompose(g *uncertain.Graph, eta float64) (Decomposition, error) {
 		if bestDeg > current {
 			current = bestDeg
 		}
-		dec.CoreNumber[best] = current
-		if current > dec.Degeneracy {
-			dec.Degeneracy = current
+		if current > stats.Degeneracy {
+			stats.Degeneracy = current
 		}
 		removed[best] = true
-		dec.Order = append(dec.Order, best)
-		for w := range adj[best] {
+		stats.Emitted++
+		if visit != nil && !visit(VertexCore{V: best, Core: current}) {
+			visitorStopped = true
+			break
+		}
+		for w := range p.adj[best] {
 			if removed[w] {
 				continue
 			}
-			delete(adj[w], int32(best))
-			etaDeg[w] = etaDegreeOf(adj[w], eta)
+			delete(p.adj[w], int32(best))
+			if p.countRecompute() {
+				break
+			}
+			etaDeg[w] = etaDegreeOf(p.adj[w], eta)
 		}
-		adj[best] = nil
+		p.adj[best] = nil
 	}
-	return dec, nil
+	return stats, finish(ctl, &stats, visitorStopped)
+}
+
+// Decompose computes the η-core decomposition of g by min-peeling:
+// repeatedly remove a vertex of minimum η-degree, recording max-so-far as
+// its core number. Each removal recomputes the η-degree of the affected
+// neighbors from their surviving incident probabilities (O(d²) per
+// recompute).
+func Decompose(g *uncertain.Graph, eta float64) (Decomposition, error) {
+	dec, _, err := DecomposeContext(context.Background(), g, eta, Config{})
+	return dec, err
+}
+
+// DecomposeContext is Decompose under ctx and explicit configuration,
+// additionally returning the run's Stats.
+func DecomposeContext(ctx context.Context, g *uncertain.Graph, eta float64, cfg Config) (Decomposition, Stats, error) {
+	var dec Decomposition
+	stats, err := RunContext(ctx, g, eta, cfg, func(vc VertexCore) bool {
+		if dec.CoreNumber == nil {
+			dec.CoreNumber = make([]int, g.NumVertices())
+		}
+		dec.CoreNumber[vc.V] = vc.Core
+		if vc.Core > dec.Degeneracy {
+			dec.Degeneracy = vc.Core
+		}
+		dec.Order = append(dec.Order, vc.V)
+		return true
+	})
+	if err != nil {
+		return Decomposition{}, stats, err
+	}
+	if dec.CoreNumber == nil { // vertex-less graph
+		dec.CoreNumber = []int{}
+		dec.Order = []int{}
+	}
+	return dec, stats, nil
 }
 
 func etaDegreeOf(nbrs map[int32]float64, eta float64) int {
@@ -167,10 +311,21 @@ func etaDegreeOf(nbrs map[int32]float64, eta float64) int {
 
 // Core returns the vertices of the (k,η)-core: the maximal induced subgraph
 // where every vertex keeps η-degree ≥ k. Derived from the decomposition.
+// k must be non-negative (every vertex is vacuously in the (0,η)-core).
 func Core(g *uncertain.Graph, k int, eta float64) ([]int, error) {
-	dec, err := Decompose(g, eta)
+	verts, _, err := CoreContext(context.Background(), g, k, eta, Config{})
+	return verts, err
+}
+
+// CoreContext is Core under ctx and explicit configuration, additionally
+// returning the run's Stats.
+func CoreContext(ctx context.Context, g *uncertain.Graph, k int, eta float64, cfg Config) ([]int, Stats, error) {
+	if k < 0 {
+		return nil, Stats{}, fmt.Errorf("ucore: negative k %d: %w", k, core.ErrKRange)
+	}
+	dec, stats, err := DecomposeContext(ctx, g, eta, cfg)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	var verts []int
 	for v, c := range dec.CoreNumber {
@@ -178,5 +333,5 @@ func Core(g *uncertain.Graph, k int, eta float64) ([]int, error) {
 			verts = append(verts, v)
 		}
 	}
-	return verts, nil
+	return verts, stats, nil
 }

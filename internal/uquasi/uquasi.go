@@ -30,9 +30,11 @@
 package uquasi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -49,6 +51,9 @@ type Config struct {
 	// are neither reported nor used to disqualify smaller sets, so the
 	// output is "maximal among expected γ-quasi-cliques of size ≤ MaxSize".
 	MaxSize int
+	// Budget, when > 0, bounds the number of search-tree nodes the run may
+	// expand before aborting with core.ErrBudget.
+	Budget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -60,13 +65,14 @@ func (c Config) withDefaults() Config {
 
 // Stats reports the work performed by a mining run.
 type Stats struct {
-	Calls     int64 // search-tree nodes visited
-	Found     int64 // expected γ-quasi-cliques encountered (pre-filter)
-	Emitted   int64 // maximal expected γ-quasi-cliques reported
-	Pruned    int64 // subtrees cut by the weighted-degree bounds
-	MaxSize   int   // largest emitted set
-	Universe  int64 // total anchored candidate-universe size across anchors
-	FilterOps int64 // containment comparisons in the maximality filter
+	Status    core.RunStatus // how the run ended (complete, stopped, canceled, …)
+	Calls     int64          // search-tree nodes visited
+	Found     int64          // expected γ-quasi-cliques encountered (pre-filter)
+	Emitted   int64          // maximal expected γ-quasi-cliques reported
+	Pruned    int64          // subtrees cut by the weighted-degree bounds
+	MaxSize   int            // largest emitted set
+	Universe  int64          // total anchored candidate-universe size across anchors
+	FilterOps int64          // containment comparisons in the maximality filter
 }
 
 // ExpectedDegree returns E[deg_S(v)] = Σ_{u ∈ S, u ≠ v, {u,v} ∈ E} p(u,v):
@@ -148,12 +154,24 @@ type Visitor func(set []int) bool
 // cfg.MinSize vertices. cfg.Gamma must lie in [0.5, 1] (see the package
 // comment for why the structural prunes need γ ≥ 1/2).
 func Enumerate(g *uncertain.Graph, cfg Config, visit Visitor) (Stats, error) {
-	sets, stats, err := collect(g, cfg)
+	return EnumerateContext(context.Background(), g, cfg, visit)
+}
+
+// EnumerateContext is Enumerate under ctx: the search polls the shared
+// run-control block every abortCheckInterval nodes, so a canceled context,
+// an expired deadline, or an exhausted Config.Budget unwinds the mining and
+// returns an error wrapping the cause, with Stats.Status recording the
+// terminal state. Because maximality needs global knowledge, the visitor
+// only runs after the search completes; a visitor returning false stops the
+// report loop and is a successful early stop (StatusStopped).
+func EnumerateContext(ctx context.Context, g *uncertain.Graph, cfg Config, visit Visitor) (Stats, error) {
+	sets, stats, err := CollectContext(ctx, g, cfg)
 	if err != nil {
 		return stats, err
 	}
 	for _, s := range sets {
 		if visit != nil && !visit(s) {
+			stats.Status = core.StatusStopped
 			break
 		}
 	}
@@ -163,28 +181,52 @@ func Enumerate(g *uncertain.Graph, cfg Config, visit Visitor) (Stats, error) {
 // Collect returns all maximal expected γ-quasi-cliques in canonical order
 // (each sorted ascending; sets sorted lexicographically).
 func Collect(g *uncertain.Graph, cfg Config) ([][]int, error) {
-	sets, _, err := collect(g, cfg)
+	sets, _, err := CollectContext(context.Background(), g, cfg)
 	return sets, err
 }
 
-func collect(g *uncertain.Graph, cfg Config) ([][]int, Stats, error) {
-	var stats Stats
+// Validate checks the (graph, config) pair that every mining entry point
+// accepts, returning the first violation wrapped around the matching
+// sentinel (core.ErrNilGraph, core.ErrGammaRange, core.ErrConfig). The
+// MinSize default (3) is applied before checking, matching the run paths.
+func Validate(g *uncertain.Graph, cfg Config) error {
 	if g == nil {
-		return nil, stats, fmt.Errorf("uquasi: nil graph")
+		return fmt.Errorf("uquasi: %w", core.ErrNilGraph)
 	}
 	cfg = cfg.withDefaults()
 	if !(cfg.Gamma >= 0.5 && cfg.Gamma <= 1) { // also rejects NaN
-		return nil, stats, fmt.Errorf("uquasi: gamma %v outside [0.5, 1]", cfg.Gamma)
+		return fmt.Errorf("uquasi: gamma %v outside [0.5, 1]: %w", cfg.Gamma, core.ErrGammaRange)
 	}
 	if cfg.MinSize < 2 {
-		return nil, stats, fmt.Errorf("uquasi: MinSize %d below 2", cfg.MinSize)
+		return fmt.Errorf("uquasi: MinSize %d below 2: %w", cfg.MinSize, core.ErrConfig)
 	}
 	if cfg.MaxSize != 0 && cfg.MaxSize < cfg.MinSize {
-		return nil, stats, fmt.Errorf("uquasi: MaxSize %d below MinSize %d", cfg.MaxSize, cfg.MinSize)
+		return fmt.Errorf("uquasi: MaxSize %d below MinSize %d: %w", cfg.MaxSize, cfg.MinSize, core.ErrConfig)
 	}
+	if cfg.Budget < 0 {
+		return fmt.Errorf("uquasi: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
+	}
+	return nil
+}
 
-	m := &miner{g: g, cfg: cfg, stats: &stats}
+// CollectContext is Collect under ctx, additionally returning the run's
+// Stats. On an abort the partial stats are returned with the sets nil.
+func CollectContext(ctx context.Context, g *uncertain.Graph, cfg Config) ([][]int, Stats, error) {
+	var stats Stats
+	if err := Validate(g, cfg); err != nil {
+		return nil, stats, err
+	}
+	cfg = cfg.withDefaults()
+
+	ctl := core.NewRunControl(ctx, cfg.Budget)
+	if ctl.Poll(0) { // fail fast on an already-dead context
+		return nil, stats, finish(ctl, &stats)
+	}
+	m := &miner{g: g, cfg: cfg, stats: &stats, ctl: ctl, tick: abortCheckInterval}
 	m.run()
+	if err := finish(ctl, &stats); err != nil {
+		return nil, stats, err
+	}
 	sets := maximalOnly(m.found, &stats)
 	for _, s := range sets {
 		if len(s) > stats.MaxSize {
@@ -196,11 +238,44 @@ func collect(g *uncertain.Graph, cfg Config) ([][]int, Stats, error) {
 	return sets, stats, nil
 }
 
+// finish records the terminal status on stats and formats the abort error.
+func finish(ctl *core.RunControl, stats *Stats) error {
+	stats.Status = ctl.Status(false)
+	err := ctl.Err()
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("uquasi: mining aborted after %d search calls: %w", stats.Calls, err)
+}
+
+// abortCheckInterval matches the clique kernel's polling cadence: one
+// control poll per this many search nodes.
+const abortCheckInterval = 1024
+
 type miner struct {
-	g     *uncertain.Graph
-	cfg   Config
-	stats *Stats
-	found [][]int
+	g       *uncertain.Graph
+	cfg     Config
+	stats   *Stats
+	ctl     *core.RunControl
+	tick    int
+	stopped bool
+	found   [][]int
+}
+
+// countNode accounts one search node and polls the run control on the
+// interval; it returns true when the mining must unwind.
+func (m *miner) countNode() bool {
+	m.stats.Calls++
+	m.tick--
+	if m.tick > 0 {
+		return false
+	}
+	m.tick = abortCheckInterval
+	if m.ctl.Poll(abortCheckInterval) {
+		m.stopped = true
+		return true
+	}
+	return false
 }
 
 // run anchors the search at every vertex u in turn. A γ-quasi-clique with
@@ -208,7 +283,7 @@ type miner struct {
 // so the anchored universe is ball2(u) ∩ {v : v > u}.
 func (m *miner) run() {
 	n := m.g.NumVertices()
-	for u := 0; u < n; u++ {
+	for u := 0; u < n && !m.stopped; u++ {
 		universe := m.ballTwoAbove(u)
 		m.stats.Universe += int64(len(universe))
 		m.extend([]int{u}, universe)
@@ -244,7 +319,9 @@ func (m *miner) ballTwoAbove(u int) []int {
 // is not hereditary — so it records qualifying sets as it goes and recurses
 // regardless, subject to the sound prunes below.
 func (m *miner) extend(S []int, cand []int) {
-	m.stats.Calls++
+	if m.stopped || m.countNode() {
+		return
+	}
 	if len(S) >= m.cfg.MinSize && IsExpectedQuasiClique(m.g, S, m.cfg.Gamma) {
 		m.stats.Found++
 		m.found = append(m.found, append([]int(nil), S...))
@@ -261,6 +338,9 @@ func (m *miner) extend(S []int, cand []int) {
 		return
 	}
 	for i, v := range cand {
+		if m.stopped {
+			return
+		}
 		// Diameter-2 restriction: keep only candidates within distance 2 of
 		// the newly added vertex (sound for γ ≥ 1/2, see package comment).
 		next := make([]int, 0, len(cand)-i-1)

@@ -1,6 +1,7 @@
 package uquasi
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -332,7 +333,7 @@ func TestPruningEngages(t *testing.T) {
 	rng := rand.New(rand.NewSource(7007))
 	g := randomDyadic(20, 0.4, rng)
 	var stats Stats
-	sets, statsOut, err := collect(g, Config{Gamma: 0.75, MinSize: 4})
+	sets, statsOut, err := CollectContext(context.Background(), g, Config{Gamma: 0.75, MinSize: 4})
 	stats = statsOut
 	if err != nil {
 		t.Fatal(err)

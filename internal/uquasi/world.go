@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -50,14 +51,14 @@ func worldIsQuasiClique(n int, pairs [][2]int, mask uint64, gamma float64) bool 
 // vertices. Any γ ∈ (0, 1] is accepted.
 func WorldProbExact(g *uncertain.Graph, set []int, gamma float64) (float64, error) {
 	if len(set) < 2 {
-		return 0, fmt.Errorf("uquasi: set of %d vertices has no quasi-clique semantics", len(set))
+		return 0, fmt.Errorf("uquasi: set of %d vertices has no quasi-clique semantics: %w", len(set), core.ErrConfig)
 	}
 	if !(gamma > 0 && gamma <= 1) { // also rejects NaN
-		return 0, fmt.Errorf("uquasi: gamma %v outside (0,1]", gamma)
+		return 0, fmt.Errorf("uquasi: gamma %v outside (0,1]: %w", gamma, core.ErrGammaRange)
 	}
 	pairs, probs := inducedEdges(g, set)
 	if len(pairs) > 24 {
-		return 0, fmt.Errorf("uquasi: %d induced edges exceed the exact-enumeration limit of 24", len(pairs))
+		return 0, fmt.Errorf("uquasi: %d induced edges exceed the exact-enumeration limit of 24: %w", len(pairs), core.ErrConfig)
 	}
 	total := 0.0
 	for mask := uint64(0); mask < 1<<uint(len(pairs)); mask++ {
@@ -83,13 +84,13 @@ func WorldProbExact(g *uncertain.Graph, set []int, gamma float64) (float64, erro
 // sqrt(p(1−p)/samples).
 func WorldProbMC(g *uncertain.Graph, set []int, gamma float64, samples int, seed int64) (float64, error) {
 	if len(set) < 2 {
-		return 0, fmt.Errorf("uquasi: set of %d vertices has no quasi-clique semantics", len(set))
+		return 0, fmt.Errorf("uquasi: set of %d vertices has no quasi-clique semantics: %w", len(set), core.ErrConfig)
 	}
 	if !(gamma > 0 && gamma <= 1) { // also rejects NaN
-		return 0, fmt.Errorf("uquasi: gamma %v outside (0,1]", gamma)
+		return 0, fmt.Errorf("uquasi: gamma %v outside (0,1]: %w", gamma, core.ErrGammaRange)
 	}
 	if samples <= 0 {
-		return 0, fmt.Errorf("uquasi: sample count %d not positive", samples)
+		return 0, fmt.Errorf("uquasi: sample count %d not positive: %w", samples, core.ErrConfig)
 	}
 	pairs, probs := inducedEdges(g, set)
 	rng := rand.New(rand.NewSource(seed))

@@ -30,9 +30,11 @@
 package utruss
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -42,10 +44,58 @@ type EdgeTruss struct {
 	Truss int // largest k such that the (k,η)-truss contains the edge; ≥ 2
 }
 
+// Config tunes a truss computation.
+type Config struct {
+	// Budget, when > 0, bounds the number of support-probability
+	// evaluations (the Poisson-binomial tail DPs that dominate the cost)
+	// the run may perform before aborting with core.ErrBudget.
+	Budget int64
+}
+
+// Stats reports the work performed by a truss computation.
+type Stats struct {
+	Status   core.RunStatus // how the run ended (complete, stopped, canceled, …)
+	Checks   int64          // support-probability evaluations (tail DPs)
+	Removed  int64          // edges peeled across all levels
+	Emitted  int64          // edges reported with a final truss number
+	MaxTruss int            // largest truss number seen (Decompose paths)
+}
+
+// Visitor receives one edge with its final η-truss number, in peel order
+// (level by level; within a level, deterministic queue order). Returning
+// false stops the computation early.
+type Visitor func(EdgeTruss) bool
+
+// abortCheckInterval is how many support-probability evaluations pass
+// between run-control polls. Each evaluation is a full Poisson-binomial DP
+// — far heavier than a clique search node — so the cadence is finer than
+// the clique kernel's 1024-node interval.
+const abortCheckInterval = 64
+
 // graphState is the mutable peeling state over one uncertain graph.
 type graphState struct {
-	g     *uncertain.Graph
-	alive map[[2]int32]bool
+	g       *uncertain.Graph
+	alive   map[[2]int32]bool
+	stats   *Stats
+	ctl     *core.RunControl
+	tick    int
+	stopped bool
+}
+
+// countCheck accounts one support-probability evaluation and polls the run
+// control on the interval; it returns true when the run must unwind.
+func (s *graphState) countCheck() bool {
+	s.stats.Checks++
+	s.tick--
+	if s.tick > 0 {
+		return false
+	}
+	s.tick = abortCheckInterval
+	if s.ctl.Poll(abortCheckInterval) {
+		s.stopped = true
+		return true
+	}
+	return false
 }
 
 func edgeKey(u, v int) [2]int32 {
@@ -55,8 +105,14 @@ func edgeKey(u, v int) [2]int32 {
 	return [2]int32{int32(u), int32(v)}
 }
 
-func newGraphState(g *uncertain.Graph) *graphState {
-	s := &graphState{g: g, alive: make(map[[2]int32]bool, g.NumEdges())}
+func newGraphState(g *uncertain.Graph, stats *Stats, ctl *core.RunControl) *graphState {
+	s := &graphState{
+		g:     g,
+		alive: make(map[[2]int32]bool, g.NumEdges()),
+		stats: stats,
+		ctl:   ctl,
+		tick:  abortCheckInterval,
+	}
 	for _, e := range g.Edges() {
 		s.alive[edgeKey(e.U, e.V)] = true
 	}
@@ -119,15 +175,19 @@ func tailProb(qs []float64, t int) float64 {
 // edge or t is negative.
 func SupportProb(g *uncertain.Graph, u, v int, t int) (float64, error) {
 	if g == nil {
-		return 0, fmt.Errorf("utruss: nil graph")
+		return 0, fmt.Errorf("utruss: %w", core.ErrNilGraph)
 	}
 	if t < 0 {
-		return 0, fmt.Errorf("utruss: negative support threshold %d", t)
+		return 0, fmt.Errorf("utruss: negative support threshold %d: %w", t, core.ErrConfig)
+	}
+	if u < 0 || u >= g.NumVertices() || v < 0 || v >= g.NumVertices() {
+		return 0, fmt.Errorf("utruss: edge {%d,%d} outside [0,%d): %w", u, v, g.NumVertices(), uncertain.ErrVertexRange)
 	}
 	if !g.HasEdge(u, v) {
 		return 0, fmt.Errorf("utruss: {%d,%d} is not a possible edge", u, v)
 	}
-	s := newGraphState(g)
+	var stats Stats
+	s := newGraphState(g, &stats, core.NewRunControl(context.Background(), 0))
 	return tailProb(s.wedgeProbs(u, v), t), nil
 }
 
@@ -153,6 +213,9 @@ func (s *graphState) peel(t int, eta float64) [][2]int32 {
 		return queue[i][1] < queue[j][1]
 	})
 	for len(queue) > 0 {
+		if s.stopped {
+			return removed
+		}
 		k := queue[0]
 		queue = queue[1:]
 		inQueue[k] = false
@@ -160,12 +223,16 @@ func (s *graphState) peel(t int, eta float64) [][2]int32 {
 			continue
 		}
 		u, v := int(k[0]), int(k[1])
+		if s.countCheck() {
+			return removed
+		}
 		if tailProb(s.wedgeProbs(u, v), t) >= eta {
 			continue
 		}
 		// e fails: remove it and re-check the edges of every triangle it
 		// participated in.
 		s.alive[k] = false
+		s.stats.Removed++
 		removed = append(removed, k)
 		for _, q := range s.triangleEdges(u, v) {
 			if s.alive[q] && !inQueue[q] {
@@ -204,29 +271,69 @@ func (s *graphState) triangleEdges(u, v int) [][2]int32 {
 	return out
 }
 
-func validateTrussArgs(g *uncertain.Graph, k int, eta float64) error {
+// Validate checks the (graph, eta, config) triple every decomposition entry
+// point accepts, returning the first violation wrapped around the matching
+// sentinel (core.ErrNilGraph, core.ErrEtaRange, core.ErrConfig). The k of a
+// specific truss level is validated by TrussContext (core.ErrKRange).
+func Validate(g *uncertain.Graph, eta float64, cfg Config) error {
+	return validateTrussArgs(g, 2, eta, cfg)
+}
+
+func validateTrussArgs(g *uncertain.Graph, k int, eta float64, cfg Config) error {
 	if g == nil {
-		return fmt.Errorf("utruss: nil graph")
+		return fmt.Errorf("utruss: %w", core.ErrNilGraph)
 	}
 	if k < 2 {
-		return fmt.Errorf("utruss: k = %d below 2", k)
+		return fmt.Errorf("utruss: k = %d below 2: %w", k, core.ErrKRange)
 	}
 	if !(eta > 0 && eta <= 1) { // also rejects NaN
-		return fmt.Errorf("utruss: eta %v outside (0,1]", eta)
+		return fmt.Errorf("utruss: eta %v outside (0,1]: %w", eta, core.ErrEtaRange)
+	}
+	if cfg.Budget < 0 {
+		return fmt.Errorf("utruss: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
 	}
 	return nil
+}
+
+// finish records the terminal status on stats and formats the abort error.
+func finish(ctl *core.RunControl, stats *Stats, visitorStopped bool) error {
+	stats.Status = ctl.Status(visitorStopped)
+	err := ctl.Err()
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("utruss: truss computation aborted after %d support checks: %w", stats.Checks, err)
 }
 
 // Truss returns the (k,η)-truss of g: the unique maximal subgraph whose
 // every edge e satisfies P[supp(e) ≥ k−2] ≥ η within the subgraph. The
 // result preserves g's vertex set; only edges are removed.
 func Truss(g *uncertain.Graph, k int, eta float64) (*uncertain.Graph, error) {
-	if err := validateTrussArgs(g, k, eta); err != nil {
-		return nil, err
+	tr, _, err := TrussContext(context.Background(), g, k, eta, Config{})
+	return tr, err
+}
+
+// TrussContext is Truss under ctx and explicit configuration: the peeling
+// loop polls the shared run-control block every abortCheckInterval support
+// checks, so a canceled context, an expired deadline, or an exhausted
+// Config.Budget aborts the computation with an error wrapping the cause and
+// Stats.Status recording the terminal state.
+func TrussContext(ctx context.Context, g *uncertain.Graph, k int, eta float64, cfg Config) (*uncertain.Graph, Stats, error) {
+	var stats Stats
+	if err := validateTrussArgs(g, k, eta, cfg); err != nil {
+		return nil, stats, err
 	}
-	s := newGraphState(g)
+	ctl := core.NewRunControl(ctx, cfg.Budget)
+	if ctl.Poll(0) { // fail fast on an already-dead context
+		return nil, stats, finish(ctl, &stats, false)
+	}
+	s := newGraphState(g, &stats, ctl)
 	s.peel(k-2, eta)
-	return s.export()
+	if err := finish(ctl, &stats, false); err != nil {
+		return nil, stats, err
+	}
+	tr, err := s.export()
+	return tr, stats, err
 }
 
 // export materializes the alive edges as an uncertain graph.
@@ -242,31 +349,71 @@ func (s *graphState) export() (*uncertain.Graph, error) {
 	return b.Build(), nil
 }
 
+// RunContext performs the η-truss decomposition under ctx, streaming every
+// edge with its final truss number to visit as the peeling discovers it:
+// edges removed while enforcing the (k,η)-truss condition have truss number
+// k−1, which is final the moment they are peeled, so the visitor fires in
+// peel order (level by level) without waiting for the full decomposition.
+// visit may be nil to only count. A visitor returning false stops the
+// peeling early (StatusStopped, nil error); a context or budget abort
+// returns an error wrapping the cause.
+func RunContext(ctx context.Context, g *uncertain.Graph, eta float64, cfg Config, visit Visitor) (Stats, error) {
+	var stats Stats
+	if err := validateTrussArgs(g, 2, eta, cfg); err != nil {
+		return stats, err
+	}
+	ctl := core.NewRunControl(ctx, cfg.Budget)
+	if ctl.Poll(0) { // fail fast on an already-dead context
+		return stats, finish(ctl, &stats, false)
+	}
+	s := newGraphState(g, &stats, ctl)
+	// Peel level by level; each removed edge's truss number is final.
+	alive := len(s.alive)
+	visitorStopped := false
+	for k := 3; alive > 0 && !s.stopped && !visitorStopped; k++ {
+		removed := s.peel(k-2, eta)
+		alive -= len(removed)
+		for _, e := range removed {
+			// A level's removals are emitted as a batch, so poll the
+			// control (at zero charge) between yields too — a consumer
+			// canceling mid-stream must not have to wait for the next
+			// level's support checks to be noticed.
+			if s.stopped || ctl.Poll(0) {
+				s.stopped = true
+				break
+			}
+			et := EdgeTruss{U: int(e[0]), V: int(e[1]), Truss: k - 1}
+			stats.Emitted++
+			if et.Truss > stats.MaxTruss {
+				stats.MaxTruss = et.Truss
+			}
+			if visit != nil && !visit(et) {
+				visitorStopped = true
+				break
+			}
+		}
+	}
+	return stats, finish(ctl, &stats, visitorStopped)
+}
+
 // Decompose assigns every edge of g its η-truss number: the largest k such
 // that the (k,η)-truss contains the edge. Edges are returned sorted by
 // (U, V). Every edge has truss number ≥ 2, the trivial level.
 func Decompose(g *uncertain.Graph, eta float64) ([]EdgeTruss, error) {
-	if err := validateTrussArgs(g, 2, eta); err != nil {
-		return nil, err
-	}
-	s := newGraphState(g)
-	truss := make(map[[2]int32]int, g.NumEdges())
-	for k := range s.alive {
-		truss[k] = 2
-	}
-	// Peel level by level: edges removed while enforcing the (k,η)-truss
-	// condition have truss number k−1.
-	alive := len(truss)
-	for k := 3; alive > 0; k++ {
-		removed := s.peel(k-2, eta)
-		for _, e := range removed {
-			truss[e] = k - 1
-		}
-		alive -= len(removed)
-	}
-	out := make([]EdgeTruss, 0, len(truss))
-	for key, tn := range truss {
-		out = append(out, EdgeTruss{U: int(key[0]), V: int(key[1]), Truss: tn})
+	dec, _, err := DecomposeContext(context.Background(), g, eta, Config{})
+	return dec, err
+}
+
+// DecomposeContext is Decompose under ctx and explicit configuration,
+// additionally returning the run's Stats.
+func DecomposeContext(ctx context.Context, g *uncertain.Graph, eta float64, cfg Config) ([]EdgeTruss, Stats, error) {
+	var out []EdgeTruss
+	stats, err := RunContext(ctx, g, eta, cfg, func(e EdgeTruss) bool {
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].U != out[j].U {
@@ -274,21 +421,15 @@ func Decompose(g *uncertain.Graph, eta float64) ([]EdgeTruss, error) {
 		}
 		return out[i].V < out[j].V
 	})
-	return out, nil
+	return out, stats, nil
 }
 
 // MaxTruss returns the largest k for which the (k,η)-truss of g is
 // non-empty, or 0 for an edgeless graph.
 func MaxTruss(g *uncertain.Graph, eta float64) (int, error) {
-	dec, err := Decompose(g, eta)
+	_, stats, err := DecomposeContext(context.Background(), g, eta, Config{})
 	if err != nil {
 		return 0, err
 	}
-	best := 0
-	for _, e := range dec {
-		if e.Truss > best {
-			best = e.Truss
-		}
-	}
-	return best, nil
+	return stats.MaxTruss, nil
 }

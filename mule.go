@@ -50,11 +50,18 @@
 // (internal/bench) used by cmd/experiments.
 //
 // The dense-substructure extensions the paper's conclusion names as future
-// work live in extensions.go: maximal α-bicliques (EnumerateBicliques),
-// expected γ-quasi-cliques (CollectQuasiCliques), (k,η)-trusses (Truss,
-// TrussDecompose), (k,η)-cores (Core, CoreDecompose), top-k selection
-// (TopKByProb, TopKBySize) and incremental maintenance under edge updates
-// (NewMaintainer).
+// work share the same prepared-query ergonomics (extquery.go): maximal
+// α-bicliques (NewBicliqueQuery), expected γ-quasi-cliques (NewQuasiQuery),
+// (k,η)-trusses (NewTrussQuery), (k,η)-cores (NewCoreQuery), top-k
+// selection (Query.TopK) and incremental maintenance under edge updates
+// (NewMaintainer, whose SetEdgeContext/RemoveEdgeContext/Apply methods are
+// context-aware and report per-operation stats). Every query type validates
+// eagerly against the same typed sentinels, supports the applicable
+// cross-cutting options (WithLimit, WithBudget, per-miner knobs like
+// WithGamma and WithSides), and exposes Run/Collect/Count plus a Stream
+// range-over-func with the Query.Cliques break-stops-the-engine contract.
+// The original flat extension functions survive in extensions.go as
+// deprecated wrappers funneled through the same constructors.
 package mule
 
 import (

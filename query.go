@@ -36,60 +36,175 @@ type Query struct {
 	limit int64
 }
 
-// Option configures a Query. Options are applied in order by NewQuery;
-// invalid combinations surface as wrapped ErrConfig errors from NewQuery,
-// not from the option itself.
-type Option func(*Query)
+// queryKind is a bitmask naming the query surfaces an Option may configure.
+type queryKind uint8
 
-// WithMinSize restricts the enumeration to α-maximal cliques with at least
-// t vertices (LARGE-MULE, Algorithm 5, with the shared-neighborhood
-// prefilter). Values below 2 are the unrestricted default.
-func WithMinSize(t int) Option { return func(q *Query) { q.cfg.MinSize = t } }
+const (
+	kindClique queryKind = 1 << iota
+	kindBiclique
+	kindQuasi
+	kindTruss
+	kindCore
+	kindAll = kindClique | kindBiclique | kindQuasi | kindTruss | kindCore
+)
+
+// kindName names a query kind for ErrConfig messages.
+func kindName(k queryKind) string {
+	switch k {
+	case kindClique:
+		return "clique"
+	case kindBiclique:
+		return "biclique"
+	case kindQuasi:
+		return "quasi-clique"
+	case kindTruss:
+		return "truss"
+	case kindCore:
+		return "core"
+	default:
+		return "unknown"
+	}
+}
+
+// queryOptions is the union of every knob an Option can set; each query
+// constructor reads the fields that apply to it (the scope check guarantees
+// the others stay zero).
+type queryOptions struct {
+	cfg        core.Config // clique engine knobs, incl. shared Budget and MinSize
+	limit      int64
+	gamma      float64 // quasi: density threshold γ
+	maxSize    int     // quasi: search-depth cap
+	minL, minR int     // biclique: per-side minima
+}
+
+// Option configures a prepared query. The same Option type serves every
+// query constructor — NewQuery, NewBicliqueQuery, NewQuasiQuery,
+// NewTrussQuery, NewCoreQuery — and each option names the surfaces it
+// applies to; passing an option to a constructor outside its scope is
+// reported eagerly as a wrapped ErrConfig (a truss query with WithGamma is
+// a programming error, not a silent no-op). Options are applied in order;
+// invalid values surface as wrapped ErrConfig errors from the constructor,
+// not from the option itself.
+type Option struct {
+	name  string
+	scope queryKind
+	apply func(*queryOptions)
+}
+
+// applyOptions runs opts for the given query kind, rejecting out-of-scope
+// options with a wrapped ErrConfig.
+func applyOptions(kind queryKind, opts []Option) (queryOptions, error) {
+	var o queryOptions
+	for _, opt := range opts {
+		if opt.apply == nil {
+			return o, fmt.Errorf("mule: zero Option value: %w", ErrConfig)
+		}
+		if opt.scope&kind == 0 {
+			return o, fmt.Errorf("mule: option %s does not apply to %s queries: %w", opt.name, kindName(kind), ErrConfig)
+		}
+		opt.apply(&o)
+	}
+	return o, nil
+}
+
+// WithMinSize restricts the enumeration to results with at least t
+// vertices. For clique queries this is LARGE-MULE (Algorithm 5, with the
+// shared-neighborhood prefilter) and values below 2 are the unrestricted
+// default; for quasi-clique queries it is the smallest reported set (at
+// least 2; the default is 3, the smallest size where a quasi-clique
+// differs from an edge).
+func WithMinSize(t int) Option {
+	return Option{"WithMinSize", kindClique | kindQuasi, func(o *queryOptions) { o.cfg.MinSize = t }}
+}
 
 // WithOrdering selects the vertex numbering used by the search (the output
 // set is always the same; the tree shape and therefore the wall-clock may
 // differ). The default is OrderNatural, the paper's setting.
-func WithOrdering(o Ordering) Option { return func(q *Query) { q.cfg.Ordering = o } }
+func WithOrdering(ord Ordering) Option {
+	return Option{"WithOrdering", kindClique, func(o *queryOptions) { o.cfg.Ordering = ord }}
+}
 
 // WithSeed feeds OrderRandom; ignored by the other orderings.
-func WithSeed(seed int64) Option { return func(q *Query) { q.cfg.Seed = seed } }
+func WithSeed(seed int64) Option {
+	return Option{"WithSeed", kindClique, func(o *queryOptions) { o.cfg.Seed = seed }}
+}
 
 // WithWorkers runs the search on w goroutines when w > 1 (the work-stealing
 // engine by default; see WithParallelMode). The default is a serial search.
-func WithWorkers(w int) Option { return func(q *Query) { q.cfg.Workers = w } }
+func WithWorkers(w int) Option {
+	return Option{"WithWorkers", kindClique, func(o *queryOptions) { o.cfg.Workers = w }}
+}
 
 // WithParallelMode selects the engine used when WithWorkers enables
 // parallelism: ParallelWorkStealing (the default) or the legacy
 // ParallelTopLevel fan-out.
-func WithParallelMode(m ParallelMode) Option { return func(q *Query) { q.cfg.Parallel = m } }
+func WithParallelMode(m ParallelMode) Option {
+	return Option{"WithParallelMode", kindClique, func(o *queryOptions) { o.cfg.Parallel = m }}
+}
 
 // WithStealGranularity sets the minimum number of candidate vertices a
 // subtree must have before the work-stealing engine publishes it as a
 // stealable frame; 0 selects the default (8).
-func WithStealGranularity(k int) Option { return func(q *Query) { q.cfg.StealGranularity = k } }
+func WithStealGranularity(k int) Option {
+	return Option{"WithStealGranularity", kindClique, func(o *queryOptions) { o.cfg.StealGranularity = k }}
+}
 
-// WithLimit stops the enumeration after n cliques have been delivered.
+// WithLimit stops the enumeration after n results have been delivered.
 // Reaching the limit is a successful run (nil error, Stats.Status ==
 // StatusStopped); it is the streaming analogue of SQL's LIMIT, useful for
-// sampling and pagination-style probes. It applies to Run, Collect, Count,
-// and Cliques; TopK and Maximum ignore it — their answers are only correct
-// over the full family.
-func WithLimit(n int64) Option { return func(q *Query) { q.limit = n } }
+// sampling and pagination-style probes. It applies to the Run, Collect,
+// Count, and Stream methods of every query kind; Query.TopK and
+// Query.Maximum ignore it — their answers are only correct over the full
+// family.
+func WithLimit(n int64) Option {
+	return Option{"WithLimit", kindAll, func(o *queryOptions) { o.limit = n }}
+}
 
-// WithBudget bounds the run to at most n search-tree node expansions; a run
-// that exhausts the budget aborts with an error wrapping ErrBudget. The
-// budget is charged in per-worker batches, so parallel runs can overshoot
-// by a few thousand nodes. Use it to cap worst-case work on untrusted
-// inputs, where the clique count — and hence any time bound — is
-// exponential in the worst case.
-func WithBudget(n int64) Option { return func(q *Query) { q.cfg.Budget = n } }
+// WithBudget bounds the run to at most n units of search work; a run that
+// exhausts the budget aborts with an error wrapping ErrBudget. The unit is
+// the engine's dominant cost: search-tree node expansions for clique,
+// biclique, and quasi-clique queries, support-probability evaluations for
+// truss queries, η-degree recomputations for core queries. The budget is
+// charged in batches, so runs can overshoot by a few thousand units. Use it
+// to cap worst-case work on untrusted inputs, where the output count — and
+// hence any time bound — is exponential in the worst case.
+func WithBudget(n int64) Option {
+	return Option{"WithBudget", kindAll, func(o *queryOptions) { o.cfg.Budget = n }}
+}
 
 // WithIntersect selects the intersection kernel policy: IntersectAdaptive
 // (the default — word-parallel bitset AND on dense nodes, merge/gallop
 // elsewhere), or the forced IntersectSorted / IntersectBitset modes for
 // equivalence testing and ablation benchmarks. The enumerated clique set
 // is identical under every mode.
-func WithIntersect(m IntersectMode) Option { return func(q *Query) { q.cfg.Intersect = m } }
+func WithIntersect(m IntersectMode) Option {
+	return Option{"WithIntersect", kindClique, func(o *queryOptions) { o.cfg.Intersect = m }}
+}
+
+// WithGamma sets a quasi-clique query's density threshold γ: every member
+// of a reported set has expected degree into the set at least γ·(|set|−1).
+// The mining algorithm requires γ ∈ [0.5, 1] (its structural prunes rely on
+// the diameter-≤-2 property that holds from one half up); the constructor
+// rejects anything else with a wrapped ErrGammaRange. There is no default —
+// a quasi-clique query without WithGamma fails eagerly.
+func WithGamma(gamma float64) Option {
+	return Option{"WithGamma", kindQuasi, func(o *queryOptions) { o.gamma = gamma }}
+}
+
+// WithMaxSize caps a quasi-clique query's search depth: sets larger than n
+// are neither reported nor used to disqualify smaller sets, so the output
+// is "maximal among expected γ-quasi-cliques of size ≤ n".
+func WithMaxSize(n int) Option {
+	return Option{"WithMaxSize", kindQuasi, func(o *queryOptions) { o.maxSize = n }}
+}
+
+// WithSides restricts a biclique query to α-maximal bicliques with at least
+// minL left and minR right vertices, pruning subtrees that cannot reach the
+// requested shape (the LARGE-MULE analogue). Values ≤ 1 mean "non-empty",
+// which every biclique already satisfies.
+func WithSides(minL, minR int) Option {
+	return Option{"WithSides", kindBiclique, func(o *queryOptions) { o.minL, o.minR = minL, minR }}
+}
 
 // newQuery is the single constructor behind NewQuery and every legacy
 // wrapper: all Query invariants — the WithLimit bound and the full
@@ -111,11 +226,11 @@ func newQuery(g *Graph, alpha float64, cfg core.Config, limit int64) (*Query, er
 // or ErrConfig), so every run method on the returned Query starts from a
 // well-formed question.
 func NewQuery(g *Graph, alpha float64, opts ...Option) (*Query, error) {
-	q := &Query{g: g, alpha: alpha}
-	for _, opt := range opts {
-		opt(q)
+	o, err := applyOptions(kindClique, opts)
+	if err != nil {
+		return nil, err
 	}
-	return newQuery(g, alpha, q.cfg, q.limit)
+	return newQuery(g, alpha, o.cfg, o.limit)
 }
 
 // newQueryFromConfig adapts a legacy Config to a Query; the deprecated

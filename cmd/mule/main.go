@@ -11,6 +11,7 @@
 //	mule -in g.ug -alpha 0.5 -timeout 30s        # deadline-bounded run
 //	mule -in g.ug -alpha 0.5 -limit 1000         # stop after 1000 cliques
 //	mule -in g.ug -alpha 0.5 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	mule -in g.ug -alpha 0.5 -tenant acme -max-inflight 4  # admission-controlled run
 //
 //	mule -in b.ubg -mine bicliques -alpha 0.5 -minl 2 -minr 2  # α-maximal bicliques
 //	mule -in g.ug  -mine quasi -gamma 0.6                      # expected γ-quasi-cliques
@@ -59,11 +60,13 @@ import (
 	"github.com/uncertain-graphs/mule/internal/graphio"
 )
 
-// Exit statuses for aborted runs, matching shell conventions (128+SIGINT
-// and timeout(1) respectively).
+// Exit statuses for aborted runs, matching shell conventions (128+SIGINT,
+// timeout(1), and sysexits.h EX_TEMPFAIL for admission rejection — the run
+// never started and a retry may succeed).
 const (
 	exitInterrupted = 130
 	exitDeadline    = 124
+	exitAdmission   = 75
 )
 
 func main() {
@@ -75,6 +78,8 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "mule:", err)
 	switch {
+	case errors.Is(err, mule.ErrAdmission):
+		os.Exit(exitAdmission)
 	case errors.Is(err, context.Canceled):
 		os.Exit(exitInterrupted)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -112,6 +117,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		top         = fs.Int("top", 0, "print only the k highest-probability α-maximal cliques")
 		limit       = fs.Int64("limit", 0, "stop after this many cliques (0 = no limit)")
 		budget      = fs.Int64("budget", 0, "abort after this many search-tree nodes (0 = no budget)")
+		tenant      = fs.String("tenant", "", "admission-control tenant ID charged for this run (default: no admission accounting)")
+		maxInflight = fs.Int("max-inflight", 0, "cap on the tenant's concurrent queries on the process executor; over-cap runs exit 75 (0 = unlimited; requires -tenant)")
 		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		quiet       = fs.Bool("quiet", false, "suppress the stats line on stderr")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -141,10 +148,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer cancel()
 	}
 
+	if *maxInflight < 0 {
+		return fmt.Errorf("-max-inflight must be non-negative, got %d", *maxInflight)
+	}
+	if *maxInflight > 0 {
+		if *tenant == "" {
+			return fmt.Errorf("-max-inflight requires -tenant (limits are per tenant)")
+		}
+		mule.DefaultExecutor().SetTenantLimits(*tenant, mule.Limits{MaxInFlight: *maxInflight})
+	}
+
 	m := modeFlags{
 		in: *in, alpha: *alpha, gamma: *gamma, eta: *eta, k: *kParam,
 		minL: *minL, minR: *minR, minSize: *minSize,
 		limit: *limit, budget: *budget, countOnly: *countOnly, quiet: *quiet,
+		tenant: *tenant,
 	}
 	var runErr error
 	switch strings.ToLower(*mine) {
@@ -183,6 +201,17 @@ type modeFlags struct {
 	budget     int64
 	countOnly  bool
 	quiet      bool
+	tenant     string
+}
+
+// withTenant appends the WithTenant option when -tenant was given; every
+// -mine mode routes its constructor options through it so admission
+// accounting covers all five query surfaces uniformly.
+func (m modeFlags) withTenant(opts ...mule.Option) []mule.Option {
+	if m.tenant != "" {
+		opts = append(opts, mule.WithTenant(m.tenant))
+	}
+	return opts
 }
 
 // runCliques is the original mode: α-maximal clique enumeration, count,
@@ -204,7 +233,7 @@ func runCliques(ctx context.Context, m modeFlags, ordering, engine, intersect st
 	if err != nil {
 		return err
 	}
-	q, err := mule.NewQuery(g, m.alpha,
+	q, err := mule.NewQuery(g, m.alpha, m.withTenant(
 		mule.WithMinSize(m.minSize),
 		mule.WithWorkers(workers),
 		mule.WithParallelMode(mode),
@@ -213,7 +242,7 @@ func runCliques(ctx context.Context, m modeFlags, ordering, engine, intersect st
 		mule.WithIntersect(imode),
 		mule.WithLimit(m.limit),
 		mule.WithBudget(m.budget),
-	)
+	)...)
 	if err != nil {
 		return err
 	}
@@ -266,11 +295,11 @@ func runBicliques(ctx context.Context, m modeFlags, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	q, err := mule.NewBicliqueQuery(g, m.alpha,
+	q, err := mule.NewBicliqueQuery(g, m.alpha, m.withTenant(
 		mule.WithSides(m.minL, m.minR),
 		mule.WithLimit(m.limit),
 		mule.WithBudget(m.budget),
-	)
+	)...)
 	if err != nil {
 		return err
 	}
@@ -315,12 +344,12 @@ func runQuasi(ctx context.Context, m modeFlags, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	q, err := mule.NewQuasiQuery(g,
+	q, err := mule.NewQuasiQuery(g, m.withTenant(
 		mule.WithGamma(m.gamma),
 		mule.WithMinSize(m.minSize),
 		mule.WithLimit(m.limit),
 		mule.WithBudget(m.budget),
-	)
+	)...)
 	if err != nil {
 		return err
 	}
@@ -362,10 +391,10 @@ func runTruss(ctx context.Context, m modeFlags, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	q, err := mule.NewTrussQuery(g, m.eta,
+	q, err := mule.NewTrussQuery(g, m.eta, m.withTenant(
 		mule.WithLimit(m.limit),
 		mule.WithBudget(m.budget),
-	)
+	)...)
 	if err != nil {
 		return err
 	}
@@ -422,10 +451,10 @@ func runCore(ctx context.Context, m modeFlags, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	q, err := mule.NewCoreQuery(g, m.eta,
+	q, err := mule.NewCoreQuery(g, m.eta, m.withTenant(
 		mule.WithLimit(m.limit),
 		mule.WithBudget(m.budget),
-	)
+	)...)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package mule
 
 import (
 	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/exec"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -37,6 +38,12 @@ var (
 	// ErrKRange reports a structural size parameter k below its floor:
 	// 2 for TrussQuery.Truss, 0 for CoreQuery.Core.
 	ErrKRange = core.ErrKRange
+	// ErrAdmission reports a run rejected by an Executor's admission
+	// control: the query's tenant is at its in-flight or aggregate-budget
+	// cap (see Limits) and the wait queue is full or waiting is disabled.
+	// Rejection happens before any search work runs; retry after other runs
+	// of the tenant release their capacity.
+	ErrAdmission = exec.ErrAdmission
 
 	// ErrVertexRange reports an edge endpoint or vertex ID outside [0, n).
 	ErrVertexRange = uncertain.ErrVertexRange

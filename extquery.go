@@ -85,6 +85,7 @@ type BicliqueQuery struct {
 	alpha float64
 	cfg   ubiclique.Config
 	limit int64
+	ten   tenancy
 }
 
 // NewBicliqueQuery prepares an enumeration of the α-maximal bicliques of g.
@@ -96,8 +97,17 @@ func NewBicliqueQuery(g *Bipartite, alpha float64, opts ...Option) (*BicliqueQue
 	if err != nil {
 		return nil, err
 	}
+	ten, err := o.validateTenancy()
+	if err != nil {
+		return nil, err
+	}
 	cfg := ubiclique.Config{MinLeft: o.minL, MinRight: o.minR, Budget: o.cfg.Budget}
-	return newBicliqueQuery(g, alpha, cfg, o.limit)
+	q, err := newBicliqueQuery(g, alpha, cfg, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	q.ten = ten
+	return q, nil
 }
 
 // newBicliqueQuery is the single constructor behind NewBicliqueQuery and
@@ -115,6 +125,11 @@ func newBicliqueQuery(g *Bipartite, alpha float64, cfg ubiclique.Config, limit i
 // run executes the query under its WithLimit bound, reporting whether the
 // user-supplied visitor ended the run early (as opposed to the limit).
 func (q *BicliqueQuery) run(ctx context.Context, visit BicliqueVisitor) (stats BicliqueStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return BicliqueStats{Status: StatusFailed}, false, err
+	}
+	defer release()
 	wrapped := visit
 	if q.limit > 0 {
 		remaining := q.limit
@@ -229,6 +244,7 @@ type QuasiQuery struct {
 	g     *Graph
 	cfg   uquasi.Config
 	limit int64
+	ten   tenancy
 }
 
 // NewQuasiQuery prepares a mining run for the maximal expected
@@ -242,8 +258,17 @@ func NewQuasiQuery(g *Graph, opts ...Option) (*QuasiQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	ten, err := o.validateTenancy()
+	if err != nil {
+		return nil, err
+	}
 	cfg := uquasi.Config{Gamma: o.gamma, MinSize: o.cfg.MinSize, MaxSize: o.maxSize, Budget: o.cfg.Budget}
-	return newQuasiQuery(g, cfg, o.limit)
+	q, err := newQuasiQuery(g, cfg, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	q.ten = ten
+	return q, nil
 }
 
 // newQuasiQuery is the single constructor behind NewQuasiQuery and the
@@ -262,6 +287,11 @@ func newQuasiQuery(g *Graph, cfg uquasi.Config, limit int64) (*QuasiQuery, error
 // bound. Stats.Emitted reflects the delivered count when a limit or early
 // stop truncates the report loop.
 func (q *QuasiQuery) run(ctx context.Context, visit QuasiVisitor) (stats QuasiStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return QuasiStats{Status: StatusFailed}, false, err
+	}
+	defer release()
 	sets, stats, err := uquasi.CollectContext(ctx, q.g, q.cfg)
 	if err != nil {
 		return stats, false, err
@@ -357,6 +387,7 @@ type TrussQuery struct {
 	eta   float64
 	cfg   utruss.Config
 	limit int64
+	ten   tenancy
 }
 
 // NewTrussQuery prepares the η-truss decomposition of g. It validates
@@ -367,7 +398,16 @@ func NewTrussQuery(g *Graph, eta float64, opts ...Option) (*TrussQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTrussQuery(g, eta, utruss.Config{Budget: o.cfg.Budget}, o.limit)
+	ten, err := o.validateTenancy()
+	if err != nil {
+		return nil, err
+	}
+	q, err := newTrussQuery(g, eta, utruss.Config{Budget: o.cfg.Budget}, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	q.ten = ten
+	return q, nil
 }
 
 // newTrussQuery is the single constructor behind NewTrussQuery and the
@@ -384,6 +424,11 @@ func newTrussQuery(g *Graph, eta float64, cfg utruss.Config, limit int64) (*Trus
 
 // run executes the decomposition under the WithLimit bound.
 func (q *TrussQuery) run(ctx context.Context, visit TrussVisitor) (stats TrussStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return TrussStats{Status: StatusFailed}, false, err
+	}
+	defer release()
 	stats, err = utruss.RunContext(ctx, q.g, q.eta, q.cfg, limitVisitor(visit, q.limit, &userStopped))
 	return stats, userStopped, err
 }
@@ -446,6 +491,11 @@ func (q *TrussQuery) Stream(ctx context.Context) iter.Seq2[EdgeTruss, error] {
 // result preserves the graph's vertex set; only edges are removed.
 // WithLimit does not apply (the truss is one subgraph, not a stream).
 func (q *TrussQuery) Truss(ctx context.Context, k int) (*Graph, error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	tr, _, err := utruss.TrussContext(ctx, q.g, k, q.eta, q.cfg)
 	return tr, err
 }
@@ -484,6 +534,7 @@ type CoreQuery struct {
 	eta   float64
 	cfg   ucore.Config
 	limit int64
+	ten   tenancy
 }
 
 // NewCoreQuery prepares the η-core decomposition of g. It validates
@@ -494,7 +545,16 @@ func NewCoreQuery(g *Graph, eta float64, opts ...Option) (*CoreQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newCoreQuery(g, eta, ucore.Config{Budget: o.cfg.Budget}, o.limit)
+	ten, err := o.validateTenancy()
+	if err != nil {
+		return nil, err
+	}
+	q, err := newCoreQuery(g, eta, ucore.Config{Budget: o.cfg.Budget}, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	q.ten = ten
+	return q, nil
 }
 
 // newCoreQuery is the single constructor behind NewCoreQuery and the
@@ -511,6 +571,11 @@ func newCoreQuery(g *Graph, eta float64, cfg ucore.Config, limit int64) (*CoreQu
 
 // run executes the decomposition under the WithLimit bound.
 func (q *CoreQuery) run(ctx context.Context, visit CoreVisitor) (stats CoreStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return CoreStats{Status: StatusFailed}, false, err
+	}
+	defer release()
 	stats, err = ucore.RunContext(ctx, q.g, q.eta, q.cfg, limitVisitor(visit, q.limit, &userStopped))
 	return stats, userStopped, err
 }
@@ -568,6 +633,11 @@ func (q *CoreQuery) Stream(ctx context.Context) iter.Seq2[VertexCore, error] {
 // core numbers, the degeneracy, and the peel order. WithLimit does not
 // apply — the arrays are only meaningful complete.
 func (q *CoreQuery) Decompose(ctx context.Context) (CoreDecomposition, error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return CoreDecomposition{}, err
+	}
+	defer release()
 	dec, _, err := ucore.DecomposeContext(ctx, q.g, q.eta, q.cfg)
 	return dec, err
 }
@@ -576,6 +646,11 @@ func (q *CoreQuery) Decompose(ctx context.Context) (CoreDecomposition, error) {
 // subgraph where every vertex keeps η-degree ≥ k within it. Negative k
 // wraps ErrKRange. WithLimit does not apply.
 func (q *CoreQuery) Core(ctx context.Context, k int) ([]int, error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	verts, _, err := ucore.CoreContext(ctx, q.g, k, q.eta, q.cfg)
 	return verts, err
 }

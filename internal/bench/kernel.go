@@ -40,15 +40,99 @@ type KernelEntry struct {
 
 // KernelRun is one labeled sweep of the kernel benchmark.
 type KernelRun struct {
-	Label     string        `json:"label"`
-	Date      string        `json:"date"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"num_cpu"`
-	Quick     bool          `json:"quick"`
-	Once      bool          `json:"once,omitempty"` // single-iteration smoke run
-	Entries   []KernelEntry `json:"entries"`
+	Label     string         `json:"label"`
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Quick     bool           `json:"quick"`
+	Once      bool           `json:"once,omitempty"` // single-iteration smoke run
+	Speedup   *KernelSpeedup `json:"speedup,omitempty"`
+	Entries   []KernelEntry  `json:"entries"`
+}
+
+// KernelSpeedup is the trajectory form of the TestWorkStealingSpeedup
+// acceptance measurement: serial vs both parallel engines on the skewed hub
+// workload. Recorded only on machines with ≥4 usable CPUs — on smaller
+// boxes no engine can demonstrate a speedup, so the block is omitted and
+// rows stay comparable via the `num_cpu` key.
+type KernelSpeedup struct {
+	Workload    string  `json:"workload"`
+	Workers     int     `json:"workers"`
+	SerialNs    float64 `json:"serial_ns"`
+	TopLevelNs  float64 `json:"toplevel_ns"`
+	WorkStealNs float64 `json:"worksteal_ns"`
+	Speedup     float64 `json:"worksteal_speedup"` // serial / worksteal
+	Cliques     int64   `json:"cliques"`
+}
+
+// SpeedupCPUs returns the worker count the speedup cell runs with, or 0
+// when the machine cannot demonstrate one (fewer than 4 usable CPUs).
+func SpeedupCPUs() int {
+	cpus := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g < cpus {
+		cpus = g
+	}
+	if cpus < 4 {
+		return 0
+	}
+	return cpus
+}
+
+// MeasureSpeedup times serial, top-level and work-stealing once each on the
+// skewed hub workload (after a warm-up pass) — the exact measurement
+// TestWorkStealingSpeedup gates on, shared here so the acceptance numbers
+// land in the trajectory file instead of only in transient test logs.
+func MeasureSpeedup(cfg Config) (*KernelSpeedup, error) {
+	cpus := SpeedupCPUs()
+	if cpus == 0 {
+		return nil, fmt.Errorf("bench: speedup cell needs ≥4 usable CPUs, have NumCPU=%d GOMAXPROCS=%d",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	cfg = cfg.withDefaults()
+	ng := SkewedCliqueGraph(cfg)
+	run := func(c core.Config) (time.Duration, int64, error) {
+		r, err := TimedMULE(ng.G, SkewedAlpha, cfg, c)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !r.Finished {
+			return 0, 0, fmt.Errorf("bench: speedup cell %+v exceeded its budget", c)
+		}
+		return r.Elapsed, r.Cliques, nil
+	}
+	if _, _, err := run(core.Config{}); err != nil { // warm-up
+		return nil, err
+	}
+	serial, cliques, err := run(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	topLevel, topCliques, err := run(core.Config{Workers: cpus, Parallel: core.ParallelTopLevel})
+	if err != nil {
+		return nil, err
+	}
+	workSteal, wsCliques, err := run(core.Config{Workers: cpus})
+	if err != nil {
+		return nil, err
+	}
+	if wsCliques != cliques || topCliques != cliques {
+		return nil, fmt.Errorf("bench: speedup cell clique counts diverge: serial=%d toplevel=%d worksteal=%d",
+			cliques, topCliques, wsCliques)
+	}
+	sp := &KernelSpeedup{
+		Workload:    ng.Name,
+		Workers:     cpus,
+		SerialNs:    float64(serial.Nanoseconds()),
+		TopLevelNs:  float64(topLevel.Nanoseconds()),
+		WorkStealNs: float64(workSteal.Nanoseconds()),
+		Cliques:     cliques,
+	}
+	if workSteal > 0 {
+		sp.Speedup = float64(serial.Nanoseconds()) / float64(workSteal.Nanoseconds())
+	}
+	return sp, nil
 }
 
 // KernelReport is the on-disk trajectory: one run per measured kernel state,
@@ -265,6 +349,18 @@ func runKernel(cfg Config, w io.Writer) error {
 			fmt.Sprintf("%.0f", e.NsPerOp), fmt.Sprintf("%d", e.AllocsPerOp),
 			fmt.Sprintf("%d", e.BytesPerOp), fmt.Sprintf("%d", e.Cliques),
 			fmt.Sprintf("%d", e.Calls))
+	}
+	if SpeedupCPUs() > 0 {
+		sp, err := MeasureSpeedup(cfg)
+		if err != nil {
+			return err
+		}
+		run.Speedup = sp
+		fmt.Fprintf(w, "speedup cell (%s, %d workers): serial %.0fms toplevel %.0fms worksteal %.0fms (%.2fx)\n",
+			sp.Workload, sp.Workers, sp.SerialNs/1e6, sp.TopLevelNs/1e6, sp.WorkStealNs/1e6, sp.Speedup)
+	} else {
+		fmt.Fprintf(w, "speedup cell skipped: need ≥4 usable CPUs, have NumCPU=%d GOMAXPROCS=%d\n",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	}
 	if err := t.Render(w); err != nil {
 		return err

@@ -63,48 +63,30 @@ func TestParallelEnginesMatchSerialOnSkewed(t *testing.T) {
 // least 4 cores, the work-stealing engine must be ≥2× faster than serial on
 // the skewed workload and strictly faster than the legacy top-level
 // fan-out, with identical output. Skipped on smaller machines, where no
-// engine can demonstrate a speedup.
+// engine can demonstrate a speedup. The measurement itself lives in
+// MeasureSpeedup, the same code path the kernel sweep uses to record the
+// `speedup` block of a BENCH_kernel.json row — the gate and the trajectory
+// can never drift apart.
 func TestWorkStealingSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("speedup benchmark in -short mode")
 	}
-	cpus := runtime.NumCPU()
-	if cpus < 4 || runtime.GOMAXPROCS(0) < 4 {
+	if SpeedupCPUs() == 0 {
 		t.Skipf("need ≥4 usable CPUs for a meaningful speedup, have NumCPU=%d GOMAXPROCS=%d",
-			cpus, runtime.GOMAXPROCS(0))
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	}
-	if runtime.GOMAXPROCS(0) < cpus {
-		cpus = runtime.GOMAXPROCS(0)
+	sp, err := MeasureSpeedup(Config{Seed: 1, Budget: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
 	}
-	cfg := Config{Seed: 1, Budget: 10 * time.Minute}
-	g := SkewedCliqueGraph(cfg).G
-
-	run := func(c core.Config) (time.Duration, int64) {
-		r, err := TimedMULE(g, SkewedAlpha, cfg, c)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !r.Finished {
-			t.Fatalf("run %+v exceeded budget", c)
-		}
-		return r.Elapsed, r.Cliques
+	t.Logf("serial=%.0fms toplevel=%.0fms worksteal=%.0fms (%d cliques, %d workers)",
+		sp.SerialNs/1e6, sp.TopLevelNs/1e6, sp.WorkStealNs/1e6, sp.Cliques, sp.Workers)
+	if sp.WorkStealNs > sp.SerialNs/2 {
+		t.Errorf("work stealing %.0fms is not ≥2x faster than serial %.0fms",
+			sp.WorkStealNs/1e6, sp.SerialNs/1e6)
 	}
-	// Warm up caches, then measure each engine once on the ~0.5s workload.
-	run(core.Config{})
-	serial, serialCliques := run(core.Config{})
-	topLevel, topCliques := run(core.Config{Workers: cpus, Parallel: core.ParallelTopLevel})
-	workSteal, wsCliques := run(core.Config{Workers: cpus})
-
-	if wsCliques != serialCliques || topCliques != serialCliques {
-		t.Fatalf("clique counts diverge: serial=%d toplevel=%d worksteal=%d",
-			serialCliques, topCliques, wsCliques)
-	}
-	t.Logf("serial=%v toplevel=%v worksteal=%v (%d cliques, %d workers)",
-		serial, topLevel, workSteal, serialCliques, cpus)
-	if workSteal > serial/2 {
-		t.Errorf("work stealing %v is not ≥2x faster than serial %v", workSteal, serial)
-	}
-	if workSteal >= topLevel {
-		t.Errorf("work stealing %v is not faster than top-level fan-out %v", workSteal, topLevel)
+	if sp.WorkStealNs >= sp.TopLevelNs {
+		t.Errorf("work stealing %.0fms is not faster than top-level fan-out %.0fms",
+			sp.WorkStealNs/1e6, sp.TopLevelNs/1e6)
 	}
 }

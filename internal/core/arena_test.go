@@ -189,7 +189,7 @@ func TestIntersectSetsMatchesMerge(t *testing.T) {
 			want := naiveIntersect(src, row, probs, thr)
 			bits := rowWords(row, universe)
 			for _, mode := range []IntersectMode{IntersectAdaptive, IntersectSorted, IntersectBitset} {
-				e := &enumerator{stats: &Stats{}, intersectMode: mode, mask: make([]uint64, (universe+63)/64)}
+				e := &enumerator{stats: &Stats{}, intersectMode: mode, arena: &entryArena{}, mask: make([]uint64, (universe+63)/64)}
 				rowBits := bits
 				if mode == IntersectSorted {
 					rowBits = nil

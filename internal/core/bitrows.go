@@ -1,7 +1,6 @@
 package core
 
 import (
-	"github.com/uncertain-graphs/mule/internal/bitset"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -32,12 +31,14 @@ const (
 )
 
 // bitAdjacency is the per-run index: rows[u] holds the word view of vertex
-// u's adjacency bit set (the bitset.Set backing stays alive through the
-// view), or nil when u's row is not mirrored. A nil *bitAdjacency (index
-// disabled) behaves as the empty index.
+// u's adjacency bit set, or nil when u's row is not mirrored. A nil
+// *bitAdjacency (index disabled) behaves as the empty index. All mirrored
+// rows are carved from one pooled flat word buffer (backing), returned to
+// the size-classed pools by release on the run's terminal path.
 type bitAdjacency struct {
-	words int        // words per row: ⌈n/64⌉
-	rows  [][]uint64 // word views, indexed by vertex; nil = not mirrored
+	words   int        // words per row: ⌈n/64⌉
+	rows    [][]uint64 // word views into backing, indexed by vertex; nil = not mirrored
+	backing []uint64   // pooled storage for every mirrored row
 }
 
 // row returns the bit words of u's adjacency row, or nil when u is not
@@ -63,30 +64,61 @@ func buildBitAdjacency(g *uncertain.Graph, mode IntersectMode) *bitAdjacency {
 	if mode == IntersectBitset {
 		minLen = 1
 	}
-	b := &bitAdjacency{
-		words: (n + 63) / 64,
-		rows:  make([][]uint64, n),
+	mirrored := 0
+	for u := 0; u < n; u++ {
+		if g.Degree(u) >= minLen {
+			mirrored++
+		}
 	}
-	mirrored := false
+	if mirrored == 0 {
+		return nil
+	}
+	words := (n + 63) / 64
+	b := &bitAdjacency{
+		words: words,
+		rows:  make([][]uint64, n),
+		// One pooled flat buffer backs every mirrored row; pool contents are
+		// unspecified, so each carved row is cleared before the scatter.
+		backing: checkoutWords(mirrored * words),
+	}
+	off := 0
 	for u := 0; u < n; u++ {
 		if g.Degree(u) < minLen {
 			continue
 		}
-		s := bitset.New(n)
-		g.FillRowBits(u, s.Words())
-		b.rows[u] = s.Words()
-		mirrored = true
-	}
-	if !mirrored {
-		return nil
+		row := b.backing[off : off+words : off+words]
+		off += words
+		clear(row)
+		g.FillRowBits(u, row)
+		b.rows[u] = row
 	}
 	return b
 }
 
-// newMask allocates one worker's scratch mask, sized to the index's rows.
-func (b *bitAdjacency) newMask() []uint64 {
+// release returns the index's pooled row backing. The index (and every mask
+// still checked out against it) must not be used afterwards.
+func (b *bitAdjacency) release() {
+	if b == nil || b.backing == nil {
+		return
+	}
+	returnWords(b.backing)
+	b.backing = nil
+}
+
+// checkoutMask takes one slot's scratch mask, sized to the index's rows,
+// from the word pools. The contents are unspecified — the bitset kernel
+// clears exactly the span it scatters before ANDing, so no pre-zero is
+// needed. Return it with returnMask.
+func (b *bitAdjacency) checkoutMask() []uint64 {
 	if b == nil {
 		return nil
 	}
-	return bitset.New(b.words * 64).Words()
+	return checkoutWords(b.words)
+}
+
+// returnMask gives a checkoutMask buffer back to the pools.
+func (b *bitAdjacency) returnMask(mask []uint64) {
+	if mask != nil {
+		returnWords(mask)
+	}
 }

@@ -153,9 +153,10 @@ func TestBitAdjacencyConstruction(t *testing.T) {
 	}
 	// nil receiver behaves as the empty index.
 	var nilIdx *bitAdjacency
-	if nilIdx.row(0) != nil || nilIdx.newMask() != nil {
+	if nilIdx.row(0) != nil || nilIdx.checkoutMask() != nil {
 		t.Fatal("nil index must behave as empty")
 	}
+	nilIdx.release() // must be a no-op, not a panic
 }
 
 // TestFilterPreservesVerticesAndSortOrder is the prefilter-rebuild

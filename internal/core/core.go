@@ -16,21 +16,28 @@
 // only α-maximal cliques with at least MinSize vertices, with the
 // Modani–Dey shared-neighborhood prefilter.
 //
-// Two parallel engines are available when Config.Workers > 1. The default
-// work-stealing engine (worksteal.go) turns the recursion into explicit,
-// splittable search frames: each worker runs its own subtree depth-first
-// from a private deque and steals half of the oldest frames from a victim
-// when its deque drains, so a single heavy subtree — the norm on skewed
-// power-law inputs — is subdivided on demand instead of pinning one worker.
-// The legacy top-level fan-out (parallel.go) that only distributes the
-// provably independent root branches is kept as ParallelTopLevel for
-// comparison benchmarks.
+// Two parallel engines are available when Config.Workers > 1, both running
+// on the shared process-wide work-stealing executor (internal/exec) — no
+// run ever spawns its own goroutines. The default work-stealing engine
+// (worksteal.go) turns the recursion into explicit, splittable search
+// frames: pool workers run subtrees depth-first from shared deques and
+// steal half of the oldest frames from a victim when they drain, so a
+// single heavy subtree — the norm on skewed power-law inputs — is
+// subdivided on demand instead of pinning one worker, and frames of many
+// concurrent queries interleave on one pool without mixing their stats.
+// Workers is the run's parallelism cap on that pool, not a goroutine
+// count. The legacy top-level fan-out (parallel.go) that only distributes
+// the provably independent root branches is kept as ParallelTopLevel for
+// comparison benchmarks. Per-run scratch memory (entry arenas, bitset
+// scatter masks, bit-row mirrors) comes from size-classed pools (pools.go)
+// checked out per query-slot pair and returned on every terminal path.
 package core
 
 import (
 	"context"
 	"fmt"
 
+	"github.com/uncertain-graphs/mule/internal/exec"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -145,8 +152,15 @@ type Config struct {
 	Ordering Ordering
 	// Seed feeds OrderRandom.
 	Seed int64
-	// Workers > 1 enables a parallel engine with that many goroutines.
+	// Workers > 1 enables a parallel engine: the run is submitted to the
+	// shared executor with Workers as its parallelism cap — up to that many
+	// pool slots execute the run's frames at once. It is not a goroutine
+	// count; the pool is sized once per process (or per Exec).
 	Workers int
+	// Exec selects the executor parallel runs are submitted to; nil means
+	// the process-wide shared pool (exec.Default()). Serial runs (Workers
+	// ≤ 1) never touch an executor.
+	Exec *exec.Executor
 	// Parallel selects the engine used when Workers > 1: work stealing
 	// (the default) or the legacy top-level fan-out.
 	Parallel ParallelMode
@@ -301,8 +315,10 @@ func EnumerateContext(ctx context.Context, g *uncertain.Graph, alpha float64, vi
 
 	// The bit-row index mirrors dense adjacency rows of the final working
 	// graph (post-prune, post-filter, post-relabel) for the word-parallel
-	// intersection kernel; nil when the graph or policy rules it out.
+	// intersection kernel; nil when the graph or policy rules it out. Its
+	// row storage is pooled and returned when the run ends.
 	bits := buildBitAdjacency(work, cfg.Intersect)
+	defer bits.release()
 
 	e := &enumerator{
 		g:             work,
@@ -314,22 +330,35 @@ func EnumerateContext(ctx context.Context, g *uncertain.Graph, alpha float64, vi
 		checkInv:      cfg.CheckInvariants,
 		intersectMode: cfg.Intersect,
 		bits:          bits,
-		mask:          bits.newMask(),
+		mask:          bits.checkoutMask(),
 		stats:         &stats,
 		ctl:           ctl,
 		tick:          abortCheckInterval,
+		arena:         checkoutArena(work.NumVertices()),
 		emitBuf:       make([]int, 0, 64),
 		cbuf:          make([]int32, 0, 128),
 	}
+	// The deferred release covers every exit — including cancel, budget,
+	// and limit unwinds, which return through finish like a completed run.
+	defer e.releasePooled()
 	switch {
 	case cfg.Workers > 1 && cfg.Parallel == ParallelTopLevel:
-		e.runTopLevel(cfg.Workers)
+		e.runTopLevel(executorFor(cfg), cfg.Workers)
 	case cfg.Workers > 1:
-		e.runWorkStealing(cfg.Workers, cfg.StealGranularity)
+		e.runWorkStealing(executorFor(cfg), cfg.Workers, cfg.StealGranularity)
 	default:
 		e.runSerial()
 	}
 	return stats, ctl.finish(&stats, e.stopped)
+}
+
+// executorFor resolves the executor a parallel run submits to: an explicit
+// Config.Exec, or the process-wide shared pool.
+func executorFor(cfg Config) *exec.Executor {
+	if cfg.Exec != nil {
+		return cfg.Exec
+	}
+	return exec.Default()
 }
 
 // Collect runs Enumerate and returns all cliques in canonical order (each

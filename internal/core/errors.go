@@ -117,6 +117,17 @@ func NewRunControl(ctx context.Context, budget int64) *RunControl {
 	return c
 }
 
+// Done exposes the control's cancellation channel for select-based waiters:
+// the context's Done channel, or nil (blocks forever in a select) when the
+// context can never fire. Budget exhaustion and visitor early-stop do not
+// fire it — they unwind through the stop latch inside the engines.
+func (c *RunControl) Done() <-chan struct{} {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Done()
+}
+
 // Abort latches err as the run's abort cause (first caller wins) and raises
 // the stop flag.
 func (c *RunControl) Abort(err error) {

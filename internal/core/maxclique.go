@@ -35,18 +35,24 @@ func MaximumCliqueBudget(ctx context.Context, g *uncertain.Graph, alpha float64,
 		return nil, 0, err
 	}
 	work := g.PruneAlpha(alpha)
+	n := work.NumVertices()
 	// bestProb starts at 1: the empty clique has probability 1 by convention.
+	// The candidate sets live in a pooled arena under the same watermark
+	// discipline as the enumeration kernel: mark per iteration, carve the
+	// child's I', release when the subtree returns. Steady state allocates
+	// nothing; the arena goes back to its size-class pool on every exit.
 	m := &maxSearch{
 		g:        work,
 		alpha:    alpha,
 		bestProb: 1,
 		ctl:      NewRunControl(ctx, budget),
 		tick:     abortCheckInterval,
+		arena:    checkoutArena(n),
 	}
-	n := work.NumVertices()
-	rootI := make([]entry, n)
+	defer returnArena(n, m.arena)
+	rootI := m.arena.alloc(n)
 	for v := 0; v < n; v++ {
-		rootI[v] = entry{int32(v), 1}
+		rootI = rootI.push(int32(v), 1)
 	}
 	if !m.ctl.Poll(0) {
 		m.recurse(nil, 1, rootI)
@@ -67,6 +73,7 @@ type maxSearch struct {
 	ctl      *RunControl
 	tick     int
 	calls    int64
+	arena    *entryArena
 	stopped  bool
 }
 
@@ -74,7 +81,7 @@ type maxSearch struct {
 // α-clique; the X set is unnecessary because maximality testing is not —
 // any clique larger than the incumbent improves it regardless of
 // maximality status.
-func (m *maxSearch) recurse(C []int32, q float64, I []entry) {
+func (m *maxSearch) recurse(C []int32, q float64, I entrySet) {
 	if m.stopped {
 		return
 	}
@@ -94,46 +101,50 @@ func (m *maxSearch) recurse(C []int32, q float64, I []entry) {
 		}
 		m.bestProb = q
 	}
-	for idx := 0; idx < len(I); idx++ {
+	for idx := 0; idx < I.length(); idx++ {
 		if m.stopped {
 			return
 		}
 		// Bound: even taking every remaining candidate cannot beat best.
-		if len(C)+len(I)-idx <= len(m.best) {
+		if len(C)+I.length()-idx <= len(m.best) {
 			return
 		}
-		u, r := I[idx].v, I[idx].r
+		u, r := I.v[idx], I.r[idx]
 		q2 := q * r
-		C2 := append(C, u)
-		I2 := m.generateI(I[idx+1:], u, q2)
-		if len(C2)+len(I2) > len(m.best) {
-			m.recurse(C2, q2, I2)
+		mk := m.arena.mark()
+		tail := entrySet{I.v[idx+1:], I.r[idx+1:]}
+		I2 := m.generateI(&tail, u, q2)
+		if len(C)+1+I2.length() > len(m.best) {
+			m.recurse(append(C, u), q2, I2)
 		}
+		m.arena.release(mk)
 	}
 }
 
-func (m *maxSearch) generateI(tail []entry, u int32, q2 float64) []entry {
+func (m *maxSearch) generateI(tail *entrySet, u int32, q2 float64) entrySet {
 	row, probs := m.g.Adjacency(int(u))
 	j := 0
 	for j < len(row) && row[j] <= u {
 		j++
 	}
-	out := make([]entry, 0, minInt(len(tail), len(row)-j))
+	maxOut := minInt(tail.length(), len(row)-j)
+	out := m.arena.alloc(maxOut)
 	i := 0
-	for i < len(tail) && j < len(row) {
+	for i < tail.length() && j < len(row) {
 		switch {
-		case tail[i].v < row[j]:
+		case tail.v[i] < row[j]:
 			i++
-		case tail[i].v > row[j]:
+		case tail.v[i] > row[j]:
 			j++
 		default:
-			r2 := tail[i].r * probs[j]
+			r2 := tail.r[i] * probs[j]
 			if q2*r2 >= m.alpha {
-				out = append(out, entry{tail[i].v, r2})
+				out = out.push(tail.v[i], r2)
 			}
 			i++
 			j++
 		}
 	}
+	m.arena.shrink(maxOut, out.length())
 	return out
 }

@@ -10,7 +10,8 @@ import (
 // the paper's key optimization (§4, "a key insight is to reduce this time
 // to O(1)"). The enumeration kernel itself stores sets structure-of-arrays
 // (entrySet, arena.go) so the vertex scans touch 4 bytes per element; entry
-// survives for the paths that don't run on the arena (maxclique.go).
+// survives as the scalar element view used by the invariant checker
+// (invariant.go).
 type entry struct {
 	v int32
 	r float64
@@ -29,8 +30,8 @@ type enumerator struct {
 	mask          []uint64      // worker-local scatter mask for the bitset kernel
 	stats         *Stats
 	ctl           *RunControl
-	tick          int // nodes until the next ctl.poll; amortizes the abort check
-	arena         entryArena
+	tick          int         // nodes until the next ctl.poll; amortizes the abort check
+	arena         *entryArena // pooled; checked out per enumerator, returned on terminal paths
 	emitBuf       []int
 	cbuf          []int32 // working-clique stack for the serial recursion
 	stopped       bool
@@ -58,9 +59,11 @@ func (e *enumerator) countNode() bool {
 // workerClone returns an enumerator that shares e's graph, configuration,
 // and bit-row index but owns its stats, arena, mask, and scratch buffers,
 // with the visitor routed through the run's shared serialization/early-stop
-// state. Both parallel engines build their per-worker enumerators with it;
-// everything mutable is worker-local (stats are merged deterministically
-// after the run, arenas and masks never cross workers).
+// state. Both parallel engines build their per-slot enumerators with it;
+// everything mutable is slot-local (stats are merged deterministically
+// after the run, arenas and masks never cross slots). The arena and mask
+// come from the size-classed pools; the caller owns the clone's terminal
+// path and must call releasePooled there.
 func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
 	return &enumerator{
 		g:             e.g,
@@ -72,12 +75,29 @@ func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
 		checkInv:      e.checkInv,
 		intersectMode: e.intersectMode,
 		bits:          e.bits,
-		mask:          e.bits.newMask(),
+		mask:          e.bits.checkoutMask(),
 		stats:         stats,
 		ctl:           e.ctl,
 		tick:          abortCheckInterval,
+		arena:         checkoutArena(e.g.NumVertices()),
 		emitBuf:       make([]int, 0, 64),
 		cbuf:          make([]int32, 0, 128),
+	}
+}
+
+// releasePooled returns the enumerator's pooled arena and scatter mask. It
+// is called exactly once, on the enumerator's terminal path — the deferred
+// release in EnumerateContext for the root, the post-Wait merge loop of the
+// parallel engines for slot clones — so every outcome (complete, early
+// stop, cancel, budget, limit) funnels through the same return point.
+func (e *enumerator) releasePooled() {
+	if e.arena != nil {
+		returnArena(e.g.NumVertices(), e.arena)
+		e.arena = nil
+	}
+	if e.mask != nil {
+		e.bits.returnMask(e.mask)
+		e.mask = nil
 	}
 }
 

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
+
+	"github.com/uncertain-graphs/mule/internal/exec"
 )
 
 // runTopLevel is the legacy parallel driver (ParallelTopLevel): it fans only
@@ -10,7 +11,9 @@ import (
 // work-stealing engine in worksteal.go and is kept because it is the natural
 // comparison point: on skewed inputs where one top-level subtree dominates,
 // this driver degenerates to serial execution while work stealing keeps
-// subdividing the heavy branch.
+// subdividing the heavy branch. Like the work-stealing engine it runs on the
+// shared executor: its frames are opaque seat tokens, one per requested
+// worker, and each seat loops over a shared atomic branch counter.
 //
 // Soundness: at the root C = ∅, the branch for vertex u receives
 // I_u = {(w, p(u,w)) : w ∈ Γ(u), w > u, p(u,w) ≥ α} and
@@ -19,39 +22,82 @@ import (
 // root's X accumulates exactly the vertices smaller than u. Top-level
 // subtrees are therefore mutually independent and can run concurrently;
 // every deeper level keeps the sequential left-to-right dependency through
-// X and stays inside one worker.
-func (e *enumerator) runTopLevel(workers int) {
+// X and stays inside one seat.
+
+// tlLocal is one slot's private state for the top-level engine: the worker
+// clone with its pooled arena/mask and the stats block merged after the run.
+type tlLocal struct {
+	stats Stats
+	e     *enumerator
+}
+
+// tlEngine adapts the top-level fan-out to the executor. Seat frames carry
+// no state (they are bare ints, used only as claim tokens); the branch
+// counter next hands out top-level vertices dynamically, so seats that land
+// on cheap branches keep pulling work instead of idling. locals follows the
+// same slot-ID discipline as wsEngine.locals.
+type tlEngine struct {
+	e      *enumerator
+	s      *wsShared
+	n      int
+	next   atomic.Int64
+	locals []*tlLocal
+}
+
+func (en *tlEngine) local(id int) *tlLocal {
+	l := en.locals[id]
+	if l == nil {
+		l = &tlLocal{}
+		l.e = en.e.workerClone(&l.stats, en.s)
+		en.locals[id] = l
+	}
+	return l
+}
+
+// Execute runs one seat: it pulls top-level branches off the shared counter
+// until the branches run out or the run's stop latch fires.
+func (en *tlEngine) Execute(s *exec.Slot, _ any) {
+	l := en.local(s.ID())
+	for {
+		u := en.next.Add(1)
+		if int(u) >= en.n || en.s.ctl.stop.Load() || l.e.stopped {
+			return
+		}
+		l.e.branch(int32(u))
+		if l.e.stopped {
+			return // the visitor or the run control latched the stop
+		}
+	}
+}
+
+// Split declines: seat frames carry no divisible work (the branch counter
+// already balances dynamically), so a lone queued seat moves wholesale.
+func (en *tlEngine) Split(int, any) any { return nil }
+
+// NoteSteal is a no-op: seats have no steal accounting.
+func (en *tlEngine) NoteSteal(int) {}
+
+func (e *enumerator) runTopLevel(x *exec.Executor, workers int) {
 	n := e.g.NumVertices()
 	s := &wsShared{ctl: e.ctl, visit: e.visit}
-	// Per-worker stats are separate heap blocks rather than adjacent slots
-	// of one slice, so the per-node counting is unlikely to false-share
-	// across workers (separate allocations can still land on neighboring
-	// cache lines; a flat []Stats guarantees that they do).
-	locals := make([]*Stats, workers)
-
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		locals[i] = new(Stats)
-		wg.Add(1)
-		go func(local *enumerator) {
-			defer wg.Done()
-			for {
-				u := next.Add(1)
-				if int(u) >= n || s.ctl.stop.Load() {
-					return
-				}
-				local.branch(int32(u))
-				if local.stopped {
-					return // the visitor or the run control latched the stop
-				}
-			}
-		}(e.workerClone(locals[i], s))
+	en := &tlEngine{e: e, s: s, n: n, locals: make([]*tlLocal, x.Parallelism()+1)}
+	en.next.Store(-1)
+	seats := workers
+	if seats > n {
+		seats = n
 	}
-	wg.Wait()
-	for i := range locals {
-		e.stats.merge(locals[i])
+	roots := make([]any, seats)
+	for i := range roots {
+		roots[i] = i
+	}
+	r := x.Submit(en, exec.RunOpts{MaxParallel: workers, Stopped: e.ctl.stop.Load}, roots...)
+	r.Wait(e.ctl.Done(), func() { e.ctl.Poll(0) })
+	for _, l := range en.locals {
+		if l == nil {
+			continue
+		}
+		e.stats.merge(&l.stats)
+		l.e.releasePooled()
 	}
 	e.stopped = e.ctl.stop.Load()
 	// The root call itself is accounted once, as in the serial driver.
@@ -98,9 +144,9 @@ func (e *enumerator) branch(u int32) {
 }
 
 // merge folds o into s. All counter fields are sums or maxes, so merging
-// per-worker stats in ascending worker order yields a deterministic
-// aggregate. Status is not merged: the terminal state is decided once by
-// the run control after all workers have drained.
+// per-slot stats in ascending slot order yields a deterministic aggregate.
+// Status is not merged: the terminal state is decided once by the run
+// control after all slots have drained.
 func (s *Stats) merge(o *Stats) {
 	s.Calls += o.Calls
 	s.Emitted += o.Emitted

@@ -3,10 +3,11 @@ package core
 import (
 	"math/rand"
 	"reflect"
-	"sync"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
+	"github.com/uncertain-graphs/mule/internal/exec"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -49,66 +50,50 @@ func TestWorkStealingMatchesSerialRandom(t *testing.T) {
 	}
 }
 
-// TestStealCounterStorm hammers stealFrom from many concurrent thieves —
-// the exact interleaving where incrementing engine-wide counters after
-// dropping the victim's deque mutex would race (two thieves robbing
-// different victims increment concurrently). The counters live on
-// thief-private wsWorker fields, so this test under -race is the
-// regression guard against moving them back onto shared stats; frame
-// conservation (every split mints exactly one frame) cross-checks that no
-// increment was lost.
+// TestStealCounterStorm drives a steal-heavy workload through a private
+// executor with far more pool workers than CPUs — the exact interleaving
+// where incrementing engine-wide counters from Split/NoteSteal after the
+// victim's deque mutex drops would race (two thieves robbing different
+// victims increment concurrently). The counters live on slot-private
+// wsWorker fields, so this test under -race is the regression guard
+// against moving them back onto shared stats; output equivalence and the
+// Steals ≥ Splits invariant cross-check that no increment was lost. (The
+// container-level steal storm with synthetic frames lives in internal/exec,
+// which owns the deques now.)
 func TestStealCounterStorm(t *testing.T) {
-	const (
-		thieves = 16
-		seeds   = 64
-		rounds  = 200
-	)
-	workers := make([]*wsWorker, thieves)
-	for i := range workers {
-		workers[i] = &wsWorker{id: i}
+	x := exec.New(16)
+	defer x.Close()
+	rng := rand.New(rand.NewSource(409))
+	g := randomDyadic(44, 0.55, rng)
+	serial := mustCollect(t, g, 0.0625, Config{})
+	var steals int64
+	for round := 0; round < 6; round++ {
+		// The visitor yields on every emission so the surplus pool workers
+		// actually get scheduled to thieve on a single-CPU box (a run that
+		// never yields executes its whole tree before any thief wakes).
+		var got [][]int
+		stats, err := EnumerateWith(g, 0.0625, func(c []int, _ float64) bool {
+			cp := make([]int, len(c))
+			copy(cp, c)
+			got = append(got, cp)
+			runtime.Gosched()
+			return true
+		}, Config{Workers: 16, StealGranularity: 1, Exec: x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonicalize(got)
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("round %d: steal-storm run diverged from serial", round)
+		}
+		if stats.Steals < stats.Splits {
+			t.Fatalf("round %d: %d splits but only %d steals (every split is a steal)",
+				round, stats.Splits, stats.Steals)
+		}
+		steals += stats.Steals
 	}
-	// Seed every deque with splittable frames (≥ 2 pending candidates each)
-	// so lone-frame steals exercise the split path too.
-	I := entrySet{v: []int32{0, 1, 2, 3}, r: []float64{1, 1, 1, 1}}
-	for i := 0; i < seeds; i++ {
-		w := workers[i%thieves]
-		w.deque.push(&wsFrame{q: 1, I: I, end: I.length()})
-	}
-	var wg sync.WaitGroup
-	for i := range workers {
-		wg.Add(1)
-		go func(w *wsWorker) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w.id)))
-			for r := 0; r < rounds; r++ {
-				v := workers[rng.Intn(thieves)]
-				if v == w {
-					continue
-				}
-				if f := w.stealFrom(v); f != nil {
-					// Keep the frame in circulation so conservation holds
-					// and other thieves can re-steal it.
-					w.deque.push(f)
-				}
-			}
-		}(workers[i])
-	}
-	wg.Wait()
-	var steals, splits, frames int64
-	for _, w := range workers {
-		steals += w.steals
-		splits += w.splits
-		frames += int64(len(w.deque.frames))
-	}
-	if steals == 0 || splits == 0 {
-		t.Fatalf("storm exercised nothing: %d steals, %d splits", steals, splits)
-	}
-	if splits > steals {
-		t.Fatalf("%d splits but only %d steals (every split is a steal)", splits, steals)
-	}
-	if frames != seeds+splits {
-		t.Fatalf("frame conservation broken: %d frames in deques, want %d seeds + %d splits",
-			frames, seeds, splits)
+	if steals == 0 {
+		t.Fatal("storm exercised no steals across 6 steal-greedy rounds")
 	}
 }
 
@@ -268,5 +253,60 @@ func TestParallelModeValidation(t *testing.T) {
 	}
 	if ParallelWorkStealing.String() != "worksteal" || ParallelTopLevel.String() != "toplevel" {
 		t.Error("ParallelMode.String misnames the engines")
+	}
+}
+
+// TestExecutorDomainsEquivalent pins down that the executor a run is
+// submitted to is pure scheduling policy: on 50 random graphs, both parallel
+// engines produce output (and, for work stealing, search-tree stats)
+// identical to serial whether they run on the process-wide shared pool or on
+// private executors of different widths. This is the shared-vs-private half
+// of the PR-6 equivalence suite; the mule-layer soak covers the same
+// property under cross-query contention.
+func TestExecutorDomainsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	priv4 := exec.New(4)
+	defer priv4.Close()
+	priv1 := exec.New(1)
+	defer priv1.Close()
+	domains := []struct {
+		name string
+		x    *exec.Executor
+	}{
+		{"shared", nil}, // Config.Exec nil → exec.Default()
+		{"private4", priv4},
+		{"private1", priv1},
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(35)
+		g := randomDyadic(n, 0.2+0.5*rng.Float64(), rng)
+		alpha := dyadicAlphas[rng.Intn(len(dyadicAlphas))]
+		serial, sstats, err := CollectWith(g, alpha, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range domains {
+			ws := Config{Workers: 4, StealGranularity: 1, Exec: d.x}
+			got, gstats, err := CollectWith(g, alpha, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Fatalf("trial %d (n=%d, α=%v) %s worksteal: clique sets diverge", trial, n, alpha, d.name)
+			}
+			if gstats.Calls != sstats.Calls || gstats.Emitted != sstats.Emitted ||
+				gstats.CandidateOps != sstats.CandidateOps {
+				t.Fatalf("trial %d %s worksteal: stats diverge\nserial = %+v\ngot    = %+v",
+					trial, d.name, sstats, gstats)
+			}
+			tl := Config{Workers: 4, Parallel: ParallelTopLevel, Exec: d.x}
+			got, _, err = CollectWith(g, alpha, tl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Fatalf("trial %d (n=%d, α=%v) %s toplevel: clique sets diverge", trial, n, alpha, d.name)
+			}
+		}
 	}
 }

@@ -1,14 +1,15 @@
 package core
 
 import (
-	"runtime"
 	"sync"
-	"sync/atomic"
-	"time"
+
+	"github.com/uncertain-graphs/mule/internal/exec"
 )
 
 // This file implements the default parallel engine: a work-stealing
-// depth-first search over explicit, splittable frames.
+// depth-first search over explicit, splittable frames, executed on the
+// shared process-wide executor (internal/exec) rather than on per-run
+// goroutines.
 //
 // A wsFrame is one suspended invocation of Enum-Uncertain-MC (Algorithm 2):
 // the working clique C with clq(C) = q, the node's full candidate set I,
@@ -23,48 +24,42 @@ import (
 // iteration mid is X ++ I[next:mid], computable from the frame alone — the
 // invariant holds lane-wise in the SoA layout, so a split copies both
 // lanes. A thief can therefore take the upper half of a lone frame's
-// pending range, or — the common case — half of the oldest (shallowest, and
-// hence biggest) frames of a victim's deque.
+// pending range (the executor's Split hook, below), or — the common case —
+// half of the oldest (shallowest, and hence biggest) frames of a victim's
+// deque, which the executor does generically.
 //
-// Ownership rules keep the engine race-free without fine-grained locking:
-// a frame is mutated only by the worker currently holding it, and the only
-// handoff points (deque push/pop/steal) are guarded by the deque mutex.
-// C and I are read-only after frame creation and may be shared by a split;
-// X is written by the owner, so a split gives the thief a private copy.
+// Division of labor with the executor: the executor owns the deques, the
+// inbox, stealing, parking, per-run parallelism caps, and termination by
+// frame conservation. This engine owns the frames' meaning — executing one
+// (executeFrame), splitting a lone frame at the iteration level (Split),
+// and the per-slot accounting. Frames cross query boundaries on the shared
+// deques, but never cross accounting boundaries: every executor callback
+// carries a slot ID, each slot lazily gets a private wsWorker (stats block,
+// arena, free list, steal counters), and the blocks are merged in slot
+// order after the run's Wait returns. Incrementing an engine-wide counter
+// from Split/NoteSteal would race between two thieves robbing different
+// victims; slot-private counters make that impossible by construction
+// (regression-tested by the steal-storm test under -race) and keep the
+// node-counting hot path free of cross-worker cache-line contention.
 //
-// Arena discipline: each worker's enumerator owns a private frame arena
-// (arena.go) used for all within-node scratch — the I'/X' produced while
-// expanding a frame's candidates, and the entire inline recursion below the
-// steal granularity. Frames are the one thing that crosses workers, so
-// frame state (C, I, X) always lives on the heap: a frame-worthy child
-// copies its arena-built I'/X' lanes into fresh heap slices before the
-// arena mark is released. A thief therefore never observes another worker's
-// arena memory, keeping the engine -race clean with zero cross-worker
-// synchronization beyond the deque mutexes.
-//
-// Accounting: everything a worker counts — search-tree stats and the
-// steal/split counters its thieving increments — lives in the worker's own
-// wsWorker (the stats block and the steals/splits fields), never in
-// engine-wide memory. Per-worker blocks are merged in worker order after
-// the run. Incrementing a shared counter from stealFrom after dropping the
-// victim's deque mutex would race between two thieves robbing different
-// victims; keeping the counters worker-private makes that impossible by
-// construction (regression-tested by the steal-storm test under -race),
-// and keeps the node-counting hot path free of cross-worker cache-line
-// contention, which a flat []Stats slice of adjacent per-worker blocks
-// would reintroduce as false sharing.
+// Pooled-resource discipline: each slot's enumerator checks its entry arena
+// and bitset scatter mask out of the size-classed pools (pools.go) at slot
+// creation and returns them in the post-Wait merge loop — the single
+// terminal point every outcome (complete, early stop, cancel, budget)
+// funnels through. Arena memory never crosses slots: frame state (C, I, X)
+// always lives on the heap, copied out of the arena before the frame is
+// published, so a thief never observes another slot's arena memory.
 //
 // Frame free list: the heap copies are the engine's one remaining steady-
 // state allocation (frame struct + C + I/X lanes per frame-worthy node). A
-// fully executed frame therefore goes onto the executing worker's private
+// fully executed frame therefore goes onto the executing slot's private
 // free list and the next frame-worthy child reuses its struct and slice
 // capacity. The only frames excluded are those whose C/I became aliased by
 // an iteration-level split (shared flag, set under the victim's deque mutex
 // — the same mutex every ownership handoff goes through, so the owner
 // always observes it): the thief's half-frame still reads those slices, so
 // both aliases are left to the GC. Splits are rare (Stats.Splits), so in
-// steady state frame churn recycles entirely within the free lists; a
-// frame stolen wholesale is simply recycled by the thief that finishes it.
+// steady state frame churn recycles entirely within the free lists.
 
 // defaultStealGranularity is the Config.StealGranularity used when the knob
 // is zero: subtrees with fewer pending candidates than this run inline with
@@ -73,7 +68,7 @@ import (
 // unstealable chunk to a few hundred cheap nodes.
 const defaultStealGranularity = 8
 
-// wsFreeListMax bounds a worker's frame free list. Deques are rarely more
+// wsFreeListMax bounds a slot's frame free list. Deques are rarely more
 // than a few dozen frames deep, so 64 recycled frames cover the working set
 // without pinning arbitrarily large C/I/X capacities for the whole run.
 const wsFreeListMax = 64
@@ -88,67 +83,17 @@ type wsFrame struct {
 	shared bool     // C/I aliased by an iteration-level split; never recycle
 }
 
-// wsDeque is a mutex-guarded deque of frames. The owner pushes and pops at
-// the tail (newest, deepest); thieves take from the head (oldest,
-// shallowest — the frames with the most work under them).
-type wsDeque struct {
-	mu     sync.Mutex
-	n      atomic.Int32 // mirror of len(frames) for lock-free peeking
-	frames []*wsFrame
-}
-
-func (d *wsDeque) push(f *wsFrame) {
-	d.mu.Lock()
-	d.frames = append(d.frames, f)
-	d.n.Store(int32(len(d.frames)))
-	d.mu.Unlock()
-}
-
-func (d *wsDeque) pop() *wsFrame {
-	d.mu.Lock()
-	k := len(d.frames)
-	if k == 0 {
-		d.mu.Unlock()
-		return nil
-	}
-	f := d.frames[k-1]
-	d.frames[k-1] = nil
-	d.frames = d.frames[:k-1]
-	d.n.Store(int32(k - 1))
-	d.mu.Unlock()
-	return f
-}
-
-// popIf removes the newest frame iff it is exactly f. The owner calls it
-// after returning from a child subtree: success means the continuation it
-// exposed was not stolen and it may resume; failure means a thief owns f.
-func (d *wsDeque) popIf(f *wsFrame) bool {
-	d.mu.Lock()
-	k := len(d.frames)
-	if k == 0 || d.frames[k-1] != f {
-		d.mu.Unlock()
-		return false
-	}
-	d.frames[k-1] = nil
-	d.frames = d.frames[:k-1]
-	d.n.Store(int32(k - 1))
-	d.mu.Unlock()
-	return true
-}
-
-// wsShared is the state common to all workers of one run (and reused by the
-// legacy top-level driver for its visitor wrapping). The stop flag lives in
-// the run control so that visitor early-stop, context cancellation, and
-// budget exhaustion all unwind every worker through the same latch.
+// wsShared is the state common to all slots of one run (and reused by the
+// top-level driver for its visitor wrapping). The stop flag lives in the
+// run control so that visitor early-stop, context cancellation, and budget
+// exhaustion all unwind every slot through the same latch.
 type wsShared struct {
 	ctl     *RunControl
-	busy    atomic.Int32 // workers not parked in waitForWork
-	visitMu sync.Mutex   // serializes user-visitor invocations
-	visit   Visitor      // the user's visitor; nil = count only
-	workers []*wsWorker
+	visitMu sync.Mutex // serializes user-visitor invocations
+	visit   Visitor    // the user's visitor; nil = count only
 }
 
-// wrapVisitor serializes the user visitor across workers and latches the
+// wrapVisitor serializes the user visitor across slots and latches the
 // early-stop: after any visitor invocation returns false, every later
 // emission is swallowed, preserving the serial contract that no clique is
 // delivered after the stop.
@@ -170,17 +115,21 @@ func (s *wsShared) wrapVisitor() Visitor {
 	}
 }
 
+// wsWorker is one slot's private state: the worker-clone enumerator (own
+// stats, pooled arena and mask), the frame free list, and the steal/split
+// counters this slot increments as a thief. The executor guarantees calls
+// for one slot ID are never concurrent, so nothing here is locked.
 type wsWorker struct {
 	id          int
 	granularity int
 	shared      *wsShared
-	e           *enumerator // worker-local clone; private stats and emit buffer
-	deque       wsDeque
-	stats       Stats      // this worker's counters; merged after the run
-	steals      int64      // successful steals by this worker (as the thief)
-	splits      int64      // iteration-level splits by this worker (as the thief)
-	scratch     []int32    // reusable C∪{u} buffer for leaf nodes
-	free        []*wsFrame // recycled frames; reused for frame-worthy children
+	e           *enumerator // slot-local clone; private stats and emit buffer
+	slot        *exec.Slot  // valid for the duration of one Execute call
+	stats       Stats       // this slot's counters; merged after the run
+	steals      int64       // successful steals by this slot (as the thief)
+	splits      int64       // iteration-level splits by this slot (as the thief)
+	scratch     []int32     // reusable C∪{u} buffer for leaf nodes
+	free        []*wsFrame  // recycled frames; reused for frame-worthy children
 }
 
 // takeFrame returns a recycled frame (slice capacities intact) or a fresh
@@ -196,7 +145,7 @@ func (w *wsWorker) takeFrame() *wsFrame {
 	return f
 }
 
-// recycle puts a fully executed frame onto the worker's free list. A frame
+// recycle puts a fully executed frame onto the slot's free list. A frame
 // whose C/I are aliased by a split stays out — the other alias may still
 // read them — as does anything beyond the list bound.
 func (w *wsWorker) recycle(f *wsFrame) {
@@ -207,14 +156,82 @@ func (w *wsWorker) recycle(f *wsFrame) {
 	w.free = append(w.free, f)
 }
 
-// runWorkStealing executes the search with the work-stealing engine. Worker
-// 0 is seeded with the root frame (all n vertices pending); the others
-// start by stealing. Per-worker stats (including the steal/split counters,
-// which a thief increments only on its own wsWorker) are merged in
-// ascending worker order after the run, so the aggregate is deterministic
-// for a deterministic workload split and reproducibly summed regardless of
-// scheduling.
-func (e *enumerator) runWorkStealing(workers, granularity int) {
+// wsEngine adapts the frame search to the executor's Engine interface for
+// one run. locals is indexed by slot ID and sized Parallelism()+1 (pool
+// workers plus the run's Wait helper); each element is written exactly once,
+// by the goroutine owning that slot, and read by the submitting goroutine
+// only after Wait returns — the run-completion atomics order those accesses.
+type wsEngine struct {
+	e      *enumerator
+	s      *wsShared
+	gran   int
+	locals []*wsWorker
+}
+
+// local returns the slot's private wsWorker, creating it (with a pooled
+// arena and mask checked out for the slot's enumerator clone) on first use.
+func (en *wsEngine) local(id int) *wsWorker {
+	w := en.locals[id]
+	if w == nil {
+		w = &wsWorker{id: id, granularity: en.gran, shared: en.s}
+		w.e = en.e.workerClone(&w.stats, en.s)
+		en.locals[id] = w
+	}
+	return w
+}
+
+// Execute runs one claimed frame to completion on the slot.
+func (en *wsEngine) Execute(s *exec.Slot, f any) {
+	w := en.local(s.ID())
+	w.slot = s
+	w.executeFrame(f.(*wsFrame))
+	w.slot = nil
+}
+
+// Split subdivides a lone queued frame at the iteration level: the thief
+// receives the upper half of the pending range with private witness lanes
+// reconstructed from the split invariant; both halves then alias the same
+// C/I and are marked unrecyclable. Called with the victim's deque lock held,
+// which serializes it against the owner's executeFrame; the counters are the
+// thief slot's own.
+func (en *wsEngine) Split(thief int, f any) any {
+	fr := f.(*wsFrame)
+	if fr.end-fr.next < 2 {
+		return nil
+	}
+	mid := fr.next + (fr.end-fr.next)/2
+	X := entrySet{
+		v: make([]int32, fr.X.length(), fr.X.length()+(mid-fr.next)),
+		r: make([]float64, fr.X.length(), fr.X.length()+(mid-fr.next)),
+	}
+	copy(X.v, fr.X.v)
+	copy(X.r, fr.X.r)
+	X.v = append(X.v, fr.I.v[fr.next:mid]...)
+	X.r = append(X.r, fr.I.r[fr.next:mid]...)
+	g := &wsFrame{C: fr.C, q: fr.q, I: fr.I, X: X, next: mid, end: fr.end, shared: true}
+	fr.end = mid
+	fr.shared = true
+	w := en.local(thief)
+	w.steals++
+	w.splits++
+	return g
+}
+
+// NoteSteal records one wholesale steal by the thief slot.
+func (en *wsEngine) NoteSteal(thief int) {
+	en.local(thief).steals++
+}
+
+// runWorkStealing executes the search with the work-stealing engine on the
+// given executor. The root frame (all n vertices pending) is submitted to
+// the shared pool with the query's Workers knob as the run's parallelism
+// cap; the calling goroutine waits as the run's helper slot. Per-slot stats
+// (including the steal/split counters, which a thief increments only on its
+// own wsWorker) are merged in ascending slot order after the run, so the
+// aggregate is reproducibly summed regardless of scheduling, and each
+// slot's pooled arena and mask are returned at the same point — the single
+// terminal path for every outcome.
+func (e *enumerator) runWorkStealing(x *exec.Executor, workers, granularity int) {
 	if granularity <= 0 {
 		granularity = defaultStealGranularity
 	}
@@ -229,73 +246,32 @@ func (e *enumerator) runWorkStealing(workers, granularity int) {
 		rootI.v[v] = int32(v)
 		rootI.r[v] = 1
 	}
-	s := &wsShared{ctl: e.ctl, visit: e.visit, workers: make([]*wsWorker, workers)}
-	s.busy.Store(int32(workers))
-	for i := range s.workers {
-		w := &wsWorker{
-			id:          i,
-			granularity: granularity,
-			shared:      s,
-		}
-		// Each worker counts into its own wsWorker block — separate heap
-		// objects, not adjacent slots of one slice — so the per-node
-		// Calls++ hot path and the thief-side steal counters are unlikely
-		// to share a cache line with another worker's (a flat []Stats
-		// would guarantee that they do).
-		w.e = e.workerClone(&w.stats, s)
-		s.workers[i] = w
-	}
+	s := &wsShared{ctl: e.ctl, visit: e.visit}
+	en := &wsEngine{e: e, s: s, gran: granularity, locals: make([]*wsWorker, x.Parallelism()+1)}
 	root := &wsFrame{q: 1, I: rootI, end: n}
-	var wg sync.WaitGroup
-	for i := range s.workers {
-		seed := (*wsFrame)(nil)
-		if i == 0 {
-			seed = root
+	r := x.Submit(en, exec.RunOpts{MaxParallel: workers, Stopped: e.ctl.stop.Load}, root)
+	// On a context fire while waiting, Poll(0) latches the abort cause and
+	// the stop flag, so the executor purges the run's queued frames.
+	r.Wait(e.ctl.Done(), func() { e.ctl.Poll(0) })
+	for _, w := range en.locals {
+		if w == nil {
+			continue
 		}
-		wg.Add(1)
-		go func(w *wsWorker, cur *wsFrame) {
-			defer wg.Done()
-			w.run(cur)
-		}(s.workers[i], seed)
-	}
-	wg.Wait()
-	for _, w := range s.workers {
 		w.stats.Steals += w.steals
 		w.stats.Splits += w.splits
 		e.stats.merge(&w.stats)
+		w.e.releasePooled()
 	}
 	e.stopped = e.ctl.stop.Load()
 }
 
-// run is the worker loop: drain the own deque, then steal, then park.
-func (w *wsWorker) run(cur *wsFrame) {
-	s := w.shared
-	for {
-		if s.ctl.stop.Load() || w.e.stopped {
-			return
-		}
-		if cur == nil {
-			cur = w.deque.pop()
-		}
-		if cur == nil {
-			cur = w.steal()
-		}
-		if cur == nil {
-			if !w.waitForWork() {
-				return
-			}
-			continue
-		}
-		w.executeFrame(cur)
-		cur = nil
-	}
-}
-
 // executeFrame runs f's pending candidate range depth-first. Before
-// descending into a non-final child it pushes the continuation of f so
-// thieves can take the remaining iterations; on the way back, popIf tells
-// it whether the continuation survived. A frame that runs dry is recycled
-// onto the worker's free list on the spot.
+// descending into a non-final child it pushes the continuation of f through
+// the slot so thieves can take the remaining iterations; on the way back,
+// PopIf tells it whether the continuation survived — failure means another
+// slot owns f now (stolen from a deque, or, for a helper's inbox-published
+// continuation, buried under later arrivals and left for the pool). A frame
+// that runs dry is recycled onto the slot's free list on the spot.
 func (w *wsWorker) executeFrame(f *wsFrame) {
 	e := w.e
 	s := w.shared
@@ -348,9 +324,9 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 		}
 		if I2.length() < w.granularity {
 			// Small subtree: run it inline with the serial recursion on
-			// worker-private scratch. It accounts for its own nodes and is
+			// slot-private scratch. It accounts for its own nodes and is
 			// never exposed for stealing, so the arena-backed I2/X2 and the
-			// scratch clique stay owned by this worker throughout.
+			// scratch clique stay owned by this slot throughout.
 			w.scratch = append(append(w.scratch[:0], f.C...), u)
 			e.recurse(w.scratch, q2, I2, X2)
 			e.arena.release(m)
@@ -388,116 +364,10 @@ func (w *wsWorker) executeFrame(f *wsFrame) {
 			f = child
 			continue
 		}
-		w.deque.push(f)
+		w.slot.Push(f)
 		w.executeFrame(child)
-		if !w.deque.popIf(f) {
-			return // continuation stolen; the thief owns f now
-		}
-	}
-}
-
-// steal sweeps the other workers once, nearest id first.
-func (w *wsWorker) steal() *wsFrame {
-	p := len(w.shared.workers)
-	for off := 1; off < p; off++ {
-		if f := w.stealFrom(w.shared.workers[(w.id+off)%p]); f != nil {
-			return f
-		}
-	}
-	return nil
-}
-
-// stealFrom takes half of the oldest frames from v's deque. With two or
-// more frames queued, the older half moves wholesale (all but one parked on
-// the thief's own deque, so they stay stealable by others). A lone frame
-// with at least two pending candidates is split at the iteration level:
-// the thief receives the upper half of the range with private witness
-// lanes reconstructed from the split invariant; both halves then alias the
-// same C/I and are marked unrecyclable. The steal/split counters touched
-// after dropping the victim's mutex are w's own (merged at run end), so
-// concurrent thieves never write shared memory here.
-func (w *wsWorker) stealFrom(v *wsWorker) *wsFrame {
-	d := &v.deque
-	if d.n.Load() == 0 {
-		return nil
-	}
-	d.mu.Lock()
-	k := len(d.frames)
-	switch {
-	case k == 0:
-		d.mu.Unlock()
-		return nil
-	case k == 1:
-		f := d.frames[0]
-		if f.end-f.next >= 2 {
-			mid := f.next + (f.end-f.next)/2
-			X := entrySet{
-				v: make([]int32, f.X.length(), f.X.length()+(mid-f.next)),
-				r: make([]float64, f.X.length(), f.X.length()+(mid-f.next)),
-			}
-			copy(X.v, f.X.v)
-			copy(X.r, f.X.r)
-			X.v = append(X.v, f.I.v[f.next:mid]...)
-			X.r = append(X.r, f.I.r[f.next:mid]...)
-			g := &wsFrame{C: f.C, q: f.q, I: f.I, X: X, next: mid, end: f.end, shared: true}
-			f.end = mid
-			f.shared = true
-			d.mu.Unlock()
-			w.steals++
-			w.splits++
-			return g
-		}
-		d.frames[0] = nil
-		d.frames = d.frames[:0]
-		d.n.Store(0)
-		d.mu.Unlock()
-		w.steals++
-		return f
-	default:
-		h := k / 2
-		stolen := make([]*wsFrame, h)
-		copy(stolen, d.frames[:h])
-		m := copy(d.frames, d.frames[h:])
-		for i := m; i < k; i++ {
-			d.frames[i] = nil
-		}
-		d.frames = d.frames[:m]
-		d.n.Store(int32(m))
-		d.mu.Unlock()
-		for _, f := range stolen[:h-1] {
-			w.deque.push(f)
-		}
-		w.steals++
-		return stolen[h-1]
-	}
-}
-
-// waitForWork parks the worker until another deque shows work or the run
-// ends. It returns false on termination. A worker is counted busy from the
-// moment it claims work until its next failed pop+steal, and only the owner
-// pushes to a deque, so busy == 0 implies every deque is empty and no frame
-// is held: the run is complete.
-func (w *wsWorker) waitForWork() bool {
-	s := w.shared
-	if s.busy.Add(-1) == 0 {
-		return false
-	}
-	spins := 0
-	for {
-		if s.ctl.stop.Load() || s.busy.Load() == 0 {
-			return false
-		}
-		for _, v := range s.workers {
-			if v != w && v.deque.n.Load() > 0 {
-				s.busy.Add(1)
-				return true
-			}
-		}
-		spins++
-		if spins < 64 {
-			runtime.Gosched()
-		} else {
-			time.Sleep(20 * time.Microsecond)
+		if !w.slot.PopIf(f) {
+			return // the continuation's ownership moved; someone else runs f
 		}
 	}
 }

@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrAdmission is the typed sentinel for queries rejected by admission
+// control: the tenant is at its in-flight or aggregate-budget cap and the
+// wait queue is full (or waiting is disabled). Match with errors.Is.
+var ErrAdmission = errors.New("admission rejected")
+
+// Limits caps one tenant's concurrent load on an executor. The zero value
+// means unlimited.
+type Limits struct {
+	// MaxInFlight caps how many admitted queries the tenant may have running
+	// at once; 0 = unlimited.
+	MaxInFlight int
+	// MaxQueued bounds how many over-cap queries may wait for admission
+	// (FIFO); 0 = none — over-cap queries are rejected immediately.
+	MaxQueued int
+	// MaxBudget caps the sum of the node budgets of the tenant's admitted
+	// queries; 0 = unlimited. A single query whose budget exceeds the cap
+	// can never be admitted and is rejected rather than queued.
+	MaxBudget int64
+}
+
+// zero reports whether the limits impose no constraint at all.
+func (l Limits) zero() bool {
+	return l.MaxInFlight == 0 && l.MaxQueued == 0 && l.MaxBudget == 0
+}
+
+type tenantState struct {
+	inflight int
+	budget   int64
+	peak     int
+	queue    []*admissionWaiter
+}
+
+type admissionWaiter struct {
+	budget  int64
+	ready   chan struct{}
+	granted bool
+}
+
+// AdmissionStats is a snapshot of an executor's admission accounting.
+type AdmissionStats struct {
+	// Admitted counts queries that passed admission (immediately or after
+	// queueing); Rejected counts ErrAdmission outcomes; Queued counts
+	// queries that had to wait (whether they were later granted or gave up).
+	Admitted, Rejected, Queued int64
+	// InFlight and Peak report the current and high-water admitted query
+	// count per tenant that was ever subject to accounting.
+	InFlight, Peak map[string]int
+}
+
+// SetLimits installs per-tenant limits, replacing any previous value for
+// that tenant. Waiters already queued are re-evaluated on the next release.
+func (x *Executor) SetLimits(tenant string, l Limits) {
+	x.amu.Lock()
+	if x.limits == nil {
+		x.limits = make(map[string]Limits)
+	}
+	x.limits[tenant] = l
+	x.amu.Unlock()
+	x.limited.Store(true)
+}
+
+// SetDefaultLimits installs the limits applied to tenants without an
+// explicit SetLimits entry (including the empty tenant).
+func (x *Executor) SetDefaultLimits(l Limits) {
+	x.amu.Lock()
+	x.defLimits = l
+	x.amu.Unlock()
+	x.limited.Store(true)
+}
+
+func (x *Executor) limitsFor(tenant string) Limits {
+	if l, ok := x.limits[tenant]; ok {
+		return l
+	}
+	return x.defLimits
+}
+
+func (x *Executor) tenantLocked(tenant string) *tenantState {
+	if x.tenants == nil {
+		x.tenants = make(map[string]*tenantState)
+	}
+	ts := x.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		x.tenants[tenant] = ts
+	}
+	return ts
+}
+
+func fits(ts *tenantState, l Limits, budget int64) bool {
+	if l.MaxInFlight > 0 && ts.inflight >= l.MaxInFlight {
+		return false
+	}
+	if l.MaxBudget > 0 && ts.budget+budget > l.MaxBudget {
+		return false
+	}
+	return true
+}
+
+func (x *Executor) grantLocked(ts *tenantState, budget int64) {
+	ts.inflight++
+	ts.budget += budget
+	if ts.inflight > ts.peak {
+		ts.peak = ts.inflight
+	}
+	x.admitted++
+}
+
+// releaseLocked undoes one grant and hands freed capacity to queued waiters
+// in FIFO order (strictly: granting stops at the first waiter that does not
+// fit, so a big-budget waiter is never starved by later small ones).
+func (x *Executor) releaseLocked(tenant string, budget int64) {
+	ts := x.tenantLocked(tenant)
+	ts.inflight--
+	ts.budget -= budget
+	l := x.limitsFor(tenant)
+	for len(ts.queue) > 0 {
+		w := ts.queue[0]
+		if !fits(ts, l, w.budget) {
+			return
+		}
+		ts.queue[0] = nil
+		ts.queue = ts.queue[1:]
+		w.granted = true
+		x.grantLocked(ts, w.budget)
+		close(w.ready)
+	}
+}
+
+func (x *Executor) releaser(tenant string, budget int64) func() {
+	released := false
+	return func() {
+		x.amu.Lock()
+		if !released {
+			released = true
+			x.releaseLocked(tenant, budget)
+		}
+		x.amu.Unlock()
+	}
+}
+
+func noopRelease() {}
+
+// Admit gates one query of the given tenant and node budget through the
+// executor's admission control. It returns a release function that must be
+// called when the query's run ends (any terminal status). Over-cap queries
+// wait in FIFO order up to the tenant's MaxQueued, aborting with a wrapped
+// context error if ctx fires while queued; beyond the queue bound — or when
+// the budget alone exceeds MaxBudget — they are rejected with a wrapped
+// ErrAdmission.
+//
+// On an executor with no configured limits and an empty tenant the call is
+// one atomic load.
+func (x *Executor) Admit(ctx context.Context, tenant string, budget int64) (func(), error) {
+	if !x.limited.Load() && tenant == "" {
+		return noopRelease, nil
+	}
+	x.amu.Lock()
+	l := x.limitsFor(tenant)
+	ts := x.tenantLocked(tenant)
+	if len(ts.queue) == 0 && fits(ts, l, budget) {
+		x.grantLocked(ts, budget)
+		x.amu.Unlock()
+		return x.releaser(tenant, budget), nil
+	}
+	if l.MaxBudget > 0 && budget > l.MaxBudget {
+		x.rejected++
+		x.amu.Unlock()
+		return nil, fmt.Errorf("exec: tenant %q: budget %d exceeds the aggregate cap %d: %w",
+			tenant, budget, l.MaxBudget, ErrAdmission)
+	}
+	if l.MaxQueued <= 0 || len(ts.queue) >= l.MaxQueued {
+		x.rejected++
+		x.amu.Unlock()
+		return nil, fmt.Errorf("exec: tenant %q: %d queries in flight and the admission queue is full: %w",
+			tenant, ts.inflight, ErrAdmission)
+	}
+	w := &admissionWaiter{budget: budget, ready: make(chan struct{})}
+	ts.queue = append(ts.queue, w)
+	x.enqueued++
+	x.amu.Unlock()
+
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+		return x.releaser(tenant, budget), nil
+	case <-ctxDone:
+		x.amu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; undo it so the capacity
+			// flows to the next waiter.
+			x.releaseLocked(tenant, budget)
+		} else {
+			for i, q := range ts.queue {
+				if q == w {
+					ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		x.amu.Unlock()
+		return nil, fmt.Errorf("exec: admission wait aborted: %w", ctx.Err())
+	}
+}
+
+// AdmissionStats snapshots the executor's admission accounting.
+func (x *Executor) AdmissionStats() AdmissionStats {
+	x.amu.Lock()
+	defer x.amu.Unlock()
+	s := AdmissionStats{
+		Admitted: x.admitted,
+		Rejected: x.rejected,
+		Queued:   x.enqueued,
+		InFlight: make(map[string]int, len(x.tenants)),
+		Peak:     make(map[string]int, len(x.tenants)),
+	}
+	for t, ts := range x.tenants {
+		s.InFlight[t] = ts.inflight
+		s.Peak[t] = ts.peak
+	}
+	return s
+}

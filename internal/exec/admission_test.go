@@ -1,0 +1,352 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmitInFlightCap: MaxInFlight with no queue rejects the over-cap
+// query with ErrAdmission; releasing frees the seat.
+func TestAdmitInFlightCap(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetLimits("t", Limits{MaxInFlight: 2})
+	ctx := context.Background()
+	r1, err := x.Admit(ctx, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := x.Admit(ctx, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Admit(ctx, "t", 0); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("over-cap admit: err = %v, want ErrAdmission", err)
+	}
+	r1()
+	r3, err := x.Admit(ctx, "t", 0)
+	if err != nil {
+		t.Fatalf("post-release admit failed: %v", err)
+	}
+	r3()
+	r2()
+	r2() // release is idempotent
+	s := x.AdmissionStats()
+	if s.Admitted != 3 || s.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 3 admitted / 1 rejected", s)
+	}
+	if s.InFlight["t"] != 0 || s.Peak["t"] != 2 {
+		t.Fatalf("inflight/peak = %d/%d, want 0/2", s.InFlight["t"], s.Peak["t"])
+	}
+}
+
+// TestAdmitBudgetCap: the aggregate budget cap counts admitted budgets; a
+// single query over the whole cap is rejected outright, never queued.
+func TestAdmitBudgetCap(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetLimits("t", Limits{MaxBudget: 100, MaxQueued: 8})
+	ctx := context.Background()
+	r1, err := x.Admit(ctx, "t", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 60 + 50 > 100: would queue. 101 alone > 100: rejected immediately even
+	// though the queue has room.
+	if _, err := x.Admit(ctx, "t", 101); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("impossible budget: err = %v, want ErrAdmission", err)
+	}
+	r2, err := x.Admit(ctx, "t", 40)
+	if err != nil {
+		t.Fatalf("fitting budget rejected: %v", err)
+	}
+	r1()
+	r2()
+}
+
+// TestAdmitTenantsIndependent: limits and accounting are per tenant; an
+// unlimited tenant is never affected by another tenant's caps.
+func TestAdmitTenantsIndependent(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetLimits("capped", Limits{MaxInFlight: 1})
+	ctx := context.Background()
+	r1, err := x.Admit(ctx, "capped", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Admit(ctx, "capped", 0); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("capped tenant over cap: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		r, err := x.Admit(ctx, "free", 0)
+		if err != nil {
+			t.Fatalf("uncapped tenant rejected: %v", err)
+		}
+		defer r()
+	}
+	r1()
+}
+
+// TestAdmitDefaultLimits: SetDefaultLimits applies to tenants without an
+// explicit entry, including the empty tenant once limits exist.
+func TestAdmitDefaultLimits(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetDefaultLimits(Limits{MaxInFlight: 1})
+	ctx := context.Background()
+	r1, err := x.Admit(ctx, "anyone", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Admit(ctx, "anyone", 0); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("default limits not applied: %v", err)
+	}
+	// An explicit entry overrides the default.
+	x.SetLimits("vip", Limits{MaxInFlight: 3})
+	for i := 0; i < 3; i++ {
+		r, err := x.Admit(ctx, "vip", 0)
+		if err != nil {
+			t.Fatalf("vip admit %d: %v", i, err)
+		}
+		defer r()
+	}
+	r1()
+}
+
+// TestAdmitQueueFIFO: waiters are granted strictly in arrival order — a
+// release that could satisfy a later small waiter must not jump it past an
+// earlier one, and fresh arrivals cannot jump the queue either.
+func TestAdmitQueueFIFO(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetLimits("t", Limits{MaxInFlight: 1, MaxQueued: 4})
+	ctx := context.Background()
+	r1, err := x.Admit(ctx, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	enqueue := func(id int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			release, err := x.Admit(ctx, "t", 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- id
+			release()
+		}()
+	}
+	enqueue(1)
+	close(start)
+	waitQueued(t, x, 1)
+	enqueue(2) // arrives strictly after 1 is queued
+	waitQueued(t, x, 2)
+	r1()
+	wg.Wait()
+	if a, b := <-order, <-order; a != 1 || b != 2 {
+		t.Fatalf("grant order = %d,%d, want 1,2", a, b)
+	}
+}
+
+// waitQueued blocks until the executor's enqueued counter reaches n.
+func waitQueued(t *testing.T, x *Executor, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for x.AdmissionStats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d queued waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmitQueueBound: a full wait queue rejects further arrivals instead
+// of queueing them unboundedly.
+func TestAdmitQueueBound(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetLimits("t", Limits{MaxInFlight: 1, MaxQueued: 1})
+	ctx := context.Background()
+	r1, err := x.Admit(ctx, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		release, err := x.Admit(ctx, "t", 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		release()
+	}()
+	waitQueued(t, x, 1)
+	if _, err := x.Admit(ctx, "t", 0); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("queue-full admit: err = %v, want ErrAdmission", err)
+	}
+	r1()
+	<-done
+}
+
+// TestAdmitCancelWhileQueued: a context fired while waiting aborts with the
+// context's error (not ErrAdmission), removes the waiter, and leaks no
+// capacity — the freed seat goes to the next query.
+func TestAdmitCancelWhileQueued(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetLimits("t", Limits{MaxInFlight: 1, MaxQueued: 4})
+	r1, err := x.Admit(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := x.Admit(ctx, "t", 0)
+		errc <- err
+	}()
+	waitQueued(t, x, 1)
+	cancel()
+	werr := <-errc
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", werr)
+	}
+	if errors.Is(werr, ErrAdmission) {
+		t.Fatal("canceled waiter must not report ErrAdmission")
+	}
+	r1()
+	// Capacity is intact: an immediate grant must succeed.
+	r2, err := x.Admit(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatalf("post-cancel admit: %v", err)
+	}
+	r2()
+	if got := x.AdmissionStats().InFlight["t"]; got != 0 {
+		t.Fatalf("in-flight after all releases = %d, want 0", got)
+	}
+}
+
+// TestAdmitConcurrentStorm hammers one capped tenant from many goroutines
+// under -race: the in-flight count observed inside the admitted section must
+// never exceed the cap, and all accounting balances at the end.
+func TestAdmitConcurrentStorm(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	const maxIn = 3
+	x.SetLimits("t", Limits{MaxInFlight: maxIn, MaxQueued: 64})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var inside, peak, violations int64
+	var mu sync.Mutex
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := x.Admit(ctx, "t", 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			inside++
+			if inside > peak {
+				peak = inside
+			}
+			if inside > maxIn {
+				violations++
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inside--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if violations > 0 {
+		t.Fatalf("%d cap violations (peak %d > %d)", violations, peak, maxIn)
+	}
+	s := x.AdmissionStats()
+	if s.Admitted != 48 || s.Rejected != 0 {
+		t.Fatalf("stats = %+v, want 48 admitted / 0 rejected", s)
+	}
+	if s.InFlight["t"] != 0 {
+		t.Fatalf("in-flight after storm = %d, want 0", s.InFlight["t"])
+	}
+	if s.Peak["t"] > maxIn {
+		t.Fatalf("peak %d exceeds cap %d", s.Peak["t"], maxIn)
+	}
+}
+
+// FuzzAdmission drives a random admit/release schedule against random caps
+// and checks the invariants the scheduler depends on: in-flight never
+// exceeds MaxInFlight, admitted budget never exceeds MaxBudget, and the
+// books balance once everything is released.
+func FuzzAdmission(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint16(50), []byte{3, 7, 1, 0, 9, 2})
+	f.Add(uint8(0), uint8(0), uint16(0), []byte{1, 2, 3})
+	f.Add(uint8(1), uint8(3), uint16(10), []byte{255, 0, 128, 64})
+	f.Fuzz(func(t *testing.T, maxIn, maxQ uint8, maxBudget uint16, ops []byte) {
+		x := New(1)
+		defer x.Close()
+		l := Limits{MaxInFlight: int(maxIn), MaxQueued: int(maxQ), MaxBudget: int64(maxBudget)}
+		x.SetLimits("t", l)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		type grant struct {
+			release func()
+			budget  int64
+		}
+		var grants []grant
+		var budgetSum int64
+		for _, op := range ops {
+			if op%2 == 0 || len(grants) == 0 {
+				budget := int64(op) % 97
+				// Non-blocking probe: use an already-fired context when the
+				// request would queue, so the fuzz never hangs.
+				probeCtx := ctx
+				if len(grants) > 0 {
+					c, ccancel := context.WithCancel(ctx)
+					ccancel()
+					probeCtx = c
+				}
+				release, err := x.Admit(probeCtx, "t", budget)
+				if err != nil {
+					continue
+				}
+				grants = append(grants, grant{release, budget})
+				budgetSum += budget
+				if l.MaxInFlight > 0 && len(grants) > l.MaxInFlight {
+					t.Fatalf("admitted %d > MaxInFlight %d", len(grants), l.MaxInFlight)
+				}
+				if l.MaxBudget > 0 && budgetSum > l.MaxBudget {
+					t.Fatalf("admitted budget %d > MaxBudget %d", budgetSum, l.MaxBudget)
+				}
+			} else {
+				g := grants[len(grants)-1]
+				grants = grants[:len(grants)-1]
+				budgetSum -= g.budget
+				g.release()
+			}
+		}
+		for _, g := range grants {
+			g.release()
+		}
+		s := x.AdmissionStats()
+		if s.InFlight["t"] != 0 {
+			t.Fatalf("in-flight %d after releasing everything", s.InFlight["t"])
+		}
+	})
+}

@@ -1,0 +1,556 @@
+// Package exec implements the process-wide work-stealing executor that every
+// MULE engine submits to. Instead of spawning goroutines per enumeration run,
+// a fixed pool of workers executes frames — opaque, engine-defined units of
+// suspended search — from per-worker deques and a shared inbox. Frames are
+// tagged with the Run that owns them, so a worker's deque may interleave
+// frames of many concurrent queries and a steal can cross query boundaries
+// without mixing their accounting: the engine callbacks (Execute, Split,
+// NoteSteal) always carry the slot identity, and each Run's engine keeps its
+// counters in slot-private state merged after the run.
+//
+// Scheduling shape: the owner of a deque pushes and pops at the tail (newest,
+// deepest frame — depth-first order), thieves take the older half from the
+// head, and a lone queued frame is offered to the owning engine's Split hook
+// so one heavy subtree can be subdivided in place. Submitted roots and
+// overflow re-entries go through the shared inbox (FIFO), so concurrent
+// queries are served fairly rather than last-in-first-out.
+//
+// Termination is per run, by frame conservation: a Run's live count is the
+// number of frames residing in any container (inbox, deque, overflow) plus
+// the number currently being executed. Every transfer keeps the count, every
+// retirement decrements it, and the run's Done channel closes exactly when it
+// reaches zero.
+//
+// Wait lends the waiting goroutine to its run as a helper: while blocked it
+// claims the run's own frames from the inbox or steals them from worker
+// deques and executes them in place. That keeps a run live even when every
+// pool worker is busy with other queries (or the pool is smaller than the
+// submission rate), and makes waiting deadlock-free for nested submissions.
+//
+// Admission control (admission.go) sits in front of Submit at the query
+// layer: per-tenant in-flight and aggregate-budget caps with a bounded FIFO
+// wait queue, rejecting overload with ErrAdmission instead of executing it.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is the per-run adapter between the executor and a search engine.
+// Frames are opaque to the executor; they must be comparable values (pointer
+// types in practice — Slot.PopIf relies on identity comparison).
+//
+// Slot IDs passed to the callbacks range over [0, Parallelism()]: one ID per
+// pool worker plus one for the run's helper (the goroutine blocked in Wait).
+// Calls for one slot ID are never concurrent with each other, so engines key
+// slot-private state (arenas, counters) by ID without locking; calls for
+// different IDs do run concurrently.
+type Engine interface {
+	// Execute runs frame f to completion on slot s, pushing any stealable
+	// continuations through s.
+	Execute(s *Slot, f any)
+	// Split subdivides a lone queued frame: it returns a new frame covering
+	// part of f's remaining work (shrinking f accordingly) or nil when f is
+	// not worth splitting. It is called with the victim's deque lock held,
+	// which serializes it against every other mutation of f; any split/steal
+	// counters it touches must be private to the thief slot.
+	Split(thief int, f any) any
+	// NoteSteal records one successful wholesale steal operation by the
+	// thief slot (Split-derived steals are counted by Split itself).
+	NoteSteal(thief int)
+}
+
+// RunOpts configures one Submit.
+type RunOpts struct {
+	// MaxParallel caps how many slots may execute this run's frames at the
+	// same time (the query-level "workers" knob). Frames beyond the cap are
+	// parked on the run's overflow list and re-queued as slots free up.
+	// Values < 1 mean unlimited.
+	MaxParallel int
+	// Stopped, when non-nil, is the run's latched stop predicate (visitor
+	// early-stop, cancellation, budget). Once it reports true, workers
+	// discard the run's frames instead of executing them and the executor
+	// purges whatever is still queued.
+	Stopped func() bool
+}
+
+// tagged is a frame bound to its owning run — the unit stored in every
+// container.
+type tagged struct {
+	run *Run
+	f   any
+}
+
+// frameQueue is a mutex-guarded slice of tagged frames with an atomic length
+// mirror for lock-free emptiness peeks. It serves both as a worker deque
+// (owner at the tail, thieves at the head) and as the shared FIFO inbox.
+type frameQueue struct {
+	mu    sync.Mutex
+	n     atomic.Int32
+	items []tagged
+}
+
+func (q *frameQueue) pushTail(t tagged) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.n.Store(int32(len(q.items)))
+	q.mu.Unlock()
+}
+
+func (q *frameQueue) popTail() (tagged, bool) {
+	if q.n.Load() == 0 {
+		return tagged{}, false
+	}
+	q.mu.Lock()
+	k := len(q.items)
+	if k == 0 {
+		q.mu.Unlock()
+		return tagged{}, false
+	}
+	t := q.items[k-1]
+	q.items[k-1] = tagged{}
+	q.items = q.items[:k-1]
+	q.n.Store(int32(k - 1))
+	q.mu.Unlock()
+	return t, true
+}
+
+func (q *frameQueue) popHead() (tagged, bool) {
+	if q.n.Load() == 0 {
+		return tagged{}, false
+	}
+	q.mu.Lock()
+	k := len(q.items)
+	if k == 0 {
+		q.mu.Unlock()
+		return tagged{}, false
+	}
+	t := q.items[0]
+	m := copy(q.items, q.items[1:])
+	q.items[m] = tagged{}
+	q.items = q.items[:m]
+	q.n.Store(int32(m))
+	q.mu.Unlock()
+	return t, true
+}
+
+// popTailIf removes the newest frame iff it is exactly f (identity). The
+// continuation-reclaim primitive behind Slot.PopIf.
+func (q *frameQueue) popTailIf(f any) bool {
+	q.mu.Lock()
+	k := len(q.items)
+	if k == 0 || q.items[k-1].f != f {
+		q.mu.Unlock()
+		return false
+	}
+	q.items[k-1] = tagged{}
+	q.items = q.items[:k-1]
+	q.n.Store(int32(k - 1))
+	q.mu.Unlock()
+	return true
+}
+
+// takeRun removes the oldest frame owned by r, if any.
+func (q *frameQueue) takeRun(r *Run) (tagged, bool) {
+	if q.n.Load() == 0 {
+		return tagged{}, false
+	}
+	q.mu.Lock()
+	for i, t := range q.items {
+		if t.run != r {
+			continue
+		}
+		m := copy(q.items[i:], q.items[i+1:]) + i
+		q.items[m] = tagged{}
+		q.items = q.items[:m]
+		q.n.Store(int32(m))
+		q.mu.Unlock()
+		return t, true
+	}
+	q.mu.Unlock()
+	return tagged{}, false
+}
+
+// filterRun removes every frame owned by r, returning how many were removed.
+func (q *frameQueue) filterRun(r *Run) int {
+	if q.n.Load() == 0 {
+		return 0
+	}
+	q.mu.Lock()
+	kept := q.items[:0]
+	for _, t := range q.items {
+		if t.run == r {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	removed := len(q.items) - len(kept)
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = tagged{}
+	}
+	q.items = kept
+	q.n.Store(int32(len(kept)))
+	q.mu.Unlock()
+	return removed
+}
+
+type worker struct {
+	id    int
+	x     *Executor
+	deque frameQueue
+}
+
+// Executor is a fixed pool of worker goroutines executing frames from many
+// concurrent runs. Create one with New, or share the process-wide Default.
+type Executor struct {
+	workers []*worker
+	inbox   frameQueue
+	wg      sync.WaitGroup
+
+	mu         sync.Mutex // guards gen and closed
+	cond       *sync.Cond
+	gen        uint64 // wake generation: bumped on every wake-worthy event
+	closed     bool
+	closedFlag atomic.Bool  // lock-free mirror of closed for the claim loop
+	idle       atomic.Int32 // workers published as idle (paring down to cond.Wait)
+
+	// Admission state (admission.go).
+	amu       sync.Mutex
+	limited   atomic.Bool // fast path: true once any Limits were configured
+	defLimits Limits
+	limits    map[string]Limits
+	tenants   map[string]*tenantState
+	admitted  int64
+	rejected  int64
+	enqueued  int64
+}
+
+// New starts an executor with the given number of pool workers (at least 1).
+// The worker count may exceed GOMAXPROCS; tests use that to force real
+// interleaving on small machines.
+func New(workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	x := &Executor{workers: make([]*worker, workers)}
+	x.cond = sync.NewCond(&x.mu)
+	for i := range x.workers {
+		x.workers[i] = &worker{id: i, x: x}
+	}
+	for _, w := range x.workers {
+		x.wg.Add(1)
+		go func(w *worker) {
+			defer x.wg.Done()
+			for {
+				t, ok := w.next()
+				if !ok {
+					return
+				}
+				x.runFrame(w, w.id, t)
+			}
+		}(w)
+	}
+	return x
+}
+
+var (
+	defaultOnce sync.Once
+	defaultExec *Executor
+)
+
+// Default returns the process-wide executor, created on first use with one
+// worker per GOMAXPROCS.
+func Default() *Executor {
+	defaultOnce.Do(func() {
+		defaultExec = New(runtime.GOMAXPROCS(0))
+	})
+	return defaultExec
+}
+
+// Parallelism returns the pool worker count. Slot IDs handed to engines
+// range over [0, Parallelism()] — the extra ID belongs to run helpers.
+func (x *Executor) Parallelism() int { return len(x.workers) }
+
+// helperID is the slot ID used by a run's Wait helper.
+func (x *Executor) helperID() int { return len(x.workers) }
+
+// Close stops the pool: workers finish their current frame and exit. Runs
+// still in flight are not abandoned — their Wait helpers keep executing
+// queued frames to completion — but no pool worker will pick up new work.
+// Close is idempotent. The process-wide Default executor is never closed.
+func (x *Executor) Close() {
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return
+	}
+	x.closed = true
+	x.closedFlag.Store(true)
+	x.gen++
+	x.mu.Unlock()
+	x.cond.Broadcast()
+	x.wg.Wait()
+}
+
+// wake bumps the generation and broadcasts iff any worker is parked (or
+// about to park). The fast path is one atomic load, so pushing work while
+// the pool is saturated costs no lock traffic.
+func (x *Executor) wake() {
+	if x.idle.Load() == 0 {
+		return
+	}
+	x.mu.Lock()
+	x.gen++
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+// enqueue adds a frame (whose live count is already held) to the inbox and
+// wakes a consumer: idle pool workers, and the owning run's parked helper.
+func (x *Executor) enqueue(t tagged) {
+	x.inbox.pushTail(t)
+	t.run.pokeHelper()
+	x.wake()
+}
+
+// Submit starts a run of the given engine seeded with the root frames and
+// returns its Run handle. Each root is queued on the shared inbox; an empty
+// root set completes immediately. Callers must eventually Wait on the run.
+func (x *Executor) Submit(e Engine, opts RunOpts, roots ...any) *Run {
+	maxPar := int32(opts.MaxParallel)
+	if maxPar < 1 {
+		maxPar = int32(x.Parallelism() + 1)
+	}
+	r := &Run{
+		x:      x,
+		engine: e,
+		maxPar: maxPar,
+		stop:   opts.Stopped,
+		done:   make(chan struct{}),
+		wakeCh: make(chan struct{}, 1),
+	}
+	if len(roots) == 0 {
+		close(r.done)
+		return r
+	}
+	r.live.Store(int64(len(roots)))
+	for _, f := range roots {
+		x.inbox.pushTail(tagged{run: r, f: f})
+	}
+	x.wake()
+	return r
+}
+
+// runFrame executes one claimed frame: the claim carries the frame's live
+// count, retired exactly once here (or transferred to the overflow list when
+// the run is at its parallelism cap).
+func (x *Executor) runFrame(w *worker, slotID int, t tagged) {
+	r := t.run
+	if r.isStopped() {
+		x.purgeRun(r)
+		r.retire(1)
+		return
+	}
+	if !r.acquire() {
+		r.park(t.f)
+		return
+	}
+	s := Slot{id: slotID, run: r, w: w}
+	r.engine.Execute(&s, t.f)
+	r.release()
+	r.retire(1)
+	if r.isStopped() {
+		x.purgeRun(r)
+	}
+}
+
+// purgeRun drops every queued frame of a stopped run — inbox, all worker
+// deques, and the overflow list — retiring each so the run can complete.
+func (x *Executor) purgeRun(r *Run) {
+	n := x.inbox.filterRun(r)
+	for _, w := range x.workers {
+		n += w.deque.filterRun(r)
+	}
+	r.omu.Lock()
+	n += len(r.overflow)
+	r.overflow = nil
+	r.omu.Unlock()
+	if n > 0 {
+		r.retire(n)
+	}
+}
+
+// next claims the worker's next frame: own deque tail first (depth-first),
+// then the shared inbox, then a steal sweep; with nothing found it parks on
+// the executor condition until the wake generation moves. The publish-then-
+// re-sweep order makes the park race-free against the wake fast path: a
+// pusher that misses this worker's idle increment pushed before the re-sweep
+// (queue mutex order), so the re-sweep finds the frame.
+func (w *worker) next() (tagged, bool) {
+	x := w.x
+	for {
+		if x.closedFlag.Load() {
+			return tagged{}, false
+		}
+		if t, ok := w.deque.popTail(); ok {
+			return t, true
+		}
+		if t, ok := x.inbox.popHead(); ok {
+			return t, true
+		}
+		if t, ok := w.trySteal(); ok {
+			return t, true
+		}
+		// Park: capture the generation, publish idleness, re-sweep, wait.
+		// The capture precedes the re-sweep, so any push the re-sweep missed
+		// bumps the generation afterwards and the wait guard catches it.
+		x.mu.Lock()
+		gen := x.gen
+		x.mu.Unlock()
+		x.idle.Add(1)
+		if t, ok := w.deque.popTail(); ok {
+			x.idle.Add(-1)
+			return t, true
+		}
+		if t, ok := x.inbox.popHead(); ok {
+			x.idle.Add(-1)
+			return t, true
+		}
+		if t, ok := w.trySteal(); ok {
+			x.idle.Add(-1)
+			return t, true
+		}
+		x.mu.Lock()
+		for x.gen == gen && !x.closed {
+			x.cond.Wait()
+		}
+		closed := x.closed
+		x.mu.Unlock()
+		x.idle.Add(-1)
+		if closed {
+			return tagged{}, false
+		}
+	}
+}
+
+// trySteal sweeps the other workers once, nearest ID first.
+func (w *worker) trySteal() (tagged, bool) {
+	ws := w.x.workers
+	p := len(ws)
+	for off := 1; off < p; off++ {
+		if t, ok := w.stealFrom(ws[(w.id+off)%p]); ok {
+			return t, true
+		}
+	}
+	return tagged{}, false
+}
+
+// stealFrom takes half of the oldest frames from v's deque. With two or more
+// frames queued the older half moves wholesale (all but one parked on the
+// thief's own deque, where they stay stealable by others). A lone frame is
+// offered to its engine's Split hook — under the deque lock, so the split is
+// serialized against every other mutation of the frame — and stolen whole
+// only if the engine declines; a lone frame of a run already at its
+// parallelism cap is left alone (stealing it could only park it again).
+// Steal attribution is per run: each run robbed in one operation gets one
+// NoteSteal (or the Split-internal accounting), always against the thief's
+// slot ID, so concurrent thieves never share counter memory.
+func (w *worker) stealFrom(v *worker) (tagged, bool) {
+	d := &v.deque
+	if d.n.Load() == 0 {
+		return tagged{}, false
+	}
+	d.mu.Lock()
+	k := len(d.items)
+	switch {
+	case k == 0:
+		d.mu.Unlock()
+		return tagged{}, false
+	case k == 1:
+		t := d.items[0]
+		r := t.run
+		if r.isStopped() || r.atCapacity() {
+			d.mu.Unlock()
+			return tagged{}, false
+		}
+		if g := r.engine.Split(w.id, t.f); g != nil {
+			d.mu.Unlock()
+			r.live.Add(1) // the split minted a new frame, now claimed by w
+			return tagged{run: r, f: g}, true
+		}
+		d.items[0] = tagged{}
+		d.items = d.items[:0]
+		d.n.Store(0)
+		d.mu.Unlock()
+		r.engine.NoteSteal(w.id)
+		return t, true
+	default:
+		h := k / 2
+		stolen := make([]tagged, h)
+		copy(stolen, d.items[:h])
+		m := copy(d.items, d.items[h:])
+		for i := m; i < k; i++ {
+			d.items[i] = tagged{}
+		}
+		d.items = d.items[:m]
+		d.n.Store(int32(m))
+		d.mu.Unlock()
+		var noted *Run
+		for _, t := range stolen {
+			if t.run != noted {
+				noted = t.run
+				noted.engine.NoteSteal(w.id)
+			}
+		}
+		for _, t := range stolen[:h-1] {
+			w.deque.pushTail(t)
+			t.run.pokeHelper()
+		}
+		w.x.wake()
+		return stolen[h-1], true
+	}
+}
+
+// Slot is the executor-side identity an engine executes under: a stable slot
+// ID for slot-private state, plus the push/reclaim interface for stealable
+// continuations. Pool workers push to their own deque; a run helper (Wait)
+// pushes to the shared inbox, so its continuations stay visible to the pool.
+type Slot struct {
+	id  int
+	run *Run
+	w   *worker // nil for a run helper
+}
+
+// ID returns the slot ID, in [0, Parallelism()].
+func (s *Slot) ID() int { return s.id }
+
+// Push publishes f as a stealable frame of this slot's run.
+func (s *Slot) Push(f any) {
+	s.run.live.Add(1)
+	t := tagged{run: s.run, f: f}
+	if s.w != nil {
+		s.w.deque.pushTail(t)
+	} else {
+		s.run.x.inbox.pushTail(t)
+	}
+	s.run.pokeHelper()
+	s.run.x.wake()
+}
+
+// PopIf reclaims f iff it is still the newest frame this slot pushed:
+// success means no thief took it and the caller resumes executing it;
+// failure means another slot owns it now.
+func (s *Slot) PopIf(f any) bool {
+	var ok bool
+	if s.w != nil {
+		ok = s.w.deque.popTailIf(f)
+	} else {
+		ok = s.run.x.inbox.popTailIf(f)
+	}
+	if ok {
+		s.run.retire(1)
+	}
+	return ok
+}

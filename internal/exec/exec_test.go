@@ -1,0 +1,367 @@
+package exec
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// span is the synthetic frame of the test engine: the remaining iteration
+// range [next, end) of one loop, mirroring the wsFrame discipline of
+// internal/core — the owner exposes the frame while working one element,
+// thieves split the tail half under the deque lock.
+type span struct {
+	next, end int
+}
+
+// slotLocal is one slot's private accounting; no locks by the Slot-ID
+// contract (calls for one ID are never concurrent).
+type slotLocal struct {
+	sum    int64
+	execs  int64
+	steals int64
+	splits int64
+}
+
+// sumEngine sums the integers of every span it executes into slot-private
+// locals — any lost or double-executed element shows up as a wrong total,
+// making frame conservation directly observable. With yield set, every
+// element yields the processor so surplus pool workers on a small
+// GOMAXPROCS actually get scheduled to thieve.
+type sumEngine struct {
+	locals []slotLocal
+	yield  bool
+	stop   func() bool // optional per-element stop check, like RunControl polling
+
+	// maxActive tracks the high-water of concurrent Execute calls, the
+	// observable for the MaxParallel cap.
+	active    atomic.Int32
+	maxActive atomic.Int32
+}
+
+func newSumEngine(x *Executor, yield bool) *sumEngine {
+	return &sumEngine{locals: make([]slotLocal, x.Parallelism()+1), yield: yield}
+}
+
+func (e *sumEngine) Execute(s *Slot, f any) {
+	a := e.active.Add(1)
+	for {
+		m := e.maxActive.Load()
+		if a <= m || e.maxActive.CompareAndSwap(m, a) {
+			break
+		}
+	}
+	defer e.active.Add(-1)
+
+	l := &e.locals[s.ID()]
+	l.execs++
+	fr := f.(*span)
+	for fr.next < fr.end {
+		if e.stop != nil && e.stop() {
+			return
+		}
+		cur := fr.next
+		fr.next++
+		expose := fr.next < fr.end
+		if expose {
+			s.Push(fr)
+		}
+		l.sum += int64(cur)
+		if e.yield {
+			runtime.Gosched()
+		}
+		if expose && !s.PopIf(fr) {
+			return // a thief owns the rest of the range now
+		}
+	}
+}
+
+func (e *sumEngine) Split(thief int, f any) any {
+	fr := f.(*span)
+	mid := fr.next + (fr.end-fr.next)/2
+	if mid == fr.next {
+		return nil
+	}
+	g := &span{next: mid, end: fr.end}
+	fr.end = mid
+	e.locals[thief].steals++
+	e.locals[thief].splits++
+	return g
+}
+
+func (e *sumEngine) NoteSteal(thief int) { e.locals[thief].steals++ }
+
+func (e *sumEngine) totals() (sum, execs, steals, splits int64) {
+	for i := range e.locals {
+		sum += e.locals[i].sum
+		execs += e.locals[i].execs
+		steals += e.locals[i].steals
+		splits += e.locals[i].splits
+	}
+	return
+}
+
+// rangeSum is the closed form the engine must reproduce exactly.
+func rangeSum(n int) int64 { return int64(n) * int64(n-1) / 2 }
+
+// TestSubmitComputesExactSum: one root frame, every element executed exactly
+// once — the basic frame-conservation property, at several pool widths.
+func TestSubmitComputesExactSum(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		x := New(workers)
+		e := newSumEngine(x, false)
+		r := x.Submit(e, RunOpts{}, &span{0, 5000})
+		r.Wait(nil, nil)
+		if sum, _, _, _ := e.totals(); sum != rangeSum(5000) {
+			t.Errorf("workers=%d: sum = %d, want %d", workers, sum, rangeSum(5000))
+		}
+		x.Close()
+	}
+}
+
+// TestEmptySubmitCompletesImmediately: no roots, Done is already closed and
+// Wait returns without help.
+func TestEmptySubmitCompletesImmediately(t *testing.T) {
+	x := New(2)
+	defer x.Close()
+	r := x.Submit(newSumEngine(x, false), RunOpts{})
+	select {
+	case <-r.Done():
+	default:
+		t.Fatal("empty run not done at submit")
+	}
+	r.Wait(nil, nil)
+}
+
+// TestSyntheticStealStorm is the container-level steal storm promised by the
+// core tests: far more pool workers than GOMAXPROCS, a yielding engine, and
+// granularity-1-style exposure of every iteration. The sum must stay exact
+// under heavy Split/NoteSteal traffic, and the storm must actually steal.
+// Run with -race.
+func TestSyntheticStealStorm(t *testing.T) {
+	x := New(16)
+	defer x.Close()
+	var totalSteals int64
+	for round := 0; round < 8; round++ {
+		e := newSumEngine(x, true)
+		r := x.Submit(e, RunOpts{}, &span{0, 3000})
+		r.Wait(nil, nil)
+		sum, _, steals, splits := e.totals()
+		if sum != rangeSum(3000) {
+			t.Fatalf("round %d: sum = %d, want %d", round, sum, rangeSum(3000))
+		}
+		if steals < splits {
+			t.Fatalf("round %d: %d splits but only %d steals", round, splits, steals)
+		}
+		totalSteals += steals
+	}
+	if totalSteals == 0 {
+		t.Fatal("storm exercised no steals across 8 rounds")
+	}
+}
+
+// TestConcurrentRunsIsolated: many runs submitted concurrently from separate
+// goroutines onto one shared executor. Frames interleave on the same
+// workers; each run's merged locals must still be exactly its own range —
+// the per-query tagging / no-stats-bleed property.
+func TestConcurrentRunsIsolated(t *testing.T) {
+	x := New(8)
+	defer x.Close()
+	const runs = 24
+	var wg sync.WaitGroup
+	errs := make(chan string, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := 500 + 97*i
+			e := newSumEngine(x, i%2 == 0)
+			r := x.Submit(e, RunOpts{MaxParallel: 1 + i%5}, &span{0, n})
+			r.Wait(nil, nil)
+			if sum, _, _, _ := e.totals(); sum != rangeSum(n) {
+				errs <- "run diverged"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestMaxParallelCap: the per-run parallelism cap bounds concurrent Execute
+// calls even with a wide pool and many queued frames; overflow frames are
+// parked and re-queued, never dropped (the sum proves it).
+func TestMaxParallelCap(t *testing.T) {
+	x := New(8)
+	defer x.Close()
+	for _, limit := range []int{1, 2, 3} {
+		e := newSumEngine(x, true)
+		roots := make([]any, 16)
+		for i := range roots {
+			roots[i] = &span{i * 100, (i + 1) * 100}
+		}
+		r := x.Submit(e, RunOpts{MaxParallel: limit}, roots...)
+		r.Wait(nil, nil)
+		if sum, _, _, _ := e.totals(); sum != rangeSum(1600) {
+			t.Fatalf("cap=%d: sum = %d, want %d", limit, sum, rangeSum(1600))
+		}
+		if m := e.maxActive.Load(); int(m) > limit {
+			t.Fatalf("cap=%d: observed %d concurrent Execute calls", limit, m)
+		}
+	}
+}
+
+// TestStoppedRunPurges: once the stop predicate latches, queued frames are
+// discarded, Wait returns, and the conservation count still reaches zero
+// (no retire is lost on the purge paths).
+func TestStoppedRunPurges(t *testing.T) {
+	x := New(4)
+	defer x.Close()
+	var stop atomic.Bool
+	e := newSumEngine(x, true)
+	e.stop = stop.Load
+	roots := make([]any, 32)
+	for i := range roots {
+		roots[i] = &span{0, 10000}
+	}
+	r := x.Submit(e, RunOpts{MaxParallel: 2, Stopped: stop.Load}, roots...)
+	stop.Store(true)
+	r.Purge()
+	r.Wait(nil, nil)
+	select {
+	case <-r.Done():
+	default:
+		t.Fatal("purged run never completed")
+	}
+}
+
+// TestWaitAbortChannel: the abort channel stops a long run mid-flight via
+// onAbort + purge, and Wait still blocks until in-flight frames retire.
+func TestWaitAbortChannel(t *testing.T) {
+	x := New(4)
+	defer x.Close()
+	var stop atomic.Bool
+	e := newSumEngine(x, true)
+	e.stop = stop.Load
+	abort := make(chan struct{})
+	r := x.Submit(e, RunOpts{Stopped: stop.Load}, &span{0, 1 << 30})
+	close(abort)
+	r.Wait(abort, func() { stop.Store(true) })
+	select {
+	case <-r.Done():
+	default:
+		t.Fatal("aborted run not done after Wait")
+	}
+	if sum, _, _, _ := e.totals(); sum >= rangeSum(1<<30)/2 {
+		t.Fatal("aborted run executed implausibly much work")
+	}
+}
+
+// TestWaitHelperMakesProgress: with every pool worker wedged on another
+// run, a new run must still complete — the Wait helper lends the submitting
+// goroutine. This is the nested-submission no-deadlock guarantee.
+func TestWaitHelperMakesProgress(t *testing.T) {
+	x := New(2)
+	defer x.Close()
+	block := make(chan struct{})
+	wedge := &wedgeEngine{block: block, running: make(chan struct{}, 2)}
+	// Two roots wedge both pool workers.
+	wr := x.Submit(wedge, RunOpts{}, &wedgeFrame{}, &wedgeFrame{})
+	<-wedge.running // at least one worker is inside Execute
+	e := newSumEngine(x, false)
+	r := x.Submit(e, RunOpts{}, &span{0, 2000})
+	r.Wait(nil, nil) // must finish on the helper slot alone
+	if sum, _, _, _ := e.totals(); sum != rangeSum(2000) {
+		t.Fatalf("helper-driven run: sum = %d, want %d", sum, rangeSum(2000))
+	}
+	if e.locals[x.Parallelism()].execs == 0 {
+		t.Fatal("helper slot executed nothing despite a wedged pool")
+	}
+	close(block)
+	wr.Wait(nil, nil)
+}
+
+type wedgeFrame struct{}
+
+// wedgeEngine parks inside Execute until released — a stand-in for a slow
+// foreign query hogging the pool.
+type wedgeEngine struct {
+	block   chan struct{}
+	running chan struct{}
+}
+
+func (e *wedgeEngine) Execute(s *Slot, f any) {
+	select {
+	case e.running <- struct{}{}:
+	default:
+	}
+	<-e.block
+}
+func (e *wedgeEngine) Split(int, any) any { return nil }
+func (e *wedgeEngine) NoteSteal(int)      {}
+
+// TestCloseStopsWorkers: Close terminates every pool goroutine; a run
+// submitted before Close still completes through its Wait helper.
+func TestCloseStopsWorkers(t *testing.T) {
+	x := New(4)
+	e := newSumEngine(x, false)
+	r := x.Submit(e, RunOpts{}, &span{0, 1000})
+	r.Wait(nil, nil)
+	x.Close()
+	x.Close() // idempotent
+	if sum, _, _, _ := e.totals(); sum != rangeSum(1000) {
+		t.Fatalf("sum = %d, want %d", sum, rangeSum(1000))
+	}
+}
+
+// TestRandomizedConservation fuzzes shapes: random root counts, ranges,
+// caps, and yields; every run's sum must be exact. Run with -race.
+func TestRandomizedConservation(t *testing.T) {
+	x := New(6)
+	defer x.Close()
+	rng := rand.New(rand.NewSource(42))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		e := newSumEngine(x, rng.Intn(2) == 0)
+		nroots := 1 + rng.Intn(8)
+		var roots []any
+		total := int64(0)
+		off := 0
+		for i := 0; i < nroots; i++ {
+			n := 1 + rng.Intn(700)
+			roots = append(roots, &span{off, off + n})
+			total += rangeSum(off+n) - rangeSum(off)
+			off += n
+		}
+		r := x.Submit(e, RunOpts{MaxParallel: rng.Intn(8)}, roots...)
+		r.Wait(nil, nil)
+		if sum, _, _, _ := e.totals(); sum != total {
+			t.Fatalf("trial %d: sum = %d, want %d", trial, sum, total)
+		}
+	}
+}
+
+// TestAdmitUnlimitedFastPath: with no limits configured, Admit is free and
+// always grants.
+func TestAdmitUnlimitedFastPath(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	for i := 0; i < 3; i++ {
+		release, err := x.Admit(context.Background(), "", 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if s := x.AdmissionStats(); s.Admitted != 0 {
+		t.Fatalf("fast-path admissions were accounted: %+v", s)
+	}
+}

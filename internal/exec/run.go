@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run is the handle for one submitted enumeration: it owns the frame
+// conservation count that defines termination, the per-run parallelism cap,
+// and the overflow list for frames claimed beyond the cap.
+type Run struct {
+	x      *Executor
+	engine Engine
+	maxPar int32
+	stop   func() bool
+
+	// live is the frame conservation count: frames residing in a container
+	// (inbox, worker deque, overflow) plus frames currently claimed by a
+	// slot. Every claim carries the count with it; the run is done exactly
+	// when it reaches zero.
+	live     atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// active counts slots executing this run's frames right now, capped at
+	// maxPar by acquire.
+	active atomic.Int32
+
+	omu      sync.Mutex
+	overflow []any // frames claimed while at the parallelism cap
+
+	// helping/helperParked/wakeCh implement the Wait helper: at most one
+	// waiter lends its goroutine, parks on wakeCh when it finds nothing
+	// claimable, and is poked by any push of this run's frames.
+	helping      atomic.Bool
+	helperParked atomic.Bool
+	wakeCh       chan struct{}
+}
+
+// Done returns a channel closed when every frame of the run has retired.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+func (r *Run) isStopped() bool { return r.stop != nil && r.stop() }
+
+func (r *Run) atCapacity() bool { return r.active.Load() >= r.maxPar }
+
+// retire removes n frames from the conservation count, closing Done at zero.
+func (r *Run) retire(n int) {
+	if r.live.Add(int64(-n)) == 0 {
+		r.doneOnce.Do(func() { close(r.done) })
+	}
+}
+
+// acquire claims an execution seat under the parallelism cap.
+func (r *Run) acquire() bool {
+	for {
+		a := r.active.Load()
+		if a >= r.maxPar {
+			return false
+		}
+		if r.active.CompareAndSwap(a, a+1) {
+			return true
+		}
+	}
+}
+
+// release returns an execution seat and re-queues one overflow frame, if any.
+func (r *Run) release() {
+	r.active.Add(-1)
+	r.kickOverflow()
+}
+
+// park shelves a claimed frame that lost the acquire race onto the overflow
+// list; the frame keeps its live count. The post-append re-check closes the
+// race against a concurrent release that ran kickOverflow before the append
+// made the frame visible.
+func (r *Run) park(f any) {
+	r.omu.Lock()
+	r.overflow = append(r.overflow, f)
+	r.omu.Unlock()
+	if r.active.Load() < r.maxPar || r.isStopped() {
+		r.kickOverflow()
+	}
+}
+
+// kickOverflow moves one parked frame back to the shared inbox (or, for a
+// stopped run, drops the whole list).
+func (r *Run) kickOverflow() {
+	if r.isStopped() {
+		r.omu.Lock()
+		n := len(r.overflow)
+		r.overflow = nil
+		r.omu.Unlock()
+		if n > 0 {
+			r.retire(n)
+		}
+		return
+	}
+	r.omu.Lock()
+	k := len(r.overflow)
+	if k == 0 {
+		r.omu.Unlock()
+		return
+	}
+	f := r.overflow[k-1]
+	r.overflow[k-1] = nil
+	r.overflow = r.overflow[:k-1]
+	r.omu.Unlock()
+	r.x.enqueue(tagged{run: r, f: f})
+}
+
+// pokeHelper nudges the run's parked Wait helper, if any.
+func (r *Run) pokeHelper() {
+	if !r.helperParked.Load() {
+		return
+	}
+	select {
+	case r.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// Purge drops every queued frame of the run. Meaningful only once the run's
+// stop predicate reports true — otherwise workers may re-queue more frames
+// concurrently.
+func (r *Run) Purge() {
+	r.x.purgeRun(r)
+}
+
+// help claims and executes one frame of this run — from the shared inbox
+// first (submitted roots and overflow re-entries), then by stealing from
+// worker deques. It reports whether it executed anything.
+func (r *Run) help() bool {
+	x := r.x
+	if t, ok := x.inbox.takeRun(r); ok {
+		x.runFrame(nil, x.helperID(), t)
+		return true
+	}
+	for _, w := range x.workers {
+		if t, ok := w.deque.takeRun(r); ok {
+			r.engine.NoteSteal(x.helperID())
+			x.runFrame(nil, x.helperID(), t)
+			return true
+		}
+	}
+	return false
+}
+
+// Wait blocks until the run completes, lending the calling goroutine to the
+// run as a helper slot (ID Parallelism()): while waiting it executes the
+// run's own queued frames, so a run always progresses even when every pool
+// worker is busy with other queries — nested submissions cannot deadlock.
+//
+// abort, when non-nil, aborts the run when it fires: onAbort is invoked once
+// (it must latch the run's stop predicate) and the queued frames are purged;
+// Wait still blocks until the frames already executing have retired. At most
+// one goroutine may Wait per run.
+func (r *Run) Wait(abort <-chan struct{}, onAbort func()) {
+	doAbort := func() {
+		if onAbort != nil {
+			onAbort()
+		}
+		r.Purge()
+		abort = nil // a closed channel must not re-fire the purge loop
+	}
+	if !r.helping.CompareAndSwap(false, true) {
+		// A helper is already attached (programming error); fall back to a
+		// plain blocking wait.
+		for {
+			select {
+			case <-r.done:
+				return
+			case <-abort:
+				doAbort()
+			}
+		}
+	}
+	defer r.helping.Store(false)
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		select {
+		case <-abort:
+			doAbort()
+			continue
+		default:
+		}
+		if r.help() {
+			continue
+		}
+		// Publish the park, then re-check: a push that missed the parked
+		// flag happened before the re-check's queue reads, so help finds it.
+		r.helperParked.Store(true)
+		if r.help() {
+			r.helperParked.Store(false)
+			continue
+		}
+		select {
+		case <-r.done:
+			r.helperParked.Store(false)
+			return
+		case <-abort:
+			doAbort()
+		case <-r.wakeCh:
+		}
+		r.helperParked.Store(false)
+	}
+}

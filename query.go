@@ -34,6 +34,7 @@ type Query struct {
 	alpha float64
 	cfg   core.Config
 	limit int64
+	ten   tenancy
 }
 
 // queryKind is a bitmask naming the query surfaces an Option may configure.
@@ -72,9 +73,13 @@ func kindName(k queryKind) string {
 type queryOptions struct {
 	cfg        core.Config // clique engine knobs, incl. shared Budget and MinSize
 	limit      int64
-	gamma      float64 // quasi: density threshold γ
-	maxSize    int     // quasi: search-depth cap
-	minL, minR int     // biclique: per-side minima
+	gamma      float64   // quasi: density threshold γ
+	maxSize    int       // quasi: search-depth cap
+	minL, minR int       // biclique: per-side minima
+	ex         *Executor // shared scheduling/admission domain (nil = default)
+	exSet      bool      // WithExecutor was passed (distinguishes explicit nil)
+	tenant     string    // admission-control tenant ID ("" = untenanted)
+	tenantSet  bool      // WithTenant was passed (distinguishes explicit "")
 }
 
 // Option configures a prepared query. The same Option type serves every
@@ -129,8 +134,13 @@ func WithSeed(seed int64) Option {
 	return Option{"WithSeed", kindClique, func(o *queryOptions) { o.cfg.Seed = seed }}
 }
 
-// WithWorkers runs the search on w goroutines when w > 1 (the work-stealing
+// WithWorkers enables the parallel search when w > 1 (the work-stealing
 // engine by default; see WithParallelMode). The default is a serial search.
+//
+// Since the shared executor, w is the query's parallelism cap — at most w
+// of the query's frames execute concurrently on the executor's worker pool
+// — not a goroutine count; the pool is sized once per process (or per
+// NewExecutor). Results and stats are identical for every w.
 func WithWorkers(w int) Option {
 	return Option{"WithWorkers", kindClique, func(o *queryOptions) { o.cfg.Workers = w }}
 }
@@ -230,7 +240,19 @@ func NewQuery(g *Graph, alpha float64, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newQuery(g, alpha, o.cfg, o.limit)
+	ten, err := o.validateTenancy()
+	if err != nil {
+		return nil, err
+	}
+	q, err := newQuery(g, alpha, o.cfg, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	q.ten = ten
+	// The parallel engines submit their frames to the query's executor; the
+	// serial path never touches one.
+	q.cfg.Exec = ten.engineExec()
+	return q, nil
 }
 
 // newQueryFromConfig adapts a legacy Config to a Query; the deprecated
@@ -244,7 +266,14 @@ func newQueryFromConfig(g *Graph, alpha float64, cfg Config) (*Query, error) {
 // user-supplied visitor ended the run early (as opposed to the limit doing
 // so). The closure flags are safe: the engines serialize visitor
 // invocations and the run's completion happens-after the last call.
+// Admission control gates the run before any search work; a rejected run
+// reports StatusFailed with an error wrapping ErrAdmission.
 func (q *Query) run(ctx context.Context, visit Visitor) (stats Stats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return Stats{Status: StatusFailed}, false, err
+	}
+	defer release()
 	wrapped := visit
 	if q.limit > 0 {
 		remaining := q.limit
@@ -336,6 +365,11 @@ func (q *Query) TopK(ctx context.Context, k int, by TopKCriterion) ([]ScoredCliq
 // and WithBudget like every other run method; the parallel, ordering, and
 // WithLimit options do not apply to this search.
 func (q *Query) Maximum(ctx context.Context) ([]int, float64, error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
 	return core.MaximumCliqueBudget(ctx, q.g, q.alpha, q.cfg.Budget)
 }
 

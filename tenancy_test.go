@@ -1,0 +1,585 @@
+package mule_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	mule "github.com/uncertain-graphs/mule"
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/gen"
+)
+
+// soakGraph builds one of the small fixed graphs the soak queries cycle
+// through — small enough that a single query is microseconds of work, dense
+// enough that every miner has something to find.
+func soakGraph(n int, p float64, seed int64) *mule.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.BuildUncertain(n, gen.GNP(n, p, rng), gen.UniformRangeProb(0.4, 1.0), rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// soakBaseline holds the serial ground truth one soak graph is checked
+// against on every concurrent run.
+type soakBaseline struct {
+	g       *mule.Graph
+	alpha   float64
+	eta     float64
+	cliques []mule.Clique
+	cstats  mule.Stats // serial clique stats: the anti-bleed reference
+	truss   []mule.EdgeTruss
+	cores   []mule.VertexCore
+}
+
+func buildSoakBaselines(t *testing.T) []soakBaseline {
+	t.Helper()
+	ctx := context.Background()
+	shapes := []struct {
+		n    int
+		p    float64
+		seed int64
+	}{
+		{18, 0.35, 1}, {24, 0.3, 2}, {20, 0.45, 3}, {16, 0.55, 4},
+	}
+	out := make([]soakBaseline, len(shapes))
+	for i, s := range shapes {
+		b := soakBaseline{g: soakGraph(s.n, s.p, s.seed), alpha: 0.125, eta: 0.5}
+		q, err := mule.NewQuery(b.g, b.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.cliques, err = q.Collect(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if b.cstats, err = q.Run(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+		tq, err := mule.NewTrussQuery(b.g, b.eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.truss, err = tq.Collect(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cq, err := mule.NewCoreQuery(b.g, b.eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.cores, err = cq.Collect(ctx); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestExecutorSoak is the PR's concurrency acceptance test: thousands of
+// small mixed-miner queries across 64 goroutines, all through ONE shared
+// executor with eight admission-limited tenants. Run with -race. It asserts,
+// per query:
+//
+//   - results identical to the serial baseline (shared-executor scheduling
+//     never changes any miner's output);
+//   - parallel clique Stats identical to the serial run's Calls/Emitted/
+//     CandidateOps/SizePruned — the zero-stats-bleed property across
+//     cross-query steals;
+//
+// and, at the end: pooled-arena conservation (checkouts == returns), no
+// goroutine leaks after broken parallel streams, per-tenant peaks within
+// their caps, and zero rejections (the queue absorbs over-cap bursts).
+func TestExecutorSoak(t *testing.T) {
+	bases := buildSoakBaselines(t)
+
+	ex := mule.NewExecutor(8)
+	const tenants = 8
+	for i := 0; i < tenants; i++ {
+		ex.SetTenantLimits("t"+strconv.Itoa(i), mule.Limits{MaxInFlight: 4, MaxQueued: 64})
+	}
+
+	total := 2000
+	workers := 64
+	if testing.Short() {
+		total = 240
+		workers = 16
+	}
+
+	// Warm the executor and the pools, then snapshot the leak/conservation
+	// baselines: pool workers are persistent by design and must not count.
+	{
+		q, err := mule.NewQuery(bases[0].g, bases[0].alpha,
+			mule.WithWorkers(4), mule.WithExecutor(ex))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Collect(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkouts0, returns0 := core.PoolCounters()
+	baseGoroutines := runtime.NumGoroutine()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				b := &bases[i%len(bases)]
+				tenant := mule.WithTenant("t" + strconv.Itoa(i%tenants))
+				var err error
+				switch i % 5 {
+				case 0: // serial clique query, admission-gated
+					err = soakCliqueCollect(ctx, b, mule.WithExecutor(ex), tenant)
+				case 1: // parallel clique query on the shared pool + stats parity
+					err = soakCliqueParallel(ctx, b, mule.WithExecutor(ex), tenant)
+				case 2: // broken parallel stream: the leak probe
+					err = soakBrokenStream(ctx, b, mule.WithExecutor(ex), tenant)
+				case 3:
+					err = soakTruss(ctx, b, mule.WithExecutor(ex), tenant)
+				case 4:
+					err = soakCore(ctx, b, mule.WithExecutor(ex), tenant)
+				}
+				if err != nil {
+					select {
+					case errc <- fmt.Errorf("query %d: %w", i, err):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// No goroutine may outlive its query (broken streams included).
+	waitNoExtraGoroutines(t, baseGoroutines)
+
+	// Pooled scratch conservation: everything checked out during the soak
+	// went back to its pool, on normal and broken-stream unwinds alike.
+	checkouts1, returns1 := core.PoolCounters()
+	if d1, d2 := checkouts1-checkouts0, returns1-returns0; d1 != d2 {
+		t.Fatalf("pool conservation: %d checkouts vs %d returns during soak", d1, d2)
+	}
+
+	s := ex.AdmissionStats()
+	var admitted int64
+	for i := 0; i < tenants; i++ {
+		id := "t" + strconv.Itoa(i)
+		if s.InFlight[id] != 0 {
+			t.Errorf("tenant %s: %d still in flight after the soak", id, s.InFlight[id])
+		}
+		if s.Peak[id] > 4 {
+			t.Errorf("tenant %s: peak %d exceeds its MaxInFlight 4", id, s.Peak[id])
+		}
+	}
+	admitted = s.Admitted
+	if s.Rejected != 0 {
+		t.Errorf("%d rejections despite queue capacity", s.Rejected)
+	}
+	if admitted < int64(total) {
+		t.Errorf("admitted %d < %d queries", admitted, total)
+	}
+	ex.Close()
+}
+
+func soakCliqueCollect(ctx context.Context, b *soakBaseline, opts ...mule.Option) error {
+	q, err := mule.NewQuery(b.g, b.alpha, opts...)
+	if err != nil {
+		return err
+	}
+	got, err := q.Collect(ctx)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(got, b.cliques) {
+		return fmt.Errorf("serial clique run diverged from baseline")
+	}
+	return nil
+}
+
+func soakCliqueParallel(ctx context.Context, b *soakBaseline, opts ...mule.Option) error {
+	opts = append(opts, mule.WithWorkers(4), mule.WithStealGranularity(1))
+	q, err := mule.NewQuery(b.g, b.alpha, opts...)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	n := 0
+	stats, err := q.Run(ctx, func(c []int, p float64) bool {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if int64(n) != b.cstats.Emitted {
+		return fmt.Errorf("parallel run delivered %d cliques, want %d", n, b.cstats.Emitted)
+	}
+	// The anti-bleed check: steals from concurrent foreign queries must not
+	// perturb this query's counters in any direction.
+	if stats.Calls != b.cstats.Calls || stats.Emitted != b.cstats.Emitted ||
+		stats.CandidateOps != b.cstats.CandidateOps || stats.SizePruned != b.cstats.SizePruned {
+		return fmt.Errorf("stats bleed: got %+v, want %+v", stats, b.cstats)
+	}
+	return nil
+}
+
+func soakBrokenStream(ctx context.Context, b *soakBaseline, opts ...mule.Option) error {
+	opts = append(opts, mule.WithWorkers(4))
+	q, err := mule.NewQuery(b.g, b.alpha, opts...)
+	if err != nil {
+		return err
+	}
+	seen := 0
+	for _, err := range q.Cliques(ctx) {
+		if err != nil {
+			return err
+		}
+		seen++
+		if seen >= 2 {
+			break // abandon the stream mid-flight
+		}
+	}
+	return nil
+}
+
+func soakTruss(ctx context.Context, b *soakBaseline, opts ...mule.Option) error {
+	q, err := mule.NewTrussQuery(b.g, b.eta, opts...)
+	if err != nil {
+		return err
+	}
+	got, err := q.Collect(ctx)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(got, b.truss) {
+		return fmt.Errorf("truss run diverged from baseline")
+	}
+	return nil
+}
+
+func soakCore(ctx context.Context, b *soakBaseline, opts ...mule.Option) error {
+	q, err := mule.NewCoreQuery(b.g, b.eta, opts...)
+	if err != nil {
+		return err
+	}
+	got, err := q.Collect(ctx)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(got, b.cores) {
+		return fmt.Errorf("core run diverged from baseline")
+	}
+	return nil
+}
+
+// TestTenancySentinelTable pins the typed-sentinel contract of the admission
+// layer across all five prepared-query constructors: WithTenant("") and
+// WithExecutor(nil) are eager ErrConfig at construction, and a budget that
+// can never fit its tenant's aggregate cap is ErrAdmission at run time —
+// for every surface, including the non-streaming extras.
+func TestTenancySentinelTable(t *testing.T) {
+	ctx := context.Background()
+	g, err := mule.FromEdges(3, []mule.Edge{{U: 0, V: 1, P: 0.5}, {U: 1, V: 2, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := mule.BipartiteFromEdges(2, 2, []mule.BipartiteEdge{{L: 0, R: 0, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := mule.NewExecutor(1)
+	defer ex.Close()
+	// Aggregate budget cap of 10: any WithBudget(100) query of this tenant
+	// is rejected outright — deterministically, with nothing else running.
+	ex.SetTenantLimits("capped", mule.Limits{MaxBudget: 10})
+	gated := []mule.Option{mule.WithExecutor(ex), mule.WithTenant("capped"), mule.WithBudget(100)}
+
+	construction := []struct {
+		name   string
+		err    func() error
+		target error
+	}{
+		{"clique empty tenant", func() error { _, err := mule.NewQuery(g, 0.5, mule.WithTenant("")); return err }, mule.ErrConfig},
+		{"clique nil executor", func() error { _, err := mule.NewQuery(g, 0.5, mule.WithExecutor(nil)); return err }, mule.ErrConfig},
+		{"biclique empty tenant", func() error { _, err := mule.NewBicliqueQuery(bg, 0.5, mule.WithTenant("")); return err }, mule.ErrConfig},
+		{"biclique nil executor", func() error { _, err := mule.NewBicliqueQuery(bg, 0.5, mule.WithExecutor(nil)); return err }, mule.ErrConfig},
+		{"quasi empty tenant", func() error {
+			_, err := mule.NewQuasiQuery(g, mule.WithGamma(0.5), mule.WithTenant(""))
+			return err
+		}, mule.ErrConfig},
+		{"quasi nil executor", func() error {
+			_, err := mule.NewQuasiQuery(g, mule.WithGamma(0.5), mule.WithExecutor(nil))
+			return err
+		}, mule.ErrConfig},
+		{"truss empty tenant", func() error { _, err := mule.NewTrussQuery(g, 0.5, mule.WithTenant("")); return err }, mule.ErrConfig},
+		{"truss nil executor", func() error { _, err := mule.NewTrussQuery(g, 0.5, mule.WithExecutor(nil)); return err }, mule.ErrConfig},
+		{"core empty tenant", func() error { _, err := mule.NewCoreQuery(g, 0.5, mule.WithTenant("")); return err }, mule.ErrConfig},
+		{"core nil executor", func() error { _, err := mule.NewCoreQuery(g, 0.5, mule.WithExecutor(nil)); return err }, mule.ErrConfig},
+	}
+	for _, tc := range construction {
+		if err := tc.err(); !errors.Is(err, tc.target) {
+			t.Errorf("%s: err = %v, want wrapped %v", tc.name, err, tc.target)
+		}
+	}
+
+	admission := []struct {
+		name string
+		err  func() error
+	}{
+		{"clique Run", func() error {
+			q, err := mule.NewQuery(g, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			stats, err := q.Run(ctx, nil)
+			if err != nil && stats.Status != mule.StatusFailed {
+				return fmt.Errorf("status %v, want failed (err %w)", stats.Status, err)
+			}
+			return err
+		}},
+		{"clique Maximum", func() error {
+			q, err := mule.NewQuery(g, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			_, _, err = q.Maximum(ctx)
+			return err
+		}},
+		{"biclique Run", func() error {
+			q, err := mule.NewBicliqueQuery(bg, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			_, err = q.Run(ctx, nil)
+			return err
+		}},
+		{"quasi Collect", func() error {
+			q, err := mule.NewQuasiQuery(g, append([]mule.Option{mule.WithGamma(0.5)}, gated...)...)
+			if err != nil {
+				return err
+			}
+			_, err = q.Collect(ctx)
+			return err
+		}},
+		{"truss Run", func() error {
+			q, err := mule.NewTrussQuery(g, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			_, err = q.Run(ctx, nil)
+			return err
+		}},
+		{"truss Truss", func() error {
+			q, err := mule.NewTrussQuery(g, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			_, err = q.Truss(ctx, 2)
+			return err
+		}},
+		{"core Run", func() error {
+			q, err := mule.NewCoreQuery(g, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			_, err = q.Run(ctx, nil)
+			return err
+		}},
+		{"core Decompose", func() error {
+			q, err := mule.NewCoreQuery(g, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			_, err = q.Decompose(ctx)
+			return err
+		}},
+		{"core Core", func() error {
+			q, err := mule.NewCoreQuery(g, 0.5, gated...)
+			if err != nil {
+				return err
+			}
+			_, err = q.Core(ctx, 1)
+			return err
+		}},
+	}
+	for _, tc := range admission {
+		if err := tc.err(); !errors.Is(err, mule.ErrAdmission) {
+			t.Errorf("%s: err = %v, want wrapped ErrAdmission", tc.name, err)
+		}
+	}
+
+	// A fitting budget on the same capped tenant still runs: the cap gates
+	// aggregates, not existence.
+	q, err := mule.NewQuery(g, 0.5, mule.WithExecutor(ex), mule.WithTenant("capped"), mule.WithBudget(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Run(ctx, nil); err != nil {
+		t.Fatalf("fitting budget rejected: %v", err)
+	}
+}
+
+// TestAdmissionCancelWhileQueued is the new cancellation-matrix cell: a
+// query whose context fires while it waits in the admission queue returns a
+// wrapped context.Canceled (not ErrAdmission), leaks nothing, and leaves the
+// tenant's capacity intact for the next run.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	ex := mule.NewExecutor(2)
+	defer ex.Close()
+	ex.SetTenantLimits("q", mule.Limits{MaxInFlight: 1, MaxQueued: 4})
+	g := soakGraph(18, 0.35, 9)
+	base := runtime.NumGoroutine()
+
+	// Hold the tenant's only seat: a run parked inside its visitor.
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	holder, err := mule.NewQuery(g, 0.125, mule.WithExecutor(ex), mule.WithTenant("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var holderErr error
+	holderDone := make(chan struct{})
+	go func() {
+		defer close(holderDone)
+		first := true
+		_, holderErr = holder.Run(context.Background(), func([]int, float64) bool {
+			if first {
+				first = false
+				close(entered)
+				<-hold
+			}
+			return true
+		})
+	}()
+	<-entered
+
+	// The queued query: cancel it mid-wait.
+	ctx, cancel := context.WithCancel(context.Background())
+	queued, err := mule.NewQuery(g, 0.125, mule.WithExecutor(ex), mule.WithTenant("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		stats, err := queued.Run(ctx, nil)
+		if err != nil && stats.Status != mule.StatusFailed {
+			err = fmt.Errorf("queued run status %v, want failed: %w", stats.Status, err)
+		}
+		errc <- err
+	}()
+	waitAdmissionQueued(t, ex, 1)
+	cancel()
+	qerr := <-errc
+	if !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("cancel-while-queued: err = %v, want wrapped context.Canceled", qerr)
+	}
+	if errors.Is(qerr, mule.ErrAdmission) {
+		t.Fatal("cancel-while-queued must not report ErrAdmission")
+	}
+
+	// Release the holder; the seat must be reusable immediately.
+	close(hold)
+	<-holderDone
+	if holderErr != nil {
+		t.Fatal(holderErr)
+	}
+	after, err := mule.NewQuery(g, 0.125, mule.WithExecutor(ex), mule.WithTenant("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := after.Run(context.Background(), nil); err != nil {
+		t.Fatalf("post-cancel run rejected: %v", err)
+	}
+	waitNoExtraGoroutines(t, base)
+}
+
+// waitAdmissionQueued blocks until the executor reports n queued waiters.
+func waitAdmissionQueued(t *testing.T, ex *mule.Executor, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for ex.AdmissionStats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d admission waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWithTenantOnDefaultExecutor: a tenant without WithExecutor is
+// accounted on the process-wide DefaultExecutor.
+func TestWithTenantOnDefaultExecutor(t *testing.T) {
+	g := soakGraph(16, 0.4, 11)
+	q, err := mule.NewQuery(g, 0.25, mule.WithTenant("default-exec-probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mule.DefaultExecutor().AdmissionStats().Admitted
+	if _, err := q.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	s := mule.DefaultExecutor().AdmissionStats()
+	if s.Admitted != before+1 {
+		t.Fatalf("default executor admitted %d runs, want %d", s.Admitted, before+1)
+	}
+	if s.InFlight["default-exec-probe"] != 0 {
+		t.Fatal("tenant still accounted in flight after the run")
+	}
+}
+
+// ExampleWithTenant shows admission control end to end: a private Executor,
+// a tenant capped at one concurrent query with no wait queue, and the typed
+// ErrAdmission rejection an over-cap run observes.
+func ExampleWithTenant() {
+	g, _ := mule.FromEdges(3, []mule.Edge{
+		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.9}, {U: 0, V: 2, P: 0.9},
+	})
+	ex := mule.NewExecutor(2)
+	defer ex.Close()
+	// At most one of acme's queries may hold a node budget at a time, and
+	// the aggregate budget of its admitted queries may not exceed 1000.
+	ex.SetTenantLimits("acme", mule.Limits{MaxInFlight: 1, MaxBudget: 1000})
+
+	q, _ := mule.NewQuery(g, 0.5,
+		mule.WithExecutor(ex),
+		mule.WithTenant("acme"),
+		mule.WithBudget(5000), // exceeds the tenant's aggregate cap
+	)
+	_, err := q.Run(context.Background(), nil)
+	fmt.Println(errors.Is(err, mule.ErrAdmission))
+
+	q2, _ := mule.NewQuery(g, 0.5,
+		mule.WithExecutor(ex),
+		mule.WithTenant("acme"),
+		mule.WithBudget(500), // fits
+	)
+	stats, err := q2.Run(context.Background(), nil)
+	fmt.Println(err == nil, stats.Emitted)
+	// Output:
+	// true
+	// true 1
+}

@@ -91,6 +91,12 @@ func checkoutWords(n int) []uint64 {
 	}
 	poolCheckouts.Add(1)
 	c := sizeClass(n)
+	if n > 1<<c {
+		// The class space saturated (n exceeds the largest pooled capacity):
+		// allocate exactly and never pool — returnWords detects the
+		// off-class capacity and skips the Put.
+		return make([]uint64, n)
+	}
 	if p, ok := wordPools[c].Get().(*[]uint64); ok {
 		return (*p)[:n]
 	}
@@ -103,9 +109,13 @@ func returnWords(buf []uint64) {
 		return
 	}
 	poolReturns.Add(1)
-	full := buf[:cap(buf)]
-	// The buffer was allocated at exactly 1<<class capacity, so the class
-	// round-trips through cap.
+	// A pooled buffer was allocated at exactly 1<<class capacity, so the
+	// class round-trips through cap; an over-class buffer (capacity beyond
+	// the largest pool class) is dropped for GC instead.
 	c := sizeClass(cap(buf))
+	if cap(buf) != 1<<c {
+		return
+	}
+	full := buf[:cap(buf)]
 	wordPools[c].Put(&full)
 }

@@ -136,12 +136,15 @@ func (q *frameQueue) popHead() (tagged, bool) {
 	return t, true
 }
 
-// popTailIf removes the newest frame iff it is exactly f (identity). The
-// continuation-reclaim primitive behind Slot.PopIf.
-func (q *frameQueue) popTailIf(f any) bool {
+// popTailIf removes the newest frame iff it belongs to r and is exactly f
+// (identity). The run check matters on the shared inbox, where frames of many
+// runs interleave and value-comparable frames of different runs could
+// otherwise compare equal. The continuation-reclaim primitive behind
+// Slot.PopIf.
+func (q *frameQueue) popTailIf(r *Run, f any) bool {
 	q.mu.Lock()
 	k := len(q.items)
-	if k == 0 || q.items[k-1].f != f {
+	if k == 0 || q.items[k-1].run != r || q.items[k-1].f != f {
 		q.mu.Unlock()
 		return false
 	}
@@ -476,8 +479,13 @@ func (w *worker) stealFrom(v *worker) (tagged, bool) {
 			return tagged{}, false
 		}
 		if g := r.engine.Split(w.id, t.f); g != nil {
+			// Count the minted frame before releasing the lock: while the lock
+			// pins the narrowed victim frame in the deque, live stays ≥ 1, so
+			// the run cannot be observed complete with the split half still
+			// unaccounted (retiring live to zero would release the run's
+			// pooled resources under the thief).
+			r.live.Add(1)
 			d.mu.Unlock()
-			r.live.Add(1) // the split minted a new frame, now claimed by w
 			return tagged{run: r, f: g}, true
 		}
 		d.items[0] = tagged{}
@@ -545,9 +553,9 @@ func (s *Slot) Push(f any) {
 func (s *Slot) PopIf(f any) bool {
 	var ok bool
 	if s.w != nil {
-		ok = s.w.deque.popTailIf(f)
+		ok = s.w.deque.popTailIf(s.run, f)
 	} else {
-		ok = s.run.x.inbox.popTailIf(f)
+		ok = s.run.x.inbox.popTailIf(s.run, f)
 	}
 	if ok {
 		s.run.retire(1)

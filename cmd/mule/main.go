@@ -26,8 +26,9 @@
 // wall clock, -limit caps the delivered results, -budget caps the search
 // work, and SIGINT/SIGTERM abort the run cleanly — buffered output and the
 // stats line are flushed with whatever was found so far, and the process
-// exits with status 130 (interrupt) or 124 (deadline) instead of dying
-// mid-write, in every mode.
+// exits with a conventional status instead of dying mid-write, in every
+// mode: 130 (interrupt), 124 (deadline), 75 (admission rejection — retryable;
+// see -retry), 70 (contained panic or -stall-timeout watchdog abort).
 //
 // With -workers > 1 the clique search runs on the work-stealing engine by
 // default; -engine toplevel selects the legacy top-level fan-out and
@@ -61,12 +62,15 @@ import (
 )
 
 // Exit statuses for aborted runs, matching shell conventions (128+SIGINT,
-// timeout(1), and sysexits.h EX_TEMPFAIL for admission rejection — the run
-// never started and a retry may succeed).
+// timeout(1), sysexits.h EX_TEMPFAIL for admission rejection — the run never
+// started and a retry may succeed — and EX_SOFTWARE for a run terminated by
+// a contained panic or the stall watchdog: an internal fault, not an input
+// or environment problem).
 const (
 	exitInterrupted = 130
 	exitDeadline    = 124
 	exitAdmission   = 75
+	exitSoftware    = 70
 )
 
 func main() {
@@ -78,6 +82,8 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "mule:", err)
 	switch {
+	case errors.Is(err, mule.ErrPanic), errors.Is(err, mule.ErrStalled):
+		os.Exit(exitSoftware)
 	case errors.Is(err, mule.ErrAdmission):
 		os.Exit(exitAdmission)
 	case errors.Is(err, context.Canceled):
@@ -119,6 +125,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		budget      = fs.Int64("budget", 0, "abort after this many search-tree nodes (0 = no budget)")
 		tenant      = fs.String("tenant", "", "admission-control tenant ID charged for this run (default: no admission accounting)")
 		maxInflight = fs.Int("max-inflight", 0, "cap on the tenant's concurrent queries on the process executor; over-cap runs exit 75 (0 = unlimited; requires -tenant)")
+		retries     = fs.Int("retry", 0, "retry an admission rejection this many extra times with jittered exponential backoff before exiting 75 (requires -tenant)")
+		stallWindow = fs.Duration("stall-timeout", 0, "abort a run making no search progress for this long, exiting 70 (0 = no watchdog; distinct from -timeout, which is wall clock)")
 		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		quiet       = fs.Bool("quiet", false, "suppress the stats line on stderr")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -157,12 +165,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		mule.DefaultExecutor().SetTenantLimits(*tenant, mule.Limits{MaxInFlight: *maxInflight})
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-retry must be non-negative, got %d", *retries)
+	}
+	if *retries > 0 && *tenant == "" {
+		return fmt.Errorf("-retry requires -tenant (only admitted runs are rejected)")
+	}
+	if *stallWindow < 0 {
+		return fmt.Errorf("-stall-timeout must be non-negative, got %v", *stallWindow)
+	}
 
 	m := modeFlags{
 		in: *in, alpha: *alpha, gamma: *gamma, eta: *eta, k: *kParam,
 		minL: *minL, minR: *minR, minSize: *minSize,
 		limit: *limit, budget: *budget, countOnly: *countOnly, quiet: *quiet,
-		tenant: *tenant,
+		tenant: *tenant, retries: *retries, stall: *stallWindow,
 	}
 	var runErr error
 	switch strings.ToLower(*mine) {
@@ -202,14 +219,28 @@ type modeFlags struct {
 	countOnly  bool
 	quiet      bool
 	tenant     string
+	retries    int
+	stall      time.Duration
 }
 
-// withTenant appends the WithTenant option when -tenant was given; every
-// -mine mode routes its constructor options through it so admission
-// accounting covers all five query surfaces uniformly.
+// withTenant appends the shared robustness options — WithTenant, WithRetry,
+// WithStallTimeout — when their flags were given; every -mine mode routes its
+// constructor options through it so admission accounting, retry, and the
+// stall watchdog cover all five query surfaces uniformly.
 func (m modeFlags) withTenant(opts ...mule.Option) []mule.Option {
 	if m.tenant != "" {
 		opts = append(opts, mule.WithTenant(m.tenant))
+	}
+	if m.retries > 0 {
+		opts = append(opts, mule.WithRetry(mule.RetryPolicy{
+			MaxAttempts: m.retries + 1,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Jitter:      0.5,
+		}))
+	}
+	if m.stall > 0 {
+		opts = append(opts, mule.WithStallTimeout(m.stall))
 	}
 	return opts
 }

@@ -42,8 +42,19 @@ var (
 	// control: the query's tenant is at its in-flight or aggregate-budget
 	// cap (see Limits) and the wait queue is full or waiting is disabled.
 	// Rejection happens before any search work runs; retry after other runs
-	// of the tenant release their capacity.
+	// of the tenant release their capacity (WithRetry automates that with
+	// jittered exponential backoff).
 	ErrAdmission = exec.ErrAdmission
+	// ErrPanic reports a run terminated by a recovered panic — in a visitor
+	// callback or inside an engine — contained to that run: other runs on
+	// the shared executor are untouched. The concrete error is a
+	// *PanicError carrying the panic value and stack.
+	ErrPanic = core.ErrPanic
+	// ErrStalled reports a run aborted by the WithStallTimeout watchdog
+	// after making no search progress for the configured window — distinct
+	// from a context deadline, which fires on wall clock regardless of
+	// progress.
+	ErrStalled = core.ErrStalled
 
 	// ErrVertexRange reports an edge endpoint or vertex ID outside [0, n).
 	ErrVertexRange = uncertain.ErrVertexRange
@@ -54,6 +65,14 @@ var (
 	// ErrDuplicateEdge reports an edge added twice to a Builder.
 	ErrDuplicateEdge = uncertain.ErrDuplicateEdge
 )
+
+// PanicError is the concrete error behind ErrPanic: the recovered panic
+// value plus the stack captured at the recovery point. Match the sentinel
+// with errors.Is(err, ErrPanic) and extract the detail with errors.As:
+//
+//	var pe *mule.PanicError
+//	if errors.As(err, &pe) { log.Printf("run panicked: %v\n%s", pe.Value, pe.Stack) }
+type PanicError = core.PanicError
 
 // RunStatus is the terminal state of an enumeration run, recorded in
 // Stats.Status.
@@ -72,6 +91,13 @@ const (
 	// StatusBudget: the WithBudget node budget ran out mid-run.
 	StatusBudget = core.StatusBudget
 	// StatusFailed: a maintainer update was rejected by validation before
-	// any work ran (queries validate at construction and never report it).
+	// any work ran (queries validate at construction and never report it),
+	// or a query's run was rejected by admission control.
 	StatusFailed = core.StatusFailed
+	// StatusPanicked: a recovered panic terminated the run (ErrPanic); the
+	// shared executor and every other run are unaffected.
+	StatusPanicked = core.StatusPanicked
+	// StatusStalled: the WithStallTimeout watchdog aborted the run after no
+	// search progress for the configured window (ErrStalled).
+	StatusStalled = core.StatusStalled
 )

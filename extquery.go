@@ -101,7 +101,7 @@ func NewBicliqueQuery(g *Bipartite, alpha float64, opts ...Option) (*BicliqueQue
 	if err != nil {
 		return nil, err
 	}
-	cfg := ubiclique.Config{MinLeft: o.minL, MinRight: o.minR, Budget: o.cfg.Budget}
+	cfg := ubiclique.Config{MinLeft: o.minL, MinRight: o.minR, Budget: o.cfg.Budget, Stall: o.stall}
 	q, err := newBicliqueQuery(g, alpha, cfg, o.limit)
 	if err != nil {
 		return nil, err
@@ -125,6 +125,12 @@ func newBicliqueQuery(g *Bipartite, alpha float64, cfg ubiclique.Config, limit i
 // run executes the query under its WithLimit bound, reporting whether the
 // user-supplied visitor ended the run early (as opposed to the limit).
 func (q *BicliqueQuery) run(ctx context.Context, visit BicliqueVisitor) (stats BicliqueStats, userStopped bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stats.Status = StatusPanicked
+			err = panicToError(v)
+		}
+	}()
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return BicliqueStats{Status: StatusFailed}, false, err
@@ -262,7 +268,7 @@ func NewQuasiQuery(g *Graph, opts ...Option) (*QuasiQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := uquasi.Config{Gamma: o.gamma, MinSize: o.cfg.MinSize, MaxSize: o.maxSize, Budget: o.cfg.Budget}
+	cfg := uquasi.Config{Gamma: o.gamma, MinSize: o.cfg.MinSize, MaxSize: o.maxSize, Budget: o.cfg.Budget, Stall: o.stall}
 	q, err := newQuasiQuery(g, cfg, o.limit)
 	if err != nil {
 		return nil, err
@@ -287,6 +293,12 @@ func newQuasiQuery(g *Graph, cfg uquasi.Config, limit int64) (*QuasiQuery, error
 // bound. Stats.Emitted reflects the delivered count when a limit or early
 // stop truncates the report loop.
 func (q *QuasiQuery) run(ctx context.Context, visit QuasiVisitor) (stats QuasiStats, userStopped bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stats.Status = StatusPanicked
+			err = panicToError(v)
+		}
+	}()
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return QuasiStats{Status: StatusFailed}, false, err
@@ -402,7 +414,7 @@ func NewTrussQuery(g *Graph, eta float64, opts ...Option) (*TrussQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	q, err := newTrussQuery(g, eta, utruss.Config{Budget: o.cfg.Budget}, o.limit)
+	q, err := newTrussQuery(g, eta, utruss.Config{Budget: o.cfg.Budget, Stall: o.stall}, o.limit)
 	if err != nil {
 		return nil, err
 	}
@@ -424,6 +436,12 @@ func newTrussQuery(g *Graph, eta float64, cfg utruss.Config, limit int64) (*Trus
 
 // run executes the decomposition under the WithLimit bound.
 func (q *TrussQuery) run(ctx context.Context, visit TrussVisitor) (stats TrussStats, userStopped bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stats.Status = StatusPanicked
+			err = panicToError(v)
+		}
+	}()
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return TrussStats{Status: StatusFailed}, false, err
@@ -490,13 +508,18 @@ func (q *TrussQuery) Stream(ctx context.Context) iter.Seq2[EdgeTruss, error] {
 // least k−2 triangles within the subgraph. k below 2 wraps ErrKRange. The
 // result preserves the graph's vertex set; only edges are removed.
 // WithLimit does not apply (the truss is one subgraph, not a stream).
-func (q *TrussQuery) Truss(ctx context.Context, k int) (*Graph, error) {
+func (q *TrussQuery) Truss(ctx context.Context, k int) (tr *Graph, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			tr, err = nil, panicToError(v)
+		}
+	}()
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	tr, _, err := utruss.TrussContext(ctx, q.g, k, q.eta, q.cfg)
+	tr, _, err = utruss.TrussContext(ctx, q.g, k, q.eta, q.cfg)
 	return tr, err
 }
 
@@ -549,7 +572,7 @@ func NewCoreQuery(g *Graph, eta float64, opts ...Option) (*CoreQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	q, err := newCoreQuery(g, eta, ucore.Config{Budget: o.cfg.Budget}, o.limit)
+	q, err := newCoreQuery(g, eta, ucore.Config{Budget: o.cfg.Budget, Stall: o.stall}, o.limit)
 	if err != nil {
 		return nil, err
 	}
@@ -571,6 +594,12 @@ func newCoreQuery(g *Graph, eta float64, cfg ucore.Config, limit int64) (*CoreQu
 
 // run executes the decomposition under the WithLimit bound.
 func (q *CoreQuery) run(ctx context.Context, visit CoreVisitor) (stats CoreStats, userStopped bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stats.Status = StatusPanicked
+			err = panicToError(v)
+		}
+	}()
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return CoreStats{Status: StatusFailed}, false, err
@@ -632,25 +661,35 @@ func (q *CoreQuery) Stream(ctx context.Context) iter.Seq2[VertexCore, error] {
 // Decompose returns the decomposition in its classical form: per-vertex
 // core numbers, the degeneracy, and the peel order. WithLimit does not
 // apply — the arrays are only meaningful complete.
-func (q *CoreQuery) Decompose(ctx context.Context) (CoreDecomposition, error) {
+func (q *CoreQuery) Decompose(ctx context.Context) (dec CoreDecomposition, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			dec, err = CoreDecomposition{}, panicToError(v)
+		}
+	}()
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return CoreDecomposition{}, err
 	}
 	defer release()
-	dec, _, err := ucore.DecomposeContext(ctx, q.g, q.eta, q.cfg)
+	dec, _, err = ucore.DecomposeContext(ctx, q.g, q.eta, q.cfg)
 	return dec, err
 }
 
 // Core returns the vertices of the (k,η)-core: the maximal induced
 // subgraph where every vertex keeps η-degree ≥ k within it. Negative k
 // wraps ErrKRange. WithLimit does not apply.
-func (q *CoreQuery) Core(ctx context.Context, k int) ([]int, error) {
+func (q *CoreQuery) Core(ctx context.Context, k int) (verts []int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			verts, err = nil, panicToError(v)
+		}
+	}()
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	verts, _, err := ucore.CoreContext(ctx, q.g, k, q.eta, q.cfg)
+	verts, _, err = ucore.CoreContext(ctx, q.g, k, q.eta, q.cfg)
 	return verts, err
 }

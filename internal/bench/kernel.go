@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -423,21 +424,43 @@ func DiffKernelRuns(base, cur KernelRun, tolerancePct float64) []KernelRegressio
 	return regs
 }
 
-// LatestComparableRun returns the most recent run in rep measured the same
-// way as cur — same Quick and Once modes AND the same machine class (OS,
-// architecture, CPU count). Absolute ns/op across machine classes is not
-// comparable, so a trajectory recorded on a developer container never
-// produces false regressions against a differently-sized CI runner; the
-// diff simply reports "no comparable run" there until the runner class has
-// a row of its own.
+// baselineLabelMark tags trajectory rows pinned as CI diff baselines. When
+// any row carries it, only the newest such row may anchor a -kernel-diff.
+const baselineLabelMark = "ci-baseline"
+
+// LatestComparableRun returns the baseline run in rep for diffing cur
+// against. A candidate must be measured the same way as cur — same Quick and
+// Once modes AND the same machine class (OS, architecture, CPU count):
+// absolute ns/op across machine classes is not comparable, so a trajectory
+// recorded on a developer container never produces false regressions against
+// a differently-sized CI runner.
+//
+// Rows whose label contains "ci-baseline" are pinned baselines, and only the
+// NEWEST of them is ever consulted: older pinned rows are stale by
+// definition (re-baselining supersedes them), and silently falling back to
+// one after a runner-class drift would diff today's numbers against a
+// months-old machine profile. If the newest pinned row is incomparable the
+// diff reports "no comparable run" instead — the trajectory needs a fresh
+// baseline for the new runner class, not a quieter gate. Trajectories with
+// no pinned rows keep the legacy behavior: newest comparable row wins.
 func LatestComparableRun(rep KernelReport, cur KernelRun) (KernelRun, bool) {
+	comparable := func(r KernelRun) bool {
+		return r.Quick == cur.Quick && r.Once == cur.Once &&
+			r.GOOS == cur.GOOS && r.GOARCH == cur.GOARCH && r.NumCPU == cur.NumCPU
+	}
 	for i := len(rep.Runs) - 1; i >= 0; i-- {
 		r := rep.Runs[i]
-		if r.Label == cur.Label {
+		if r.Label == cur.Label || !strings.Contains(r.Label, baselineLabelMark) {
 			continue // a re-measure must not diff against itself
 		}
-		if r.Quick == cur.Quick && r.Once == cur.Once &&
-			r.GOOS == cur.GOOS && r.GOARCH == cur.GOARCH && r.NumCPU == cur.NumCPU {
+		if comparable(r) {
+			return r, true
+		}
+		return KernelRun{}, false // newest pinned baseline is incomparable: no fallback
+	}
+	for i := len(rep.Runs) - 1; i >= 0; i-- {
+		r := rep.Runs[i]
+		if r.Label != cur.Label && comparable(r) {
 			return r, true
 		}
 	}

@@ -132,6 +132,44 @@ func TestLatestComparableRun(t *testing.T) {
 	}
 }
 
+func TestLatestComparableRunPinnedBaseline(t *testing.T) {
+	mk := func(label string, cpus int) KernelRun {
+		return KernelRun{Label: label, Quick: true, Once: true, GOOS: "linux", GOARCH: "amd64", NumCPU: cpus}
+	}
+	rep := KernelReport{Runs: []KernelRun{
+		mk("pr3 ci-baseline (quick+once)", 4),
+		mk("pr4 kernel rework", 4),
+		mk("pr6 ci-baseline (quick+once)", 4),
+		mk("pr6 followup", 4),
+	}}
+	cur := mk("ci-smoke abc123", 4)
+	// The newest pinned baseline anchors the diff — not the newest row, and
+	// never an older pinned row.
+	base, ok := LatestComparableRun(rep, cur)
+	if !ok || base.Label != "pr6 ci-baseline (quick+once)" {
+		t.Fatalf("pinned baseline: got (%q, %v), want the pr6 ci-baseline row", base.Label, ok)
+	}
+	// A pinned baseline from a different machine class must not silently
+	// fall back to the stale pr3 row: the gate reports "no comparable run".
+	rep.Runs[2] = mk("pr6 ci-baseline (quick+once)", 16)
+	if base, ok := LatestComparableRun(rep, cur); ok {
+		t.Fatalf("incomparable newest baseline must not fall back, got %q", base.Label)
+	}
+	// A re-measure of the pinned label itself still diffs against the
+	// newest remaining pinned row.
+	rep.Runs[2] = mk("pr6 ci-baseline (quick+once)", 4)
+	base, ok = LatestComparableRun(rep, mk("pr6 ci-baseline (quick+once)", 4))
+	if !ok || base.Label != "pr3 ci-baseline (quick+once)" {
+		t.Fatalf("self-exclusion among pinned rows: got (%q, %v)", base.Label, ok)
+	}
+	// Trajectories without pinned rows keep the legacy newest-comparable
+	// behavior (covered further by TestLatestComparableRun).
+	legacy := KernelReport{Runs: []KernelRun{mk("a", 4), mk("b", 4)}}
+	if base, ok := LatestComparableRun(legacy, cur); !ok || base.Label != "b" {
+		t.Fatalf("legacy fallback: got (%q, %v), want b", base.Label, ok)
+	}
+}
+
 func TestLatestComparableRunMachineClass(t *testing.T) {
 	rep := KernelReport{Runs: []KernelRun{
 		{Label: "dev-box", Quick: true, GOOS: "linux", GOARCH: "amd64", NumCPU: 1},

@@ -36,6 +36,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"github.com/uncertain-graphs/mule/internal/exec"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
@@ -180,6 +182,12 @@ type Config struct {
 	// (the default), or forced sorted/bitset for tests and ablations. The
 	// enumerated clique set is identical under every mode.
 	Intersect IntersectMode
+	// StallTimeout, when > 0, arms the stall watchdog: a run whose progress
+	// beacon (stamped by every poll and every emission) does not advance for
+	// this long is aborted with an error wrapping ErrStalled and
+	// Stats.Status == StatusStalled. Distinct from a context deadline, which
+	// fires on wall clock regardless of progress.
+	StallTimeout time.Duration
 	// SkipPrune disables the α-edge-pruning preprocessing step
 	// (Observation 3). Only useful for ablation benchmarks; the output is
 	// identical either way.
@@ -246,6 +254,9 @@ func Validate(g *uncertain.Graph, alpha float64, cfg Config) error {
 	}
 	if cfg.Budget < 0 {
 		return fmt.Errorf("core: negative Budget %d: %w", cfg.Budget, ErrConfig)
+	}
+	if cfg.StallTimeout < 0 {
+		return fmt.Errorf("core: negative StallTimeout %v: %w", cfg.StallTimeout, ErrConfig)
 	}
 	if cfg.Parallel != ParallelWorkStealing && cfg.Parallel != ParallelTopLevel {
 		return fmt.Errorf("core: unknown parallel mode %d: %w", int(cfg.Parallel), ErrConfig)
@@ -339,16 +350,30 @@ func EnumerateContext(ctx context.Context, g *uncertain.Graph, alpha float64, vi
 		cbuf:          make([]int32, 0, 128),
 	}
 	// The deferred release covers every exit — including cancel, budget,
-	// and limit unwinds, which return through finish like a completed run.
+	// limit, panic, and stall unwinds, which return through finish like a
+	// completed run.
 	defer e.releasePooled()
-	switch {
-	case cfg.Workers > 1 && cfg.Parallel == ParallelTopLevel:
-		e.runTopLevel(executorFor(cfg), cfg.Workers)
-	case cfg.Workers > 1:
-		e.runWorkStealing(executorFor(cfg), cfg.Workers, cfg.StealGranularity)
-	default:
-		e.runSerial()
-	}
+	defer ctl.ArmStall(cfg.StallTimeout)()
+	// Containment boundary for the serial engine and the submitting
+	// goroutine of the parallel ones (pool workers have their own boundary
+	// in the executor): a panic anywhere below terminates this run with
+	// StatusPanicked instead of unwinding the caller — the deferred pool
+	// releases above still run, so conservation holds.
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				ctl.Abort(NewPanicError(v, debug.Stack()))
+			}
+		}()
+		switch {
+		case cfg.Workers > 1 && cfg.Parallel == ParallelTopLevel:
+			e.runTopLevel(executorFor(cfg), cfg.Workers)
+		case cfg.Workers > 1:
+			e.runWorkStealing(executorFor(cfg), cfg.Workers, cfg.StealGranularity)
+		default:
+			e.runSerial()
+		}
+	}()
 	return stats, ctl.finish(&stats, e.stopped)
 }
 

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"github.com/uncertain-graphs/mule/internal/faultinject"
 )
 
 // Typed sentinel errors for the enumeration entry points. Callers match them
@@ -38,7 +41,36 @@ var (
 	// ErrKRange reports a structural size parameter k below its floor (2 for
 	// trusses, 0 for cores).
 	ErrKRange = errors.New("k out of range")
+
+	// ErrPanic reports that a run was terminated by a recovered panic — in a
+	// visitor callback, a worker frame, or a split — contained to that run.
+	// The concrete error is a *PanicError wrapping this sentinel; match with
+	// errors.Is(err, ErrPanic) and inspect via errors.As(err, &pe).
+	ErrPanic = errors.New("panic during run")
+	// ErrStalled reports that the stall watchdog aborted a run that made no
+	// search progress for the configured StallTimeout — distinct from a
+	// context deadline, which fires on wall-clock regardless of progress.
+	ErrStalled = errors.New("run stalled: no progress within stall timeout")
 )
+
+// PanicError carries a recovered panic out of a run as an error: the panic
+// value, the stack captured at the recovery point, and ErrPanic as its
+// unwrap target. The run that panicked is the only one affected; the
+// executor, its workers, and every other run keep going.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // debug.Stack() captured where the panic was recovered
+}
+
+// NewPanicError wraps a recovered panic value and stack.
+func NewPanicError(value any, stack []byte) *PanicError {
+	return &PanicError{Value: value, Stack: stack}
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Unwrap makes errors.Is(err, ErrPanic) match any contained panic.
+func (e *PanicError) Unwrap() error { return ErrPanic }
 
 // RunStatus is the terminal state of an enumeration run, recorded in
 // Stats.Status.
@@ -61,6 +93,13 @@ const (
 	// it; the maintainer's per-operation stats use it so an invalid update
 	// is never mistaken for a completed one.
 	StatusFailed
+	// StatusPanicked: a panic (visitor callback, worker frame, or split) was
+	// recovered and terminated the run; the error is a *PanicError wrapping
+	// ErrPanic. Other runs on the shared executor are unaffected.
+	StatusPanicked
+	// StatusStalled: the stall watchdog aborted the run after no search
+	// progress for the configured stall timeout (wrapping ErrStalled).
+	StatusStalled
 )
 
 // String names the status for logs and error messages.
@@ -78,6 +117,10 @@ func (s RunStatus) String() string {
 		return "budget"
 	case StatusFailed:
 		return "failed"
+	case StatusPanicked:
+		return "panicked"
+	case StatusStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("RunStatus(%d)", int(s))
 	}
@@ -104,6 +147,15 @@ type RunControl struct {
 	used   atomic.Int64    // nodes charged against the budget, in batches
 	stop   atomic.Bool     // latched: unwind everything (abort or early stop)
 	cause  atomic.Pointer[error]
+
+	// stall is the armed watchdog window (0 = disarmed). Written once by
+	// ArmStall before any engine starts — the engines observe it through the
+	// happens-before edges of run submission, so it needs no atomic.
+	stall time.Duration
+	// beacon counts progress stamps: every poll and every emission bumps it.
+	// The watchdog goroutine reads it on a coarse tick; an unchanged beacon
+	// across a full stall window means the run made no search progress.
+	beacon atomic.Int64
 }
 
 // NewRunControl builds the control block. A context that can never fire
@@ -149,6 +201,8 @@ func (c *RunControl) Err() error {
 // charged in interval batches; expensive units of work — a Poisson-binomial
 // tail evaluation, an η-degree recompute — may be charged at finer grain).
 func (c *RunControl) Poll(nodes int64) bool {
+	faultinject.Fire(faultinject.SlowPoll)
+	c.Progress()
 	if c.stop.Load() {
 		return true
 	}
@@ -165,6 +219,59 @@ func (c *RunControl) Poll(nodes int64) bool {
 	return false
 }
 
+// Progress stamps the watchdog beacon. Poll stamps it on every interval;
+// emission paths stamp it too, so a run crawling through a slow visitor
+// between polls still reads as live. Disarmed runs skip the atomic.
+func (c *RunControl) Progress() {
+	if c.stall > 0 {
+		c.beacon.Add(1)
+	}
+}
+
+// ArmStall arms the stall watchdog: a run whose beacon does not advance for
+// d is aborted with an error wrapping ErrStalled. The returned stop function
+// kills the watchdog goroutine; callers defer it around the engine run.
+// d <= 0 disarms (no goroutine, no atomics on the poll path).
+//
+// The watchdog only latches the abort — Go cannot preempt a stuck goroutine,
+// so a visitor that never returns keeps its frame alive until it does; every
+// cooperative path (polls, queued frames, parked helpers) unwinds promptly
+// once the latch is set.
+func (c *RunControl) ArmStall(d time.Duration) (stop func()) {
+	if d <= 0 {
+		return func() {}
+	}
+	c.stall = d
+	quit := make(chan struct{})
+	go func() {
+		tick := d / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		last := c.beacon.Load()
+		stamp := time.Now()
+		for {
+			select {
+			case <-quit:
+				return
+			case now := <-t.C:
+				cur := c.beacon.Load()
+				if cur != last {
+					last, stamp = cur, now
+					continue
+				}
+				if now.Sub(stamp) >= d {
+					c.Abort(fmt.Errorf("no progress for %v: %w", d, ErrStalled))
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(quit) }
+}
+
 // Status translates the control's terminal state into a RunStatus: complete
 // when nothing aborted and the visitor ran to the end, stopped on a visitor
 // early-stop, and the matching abort status otherwise.
@@ -179,6 +286,10 @@ func (c *RunControl) Status(visitorStopped bool) RunStatus {
 		return StatusDeadline
 	case errors.Is(err, ErrBudget):
 		return StatusBudget
+	case errors.Is(err, ErrPanic):
+		return StatusPanicked
+	case errors.Is(err, ErrStalled):
+		return StatusStalled
 	default:
 		return StatusCanceled
 	}

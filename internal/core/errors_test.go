@@ -15,6 +15,9 @@ func TestRunStatusString(t *testing.T) {
 		StatusCanceled: "canceled",
 		StatusDeadline: "deadline",
 		StatusBudget:   "budget",
+		StatusFailed:   "failed",
+		StatusPanicked: "panicked",
+		StatusStalled:  "stalled",
 		RunStatus(42):  "RunStatus(42)",
 	}
 	for s, want := range cases {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime/debug"
 
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
@@ -55,7 +56,17 @@ func MaximumCliqueBudget(ctx context.Context, g *uncertain.Graph, alpha float64,
 		rootI = rootI.push(int32(v), 1)
 	}
 	if !m.ctl.Poll(0) {
-		m.recurse(nil, 1, rootI)
+		// Containment boundary: the search is serial, so a panic below (a
+		// latent kernel bug) unwinds here, the deferred arena return still
+		// runs, and the caller gets a typed *PanicError instead of a crash.
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					m.ctl.Abort(NewPanicError(v, debug.Stack()))
+				}
+			}()
+			m.recurse(nil, 1, rootI)
+		}()
 	}
 	var stats Stats
 	stats.Calls = m.calls

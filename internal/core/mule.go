@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/uncertain-graphs/mule/internal/faultinject"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
 
@@ -65,6 +66,10 @@ func (e *enumerator) countNode() bool {
 // come from the size-classed pools; the caller owns the clone's terminal
 // path and must call releasePooled there.
 func (e *enumerator) workerClone(stats *Stats, s *wsShared) *enumerator {
+	// The checkout-failure injection point sits before the first checkout:
+	// a panic here models resource acquisition failing for a slot before it
+	// owns anything, so pool conservation is unaffected by the fault itself.
+	faultinject.Fire(faultinject.FailCheckout)
 	return &enumerator{
 		g:             e.g,
 		alpha:         e.alpha,
@@ -242,6 +247,10 @@ func (e *enumerator) emit(C []int32, q float64) {
 	if len(buf) > e.stats.MaxCliqueSize {
 		e.stats.MaxCliqueSize = len(buf)
 	}
+	// Emissions stamp the stall beacon too: a run crawling through a slow
+	// visitor between 1024-node polls still reads as live to the watchdog.
+	e.ctl.Progress()
+	faultinject.Fire(faultinject.PanicVisitor)
 	if e.visit != nil && !e.visit(buf, q) {
 		e.stopped = true
 	}

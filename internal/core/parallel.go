@@ -90,7 +90,13 @@ func (e *enumerator) runTopLevel(x *exec.Executor, workers int) {
 	for i := range roots {
 		roots[i] = i
 	}
-	r := x.Submit(en, exec.RunOpts{MaxParallel: workers, Stopped: e.ctl.stop.Load}, roots...)
+	r := x.Submit(en, exec.RunOpts{
+		MaxParallel: workers,
+		Stopped:     e.ctl.stop.Load,
+		OnPanic: func(v any, stack []byte) {
+			e.ctl.Abort(NewPanicError(v, stack))
+		},
+	}, roots...)
 	r.Wait(e.ctl.Done(), func() { e.ctl.Poll(0) })
 	for _, l := range en.locals {
 		if l == nil {

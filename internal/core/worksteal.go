@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/uncertain-graphs/mule/internal/exec"
+	"github.com/uncertain-graphs/mule/internal/faultinject"
 )
 
 // This file implements the default parallel engine: a work-stealing
@@ -249,7 +250,13 @@ func (e *enumerator) runWorkStealing(x *exec.Executor, workers, granularity int)
 	s := &wsShared{ctl: e.ctl, visit: e.visit}
 	en := &wsEngine{e: e, s: s, gran: granularity, locals: make([]*wsWorker, x.Parallelism()+1)}
 	root := &wsFrame{q: 1, I: rootI, end: n}
-	r := x.Submit(en, exec.RunOpts{MaxParallel: workers, Stopped: e.ctl.stop.Load}, root)
+	r := x.Submit(en, exec.RunOpts{
+		MaxParallel: workers,
+		Stopped:     e.ctl.stop.Load,
+		OnPanic: func(v any, stack []byte) {
+			e.ctl.Abort(NewPanicError(v, stack))
+		},
+	}, root)
 	// On a context fire while waiting, Poll(0) latches the abort cause and
 	// the stop flag, so the executor purges the run's queued frames.
 	r.Wait(e.ctl.Done(), func() { e.ctl.Poll(0) })
@@ -275,6 +282,7 @@ func (e *enumerator) runWorkStealing(x *exec.Executor, workers, granularity int)
 func (w *wsWorker) executeFrame(f *wsFrame) {
 	e := w.e
 	s := w.shared
+	faultinject.Fire(faultinject.PanicFrame)
 	for {
 		if e.stopped || s.ctl.stop.Load() {
 			return

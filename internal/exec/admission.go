@@ -50,6 +50,16 @@ type AdmissionStats struct {
 	// queueing); Rejected counts ErrAdmission outcomes; Queued counts
 	// queries that had to wait (whether they were later granted or gave up).
 	Admitted, Rejected, Queued int64
+	// Rejected broken out by cause. RejectedBudget counts budget-cap
+	// rejections (a single budget above MaxBudget, or aggregate-budget
+	// pressure with no queue); RejectedQueue counts full-queue rejections;
+	// RejectedInFlight counts in-flight-cap rejections with queueing
+	// disabled. The three sum to Rejected.
+	RejectedBudget, RejectedQueue, RejectedInFlight int64
+	// Retried counts individual retry attempts made by AdmitWithRetry after
+	// a rejection; RetryExhausted counts calls that still ended in
+	// ErrAdmission after their policy's MaxAttempts.
+	Retried, RetryExhausted int64
 	// InFlight and Peak report the current and high-water admitted query
 	// count per tenant that was ever subject to accounting.
 	InFlight, Peak map[string]int
@@ -173,12 +183,24 @@ func (x *Executor) Admit(ctx context.Context, tenant string, budget int64) (func
 	}
 	if l.MaxBudget > 0 && budget > l.MaxBudget {
 		x.rejected++
+		x.rejectedBudget++
 		x.amu.Unlock()
 		return nil, fmt.Errorf("exec: tenant %q: budget %d exceeds the aggregate cap %d: %w",
 			tenant, budget, l.MaxBudget, ErrAdmission)
 	}
 	if l.MaxQueued <= 0 || len(ts.queue) >= l.MaxQueued {
 		x.rejected++
+		// Attribute the rejection: a full queue when queueing is enabled; with
+		// queueing disabled, whichever cap blocked the immediate grant (the
+		// in-flight cap if it was hit, aggregate budget otherwise).
+		switch {
+		case l.MaxQueued > 0:
+			x.rejectedQueue++
+		case l.MaxInFlight > 0 && ts.inflight >= l.MaxInFlight:
+			x.rejectedInFlight++
+		default:
+			x.rejectedBudget++
+		}
 		x.amu.Unlock()
 		return nil, fmt.Errorf("exec: tenant %q: %d queries in flight and the admission queue is full: %w",
 			tenant, ts.inflight, ErrAdmission)
@@ -219,11 +241,16 @@ func (x *Executor) AdmissionStats() AdmissionStats {
 	x.amu.Lock()
 	defer x.amu.Unlock()
 	s := AdmissionStats{
-		Admitted: x.admitted,
-		Rejected: x.rejected,
-		Queued:   x.enqueued,
-		InFlight: make(map[string]int, len(x.tenants)),
-		Peak:     make(map[string]int, len(x.tenants)),
+		Admitted:         x.admitted,
+		Rejected:         x.rejected,
+		Queued:           x.enqueued,
+		RejectedBudget:   x.rejectedBudget,
+		RejectedQueue:    x.rejectedQueue,
+		RejectedInFlight: x.rejectedInFlight,
+		Retried:          x.retried,
+		RetryExhausted:   x.retryExhausted,
+		InFlight:         make(map[string]int, len(x.tenants)),
+		Peak:             make(map[string]int, len(x.tenants)),
 	}
 	for t, ts := range x.tenants {
 		s.InFlight[t] = ts.inflight

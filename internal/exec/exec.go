@@ -34,8 +34,11 @@ package exec
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"github.com/uncertain-graphs/mule/internal/faultinject"
 )
 
 // Engine is the per-run adapter between the executor and a search engine.
@@ -74,6 +77,13 @@ type RunOpts struct {
 	// discard the run's frames instead of executing them and the executor
 	// purges whatever is still queued.
 	Stopped func() bool
+	// OnPanic, when non-nil, is invoked exactly once if a panic is recovered
+	// while executing, splitting, or accounting one of this run's frames —
+	// with the panic value and the stack captured at the recovery point. The
+	// run is already latched stopped when it fires; the hook's job is to
+	// record the cause (typically an engine-level abort). It may run on any
+	// worker goroutine and must not block.
+	OnPanic func(value any, stack []byte)
 }
 
 // tagged is a frame bound to its owning run — the unit stored in every
@@ -228,6 +238,13 @@ type Executor struct {
 	admitted  int64
 	rejected  int64
 	enqueued  int64
+	// rejected broken out by cause (budget cap, full queue, in-flight cap
+	// with queueing disabled) plus AdmitWithRetry accounting.
+	rejectedBudget   int64
+	rejectedQueue    int64
+	rejectedInFlight int64
+	retried          int64
+	retryExhausted   int64
 }
 
 // New starts an executor with the given number of pool workers (at least 1).
@@ -327,12 +344,13 @@ func (x *Executor) Submit(e Engine, opts RunOpts, roots ...any) *Run {
 		maxPar = int32(x.Parallelism() + 1)
 	}
 	r := &Run{
-		x:      x,
-		engine: e,
-		maxPar: maxPar,
-		stop:   opts.Stopped,
-		done:   make(chan struct{}),
-		wakeCh: make(chan struct{}, 1),
+		x:       x,
+		engine:  e,
+		maxPar:  maxPar,
+		stop:    opts.Stopped,
+		onPanic: opts.OnPanic,
+		done:    make(chan struct{}),
+		wakeCh:  make(chan struct{}, 1),
 	}
 	if len(roots) == 0 {
 		close(r.done)
@@ -349,6 +367,13 @@ func (x *Executor) Submit(e Engine, opts RunOpts, roots ...any) *Run {
 // runFrame executes one claimed frame: the claim carries the frame's live
 // count, retired exactly once here (or transferred to the overflow list when
 // the run is at its parallelism cap).
+//
+// The Execute call is the panic-containment boundary for the pool: a panic in
+// an engine or a visitor callback is recovered here and latched against the
+// owning run only. Seat release, frame retirement, and the purge of the run's
+// remaining frames all happen after the recovery, so conservation holds on
+// the unwind path and no other run — sharing this worker or not — observes
+// anything.
 func (x *Executor) runFrame(w *worker, slotID int, t tagged) {
 	r := t.run
 	if r.isStopped() {
@@ -360,13 +385,49 @@ func (x *Executor) runFrame(w *worker, slotID int, t tagged) {
 		r.park(t.f)
 		return
 	}
-	s := Slot{id: slotID, run: r, w: w}
-	r.engine.Execute(&s, t.f)
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				r.notePanic(v, debug.Stack())
+			}
+		}()
+		s := Slot{id: slotID, run: r, w: w}
+		r.engine.Execute(&s, t.f)
+	}()
 	r.release()
 	r.retire(1)
 	if r.isStopped() {
 		x.purgeRun(r)
 	}
+}
+
+// splitGuard calls the engine's Split hook, containing a panic: on recovery
+// the run is latched, the victim's frame is left queued (it purges at its
+// next claim), and panicked is reported so the caller abandons the steal.
+// The caller holds d's lock; the guard releases it on the panic path — an
+// unwind holding a deque mutex would deadlock every future steal and push on
+// that deque, pool-wide.
+func splitGuard(r *Run, d *frameQueue, thief int, f any) (g any, panicked bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.notePanic(v, debug.Stack())
+			d.mu.Unlock()
+			g, panicked = nil, true
+		}
+	}()
+	return r.engine.Split(thief, f), false
+}
+
+// noteStealGuard calls the engine's NoteSteal hook, containing a panic by
+// latching it against the run. NoteSteal is pure accounting, so the steal
+// itself still succeeds; the stolen frames purge when claimed.
+func noteStealGuard(r *Run, thief int) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.notePanic(v, debug.Stack())
+		}
+	}()
+	r.engine.NoteSteal(thief)
 }
 
 // purgeRun drops every queued frame of a stopped run — inbox, all worker
@@ -465,6 +526,7 @@ func (w *worker) stealFrom(v *worker) (tagged, bool) {
 	if d.n.Load() == 0 {
 		return tagged{}, false
 	}
+	faultinject.Fire(faultinject.DelaySteal)
 	d.mu.Lock()
 	k := len(d.items)
 	switch {
@@ -478,7 +540,13 @@ func (w *worker) stealFrom(v *worker) (tagged, bool) {
 			d.mu.Unlock()
 			return tagged{}, false
 		}
-		if g := r.engine.Split(w.id, t.f); g != nil {
+		g, panicked := splitGuard(r, d, w.id, t.f)
+		if panicked {
+			// splitGuard already unlocked; the victim frame stays queued and
+			// purges at its next claim now that the run is latched.
+			return tagged{}, false
+		}
+		if g != nil {
 			// Count the minted frame before releasing the lock: while the lock
 			// pins the narrowed victim frame in the deque, live stays ≥ 1, so
 			// the run cannot be observed complete with the split half still
@@ -492,7 +560,7 @@ func (w *worker) stealFrom(v *worker) (tagged, bool) {
 		d.items = d.items[:0]
 		d.n.Store(0)
 		d.mu.Unlock()
-		r.engine.NoteSteal(w.id)
+		noteStealGuard(r, w.id)
 		return t, true
 	default:
 		h := k / 2
@@ -509,7 +577,7 @@ func (w *worker) stealFrom(v *worker) (tagged, bool) {
 		for _, t := range stolen {
 			if t.run != noted {
 				noted = t.run
-				noted.engine.NoteSteal(w.id)
+				noteStealGuard(noted, w.id)
 			}
 		}
 		for _, t := range stolen[:h-1] {

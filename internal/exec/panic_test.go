@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// poisonEngine sums spans like sumEngine but panics when it claims a frame
+// containing the poison element — the stand-in for a visitor or engine bug.
+type poisonEngine struct {
+	sumEngine
+	poison int
+}
+
+func (e *poisonEngine) Execute(s *Slot, f any) {
+	fr := f.(*span)
+	if fr.next <= e.poison && e.poison < fr.end {
+		panic("poison")
+	}
+	e.sumEngine.Execute(s, f)
+}
+
+// queuesDrained asserts no frame is left behind in the inbox or any deque
+// after every run completed — conservation on the unwind path.
+func queuesDrained(t *testing.T, x *Executor) {
+	t.Helper()
+	if n := x.inbox.n.Load(); n != 0 {
+		t.Fatalf("%d frames left in the inbox", n)
+	}
+	for _, w := range x.workers {
+		if n := w.deque.n.Load(); n != 0 {
+			t.Fatalf("%d frames left in worker %d's deque", n, w.id)
+		}
+	}
+}
+
+// TestPanicContainedToOwningRun: a panicking frame terminates only its own
+// run — Done still closes, the panic is latched and reported through OnPanic
+// exactly once — while concurrent runs on the same workers stay exact, and
+// the pool keeps serving new runs afterwards.
+func TestPanicContainedToOwningRun(t *testing.T) {
+	x := New(4)
+	defer x.Close()
+
+	const goodRuns = 6
+	var wg sync.WaitGroup
+	sums := make([]int64, goodRuns)
+	engines := make([]*sumEngine, goodRuns)
+	for i := 0; i < goodRuns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := newSumEngine(x, true)
+			engines[i] = e
+			r := x.Submit(e, RunOpts{}, &span{0, 2000 + 31*i})
+			r.Wait(nil, nil)
+			sums[i], _, _, _ = e.totals()
+		}(i)
+	}
+
+	bad := &poisonEngine{sumEngine: *newSumEngine(x, true), poison: 500}
+	var hooks atomic.Int64
+	roots := []any{&span{0, 1000}, &span{1000, 2000}, &span{2000, 3000}}
+	r := x.Submit(bad, RunOpts{
+		OnPanic: func(value any, stack []byte) {
+			hooks.Add(1)
+			if value != "poison" {
+				t.Errorf("OnPanic value = %v", value)
+			}
+			if len(stack) == 0 {
+				t.Error("OnPanic got an empty stack")
+			}
+		},
+	}, roots...)
+	r.Wait(nil, nil)
+	select {
+	case <-r.Done():
+	default:
+		t.Fatal("panicked run never completed")
+	}
+	if v, _, ok := r.PanicInfo(); !ok || v != "poison" {
+		t.Fatalf("PanicInfo = (%v, %v), want the poison value", v, ok)
+	}
+	if h := hooks.Load(); h != 1 {
+		t.Fatalf("OnPanic fired %d times, want exactly 1", h)
+	}
+
+	wg.Wait()
+	for i, e := range engines {
+		want := rangeSum(2000 + 31*i)
+		if sums[i] != want {
+			t.Fatalf("concurrent run %d perturbed by the panic: sum = %d, want %d", i, sums[i], want)
+		}
+		_ = e
+	}
+	queuesDrained(t, x)
+
+	// The pool survives: a fresh run on the same executor is exact.
+	after := newSumEngine(x, false)
+	ar := x.Submit(after, RunOpts{}, &span{0, 3000})
+	ar.Wait(nil, nil)
+	if sum, _, _, _ := after.totals(); sum != rangeSum(3000) {
+		t.Fatalf("post-panic run: sum = %d, want %d", sum, rangeSum(3000))
+	}
+}
+
+// TestConcurrentPanicsLatchOnce: when several frames of one run panic
+// concurrently, exactly one cause wins the latch and OnPanic fires once.
+func TestConcurrentPanicsLatchOnce(t *testing.T) {
+	x := New(8)
+	defer x.Close()
+	var hooks atomic.Int64
+	for round := 0; round < 20; round++ {
+		e := &allPanicEngine{}
+		roots := make([]any, 8)
+		for i := range roots {
+			roots[i] = &span{i, i + 1}
+		}
+		r := x.Submit(e, RunOpts{OnPanic: func(any, []byte) { hooks.Add(1) }}, roots...)
+		r.Wait(nil, nil)
+		if _, _, ok := r.PanicInfo(); !ok {
+			t.Fatalf("round %d: no panic latched", round)
+		}
+		if h := hooks.Load(); h != int64(round)+1 {
+			t.Fatalf("round %d: OnPanic fired %d times total, want %d", round, h, round+1)
+		}
+	}
+	queuesDrained(t, x)
+}
+
+type allPanicEngine struct{}
+
+func (e *allPanicEngine) Execute(s *Slot, f any) { panic("every frame fails") }
+func (e *allPanicEngine) Split(int, any) any     { return nil }
+func (e *allPanicEngine) NoteSteal(int)          {}
+
+// splitPanicEngine executes like sumEngine but panics inside Split — the
+// hook called under the victim's deque lock. The guard must release that
+// lock on the unwind, or every later push/steal on the deque deadlocks.
+type splitPanicEngine struct {
+	sumEngine
+	splitCalls atomic.Int64
+}
+
+func (e *splitPanicEngine) Split(thief int, f any) any {
+	e.splitCalls.Add(1)
+	panic("split bomb")
+}
+
+// TestPanicInSplitReleasesDequeLock: rounds of steal-heavy runs with a
+// panicking Split hook. Every round must complete (the deque mutex is
+// released on the panic path — a leak would wedge the pool within a round
+// or two), and across the rounds Split must actually have been reached.
+func TestPanicInSplitReleasesDequeLock(t *testing.T) {
+	x := New(8)
+	defer x.Close()
+	var splits int64
+	for round := 0; round < 12; round++ {
+		e := &splitPanicEngine{sumEngine: *newSumEngine(x, true)}
+		r := x.Submit(e, RunOpts{}, &span{0, 4000})
+		r.Wait(nil, nil)
+		select {
+		case <-r.Done():
+		default:
+			t.Fatalf("round %d: run with panicking Split never completed", round)
+		}
+		if e.splitCalls.Load() > 0 {
+			splits++
+			if _, _, ok := r.PanicInfo(); !ok {
+				t.Fatalf("round %d: Split panicked but nothing latched", round)
+			}
+		}
+	}
+	if splits == 0 {
+		t.Fatal("no round reached the Split hook; the lock-release path went unexercised")
+	}
+	queuesDrained(t, x)
+	// The deques are provably unlocked: a full run still completes.
+	after := newSumEngine(x, true)
+	ar := x.Submit(after, RunOpts{}, &span{0, 3000})
+	ar.Wait(nil, nil)
+	if sum, _, _, _ := after.totals(); sum != rangeSum(3000) {
+		t.Fatalf("post-split-panic run: sum = %d, want %d", sum, rangeSum(3000))
+	}
+}
+
+// stealPanicEngine panics in NoteSteal (pure accounting); the steal itself
+// must still succeed and the run must still terminate.
+type stealPanicEngine struct {
+	sumEngine
+	noteCalls atomic.Int64
+}
+
+func (e *stealPanicEngine) Split(int, any) any { return nil } // force wholesale steals
+func (e *stealPanicEngine) NoteSteal(thief int) {
+	e.noteCalls.Add(1)
+	panic("steal-accounting bomb")
+}
+
+// TestPanicInNoteStealContained: a NoteSteal panic latches the run without
+// wedging the thief or leaking the stolen frame.
+func TestPanicInNoteStealContained(t *testing.T) {
+	x := New(8)
+	defer x.Close()
+	var notes int64
+	for round := 0; round < 12; round++ {
+		e := &stealPanicEngine{sumEngine: *newSumEngine(x, true)}
+		r := x.Submit(e, RunOpts{}, &span{0, 4000})
+		r.Wait(nil, nil)
+		select {
+		case <-r.Done():
+		default:
+			t.Fatalf("round %d: run with panicking NoteSteal never completed", round)
+		}
+		if e.noteCalls.Load() > 0 {
+			notes++
+			if _, _, ok := r.PanicInfo(); !ok {
+				t.Fatalf("round %d: NoteSteal panicked but nothing latched", round)
+			}
+		}
+	}
+	if notes == 0 {
+		t.Fatal("no round reached the NoteSteal hook")
+	}
+	queuesDrained(t, x)
+}

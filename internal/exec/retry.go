@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy retries ErrAdmission rejections with jittered exponential
+// backoff before surfacing the rejection to the caller. The zero value (and
+// any MaxAttempts < 2) disables retrying: one attempt, no sleeping.
+//
+// Attempt n (n ≥ 1) sleeps delay_n before re-admitting, where the undithered
+// delay doubles from BaseDelay and saturates at MaxDelay, and Jitter ∈ [0, 1]
+// subtracts a uniform share of the span above BaseDelay:
+//
+//	d       = min(MaxDelay, BaseDelay · 2^(n-1))
+//	delay_n = d − Jitter · U[0,1) · (d − BaseDelay)
+//
+// Jitter pulls delays downward only, so every delay stays within
+// [BaseDelay, MaxDelay] — full-deterministic at Jitter 0, decorrelated across
+// competing clients at Jitter 1. Context cancellation always wins over a
+// pending backoff sleep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of admission attempts (the first try
+	// included). Values < 2 mean no retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff sleep; non-positive values fall back to
+	// 1ms. It is also the floor every jittered delay respects.
+	BaseDelay time.Duration
+	// MaxDelay saturates the exponential doubling; values below BaseDelay
+	// (zero included) mean "BaseDelay" — constant backoff.
+	MaxDelay time.Duration
+	// Jitter in [0, 1] scales the random downward dithering; values outside
+	// the range are clamped.
+	Jitter float64
+}
+
+// enabled reports whether the policy asks for any retrying at all.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// delay computes the backoff before retry attempt n (1-based), using u ∈
+// [0, 1) as the jitter draw. Clamping lives here rather than in a validation
+// step so every policy value — fuzzer-generated ones included — yields a
+// delay inside [BaseDelay, MaxDelay].
+func (p RetryPolicy) delay(n int, u float64) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := p.MaxDelay
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		if d >= max/2 {
+			// Doubling once more would pass (or overflow past) the cap.
+			d = max
+			break
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// The !(x >= 0) form also catches NaN, which would otherwise slip through
+	// both comparisons and poison the duration arithmetic.
+	j := p.Jitter
+	if !(j >= 0) {
+		j = 0
+	} else if j > 1 {
+		j = 1
+	}
+	if !(u >= 0) {
+		u = 0
+	} else if u >= 1 {
+		// Keep the draw strictly below 1 so a full-jitter delay still sits
+		// fractionally above BaseDelay rather than rounding under it.
+		u = 1 - 1e-9
+	}
+	return d - time.Duration(j*u*float64(d-base))
+}
+
+// sleepCtx sleeps for d or until ctx fires, whichever comes first, returning
+// the context error on cancellation. An already-fired context wins even over
+// a zero (or sub-scheduler-tick) delay — without the priority check, select
+// would choose randomly between an expired timer and a closed Done channel.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
+
+// run drives the retry loop over an abstract admit attempt; factored out of
+// AdmitWithRetry so the fuzz harness can substitute scripted rejection
+// sequences, a recording sleeper, and a deterministic jitter source. Only
+// ErrAdmission outcomes retry; attempts reports how many admit calls ran.
+func (p RetryPolicy) run(
+	ctx context.Context,
+	admit func() (func(), error),
+	sleep func(context.Context, time.Duration) error,
+	jitter func() float64,
+) (release func(), attempts int, err error) {
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for n := 1; ; n++ {
+		release, err = admit()
+		attempts = n
+		if err == nil || !errors.Is(err, ErrAdmission) || n >= maxAttempts {
+			return release, attempts, err
+		}
+		if serr := sleep(ctx, p.delay(n, jitter())); serr != nil {
+			return nil, attempts, fmt.Errorf("exec: admission retry aborted: %w", serr)
+		}
+	}
+}
+
+// AdmitWithRetry is Admit with a retry policy: ErrAdmission rejections back
+// off and re-enter admission up to p.MaxAttempts times. Exhaustion returns
+// the last rejection (still matching ErrAdmission); context cancellation
+// during a backoff sleep returns the wrapped context error. A disabled
+// policy is exactly Admit.
+func (x *Executor) AdmitWithRetry(ctx context.Context, tenant string, budget int64, p RetryPolicy) (func(), error) {
+	if !p.enabled() {
+		return x.Admit(ctx, tenant, budget)
+	}
+	release, attempts, err := p.run(ctx,
+		func() (func(), error) { return x.Admit(ctx, tenant, budget) },
+		sleepCtx,
+		rand.Float64,
+	)
+	if attempts > 1 {
+		x.amu.Lock()
+		x.retried += int64(attempts - 1)
+		if err != nil && errors.Is(err, ErrAdmission) {
+			x.retryExhausted++
+		}
+		x.amu.Unlock()
+	}
+	if err != nil && errors.Is(err, ErrAdmission) {
+		return nil, fmt.Errorf("exec: admission retry exhausted after %d attempts: %w", attempts, err)
+	}
+	return release, err
+}

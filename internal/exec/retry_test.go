@@ -1,0 +1,343 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// effectiveBounds mirrors delay()'s clamping contract: the floor every
+// jittered delay respects and the cap the doubling saturates at.
+func effectiveBounds(p RetryPolicy) (base, max time.Duration) {
+	base = p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max = p.MaxDelay
+	if max < base {
+		max = base
+	}
+	return base, max
+}
+
+func TestRetryPolicyDelayBounds(t *testing.T) {
+	policies := []RetryPolicy{
+		{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: 0},
+		{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: 1},
+		{MaxAttempts: 5, BaseDelay: 0, MaxDelay: 0, Jitter: 0.5},                      // defaults kick in
+		{MaxAttempts: 5, BaseDelay: 4 * time.Millisecond, MaxDelay: time.Millisecond}, // max below base: constant
+		{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: -3},                     // jitter clamped up
+		{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: 7},                      // jitter clamped down
+		{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: math.NaN()},             // NaN neutralized
+		{MaxAttempts: 64, BaseDelay: time.Hour, MaxDelay: 24 * time.Hour},             // overflow guard
+	}
+	for pi, p := range policies {
+		base, max := effectiveBounds(p)
+		for n := 1; n <= 70; n++ {
+			for _, u := range []float64{0, 0.5, 0.999, 1, 2, -1, math.NaN()} {
+				d := p.delay(n, u)
+				if d < base || d > max {
+					t.Fatalf("policy %d: delay(%d, %v) = %v outside [%v, %v]", pi, n, u, d, base, max)
+				}
+			}
+		}
+	}
+	// Jitter 0 is fully deterministic: exact doubling until saturation.
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	for n, want := range map[int]time.Duration{
+		1: time.Millisecond, 2: 2 * time.Millisecond, 3: 4 * time.Millisecond,
+		4: 8 * time.Millisecond, 5: 10 * time.Millisecond, 6: 10 * time.Millisecond,
+	} {
+		if d := p.delay(n, 0.99); d != want {
+			t.Fatalf("undithered delay(%d) = %v, want %v", n, d, want)
+		}
+	}
+}
+
+// scriptedAdmit returns an admit func failing with ErrAdmission the first
+// `failures` times, then granting.
+func scriptedAdmit(failures int, calls *int) func() (func(), error) {
+	return func() (func(), error) {
+		*calls++
+		if *calls <= failures {
+			return nil, fmt.Errorf("scripted: %w", ErrAdmission)
+		}
+		return noopRelease, nil
+	}
+}
+
+func TestRetryPolicyRunScripted(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	var slept []time.Duration
+	record := func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }
+	zero := func() float64 { return 0 }
+
+	// Success on the third attempt: two backoff sleeps, exact doubling.
+	calls := 0
+	release, attempts, err := p.run(context.Background(), scriptedAdmit(2, &calls), record, zero)
+	if err != nil || release == nil || attempts != 3 {
+		t.Fatalf("run = (release=%v, attempts=%d, err=%v)", release != nil, attempts, err)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("sleeps = %v, want [1ms 2ms]", slept)
+	}
+
+	// Exhaustion: MaxAttempts admits, MaxAttempts-1 sleeps, ErrAdmission out.
+	slept, calls = nil, 0
+	_, attempts, err = p.run(context.Background(), scriptedAdmit(99, &calls), record, zero)
+	if !errors.Is(err, ErrAdmission) || attempts != 4 || calls != 4 || len(slept) != 3 {
+		t.Fatalf("exhaustion: attempts=%d calls=%d sleeps=%v err=%v", attempts, calls, slept, err)
+	}
+
+	// A non-admission error never retries.
+	boom := errors.New("boom")
+	_, attempts, err = p.run(context.Background(),
+		func() (func(), error) { return nil, boom }, record, zero)
+	if !errors.Is(err, boom) || attempts != 1 {
+		t.Fatalf("non-admission error retried: attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestRetryContextCancelWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour} // a real sleep would hang the test
+	calls := 0
+	_, attempts, err := p.run(ctx, scriptedAdmit(99, &calls), sleepCtx, func() float64 { return 0 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrAdmission) {
+		t.Fatal("a context abort must not read as an admission rejection")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancel fires during the first backoff)", attempts)
+	}
+}
+
+func TestAdmitWithRetryExhaustionCounters(t *testing.T) {
+	x := New(1)
+	defer x.Close()
+	x.SetLimits("t", Limits{MaxInFlight: 1})
+	release, err := x.Admit(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond}
+	_, err = x.AdmitWithRetry(context.Background(), "t", 0, p)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("exhausted retry err = %v, want ErrAdmission", err)
+	}
+	s := x.AdmissionStats()
+	if s.Retried != 2 || s.RetryExhausted != 1 {
+		t.Fatalf("stats after exhaustion: Retried=%d RetryExhausted=%d, want 2 and 1", s.Retried, s.RetryExhausted)
+	}
+	if s.Rejected != 3 || s.RejectedInFlight != 3 {
+		t.Fatalf("each attempt is a counted rejection: %+v", s)
+	}
+	release()
+
+	// With capacity freed mid-backoff the retry succeeds and no exhaustion
+	// is recorded.
+	release2, err := x.AdmitWithRetry(context.Background(), "t", 0,
+		RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("retry after release: %v", err)
+	}
+	release2()
+	s = x.AdmissionStats()
+	if s.RetryExhausted != 1 {
+		t.Fatalf("successful immediate admit bumped RetryExhausted: %+v", s)
+	}
+
+	// A disabled policy is exactly Admit: no retry accounting.
+	release3, err := x.AdmitWithRetry(context.Background(), "t", 0, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release3()
+	if s2 := x.AdmissionStats(); s2.Retried != s.Retried {
+		t.Fatalf("disabled policy touched retry counters: %+v", s2)
+	}
+}
+
+// TestAdmissionRejectionReasons is the table-driven breakdown test: each
+// scenario provokes exactly one rejection and must attribute it to the right
+// cause, with the three reason counters always summing to Rejected.
+func TestAdmissionRejectionReasons(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name                    string
+		limits                  Limits
+		scenario                func(t *testing.T, x *Executor)
+		budget, queue, inflight int64
+	}{
+		{
+			name:   "single budget above cap",
+			limits: Limits{MaxBudget: 10},
+			scenario: func(t *testing.T, x *Executor) {
+				if _, err := x.Admit(ctx, "t", 20); !errors.Is(err, ErrAdmission) {
+					t.Fatalf("err = %v", err)
+				}
+			},
+			budget: 1,
+		},
+		{
+			name:   "in-flight cap, queueing disabled",
+			limits: Limits{MaxInFlight: 1},
+			scenario: func(t *testing.T, x *Executor) {
+				release, err := x.Admit(ctx, "t", 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer release()
+				if _, err := x.Admit(ctx, "t", 0); !errors.Is(err, ErrAdmission) {
+					t.Fatalf("err = %v", err)
+				}
+			},
+			inflight: 1,
+		},
+		{
+			name:   "aggregate budget pressure, queueing disabled",
+			limits: Limits{MaxBudget: 10},
+			scenario: func(t *testing.T, x *Executor) {
+				release, err := x.Admit(ctx, "t", 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer release()
+				if _, err := x.Admit(ctx, "t", 6); !errors.Is(err, ErrAdmission) {
+					t.Fatalf("err = %v", err)
+				}
+			},
+			budget: 1,
+		},
+		{
+			name:   "queue full",
+			limits: Limits{MaxInFlight: 1, MaxQueued: 1},
+			scenario: func(t *testing.T, x *Executor) {
+				release, err := x.Admit(ctx, "t", 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer release()
+				qctx, qcancel := context.WithCancel(ctx)
+				defer qcancel()
+				queued := make(chan struct{})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					close(queued)
+					if rel, err := x.Admit(qctx, "t", 0); err == nil {
+						rel()
+					}
+				}()
+				<-queued
+				// Wait for the goroutine to actually occupy the queue slot.
+				for {
+					if s := x.AdmissionStats(); s.Queued == 1 {
+						break
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				if _, err := x.Admit(ctx, "t", 0); !errors.Is(err, ErrAdmission) {
+					t.Fatalf("err = %v", err)
+				}
+				qcancel()
+				<-done
+			},
+			queue: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := New(1)
+			defer x.Close()
+			x.SetLimits("t", tc.limits)
+			tc.scenario(t, x)
+			s := x.AdmissionStats()
+			if s.RejectedBudget != tc.budget || s.RejectedQueue != tc.queue || s.RejectedInFlight != tc.inflight {
+				t.Fatalf("breakdown = budget:%d queue:%d inflight:%d, want %d/%d/%d",
+					s.RejectedBudget, s.RejectedQueue, s.RejectedInFlight, tc.budget, tc.queue, tc.inflight)
+			}
+			if s.RejectedBudget+s.RejectedQueue+s.RejectedInFlight != s.Rejected {
+				t.Fatalf("reason counters do not sum to Rejected: %+v", s)
+			}
+		})
+	}
+}
+
+// FuzzRetryPolicy feeds arbitrary policies and rejection sequences through
+// the retry loop with a recording sleeper: every delay must respect the
+// policy's effective bounds, attempts must never exceed MaxAttempts, and a
+// canceled context must always win over further retries.
+func FuzzRetryPolicy(f *testing.F) {
+	f.Add(3, int64(time.Millisecond), int64(time.Second), 0.5, uint8(2))
+	f.Add(1, int64(0), int64(0), 0.0, uint8(0))
+	f.Add(64, int64(time.Hour), int64(24*time.Hour), 1.0, uint8(255))
+	f.Add(-5, int64(-1), int64(-1), math.NaN(), uint8(7))
+	f.Fuzz(func(t *testing.T, maxAttempts int, baseNs, maxNs int64, jitter float64, failures uint8) {
+		if maxAttempts > 256 {
+			maxAttempts = 256 // keep the loop bounded; larger values add nothing
+		}
+		p := RetryPolicy{
+			MaxAttempts: maxAttempts,
+			BaseDelay:   time.Duration(baseNs),
+			MaxDelay:    time.Duration(maxNs),
+			Jitter:      jitter,
+		}
+		base, max := effectiveBounds(p)
+		wantAttempts := maxAttempts
+		if wantAttempts < 1 {
+			wantAttempts = 1
+		}
+
+		var slept []time.Duration
+		record := func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }
+		draws := []float64{0, 0.3, 0.9999, 1, -2, math.NaN()}
+		di := 0
+		jitterDraw := func() float64 { u := draws[di%len(draws)]; di++; return u }
+
+		calls := 0
+		release, attempts, err := p.run(context.Background(), scriptedAdmit(int(failures), &calls), record, jitterDraw)
+		if attempts != calls {
+			t.Fatalf("attempts %d != admit calls %d", attempts, calls)
+		}
+		if attempts > wantAttempts {
+			t.Fatalf("attempts %d exceed MaxAttempts %d", attempts, wantAttempts)
+		}
+		if len(slept) != attempts-1 {
+			t.Fatalf("%d sleeps for %d attempts", len(slept), attempts)
+		}
+		for i, d := range slept {
+			if d < base || d > max {
+				t.Fatalf("sleep %d = %v outside [%v, %v] (policy %+v)", i, d, base, max, p)
+			}
+		}
+		if int(failures) < wantAttempts {
+			if err != nil || release == nil {
+				t.Fatalf("recoverable sequence (%d failures, %d attempts allowed) failed: %v", failures, wantAttempts, err)
+			}
+		} else if !errors.Is(err, ErrAdmission) {
+			t.Fatalf("exhausted sequence returned %v, want ErrAdmission", err)
+		}
+
+		// Context cancel always wins: with a pre-canceled context, the first
+		// needed backoff aborts with the context error, never ErrAdmission.
+		if failures > 0 && wantAttempts > 1 {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			calls = 0
+			_, attempts, err := p.run(ctx, scriptedAdmit(int(failures), &calls), sleepCtx, jitterDraw)
+			if attempts != 1 {
+				t.Fatalf("canceled context allowed %d attempts", attempts)
+			}
+			if !errors.Is(err, context.Canceled) || errors.Is(err, ErrAdmission) {
+				t.Fatalf("canceled context: err = %v", err)
+			}
+		}
+	})
+}

@@ -35,12 +35,51 @@ type Run struct {
 	helping      atomic.Bool
 	helperParked atomic.Bool
 	wakeCh       chan struct{}
+
+	// panicp latches the first panic recovered while executing this run's
+	// frames (first caller wins); once set, the run reads as stopped and its
+	// remaining frames purge instead of executing. onPanic (from
+	// RunOpts.OnPanic) is invoked exactly once, by the latch winner.
+	panicp  atomic.Pointer[panicInfo]
+	onPanic func(value any, stack []byte)
+}
+
+// panicInfo is one recovered panic: the value and the stack captured at the
+// recovery point.
+type panicInfo struct {
+	value any
+	stack []byte
+}
+
+// notePanic latches a recovered panic against the run. The first caller wins
+// and fires the run's OnPanic hook; later panics of the same run (concurrent
+// frames can fail independently) are dropped — one cause per run.
+func (r *Run) notePanic(value any, stack []byte) {
+	info := &panicInfo{value: value, stack: stack}
+	if !r.panicp.CompareAndSwap(nil, info) {
+		return
+	}
+	if r.onPanic != nil {
+		r.onPanic(value, stack)
+	}
+}
+
+// PanicInfo returns the latched panic value and stack, or ok == false when no
+// frame of the run panicked.
+func (r *Run) PanicInfo() (value any, stack []byte, ok bool) {
+	p := r.panicp.Load()
+	if p == nil {
+		return nil, nil, false
+	}
+	return p.value, p.stack, true
 }
 
 // Done returns a channel closed when every frame of the run has retired.
 func (r *Run) Done() <-chan struct{} { return r.done }
 
-func (r *Run) isStopped() bool { return r.stop != nil && r.stop() }
+func (r *Run) isStopped() bool {
+	return r.panicp.Load() != nil || (r.stop != nil && r.stop())
+}
 
 func (r *Run) atCapacity() bool { return r.active.Load() >= r.maxPar }
 
@@ -138,7 +177,7 @@ func (r *Run) help() bool {
 	}
 	for _, w := range x.workers {
 		if t, ok := w.deque.takeRun(r); ok {
-			r.engine.NoteSteal(x.helperID())
+			noteStealGuard(r, x.helperID())
 			x.runFrame(nil, x.helperID(), t)
 			return true
 		}

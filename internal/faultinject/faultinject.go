@@ -1,0 +1,166 @@
+// Package faultinject provides deterministic, seedable fault injection for
+// the executor and the mining engines — the instrument behind the fault-storm
+// soak tests. Injection sites are compiled into the production binary (no
+// build tags: the tested code is the shipped code), but the disarmed fast
+// path is one atomic pointer load and a nil check, so leaving the hooks in
+// the hot paths costs nothing measurable.
+//
+// A test arms a Plan (per-site firing rates derived from one seed) with
+// Activate and restores the previous plan — normally nil — when done. Firing
+// is deterministic for a fixed seed and invocation interleaving: each site
+// keeps an atomic invocation counter, and an invocation fires iff a hash mix
+// of the seed, the site, and the counter value lands in the configured rate
+// window. Concurrency moves which goroutine draws which counter value, but
+// the multiset of fired invocations per site is a pure function of the seed
+// and the counts, which is what the storm's accounting assertions need.
+package faultinject
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Site names one injection point threaded through exec/core.
+type Site int
+
+const (
+	// PanicFrame panics at the top of a work-stealing frame execution —
+	// a stand-in for a latent kernel bug on a pool worker.
+	PanicFrame Site = iota
+	// PanicVisitor panics inside the clique emission path, immediately
+	// before the user visitor would run — a misbehaving callback.
+	PanicVisitor
+	// DelaySteal sleeps before a steal attempt locks the victim's deque,
+	// widening steal/abort race windows.
+	DelaySteal
+	// FailCheckout panics at a worker-clone pool checkout — a resource
+	// acquisition failing mid-run, before anything was checked out.
+	FailCheckout
+	// SlowPoll sleeps inside RunControl.Poll, starving the progress beacon
+	// (the deterministic stall-watchdog trigger).
+	SlowPoll
+
+	numSites
+)
+
+// String names the site for test diagnostics.
+func (s Site) String() string {
+	switch s {
+	case PanicFrame:
+		return "panic-frame"
+	case PanicVisitor:
+		return "panic-visitor"
+	case DelaySteal:
+		return "delay-steal"
+	case FailCheckout:
+		return "fail-checkout"
+	case SlowPoll:
+		return "slow-poll"
+	default:
+		return "unknown-site"
+	}
+}
+
+// InjectedPanic is the distinctive value injected panics carry, so tests can
+// tell an injected fault from a genuine bug escaping containment.
+type InjectedPanic struct {
+	Site Site
+}
+
+func (p InjectedPanic) Error() string { return "faultinject: injected panic at " + p.Site.String() }
+
+// site is one site's armed state inside a Plan.
+type site struct {
+	every int64         // fire every n-th hash window; 0 = disarmed
+	delay time.Duration // for the delay sites
+	calls atomic.Int64  // invocations seen
+	fired atomic.Int64  // invocations that fired
+}
+
+// Plan is one armed configuration: a seed plus per-site rates. Build it with
+// NewPlan, arm sites with Arm/ArmDelay, install it with Activate.
+type Plan struct {
+	seed  uint64
+	sites [numSites]site
+}
+
+// NewPlan creates a disarmed plan for the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{seed: uint64(seed)}
+}
+
+// Arm makes s fire roughly once per every invocations (deterministically in
+// the hash sense described in the package comment). every < 1 disarms.
+func (p *Plan) Arm(s Site, every int) *Plan {
+	if every < 1 {
+		every = 0
+	}
+	p.sites[s].every = int64(every)
+	return p
+}
+
+// ArmDelay arms a delay site (DelaySteal, SlowPoll) with the sleep applied
+// on each firing. Panic sites ignore the delay.
+func (p *Plan) ArmDelay(s Site, every int, d time.Duration) *Plan {
+	p.Arm(s, every)
+	p.sites[s].delay = d
+	return p
+}
+
+// Fired reports how many invocations of s fired under this plan.
+func (p *Plan) Fired(s Site) int64 { return p.sites[s].fired.Load() }
+
+// Calls reports how many invocations of s were observed under this plan.
+func (p *Plan) Calls(s Site) int64 { return p.sites[s].calls.Load() }
+
+// active is the process-wide armed plan; nil (the default) disarms every
+// site, reducing Fire to one atomic load.
+var active atomic.Pointer[Plan]
+
+// Activate installs p as the process-wide plan and returns a restore
+// function reinstating the previous one. Tests must not run concurrently
+// with other faultinject-using tests (the plan is global).
+func Activate(p *Plan) (restore func()) {
+	prev := active.Swap(p)
+	return func() { active.Swap(prev) }
+}
+
+// mix is a splitmix64-style finalizer: a cheap, well-distributed hash of the
+// (seed, site, counter) triple that decides whether an invocation fires.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fire is the injection hook compiled into the hot paths. Disarmed (the
+// production state) it is one atomic load and a nil check. Armed, it decides
+// deterministically whether this invocation fires: panic sites panic with an
+// InjectedPanic, delay sites sleep their configured duration.
+func Fire(s Site) {
+	p := active.Load()
+	if p == nil {
+		return
+	}
+	st := &p.sites[s]
+	every := st.every
+	if every == 0 {
+		return
+	}
+	n := st.calls.Add(1)
+	if mix(p.seed^uint64(s)<<32^uint64(n))%uint64(every) != 0 {
+		return
+	}
+	st.fired.Add(1)
+	switch s {
+	case DelaySteal, SlowPoll:
+		if st.delay > 0 {
+			time.Sleep(st.delay)
+		}
+	default:
+		panic(InjectedPanic{Site: s})
+	}
+}

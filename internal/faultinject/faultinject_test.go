@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisarmedFireIsNoop: with no active plan, Fire must do nothing — this is
+// the production fast path.
+func TestDisarmedFireIsNoop(t *testing.T) {
+	for s := Site(0); s < numSites; s++ {
+		Fire(s) // must not panic or sleep
+	}
+}
+
+// TestDeterministicFiring: the same seed and the same invocation count fire
+// the same multiset of invocations.
+func TestDeterministicFiring(t *testing.T) {
+	const calls = 10_000
+	run := func() int64 {
+		p := NewPlan(42).Arm(PanicFrame, 7)
+		restore := Activate(p)
+		defer restore()
+		for i := 0; i < calls; i++ {
+			func() {
+				defer func() { recover() }()
+				Fire(PanicFrame)
+			}()
+		}
+		return p.Fired(PanicFrame)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, same calls: fired %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatalf("rate 1/7 over %d calls fired nothing", calls)
+	}
+	// The hash-window rate should land in the right ballpark: 1/7 of 10k is
+	// ~1429; accept a generous ±50%.
+	if a < calls/14 || a > calls*3/14 {
+		t.Fatalf("fired %d of %d at rate 1/7 — far from expected ~%d", a, calls, calls/7)
+	}
+}
+
+// TestPanicCarriesInjectedPanic: armed panic sites panic with an
+// InjectedPanic naming the site.
+func TestPanicCarriesInjectedPanic(t *testing.T) {
+	p := NewPlan(1).Arm(PanicVisitor, 1)
+	restore := Activate(p)
+	defer restore()
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		for i := 0; i < 64; i++ { // rate 1/1 still hashes; a few tries guarantee a hit
+			Fire(PanicVisitor)
+		}
+	}()
+	ip, ok := got.(InjectedPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want InjectedPanic", got, got)
+	}
+	if ip.Site != PanicVisitor {
+		t.Fatalf("InjectedPanic.Site = %v, want %v", ip.Site, PanicVisitor)
+	}
+	var err error = ip
+	var as InjectedPanic
+	if err.Error() == "" || !errors.As(err, &as) || as.Site != PanicVisitor {
+		t.Fatalf("InjectedPanic should satisfy error and round-trip through errors.As")
+	}
+}
+
+// TestDelaySiteSleeps: delay sites sleep instead of panicking.
+func TestDelaySiteSleeps(t *testing.T) {
+	p := NewPlan(3).ArmDelay(SlowPoll, 1, 5*time.Millisecond)
+	restore := Activate(p)
+	defer restore()
+	start := time.Now()
+	fired := int64(0)
+	for i := 0; fired == 0 && i < 64; i++ {
+		Fire(SlowPoll)
+		fired = p.Fired(SlowPoll)
+	}
+	if fired == 0 {
+		t.Fatalf("SlowPoll at rate 1/1 never fired")
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("fired delay site returned after %v, want ≥ 5ms", elapsed)
+	}
+}
+
+// TestActivateRestores: restore reinstates the previous plan (normally nil).
+func TestActivateRestores(t *testing.T) {
+	p := NewPlan(9).Arm(PanicFrame, 1)
+	restore := Activate(p)
+	restore()
+	Fire(PanicFrame) // must be disarmed again
+	if active.Load() != nil {
+		t.Fatalf("restore did not reinstate nil plan")
+	}
+}
+
+// TestConcurrentFireAccounting: concurrent invocations keep calls and fired
+// consistent (race detector validates the memory model side).
+func TestConcurrentFireAccounting(t *testing.T) {
+	p := NewPlan(7).ArmDelay(DelaySteal, 5, 0)
+	restore := Activate(p)
+	defer restore()
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Fire(DelaySteal)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Calls(DelaySteal); got != goroutines*per {
+		t.Fatalf("Calls = %d, want %d", got, goroutines*per)
+	}
+	if f := p.Fired(DelaySteal); f <= 0 || f > goroutines*per {
+		t.Fatalf("Fired = %d out of range (0, %d]", f, goroutines*per)
+	}
+}

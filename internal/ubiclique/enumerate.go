@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/uncertain-graphs/mule/internal/core"
 )
@@ -33,6 +34,10 @@ type Config struct {
 	// expand before aborting with core.ErrBudget, charged in
 	// abortCheckInterval batches like the clique kernel's budget.
 	Budget int64
+	// Stall, when > 0, arms the stall watchdog: a run whose progress beacon
+	// (stamped by every run-control poll) does not advance for this long is
+	// aborted with an error wrapping core.ErrStalled.
+	Stall time.Duration
 	// CheckInvariants verifies the Lemma 6/7 analogues at every search node
 	// against from-scratch recomputation. Massively slow; test-only.
 	CheckInvariants bool
@@ -94,6 +99,7 @@ func EnumerateContext(ctx context.Context, g *Bipartite, alpha float64, visit Vi
 	if ctl.Poll(0) { // fail fast on an already-dead context
 		return stats, finish(ctl, &stats, false)
 	}
+	defer ctl.ArmStall(cfg.Stall)()
 
 	work := g
 	before := work.NumEdges()
@@ -133,6 +139,9 @@ func Validate(g *Bipartite, alpha float64, cfg Config) error {
 	}
 	if cfg.Budget < 0 {
 		return fmt.Errorf("ubiclique: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
+	}
+	if cfg.Stall < 0 {
+		return fmt.Errorf("ubiclique: negative Stall %v: %w", cfg.Stall, core.ErrConfig)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
@@ -28,6 +29,10 @@ type Config struct {
 	// O(d²) Poisson-binomial DPs that dominate the cost) the run may
 	// perform before aborting with core.ErrBudget.
 	Budget int64
+	// Stall, when > 0, arms the stall watchdog: a run whose progress beacon
+	// (stamped by every run-control poll) does not advance for this long is
+	// aborted with an error wrapping core.ErrStalled.
+	Stall time.Duration
 }
 
 // Stats reports the work performed by a core decomposition run.
@@ -168,6 +173,9 @@ func validateCoreArgs(g *uncertain.Graph, eta float64, cfg Config) error {
 	if cfg.Budget < 0 {
 		return fmt.Errorf("ucore: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
 	}
+	if cfg.Stall < 0 {
+		return fmt.Errorf("ucore: negative Stall %v: %w", cfg.Stall, core.ErrConfig)
+	}
 	return nil
 }
 
@@ -198,6 +206,7 @@ func RunContext(ctx context.Context, g *uncertain.Graph, eta float64, cfg Config
 	if ctl.Poll(0) { // fail fast on an already-dead context
 		return stats, finish(ctl, &stats, false)
 	}
+	defer ctl.ArmStall(cfg.Stall)()
 	n := g.NumVertices()
 	// Mutable adjacency probability lists.
 	p := &peeler{eta: eta, adj: make([]map[int32]float64, n), stats: &stats, ctl: ctl, tick: abortCheckInterval}

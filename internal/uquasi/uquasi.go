@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
@@ -54,6 +55,10 @@ type Config struct {
 	// Budget, when > 0, bounds the number of search-tree nodes the run may
 	// expand before aborting with core.ErrBudget.
 	Budget int64
+	// Stall, when > 0, arms the stall watchdog: a run whose progress beacon
+	// (stamped by every run-control poll) does not advance for this long is
+	// aborted with an error wrapping core.ErrStalled.
+	Stall time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +211,9 @@ func Validate(g *uncertain.Graph, cfg Config) error {
 	if cfg.Budget < 0 {
 		return fmt.Errorf("uquasi: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
 	}
+	if cfg.Stall < 0 {
+		return fmt.Errorf("uquasi: negative Stall %v: %w", cfg.Stall, core.ErrConfig)
+	}
 	return nil
 }
 
@@ -222,6 +230,7 @@ func CollectContext(ctx context.Context, g *uncertain.Graph, cfg Config) ([][]in
 	if ctl.Poll(0) { // fail fast on an already-dead context
 		return nil, stats, finish(ctl, &stats)
 	}
+	defer ctl.ArmStall(cfg.Stall)()
 	m := &miner{g: g, cfg: cfg, stats: &stats, ctl: ctl, tick: abortCheckInterval}
 	m.run()
 	if err := finish(ctl, &stats); err != nil {

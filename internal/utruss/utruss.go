@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/uncertain"
@@ -50,6 +51,10 @@ type Config struct {
 	// evaluations (the Poisson-binomial tail DPs that dominate the cost)
 	// the run may perform before aborting with core.ErrBudget.
 	Budget int64
+	// Stall, when > 0, arms the stall watchdog: a run whose progress beacon
+	// (stamped by every run-control poll) does not advance for this long is
+	// aborted with an error wrapping core.ErrStalled.
+	Stall time.Duration
 }
 
 // Stats reports the work performed by a truss computation.
@@ -292,6 +297,9 @@ func validateTrussArgs(g *uncertain.Graph, k int, eta float64, cfg Config) error
 	if cfg.Budget < 0 {
 		return fmt.Errorf("utruss: negative Budget %d: %w", cfg.Budget, core.ErrConfig)
 	}
+	if cfg.Stall < 0 {
+		return fmt.Errorf("utruss: negative Stall %v: %w", cfg.Stall, core.ErrConfig)
+	}
 	return nil
 }
 
@@ -327,6 +335,7 @@ func TrussContext(ctx context.Context, g *uncertain.Graph, k int, eta float64, c
 	if ctl.Poll(0) { // fail fast on an already-dead context
 		return nil, stats, finish(ctl, &stats, false)
 	}
+	defer ctl.ArmStall(cfg.Stall)()
 	s := newGraphState(g, &stats, ctl)
 	s.peel(k-2, eta)
 	if err := finish(ctl, &stats, false); err != nil {
@@ -366,6 +375,7 @@ func RunContext(ctx context.Context, g *uncertain.Graph, eta float64, cfg Config
 	if ctl.Poll(0) { // fail fast on an already-dead context
 		return stats, finish(ctl, &stats, false)
 	}
+	defer ctl.ArmStall(cfg.Stall)()
 	s := newGraphState(g, &stats, ctl)
 	// Peel level by level; each removed edge's truss number is final.
 	alive := len(s.alive)

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"runtime/debug"
 	"sort"
+	"time"
 
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/topk"
@@ -73,13 +75,16 @@ func kindName(k queryKind) string {
 type queryOptions struct {
 	cfg        core.Config // clique engine knobs, incl. shared Budget and MinSize
 	limit      int64
-	gamma      float64   // quasi: density threshold γ
-	maxSize    int       // quasi: search-depth cap
-	minL, minR int       // biclique: per-side minima
-	ex         *Executor // shared scheduling/admission domain (nil = default)
-	exSet      bool      // WithExecutor was passed (distinguishes explicit nil)
-	tenant     string    // admission-control tenant ID ("" = untenanted)
-	tenantSet  bool      // WithTenant was passed (distinguishes explicit "")
+	gamma      float64       // quasi: density threshold γ
+	maxSize    int           // quasi: search-depth cap
+	minL, minR int           // biclique: per-side minima
+	ex         *Executor     // shared scheduling/admission domain (nil = default)
+	exSet      bool          // WithExecutor was passed (distinguishes explicit nil)
+	tenant     string        // admission-control tenant ID ("" = untenanted)
+	tenantSet  bool          // WithTenant was passed (distinguishes explicit "")
+	stall      time.Duration // stall-watchdog window (0 = disarmed)
+	retry      RetryPolicy   // admission retry/backoff policy
+	retrySet   bool          // WithRetry was passed
 }
 
 // Option configures a prepared query. The same Option type serves every
@@ -180,6 +185,21 @@ func WithLimit(n int64) Option {
 // hence any time bound — is exponential in the worst case.
 func WithBudget(n int64) Option {
 	return Option{"WithBudget", kindAll, func(o *queryOptions) { o.cfg.Budget = n }}
+}
+
+// WithStallTimeout arms the stall watchdog: a run that makes no search
+// progress for d — no run-control poll and no result emission — is aborted
+// with an error wrapping ErrStalled and Stats.Status == StatusStalled.
+// Unlike a context deadline, which fires on wall clock no matter how much
+// work is getting done, the watchdog only fires on a run that has genuinely
+// wedged (a visitor callback blocked forever, a starved worker). The engines
+// cannot preempt a visitor that never returns — the abort latches and the
+// run unwinds at the next cooperative point. d = 0 (the default) disarms.
+func WithStallTimeout(d time.Duration) Option {
+	return Option{"WithStallTimeout", kindAll, func(o *queryOptions) {
+		o.stall = d
+		o.cfg.StallTimeout = d
+	}}
 }
 
 // WithIntersect selects the intersection kernel policy: IntersectAdaptive
@@ -453,6 +473,17 @@ func (q *Query) cliquesParallel(ctx context.Context) iter.Seq2[Clique, error] {
 			yield(Clique{}, err)
 		}
 	}
+}
+
+// panicToError converts a value recovered at a query-layer containment
+// boundary into the wrapped *PanicError the clique engines produce at
+// theirs, so every surface reports panics identically. A re-thrown
+// *PanicError (already converted below) passes through unchanged.
+func panicToError(v any) error {
+	if pe, ok := v.(*PanicError); ok {
+		return fmt.Errorf("mule: run aborted: %w", pe)
+	}
+	return fmt.Errorf("mule: run aborted: %w", core.NewPanicError(v, debug.Stack()))
 }
 
 // lexLess orders vertex sets lexicographically (canonical collection

@@ -53,9 +53,18 @@ func (e *Executor) Close() { e.x.Close() }
 type Limits = exec.Limits
 
 // AdmissionStats is a snapshot of an Executor's admission accounting:
-// admitted/rejected/queued counters plus per-tenant in-flight and high-water
-// marks. See Executor.AdmissionStats.
+// admitted/rejected/queued counters — rejections broken out by cause
+// (in-flight cap, full queue, budget cap) — retry accounting, and per-tenant
+// in-flight and high-water marks. See Executor.AdmissionStats.
 type AdmissionStats = exec.AdmissionStats
+
+// RetryPolicy retries admission rejections (ErrAdmission) with jittered
+// exponential backoff before surfacing them. Attempt n sleeps
+// min(MaxDelay, BaseDelay·2^(n−1)), dithered downward by Jitter ∈ [0, 1] —
+// every delay stays within [BaseDelay, MaxDelay] — and context cancellation
+// always wins over a pending sleep. The zero value (or MaxAttempts < 2)
+// disables retrying. Attach it to a query with WithRetry.
+type RetryPolicy = exec.RetryPolicy
 
 // SetTenantLimits installs per-tenant admission limits, replacing any
 // previous value for that tenant. Queries already queued for admission are
@@ -90,16 +99,31 @@ func WithTenant(id string) Option {
 	return Option{"WithTenant", kindAll, func(o *queryOptions) { o.tenant = id; o.tenantSet = true }}
 }
 
-// tenancy is the executor/tenant pair every prepared query embeds; the zero
-// value (no executor, no tenant) bypasses admission entirely.
+// WithRetry retries this query's admission rejections under p instead of
+// failing the run on the first ErrAdmission: each rejected attempt backs off
+// (jittered exponential, see RetryPolicy) and re-enters admission, up to
+// p.MaxAttempts total attempts. Exhaustion still surfaces a wrapped
+// ErrAdmission; a context fired during a backoff sleep surfaces the context
+// error. The constructor rejects malformed policies (negative fields, Jitter
+// outside [0, 1], MaxDelay below BaseDelay) with a wrapped ErrConfig. The
+// option only matters for queries subject to admission — one with neither
+// WithExecutor nor WithTenant never sees a rejection.
+func WithRetry(p RetryPolicy) Option {
+	return Option{"WithRetry", kindAll, func(o *queryOptions) { o.retry = p; o.retrySet = true }}
+}
+
+// tenancy is the executor/tenant/retry triple every prepared query embeds;
+// the zero value (no executor, no tenant) bypasses admission entirely.
 type tenancy struct {
 	ex     *Executor
 	tenant string
+	retry  RetryPolicy
 }
 
 // validateTenancy applies the constructor-time option contract shared by all
-// five query surfaces: WithExecutor(nil) and WithTenant("") are programming
-// errors reported eagerly, not silent no-ops at run time.
+// five query surfaces: WithExecutor(nil), WithTenant(""), and a malformed
+// WithRetry policy are programming errors reported eagerly, not silent
+// no-ops at run time.
 func (o *queryOptions) validateTenancy() (tenancy, error) {
 	if o.exSet && o.ex == nil {
 		return tenancy{}, fmt.Errorf("mule: WithExecutor(nil): %w", ErrConfig)
@@ -107,7 +131,25 @@ func (o *queryOptions) validateTenancy() (tenancy, error) {
 	if o.tenantSet && o.tenant == "" {
 		return tenancy{}, fmt.Errorf("mule: WithTenant(\"\") names the empty tenant: %w", ErrConfig)
 	}
-	return tenancy{ex: o.ex, tenant: o.tenant}, nil
+	if o.retrySet {
+		p := o.retry
+		if p.MaxAttempts < 0 {
+			return tenancy{}, fmt.Errorf("mule: WithRetry: negative MaxAttempts %d: %w", p.MaxAttempts, ErrConfig)
+		}
+		if p.BaseDelay < 0 {
+			return tenancy{}, fmt.Errorf("mule: WithRetry: negative BaseDelay %v: %w", p.BaseDelay, ErrConfig)
+		}
+		if p.MaxDelay < 0 {
+			return tenancy{}, fmt.Errorf("mule: WithRetry: negative MaxDelay %v: %w", p.MaxDelay, ErrConfig)
+		}
+		if p.MaxDelay > 0 && p.MaxDelay < p.BaseDelay {
+			return tenancy{}, fmt.Errorf("mule: WithRetry: MaxDelay %v below BaseDelay %v: %w", p.MaxDelay, p.BaseDelay, ErrConfig)
+		}
+		if p.Jitter < 0 || p.Jitter > 1 {
+			return tenancy{}, fmt.Errorf("mule: WithRetry: Jitter %v outside [0,1]: %w", p.Jitter, ErrConfig)
+		}
+	}
+	return tenancy{ex: o.ex, tenant: o.tenant, retry: o.retry}, nil
 }
 
 // engineExec returns the executor the core engines should submit frames to,
@@ -123,7 +165,8 @@ func (t tenancy) engineExec() *exec.Executor {
 // function to defer (never nil). Queries with neither an executor nor a
 // tenant skip admission at zero cost; a tenant without an executor is
 // accounted on the DefaultExecutor. On rejection the error wraps
-// ErrAdmission (or the context error, for cancel-while-queued).
+// ErrAdmission (or the context error, for cancel-while-queued); a WithRetry
+// policy retries rejections with backoff before giving up.
 func (t tenancy) admit(ctx context.Context, budget int64) (func(), error) {
 	if t.ex == nil && t.tenant == "" {
 		return func() {}, nil
@@ -132,7 +175,7 @@ func (t tenancy) admit(ctx context.Context, budget int64) (func(), error) {
 	if x == nil {
 		x = exec.Default()
 	}
-	release, err := x.Admit(ctx, t.tenant, budget)
+	release, err := x.AdmitWithRetry(ctx, t.tenant, budget, t.retry)
 	if err != nil {
 		return nil, fmt.Errorf("mule: %w", err)
 	}

@@ -15,6 +15,7 @@ import (
 
 	mule "github.com/uncertain-graphs/mule"
 	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/faultinject"
 	"github.com/uncertain-graphs/mule/internal/gen"
 )
 
@@ -98,6 +99,9 @@ func buildSoakBaselines(t *testing.T) []soakBaseline {
 // and, at the end: pooled-arena conservation (checkouts == returns), no
 // goroutine leaks after broken parallel streams, per-tenant peaks within
 // their caps, and zero rejections (the queue absorbs over-cap bursts).
+// Every seventh query is a panic-containment probe — a visitor that panics
+// mid-run — which must surface as a typed ErrPanic/StatusPanicked failure
+// confined to its own query.
 func TestExecutorSoak(t *testing.T) {
 	bases := buildSoakBaselines(t)
 
@@ -145,6 +149,19 @@ func TestExecutorSoak(t *testing.T) {
 				b := &bases[i%len(bases)]
 				tenant := mule.WithTenant("t" + strconv.Itoa(i%tenants))
 				var err error
+				if i%7 == 0 {
+					// Every seventh query is the panic-containment probe: a
+					// visitor that panics mid-run must fail with the typed
+					// sentinel while its neighbors stay exact.
+					if err = soakPanicProbe(ctx, b, mule.WithExecutor(ex), tenant); err != nil {
+						select {
+						case errc <- fmt.Errorf("query %d: %w", i, err):
+						default:
+						}
+						return
+					}
+					continue
+				}
 				switch i % 5 {
 				case 0: // serial clique query, admission-gated
 					err = soakCliqueCollect(ctx, b, mule.WithExecutor(ex), tenant)
@@ -278,6 +295,38 @@ func soakTruss(ctx context.Context, b *soakBaseline, opts ...mule.Option) error 
 	}
 	if !reflect.DeepEqual(got, b.truss) {
 		return fmt.Errorf("truss run diverged from baseline")
+	}
+	return nil
+}
+
+// soakPanicProbe runs a parallel clique query whose visitor panics on its
+// first emission and asserts the full containment contract: a wrapped
+// ErrPanic carrying a *PanicError with the panic value and a stack, and
+// StatusPanicked on the stats. Under an active fault-injection plan an
+// injected panic may win the first-cause latch instead, so the probe accepts
+// the injected marker value too — the sentinel contract is identical.
+func soakPanicProbe(ctx context.Context, b *soakBaseline, opts ...mule.Option) error {
+	opts = append(opts, mule.WithWorkers(4))
+	q, err := mule.NewQuery(b.g, b.alpha, opts...)
+	if err != nil {
+		return err
+	}
+	stats, err := q.Run(ctx, func([]int, float64) bool { panic("storm") })
+	if !errors.Is(err, mule.ErrPanic) {
+		return fmt.Errorf("panic probe: err = %v, want wrapped ErrPanic", err)
+	}
+	var pe *mule.PanicError
+	if !errors.As(err, &pe) {
+		return fmt.Errorf("panic probe: no *PanicError in %v", err)
+	}
+	if _, injected := pe.Value.(faultinject.InjectedPanic); !injected && pe.Value != "storm" {
+		return fmt.Errorf("panic probe: unexpected panic value %#v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		return fmt.Errorf("panic probe: empty stack capture")
+	}
+	if stats.Status != mule.StatusPanicked {
+		return fmt.Errorf("panic probe: status %v, want panicked", stats.Status)
 	}
 	return nil
 }

@@ -44,6 +44,22 @@ type admissionWaiter struct {
 	granted bool
 }
 
+// failQueuedAdmissions empties every tenant's admission queue at Close,
+// waking each waiter ungranted so its Admit call fails with ErrAdmission
+// instead of waiting for capacity that will never be released.
+func (x *Executor) failQueuedAdmissions() {
+	x.amu.Lock()
+	for _, ts := range x.tenants {
+		for _, w := range ts.queue {
+			x.rejected++
+			x.rejectedClosed++
+			close(w.ready)
+		}
+		ts.queue = nil
+	}
+	x.amu.Unlock()
+}
+
 // AdmissionStats is a snapshot of an executor's admission accounting.
 type AdmissionStats struct {
 	// Admitted counts queries that passed admission (immediately or after
@@ -54,8 +70,10 @@ type AdmissionStats struct {
 	// rejections (a single budget above MaxBudget, or aggregate-budget
 	// pressure with no queue); RejectedQueue counts full-queue rejections;
 	// RejectedInFlight counts in-flight-cap rejections with queueing
-	// disabled. The three sum to Rejected.
-	RejectedBudget, RejectedQueue, RejectedInFlight int64
+	// disabled; RejectedClosed counts waiters failed because the executor
+	// closed while they were queued (or tried to queue after Close). The
+	// four sum to Rejected.
+	RejectedBudget, RejectedQueue, RejectedInFlight, RejectedClosed int64
 	// Retried counts individual retry attempts made by AdmitWithRetry after
 	// a rejection; RetryExhausted counts calls that still ended in
 	// ErrAdmission after their policy's MaxAttempts.
@@ -205,6 +223,16 @@ func (x *Executor) Admit(ctx context.Context, tenant string, budget int64) (func
 		return nil, fmt.Errorf("exec: tenant %q: %d queries in flight and the admission queue is full: %w",
 			tenant, ts.inflight, ErrAdmission)
 	}
+	if x.closedFlag.Load() {
+		// The executor closed: nothing will ever release capacity to this
+		// queue, so joining it would wait forever. (Checked under amu, so
+		// this cannot race failQueuedAdmissions draining the queues.)
+		x.rejected++
+		x.rejectedClosed++
+		x.amu.Unlock()
+		return nil, fmt.Errorf("exec: tenant %q: executor closed, admission queue disabled: %w",
+			tenant, ErrAdmission)
+	}
 	w := &admissionWaiter{budget: budget, ready: make(chan struct{})}
 	ts.queue = append(ts.queue, w)
 	x.enqueued++
@@ -216,6 +244,11 @@ func (x *Executor) Admit(ctx context.Context, tenant string, budget int64) (func
 	}
 	select {
 	case <-w.ready:
+		if !w.granted {
+			// Woken by Close, not by a capacity release.
+			return nil, fmt.Errorf("exec: tenant %q: executor closed while queued for admission: %w",
+				tenant, ErrAdmission)
+		}
 		return x.releaser(tenant, budget), nil
 	case <-ctxDone:
 		x.amu.Lock()
@@ -247,6 +280,7 @@ func (x *Executor) AdmissionStats() AdmissionStats {
 		RejectedBudget:   x.rejectedBudget,
 		RejectedQueue:    x.rejectedQueue,
 		RejectedInFlight: x.rejectedInFlight,
+		RejectedClosed:   x.rejectedClosed,
 		Retried:          x.retried,
 		RetryExhausted:   x.retryExhausted,
 		InFlight:         make(map[string]int, len(x.tenants)),

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloseIdempotent pins the server-shutdown contract: Close may be called
+// any number of times, sequentially or concurrently, and every call returns
+// only after the pool has stopped.
+func TestCloseIdempotent(t *testing.T) {
+	x := New(4)
+	x.Close()
+	x.Close() // sequential double close
+
+	x = New(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x.Close() // concurrent closes
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloseFailsQueuedAdmissions pins the other half of the shutdown
+// contract: waiters parked in an admission queue when Close runs fail with
+// ErrAdmission instead of hanging on capacity that will never be released,
+// and post-close attempts to queue reject the same way.
+func TestCloseFailsQueuedAdmissions(t *testing.T) {
+	x := New(2)
+	x.SetLimits("t", Limits{MaxInFlight: 1, MaxQueued: 8})
+
+	release, err := x.Admit(context.Background(), "t", 0)
+	if err != nil {
+		t.Fatalf("first Admit: %v", err)
+	}
+
+	const waiters = 4
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := x.Admit(context.Background(), "t", 0)
+			errs <- err
+		}()
+	}
+	// Wait until all four are actually queued before closing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		x.amu.Lock()
+		queued := len(x.tenants["t"].queue)
+		x.amu.Unlock()
+		if queued == waiters {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters queued", queued, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	x.Close()
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrAdmission) {
+				t.Fatalf("queued waiter %d: got %v, want ErrAdmission", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("queued waiter %d still hanging after Close", i)
+		}
+	}
+
+	// Post-close: an over-cap query must reject immediately, never queue.
+	if _, err := x.Admit(context.Background(), "t", 0); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("post-close over-cap Admit: got %v, want ErrAdmission", err)
+	}
+	release() // releasing the pre-close grant after Close must not panic
+
+	s := x.AdmissionStats()
+	if s.RejectedClosed != waiters+1 {
+		t.Errorf("RejectedClosed = %d, want %d", s.RejectedClosed, waiters+1)
+	}
+	if got := s.RejectedBudget + s.RejectedQueue + s.RejectedInFlight + s.RejectedClosed; got != s.Rejected {
+		t.Errorf("rejection causes sum to %d, want Rejected = %d", got, s.Rejected)
+	}
+}

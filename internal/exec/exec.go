@@ -243,6 +243,7 @@ type Executor struct {
 	rejectedBudget   int64
 	rejectedQueue    int64
 	rejectedInFlight int64
+	rejectedClosed   int64
 	retried          int64
 	retryExhausted   int64
 }
@@ -299,11 +300,17 @@ func (x *Executor) helperID() int { return len(x.workers) }
 // Close stops the pool: workers finish their current frame and exit. Runs
 // still in flight are not abandoned — their Wait helpers keep executing
 // queued frames to completion — but no pool worker will pick up new work.
-// Close is idempotent. The process-wide Default executor is never closed.
+// Queries parked in an admission queue are failed with a wrapped
+// ErrAdmission rather than left waiting for capacity that will never free
+// up, and later attempts to queue reject the same way (immediate grants
+// still succeed — a run on a closed executor completes through its Wait
+// helper). Close is idempotent and safe to call concurrently; the
+// process-wide Default executor is never closed.
 func (x *Executor) Close() {
 	x.mu.Lock()
 	if x.closed {
 		x.mu.Unlock()
+		x.wg.Wait()
 		return
 	}
 	x.closed = true
@@ -311,6 +318,7 @@ func (x *Executor) Close() {
 	x.gen++
 	x.mu.Unlock()
 	x.cond.Broadcast()
+	x.failQueuedAdmissions()
 	x.wg.Wait()
 }
 

@@ -60,14 +60,22 @@ func SaveBipartiteFile(path string, g *ubiclique.Bipartite) error {
 }
 
 // LoadBipartiteFile reads an uncertain bipartite graph from path
-// (conventionally .ubg); gzip streams are decompressed transparently.
+// (conventionally .ubg); gzip streams are decompressed transparently. It is
+// a thin wrapper over LoadBipartite.
 func LoadBipartiteFile(path string) (*ubiclique.Bipartite, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	br := bufio.NewReader(f)
+	return LoadBipartite(f)
+}
+
+// LoadBipartite decodes an uncertain bipartite graph from r — an open file,
+// an HTTP request body, a bytes.Reader — decompressing gzip streams
+// transparently; no temporary file is involved.
+func LoadBipartite(r io.Reader) (*ubiclique.Bipartite, error) {
+	br := bufio.NewReader(r)
 	if head, err := br.Peek(2); err == nil && [2]byte(head) == gzipMagic {
 		zr, err := gzip.NewReader(br)
 		if err != nil {

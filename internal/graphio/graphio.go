@@ -233,18 +233,25 @@ var gzipMagic = [2]byte{0x1f, 0x8b}
 // LoadFile reads a graph from path. The format is sniffed from content, not
 // from the extension: gzip streams are decompressed, the "UGRF" magic
 // selects the binary decoder, a leading '{' the JSON decoder, and anything
-// else the text decoder.
+// else the text decoder. It is a thin wrapper over Load.
 func LoadFile(path string) (*uncertain.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadAny(f)
+	return Load(f)
+}
+
+// Load decodes a graph from r — an open file, an HTTP request body, a
+// bytes.Reader — sniffing gzip compression and the three formats exactly
+// like LoadFile; no temporary file is involved.
+func Load(r io.Reader) (*uncertain.Graph, error) {
+	return ReadAny(r)
 }
 
 // ReadAny decodes a graph from r, sniffing gzip compression and the three
-// formats as LoadFile does.
+// formats as LoadFile does. Load is the preferred name.
 func ReadAny(r io.Reader) (*uncertain.Graph, error) {
 	br := bufio.NewReader(r)
 	if head, err := br.Peek(2); err == nil && [2]byte(head) == gzipMagic {

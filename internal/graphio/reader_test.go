@@ -1,0 +1,113 @@
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+)
+
+// TestLoadFromReader pins the reader-based entry point the server uses to
+// ingest request bodies: Load must decode every format Load­File does, from a
+// plain in-memory reader, with and without gzip compression.
+func TestLoadFromReader(t *testing.T) {
+	g := randomGraph(20, 0.3, 7)
+
+	encoders := map[string]func(*testing.T) []byte{
+		"text": func(t *testing.T) []byte {
+			var buf bytes.Buffer
+			if err := WriteText(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+		"binary": func(t *testing.T) []byte {
+			var buf bytes.Buffer
+			if err := WriteBinary(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+		"json": func(t *testing.T) []byte {
+			var buf bytes.Buffer
+			if err := WriteJSON(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		},
+	}
+	for name, enc := range encoders {
+		t.Run(name, func(t *testing.T) {
+			raw := enc(t)
+			got, err := Load(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if !graphsEqual(g, got) {
+				t.Fatal("Load round trip mismatch")
+			}
+
+			var zbuf bytes.Buffer
+			zw := gzip.NewWriter(&zbuf)
+			if _, err := zw.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err = Load(bytes.NewReader(zbuf.Bytes()))
+			if err != nil {
+				t.Fatalf("Load(gzip): %v", err)
+			}
+			if !graphsEqual(g, got) {
+				t.Fatal("Load(gzip) round trip mismatch")
+			}
+		})
+	}
+}
+
+// TestLoadBipartiteFromReader is the bipartite analogue.
+func TestLoadBipartiteFromReader(t *testing.T) {
+	b := ubiclique.NewBuilder(3, 4)
+	for _, e := range []struct {
+		l, r int
+		p    float64
+	}{{0, 0, 0.5}, {0, 2, 0.75}, {1, 1, 1}, {2, 3, 0.25}} {
+		if err := b.AddEdge(e.l, e.r, e.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteBipartiteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	got, err := LoadBipartite(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("LoadBipartite: %v", err)
+	}
+	if got.NumLeft() != g.NumLeft() || got.NumRight() != g.NumRight() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: got %d/%d/%d, want %d/%d/%d",
+			got.NumLeft(), got.NumRight(), got.NumEdges(), g.NumLeft(), g.NumRight(), g.NumEdges())
+	}
+
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadBipartite(bytes.NewReader(zbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadBipartite(gzip): %v", err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("gzip round trip lost edges: got %d, want %d", got.NumEdges(), g.NumEdges())
+	}
+}

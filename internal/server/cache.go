@@ -1,0 +1,97 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// cachedResult is one finished query response body, stored by the exact
+// bytes of its results array so a repeat query is served byte-identical
+// without re-marshaling (let alone re-mining).
+type cachedResult struct {
+	Status    string
+	Truncated bool
+	Count     int64
+	Results   json.RawMessage
+	Stats     json.RawMessage
+}
+
+// resultCache is a size-bounded LRU over canonical cache keys. Keys embed
+// the snapshot epoch (see params.cacheKey), so an Apply that bumps a graph's
+// epoch invalidates every cached result for it implicitly: the new epoch
+// forms new keys, and the old entries age out of the LRU. Epochs come from a
+// server-wide monotonic counter and are never reused — a re-loaded graph can
+// never collide with a stale entry of its former self.
+type resultCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val cachedResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key and whether it was present,
+// promoting a hit to most-recently-used.
+func (c *resultCache) get(key string) (cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return cachedResult{}, false
+}
+
+// put inserts (or refreshes) key, evicting from the least-recently-used end
+// past capacity. A zero-capacity cache stores nothing.
+func (c *resultCache) put(key string, val cachedResult) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// cacheStats is the /stats view of the cache.
+type cacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap, Evictions: c.evictions}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	res := func(i int) cachedResult {
+		return cachedResult{Count: int64(i), Results: json.RawMessage(fmt.Sprintf("[%d]", i))}
+	}
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", res(1))
+	c.put("b", res(2))
+	if got, ok := c.get("a"); !ok || got.Count != 1 {
+		t.Fatalf("a: %v %v", got, ok)
+	}
+	// "a" was just used, so inserting "c" evicts "b".
+	c.put("c", res(3))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+
+	// Refreshing an existing key must not grow the cache.
+	c.put("a", res(9))
+	if got, _ := c.get("a"); got.Count != 9 {
+		t.Fatalf("refresh lost: %v", got)
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Capacity != 2 || st.Evictions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Hits != 4 || st.Misses != 2 {
+		t.Fatalf("hit/miss accounting: %+v", st)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.put("k", cachedResult{Count: 1})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+// TestResultCacheConcurrent hammers the cache from many goroutines so the
+// -race build proves the locking; the invariant checked is only that the
+// entry count never exceeds capacity.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%32)
+				if _, ok := c.get(key); !ok {
+					c.put(key, cachedResult{Count: int64(i)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.stats(); st.Entries > 8 {
+		t.Fatalf("cache overgrew capacity: %+v", st)
+	}
+}

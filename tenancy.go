@@ -41,8 +41,11 @@ func DefaultExecutor() *Executor {
 
 // Close stops the Executor's worker pool. Queries still in flight complete
 // (their submitting goroutines finish the queued work themselves), but new
-// parallel work is no longer picked up by pool workers. Close is idempotent.
-// Closing the DefaultExecutor is a no-op contractually reserved — don't.
+// parallel work is no longer picked up by pool workers, and queries queued
+// for admission — or arriving after — fail with a wrapped ErrAdmission
+// instead of waiting forever. Close is idempotent and safe to call
+// concurrently. Closing the DefaultExecutor is a no-op contractually
+// reserved — don't.
 func (e *Executor) Close() { e.x.Close() }
 
 // Limits caps one tenant's concurrent load on an Executor: MaxInFlight
@@ -54,8 +57,9 @@ type Limits = exec.Limits
 
 // AdmissionStats is a snapshot of an Executor's admission accounting:
 // admitted/rejected/queued counters — rejections broken out by cause
-// (in-flight cap, full queue, budget cap) — retry accounting, and per-tenant
-// in-flight and high-water marks. See Executor.AdmissionStats.
+// (in-flight cap, full queue, budget cap, executor closed) — retry
+// accounting, and per-tenant in-flight and high-water marks. See
+// Executor.AdmissionStats.
 type AdmissionStats = exec.AdmissionStats
 
 // RetryPolicy retries admission rejections (ErrAdmission) with jittered

@@ -12,6 +12,8 @@
 //	mule -in g.ug -alpha 0.5 -limit 1000         # stop after 1000 cliques
 //	mule -in g.ug -alpha 0.5 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	mule -in g.ug -alpha 0.5 -tenant acme -max-inflight 4  # admission-controlled run
+//	mule -in g.ug -alpha 0.5 -shards auto                # one run per component
+//	mule -in huge.ugb -alpha 0.5 -shard-batch 1000000    # out-of-core: ≤1M edges in RAM
 //
 //	mule -in b.ubg -mine bicliques -alpha 0.5 -minl 2 -minr 2  # α-maximal bicliques
 //	mule -in g.ug  -mine quasi -gamma 0.6                      # expected γ-quasi-cliques
@@ -53,6 +55,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -126,6 +129,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		tenant      = fs.String("tenant", "", "admission-control tenant ID charged for this run (default: no admission accounting)")
 		maxInflight = fs.Int("max-inflight", 0, "cap on the tenant's concurrent queries on the process executor; over-cap runs exit 75 (0 = unlimited; requires -tenant)")
 		retries     = fs.Int("retry", 0, "retry an admission rejection this many extra times with jittered exponential backoff before exiting 75 (requires -tenant)")
+		shardsFlag  = fs.String("shards", "", "mine connected components as independent shards with this concurrency, or \"auto\" for GOMAXPROCS (default: unsharded; ignored by the single-answer -k modes)")
+		shardBatch  = fs.Int("shard-batch", 0, "out-of-core mode: stream the input file and mine it in component batches of at most this many edges, never materializing the full graph (unipartite miners; incompatible with -top and -k)")
 		stallWindow = fs.Duration("stall-timeout", 0, "abort a run making no search progress for this long, exiting 70 (0 = no watchdog; distinct from -timeout, which is wall clock)")
 		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 		quiet       = fs.Bool("quiet", false, "suppress the stats line on stderr")
@@ -181,6 +186,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		limit: *limit, budget: *budget, countOnly: *countOnly, quiet: *quiet,
 		tenant: *tenant, retries: *retries, stall: *stallWindow,
 	}
+	switch {
+	case *shardsFlag == "":
+	case strings.EqualFold(*shardsFlag, "auto"):
+		m.shardsAuto = true
+	default:
+		n, err := strconv.Atoi(*shardsFlag)
+		if err != nil || n < 1 {
+			return fmt.Errorf("-shards: want a positive count or %q, got %q", "auto", *shardsFlag)
+		}
+		m.shards = n
+	}
+	if *shardBatch < 0 {
+		return fmt.Errorf("-shard-batch must be non-negative, got %d", *shardBatch)
+	}
+	m.shardBatch = *shardBatch
 	var runErr error
 	switch strings.ToLower(*mine) {
 	case "cliques", "clique":
@@ -221,6 +241,9 @@ type modeFlags struct {
 	tenant     string
 	retries    int
 	stall      time.Duration
+	shards     int  // -shards N: component-sharded execution (0 = off)
+	shardsAuto bool // -shards auto
+	shardBatch int  // -shard-batch: out-of-core batch edge cap (0 = off)
 }
 
 // withTenant appends the shared robustness options — WithTenant, WithRetry,
@@ -242,7 +265,67 @@ func (m modeFlags) withTenant(opts ...mule.Option) []mule.Option {
 	if m.stall > 0 {
 		opts = append(opts, mule.WithStallTimeout(m.stall))
 	}
+	if m.shardsAuto {
+		opts = append(opts, mule.WithAutoShard())
+	} else if m.shards > 0 {
+		opts = append(opts, mule.WithShards(m.shards))
+	}
 	return opts
+}
+
+// errBatchesDone stops the out-of-core batch loop once -limit results have
+// been delivered; it is translated to a clean StatusStopped exit.
+var errBatchesDone = errors.New("result limit reached across batches")
+
+// forEachBatch hands the mining loop each in-memory portion of the input:
+// the whole graph when -shard-batch is off, or successive groups of
+// connected components of at most m.shardBatch edges streamed from disk
+// when it is on — the full graph is never materialized. toGlobal maps
+// batch-local vertex IDs back to input IDs (the identity when off); the
+// mapping is monotone, so per-batch canonical output orders survive it.
+func forEachBatch(m modeFlags, fn func(g *mule.Graph, toGlobal func(int) int) error) error {
+	if m.shardBatch <= 0 {
+		g, err := graphio.LoadFile(m.in)
+		if err != nil {
+			return err
+		}
+		return fn(g, func(v int) int { return v })
+	}
+	return graphio.ScanComponentBatches(m.in, m.shardBatch, func(batch *mule.Graph, newToOld []int) error {
+		return fn(batch, func(v int) int { return newToOld[v] })
+	})
+}
+
+// batchBudget tracks -limit / -budget across out-of-core batches so the
+// two caps mean the same thing batched as unbatched: each batch query gets
+// the remaining allowance, and exhaustion stops the loop.
+type batchBudget struct {
+	limit, budget int64 // original flags (0 = unlimited)
+	remaining     int64 // results still allowed
+	left          int64 // search work still allowed
+}
+
+func newBatchBudget(m modeFlags) *batchBudget {
+	return &batchBudget{limit: m.limit, budget: m.budget, remaining: m.limit, left: m.budget}
+}
+
+// spend folds one batch run's consumption (delivered results, dominant work
+// counter) and reports whether the loop should stop: errBatchesDone on a
+// met limit, ErrBudget when the work allowance ran out between batches.
+func (b *batchBudget) spend(emitted, work int64) error {
+	if b.limit > 0 {
+		b.remaining -= emitted
+		if b.remaining <= 0 {
+			return errBatchesDone
+		}
+	}
+	if b.budget > 0 {
+		b.left -= work
+		if b.left <= 0 {
+			return fmt.Errorf("search budget exhausted between batches: %w", mule.ErrBudget)
+		}
+	}
+	return nil
 }
 
 // runCliques is the original mode: α-maximal clique enumeration, count,
@@ -260,22 +343,20 @@ func runCliques(ctx context.Context, m modeFlags, ordering, engine, intersect st
 	if err != nil {
 		return err
 	}
-	g, err := graphio.LoadFile(m.in)
-	if err != nil {
-		return err
+	if m.shardBatch > 0 && top > 0 {
+		return fmt.Errorf("-shard-batch cannot rank across batches; drop -top or -shard-batch")
 	}
-	q, err := mule.NewQuery(g, m.alpha, m.withTenant(
-		mule.WithMinSize(m.minSize),
-		mule.WithWorkers(workers),
-		mule.WithParallelMode(mode),
-		mule.WithStealGranularity(granularity),
-		mule.WithOrdering(ord),
-		mule.WithIntersect(imode),
-		mule.WithLimit(m.limit),
-		mule.WithBudget(m.budget),
-	)...)
-	if err != nil {
-		return err
+	newQuery := func(g *mule.Graph, limit, budget int64) (*mule.Query, error) {
+		return mule.NewQuery(g, m.alpha, m.withTenant(
+			mule.WithMinSize(m.minSize),
+			mule.WithWorkers(workers),
+			mule.WithParallelMode(mode),
+			mule.WithStealGranularity(granularity),
+			mule.WithOrdering(ord),
+			mule.WithIntersect(imode),
+			mule.WithLimit(limit),
+			mule.WithBudget(budget),
+		)...)
 	}
 
 	start := time.Now()
@@ -283,6 +364,14 @@ func runCliques(ctx context.Context, m modeFlags, ordering, engine, intersect st
 	defer w.Flush()
 
 	if top > 0 {
+		g, err := graphio.LoadFile(m.in)
+		if err != nil {
+			return err
+		}
+		q, err := newQuery(g, m.limit, m.budget)
+		if err != nil {
+			return err
+		}
 		scored, terr := q.TopK(ctx, top, mule.ByProb)
 		if terr != nil {
 			return terr
@@ -297,22 +386,50 @@ func runCliques(ctx context.Context, m modeFlags, ordering, engine, intersect st
 		return nil
 	}
 
-	var visit mule.Visitor
-	if !m.countOnly {
-		visit = func(c []int, p float64) bool {
-			printClique(w, c, p)
-			return true
+	var agg mule.Stats
+	agg.Status = mule.StatusComplete
+	bud := newBatchBudget(m)
+	runErr := forEachBatch(m, func(g *mule.Graph, toGlobal func(int) int) error {
+		q, err := newQuery(g, bud.remaining, bud.left)
+		if err != nil {
+			return err
 		}
+		var visit mule.Visitor
+		if !m.countOnly {
+			var buf []int
+			visit = func(c []int, p float64) bool {
+				buf = buf[:0]
+				for _, v := range c {
+					buf = append(buf, toGlobal(v))
+				}
+				printClique(w, buf, p)
+				return true
+			}
+		}
+		stats, err := q.Run(ctx, visit)
+		agg.Emitted += stats.Emitted
+		agg.Calls += stats.Calls
+		agg.PrunedEdges += stats.PrunedEdges
+		agg.MaxCliqueSize = max(agg.MaxCliqueSize, stats.MaxCliqueSize)
+		agg.Status = stats.Status
+		if err != nil {
+			return err
+		}
+		return bud.spend(stats.Emitted, stats.Calls)
+	})
+	if errors.Is(runErr, errBatchesDone) {
+		agg.Status, runErr = mule.StatusStopped, nil
+	} else if errors.Is(runErr, mule.ErrBudget) {
+		agg.Status = mule.StatusBudget
 	}
-	stats, runErr := q.Run(ctx, visit)
 	if m.countOnly {
-		fmt.Fprintf(w, "%d\n", stats.Emitted)
+		fmt.Fprintf(w, "%d\n", agg.Emitted)
 	}
 	if !m.quiet {
 		fmt.Fprintf(os.Stderr,
 			"%d α-maximal cliques (α=%g, max size %d, %s) in %s; %d search calls, %d edges pruned\n",
-			stats.Emitted, m.alpha, stats.MaxCliqueSize, stats.Status,
-			time.Since(start).Round(time.Millisecond), stats.Calls, stats.PrunedEdges)
+			agg.Emitted, m.alpha, agg.MaxCliqueSize, agg.Status,
+			time.Since(start).Round(time.Millisecond), agg.Calls, agg.PrunedEdges)
 	}
 	// Flush what we have before surfacing an abort: a canceled run still
 	// reports its partial output and the stats line above.
@@ -322,6 +439,9 @@ func runCliques(ctx context.Context, m modeFlags, ordering, engine, intersect st
 
 // runBicliques mines α-maximal bicliques from a bipartite input file.
 func runBicliques(ctx context.Context, m modeFlags, out io.Writer) error {
+	if m.shardBatch > 0 {
+		return fmt.Errorf("-shard-batch streams the unipartite format; use -shards for in-memory sharded biclique runs")
+	}
 	g, err := graphio.LoadBipartiteFile(m.in)
 	if err != nil {
 		return err
@@ -371,44 +491,58 @@ func runBicliques(ctx context.Context, m modeFlags, out io.Writer) error {
 
 // runQuasi mines maximal expected γ-quasi-cliques.
 func runQuasi(ctx context.Context, m modeFlags, out io.Writer) error {
-	g, err := graphio.LoadFile(m.in)
-	if err != nil {
-		return err
-	}
-	q, err := mule.NewQuasiQuery(g, m.withTenant(
-		mule.WithGamma(m.gamma),
-		mule.WithMinSize(m.minSize),
-		mule.WithLimit(m.limit),
-		mule.WithBudget(m.budget),
-	)...)
-	if err != nil {
-		return err
-	}
 	start := time.Now()
 	w := bufio.NewWriter(out)
 	defer w.Flush()
-	var visit mule.QuasiVisitor
-	if !m.countOnly {
-		visit = func(set []int) bool {
-			for i, v := range set {
-				if i > 0 {
-					w.WriteByte(' ')
-				}
-				fmt.Fprintf(w, "%d", v)
-			}
-			w.WriteByte('\n')
-			return true
+	var agg mule.QuasiStats
+	agg.Status = mule.StatusComplete
+	bud := newBatchBudget(m)
+	runErr := forEachBatch(m, func(g *mule.Graph, toGlobal func(int) int) error {
+		q, err := mule.NewQuasiQuery(g, m.withTenant(
+			mule.WithGamma(m.gamma),
+			mule.WithMinSize(m.minSize),
+			mule.WithLimit(bud.remaining),
+			mule.WithBudget(bud.left),
+		)...)
+		if err != nil {
+			return err
 		}
+		var visit mule.QuasiVisitor
+		if !m.countOnly {
+			visit = func(set []int) bool {
+				for i, v := range set {
+					if i > 0 {
+						w.WriteByte(' ')
+					}
+					fmt.Fprintf(w, "%d", toGlobal(v))
+				}
+				w.WriteByte('\n')
+				return true
+			}
+		}
+		stats, err := q.Run(ctx, visit)
+		agg.Emitted += stats.Emitted
+		agg.Calls += stats.Calls
+		agg.MaxSize = max(agg.MaxSize, stats.MaxSize)
+		agg.Status = stats.Status
+		if err != nil {
+			return err
+		}
+		return bud.spend(stats.Emitted, stats.Calls)
+	})
+	if errors.Is(runErr, errBatchesDone) {
+		agg.Status, runErr = mule.StatusStopped, nil
+	} else if errors.Is(runErr, mule.ErrBudget) {
+		agg.Status = mule.StatusBudget
 	}
-	stats, runErr := q.Run(ctx, visit)
 	if m.countOnly {
-		fmt.Fprintf(w, "%d\n", stats.Emitted)
+		fmt.Fprintf(w, "%d\n", agg.Emitted)
 	}
 	if !m.quiet {
 		fmt.Fprintf(os.Stderr,
 			"%d maximal expected γ-quasi-cliques (γ=%g, max size %d, %s) in %s; %d search calls\n",
-			stats.Emitted, m.gamma, stats.MaxSize, stats.Status,
-			time.Since(start).Round(time.Millisecond), stats.Calls)
+			agg.Emitted, m.gamma, agg.MaxSize, agg.Status,
+			time.Since(start).Round(time.Millisecond), agg.Calls)
 	}
 	w.Flush()
 	return runErr
@@ -418,21 +552,24 @@ func runQuasi(ctx context.Context, m modeFlags, out io.Writer) error {
 // order), or with -k > 0 the (k,η)-truss subgraph ("u v p" per surviving
 // edge).
 func runTruss(ctx context.Context, m modeFlags, out io.Writer) error {
-	g, err := graphio.LoadFile(m.in)
-	if err != nil {
-		return err
-	}
-	q, err := mule.NewTrussQuery(g, m.eta, m.withTenant(
-		mule.WithLimit(m.limit),
-		mule.WithBudget(m.budget),
-	)...)
-	if err != nil {
-		return err
+	if m.shardBatch > 0 && m.k > 0 {
+		return fmt.Errorf("-shard-batch is incompatible with -k (single-answer mode)")
 	}
 	start := time.Now()
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	if m.k > 0 {
+		g, err := graphio.LoadFile(m.in)
+		if err != nil {
+			return err
+		}
+		q, err := mule.NewTrussQuery(g, m.eta, m.withTenant(
+			mule.WithLimit(m.limit),
+			mule.WithBudget(m.budget),
+		)...)
+		if err != nil {
+			return err
+		}
 		tr, terr := q.Truss(ctx, m.k)
 		if terr != nil {
 			return terr
@@ -454,22 +591,49 @@ func runTruss(ctx context.Context, m modeFlags, out io.Writer) error {
 		}
 		return nil
 	}
-	var visit mule.TrussVisitor
-	if !m.countOnly {
-		visit = func(e mule.EdgeTruss) bool {
-			fmt.Fprintf(w, "%d %d %d\n", e.U, e.V, e.Truss)
-			return true
+	var agg mule.TrussStats
+	agg.Status = mule.StatusComplete
+	bud := newBatchBudget(m)
+	runErr := forEachBatch(m, func(g *mule.Graph, toGlobal func(int) int) error {
+		q, err := mule.NewTrussQuery(g, m.eta, m.withTenant(
+			mule.WithLimit(bud.remaining),
+			mule.WithBudget(bud.left),
+		)...)
+		if err != nil {
+			return err
 		}
+		var visit mule.TrussVisitor
+		if !m.countOnly {
+			// The batch-local → global mapping is monotone, so U < V holds
+			// after remapping too.
+			visit = func(e mule.EdgeTruss) bool {
+				fmt.Fprintf(w, "%d %d %d\n", toGlobal(e.U), toGlobal(e.V), e.Truss)
+				return true
+			}
+		}
+		stats, err := q.Run(ctx, visit)
+		agg.Emitted += stats.Emitted
+		agg.Checks += stats.Checks
+		agg.MaxTruss = max(agg.MaxTruss, stats.MaxTruss)
+		agg.Status = stats.Status
+		if err != nil {
+			return err
+		}
+		return bud.spend(stats.Emitted, stats.Checks)
+	})
+	if errors.Is(runErr, errBatchesDone) {
+		agg.Status, runErr = mule.StatusStopped, nil
+	} else if errors.Is(runErr, mule.ErrBudget) {
+		agg.Status = mule.StatusBudget
 	}
-	stats, runErr := q.Run(ctx, visit)
 	if m.countOnly {
-		fmt.Fprintf(w, "%d\n", stats.Emitted)
+		fmt.Fprintf(w, "%d\n", agg.Emitted)
 	}
 	if !m.quiet {
 		fmt.Fprintf(os.Stderr,
 			"η-truss decomposition of %d edges (η=%g, max truss %d, %s) in %s; %d support checks\n",
-			stats.Emitted, m.eta, stats.MaxTruss, stats.Status,
-			time.Since(start).Round(time.Millisecond), stats.Checks)
+			agg.Emitted, m.eta, agg.MaxTruss, agg.Status,
+			time.Since(start).Round(time.Millisecond), agg.Checks)
 	}
 	w.Flush()
 	return runErr
@@ -478,21 +642,24 @@ func runTruss(ctx context.Context, m modeFlags, out io.Writer) error {
 // runCore prints the η-core decomposition ("v c" per vertex, peel order),
 // or with -k > 0 the (k,η)-core vertex set.
 func runCore(ctx context.Context, m modeFlags, out io.Writer) error {
-	g, err := graphio.LoadFile(m.in)
-	if err != nil {
-		return err
-	}
-	q, err := mule.NewCoreQuery(g, m.eta, m.withTenant(
-		mule.WithLimit(m.limit),
-		mule.WithBudget(m.budget),
-	)...)
-	if err != nil {
-		return err
+	if m.shardBatch > 0 && m.k > 0 {
+		return fmt.Errorf("-shard-batch is incompatible with -k (single-answer mode)")
 	}
 	start := time.Now()
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	if m.k > 0 {
+		g, err := graphio.LoadFile(m.in)
+		if err != nil {
+			return err
+		}
+		q, err := mule.NewCoreQuery(g, m.eta, m.withTenant(
+			mule.WithLimit(m.limit),
+			mule.WithBudget(m.budget),
+		)...)
+		if err != nil {
+			return err
+		}
 		verts, cerr := q.Core(ctx, m.k)
 		if cerr != nil {
 			return cerr
@@ -514,22 +681,47 @@ func runCore(ctx context.Context, m modeFlags, out io.Writer) error {
 		}
 		return nil
 	}
-	var visit mule.CoreVisitor
-	if !m.countOnly {
-		visit = func(vc mule.VertexCore) bool {
-			fmt.Fprintf(w, "%d %d\n", vc.V, vc.Core)
-			return true
+	var agg mule.CoreStats
+	agg.Status = mule.StatusComplete
+	bud := newBatchBudget(m)
+	runErr := forEachBatch(m, func(g *mule.Graph, toGlobal func(int) int) error {
+		q, err := mule.NewCoreQuery(g, m.eta, m.withTenant(
+			mule.WithLimit(bud.remaining),
+			mule.WithBudget(bud.left),
+		)...)
+		if err != nil {
+			return err
 		}
+		var visit mule.CoreVisitor
+		if !m.countOnly {
+			visit = func(vc mule.VertexCore) bool {
+				fmt.Fprintf(w, "%d %d\n", toGlobal(vc.V), vc.Core)
+				return true
+			}
+		}
+		stats, err := q.Run(ctx, visit)
+		agg.Emitted += stats.Emitted
+		agg.Recomputes += stats.Recomputes
+		agg.Degeneracy = max(agg.Degeneracy, stats.Degeneracy)
+		agg.Status = stats.Status
+		if err != nil {
+			return err
+		}
+		return bud.spend(stats.Emitted, stats.Recomputes)
+	})
+	if errors.Is(runErr, errBatchesDone) {
+		agg.Status, runErr = mule.StatusStopped, nil
+	} else if errors.Is(runErr, mule.ErrBudget) {
+		agg.Status = mule.StatusBudget
 	}
-	stats, runErr := q.Run(ctx, visit)
 	if m.countOnly {
-		fmt.Fprintf(w, "%d\n", stats.Emitted)
+		fmt.Fprintf(w, "%d\n", agg.Emitted)
 	}
 	if !m.quiet {
 		fmt.Fprintf(os.Stderr,
 			"η-core decomposition of %d vertices (η=%g, degeneracy %d, %s) in %s; %d recomputes\n",
-			stats.Emitted, m.eta, stats.Degeneracy, stats.Status,
-			time.Since(start).Round(time.Millisecond), stats.Recomputes)
+			agg.Emitted, m.eta, agg.Degeneracy, agg.Status,
+			time.Since(start).Round(time.Millisecond), agg.Recomputes)
 	}
 	w.Flush()
 	return runErr

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -73,7 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		addr    = fs.String("addr", ":7687", "listen address")
 		workers = fs.Int("workers", 0, "executor workers (0 = GOMAXPROCS)")
-		cache   = fs.Int("cache", 0, "result cache entries (0 = default 256, negative = disabled)")
+		cache   = fs.String("cache", "", "result cache bound: an entry count (\"1024\"; 0 or negative = disabled) or a byte size (\"64MB\", \"1GiB\")")
 		maxBody = fs.Int64("max-body", 0, "request body cap in bytes (0 = default 1 GiB)")
 	)
 	fs.Var(&loads, "load", "preload a graph as name=path (repeatable; .ubg paths load as bipartite)")
@@ -84,7 +85,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 
-	srv := server.New(server.Config{Workers: *workers, CacheEntries: *cache, MaxBodyBytes: *maxBody})
+	cacheEntries, cacheBytes, err := parseCacheFlag(*cache)
+	if err != nil {
+		return fmt.Errorf("-cache %q: %w", *cache, err)
+	}
+
+	srv := server.New(server.Config{Workers: *workers, CacheEntries: cacheEntries, CacheBytes: cacheBytes, MaxBodyBytes: *maxBody})
 	defer srv.Close()
 
 	for _, spec := range loads {
@@ -125,6 +131,58 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "muled shut down")
 	return nil
+}
+
+// parseCacheFlag interprets the -cache value. A bare integer is an entry
+// count (the historical form; negative disables the cache), a size-suffixed
+// value like "64MB" or "1GiB" bounds the cache by total cached result bytes
+// instead, and "" keeps both server defaults (256 entries, 64 MiB).
+func parseCacheFlag(v string) (entries int, bytes int64, err error) {
+	if v == "" {
+		return 0, 0, nil
+	}
+	if n, err := strconv.Atoi(v); err == nil {
+		if n == 0 {
+			n = -1 // explicit "-cache 0" means disabled, not "use the default"
+		}
+		return n, 0, nil
+	}
+	b, err := parseByteSize(v)
+	if err != nil {
+		return 0, 0, err
+	}
+	return 0, b, nil
+}
+
+// byteSuffixes maps size suffixes to multipliers; decimal (KB/MB/GB) and
+// binary (KiB/MiB/GiB) forms are both accepted, case-insensitively.
+var byteSuffixes = []struct {
+	suffix string
+	mult   int64
+}{
+	{"gib", 1 << 30}, {"mib", 1 << 20}, {"kib", 1 << 10},
+	{"gb", 1e9}, {"mb", 1e6}, {"kb", 1e3},
+	{"g", 1 << 30}, {"m", 1 << 20}, {"k", 1 << 10},
+	{"b", 1},
+}
+
+func parseByteSize(v string) (int64, error) {
+	s := strings.ToLower(strings.TrimSpace(v))
+	for _, sf := range byteSuffixes {
+		num, ok := strings.CutSuffix(s, sf.suffix)
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+		if err != nil {
+			break
+		}
+		if n <= 0 {
+			return 0, fmt.Errorf("byte size must be positive")
+		}
+		return int64(n * float64(sf.mult)), nil
+	}
+	return 0, fmt.Errorf("want an entry count or a byte size like 64MB")
 }
 
 // preload installs one -load graph before the listener opens. Bipartite

@@ -209,10 +209,55 @@ func TestMuledBadFlags(t *testing.T) {
 		{"-load", "g=/definitely/not/a/file.ug"},
 		{"unexpected-positional"},
 		{"-addr", "999.999.999.999:1"},
+		{"-cache", "64XB"},
+		{"-cache", "-5MB"},
+		{"-cache", "MB"},
 	} {
 		var out bytes.Buffer
 		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+// TestParseCacheFlag pins the dual entry-count / byte-size grammar.
+func TestParseCacheFlag(t *testing.T) {
+	cases := []struct {
+		in      string
+		entries int
+		bytes   int64
+		wantErr bool
+	}{
+		{in: "", entries: 0, bytes: 0},    // both defaults
+		{in: "1024", entries: 1024},       // entry count
+		{in: "-1", entries: -1},           // disabled
+		{in: "0", entries: -1},            // disabled too
+		{in: "64MB", bytes: 64_000_000},   // decimal bytes
+		{in: "64MiB", bytes: 64 << 20},    // binary bytes
+		{in: "1GiB", bytes: 1 << 30},      // case-insensitive suffix
+		{in: "2gb", bytes: 2_000_000_000}, //
+		{in: "512KiB", bytes: 512 << 10},  //
+		{in: "1.5MiB", bytes: 3 << 19},    // fractional sizes allowed
+		{in: "100b", bytes: 100},          // plain bytes
+		{in: "64XB", wantErr: true},       // unknown suffix
+		{in: "-5MB", wantErr: true},       // negative size
+		{in: "MB", wantErr: true},         // no number
+		{in: "deadbeef", wantErr: true},   //
+	}
+	for _, tc := range cases {
+		entries, bytes, err := parseCacheFlag(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: expected error, got entries=%d bytes=%d", tc.in, entries, bytes)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if entries != tc.entries || bytes != tc.bytes {
+			t.Errorf("%q: got entries=%d bytes=%d, want %d/%d", tc.in, entries, bytes, tc.entries, tc.bytes)
 		}
 	}
 }

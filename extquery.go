@@ -81,11 +81,13 @@ func limitVisitor[T any](visit func(T) bool, limit int64, userStopped *bool) fun
 // concurrent use, and every run method honors its context exactly like a
 // clique Query (the search polls on a node-count interval).
 type BicliqueQuery struct {
-	g     *Bipartite
-	alpha float64
-	cfg   ubiclique.Config
-	limit int64
-	ten   tenancy
+	g         *Bipartite
+	alpha     float64
+	cfg       ubiclique.Config
+	limit     int64
+	ten       tenancy
+	shards    int // 0 = unsharded; see WithShards
+	shardProg func(done, total int)
 }
 
 // NewBicliqueQuery prepares an enumeration of the α-maximal bicliques of g.
@@ -101,12 +103,18 @@ func NewBicliqueQuery(g *Bipartite, alpha float64, opts ...Option) (*BicliqueQue
 	if err != nil {
 		return nil, err
 	}
+	shards, err := o.shardPlan()
+	if err != nil {
+		return nil, err
+	}
 	cfg := ubiclique.Config{MinLeft: o.minL, MinRight: o.minR, Budget: o.cfg.Budget, Stall: o.stall}
 	q, err := newBicliqueQuery(g, alpha, cfg, o.limit)
 	if err != nil {
 		return nil, err
 	}
 	q.ten = ten
+	q.shards = shards
+	q.shardProg = o.shardProgress
 	return q, nil
 }
 
@@ -131,6 +139,9 @@ func (q *BicliqueQuery) run(ctx context.Context, visit BicliqueVisitor) (stats B
 			err = panicToError(v)
 		}
 	}()
+	if q.shards != 0 {
+		return q.runSharded(ctx, visit)
+	}
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return BicliqueStats{Status: StatusFailed}, false, err
@@ -247,10 +258,12 @@ type QuasiVisitor = uquasi.Visitor
 // result — cancellation and WithBudget still abort the mining itself
 // mid-search.
 type QuasiQuery struct {
-	g     *Graph
-	cfg   uquasi.Config
-	limit int64
-	ten   tenancy
+	g         *Graph
+	cfg       uquasi.Config
+	limit     int64
+	ten       tenancy
+	shards    int // 0 = unsharded; see WithShards
+	shardProg func(done, total int)
 }
 
 // NewQuasiQuery prepares a mining run for the maximal expected
@@ -268,12 +281,18 @@ func NewQuasiQuery(g *Graph, opts ...Option) (*QuasiQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards, err := o.shardPlan()
+	if err != nil {
+		return nil, err
+	}
 	cfg := uquasi.Config{Gamma: o.gamma, MinSize: o.cfg.MinSize, MaxSize: o.maxSize, Budget: o.cfg.Budget, Stall: o.stall}
 	q, err := newQuasiQuery(g, cfg, o.limit)
 	if err != nil {
 		return nil, err
 	}
 	q.ten = ten
+	q.shards = shards
+	q.shardProg = o.shardProgress
 	return q, nil
 }
 
@@ -299,6 +318,9 @@ func (q *QuasiQuery) run(ctx context.Context, visit QuasiVisitor) (stats QuasiSt
 			err = panicToError(v)
 		}
 	}()
+	if q.shards != 0 {
+		return q.runSharded(ctx, visit)
+	}
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return QuasiStats{Status: StatusFailed}, false, err
@@ -395,11 +417,13 @@ type TrussStats = utruss.Stats
 // polls its context between support-probability evaluations, so
 // cancellation, deadlines, and WithBudget bounds abort mid-decomposition.
 type TrussQuery struct {
-	g     *Graph
-	eta   float64
-	cfg   utruss.Config
-	limit int64
-	ten   tenancy
+	g         *Graph
+	eta       float64
+	cfg       utruss.Config
+	limit     int64
+	ten       tenancy
+	shards    int // 0 = unsharded; see WithShards
+	shardProg func(done, total int)
 }
 
 // NewTrussQuery prepares the η-truss decomposition of g. It validates
@@ -414,11 +438,17 @@ func NewTrussQuery(g *Graph, eta float64, opts ...Option) (*TrussQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards, err := o.shardPlan()
+	if err != nil {
+		return nil, err
+	}
 	q, err := newTrussQuery(g, eta, utruss.Config{Budget: o.cfg.Budget, Stall: o.stall}, o.limit)
 	if err != nil {
 		return nil, err
 	}
 	q.ten = ten
+	q.shards = shards
+	q.shardProg = o.shardProgress
 	return q, nil
 }
 
@@ -442,6 +472,9 @@ func (q *TrussQuery) run(ctx context.Context, visit TrussVisitor) (stats TrussSt
 			err = panicToError(v)
 		}
 	}()
+	if q.shards != 0 {
+		return q.runSharded(ctx, visit)
+	}
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return TrussStats{Status: StatusFailed}, false, err
@@ -553,11 +586,13 @@ type VertexCore = ucore.VertexCore
 // polls its context between η-degree recomputations, so cancellation,
 // deadlines, and WithBudget bounds abort mid-decomposition.
 type CoreQuery struct {
-	g     *Graph
-	eta   float64
-	cfg   ucore.Config
-	limit int64
-	ten   tenancy
+	g         *Graph
+	eta       float64
+	cfg       ucore.Config
+	limit     int64
+	ten       tenancy
+	shards    int // 0 = unsharded; see WithShards
+	shardProg func(done, total int)
 }
 
 // NewCoreQuery prepares the η-core decomposition of g. It validates
@@ -572,11 +607,17 @@ func NewCoreQuery(g *Graph, eta float64, opts ...Option) (*CoreQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards, err := o.shardPlan()
+	if err != nil {
+		return nil, err
+	}
 	q, err := newCoreQuery(g, eta, ucore.Config{Budget: o.cfg.Budget, Stall: o.stall}, o.limit)
 	if err != nil {
 		return nil, err
 	}
 	q.ten = ten
+	q.shards = shards
+	q.shardProg = o.shardProgress
 	return q, nil
 }
 
@@ -600,6 +641,9 @@ func (q *CoreQuery) run(ctx context.Context, visit CoreVisitor) (stats CoreStats
 			err = panicToError(v)
 		}
 	}()
+	if q.shards != 0 {
+		return q.runSharded(ctx, visit)
+	}
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return CoreStats{Status: StatusFailed}, false, err

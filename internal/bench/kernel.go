@@ -260,17 +260,19 @@ func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once 
 }
 
 // extensionKernelCells returns the extension-path cells of the sweep: a
-// small biclique enumeration and an η-truss decomposition, both measured
-// through the public prepared-query API so the trajectory catches
-// regressions on the §6 query surface (run-control polling included). The
-// cells are sized to stay 1-CPU-friendly per the trajectory-comparability
-// convention; both are serial by construction. KernelEntry reuse: Alpha
+// small biclique enumeration, an η-truss decomposition, and a
+// component-sharded clique run, all measured through the public
+// prepared-query API so the trajectory catches regressions on the §6 query
+// surface (run-control polling included). The cells are sized to stay
+// 1-CPU-friendly per the trajectory-comparability convention (the sharded
+// cell's two shard slots idle-wait rather than saturate). KernelEntry
+// reuse: Alpha
 // carries the miner's threshold (α / η), Cliques the emitted results
 // (bicliques / edges), Calls the charged work units (search nodes / support
 // checks).
 func extensionKernelCells(cfg Config, once bool) ([]KernelEntry, error) {
 	ctx := context.Background()
-	out := make([]KernelEntry, 0, 2)
+	out := make([]KernelEntry, 0, 3)
 
 	bg := AffinityBipartite(200, 150, 6, cfg.Seed)
 	be := KernelEntry{Workload: "biclique-aff200x150", Alpha: 0.2, Engine: "serial", Workers: 1}
@@ -302,6 +304,26 @@ func extensionKernelCells(cfg Config, once bool) ([]KernelEntry, error) {
 	te.Cliques = tStats.Emitted
 	te.Calls = tStats.Checks
 	out = append(out, te)
+
+	// Component-sharded clique enumeration over the BA-800 workload: the
+	// same graph and α as the quick sweep's first cell, but driven through
+	// WithShards(2), so the trajectory catches regressions in the shard
+	// driver itself (lazy component extraction, reorder buffer, stats
+	// folding) rather than only in the per-shard engines.
+	sg := gen.BA(800, cfg.Seed)
+	se := KernelEntry{Workload: "sharded-ba800", Alpha: 0.001, Engine: "sharded", Workers: 2}
+	var sStats mule.Stats
+	sq, err := mule.NewQuery(sg, se.Alpha, mule.WithShards(2))
+	if err != nil {
+		return nil, err
+	}
+	measureTimed(&se, func() { sStats, runErr = sq.Run(ctx, nil) }, once)
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: sharded kernel cell: %w", runErr)
+	}
+	se.Cliques = sStats.Emitted
+	se.Calls = sStats.Calls
+	out = append(out, se)
 	return out, nil
 }
 
@@ -346,7 +368,7 @@ func runKernel(cfg Config, w io.Writer) error {
 	}
 	for _, e := range extCells {
 		run.Entries = append(run.Entries, e)
-		t.Add(e.Workload, fmt.Sprintf("%g", e.Alpha), "0", e.Engine, "1",
+		t.Add(e.Workload, fmt.Sprintf("%g", e.Alpha), "0", e.Engine, fmt.Sprintf("%d", e.Workers),
 			fmt.Sprintf("%.0f", e.NsPerOp), fmt.Sprintf("%d", e.AllocsPerOp),
 			fmt.Sprintf("%d", e.BytesPerOp), fmt.Sprintf("%d", e.Cliques),
 			fmt.Sprintf("%d", e.Calls))

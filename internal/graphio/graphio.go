@@ -50,69 +50,13 @@ func WriteText(w io.Writer, g *uncertain.Graph) error {
 	return bw.Flush()
 }
 
-// ReadText parses the text format.
+// ReadText parses the text format. It is a wrapper over the streaming
+// scanner: edges flow straight into a two-pass CSR build (seekable inputs
+// are re-read, others replay a compact spool), so no edge list or adjacency
+// map is ever materialized.
 func ReadText(r io.Reader) (*uncertain.Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	n := -1
-	var edges []uncertain.Edge
-	maxV := -1
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if fields[0] == "vertices" {
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("graphio: line %d: malformed vertices directive", line)
-			}
-			v, err := strconv.Atoi(fields[1])
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", line, fields[1])
-			}
-			n = v
-			continue
-		}
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("graphio: line %d: want 'u v p', got %q", line, text)
-		}
-		u, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", line, fields[0])
-		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: bad vertex %q", line, fields[1])
-		}
-		p, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: bad probability %q", line, fields[2])
-		}
-		edges = append(edges, uncertain.Edge{U: u, V: v, P: p})
-		if u > maxV {
-			maxV = u
-		}
-		if v > maxV {
-			maxV = v
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graphio: %w", err)
-	}
-	if n < 0 {
-		n = maxV + 1
-	}
-	if maxV >= n {
-		return nil, fmt.Errorf("graphio: edge endpoint %d exceeds declared vertex count %d", maxV, n)
-	}
-	g, err := uncertain.FromEdges(n, edges)
-	if err != nil {
-		return nil, fmt.Errorf("graphio: %w", err)
-	}
-	return g, nil
+	g, _, err := buildGraph(replayScan(r, scanText))
+	return g, err
 }
 
 var binaryMagic = [4]byte{'U', 'G', 'R', 'F'}
@@ -145,51 +89,16 @@ func WriteBinary(w io.Writer, g *uncertain.Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary format.
+// ReadBinary parses the binary format, streaming records through a two-pass
+// CSR build. Header counts are clamped before anything is allocated: the
+// declared edge count must fit in the input's remaining bytes when r is
+// seekable, and the vertex count may not wildly exceed what the edge count
+// could touch, so a corrupt header cannot demand an arbitrary make.
 func ReadBinary(r io.Reader) (*uncertain.Graph, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("graphio: reading magic: %w", err)
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("graphio: bad magic %q", magic)
-	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, err
-	}
-	if version != binaryVersion {
-		return nil, fmt.Errorf("graphio: unsupported version %d", version)
-	}
-	var n, m uint64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, err
-	}
-	if n > 1<<31 || m > 1<<33 {
-		return nil, fmt.Errorf("graphio: implausible header n=%d m=%d", n, m)
-	}
-	b := uncertain.NewBuilder(int(n))
-	for i := uint64(0); i < m; i++ {
-		var u, v uint32
-		var p float64
-		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
-			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
-		}
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
-		}
-		if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
-			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
-		}
-		if err := b.AddEdge(int(u), int(v), p); err != nil {
-			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
-		}
-	}
-	return b.Build(), nil
+	g, _, err := buildGraph(replayScan(r, func(rr io.Reader, fn EdgeFunc) (Header, error) {
+		return scanBinary(rr, remainingBytes(rr), fn)
+	}))
+	return g, err
 }
 
 // SaveFile writes g to path, choosing the format by extension: ".ugb" is
@@ -251,22 +160,11 @@ func Load(r io.Reader) (*uncertain.Graph, error) {
 }
 
 // ReadAny decodes a graph from r, sniffing gzip compression and the three
-// formats as LoadFile does. Load is the preferred name.
+// formats as LoadFile does. Load is the preferred name. Like every reader
+// here it is a wrapper over ScanEdges: seekable inputs (files, byte
+// readers) are parsed twice straight into the final CSR, non-seekable ones
+// spool decoded edges compactly for the second pass.
 func ReadAny(r io.Reader) (*uncertain.Graph, error) {
-	br := bufio.NewReader(r)
-	if head, err := br.Peek(2); err == nil && [2]byte(head) == gzipMagic {
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, fmt.Errorf("graphio: opening gzip stream: %w", err)
-		}
-		defer zr.Close()
-		br = bufio.NewReader(zr)
-	}
-	if head, err := br.Peek(4); err == nil && [4]byte(head) == binaryMagic {
-		return ReadBinary(br)
-	}
-	if head, err := br.Peek(1); err == nil && head[0] == '{' {
-		return ReadJSON(br)
-	}
-	return ReadText(br)
+	g, _, err := buildGraph(replayScan(r, ScanEdges))
+	return g, err
 }

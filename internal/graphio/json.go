@@ -42,23 +42,11 @@ func WriteJSON(w io.Writer, g *uncertain.Graph) error {
 	return bw.Flush()
 }
 
-// ReadJSON parses the JSON format. Unknown fields are rejected so that
-// structural typos surface as errors instead of silently empty graphs.
+// ReadJSON parses the JSON format, decoding edge objects one at a time into
+// a two-pass CSR build instead of unmarshaling the whole document. Unknown
+// fields are rejected so that structural typos surface as errors instead of
+// silently empty graphs.
 func ReadJSON(r io.Reader) (*uncertain.Graph, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	var jg jsonGraph
-	if err := dec.Decode(&jg); err != nil {
-		return nil, fmt.Errorf("graphio: decoding JSON: %w", err)
-	}
-	if jg.Vertices < 0 {
-		return nil, fmt.Errorf("graphio: negative vertex count %d", jg.Vertices)
-	}
-	b := uncertain.NewBuilder(jg.Vertices)
-	for i, e := range jg.Edges {
-		if err := b.AddEdge(e.U, e.V, e.P); err != nil {
-			return nil, fmt.Errorf("graphio: JSON edge %d: %w", i, err)
-		}
-	}
-	return b.Build(), nil
+	g, _, err := buildGraph(replayScan(r, scanJSON))
+	return g, err
 }

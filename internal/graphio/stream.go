@@ -1,0 +1,522 @@
+package graphio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// ErrFormat is the sentinel wrapped by every parse error the streaming
+// reader produces: malformed lines, bad magic, truncated records, gzip
+// garbage, implausible headers. Errors returned by the caller's EdgeFunc
+// propagate unchanged; everything else from ScanEdges matches
+// errors.Is(err, ErrFormat).
+var ErrFormat = errors.New("graphio: malformed input")
+
+// EdgeFunc receives one probabilistic edge per call during a streaming scan.
+// Returning a non-nil error aborts the scan and surfaces that error verbatim.
+type EdgeFunc func(u, v int, p float64) error
+
+// Header describes what a scan learned about the input's shape.
+type Header struct {
+	// Vertices is the graph's vertex count: the declared count when the
+	// input carries one (text directive, binary header, JSON field),
+	// otherwise max endpoint + 1.
+	Vertices int
+	// Declared reports whether Vertices came from the input rather than
+	// being inferred from endpoints.
+	Declared bool
+	// Edges is the number of edges delivered to the EdgeFunc.
+	Edges int64
+}
+
+// maxEndpoint bounds vertex IDs accepted from any format so downstream CSR
+// indices (int32) cannot overflow.
+const maxEndpoint = 1<<31 - 1
+
+// ScanEdges parses a graph from r edge by edge without materializing an edge
+// list, sniffing gzip compression and the three formats (binary "UGRF"
+// magic, leading '{' JSON, otherwise text) exactly like Load. Edges reach fn
+// in input order; validation here is purely syntactic (self-loops, duplicate
+// edges, and out-of-range probabilities are the graph builder's concern).
+// Binary header counts are validated against the remaining input size when r
+// is seekable, and against the declared edge count otherwise, so a corrupt
+// header cannot demand an arbitrarily large allocation from a consumer that
+// trusts the returned Header.
+func ScanEdges(r io.Reader, fn EdgeFunc) (Header, error) {
+	remaining := remainingBytes(r)
+	br := bufio.NewReaderSize(r, 64*1024)
+	if head, err := br.Peek(2); err == nil && [2]byte(head) == gzipMagic {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return Header{}, fmt.Errorf("graphio: opening gzip stream: %v: %w", err, ErrFormat)
+		}
+		defer zr.Close()
+		// The decompressed size is unknown, so the binary path falls back to
+		// trusting (and bounding) the declared edge count.
+		remaining = -1
+		br = bufio.NewReaderSize(zr, 64*1024)
+	}
+	if head, err := br.Peek(4); err == nil && [4]byte(head) == binaryMagic {
+		return scanBinary(br, remaining, fn)
+	}
+	if head, err := br.Peek(1); err == nil && head[0] == '{' {
+		return scanJSON(br, fn)
+	}
+	return scanText(br, fn)
+}
+
+// remainingBytes reports how many bytes of r are left to read, or -1 when r
+// is not seekable (or seeking fails).
+func remainingBytes(r io.Reader) int64 {
+	s, ok := r.(io.Seeker)
+	if !ok {
+		return -1
+	}
+	cur, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return -1
+	}
+	end, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return -1
+	}
+	if _, err := s.Seek(cur, io.SeekStart); err != nil {
+		return -1
+	}
+	return end - cur
+}
+
+func scanText(r io.Reader, fn EdgeFunc) (Header, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	h := Header{Vertices: -1}
+	maxV := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "vertices" {
+			if len(fields) != 2 {
+				return h, fmt.Errorf("graphio: line %d: malformed vertices directive: %w", line, ErrFormat)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return h, fmt.Errorf("graphio: line %d: bad vertex count %q: %w", line, fields[1], ErrFormat)
+			}
+			h.Vertices, h.Declared = v, true
+			continue
+		}
+		if len(fields) != 3 {
+			return h, fmt.Errorf("graphio: line %d: want 'u v p', got %q: %w", line, text, ErrFormat)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return h, fmt.Errorf("graphio: line %d: bad vertex %q: %w", line, fields[0], ErrFormat)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return h, fmt.Errorf("graphio: line %d: bad vertex %q: %w", line, fields[1], ErrFormat)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return h, fmt.Errorf("graphio: line %d: bad probability %q: %w", line, fields[2], ErrFormat)
+		}
+		if u < 0 || v < 0 || u > maxEndpoint || v > maxEndpoint {
+			return h, fmt.Errorf("graphio: line %d: vertex out of range: %w", line, ErrFormat)
+		}
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		h.Edges++
+		if err := fn(u, v, p); err != nil {
+			return h, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return h, fmt.Errorf("graphio: %v: %w", err, ErrFormat)
+	}
+	if !h.Declared {
+		h.Vertices = maxV + 1
+	}
+	if maxV >= h.Vertices {
+		return h, fmt.Errorf("graphio: edge endpoint %d exceeds declared vertex count %d: %w", maxV, h.Vertices, ErrFormat)
+	}
+	return h, nil
+}
+
+func scanBinary(r io.Reader, remaining int64, fn EdgeFunc) (Header, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return Header{}, fmt.Errorf("graphio: reading magic: %v: %w", err, ErrFormat)
+	}
+	if magic != binaryMagic {
+		return Header{}, fmt.Errorf("graphio: bad magic %q: %w", magic, ErrFormat)
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Header{}, fmt.Errorf("graphio: reading header: %v: %w", err, ErrFormat)
+	}
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	if version != binaryVersion {
+		return Header{}, fmt.Errorf("graphio: unsupported version %d: %w", version, ErrFormat)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:12])
+	m := binary.LittleEndian.Uint64(hdr[12:20])
+	if n > 1<<31 || m > 1<<33 {
+		return Header{}, fmt.Errorf("graphio: implausible header n=%d m=%d: %w", n, m, ErrFormat)
+	}
+	// With a known input size, the declared edge count must fit in the bytes
+	// that are actually present (24-byte header + 16 bytes per record) —
+	// a corrupt count fails here instead of after a giant allocation.
+	if remaining >= 0 && int64(m) > (remaining-24)/16 {
+		return Header{}, fmt.Errorf("graphio: header declares %d edges but input holds at most %d: %w", m, max((remaining-24)/16, 0), ErrFormat)
+	}
+	// Structural clamp on the vertex count: a graph with far more vertices
+	// than 2m+slack is almost all isolated vertices, and a corrupt header
+	// could otherwise demand a multi-GiB CSR for a tiny file (the gzip path
+	// has no reliable size to check against).
+	if n > 2*m+(1<<20) {
+		return Header{}, fmt.Errorf("graphio: implausible header: %d vertices for %d edges: %w", n, m, ErrFormat)
+	}
+	h := Header{Vertices: int(n), Declared: true}
+	maxV := -1
+	var rec [16]byte
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return h, fmt.Errorf("graphio: edge %d: %v: %w", i, err, ErrFormat)
+		}
+		u := int(binary.LittleEndian.Uint32(rec[0:4]))
+		v := int(binary.LittleEndian.Uint32(rec[4:8]))
+		p := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		h.Edges++
+		if err := fn(u, v, p); err != nil {
+			return h, err
+		}
+	}
+	if maxV >= h.Vertices {
+		return h, fmt.Errorf("graphio: edge endpoint %d exceeds declared vertex count %d: %w", maxV, h.Vertices, ErrFormat)
+	}
+	return h, nil
+}
+
+func jsonErr(err error) error {
+	return fmt.Errorf("graphio: decoding JSON: %v: %w", err, ErrFormat)
+}
+
+func scanJSON(r io.Reader, fn EdgeFunc) (Header, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	h := Header{Vertices: 0, Declared: true}
+	maxV := -1
+	tok, err := dec.Token()
+	if err != nil {
+		return h, jsonErr(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return h, fmt.Errorf("graphio: decoding JSON: expected an object: %w", ErrFormat)
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return h, jsonErr(err)
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "vertices":
+			var v int
+			if err := dec.Decode(&v); err != nil {
+				return h, jsonErr(err)
+			}
+			if v < 0 {
+				return h, fmt.Errorf("graphio: negative vertex count %d: %w", v, ErrFormat)
+			}
+			h.Vertices = v
+		case "edges":
+			tok, err := dec.Token()
+			if err != nil {
+				return h, jsonErr(err)
+			}
+			if tok == nil {
+				continue // "edges": null means no edges
+			}
+			if d, ok := tok.(json.Delim); !ok || d != '[' {
+				return h, fmt.Errorf("graphio: decoding JSON: edges must be an array: %w", ErrFormat)
+			}
+			for dec.More() {
+				var e jsonEdge
+				if err := dec.Decode(&e); err != nil {
+					return h, jsonErr(err)
+				}
+				if e.U < 0 || e.V < 0 || e.U > maxEndpoint || e.V > maxEndpoint {
+					return h, fmt.Errorf("graphio: JSON edge %d: vertex out of range: %w", h.Edges, ErrFormat)
+				}
+				if e.U > maxV {
+					maxV = e.U
+				}
+				if e.V > maxV {
+					maxV = e.V
+				}
+				h.Edges++
+				if err := fn(e.U, e.V, e.P); err != nil {
+					return h, err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // closing ']'
+				return h, jsonErr(err)
+			}
+		default:
+			return h, fmt.Errorf("graphio: decoding JSON: unknown field %q: %w", key, ErrFormat)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return h, jsonErr(err)
+	}
+	if maxV >= h.Vertices {
+		return h, fmt.Errorf("graphio: JSON edge endpoint %d exceeds vertex count %d: %w", maxV, h.Vertices, ErrFormat)
+	}
+	return h, nil
+}
+
+// replayScan adapts r to the replayable two-pass contract of
+// uncertain.FromEdgeScanner. Seekable readers rewind and re-parse — nothing
+// but the finished CSR is ever resident. Non-seekable readers spool the
+// decoded edges on the first pass (~20 bytes/edge, far below the adjacency-
+// map builder this replaces) and replay the spool.
+func replayScan(r io.Reader, scan func(io.Reader, EdgeFunc) (Header, error)) func(EdgeFunc) (Header, error) {
+	if s, ok := r.(io.ReadSeeker); ok {
+		if pos, err := s.Seek(0, io.SeekCurrent); err == nil {
+			return func(fn EdgeFunc) (Header, error) {
+				if _, err := s.Seek(pos, io.SeekStart); err != nil {
+					return Header{}, fmt.Errorf("graphio: rewinding input: %w", err)
+				}
+				return scan(s, fn)
+			}
+		}
+	}
+	var sp spool
+	scanned := false
+	return func(fn EdgeFunc) (Header, error) {
+		if scanned {
+			return sp.replay(fn)
+		}
+		h, err := scan(r, func(u, v int, p float64) error {
+			sp.add(u, v, p)
+			return fn(u, v, p)
+		})
+		if err == nil {
+			scanned = true
+			sp.hdr = h
+		}
+		return h, err
+	}
+}
+
+// spool buffers decoded edges in struct-of-arrays form for replay.
+type spool struct {
+	us, vs []int32
+	ps     []float64
+	hdr    Header
+}
+
+func (s *spool) add(u, v int, p float64) {
+	s.us = append(s.us, int32(u))
+	s.vs = append(s.vs, int32(v))
+	s.ps = append(s.ps, p)
+}
+
+func (s *spool) replay(fn EdgeFunc) (Header, error) {
+	for i := range s.us {
+		if err := fn(int(s.us[i]), int(s.vs[i]), s.ps[i]); err != nil {
+			return s.hdr, err
+		}
+	}
+	return s.hdr, nil
+}
+
+// buildGraph drives uncertain.FromEdgeScanner over a replayable scan,
+// producing the sorted CSR directly.
+func buildGraph(scan func(EdgeFunc) (Header, error)) (*uncertain.Graph, Header, error) {
+	var hdr Header
+	g, err := uncertain.FromEdgeScanner(func(emit func(int, int, float64) error) (int, error) {
+		h, err := scan(EdgeFunc(emit))
+		if err != nil {
+			return 0, err
+		}
+		hdr = h
+		return h.Vertices, nil
+	})
+	if err != nil {
+		return nil, hdr, err
+	}
+	return g, hdr, nil
+}
+
+// OpenCSR streams the graph at path into its final CSR form, reopening the
+// file for each of the two build passes so peak memory is the finished CSR
+// plus one int32 per vertex — never an edge list or adjacency map. Format
+// and compression are sniffed from content like Load.
+func OpenCSR(path string) (*uncertain.Graph, Header, error) {
+	return buildGraph(func(fn EdgeFunc) (Header, error) {
+		return scanFile(path, fn)
+	})
+}
+
+func scanFile(path string, fn EdgeFunc) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer f.Close()
+	return ScanEdges(f, fn)
+}
+
+// unionFind is a union-by-min disjoint-set forest: every root is the
+// smallest member of its set, so component IDs assigned by scanning vertices
+// in ascending order match the smallest-member ordering used by
+// Graph.ShardByComponent and Components.
+type unionFind struct{ parent []int32 }
+
+func (u *unionFind) grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, int32(len(u.parent)))
+	}
+}
+
+func (u *unionFind) find(v int) int {
+	r := v
+	for int(u.parent[r]) != r {
+		r = int(u.parent[r])
+	}
+	for int(u.parent[v]) != v {
+		u.parent[v], v = int32(r), int(u.parent[v])
+	}
+	return r
+}
+
+func (u *unionFind) union(a, b int) {
+	hi := a
+	if b > hi {
+		hi = b
+	}
+	u.grow(hi + 1)
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		u.parent[rb] = int32(ra)
+	} else {
+		u.parent[ra] = int32(rb)
+	}
+}
+
+// ScanComponentBatches mines the support components of the graph at path
+// without ever materializing the whole CSR: a union-find pass labels
+// components, a counting pass sizes them, and then consecutive components
+// (in smallest-member order, matching ShardByComponent) are greedily packed
+// into batches of at most maxEdges edges — a single component larger than
+// maxEdges gets a batch to itself; maxEdges <= 0 means one batch for
+// everything. Each batch is built by re-scanning the file with a component
+// filter and handed to fn as a standalone graph whose vertex i corresponds
+// to newToOld[i] in the file's ID space (ascending, so canonical orderings
+// survive the mapping). Peak memory is O(vertices) bookkeeping plus the
+// largest batch's CSR. A non-nil error from fn aborts the iteration and is
+// returned verbatim.
+func ScanComponentBatches(path string, maxEdges int, fn func(batch *uncertain.Graph, newToOld []int) error) error {
+	var uf unionFind
+	hdr, err := scanFile(path, func(u, v int, p float64) error {
+		uf.union(u, v)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	n := hdr.Vertices
+	uf.grow(n)
+	comp := make([]int32, n)
+	count := 0
+	for v := 0; v < n; v++ {
+		if r := uf.find(v); r == v {
+			comp[v] = int32(count)
+			count++
+		} else {
+			comp[v] = comp[r] // r < v: union-by-min roots are minimal
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	edgesPer := make([]int64, count)
+	if _, err := scanFile(path, func(u, v int, p float64) error {
+		if u >= n {
+			return fmt.Errorf("graphio: input changed between passes: %w", ErrFormat)
+		}
+		edgesPer[comp[u]]++
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	oldToNew := make([]int32, n)
+	for start := 0; start < count; {
+		end := start + 1
+		sum := edgesPer[start]
+		for end < count && (maxEdges <= 0 || sum+edgesPer[end] <= int64(maxEdges)) {
+			sum += edgesPer[end]
+			end++
+		}
+		lo, hi := int32(start), int32(end)
+		var newToOld []int
+		for v := 0; v < n; v++ {
+			if c := comp[v]; c >= lo && c < hi {
+				oldToNew[v] = int32(len(newToOld))
+				newToOld = append(newToOld, v)
+			}
+		}
+		g, err := uncertain.FromEdgeScanner(func(emit func(u, v int, p float64) error) (int, error) {
+			_, err := scanFile(path, func(u, v int, p float64) error {
+				if u >= n || v >= n {
+					return fmt.Errorf("graphio: input changed between passes: %w", ErrFormat)
+				}
+				if c := comp[u]; c < lo || c >= hi {
+					return nil
+				}
+				return emit(int(oldToNew[u]), int(oldToNew[v]), p)
+			})
+			return len(newToOld), err
+		})
+		if err != nil {
+			return err
+		}
+		if err := fn(g, newToOld); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}

@@ -17,15 +17,30 @@ type cachedResult struct {
 	Stats     json.RawMessage
 }
 
-// resultCache is a size-bounded LRU over canonical cache keys. Keys embed
-// the snapshot epoch (see params.cacheKey), so an Apply that bumps a graph's
-// epoch invalidates every cached result for it implicitly: the new epoch
-// forms new keys, and the old entries age out of the LRU. Epochs come from a
-// server-wide monotonic counter and are never reused — a re-loaded graph can
-// never collide with a stale entry of its former self.
+// entryOverhead approximates the fixed per-entry bookkeeping bytes (list
+// element, map bucket share, struct headers) charged on top of the payload.
+const entryOverhead = 256
+
+// size is the byte footprint an entry charges against the cache's byte
+// capacity: key plus both raw JSON payloads plus fixed overhead.
+func (v *cachedResult) size(key string) int64 {
+	return int64(len(key)+len(v.Status)+len(v.Results)+len(v.Stats)) + entryOverhead
+}
+
+// resultCache is an LRU over canonical cache keys, bounded both by entry
+// count and by total cached result bytes — the byte bound is what keeps a
+// handful of huge result sets from pinning the whole budget while thousands
+// of small ones thrash. Keys embed the snapshot epoch (see params.cacheKey),
+// so an Apply that bumps a graph's epoch invalidates every cached result for
+// it implicitly: the new epoch forms new keys, and the old entries age out
+// of the LRU. Epochs come from a server-wide monotonic counter and are never
+// reused — a re-loaded graph can never collide with a stale entry of its
+// former self.
 type resultCache struct {
 	mu        sync.Mutex
-	cap       int
+	cap       int        // max entries; 0 disables the cache
+	capBytes  int64      // max total bytes; 0 = unbounded by bytes
+	bytes     int64      // current total charged bytes
 	ll        *list.List // front = most recently used
 	entries   map[string]*list.Element
 	hits      int64
@@ -34,15 +49,19 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key string
-	val cachedResult
+	key  string
+	val  cachedResult
+	size int64
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, capBytes int64) *resultCache {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &resultCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+	if capBytes < 0 {
+		capBytes = 0
+	}
+	return &resultCache{cap: capacity, capBytes: capBytes, ll: list.New(), entries: make(map[string]*list.Element)}
 }
 
 // get returns the cached result for key and whether it was present,
@@ -60,38 +79,56 @@ func (c *resultCache) get(key string) (cachedResult, bool) {
 }
 
 // put inserts (or refreshes) key, evicting from the least-recently-used end
-// past capacity. A zero-capacity cache stores nothing.
+// until both the entry cap and the byte cap hold. A zero-capacity cache
+// stores nothing; an entry too large to ever fit the byte cap is not stored
+// at all rather than flushing everything else first.
 func (c *resultCache) put(key string, val cachedResult) {
 	if c.cap == 0 {
+		return
+	}
+	sz := val.size(key)
+	if c.capBytes > 0 && sz > c.capBytes {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		c.bytes += sz - ent.size
+		ent.val, ent.size = val, sz
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, size: sz})
+		c.bytes += sz
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-	for c.ll.Len() > c.cap {
+	for c.ll.Len() > c.cap || (c.capBytes > 0 && c.bytes > c.capBytes) {
 		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
 		c.evictions++
 	}
 }
 
 // cacheStats is the /stats view of the cache.
 type cacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Entries   int   `json:"entries"`
-	Capacity  int   `json:"capacity"`
-	Evictions int64 `json:"evictions"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Entries       int   `json:"entries"`
+	Capacity      int   `json:"capacity"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Evictions     int64 `json:"evictions"`
 }
 
 func (c *resultCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap, Evictions: c.evictions}
+	return cacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Entries: c.ll.Len(), Capacity: c.cap,
+		Bytes: c.bytes, CapacityBytes: c.capBytes,
+		Evictions: c.evictions,
+	}
 }

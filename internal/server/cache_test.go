@@ -8,7 +8,7 @@ import (
 )
 
 func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	res := func(i int) cachedResult {
 		return cachedResult{Count: int64(i), Results: json.RawMessage(fmt.Sprintf("[%d]", i))}
 	}
@@ -48,10 +48,59 @@ func TestResultCacheLRU(t *testing.T) {
 }
 
 func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(0)
+	c := newResultCache(0, 0)
 	c.put("k", cachedResult{Count: 1})
 	if _, ok := c.get("k"); ok {
 		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+// TestResultCacheByteBound proves the byte cap evicts by total stored size
+// independently of the entry cap, that the accounting survives refreshes,
+// and that an entry bigger than the whole byte budget is never stored.
+func TestResultCacheByteBound(t *testing.T) {
+	payload := func(n int) cachedResult {
+		return cachedResult{Results: json.RawMessage(make([]byte, n))}
+	}
+	// Each entry charges ~entryOverhead + key + payload; a 3000-byte budget
+	// holds two 1000-byte payloads but not three.
+	budget := int64(3 * (entryOverhead + 1 + 1000))
+	c := newResultCache(100, budget)
+	c.put("a", payload(1000))
+	c.put("b", payload(1000))
+	c.put("c", payload(1000))
+	st := c.stats()
+	if st.Entries != 3 || st.Bytes > budget {
+		t.Fatalf("three small entries should fit: %+v", st)
+	}
+	// A fourth pushes total bytes over budget: the LRU tail ("a") goes.
+	c.put("d", payload(1000))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("byte bound did not evict the LRU tail")
+	}
+	if st := c.stats(); st.Entries != 3 || st.Bytes > budget || st.Evictions != 1 {
+		t.Fatalf("after byte eviction: %+v", st)
+	}
+
+	// Refreshing a key with a larger payload must recharge its size and
+	// evict enough to get back under budget.
+	c.put("d", payload(2000))
+	if st := c.stats(); st.Bytes > budget {
+		t.Fatalf("refresh did not recharge bytes: %+v", st)
+	}
+	if got, _ := c.get("d"); len(got.Results) != 2000 {
+		t.Fatal("refresh lost the new payload")
+	}
+
+	// An entry larger than the whole budget is rejected outright, leaving
+	// existing entries untouched.
+	before := c.stats().Entries
+	c.put("huge", payload(int(budget)))
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry was stored")
+	}
+	if st := c.stats(); st.Entries != before {
+		t.Fatalf("oversized put disturbed the cache: %+v", st)
 	}
 }
 
@@ -59,7 +108,7 @@ func TestResultCacheDisabled(t *testing.T) {
 // -race build proves the locking; the invariant checked is only that the
 // entry count never exceeds capacity.
 func TestResultCacheConcurrent(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, 0)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)

@@ -49,7 +49,7 @@ func mineJSON(t *testing.T, g *mule.Graph, ex *mule.Executor) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := p.newRunner(&Snapshot{Graph: g}, ex)
+	run, err := p.newRunner(&Snapshot{Graph: g}, ex, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,13 @@ type qparams struct {
 	timeout time.Duration
 	tenant  string
 	nocache bool
+
+	shards     int  // component-sharded execution: WithShards value (0 = off)
+	shardsAuto bool // shards=auto → WithAutoShard
 }
+
+// sharded reports whether the request asked for component-sharded execution.
+func (p *qparams) sharded() bool { return p.shards > 0 || p.shardsAuto }
 
 // paramScope names which keys each miner accepts beyond the common set.
 var paramScope = map[string]map[string]bool{
@@ -52,7 +58,7 @@ var paramScope = map[string]map[string]bool{
 // commonParams are accepted by every miner.
 var commonParams = map[string]bool{
 	"miner": true, "limit": true, "budget": true, "timeout": true,
-	"tenant": true, "nocache": true,
+	"tenant": true, "nocache": true, "shards": true,
 }
 
 // parseQueryParams validates and normalizes a query-string into qparams.
@@ -163,6 +169,21 @@ func parseQueryParams(v url.Values) (*qparams, error) {
 		}
 		p.tenant = raw
 	}
+	// shards: a positive count, "auto" (GOMAXPROCS at run time), or 0 /
+	// absent for unsharded execution.
+	if raw, ok, err := single("shards"); err != nil {
+		return nil, err
+	} else if ok {
+		if raw == "auto" {
+			p.shardsAuto = true
+		} else {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("parameter %q: %q is not a non-negative integer or %q", "shards", raw, "auto")
+			}
+			p.shards = n
+		}
+	}
 	if raw, ok, err := single("nocache"); err != nil {
 		return nil, err
 	} else if ok {
@@ -219,11 +240,20 @@ func (p *qparams) cacheKey(graph string, epoch uint64) string {
 		fmt.Fprintf(&b, "|h=%s", ff(p.eta))
 	}
 	fmt.Fprintf(&b, "|l=%d", p.limit)
+	// The result set is shard-invariant, so sharded and unsharded runs share
+	// cache entries — except under a limit, where the truncated prefix
+	// follows the delivery order: engine order unsharded, component order
+	// sharded. The component order is the same for every shard setting, so
+	// one flag (not the shard count) splits the key space.
+	if p.sharded() && p.limit > 0 {
+		b.WriteString("|s=1")
+	}
 	return b.String()
 }
 
-// commonOptions assembles the option set shared by every miner.
-func (p *qparams) commonOptions(ex *mule.Executor) []mule.Option {
+// commonOptions assembles the option set shared by every miner. prog, when
+// non-nil and the request is sharded, receives per-component progress.
+func (p *qparams) commonOptions(ex *mule.Executor, prog func(done, total int)) []mule.Option {
 	opts := []mule.Option{mule.WithExecutor(ex)}
 	if p.tenant != "" {
 		opts = append(opts, mule.WithTenant(p.tenant))
@@ -233,6 +263,14 @@ func (p *qparams) commonOptions(ex *mule.Executor) []mule.Option {
 	}
 	if p.budget > 0 {
 		opts = append(opts, mule.WithBudget(p.budget))
+	}
+	if p.shardsAuto {
+		opts = append(opts, mule.WithAutoShard())
+	} else if p.shards > 0 {
+		opts = append(opts, mule.WithShards(p.shards))
+	}
+	if prog != nil && p.sharded() {
+		opts = append(opts, mule.WithShardProgress(prog))
 	}
 	return opts
 }
@@ -278,7 +316,8 @@ type vertexCoreJSON struct {
 // newRunner builds the prepared query for p against snap on ex, validating
 // eagerly — a bad threshold, an out-of-scope option, or a miner/graph-kind
 // mismatch surfaces here, before the cache is consulted or any work runs.
-func (p *qparams) newRunner(snap *Snapshot, ex *mule.Executor) (runner, error) {
+// prog, when non-nil, receives per-component progress on sharded requests.
+func (p *qparams) newRunner(snap *Snapshot, ex *mule.Executor, prog func(done, total int)) (runner, error) {
 	if p.miner == "bicliques" {
 		if snap.Bipartite == nil {
 			return nil, fmt.Errorf("miner %q needs a bipartite graph: %w", p.miner, mule.ErrConfig)
@@ -287,7 +326,7 @@ func (p *qparams) newRunner(snap *Snapshot, ex *mule.Executor) (runner, error) {
 		return nil, fmt.Errorf("miner %q needs a regular graph, not bipartite: %w", p.miner, mule.ErrConfig)
 	}
 
-	opts := p.commonOptions(ex)
+	opts := p.commonOptions(ex, prog)
 	switch p.miner {
 	case "cliques":
 		if p.minSize > 0 {

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"sort"
+	"sync"
+)
+
+// shardRunInfo is the /stats view of one in-flight sharded query: which
+// graph and miner it is running, and how many of the graph's components
+// have been mined and delivered so far.
+type shardRunInfo struct {
+	ID    int64  `json:"id"`
+	Graph string `json:"graph"`
+	Miner string `json:"miner"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// progressTable tracks the per-shard progress of every in-flight sharded
+// query. Entries are registered when a sharded run starts, updated from the
+// query's WithShardProgress callback, and removed when the run finishes —
+// /stats reports only live runs.
+type progressTable struct {
+	mu   sync.Mutex
+	next int64
+	runs map[int64]*shardRunInfo
+}
+
+func newProgressTable() *progressTable {
+	return &progressTable{runs: make(map[int64]*shardRunInfo)}
+}
+
+// register adds a run and returns its ID plus the update callback to hand
+// to WithShardProgress. The callback is safe to invoke from the run's
+// goroutine while /stats reads concurrently.
+func (t *progressTable) register(graph, miner string) (int64, func(done, total int)) {
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	t.runs[id] = &shardRunInfo{ID: id, Graph: graph, Miner: miner}
+	t.mu.Unlock()
+	return id, func(done, total int) {
+		t.mu.Lock()
+		if r, ok := t.runs[id]; ok {
+			r.Done, r.Total = done, total
+		}
+		t.mu.Unlock()
+	}
+}
+
+// unregister removes a finished run.
+func (t *progressTable) unregister(id int64) {
+	t.mu.Lock()
+	delete(t.runs, id)
+	t.mu.Unlock()
+}
+
+// list snapshots the live runs in registration order.
+func (t *progressTable) list() []shardRunInfo {
+	t.mu.Lock()
+	out := make([]shardRunInfo, 0, len(t.runs))
+	for _, r := range t.runs {
+		out = append(out, *r)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -49,12 +49,17 @@ type Config struct {
 	// CacheEntries caps the result cache (default 256; 0 after default
 	// applies only via explicit negative → disabled).
 	CacheEntries int
+	// CacheBytes caps the result cache's total stored result bytes (default
+	// 64 MiB; negative → unbounded by bytes, entry cap only). An entry
+	// larger than the byte cap is never stored.
+	CacheBytes int64
 	// MaxBodyBytes caps graph-load and apply request bodies (default 1 GiB).
 	MaxBodyBytes int64
 }
 
 const (
 	defaultCacheEntries = 256
+	defaultCacheBytes   = 64 << 20
 	defaultMaxBody      = 1 << 30
 	// defaultMaintainerAlpha seeds a graph's incremental maintainer when the
 	// first Apply batch names no alpha of its own.
@@ -69,6 +74,7 @@ type Server struct {
 	ownsExec bool
 	reg      *registry
 	cache    *resultCache
+	progress *progressTable
 	maxBody  int64
 	mux      *http.ServeMux
 	inflight atomic.Int64
@@ -90,6 +96,12 @@ func New(cfg Config) *Server {
 	} else if entries < 0 {
 		entries = 0
 	}
+	capBytes := cfg.CacheBytes
+	if capBytes == 0 {
+		capBytes = defaultCacheBytes
+	} else if capBytes < 0 {
+		capBytes = 0
+	}
 	maxBody := cfg.MaxBodyBytes
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
@@ -98,7 +110,8 @@ func New(cfg Config) *Server {
 		ex:       ex,
 		ownsExec: owns,
 		reg:      newRegistry(),
-		cache:    newResultCache(entries),
+		cache:    newResultCache(entries, capBytes),
+		progress: newProgressTable(),
 		maxBody:  maxBody,
 	}
 	mux := http.NewServeMux()
@@ -334,7 +347,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Resolve the snapshot once: the epoch, the cache key, and the whole
 	// run use this version of the graph no matter what Apply does meanwhile.
 	snap := e.snapshot()
-	run, err := p.newRunner(snap, s.ex)
+	var prog func(done, total int)
+	if p.sharded() {
+		var id int64
+		id, prog = s.progress.register(name, p.miner)
+		defer s.progress.unregister(id)
+	}
+	run, err := p.newRunner(snap, s.ex, prog)
 	if err != nil {
 		code, detail := httpStatusOf(err)
 		writeError(w, code, detail, err)
@@ -517,12 +536,14 @@ type statsResponse struct {
 	InFlight  int64               `json:"inflight"`
 	Cache     cacheStats          `json:"cache"`
 	Admission mule.AdmissionStats `json:"admission"`
+	Sharded   []shardRunInfo      `json:"sharded,omitempty"`
 	Graphs    []graphInfo         `json:"graphs"`
 }
 
 // handleStats snapshots the server's observable state: in-flight queries,
-// cache hit/miss/eviction counters, per-tenant admission accounting, and
-// every graph's current epoch.
+// cache hit/miss/eviction counters, per-tenant admission accounting,
+// per-component progress of in-flight sharded runs, and every graph's
+// current epoch.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	entries := s.reg.list()
 	graphs := make([]graphInfo, 0, len(entries))
@@ -533,6 +554,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		InFlight:  s.inflight.Load(),
 		Cache:     s.cache.stats(),
 		Admission: s.ex.AdmissionStats(),
+		Sharded:   s.progress.list(),
 		Graphs:    graphs,
 	})
 }

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestServerShardedQuery proves the ?shards= parameter end to end: sharded
+// runs return the same result set as unsharded ones, share their cache entry
+// when unlimited (the result set is shard-invariant), get a distinct cache
+// key when limited (truncation order differs), and bad values are 400s.
+func TestServerShardedQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, body, _ := do(t, "POST", ts.URL+"/graphs/g", testGraphText(t)); code != http.StatusOK {
+		t.Fatalf("load: %d %s", code, body)
+	}
+	base := ts.URL + "/graphs/g/query?miner=cliques&alpha=0.5"
+
+	// Unsharded reference, bypassing the cache.
+	code, refBody, _ := do(t, "GET", base+"&nocache=true", nil)
+	if code != http.StatusOK {
+		t.Fatalf("reference query: %d %s", code, refBody)
+	}
+	ref := decodeQuery(t, refBody)
+
+	for _, shards := range []string{"1", "2", "auto", "0"} {
+		code, body, _ := do(t, "GET", base+"&nocache=true&shards="+shards, nil)
+		if code != http.StatusOK {
+			t.Fatalf("shards=%s: %d %s", shards, code, body)
+		}
+		qr := decodeQuery(t, body)
+		if qr.Status != "complete" || qr.Count != ref.Count {
+			t.Fatalf("shards=%s: %+v want count %d", shards, qr, ref.Count)
+		}
+		got := decodeCliqueSets(t, qr.Results)
+		want := decodeCliqueSets(t, ref.Results)
+		if !equalSetOfSets(got, want) {
+			t.Fatalf("shards=%s result set differs:\n%s\nvs\n%s", shards, qr.Results, ref.Results)
+		}
+	}
+
+	// Unlimited sharded and unsharded runs share one cache entry (the
+	// reference calls above used nocache): populate it unsharded, then
+	// prove a sharded request is served from it.
+	code, first, _ := do(t, "GET", base, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cache populate: %d %s", code, first)
+	}
+	code, second, _ := do(t, "GET", base+"&shards=2", nil)
+	if code != http.StatusOK {
+		t.Fatalf("sharded cache probe: %d %s", code, second)
+	}
+	if qr := decodeQuery(t, second); !qr.Cached {
+		t.Fatalf("unlimited sharded query should share the unsharded cache entry: %+v", qr)
+	}
+
+	// With a limit the truncation prefix depends on delivery order, so the
+	// sharded variant must NOT be served from the unsharded entry.
+	limited := base + "&limit=1"
+	if code, body, _ := do(t, "GET", limited, nil); code != http.StatusOK {
+		t.Fatalf("limited populate: %d %s", code, body)
+	}
+	code, body, _ := do(t, "GET", limited+"&shards=2", nil)
+	if code != http.StatusOK {
+		t.Fatalf("limited sharded: %d %s", code, body)
+	}
+	if qr := decodeQuery(t, body); qr.Cached {
+		t.Fatalf("limited sharded query must not reuse the unsharded cache entry: %+v", qr)
+	}
+
+	// Invalid values are rejected up front.
+	for _, bad := range []string{"-1", "x", "1.5", ""} {
+		code, body, _ := do(t, "GET", base+"&shards="+bad, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("shards=%q accepted: %d %s", bad, code, body)
+		}
+	}
+
+	// All runs above finished, so /stats reports no live sharded runs.
+	code, body, _ = do(t, "GET", ts.URL+"/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sharded) != 0 {
+		t.Fatalf("finished runs still listed as live: %+v", st.Sharded)
+	}
+	if st.Cache.CapacityBytes == 0 {
+		t.Fatalf("default byte cap not applied: %+v", st.Cache)
+	}
+}
+
+// decodeCliqueSets parses a results array of clique objects down to their
+// vertex lists.
+func decodeCliqueSets(t *testing.T, raw json.RawMessage) [][]int {
+	t.Helper()
+	var objs []struct {
+		Vertices []int `json:"vertices"`
+	}
+	if err := json.Unmarshal(raw, &objs); err != nil {
+		t.Fatalf("decoding results %s: %v", raw, err)
+	}
+	out := make([][]int, len(objs))
+	for i, o := range objs {
+		out[i] = o.Vertices
+	}
+	return out
+}
+
+// equalSetOfSets compares two families of vertex sets ignoring order.
+func equalSetOfSets(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(s []int) string {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.Encode(s)
+		return buf.String()
+	}
+	seen := make(map[string]int, len(a))
+	for _, s := range a {
+		seen[key(s)]++
+	}
+	for _, s := range b {
+		seen[key(s)]--
+	}
+	for _, n := range seen {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestProgressTable exercises the register → update → list → unregister
+// cycle directly, including the callback-after-unregister case that a
+// slow shard hitting a cancelled run would produce.
+func TestProgressTable(t *testing.T) {
+	tbl := newProgressTable()
+	id1, up1 := tbl.register("g", "cliques")
+	id2, up2 := tbl.register("h", "truss")
+	if id1 == id2 {
+		t.Fatal("duplicate run IDs")
+	}
+	up1(2, 5)
+	up2(0, 3)
+	runs := tbl.list()
+	if len(runs) != 2 {
+		t.Fatalf("list: %+v", runs)
+	}
+	if runs[0].Graph != "g" || runs[0].Miner != "cliques" || runs[0].Done != 2 || runs[0].Total != 5 {
+		t.Fatalf("run 1: %+v", runs[0])
+	}
+	if runs[1].Graph != "h" || runs[1].Total != 3 {
+		t.Fatalf("run 2: %+v", runs[1])
+	}
+	tbl.unregister(id1)
+	// A late callback for an unregistered run is a harmless no-op.
+	up1(5, 5)
+	runs = tbl.list()
+	if len(runs) != 1 || runs[0].ID != id2 {
+		t.Fatalf("after unregister: %+v", runs)
+	}
+	tbl.unregister(id2)
+	if runs := tbl.list(); len(runs) != 0 {
+		t.Fatalf("table not empty: %+v", runs)
+	}
+}

@@ -1,0 +1,143 @@
+package ubiclique
+
+import "iter"
+
+// Shard is one connected component of an uncertain bipartite graph extracted
+// as a self-contained Bipartite. Left vertex i of G corresponds to
+// LeftNewToOld[i] on the parent's left side, right vertex j to
+// RightNewToOld[j] on the parent's right side; both maps are strictly
+// ascending, so shard-canonical orderings survive mapping back.
+type Shard struct {
+	// ID numbers components by their smallest ground vertex (left side first,
+	// since left ground IDs precede right ground IDs).
+	ID int
+	// G is the component as a standalone bipartite graph.
+	G *Bipartite
+	// LeftNewToOld and RightNewToOld map shard-side IDs back to parent-side
+	// IDs, each ascending. A component may have an empty side (an isolated
+	// right vertex forms a component with no left members).
+	LeftNewToOld, RightNewToOld []int
+}
+
+// NumComponents counts connected components (over the combined vertex set;
+// an isolated vertex on either side is its own component) without
+// materializing membership lists.
+func (g *Bipartite) NumComponents() int {
+	if g == nil || g.nL+g.nR == 0 {
+		return 0
+	}
+	_, count := g.componentLabels()
+	return count
+}
+
+// componentLabels labels every ground vertex with its component ID
+// (components numbered by smallest ground member) and returns the label
+// array and component count.
+func (g *Bipartite) componentLabels() ([]int32, int) {
+	n := g.nL + g.nR
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	queue := make([]int32, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
+				w := g.nbrs[i]
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// ShardByComponent yields one Shard per connected component, in ID order,
+// building each component's CSR lazily as the iterator advances. No biclique
+// spans two components (both sides of an α-biclique are non-empty and every
+// cross pair is a possible edge), so enumerating each shard independently
+// and mapping results back reproduces the parent graph's biclique set.
+func (g *Bipartite) ShardByComponent() iter.Seq[Shard] {
+	return func(yield func(Shard) bool) {
+		if g == nil || g.nL+g.nR == 0 {
+			return
+		}
+		n := g.nL + g.nR
+		comp, count := g.componentLabels()
+
+		starts := make([]int32, count+1)
+		for _, c := range comp {
+			starts[c+1]++
+		}
+		for i := 0; i < count; i++ {
+			starts[i+1] += starts[i]
+		}
+		order := make([]int32, n)
+		fill := make([]int32, count)
+		for v := 0; v < n; v++ {
+			c := comp[v]
+			order[starts[c]+fill[c]] = int32(v)
+			fill[c]++
+		}
+
+		oldToNew := make([]int32, n)
+		for id := 0; id < count; id++ {
+			members := order[starts[id]:starts[id+1]]
+			// Members are ascending in ground space, so all left members
+			// (ground < nL) precede all right members and the monotone remap
+			// preserves both the side split and sorted rows.
+			newNL := 0
+			for _, ov := range members {
+				if int(ov) < g.nL {
+					newNL++
+				}
+			}
+			offsets := make([]int32, len(members)+1)
+			for i, ov := range members {
+				oldToNew[ov] = int32(i)
+				offsets[i+1] = offsets[i] + (g.offsets[ov+1] - g.offsets[ov])
+			}
+			nbrs := make([]int32, offsets[len(members)])
+			probs := make([]float64, offsets[len(members)])
+			w := 0
+			for _, ov := range members {
+				for i := g.offsets[ov]; i < g.offsets[ov+1]; i++ {
+					nbrs[w] = oldToNew[g.nbrs[i]]
+					probs[w] = g.probs[i]
+					w++
+				}
+			}
+			left := make([]int, newNL)
+			right := make([]int, len(members)-newNL)
+			for i, ov := range members {
+				if i < newNL {
+					left[i] = int(ov)
+				} else {
+					right[i-newNL] = int(ov) - g.nL
+				}
+			}
+			sub := &Bipartite{
+				nL:      newNL,
+				nR:      len(members) - newNL,
+				offsets: offsets,
+				nbrs:    nbrs,
+				probs:   probs,
+			}
+			if !yield(Shard{ID: id, G: sub, LeftNewToOld: left, RightNewToOld: right}) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package ubiclique
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBipartiteShardByComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 40; trial++ {
+		nL, nR := 1+rng.Intn(12), 1+rng.Intn(12)
+		b := NewBuilder(nL, nR)
+		for l := 0; l < nL; l++ {
+			for r := 0; r < nR; r++ {
+				if rng.Float64() < 0.15 {
+					_ = b.AddEdge(l, r, 0.1+0.9*rng.Float64())
+				}
+			}
+		}
+		g := b.Build()
+
+		var gotEdges []Edge
+		leftSeen := make([]bool, nL)
+		rightSeen := make([]bool, nR)
+		lastID := -1
+		for sh := range g.ShardByComponent() {
+			if sh.ID != lastID+1 {
+				t.Fatalf("trial %d: shard IDs out of order: %d after %d", trial, sh.ID, lastID)
+			}
+			lastID = sh.ID
+			if !sort.IntsAreSorted(sh.LeftNewToOld) || !sort.IntsAreSorted(sh.RightNewToOld) {
+				t.Fatalf("trial %d shard %d: remap tables not ascending", trial, sh.ID)
+			}
+			if sh.G.NumLeft() != len(sh.LeftNewToOld) || sh.G.NumRight() != len(sh.RightNewToOld) {
+				t.Fatalf("trial %d shard %d: side sizes disagree with remap tables", trial, sh.ID)
+			}
+			for _, l := range sh.LeftNewToOld {
+				if leftSeen[l] {
+					t.Fatalf("trial %d: left vertex %d in two shards", trial, l)
+				}
+				leftSeen[l] = true
+			}
+			for _, r := range sh.RightNewToOld {
+				if rightSeen[r] {
+					t.Fatalf("trial %d: right vertex %d in two shards", trial, r)
+				}
+				rightSeen[r] = true
+			}
+			for _, e := range sh.G.Edges() {
+				gotEdges = append(gotEdges, Edge{
+					L: sh.LeftNewToOld[e.L],
+					R: sh.RightNewToOld[e.R],
+					P: e.P,
+				})
+			}
+		}
+		for l, ok := range leftSeen {
+			if !ok {
+				t.Fatalf("trial %d: left vertex %d missing from all shards", trial, l)
+			}
+		}
+		for r, ok := range rightSeen {
+			if !ok {
+				t.Fatalf("trial %d: right vertex %d missing from all shards", trial, r)
+			}
+		}
+		sort.Slice(gotEdges, func(i, j int) bool {
+			if gotEdges[i].L != gotEdges[j].L {
+				return gotEdges[i].L < gotEdges[j].L
+			}
+			return gotEdges[i].R < gotEdges[j].R
+		})
+		want := g.Edges()
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(gotEdges, want) {
+			t.Fatalf("trial %d: shard edges %v, want %v", trial, gotEdges, want)
+		}
+	}
+}
+
+func TestBipartiteShardIsolatedSides(t *testing.T) {
+	// One real component plus an isolated left and an isolated right vertex:
+	// the isolated ones become single-side shards.
+	b := NewBuilder(2, 2)
+	if err := b.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	var shards []Shard
+	for sh := range g.ShardByComponent() {
+		shards = append(shards, sh)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	if !reflect.DeepEqual(shards[0].LeftNewToOld, []int{0}) || !reflect.DeepEqual(shards[0].RightNewToOld, []int{1}) {
+		t.Fatalf("shard 0 sides: %v / %v", shards[0].LeftNewToOld, shards[0].RightNewToOld)
+	}
+	if len(shards[1].LeftNewToOld) != 1 || len(shards[1].RightNewToOld) != 0 {
+		t.Fatalf("shard 1 should be the isolated left vertex, got %v / %v",
+			shards[1].LeftNewToOld, shards[1].RightNewToOld)
+	}
+	if len(shards[2].LeftNewToOld) != 0 || len(shards[2].RightNewToOld) != 1 {
+		t.Fatalf("shard 2 should be the isolated right vertex, got %v / %v",
+			shards[2].LeftNewToOld, shards[2].RightNewToOld)
+	}
+}

@@ -1,0 +1,126 @@
+package uncertain
+
+import "iter"
+
+// Shard is one support component extracted as a self-contained graph.
+// Vertex i of G corresponds to NewToOld[i] in the parent graph; NewToOld is
+// strictly ascending, so orderings that are canonical in the shard (sorted
+// neighbor rows, lexicographic clique order) remain canonical after mapping
+// back.
+type Shard struct {
+	// ID numbers components by their smallest member: shard 0 contains the
+	// smallest vertex of the parent graph, shard 1 the smallest vertex not in
+	// shard 0, and so on. Matches the ordering of Components().
+	ID int
+	// G is the component as a standalone graph with vertices relabeled to
+	// 0..len(NewToOld)-1.
+	G *Graph
+	// NewToOld maps shard vertex IDs back to parent vertex IDs, ascending.
+	NewToOld []int
+}
+
+// NumComponents counts support components without materializing membership
+// lists.
+func (g *Graph) NumComponents() int {
+	if g == nil || g.n == 0 {
+		return 0
+	}
+	_, count := g.componentLabels()
+	return count
+}
+
+// componentLabels labels every vertex with its component ID (components
+// numbered by smallest member, matching Components()) and returns the label
+// array and component count.
+func (g *Graph) componentLabels() ([]int32, int) {
+	comp := make([]int32, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	queue := make([]int32, 0, 64)
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
+				w := g.nbrs[i]
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// ShardByComponent yields one Shard per support component, in ID order
+// (smallest member first), building each component's CSR lazily as the
+// iterator advances. Unlike Components(), at most one shard's subgraph is
+// materialized per step, so a consumer that releases each shard after mining
+// it holds the largest component — not the whole graph — beyond the parent
+// CSR. A nil or empty graph yields nothing.
+func (g *Graph) ShardByComponent() iter.Seq[Shard] {
+	return func(yield func(Shard) bool) {
+		if g == nil || g.n == 0 {
+			return
+		}
+		comp, count := g.componentLabels()
+
+		// Counting-sort vertices by (component, ascending ID): sizes →
+		// starts → scatter. Scanning v ascending keeps each component's
+		// member list ascending, which makes the remap below monotone.
+		starts := make([]int32, count+1)
+		for _, c := range comp {
+			starts[c+1]++
+		}
+		for i := 0; i < count; i++ {
+			starts[i+1] += starts[i]
+		}
+		order := make([]int32, g.n)
+		fill := make([]int32, count)
+		for v := 0; v < g.n; v++ {
+			c := comp[v]
+			order[starts[c]+fill[c]] = int32(v)
+			fill[c]++
+		}
+
+		oldToNew := make([]int32, g.n)
+		for id := 0; id < count; id++ {
+			members := order[starts[id]:starts[id+1]]
+			offsets := make([]int32, len(members)+1)
+			for i, ov := range members {
+				oldToNew[ov] = int32(i)
+				offsets[i+1] = offsets[i] + (g.offsets[ov+1] - g.offsets[ov])
+			}
+			nbrs := make([]int32, offsets[len(members)])
+			probs := make([]float64, offsets[len(members)])
+			w := 0
+			for _, ov := range members {
+				for i := g.offsets[ov]; i < g.offsets[ov+1]; i++ {
+					// Neighbors stay within the component, and the monotone
+					// remap keeps each row sorted.
+					nbrs[w] = oldToNew[g.nbrs[i]]
+					probs[w] = g.probs[i]
+					w++
+				}
+			}
+			newToOld := make([]int, len(members))
+			for i, ov := range members {
+				newToOld[i] = int(ov)
+			}
+			sub := &Graph{n: len(members), offsets: offsets, nbrs: nbrs, probs: probs}
+			if !yield(Shard{ID: id, G: sub, NewToOld: newToOld}) {
+				return
+			}
+		}
+	}
+}

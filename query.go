@@ -32,11 +32,13 @@ type Clique struct {
 // A Query is immutable after construction and safe for concurrent use; each
 // run is independent.
 type Query struct {
-	g     *Graph
-	alpha float64
-	cfg   core.Config
-	limit int64
-	ten   tenancy
+	g         *Graph
+	alpha     float64
+	cfg       core.Config
+	limit     int64
+	ten       tenancy
+	shards    int // 0 = unsharded; see WithShards
+	shardProg func(done, total int)
 }
 
 // queryKind is a bitmask naming the query surfaces an Option may configure.
@@ -85,6 +87,11 @@ type queryOptions struct {
 	stall      time.Duration // stall-watchdog window (0 = disarmed)
 	retry      RetryPolicy   // admission retry/backoff policy
 	retrySet   bool          // WithRetry was passed
+
+	shards        int                   // component sharding: WithShards value (0 = off)
+	shardsSet     bool                  // WithShards/WithAutoShard was passed
+	shardsAuto    bool                  // WithAutoShard was passed (resolve at run time)
+	shardProgress func(done, total int) // per-component completion callback (sharded runs)
 }
 
 // Option configures a prepared query. The same Option type serves every
@@ -264,11 +271,17 @@ func NewQuery(g *Graph, alpha float64, opts ...Option) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards, err := o.shardPlan()
+	if err != nil {
+		return nil, err
+	}
 	q, err := newQuery(g, alpha, o.cfg, o.limit)
 	if err != nil {
 		return nil, err
 	}
 	q.ten = ten
+	q.shards = shards
+	q.shardProg = o.shardProgress
 	// The parallel engines submit their frames to the query's executor; the
 	// serial path never touches one.
 	q.cfg.Exec = ten.engineExec()
@@ -289,6 +302,9 @@ func newQueryFromConfig(g *Graph, alpha float64, cfg Config) (*Query, error) {
 // Admission control gates the run before any search work; a rejected run
 // reports StatusFailed with an error wrapping ErrAdmission.
 func (q *Query) run(ctx context.Context, visit Visitor) (stats Stats, userStopped bool, err error) {
+	if q.shards != 0 {
+		return q.runSharded(ctx, visit)
+	}
 	release, err := q.ten.admit(ctx, q.cfg.Budget)
 	if err != nil {
 		return Stats{Status: StatusFailed}, false, err

@@ -1,0 +1,746 @@
+package mule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/uncertain-graphs/mule/internal/core"
+	"github.com/uncertain-graphs/mule/internal/ubiclique"
+	"github.com/uncertain-graphs/mule/internal/ucore"
+	"github.com/uncertain-graphs/mule/internal/uquasi"
+	"github.com/uncertain-graphs/mule/internal/utruss"
+)
+
+// Component-sharded mining. No clique, biclique, quasi-clique, truss edge,
+// or core vertex spans two support components, so every prepared query can
+// be executed as one independent run per component over a small relabeled
+// CSR, with results mapped back to parent vertex IDs. Sharding changes the
+// execution shape, never the answer: the collected (canonical-order) result
+// set, Count, MaxTruss, and the folded work counters' totals are identical
+// to an unsharded run. What does change is stream order — a sharded Run or
+// Stream delivers results component by component (components numbered by
+// smallest member, matching Graph.Components), each component internally in
+// its engine's order — and therefore which prefix a WithLimit bound keeps.
+// The sharded order is itself deterministic for every shard count, so
+// WithShards(1), WithShards(8), and WithAutoShard agree byte for byte.
+
+// shardsAuto marks WithAutoShard in the configured shard count; it is
+// resolved to runtime.GOMAXPROCS(0) when a run starts.
+const shardsAuto = -1
+
+// WithShards executes the query one support component at a time, up to n
+// components concurrently (n = 1 is fully sequential). Each component is
+// extracted as a self-contained relabeled CSR, mined as its own engine run
+// — with per-component panic containment, so a poisoned component fails the
+// run without taking down the process — and its results are mapped back and
+// delivered on the calling goroutine in component order. At most roughly n
+// component subgraphs are materialized at once, so a multi-component graph
+// mines in memory proportional to its largest component, not its total
+// size. n must be at least 1; anything else is a wrapped ErrConfig.
+//
+// WithBudget composes: the budget bounds the total work across all
+// components, which forces the components to run sequentially so each can
+// be handed what remains. Single-answer methods that are not streams
+// (Query.Maximum, TrussQuery.Truss, CoreQuery.Decompose, CoreQuery.Core)
+// ignore sharding and run on the whole graph.
+func WithShards(n int) Option {
+	return Option{"WithShards", kindAll, func(o *queryOptions) {
+		o.shards, o.shardsSet, o.shardsAuto = n, true, false
+	}}
+}
+
+// WithAutoShard is WithShards with the concurrency chosen at run time as
+// runtime.GOMAXPROCS(0).
+func WithAutoShard() Option {
+	return Option{"WithAutoShard", kindAll, func(o *queryOptions) {
+		o.shards, o.shardsSet, o.shardsAuto = 0, true, true
+	}}
+}
+
+// WithShardProgress registers a callback for sharded runs: fn(0, total) is
+// invoked once when the run starts (total is the graph's component count)
+// and fn(done, total) after each component's results have been delivered,
+// always on the run's calling goroutine. It requires WithShards or
+// WithAutoShard; passing it alone is a wrapped ErrConfig.
+func WithShardProgress(fn func(done, total int)) Option {
+	return Option{"WithShardProgress", kindAll, func(o *queryOptions) { o.shardProgress = fn }}
+}
+
+// shardPlan validates the sharding options, returning the configured shard
+// concurrency: 0 when unsharded, shardsAuto for WithAutoShard, else the
+// WithShards value.
+func (o *queryOptions) shardPlan() (int, error) {
+	if !o.shardsSet {
+		if o.shardProgress != nil {
+			return 0, fmt.Errorf("mule: WithShardProgress requires WithShards or WithAutoShard: %w", ErrConfig)
+		}
+		return 0, nil
+	}
+	if o.shardsAuto {
+		return shardsAuto, nil
+	}
+	if o.shards < 1 {
+		return 0, fmt.Errorf("mule: WithShards requires at least one shard, got %d: %w", o.shards, ErrConfig)
+	}
+	return o.shards, nil
+}
+
+// resolveShards turns a configured shard count into a concrete concurrency.
+func resolveShards(n int) int {
+	if n == shardsAuto {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// statusForError maps a sharded run's terminal error to the RunStatus an
+// unsharded engine would have recorded for the same cause.
+func statusForError(err error) RunStatus {
+	switch {
+	case errors.Is(err, ErrPanic):
+		return StatusPanicked
+	case errors.Is(err, ErrBudget):
+		return StatusBudget
+	case errors.Is(err, ErrStalled):
+		return StatusStalled
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline
+	case errors.Is(err, context.Canceled):
+		return StatusCanceled
+	default:
+		return StatusFailed
+	}
+}
+
+// shardTask is one component's unit of work in a sharded run: mine the
+// component and return its buffered results, already remapped to parent
+// vertex IDs. IDs must be consecutive from 0 in yield order (the contract
+// of ShardByComponent).
+type shardTask[T any] struct {
+	id  int
+	run func(context.Context) ([]T, error)
+}
+
+// runShardTask executes one task with per-shard panic containment: a panic
+// inside one component's engine run (or result remapping) becomes that
+// task's error instead of unwinding the whole process.
+func runShardTask[T any](ctx context.Context, t shardTask[T]) (out []T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			out, err = nil, panicToError(v)
+		}
+	}()
+	return t.run(ctx)
+}
+
+// driveShards runs tasks with at most conc in flight, calling deliver with
+// each task's results in task-ID order on the calling goroutine. deliver
+// returning false stops the run (a nil error outcome); a task error cancels
+// the remaining tasks and is returned — the lowest-ID error when several
+// fail. Tasks are pulled from the iterator lazily, so at most about conc+1
+// component subgraphs exist at any moment, and every goroutine is joined
+// before the call returns on all paths, including a deliver panic.
+func driveShards[T any](ctx context.Context, tasks iter.Seq[shardTask[T]], conc int, deliver func([]T) bool) error {
+	if conc <= 1 {
+		for t := range tasks {
+			out, err := runShardTask(ctx, t)
+			if err != nil {
+				return err
+			}
+			if !deliver(out) {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	type result struct {
+		id  int
+		out []T
+		err error
+	}
+	taskCh := make(chan shardTask[T])
+	feederDone := make(chan struct{})
+	go func() {
+		// The feeder advances the shard iterator only when a worker is
+		// ready, keeping the number of materialized component CSRs bounded.
+		defer close(feederDone)
+		defer close(taskCh)
+		for t := range tasks {
+			select {
+			case taskCh <- t:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+	resCh := make(chan result)
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				out, err := runShardTask(cctx, t)
+				select {
+				case resCh <- result{t.id, out, err}:
+				case <-cctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+	defer func() {
+		// Join everything on every exit path (normal, error, deliver
+		// panic): cancel unblocks the workers and feeder, draining resCh
+		// waits out the workers, feederDone waits out the feeder.
+		cancel()
+		for range resCh {
+		}
+		<-feederDone
+	}()
+
+	// Reorder completions into task-ID order before delivery. IDs are
+	// consecutive from 0, so a single cursor suffices.
+	pending := make(map[int]result)
+	next := 0
+	var firstErr error
+	stopped := false
+	for r := range resCh {
+		pending[r.id] = r
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if firstErr != nil || stopped {
+				continue
+			}
+			if cur.err != nil {
+				firstErr = cur.err
+				cancel()
+				continue
+			}
+			if !deliver(cur.out) {
+				stopped = true
+				cancel()
+			}
+		}
+	}
+	return firstErr
+}
+
+// shardDelivery is the shared delivery-side state of a sharded run: the
+// emitted counter, the WithLimit bound, the user-stop flag, and the
+// progress callback.
+type shardDelivery struct {
+	limit       int64
+	delivered   int64
+	userStopped bool
+	done, total int
+	progress    func(done, total int)
+}
+
+// begin fires the initial progress callback.
+func (d *shardDelivery) begin(total int) {
+	if d.progress != nil {
+		d.total = total
+		d.progress(0, total)
+	}
+}
+
+// emit counts one result before handing it to visit (a result that reaches
+// the visitor is emitted even if it stops the run, matching every engine)
+// and applies the WithLimit bound. It reports whether the run continues.
+func (d *shardDelivery) emit(visit func() bool) bool {
+	d.delivered++
+	if !visit() {
+		d.userStopped = true
+		return false
+	}
+	return d.limit <= 0 || d.delivered < d.limit
+}
+
+// shardDone fires the per-component progress callback.
+func (d *shardDelivery) shardDone() {
+	d.done++
+	if d.progress != nil {
+		d.progress(d.done, d.total)
+	}
+}
+
+// finish translates the drive's outcome into the run's (status, error)
+// pair: errors keep the cause's status, an early stop (user or limit) is
+// StatusStopped, anything else completed.
+func (d *shardDelivery) finish(err error) (RunStatus, error) {
+	if err != nil {
+		return statusForError(err), err
+	}
+	if d.userStopped || (d.limit > 0 && d.delivered >= d.limit) {
+		return StatusStopped, nil
+	}
+	return StatusComplete, nil
+}
+
+// --- Clique queries ---
+
+// runSharded executes a clique query component by component; see WithShards
+// for the contract. Stats counters are folded across the per-component
+// engine runs (sums for work counters, maxima for depth and size).
+func (q *Query) runSharded(ctx context.Context, visit Visitor) (stats Stats, userStopped bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stats, userStopped, err = Stats{Status: StatusPanicked}, false, panicToError(v)
+		}
+	}()
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return Stats{Status: StatusFailed}, false, err
+	}
+	defer release()
+
+	conc := resolveShards(q.shards)
+	if q.cfg.Budget > 0 {
+		conc = 1 // budget handoff needs each component's actual spend, in order
+	}
+	countOnly := visit == nil && q.limit <= 0
+
+	var (
+		mu        sync.Mutex
+		agg       Stats
+		remaining = q.cfg.Budget // written only on the sequential path
+	)
+	fold := func(s Stats) {
+		mu.Lock()
+		agg.Calls += s.Calls
+		agg.Emitted += s.Emitted
+		agg.CandidateOps += s.CandidateOps
+		agg.WitnessOps += s.WitnessOps
+		agg.BitsetOps += s.BitsetOps
+		agg.PrunedEdges += s.PrunedEdges
+		agg.SizePruned += s.SizePruned
+		agg.FilterRemoved += s.FilterRemoved
+		agg.Steals += s.Steals
+		agg.Splits += s.Splits
+		agg.MaxDepth = max(agg.MaxDepth, s.MaxDepth)
+		agg.MaxCliqueSize = max(agg.MaxCliqueSize, s.MaxCliqueSize)
+		mu.Unlock()
+	}
+
+	tasks := func(yield func(shardTask[Clique]) bool) {
+		for sh := range q.g.ShardByComponent() {
+			t := shardTask[Clique]{id: sh.ID, run: func(runCtx context.Context) ([]Clique, error) {
+				cfg := q.cfg
+				if cfg.Budget > 0 {
+					if remaining <= 0 {
+						return nil, fmt.Errorf("mule: search budget exhausted before component %d: %w", sh.ID, ErrBudget)
+					}
+					cfg.Budget = remaining
+				}
+				var engineVisit Visitor
+				var buf []Clique
+				if !countOnly {
+					engineVisit = func(c []int, p float64) bool {
+						mapped := make([]int, len(c))
+						for i, v := range c {
+							mapped[i] = sh.NewToOld[v]
+						}
+						buf = append(buf, Clique{Vertices: mapped, Prob: p})
+						// No component needs to yield more results than the
+						// global limit keeps; stop its engine there.
+						return q.limit <= 0 || int64(len(buf)) < q.limit
+					}
+				}
+				s, err := core.EnumerateContext(runCtx, sh.G, q.alpha, engineVisit, cfg)
+				fold(s)
+				if q.cfg.Budget > 0 {
+					remaining -= s.Calls
+				}
+				return buf, err
+			}}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+
+	d := shardDelivery{limit: q.limit, progress: q.shardProg}
+	if q.shardProg != nil {
+		d.begin(q.g.NumComponents())
+	}
+	driveErr := driveShards(ctx, tasks, conc, func(out []Clique) bool {
+		for _, c := range out {
+			if !d.emit(func() bool { return visit == nil || visit(c.Vertices, c.Prob) }) {
+				return false
+			}
+		}
+		d.shardDone()
+		return true
+	})
+	agg.Status, err = d.finish(driveErr)
+	if !countOnly {
+		agg.Emitted = d.delivered
+	}
+	return agg, d.userStopped, err
+}
+
+// --- Biclique queries ---
+
+func (q *BicliqueQuery) runSharded(ctx context.Context, visit BicliqueVisitor) (stats BicliqueStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return BicliqueStats{Status: StatusFailed}, false, err
+	}
+	defer release()
+
+	conc := resolveShards(q.shards)
+	if q.cfg.Budget > 0 {
+		conc = 1
+	}
+	countOnly := visit == nil && q.limit <= 0
+
+	var (
+		mu        sync.Mutex
+		agg       BicliqueStats
+		remaining = q.cfg.Budget
+	)
+	fold := func(s BicliqueStats) {
+		mu.Lock()
+		agg.Calls += s.Calls
+		agg.Emitted += s.Emitted
+		agg.Cut += s.Cut
+		agg.CandidateOps += s.CandidateOps
+		agg.WitnessOps += s.WitnessOps
+		agg.PrunedEdges += s.PrunedEdges
+		agg.MaxLeft = max(agg.MaxLeft, s.MaxLeft)
+		agg.MaxRight = max(agg.MaxRight, s.MaxRight)
+		mu.Unlock()
+	}
+
+	tasks := func(yield func(shardTask[Biclique]) bool) {
+		for sh := range q.g.ShardByComponent() {
+			t := shardTask[Biclique]{id: sh.ID, run: func(runCtx context.Context) ([]Biclique, error) {
+				cfg := q.cfg
+				if cfg.Budget > 0 {
+					if remaining <= 0 {
+						return nil, fmt.Errorf("mule: search budget exhausted before component %d: %w", sh.ID, ErrBudget)
+					}
+					cfg.Budget = remaining
+				}
+				var engineVisit ubiclique.Visitor
+				var buf []Biclique
+				if !countOnly {
+					engineVisit = func(l, r []int, p float64) bool {
+						ml := make([]int, len(l))
+						for i, v := range l {
+							ml[i] = sh.LeftNewToOld[v]
+						}
+						mr := make([]int, len(r))
+						for i, v := range r {
+							mr[i] = sh.RightNewToOld[v]
+						}
+						buf = append(buf, Biclique{Left: ml, Right: mr, Prob: p})
+						return q.limit <= 0 || int64(len(buf)) < q.limit
+					}
+				}
+				s, err := ubiclique.EnumerateContext(runCtx, sh.G, q.alpha, engineVisit, cfg)
+				fold(s)
+				if q.cfg.Budget > 0 {
+					remaining -= s.Calls
+				}
+				return buf, err
+			}}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+
+	d := shardDelivery{limit: q.limit, progress: q.shardProg}
+	if q.shardProg != nil {
+		d.begin(q.g.NumComponents())
+	}
+	driveErr := driveShards(ctx, tasks, conc, func(out []Biclique) bool {
+		for _, b := range out {
+			if !d.emit(func() bool { return visit == nil || visit(b.Left, b.Right, b.Prob) }) {
+				return false
+			}
+		}
+		d.shardDone()
+		return true
+	})
+	agg.Status, err = d.finish(driveErr)
+	if !countOnly {
+		agg.Emitted = d.delivered
+	}
+	return agg, d.userStopped, err
+}
+
+// --- Quasi-clique queries ---
+
+// runSharded mines every component to completion (maximality needs the
+// whole component; components are independent because γ ≥ ½ forces a
+// quasi-clique's diameter ≤ 2, hence connectivity), then reports the merged
+// sets in global canonical order, so the report loop — and therefore
+// WithLimit and visitor stops — behaves exactly like an unsharded run.
+func (q *QuasiQuery) runSharded(ctx context.Context, visit QuasiVisitor) (stats QuasiStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return QuasiStats{Status: StatusFailed}, false, err
+	}
+	defer release()
+
+	conc := resolveShards(q.shards)
+	if q.cfg.Budget > 0 {
+		conc = 1
+	}
+
+	var (
+		mu        sync.Mutex
+		agg       QuasiStats
+		remaining = q.cfg.Budget
+	)
+	fold := func(s QuasiStats) {
+		mu.Lock()
+		agg.Calls += s.Calls
+		agg.Found += s.Found
+		agg.Pruned += s.Pruned
+		agg.Universe += s.Universe
+		agg.FilterOps += s.FilterOps
+		agg.MaxSize = max(agg.MaxSize, s.MaxSize)
+		mu.Unlock()
+	}
+
+	tasks := func(yield func(shardTask[[]int]) bool) {
+		for sh := range q.g.ShardByComponent() {
+			t := shardTask[[]int]{id: sh.ID, run: func(runCtx context.Context) ([][]int, error) {
+				cfg := q.cfg
+				if cfg.Budget > 0 {
+					if remaining <= 0 {
+						return nil, fmt.Errorf("mule: search budget exhausted before component %d: %w", sh.ID, ErrBudget)
+					}
+					cfg.Budget = remaining
+				}
+				sets, s, err := uquasi.CollectContext(runCtx, sh.G, cfg)
+				fold(s)
+				if q.cfg.Budget > 0 {
+					remaining -= s.Calls
+				}
+				for _, set := range sets {
+					for i, v := range set {
+						set[i] = sh.NewToOld[v]
+					}
+				}
+				return sets, err
+			}}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+
+	d := shardDelivery{limit: q.limit, progress: q.shardProg}
+	if q.shardProg != nil {
+		d.begin(q.g.NumComponents())
+	}
+	var all [][]int
+	driveErr := driveShards(ctx, tasks, conc, func(out [][]int) bool {
+		all = append(all, out...)
+		d.shardDone()
+		return true
+	})
+	if driveErr != nil {
+		agg.Status = statusForError(driveErr)
+		return agg, false, driveErr
+	}
+	// Per-component sets are each in canonical order, but the report loop's
+	// contract is global lexicographic order; merge before reporting.
+	sort.Slice(all, func(i, j int) bool { return lexLess(all[i], all[j]) })
+	for _, s := range all {
+		if !d.emit(func() bool { return visit == nil || visit(s) }) {
+			break
+		}
+	}
+	agg.Status, err = d.finish(nil)
+	agg.Emitted = d.delivered
+	return agg, d.userStopped, err
+}
+
+// --- Truss queries ---
+
+// runSharded peels each component independently. Stream order becomes
+// per-component peel order rather than the global level-by-level order, but
+// the edge→truss assignment — and hence Collect, Count, and MaxTruss — is
+// identical: a component's peeling never depends on edges outside it.
+func (q *TrussQuery) runSharded(ctx context.Context, visit TrussVisitor) (stats TrussStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return TrussStats{Status: StatusFailed}, false, err
+	}
+	defer release()
+
+	conc := resolveShards(q.shards)
+	if q.cfg.Budget > 0 {
+		conc = 1
+	}
+	countOnly := visit == nil && q.limit <= 0
+
+	var (
+		mu        sync.Mutex
+		agg       TrussStats
+		remaining = q.cfg.Budget
+	)
+	fold := func(s TrussStats) {
+		mu.Lock()
+		agg.Checks += s.Checks
+		agg.Removed += s.Removed
+		agg.Emitted += s.Emitted
+		agg.MaxTruss = max(agg.MaxTruss, s.MaxTruss)
+		mu.Unlock()
+	}
+
+	tasks := func(yield func(shardTask[EdgeTruss]) bool) {
+		for sh := range q.g.ShardByComponent() {
+			t := shardTask[EdgeTruss]{id: sh.ID, run: func(runCtx context.Context) ([]EdgeTruss, error) {
+				cfg := q.cfg
+				if cfg.Budget > 0 {
+					if remaining <= 0 {
+						return nil, fmt.Errorf("mule: search budget exhausted before component %d: %w", sh.ID, ErrBudget)
+					}
+					cfg.Budget = remaining
+				}
+				var engineVisit utruss.Visitor
+				var buf []EdgeTruss
+				if !countOnly {
+					engineVisit = func(e EdgeTruss) bool {
+						// The remap is monotone, so U < V survives it.
+						buf = append(buf, EdgeTruss{U: sh.NewToOld[e.U], V: sh.NewToOld[e.V], Truss: e.Truss})
+						return q.limit <= 0 || int64(len(buf)) < q.limit
+					}
+				}
+				s, err := utruss.RunContext(runCtx, sh.G, q.eta, cfg, engineVisit)
+				fold(s)
+				if q.cfg.Budget > 0 {
+					remaining -= s.Checks
+				}
+				return buf, err
+			}}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+
+	d := shardDelivery{limit: q.limit, progress: q.shardProg}
+	if q.shardProg != nil {
+		d.begin(q.g.NumComponents())
+	}
+	driveErr := driveShards(ctx, tasks, conc, func(out []EdgeTruss) bool {
+		for _, e := range out {
+			if !d.emit(func() bool { return visit == nil || visit(e) }) {
+				return false
+			}
+		}
+		d.shardDone()
+		return true
+	})
+	agg.Status, err = d.finish(driveErr)
+	if !countOnly {
+		agg.Emitted = d.delivered
+	}
+	return agg, d.userStopped, err
+}
+
+// --- Core queries ---
+
+// runSharded peels each component independently; like truss queries, only
+// stream order changes (per-component peel order), never the vertex→core
+// assignment, Collect, Count, or the folded degeneracy.
+func (q *CoreQuery) runSharded(ctx context.Context, visit CoreVisitor) (stats CoreStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return CoreStats{Status: StatusFailed}, false, err
+	}
+	defer release()
+
+	conc := resolveShards(q.shards)
+	if q.cfg.Budget > 0 {
+		conc = 1
+	}
+	countOnly := visit == nil && q.limit <= 0
+
+	var (
+		mu        sync.Mutex
+		agg       CoreStats
+		remaining = q.cfg.Budget
+	)
+	fold := func(s CoreStats) {
+		mu.Lock()
+		agg.Recomputes += s.Recomputes
+		agg.Emitted += s.Emitted
+		agg.Degeneracy = max(agg.Degeneracy, s.Degeneracy)
+		mu.Unlock()
+	}
+
+	tasks := func(yield func(shardTask[VertexCore]) bool) {
+		for sh := range q.g.ShardByComponent() {
+			t := shardTask[VertexCore]{id: sh.ID, run: func(runCtx context.Context) ([]VertexCore, error) {
+				cfg := q.cfg
+				if cfg.Budget > 0 {
+					if remaining <= 0 {
+						return nil, fmt.Errorf("mule: search budget exhausted before component %d: %w", sh.ID, ErrBudget)
+					}
+					cfg.Budget = remaining
+				}
+				var engineVisit ucore.Visitor
+				var buf []VertexCore
+				if !countOnly {
+					engineVisit = func(vc VertexCore) bool {
+						buf = append(buf, VertexCore{V: sh.NewToOld[vc.V], Core: vc.Core})
+						return q.limit <= 0 || int64(len(buf)) < q.limit
+					}
+				}
+				s, err := ucore.RunContext(runCtx, sh.G, q.eta, cfg, engineVisit)
+				fold(s)
+				if q.cfg.Budget > 0 {
+					remaining -= s.Recomputes
+				}
+				return buf, err
+			}}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+
+	d := shardDelivery{limit: q.limit, progress: q.shardProg}
+	if q.shardProg != nil {
+		d.begin(q.g.NumComponents())
+	}
+	driveErr := driveShards(ctx, tasks, conc, func(out []VertexCore) bool {
+		for _, vc := range out {
+			if !d.emit(func() bool { return visit == nil || visit(vc) }) {
+				return false
+			}
+		}
+		d.shardDone()
+		return true
+	})
+	agg.Status, err = d.finish(driveErr)
+	if !countOnly {
+		agg.Emitted = d.delivered
+	}
+	return agg, d.userStopped, err
+}

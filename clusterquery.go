@@ -1,0 +1,174 @@
+package mule
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"github.com/uncertain-graphs/mule/internal/ucluster"
+)
+
+// ClusterSet is one cell of a cluster query's partition: its center vertex,
+// the members (ascending, center included), and the mean most-reliable-path
+// connection probability of the members to the center.
+type ClusterSet = ucluster.Cluster
+
+// ClusterVisitor receives one cluster at a time, in ascending center order;
+// returning false stops the report loop.
+type ClusterVisitor = ucluster.Visitor
+
+// ClusterStats reports the work performed by a clustering run.
+type ClusterStats = ucluster.Stats
+
+// ClusterQuery is a prepared k-center clustering of one uncertain graph,
+// following Ceccarello et al. (arXiv 1612.06675): vertices partition around
+// k center vertices maximizing the expected cluster connection probability,
+// with the #P-hard exact reliability replaced by the exactly computable
+// most-reliable-path probability (one Dijkstra sweep per center). Centers
+// seed farthest-first and refine Lloyd-style until they fix. Build it with
+// NewClusterQuery; it is immutable after construction and safe for
+// concurrent use.
+//
+// The partition is a whole-graph property — the k centers span support
+// components — so WithShards/WithAutoShard compose but do not change the
+// execution shape: a sharded cluster run executes as a single whole-graph
+// run (reported to WithShardProgress as one shard), exactly like the
+// single-answer methods Query.Maximum and CoreQuery.Decompose ignore
+// sharding. Like quasi-clique mining, the clustering runs to completion
+// before anything is reported; Run, Stream, and WithLimit apply to the
+// report loop, while cancellation and WithBudget abort the clustering
+// itself mid-sweep.
+type ClusterQuery struct {
+	g         *Graph
+	cfg       ucluster.Config
+	limit     int64
+	ten       tenancy
+	shards    int // 0 = unsharded; see WithShards
+	shardProg func(done, total int)
+}
+
+// NewClusterQuery prepares a k-center clustering of g. The center count
+// comes from WithCenters and is required: it must lie in [1, NumVertices],
+// and anything else — including the zero value from omitting WithCenters —
+// is rejected here with a wrapped ErrCentersRange. A nil graph wraps
+// ErrNilGraph. Applicable options: WithCenters, WithLimit, WithBudget, plus
+// the shared execution options.
+func NewClusterQuery(g *Graph, opts ...Option) (*ClusterQuery, error) {
+	o, err := applyOptions(kindCluster, opts)
+	if err != nil {
+		return nil, err
+	}
+	ten, err := o.validateTenancy()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := o.shardPlan()
+	if err != nil {
+		return nil, err
+	}
+	q, err := newClusterQuery(g, ucluster.Config{Centers: o.centers, Budget: o.cfg.Budget, Stall: o.stall}, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	q.ten = ten
+	q.shards = shards
+	q.shardProg = o.shardProgress
+	return q, nil
+}
+
+// newClusterQuery is the single constructor behind NewClusterQuery; all
+// invariants are enforced here.
+func newClusterQuery(g *Graph, cfg ucluster.Config, limit int64) (*ClusterQuery, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", limit, ErrConfig)
+	}
+	if err := ucluster.Validate(g, cfg); err != nil {
+		return nil, err
+	}
+	return &ClusterQuery{g: g, cfg: cfg, limit: limit}, nil
+}
+
+// run executes the clustering under the WithLimit bound.
+func (q *ClusterQuery) run(ctx context.Context, visit ClusterVisitor) (stats ClusterStats, userStopped bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stats.Status = StatusPanicked
+			err = panicToError(v)
+		}
+	}()
+	if q.shards != 0 {
+		return q.runSharded(ctx, visit)
+	}
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return ClusterStats{Status: StatusFailed}, false, err
+	}
+	defer release()
+	stats, err = ucluster.RunContext(ctx, q.g, q.cfg, limitVisitor(visit, q.limit, &userStopped))
+	return stats, userStopped, err
+}
+
+// runSharded satisfies the sharded-run hook: the partition is global, so
+// the run executes whole-graph and reports a single shard to the progress
+// callback. The answer is byte-identical to the unsharded run for every
+// shard count, which is the WithShards contract.
+func (q *ClusterQuery) runSharded(ctx context.Context, visit ClusterVisitor) (stats ClusterStats, userStopped bool, err error) {
+	whole := *q
+	whole.shards = 0
+	d := shardDelivery{progress: q.shardProg}
+	d.begin(1)
+	stats, userStopped, err = whole.run(ctx, visit)
+	if err == nil {
+		d.shardDone()
+	}
+	return stats, userStopped, err
+}
+
+// Run performs the clustering and reports each cluster to visit in
+// ascending center order (visit may be nil to only count; see
+// ClusterStats.Emitted). The error contract matches Query.Run: wrapped
+// context/budget causes for aborts, ErrStopped when visit returned false,
+// nil for complete runs and WithLimit truncation.
+func (q *ClusterQuery) Run(ctx context.Context, visit ClusterVisitor) (ClusterStats, error) {
+	stats, userStopped, err := q.run(ctx, visit)
+	if err != nil {
+		return stats, err
+	}
+	if userStopped {
+		return stats, fmt.Errorf("mule: %w", ErrStopped)
+	}
+	return stats, nil
+}
+
+// Collect materializes the partition in ascending center order.
+func (q *ClusterQuery) Collect(ctx context.Context) ([]ClusterSet, error) {
+	var out []ClusterSet
+	_, _, err := q.run(ctx, func(c ClusterSet) bool {
+		out = append(out, c)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns the number of clusters the query reports — the WithCenters
+// k on a complete run, fewer under WithLimit.
+func (q *ClusterQuery) Count(ctx context.Context) (int64, error) {
+	stats, err := q.Run(ctx, nil)
+	return stats.Emitted, err
+}
+
+// Stream returns the partition as a range-over-func stream with the same
+// contract as Query.Cliques: each cluster is yielded with a nil error, an
+// aborted run ends with one final (ClusterSet{}, err) pair, and breaking
+// the loop stops the report immediately with nothing leaked. The clustering
+// runs to completion when the first element is requested; clusters then
+// stream in ascending center order.
+func (q *ClusterQuery) Stream(ctx context.Context) iter.Seq2[ClusterSet, error] {
+	return streamOf(func(emit func(ClusterSet) bool) error {
+		_, _, err := q.run(ctx, emit)
+		return err
+	})
+}

@@ -21,10 +21,13 @@
 //	mule -in g.ug  -mine truss -eta 0.9 -k 4                   # the (4,η)-truss subgraph
 //	mule -in g.ug  -mine core  -eta 0.9                        # η-core decomposition
 //	mule -in g.ug  -mine core  -eta 0.9 -k 3                   # the (3,η)-core vertices
+//	mule -in g.ug  -mine densest                               # most-probable densest subgraph
+//	mule -in g.ug  -mine cluster -centers 4                    # k-center uncertain clustering
 //
 // The command is built on the mule prepared-query API (mule.NewQuery,
 // mule.NewBicliqueQuery, mule.NewQuasiQuery, mule.NewTrussQuery,
-// mule.NewCoreQuery), so every mode is cancellable: -timeout bounds the
+// mule.NewCoreQuery, mule.NewDensestQuery, mule.NewClusterQuery), so every
+// mode is cancellable: -timeout bounds the
 // wall clock, -limit caps the delivered results, -budget caps the search
 // work, and SIGINT/SIGTERM abort the run cleanly — buffered output and the
 // stats line are flushed with whatever was found so far, and the process
@@ -38,7 +41,10 @@
 // Clique output lines are "p<TAB>v1 v2 v3 …"; biclique lines are
 // "p<TAB>l1 l2 … | r1 r2 …" (sides in their own ID spaces); quasi lines are
 // "v1 v2 v3 …"; truss decomposition lines are "u v k"; core decomposition
-// lines are "v c". The unipartite input format is described in
+// lines are "v c"; densest candidate lines are "p<TAB>d<TAB>v1 v2 …" (exact
+// probability, expected density, vertex set) best first; cluster lines are
+// "p<TAB>c<TAB>m1 m2 …" (mean connection probability, center, members) in
+// ascending center order. The unipartite input format is described in
 // internal/graphio (text: "u v p" lines; binary: .ugb); bicliques read the
 // bipartite text format (.ubg: a "bipartite nL nR" directive, then
 // "l r p" lines).
@@ -109,11 +115,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mule", flag.ContinueOnError)
 	var (
 		in          = fs.String("in", "", "input graph file (.ug text or .ugb binary; .ubg bipartite text for -mine bicliques; required)")
-		mine        = fs.String("mine", "cliques", "what to mine: cliques|bicliques|quasi|truss|core")
+		mine        = fs.String("mine", "cliques", "what to mine: cliques|bicliques|quasi|truss|core|densest|cluster")
 		alpha       = fs.Float64("alpha", 0.5, "probability threshold α in (0,1] (cliques, bicliques)")
 		gamma       = fs.Float64("gamma", 0, "quasi-clique density threshold γ in [0.5,1] (-mine quasi)")
 		eta         = fs.Float64("eta", 0, "truss/core confidence threshold η in (0,1] (-mine truss|core)")
 		kParam      = fs.Int("k", 0, "with -mine truss: print the (k,η)-truss subgraph; with -mine core: print the (k,η)-core vertices; 0 prints the full decomposition")
+		centers     = fs.Int("centers", 0, "cluster center count k in [1, n] (-mine cluster; required)")
 		minL        = fs.Int("minl", 0, "bicliques: minimum left-side size")
 		minR        = fs.Int("minr", 0, "bicliques: minimum right-side size")
 		minSize     = fs.Int("minsize", 0, "enumerate only cliques (LARGE-MULE) or quasi-cliques with at least this many vertices")
@@ -182,7 +189,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	m := modeFlags{
 		in: *in, alpha: *alpha, gamma: *gamma, eta: *eta, k: *kParam,
-		minL: *minL, minR: *minR, minSize: *minSize,
+		centers: *centers, minL: *minL, minR: *minR, minSize: *minSize,
 		limit: *limit, budget: *budget, countOnly: *countOnly, quiet: *quiet,
 		tenant: *tenant, retries: *retries, stall: *stallWindow,
 	}
@@ -213,8 +220,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		runErr = runTruss(ctx, m, out)
 	case "core", "cores":
 		runErr = runCore(ctx, m, out)
+	case "densest":
+		runErr = runDensest(ctx, m, out)
+	case "cluster", "clusters", "clustering":
+		runErr = runCluster(ctx, m, out)
 	default:
-		return fmt.Errorf("unknown -mine mode %q (want cliques|bicliques|quasi|truss|core)", *mine)
+		return fmt.Errorf("unknown -mine mode %q (want cliques|bicliques|quasi|truss|core|densest|cluster)", *mine)
 	}
 	// The heap profile is written even for aborted runs, so kernel
 	// regressions can be diagnosed from a truncated enumeration.
@@ -232,6 +243,7 @@ type modeFlags struct {
 	gamma      float64
 	eta        float64
 	k          int
+	centers    int
 	minL, minR int
 	minSize    int
 	limit      int64
@@ -249,7 +261,7 @@ type modeFlags struct {
 // withTenant appends the shared robustness options — WithTenant, WithRetry,
 // WithStallTimeout — when their flags were given; every -mine mode routes its
 // constructor options through it so admission accounting, retry, and the
-// stall watchdog cover all five query surfaces uniformly.
+// stall watchdog cover all seven query surfaces uniformly.
 func (m modeFlags) withTenant(opts ...mule.Option) []mule.Option {
 	if m.tenant != "" {
 		opts = append(opts, mule.WithTenant(m.tenant))
@@ -722,6 +734,106 @@ func runCore(ctx context.Context, m modeFlags, out io.Writer) error {
 			"η-core decomposition of %d vertices (η=%g, degeneracy %d, %s) in %s; %d recomputes\n",
 			agg.Emitted, m.eta, agg.Degeneracy, agg.Status,
 			time.Since(start).Round(time.Millisecond), agg.Recomputes)
+	}
+	w.Flush()
+	return runErr
+}
+
+// runDensest mines the most-probable densest-subgraph candidate family:
+// "p d\tv1 v2 …" lines, best first. The probability threshold is a
+// whole-family property, so the mode loads the full graph; -shards still
+// parallelizes the peel per component without changing the output.
+func runDensest(ctx context.Context, m modeFlags, out io.Writer) error {
+	if m.shardBatch > 0 {
+		return fmt.Errorf("-shard-batch would score each batch against its own density threshold; use -shards for in-memory parallel densest runs")
+	}
+	g, err := graphio.LoadFile(m.in)
+	if err != nil {
+		return err
+	}
+	q, err := mule.NewDensestQuery(g, m.withTenant(
+		mule.WithLimit(m.limit),
+		mule.WithBudget(m.budget),
+	)...)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	var visit mule.DensestVisitor
+	if !m.countOnly {
+		visit = func(c mule.DenseSubgraph) bool {
+			fmt.Fprintf(w, "%.9g\t%.9g\t", c.Probability, c.ExpectedDensity)
+			for i, v := range c.Vertices {
+				if i > 0 {
+					w.WriteByte(' ')
+				}
+				fmt.Fprintf(w, "%d", v)
+			}
+			w.WriteByte('\n')
+			return true
+		}
+	}
+	stats, runErr := q.Run(ctx, visit)
+	if m.countOnly {
+		fmt.Fprintf(w, "%d\n", stats.Emitted)
+	}
+	if !m.quiet {
+		fmt.Fprintf(os.Stderr,
+			"%d densest-subgraph candidates (best density %g, %s) in %s; %d peel steps, %d scored\n",
+			stats.Emitted, stats.BestDensity, stats.Status,
+			time.Since(start).Round(time.Millisecond), stats.PeelSteps, stats.Scored)
+	}
+	w.Flush()
+	return runErr
+}
+
+// runCluster partitions the graph around -centers k center vertices:
+// "p c\tm1 m2 …" lines in ascending center order. The partition is a
+// whole-graph property, so the mode loads the full graph.
+func runCluster(ctx context.Context, m modeFlags, out io.Writer) error {
+	if m.shardBatch > 0 {
+		return fmt.Errorf("-shard-batch cannot place the %d centers globally; cluster runs load the full graph", m.centers)
+	}
+	g, err := graphio.LoadFile(m.in)
+	if err != nil {
+		return err
+	}
+	q, err := mule.NewClusterQuery(g, m.withTenant(
+		mule.WithCenters(m.centers),
+		mule.WithLimit(m.limit),
+		mule.WithBudget(m.budget),
+	)...)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	var visit mule.ClusterVisitor
+	if !m.countOnly {
+		visit = func(c mule.ClusterSet) bool {
+			fmt.Fprintf(w, "%.9g\t%d\t", c.Probability, c.Center)
+			for i, v := range c.Members {
+				if i > 0 {
+					w.WriteByte(' ')
+				}
+				fmt.Fprintf(w, "%d", v)
+			}
+			w.WriteByte('\n')
+			return true
+		}
+	}
+	stats, runErr := q.Run(ctx, visit)
+	if m.countOnly {
+		fmt.Fprintf(w, "%d\n", stats.Emitted)
+	}
+	if !m.quiet {
+		fmt.Fprintf(os.Stderr,
+			"%d clusters (centers=%d, rounds=%d, converged=%v, %s) in %s; %d reliability sweeps\n",
+			stats.Emitted, m.centers, stats.Rounds, stats.Converged, stats.Status,
+			time.Since(start).Round(time.Millisecond), stats.Sweeps)
 	}
 	w.Flush()
 	return runErr

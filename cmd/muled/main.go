@@ -2,8 +2,9 @@
 //
 // Where the mule command is one-shot — load a graph, run one query, exit —
 // muled is resident: it holds named graphs in memory as immutable,
-// epoch-stamped snapshots, answers all five query families (cliques,
-// bicliques, quasi-cliques, truss, core) concurrently on a shared
+// epoch-stamped snapshots, answers all seven query families (cliques,
+// bicliques, quasi-cliques, truss, core, densest, cluster) concurrently on a
+// shared
 // work-stealing executor with per-tenant admission control, ingests edge
 // updates incrementally (copy-on-write snapshot swap; in-flight queries are
 // never disturbed), and memoizes finished answers in an epoch-keyed LRU so
@@ -76,6 +77,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers = fs.Int("workers", 0, "executor workers (0 = GOMAXPROCS)")
 		cache   = fs.String("cache", "", "result cache bound: an entry count (\"1024\"; 0 or negative = disabled) or a byte size (\"64MB\", \"1GiB\")")
 		maxBody = fs.Int64("max-body", 0, "request body cap in bytes (0 = default 1 GiB)")
+		warm    = fs.Int("warm", 0, "cached query shapes re-issued after each apply to pre-warm the new epoch (0 = default 4, negative = disabled)")
 	)
 	fs.Var(&loads, "load", "preload a graph as name=path (repeatable; .ubg paths load as bipartite)")
 	if err := fs.Parse(args); err != nil {
@@ -90,7 +92,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-cache %q: %w", *cache, err)
 	}
 
-	srv := server.New(server.Config{Workers: *workers, CacheEntries: cacheEntries, CacheBytes: cacheBytes, MaxBodyBytes: *maxBody})
+	srv := server.New(server.Config{Workers: *workers, CacheEntries: cacheEntries, CacheBytes: cacheBytes, MaxBodyBytes: *maxBody, WarmKeys: *warm})
 	defer srv.Close()
 
 	for _, spec := range loads {

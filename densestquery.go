@@ -1,0 +1,160 @@
+package mule
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"github.com/uncertain-graphs/mule/internal/udensest"
+)
+
+// DenseSubgraph is one scored member of a densest query's candidate family:
+// a vertex set (sorted ascending, caller-owned), its expected density (sum
+// of internal edge probabilities over the vertex count), and the exact
+// probability — under the independent-edge model — that its realized
+// internal edge count reaches ⌈d̂·|S|⌉ edges, where d̂ is the family's best
+// expected density. The head of a Collect (or the first Stream element) is
+// the most probable densest subgraph.
+type DenseSubgraph = udensest.Candidate
+
+// DensestVisitor receives one scored candidate at a time, best first;
+// returning false stops the report loop.
+type DensestVisitor = udensest.Visitor
+
+// DensestStats reports the work performed by a densest-subgraph run.
+type DensestStats = udensest.Stats
+
+// DensestQuery is a prepared most-probable densest-subgraph mining run on
+// one uncertain graph, following Saha et al. (arXiv 2212.08820): a greedy
+// min-expected-degree peeling builds the candidate prefix family per
+// support component (the family's best member 2-approximates the maximum
+// expected density), then every candidate gets an exact Poisson-binomial
+// probability score. Build it with NewDensestQuery; it is immutable after
+// construction and safe for concurrent use.
+//
+// Like quasi-clique mining, the answer needs global knowledge (the score
+// threshold is a whole-family property), so the mining runs to completion
+// before anything is reported; Run, Stream, and the WithLimit bound apply
+// to the report loop over the finished, canonically ordered family —
+// cancellation and WithBudget still abort the mining itself mid-peel.
+type DensestQuery struct {
+	g         *Graph
+	cfg       udensest.Config
+	limit     int64
+	ten       tenancy
+	shards    int // 0 = unsharded; see WithShards
+	shardProg func(done, total int)
+}
+
+// NewDensestQuery prepares a most-probable densest-subgraph mining run on
+// g. It validates eagerly: a nil graph wraps ErrNilGraph, an invalid option
+// combination wraps ErrConfig. Applicable options: WithLimit, WithBudget,
+// plus the shared execution options (WithShards/WithAutoShard, WithTenant,
+// WithExecutor, WithRetry, WithStallTimeout).
+func NewDensestQuery(g *Graph, opts ...Option) (*DensestQuery, error) {
+	o, err := applyOptions(kindDensest, opts)
+	if err != nil {
+		return nil, err
+	}
+	ten, err := o.validateTenancy()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := o.shardPlan()
+	if err != nil {
+		return nil, err
+	}
+	q, err := newDensestQuery(g, udensest.Config{Budget: o.cfg.Budget, Stall: o.stall}, o.limit)
+	if err != nil {
+		return nil, err
+	}
+	q.ten = ten
+	q.shards = shards
+	q.shardProg = o.shardProgress
+	return q, nil
+}
+
+// newDensestQuery is the single constructor behind NewDensestQuery; all
+// invariants are enforced here.
+func newDensestQuery(g *Graph, cfg udensest.Config, limit int64) (*DensestQuery, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("mule: negative limit %d: %w", limit, ErrConfig)
+	}
+	if err := udensest.Validate(g, cfg); err != nil {
+		return nil, err
+	}
+	return &DensestQuery{g: g, cfg: cfg, limit: limit}, nil
+}
+
+// run executes the mining under the WithLimit bound.
+func (q *DensestQuery) run(ctx context.Context, visit DensestVisitor) (stats DensestStats, userStopped bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stats.Status = StatusPanicked
+			err = panicToError(v)
+		}
+	}()
+	if q.shards != 0 {
+		return q.runSharded(ctx, visit)
+	}
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return DensestStats{Status: StatusFailed}, false, err
+	}
+	defer release()
+	stats, err = udensest.RunContext(ctx, q.g, q.cfg, limitVisitor(visit, q.limit, &userStopped))
+	return stats, userStopped, err
+}
+
+// Run mines the candidate family and reports each scored candidate to
+// visit, best first (visit may be nil to only count; see
+// DensestStats.Emitted). The error contract matches Query.Run: wrapped
+// context/budget causes for aborts, ErrStopped when visit returned false,
+// nil for complete runs and WithLimit truncation.
+func (q *DensestQuery) Run(ctx context.Context, visit DensestVisitor) (DensestStats, error) {
+	stats, userStopped, err := q.run(ctx, visit)
+	if err != nil {
+		return stats, err
+	}
+	if userStopped {
+		return stats, fmt.Errorf("mule: %w", ErrStopped)
+	}
+	return stats, nil
+}
+
+// Collect materializes the scored candidate family in canonical order:
+// descending Probability, ties by descending ExpectedDensity, then smaller
+// size, then lexicographic vertices. The first element is the most probable
+// densest subgraph.
+func (q *DensestQuery) Collect(ctx context.Context) ([]DenseSubgraph, error) {
+	var out []DenseSubgraph
+	_, _, err := q.run(ctx, func(c DenseSubgraph) bool {
+		out = append(out, c)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns the number of candidates the query reports, without
+// materializing them (subject to WithLimit, like every run method).
+func (q *DensestQuery) Count(ctx context.Context) (int64, error) {
+	stats, err := q.Run(ctx, nil)
+	return stats.Emitted, err
+}
+
+// Stream returns the scored candidates as a range-over-func stream with the
+// same contract as Query.Cliques: each candidate is yielded with a nil
+// error, an aborted run ends with one final (DenseSubgraph{}, err) pair,
+// and breaking the loop stops the report immediately with nothing leaked.
+// Because the score threshold needs the whole family, the mining runs to
+// completion when the first element is requested; candidates then stream
+// best first.
+func (q *DensestQuery) Stream(ctx context.Context) iter.Seq2[DenseSubgraph, error] {
+	return streamOf(func(emit func(DenseSubgraph) bool) error {
+		_, _, err := q.run(ctx, emit)
+		return err
+	})
+}

@@ -38,6 +38,10 @@ var (
 	// ErrKRange reports a structural size parameter k below its floor:
 	// 2 for TrussQuery.Truss, 0 for CoreQuery.Core.
 	ErrKRange = core.ErrKRange
+	// ErrCentersRange reports a cluster query center count outside
+	// [1, NumVertices] — including the zero value from omitting the required
+	// WithCenters option.
+	ErrCentersRange = core.ErrCentersRange
 	// ErrAdmission reports a run rejected by an Executor's admission
 	// control: the query's tenant is at its in-flight or aggregate-budget
 	// cap (see Limits) and the wait queue is full or waiting is disabled.

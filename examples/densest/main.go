@@ -1,12 +1,15 @@
-// Densest: the paper's §6 future-work catalogue on one graph — α-maximal
-// cliques (MULE) versus expected γ-quasi-cliques, (k,η)-trusses and
-// (k,η)-cores on the same noisy community.
+// Densest: the two PR-10 lenses on one noisy community — the most-probable
+// densest subgraph (Saha et al., arXiv 2212.08820) and k-center clustering
+// by most-reliable-path connection probability (Ceccarello et al., arXiv
+// 1612.06675) — contrasted with the clique lens they relax.
 //
 // The input plants a 7-member community whose internal edges are individually
 // plausible (p ≈ 0.8) but collectively improbable (0.8^21 ≈ 0.9%), with one
 // member attached by only half its ties. MULE's clique lens shatters such a
-// community at useful thresholds; the relaxed dense-substructure lenses
-// recover it, each with a different robustness guarantee.
+// community at useful thresholds; the densest-subgraph lens recovers it as
+// the expected-density champion with an exact realization probability, and
+// the clustering lens groups it around one center without any threshold at
+// all.
 //
 // Run with: go run ./examples/densest
 package main
@@ -44,71 +47,68 @@ func main() {
 			alpha, stats.Emitted, stats.MaxCliqueSize)
 	}
 
-	// 2. The quasi-clique lens tolerates missing ties: at γ = 0.5 every
-	// member needs expected degree ≥ half the others.
-	fmt.Println("\n--- maximal expected γ-quasi-cliques ---")
-	for _, gamma := range []float64{0.5, 0.75} {
-		sets, err := mule.CollectQuasiCliques(g, mule.QuasiConfig{Gamma: gamma, MinSize: 4})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("γ = %-4g  %d maximal sets (size ≥ 4)\n", gamma, len(sets))
-		for _, s := range sets {
-			if len(s) >= 6 {
-				p, err := mule.QuasiCliqueWorldProb(g, s, gamma)
-				if err == nil {
-					fmt.Printf("  %v   P[world is a γ-quasi-clique] = %.3f\n", s, p)
-				} else {
-					fmt.Printf("  %v\n", s)
-				}
-			}
-		}
-	}
-
-	// 3. The truss lens asks each edge for probable triangle support.
-	fmt.Println("\n--- (k,η)-trusses ---")
-	for _, k := range []int{3, 4, 5} {
-		tr, err := mule.Truss(g, k, 0.5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("(%d,0.5)-truss: %d edges\n", k, tr.NumEdges())
-	}
-	dec, err := mule.TrussDecompose(g, 0.5)
+	// 2. The densest-subgraph lens needs no threshold: peel to a candidate
+	// family, score each candidate with the exact probability that it
+	// realizes the champion density d̂ in a sampled world, report best first.
+	fmt.Println("\n--- most-probable densest subgraph ---")
+	dq, err := mule.NewDensestQuery(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	best := 0
-	for _, e := range dec {
-		if e.Truss > best {
-			best = e.Truss
-		}
-	}
-	fmt.Printf("max η-truss number at η = 0.5: %d\n", best)
-
-	// 4. The core lens is the loosest: probable degree within the subgraph.
-	fmt.Println("\n--- (k,η)-cores ---")
-	for _, k := range []int{2, 3, 4} {
-		core, err := mule.Core(g, k, 0.5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("(%d,0.5)-core: %v\n", k, core)
-	}
-
-	// 5. And the sharpest summary: the top cliques by probability.
-	fmt.Println("\n--- top-3 α-maximal cliques by probability (α = 0.1) ---")
-	q, err := mule.NewQuery(g, 0.1)
+	var cands []mule.DenseSubgraph
+	dstats, err := dq.Run(ctx, func(c mule.DenseSubgraph) bool {
+		cands = append(cands, c)
+		return true
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	top, err := q.TopK(ctx, 3, mule.ByProb)
+	fmt.Printf("%d candidates from %d peel steps; champion expected density d̂ = %.3f\n",
+		len(cands), dstats.PeelSteps, dstats.BestDensity)
+	for i, c := range cands {
+		if i == 3 {
+			fmt.Printf("  … %d more\n", len(cands)-i)
+			break
+		}
+		fmt.Printf("  %v\n    expected density %.3f, P[realizes ⌈d̂·|S|⌉ edges] = %.3f\n",
+			c.Vertices, c.ExpectedDensity, c.Probability)
+	}
+
+	// 3. The clustering lens partitions every vertex — community, noise,
+	// isolated alike — around k centers by most-reliable-path probability.
+	fmt.Println("\n--- k-center clustering (k = 4) ---")
+	cq, err := mule.NewClusterQuery(g, mule.WithCenters(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, sc := range top {
-		fmt.Printf("%d. %v  clq = %.4f\n", i+1, sc.Vertices, sc.Prob)
+	var clusters []mule.ClusterSet
+	cstats, err := cq.Run(ctx, func(c mule.ClusterSet) bool {
+		clusters = append(clusters, c)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("%d sweeps, %d refinement rounds, converged=%v\n",
+		cstats.Sweeps, cstats.Rounds, cstats.Converged)
+	for _, c := range clusters {
+		fmt.Printf("  center %2d: %2d members, mean connection probability %.3f\n    %v\n",
+			c.Center, len(c.Members), c.Probability, c.Members)
+	}
+
+	// 4. The same two queries compose with every chassis option — a budget
+	// that aborts the peel early, a limit on reported candidates, sharding.
+	fmt.Println("\n--- composition: WithLimit(1) picks just the winner ---")
+	top, err := mule.NewDensestQuery(g, mule.WithLimit(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	winner, err := top.Collect(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("most probable densest subgraph: %v (P = %.3f)\n",
+		winner[0].Vertices, winner[0].Probability)
 }
 
 // buildCommunityGraph plants the 7-community inside sparse background noise.

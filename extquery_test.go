@@ -3,13 +3,16 @@ package mule_test
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	mule "github.com/uncertain-graphs/mule"
+	"github.com/uncertain-graphs/mule/internal/baseline"
 	"github.com/uncertain-graphs/mule/internal/gen"
 )
 
@@ -411,6 +414,10 @@ func extensionMiners(t *testing.T) []extMiner {
 	}()
 	bigG := slowDenseGraph(t, 150)
 	quasiG := slowDenseGraph(t, 40)
+	densestG := slowDenseGraph(t, 300)
+	// 900 vertices ≈ 200k edges: the 64 seeding sweeps alone take well past
+	// the mid leg's 10ms deadline even without the race detector's drag.
+	clusterG := slowDenseGraph(t, 900)
 	smallG, err := mule.FromEdges(4, []mule.Edge{
 		{U: 0, V: 1, P: 0.9}, {U: 1, V: 2, P: 0.9}, {U: 0, V: 2, P: 0.9},
 	})
@@ -492,6 +499,53 @@ func extensionMiners(t *testing.T) []extMiner {
 			},
 			fastRun: func(ctx context.Context) (mule.RunStatus, error) {
 				q, err := mule.NewCoreQuery(smallG, 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := q.Run(ctx, nil)
+				return stats.Status, err
+			},
+		},
+		{
+			// Peeling charges its budget in 64-step batches, so a budget of
+			// 100 deterministically aborts at the second batch (128 > 100),
+			// long before the 300 peel steps finish.
+			name:   "densest",
+			budget: 100,
+			run: func(ctx context.Context, opts ...mule.Option) (mule.RunStatus, error) {
+				q, err := mule.NewDensestQuery(densestG, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := q.Run(ctx, nil)
+				return stats.Status, err
+			},
+			fastRun: func(ctx context.Context) (mule.RunStatus, error) {
+				q, err := mule.NewDensestQuery(smallG)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := q.Run(ctx, nil)
+				return stats.Status, err
+			},
+		},
+		{
+			// Every most-reliable-path sweep charges one budget unit and
+			// farthest-first seeding alone needs 64 sweeps, so a budget of 16
+			// exhausts during seeding.
+			name:   "cluster",
+			budget: 16,
+			run: func(ctx context.Context, opts ...mule.Option) (mule.RunStatus, error) {
+				opts = append([]mule.Option{mule.WithCenters(64)}, opts...)
+				q, err := mule.NewClusterQuery(clusterG, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := q.Run(ctx, nil)
+				return stats.Status, err
+			},
+			fastRun: func(ctx context.Context) (mule.RunStatus, error) {
+				q, err := mule.NewClusterQuery(smallG, mule.WithCenters(2))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -713,6 +767,55 @@ func TestExtensionStreamBreak(t *testing.T) {
 			if n++; n == 5 {
 				break
 			}
+		}
+		waitNoExtraGoroutines(t, base)
+	})
+	t.Run("densest", func(t *testing.T) {
+		base := runtime.NumGoroutine()
+		q, err := mule.NewDensestQuery(bigG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for c, err := range q.Stream(ctx) {
+			if err != nil {
+				t.Fatalf("stream error %v", err)
+			}
+			if len(c.Vertices) == 0 {
+				t.Fatal("empty candidate")
+			}
+			if c.Probability < 0 || c.Probability > 1 {
+				t.Fatalf("probability %g outside [0,1]", c.Probability)
+			}
+			if n++; n == 1 {
+				break
+			}
+		}
+		if n != 1 {
+			t.Fatalf("loop saw %d candidates", n)
+		}
+		waitNoExtraGoroutines(t, base)
+	})
+	t.Run("cluster", func(t *testing.T) {
+		base := runtime.NumGoroutine()
+		q, err := mule.NewClusterQuery(bigG, mule.WithCenters(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for c, err := range q.Stream(ctx) {
+			if err != nil {
+				t.Fatalf("stream error %v", err)
+			}
+			if len(c.Members) == 0 {
+				t.Fatal("empty cluster")
+			}
+			if n++; n == 2 {
+				break
+			}
+		}
+		if n != 2 {
+			t.Fatalf("loop saw %d clusters", n)
 		}
 		waitNoExtraGoroutines(t, base)
 	})
@@ -1041,5 +1144,188 @@ func TestExtensionRunErrStopped(t *testing.T) {
 	}
 	if _, err := qq.Run(ctx, func([]int) bool { return false }); !errors.Is(err, mule.ErrStopped) {
 		t.Fatalf("quasi Run = %v, want wrapped ErrStopped", err)
+	}
+}
+
+// --- Oracle equivalence for the two PR-10 miners ---
+
+// within reports |a-b| ≤ tol scaled by magnitude — the engines and the
+// baseline oracles compute the same reals through different float
+// evaluation orders, so comparisons are tolerant, not exact.
+func within(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// TestDensestQueryMatchesOracle pins the densest-subgraph miner against
+// internal/baseline on 50 small random graphs: every reported candidate's
+// expected density and exact tail probability are recomputed independently
+// (exhaustive subset maximization, divide-and-conquer Poisson-binomial),
+// the family's champion density 2-approximates the true optimum, and the
+// report order is the documented canonical sort.
+func TestDensestQueryMatchesOracle(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 50; i++ {
+		g := smallRandomGraph(rng, 6+rng.Intn(7))
+		q, err := mule.NewDensestQuery(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cands []mule.DenseSubgraph
+		stats, err := q.Run(ctx, func(c mule.DenseSubgraph) bool {
+			cands = append(cands, c)
+			return true
+		})
+		if err != nil || stats.Status != mule.StatusComplete {
+			t.Fatalf("graph %d: Run = (%+v, %v)", i, stats, err)
+		}
+		if len(cands) == 0 {
+			t.Fatalf("graph %d: empty candidate family", i)
+		}
+
+		// The champion density d̂ is the family max; the scoring threshold
+		// k = ⌈d̂·|S|⌉ below reuses the engine's reported floats so both
+		// sides round the same way.
+		dhat := 0.0
+		for _, c := range cands {
+			if c.ExpectedDensity > dhat {
+				dhat = c.ExpectedDensity
+			}
+		}
+		if dhat != stats.BestDensity {
+			t.Fatalf("graph %d: family max density %g, stats.BestDensity %g", i, dhat, stats.BestDensity)
+		}
+		optSet, opt := baseline.DensestExact(g)
+		if dhat < opt/2*(1-1e-9) {
+			t.Fatalf("graph %d: champion density %g below half the optimum %g (set %v)", i, dhat, opt, optSet)
+		}
+		if dhat > opt*(1+1e-9) {
+			t.Fatalf("graph %d: champion density %g exceeds the optimum %g", i, dhat, opt)
+		}
+
+		for j, c := range cands {
+			if !sort.IntsAreSorted(c.Vertices) || len(c.Vertices) == 0 {
+				t.Fatalf("graph %d cand %d: bad vertex set %v", i, j, c.Vertices)
+			}
+			if d := baseline.ExpectedDensity(g, c.Vertices); !within(c.ExpectedDensity, d, 1e-9) {
+				t.Fatalf("graph %d cand %d: density %g, oracle %g", i, j, c.ExpectedDensity, d)
+			}
+			k := int(math.Ceil(dhat*float64(len(c.Vertices)) - 1e-9))
+			if k < 0 {
+				k = 0
+			}
+			p := baseline.TailAtLeast(baseline.InternalEdgeProbs(g, c.Vertices), k)
+			if !within(c.Probability, p, 1e-9) {
+				t.Fatalf("graph %d cand %d (%v, k=%d): probability %g, oracle %g", i, j, c.Vertices, k, c.Probability, p)
+			}
+		}
+
+		// Canonical report order: descending probability, then descending
+		// density, then smaller size.
+		for j := 1; j < len(cands); j++ {
+			a, b := cands[j-1], cands[j]
+			if a.Probability < b.Probability ||
+				(a.Probability == b.Probability && a.ExpectedDensity < b.ExpectedDensity) {
+				t.Fatalf("graph %d: candidates %d,%d out of canonical order", i, j-1, j)
+			}
+		}
+	}
+}
+
+// TestClusterQueryMatchesOracle pins the clustering miner against the
+// Floyd–Warshall reliability oracle on 50 small random graphs: the output
+// is a true k-partition, every member sits with a center achieving its
+// maximum most-reliable-path connection probability, and each cluster's
+// probability is the mean of its members' connections.
+func TestClusterQueryMatchesOracle(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 50; i++ {
+		n := 8 + rng.Intn(9)
+		g := smallRandomGraph(rng, n)
+		k := 1 + rng.Intn(4)
+		q, err := mule.NewClusterQuery(g, mule.WithCenters(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, err := q.Collect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clusters) != k {
+			t.Fatalf("graph %d: %d clusters, want k=%d", i, len(clusters), k)
+		}
+		r := baseline.Reliability(g)
+
+		centers := make(map[int]bool, k)
+		seen := make([]bool, n)
+		for ci, c := range clusters {
+			if ci > 0 && clusters[ci-1].Center >= c.Center {
+				t.Fatalf("graph %d: centers not ascending", i)
+			}
+			if centers[c.Center] {
+				t.Fatalf("graph %d: duplicate center %d", i, c.Center)
+			}
+			centers[c.Center] = true
+			if !sort.IntsAreSorted(c.Members) {
+				t.Fatalf("graph %d cluster %d: members not ascending: %v", i, ci, c.Members)
+			}
+			inCluster := false
+			for _, u := range c.Members {
+				if seen[u] {
+					t.Fatalf("graph %d: vertex %d in two clusters", i, u)
+				}
+				seen[u] = true
+				inCluster = inCluster || u == c.Center
+			}
+			if !inCluster {
+				t.Fatalf("graph %d cluster %d: center %d not among members %v", i, ci, c.Center, c.Members)
+			}
+		}
+		for u := 0; u < n; u++ {
+			if !seen[u] {
+				t.Fatalf("graph %d: vertex %d unassigned", i, u)
+			}
+		}
+
+		for ci, c := range clusters {
+			sum := 0.0
+			for _, u := range c.Members {
+				conn := r[c.Center][u]
+				sum += conn
+				// The owner must achieve u's best connection over the
+				// chosen centers (ties and unreachable vertices may land
+				// anywhere the engine's deterministic order put them).
+				best := 0.0
+				for _, d := range clusters {
+					if p := r[d.Center][u]; p > best {
+						best = p
+					}
+				}
+				if best > 0 && !within(conn, best, 1e-9) {
+					t.Fatalf("graph %d cluster %d: member %d connects at %g, best center offers %g",
+						i, ci, u, conn, best)
+				}
+			}
+			if mean := sum / float64(len(c.Members)); !within(c.Probability, mean, 1e-9) {
+				t.Fatalf("graph %d cluster %d: probability %g, oracle mean %g", i, ci, c.Probability, mean)
+			}
+		}
+
+		// Count and Stream agree with Collect.
+		if cnt, err := q.Count(ctx); err != nil || cnt != int64(k) {
+			t.Fatalf("graph %d: Count = (%d, %v), want %d", i, cnt, err, k)
+		}
+		var streamed []mule.ClusterSet
+		for c, err := range q.Stream(ctx) {
+			if err != nil {
+				t.Fatalf("graph %d: stream error %v", i, err)
+			}
+			streamed = append(streamed, c)
+		}
+		if !reflect.DeepEqual(streamed, clusters) {
+			t.Fatalf("graph %d: Stream disagrees with Collect", i)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package mule_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -233,6 +234,91 @@ func FuzzBuilderAddEdge(f *testing.F) {
 		}
 		if b.NumEdges() != 1 {
 			t.Fatalf("NumEdges = %d, want 1", b.NumEdges())
+		}
+	})
+}
+
+// FuzzDensestClusterOptions drives the two PR-10 query constructors with
+// arbitrary option values and asserts their eager-validation contract:
+// rejections wrap exactly the documented sentinel (ErrCentersRange for a
+// bad k, ErrConfig for negative budgets/limits and out-of-scope options),
+// and every accepted query runs to a coherent result count on a small path
+// graph.
+func FuzzDensestClusterOptions(f *testing.F) {
+	f.Add(5, 2, int64(0), int64(0))
+	f.Add(5, 0, int64(0), int64(0))   // centers omitted/zero
+	f.Add(5, 9, int64(0), int64(0))   // centers > n
+	f.Add(5, 2, int64(-1), int64(0))  // negative budget
+	f.Add(5, 2, int64(0), int64(-1))  // negative limit
+	f.Add(1, 1, int64(0), int64(0))   // singleton graph
+	f.Add(50, 50, int64(0), int64(3)) // limit below k
+	f.Fuzz(func(t *testing.T, n, centers int, budget, limit int64) {
+		if n < 1 || n > 60 {
+			return
+		}
+		b := mule.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			if err := b.AddEdge(v-1, v, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := b.Build()
+		ctx := context.Background()
+		optsBad := budget < 0 || limit < 0
+		centersBad := centers < 1 || centers > n
+
+		dq, err := mule.NewDensestQuery(g, mule.WithBudget(budget), mule.WithLimit(limit))
+		if optsBad {
+			if !errors.Is(err, mule.ErrConfig) {
+				t.Fatalf("NewDensestQuery(budget=%d, limit=%d) = %v, want wrapped ErrConfig", budget, limit, err)
+			}
+		} else if err != nil {
+			t.Fatalf("NewDensestQuery(budget=%d, limit=%d) rejected valid options: %v", budget, limit, err)
+		} else if cnt, err := dq.Count(ctx); err == nil {
+			if cnt < 1 || cnt > int64(n) || (limit > 0 && cnt > limit) {
+				t.Fatalf("densest Count = %d outside [1, min(n=%d, limit=%d)]", cnt, n, limit)
+			}
+		} else if !errors.Is(err, mule.ErrBudget) {
+			t.Fatalf("densest Count on a path graph = %v, want nil or wrapped ErrBudget", err)
+		}
+
+		// Out-of-scope options are eager ErrConfig, never silently ignored.
+		if _, err := mule.NewDensestQuery(g, mule.WithCenters(2)); !errors.Is(err, mule.ErrConfig) {
+			t.Fatalf("WithCenters on densest = %v, want wrapped ErrConfig", err)
+		}
+		if _, err := mule.NewClusterQuery(g, mule.WithCenters(1), mule.WithGamma(0.5)); !errors.Is(err, mule.ErrConfig) {
+			t.Fatalf("WithGamma on cluster = %v, want wrapped ErrConfig", err)
+		}
+
+		cq, err := mule.NewClusterQuery(g, mule.WithCenters(centers), mule.WithBudget(budget), mule.WithLimit(limit))
+		switch {
+		case optsBad || centersBad:
+			if err == nil {
+				t.Fatalf("NewClusterQuery(k=%d, budget=%d, limit=%d) accepted invalid options", centers, budget, limit)
+			}
+			if !errors.Is(err, mule.ErrConfig) && !errors.Is(err, mule.ErrCentersRange) {
+				t.Fatalf("NewClusterQuery(k=%d, budget=%d, limit=%d) = %v, want a typed sentinel", centers, budget, limit, err)
+			}
+			if centersBad && !optsBad && !errors.Is(err, mule.ErrCentersRange) {
+				t.Fatalf("NewClusterQuery(k=%d) = %v, want wrapped ErrCentersRange", centers, err)
+			}
+			if optsBad && !centersBad && !errors.Is(err, mule.ErrConfig) {
+				t.Fatalf("NewClusterQuery(budget=%d, limit=%d) = %v, want wrapped ErrConfig", budget, limit, err)
+			}
+		case err != nil:
+			t.Fatalf("NewClusterQuery(k=%d, budget=%d, limit=%d) rejected valid options: %v", centers, budget, limit, err)
+		default:
+			want := int64(centers)
+			if limit > 0 && limit < want {
+				want = limit
+			}
+			if cnt, err := cq.Count(ctx); err == nil {
+				if cnt != want {
+					t.Fatalf("cluster Count = %d, want %d (k=%d, limit=%d)", cnt, want, centers, limit)
+				}
+			} else if !errors.Is(err, mule.ErrBudget) {
+				t.Fatalf("cluster Count on a path graph = %v, want nil or wrapped ErrBudget", err)
+			}
 		}
 	})
 }

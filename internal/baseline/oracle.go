@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"math/bits"
+
+	"github.com/uncertain-graphs/mule/internal/uncertain"
+)
+
+// This file holds the brute-force oracles the test suite pins the densest
+// and clustering miners against. Each oracle recomputes the same quantity as
+// the production engine through a structurally different algorithm —
+// exhaustive subset enumeration instead of greedy peeling, divide-and-conquer
+// polynomial products instead of the in-place DP, Floyd–Warshall closure
+// instead of per-center Dijkstra — so an agreement is evidence, not an echo.
+
+// ExpectedDensity returns the expected density of the subgraph induced by
+// set: the sum of internal edge probabilities over the vertex count. An
+// empty set has density 0.
+func ExpectedDensity(g *uncertain.Graph, set []int) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	member := make(map[int]bool, len(set))
+	for _, v := range set {
+		member[v] = true
+	}
+	sum := 0.0
+	for _, u := range set {
+		row, probs := g.Adjacency(u)
+		for i, v := range row {
+			if int(v) > u && member[int(v)] {
+				sum += probs[i]
+			}
+		}
+	}
+	return sum / float64(len(set))
+}
+
+// DensestExact maximizes expected density over every non-empty vertex
+// subset by exhaustive enumeration — feasible only for small graphs (the
+// loop is Θ(2ⁿ·m)) and intended purely as a test oracle. Ties resolve to
+// the subset visited first (ascending bitmask order).
+func DensestExact(g *uncertain.Graph) (set []int, density float64) {
+	n := g.NumVertices()
+	if n > 24 {
+		panic("baseline: DensestExact limited to 24 vertices")
+	}
+	bestMask, best := 0, -1.0
+	verts := make([]int, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		verts = verts[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, v)
+			}
+		}
+		if d := ExpectedDensity(g, verts); d > best {
+			bestMask, best = mask, d
+		}
+	}
+	set = make([]int, 0, bits.OnesCount(uint(bestMask)))
+	for v := 0; v < n; v++ {
+		if bestMask&(1<<v) != 0 {
+			set = append(set, v)
+		}
+	}
+	return set, best
+}
+
+// TailAtLeast returns Pr[X ≥ k] where X is the Poisson-binomial sum of
+// independent Bernoulli trials with the given success probabilities. It
+// multiplies the per-trial polynomials (1-p) + p·x by divide and conquer —
+// a different evaluation order and algorithm than the engine's in-place DP,
+// so the two agree only up to floating-point tolerance.
+func TailAtLeast(probs []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > len(probs) {
+		return 0
+	}
+	dist := pbDist(probs)
+	tail := 0.0
+	for j := k; j < len(dist); j++ {
+		tail += dist[j]
+	}
+	return tail
+}
+
+// pbDist returns the full Poisson-binomial distribution of probs as the
+// coefficients of ∏ᵢ ((1-pᵢ) + pᵢ·x).
+func pbDist(probs []float64) []float64 {
+	if len(probs) == 0 {
+		return []float64{1}
+	}
+	if len(probs) == 1 {
+		return []float64{1 - probs[0], probs[0]}
+	}
+	mid := len(probs) / 2
+	return polyMul(pbDist(probs[:mid]), pbDist(probs[mid:]))
+}
+
+func polyMul(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, ai := range a {
+		for j, bj := range b {
+			out[i+j] += ai * bj
+		}
+	}
+	return out
+}
+
+// InternalEdgeProbs gathers the probabilities of the edges induced by set,
+// in an unspecified order (the Poisson-binomial distribution is invariant
+// under permutation of its trials).
+func InternalEdgeProbs(g *uncertain.Graph, set []int) []float64 {
+	member := make(map[int]bool, len(set))
+	for _, v := range set {
+		member[v] = true
+	}
+	var probs []float64
+	for _, u := range set {
+		row, ps := g.Adjacency(u)
+		for i, v := range row {
+			if int(v) > u && member[int(v)] {
+				probs = append(probs, ps[i])
+			}
+		}
+	}
+	return probs
+}
+
+// Reliability returns the all-pairs most-reliable-path probability matrix
+// of g — R[u][v] is the maximum over u–v paths of the product of edge
+// probabilities, with R[u][u] = 1 — via the max-product Floyd–Warshall
+// closure. O(n³); a test oracle for the engine's per-center Dijkstra.
+func Reliability(g *uncertain.Graph) [][]float64 {
+	n := g.NumVertices()
+	r := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		r[u] = make([]float64, n)
+		r[u][u] = 1
+		row, probs := g.Adjacency(u)
+		for i, v := range row {
+			if probs[i] > r[u][v] {
+				r[u][v] = probs[i]
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for u := 0; u < n; u++ {
+			ruk := r[u][k]
+			if ruk == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if p := ruk * r[k][v]; p > r[u][v] {
+					r[u][v] = p
+				}
+			}
+		}
+	}
+	return r
+}

@@ -260,8 +260,9 @@ func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once 
 }
 
 // extensionKernelCells returns the extension-path cells of the sweep: a
-// small biclique enumeration, an η-truss decomposition, and a
-// component-sharded clique run, all measured through the public
+// small biclique enumeration, an η-truss decomposition, a
+// component-sharded clique run, a densest-subgraph run, and a k-center
+// clustering, all measured through the public
 // prepared-query API so the trajectory catches regressions on the §6 query
 // surface (run-control polling included). The cells are sized to stay
 // 1-CPU-friendly per the trajectory-comparability convention (the sharded
@@ -272,7 +273,7 @@ func measureKernel(g *uncertain.Graph, alpha float64, coreCfg core.Config, once 
 // checks).
 func extensionKernelCells(cfg Config, once bool) ([]KernelEntry, error) {
 	ctx := context.Background()
-	out := make([]KernelEntry, 0, 3)
+	out := make([]KernelEntry, 0, 5)
 
 	bg := AffinityBipartite(200, 150, 6, cfg.Seed)
 	be := KernelEntry{Workload: "biclique-aff200x150", Alpha: 0.2, Engine: "serial", Workers: 1}
@@ -324,6 +325,44 @@ func extensionKernelCells(cfg Config, once bool) ([]KernelEntry, error) {
 	se.Cliques = sStats.Emitted
 	se.Calls = sStats.Calls
 	out = append(out, se)
+
+	// Most-probable densest subgraph over the BA-800 workload: the peel
+	// walks every vertex and the scoring DP re-reads every edge per
+	// candidate, so this cell covers both new udensest phases. Alpha is
+	// unused by the miner; Cliques carries candidates emitted, Calls the
+	// charged peel steps.
+	dg := gen.BA(800, cfg.Seed)
+	de := KernelEntry{Workload: "densest-ba800", Engine: "serial", Workers: 1}
+	var dStats mule.DensestStats
+	dq, err := mule.NewDensestQuery(dg)
+	if err != nil {
+		return nil, err
+	}
+	measureTimed(&de, func() { dStats, runErr = dq.Run(ctx, nil) }, once)
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: densest kernel cell: %w", runErr)
+	}
+	de.Cliques = dStats.Emitted
+	de.Calls = dStats.PeelSteps
+	out = append(out, de)
+
+	// k-center clustering over the community workload: seeding plus Lloyd
+	// refinement exercise the reliability-Dijkstra sweep kernel. Cliques
+	// carries clusters emitted, Calls the charged center sweeps.
+	cg := CommunityGraph(150, 8, 7, cfg.Seed)
+	ce := KernelEntry{Workload: "cluster-community150", Engine: "serial", Workers: 1}
+	var cStats mule.ClusterStats
+	cq, err := mule.NewClusterQuery(cg, mule.WithCenters(8))
+	if err != nil {
+		return nil, err
+	}
+	measureTimed(&ce, func() { cStats, runErr = cq.Run(ctx, nil) }, once)
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: cluster kernel cell: %w", runErr)
+	}
+	ce.Cliques = cStats.Emitted
+	ce.Calls = cStats.Sweeps
+	out = append(out, ce)
 	return out, nil
 }
 

@@ -41,6 +41,10 @@ var (
 	// ErrKRange reports a structural size parameter k below its floor (2 for
 	// trusses, 0 for cores).
 	ErrKRange = errors.New("k out of range")
+	// ErrCentersRange reports a clustering center count outside [1, n] — the
+	// number of clusters a partition of n vertices can have. Omitting
+	// WithCenters entirely leaves the zero value, which is rejected too.
+	ErrCentersRange = errors.New("centers out of range")
 
 	// ErrPanic reports that a run was terminated by a recovered panic — in a
 	// visitor callback, a worker frame, or a split — contained to that run.

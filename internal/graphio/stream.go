@@ -10,8 +10,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/uncertain-graphs/mule/internal/uncertain"
 )
@@ -435,6 +437,82 @@ func (u *unionFind) union(a, b int) {
 	}
 }
 
+// dsuChunkEdges is the edge-chunk granularity of the parallel labeling pass:
+// big enough that handing a chunk to a worker costs far less than decoding
+// it, small enough that peak buffered memory (one chunk per worker plus the
+// one being filled) stays trivial next to the O(vertices) forests.
+const dsuChunkEdges = 1 << 15
+
+// maxScanWorkers caps the labeling workers; the decode is a single sequential
+// stream, so a handful of union workers is enough to keep up with it.
+const maxScanWorkers = 8
+
+// scanComponentForest streams the file once and unions every edge into a
+// disjoint-set forest. With multiple CPUs the decode stays sequential (it is
+// one file) but the union work is chunked out to workers, each with a
+// private forest, merged once at the end; union-by-min makes the merged
+// forest identical to the sequential one regardless of chunk scheduling.
+// Peak memory stays O(vertices) per worker plus a few bounded edge chunks.
+func scanComponentForest(path string) (Header, *unionFind, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxScanWorkers {
+		workers = maxScanWorkers
+	}
+	if workers < 2 {
+		var uf unionFind
+		hdr, err := scanFile(path, func(u, v int, p float64) error {
+			uf.union(u, v)
+			return nil
+		})
+		return hdr, &uf, err
+	}
+
+	chunks := make(chan []int32, workers)
+	pool := sync.Pool{New: func() any { return make([]int32, 0, 2*dsuChunkEdges) }}
+	forests := make([]*unionFind, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(uf *unionFind) {
+			defer wg.Done()
+			for c := range chunks {
+				for i := 0; i < len(c); i += 2 {
+					uf.union(int(c[i]), int(c[i+1]))
+				}
+				pool.Put(c[:0])
+			}
+		}(func() *unionFind { forests[w] = new(unionFind); return forests[w] }())
+	}
+
+	buf := pool.Get().([]int32)
+	hdr, err := scanFile(path, func(u, v int, p float64) error {
+		buf = append(buf, int32(u), int32(v))
+		if len(buf) >= 2*dsuChunkEdges {
+			chunks <- buf
+			buf = pool.Get().([]int32)
+		}
+		return nil
+	})
+	if len(buf) > 0 {
+		chunks <- buf
+	}
+	close(chunks)
+	wg.Wait()
+	if err != nil {
+		return hdr, nil, err
+	}
+
+	master := forests[0]
+	for _, f := range forests[1:] {
+		for v := range f.parent {
+			if p := int(f.parent[v]); p != v {
+				master.union(v, p) // union grows the master as needed
+			}
+		}
+	}
+	return hdr, master, nil
+}
+
 // ScanComponentBatches mines the support components of the graph at path
 // without ever materializing the whole CSR: a union-find pass labels
 // components, a counting pass sizes them, and then consecutive components
@@ -448,11 +526,7 @@ func (u *unionFind) union(a, b int) {
 // largest batch's CSR. A non-nil error from fn aborts the iteration and is
 // returned verbatim.
 func ScanComponentBatches(path string, maxEdges int, fn func(batch *uncertain.Graph, newToOld []int) error) error {
-	var uf unionFind
-	hdr, err := scanFile(path, func(u, v int, p float64) error {
-		uf.union(u, v)
-		return nil
-	})
+	hdr, uf, err := scanComponentForest(path)
 	if err != nil {
 		return err
 	}

@@ -78,6 +78,16 @@ func (c *resultCache) get(key string) (cachedResult, bool) {
 	return cachedResult{}, false
 }
 
+// peek reports whether key is cached without promoting it to
+// most-recently-used or touching the hit/miss counters; cache warming uses
+// it so probing never skews the observable hit rate.
+func (c *resultCache) peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // put inserts (or refreshes) key, evicting from the least-recently-used end
 // until both the entry cap and the byte cap hold. A zero-capacity cache
 // stores nothing; an entry too large to ever fit the byte cap is not stored

@@ -23,7 +23,7 @@ const maxWorkersParam = 256
 // anything malformed, unknown, out of range, or inapplicable to the chosen
 // miner is rejected at parse time with an error the handler maps to 400.
 type qparams struct {
-	miner   string  // cliques | bicliques | quasi | truss | core
+	miner   string  // cliques | bicliques | quasi | truss | core | densest | cluster
 	alpha   float64 // cliques, bicliques
 	gamma   float64 // quasi
 	eta     float64 // truss, core
@@ -31,6 +31,7 @@ type qparams struct {
 	maxSize int     // quasi
 	minL    int     // bicliques
 	minR    int     // bicliques
+	centers int     // cluster
 	workers int     // cliques; results are worker-count-invariant
 
 	limit   int64
@@ -53,6 +54,8 @@ var paramScope = map[string]map[string]bool{
 	"quasi":     {"gamma": true, "minsize": true, "maxsize": true},
 	"truss":     {"eta": true},
 	"core":      {"eta": true},
+	"densest":   {},
+	"cluster":   {"centers": true},
 }
 
 // commonParams are accepted by every miner.
@@ -83,11 +86,11 @@ func parseQueryParams(v url.Values) (*qparams, error) {
 		return nil, err
 	}
 	if !ok || miner == "" {
-		return nil, fmt.Errorf("missing required parameter %q (cliques|bicliques|quasi|truss|core)", "miner")
+		return nil, fmt.Errorf("missing required parameter %q (cliques|bicliques|quasi|truss|core|densest|cluster)", "miner")
 	}
 	scope, known := paramScope[miner]
 	if !known {
-		return nil, fmt.Errorf("unknown miner %q (want cliques|bicliques|quasi|truss|core)", miner)
+		return nil, fmt.Errorf("unknown miner %q (want cliques|bicliques|quasi|truss|core|densest|cluster)", miner)
 	}
 	for key := range v {
 		if !commonParams[key] && !scope[key] {
@@ -144,6 +147,7 @@ func parseQueryParams(v url.Values) (*qparams, error) {
 		parseInt("maxsize", &p.maxSize, 0, 1<<30),
 		parseInt("minl", &p.minL, 0, 1<<30),
 		parseInt("minr", &p.minR, 0, 1<<30),
+		parseInt("centers", &p.centers, 0, 1<<30),
 		parseInt("workers", &p.workers, 0, maxWorkersParam),
 		parseInt64("limit", &p.limit),
 		parseInt64("budget", &p.budget),
@@ -210,6 +214,10 @@ func parseQueryParams(v url.Values) (*qparams, error) {
 		if _, ok := v["eta"]; !ok {
 			return nil, fmt.Errorf("miner %q requires parameter %q", miner, "eta")
 		}
+	case "cluster":
+		if _, ok := v["centers"]; !ok {
+			return nil, fmt.Errorf("miner %q requires parameter %q", miner, "centers")
+		}
 	}
 	return p, nil
 }
@@ -238,6 +246,10 @@ func (p *qparams) cacheKey(graph string, epoch uint64) string {
 		fmt.Fprintf(&b, "|g=%s|ms=%d|xs=%d", ff(p.gamma), p.minSize, p.maxSize)
 	case "truss", "core":
 		fmt.Fprintf(&b, "|h=%s", ff(p.eta))
+	case "cluster":
+		fmt.Fprintf(&b, "|k=%d", p.centers)
+		// "densest" has no per-miner parameters: the graph and epoch alone
+		// determine the candidate family.
 	}
 	fmt.Fprintf(&b, "|l=%d", p.limit)
 	// The result set is shard-invariant, so sharded and unsharded runs share
@@ -290,7 +302,7 @@ type runOutcome struct {
 // runner executes one prepared query against one snapshot.
 type runner func(ctx context.Context) runOutcome
 
-// cliqueJSON & friends are the wire shapes of the five result families.
+// cliqueJSON & friends are the wire shapes of the seven result families.
 type cliqueJSON struct {
 	Vertices []int   `json:"vertices"`
 	Prob     float64 `json:"prob"`
@@ -311,6 +323,18 @@ type edgeTrussJSON struct {
 type vertexCoreJSON struct {
 	V    int `json:"v"`
 	Core int `json:"core"`
+}
+
+type denseSubgraphJSON struct {
+	Vertices []int   `json:"vertices"`
+	Density  float64 `json:"density"`
+	Prob     float64 `json:"prob"`
+}
+
+type clusterJSON struct {
+	Center  int     `json:"center"`
+	Members []int   `json:"members"`
+	Prob    float64 `json:"prob"`
 }
 
 // newRunner builds the prepared query for p against snap on ex, validating
@@ -429,6 +453,45 @@ func (p *qparams) newRunner(snap *Snapshot, ex *mule.Executor, prog func(done, t
 				return true
 			})
 			sort.Slice(out, func(i, j int) bool { return out[i].V < out[j].V })
+			return runOutcome{results: out, count: int64(len(out)), status: stats.Status, stats: stats, err: err}
+		}, nil
+
+	case "densest":
+		q, err := mule.NewDensestQuery(snap.Graph, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context) runOutcome {
+			// The engine's best-first order is canonical; keep it, like quasi.
+			out := []denseSubgraphJSON{}
+			stats, err := q.Run(ctx, func(c mule.DenseSubgraph) bool {
+				out = append(out, denseSubgraphJSON{
+					Vertices: append([]int(nil), c.Vertices...),
+					Density:  c.ExpectedDensity,
+					Prob:     c.Probability,
+				})
+				return true
+			})
+			return runOutcome{results: out, count: int64(len(out)), status: stats.Status, stats: stats, err: err}
+		}, nil
+
+	case "cluster":
+		opts = append(opts, mule.WithCenters(p.centers))
+		q, err := mule.NewClusterQuery(snap.Graph, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context) runOutcome {
+			// Ascending center order is canonical; keep it.
+			out := []clusterJSON{}
+			stats, err := q.Run(ctx, func(c mule.ClusterSet) bool {
+				out = append(out, clusterJSON{
+					Center:  c.Center,
+					Members: append([]int(nil), c.Members...),
+					Prob:    c.Probability,
+				})
+				return true
+			})
 			return runOutcome{results: out, count: int64(len(out)), status: stats.Status, stats: stats, err: err}
 		}, nil
 	}

@@ -1,6 +1,6 @@
 // Package server implements muled, the resident graph-query service: a
 // long-lived HTTP server that keeps named uncertain graphs in memory as
-// immutable, epoch-stamped snapshots, answers all five prepared-query
+// immutable, epoch-stamped snapshots, answers all seven prepared-query
 // families against them through a shared mule.Executor with per-tenant
 // admission control, ingests edge-update batches through the incremental
 // clique Maintainer with a copy-on-write snapshot swap, and serves repeat
@@ -55,6 +55,10 @@ type Config struct {
 	CacheBytes int64
 	// MaxBodyBytes caps graph-load and apply request bodies (default 1 GiB).
 	MaxBodyBytes int64
+	// WarmKeys is how many most-recently-hit cached query shapes a committed
+	// Apply re-issues against the new epoch, repopulating the cache before
+	// clients re-ask (default 4; negative disables warming).
+	WarmKeys int
 }
 
 const (
@@ -70,15 +74,18 @@ const (
 // http.Server, and Close it on shutdown. All methods are safe for
 // concurrent use.
 type Server struct {
-	ex       *mule.Executor
-	ownsExec bool
-	reg      *registry
-	cache    *resultCache
-	progress *progressTable
-	maxBody  int64
-	mux      *http.ServeMux
-	inflight atomic.Int64
-	closed   sync.Once
+	ex        *mule.Executor
+	ownsExec  bool
+	reg       *registry
+	cache     *resultCache
+	progress  *progressTable
+	warm      *warmTracker
+	warmKeys  int
+	warmCount warmCounters
+	maxBody   int64
+	mux       *http.ServeMux
+	inflight  atomic.Int64
+	closed    sync.Once
 }
 
 // New builds a Server from cfg.
@@ -106,12 +113,20 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
+	warmKeys := cfg.WarmKeys
+	if warmKeys == 0 {
+		warmKeys = defaultWarmKeys
+	} else if warmKeys < 0 {
+		warmKeys = 0
+	}
 	s := &Server{
 		ex:       ex,
 		ownsExec: owns,
 		reg:      newRegistry(),
 		cache:    newResultCache(entries, capBytes),
 		progress: newProgressTable(),
+		warm:     newWarmTracker(warmTrackCap),
+		warmKeys: warmKeys,
 		maxBody:  maxBody,
 	}
 	mux := http.NewServeMux()
@@ -190,6 +205,7 @@ func httpStatusOf(err error) (code int, detail string) {
 		errors.Is(err, mule.ErrGammaRange),
 		errors.Is(err, mule.ErrEtaRange),
 		errors.Is(err, mule.ErrKRange),
+		errors.Is(err, mule.ErrCentersRange),
 		errors.Is(err, mule.ErrVertexRange),
 		errors.Is(err, mule.ErrSelfLoop),
 		errors.Is(err, mule.ErrProbRange),
@@ -262,7 +278,9 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Cache entries for the deleted graph are keyed by epochs that will
-	// never be issued again; the LRU ages them out.
+	// never be issued again; the LRU ages them out. Warm shapes are purged
+	// eagerly so a future graph of the same name starts cold.
+	s.warm.purge(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
@@ -363,6 +381,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	key := p.cacheKey(name, snap.Epoch)
 	if key != "" {
 		if hit, ok := s.cache.get(key); ok {
+			// A hit marks the shape worth re-warming after the next Apply.
+			s.warm.record(name, p)
 			writeJSON(w, http.StatusOK, queryResponse{
 				Graph: name, Epoch: snap.Epoch, Miner: p.miner, Cached: true,
 				Truncated: hit.Truncated, Status: hit.Status, Count: hit.Count,
@@ -496,6 +516,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, resp)
 		return
 	}
+	// The new epoch is live: re-issue recently hit query shapes in the
+	// background so the cache is hot before clients re-ask.
+	s.warmAfterApply(name)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -535,15 +558,16 @@ func (s *Server) handleTenantLimits(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	InFlight  int64               `json:"inflight"`
 	Cache     cacheStats          `json:"cache"`
+	Warm      warmStats           `json:"warm"`
 	Admission mule.AdmissionStats `json:"admission"`
 	Sharded   []shardRunInfo      `json:"sharded,omitempty"`
 	Graphs    []graphInfo         `json:"graphs"`
 }
 
 // handleStats snapshots the server's observable state: in-flight queries,
-// cache hit/miss/eviction counters, per-tenant admission accounting,
-// per-component progress of in-flight sharded runs, and every graph's
-// current epoch.
+// cache hit/miss/eviction counters, cache-warming outcomes, per-tenant
+// admission accounting, per-component progress of in-flight sharded runs,
+// and every graph's current epoch.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	entries := s.reg.list()
 	graphs := make([]graphInfo, 0, len(entries))
@@ -553,6 +577,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		InFlight:  s.inflight.Load(),
 		Cache:     s.cache.stats(),
+		Warm:      s.warmStatsSnapshot(),
 		Admission: s.ex.AdmissionStats(),
 		Sharded:   s.progress.list(),
 		Graphs:    graphs,

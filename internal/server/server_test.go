@@ -34,9 +34,17 @@ func testGraphText(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
+// newTestServer builds a server with cache warming disabled, so tests that
+// assert a post-apply cache miss stay deterministic; TestCacheWarming turns
+// warming on explicitly.
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{Workers: 2, CacheEntries: 64})
+	return newTestServerCfg(t, Config{Workers: 2, CacheEntries: 64, WarmKeys: -1})
+}
+
+func newTestServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -244,6 +252,8 @@ func TestServerAllMiners(t *testing.T) {
 		{"truss", "/graphs/g/query?miner=truss&eta=0.5"},
 		{"core", "/graphs/g/query?miner=core&eta=0.5"},
 		{"bicliques", "/graphs/b/query?miner=bicliques&alpha=0.5&minl=2&minr=2"},
+		{"densest", "/graphs/g/query?miner=densest"},
+		{"cluster", "/graphs/g/query?miner=cluster&centers=3"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			code, body, _ := do(t, "GET", ts.URL+tc.query, nil)
@@ -295,6 +305,11 @@ func TestServerValidation(t *testing.T) {
 		{"/graphs/g/query?miner=quasi&gamma=0.2", http.StatusBadRequest},             // gamma out of range
 		{"/graphs/g/query?miner=cliques&alpha=0.5&limit=-3", http.StatusBadRequest},
 		{"/graphs/g/query?miner=cliques&alpha=0.5&timeout=banana", http.StatusBadRequest},
+		{"/graphs/g/query?miner=cluster", http.StatusBadRequest},             // missing centers
+		{"/graphs/g/query?miner=cluster&centers=99", http.StatusBadRequest},  // centers out of range (6 vertices)
+		{"/graphs/g/query?miner=densest&centers=2", http.StatusBadRequest},   // out of scope
+		{"/graphs/g/query?miner=densest&alpha=0.5", http.StatusBadRequest},   // out of scope
+		{"/graphs/g/query?miner=cluster&centers=wat", http.StatusBadRequest}, // malformed centers
 	} {
 		code, body, _ := do(t, "GET", ts.URL+tc.path, nil)
 		if code != tc.want {
@@ -465,5 +480,81 @@ func TestInstall(t *testing.T) {
 	e := s.reg.get("g")
 	if e == nil || e.snapshot().Epoch == 0 {
 		t.Fatalf("install did not publish: %+v", e)
+	}
+}
+
+// TestCacheWarming pins satellite behavior: after a committed Apply, the
+// server re-issues recently hit query shapes against the new epoch in the
+// background, so the next client query is a cache hit that already reflects
+// the update — and the warming work is observable in /stats.
+func TestCacheWarming(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: 2, CacheEntries: 64, WarmKeys: 2})
+
+	if code, body, _ := do(t, "POST", ts.URL+"/graphs/prot", testGraphText(t)); code != http.StatusOK {
+		t.Fatalf("load: %d %s", code, body)
+	}
+	queryURL := ts.URL + "/graphs/prot/query?miner=cliques&alpha=0.5"
+
+	// Miss, then hit: the hit records the shape for warming.
+	code, body, _ := do(t, "GET", queryURL, nil)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	if code, body, _ = do(t, "GET", queryURL, nil); code != http.StatusOK || !decodeQuery(t, body).Cached {
+		t.Fatalf("repeat query not cached: %d %s", code, body)
+	}
+	if got := s.warm.tracked(); got != 1 {
+		t.Fatalf("tracked shapes = %d, want 1", got)
+	}
+
+	code, body, _ = do(t, "POST", ts.URL+"/graphs/prot/apply",
+		[]byte(`{"updates":[{"u":2,"v":3,"p":0.9}]}`))
+	if code != http.StatusOK {
+		t.Fatalf("apply: %d %s", code, body)
+	}
+	var ar applyResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+
+	// The warm pass runs in the background; wait for it to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ws := s.warmStatsSnapshot()
+		if ws.Completed >= 1 && ws.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warming never completed: %+v", ws)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ws := s.warmStatsSnapshot()
+	if ws.Scheduled != 1 || ws.Completed != 1 || ws.Failed != 0 {
+		t.Fatalf("warm stats: %+v", ws)
+	}
+
+	// The next query hits the warmed entry — fresh epoch, updated answer.
+	code, body, _ = do(t, "GET", queryURL, nil)
+	if code != http.StatusOK {
+		t.Fatalf("post-apply query: %d %s", code, body)
+	}
+	qr := decodeQuery(t, body)
+	if !qr.Cached {
+		t.Fatalf("post-apply query not served from warmed cache: %+v", qr)
+	}
+	if qr.Epoch != ar.Epoch {
+		t.Fatalf("warmed entry epoch = %d, want %d", qr.Epoch, ar.Epoch)
+	}
+	if !strings.Contains(string(qr.Results), `"vertices":[2,3]`) {
+		t.Fatalf("warmed results missing clique {2,3}: %s", qr.Results)
+	}
+
+	// Deleting the graph purges its warm shapes.
+	if code, body, _ = do(t, "DELETE", ts.URL+"/graphs/prot", nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	if got := s.warm.tracked(); got != 0 {
+		t.Fatalf("tracked shapes after delete = %d, want 0", got)
 	}
 }

@@ -1,6 +1,5 @@
 package uncertain
 
-import "sort"
 
 // ExpectedDegree returns the expected degree of u in a sampled world:
 // the sum of its incident edge probabilities.
@@ -17,37 +16,20 @@ func (g *Graph) ExpectedDegree(u int) float64 {
 // each as an ascending vertex list, ordered by smallest member. Isolated
 // vertices form singleton components. Support connectivity is the coarsest
 // possible pruning unit for clique enumeration: no clique spans two
-// components, so large inputs can be mined component by component.
+// components, so large inputs can be mined component by component. Large
+// graphs are labeled by a chunked parallel union-find (see componentForest);
+// the output is identical to a sequential scan.
 func (g *Graph) Components() [][]int {
 	n := g.NumVertices()
-	comp := make([]int, n)
-	for i := range comp {
-		comp[i] = -1
+	comp, count := g.componentLabels()
+	if count == 0 {
+		return nil
 	}
-	var out [][]int
-	queue := make([]int32, 0, 64)
-	for s := 0; s < n; s++ {
-		if comp[s] != -1 {
-			continue
-		}
-		id := len(out)
-		comp[s] = id
-		queue = append(queue[:0], int32(s))
-		members := []int{s}
-		for len(queue) > 0 {
-			u := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			row, _ := g.Adjacency(int(u))
-			for _, v := range row {
-				if comp[v] == -1 {
-					comp[v] = id
-					queue = append(queue, v)
-					members = append(members, int(v))
-				}
-			}
-		}
-		sort.Ints(members)
-		out = append(out, members)
+	// Scanning v ascending keeps each member list ascending, and component
+	// IDs are assigned in smallest-member order by componentLabels.
+	out := make([][]int, count)
+	for v := 0; v < n; v++ {
+		out[comp[v]] = append(out[comp[v]], v)
 	}
 	return out
 }

@@ -97,3 +97,81 @@ func TestQuickAdjacencyMatchesEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestParallelComponentLabelsMatchBFS pins the chunked parallel union-find
+// (componentForest) against a reference BFS labeling on a graph large enough
+// to cross the dsuParVertices threshold, including many isolated vertices
+// and multi-vertex components spanning worker boundaries.
+func TestParallelComponentLabelsMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := dsuParVertices + 1000
+	var edges []Edge
+	// Sparse random edges leave a mix of large components, small chains,
+	// and isolated vertices.
+	for i := 0; i < n/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, Edge{U: u, V: v, P: 0.5})
+	}
+	g, err := FromEdges(n, dedupEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp, count := g.componentLabels()
+
+	// Reference: BFS labeling in ascending-seed order.
+	ref := make([]int32, n)
+	for i := range ref {
+		ref[i] = -1
+	}
+	refCount := 0
+	var queue []int32
+	for s := 0; s < n; s++ {
+		if ref[s] != -1 {
+			continue
+		}
+		id := int32(refCount)
+		refCount++
+		ref[s] = id
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			row, _ := g.Adjacency(int(v))
+			for _, w := range row {
+				if ref[w] == -1 {
+					ref[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+
+	if count != refCount {
+		t.Fatalf("component count = %d, want %d", count, refCount)
+	}
+	for v := 0; v < n; v++ {
+		if comp[v] != ref[v] {
+			t.Fatalf("comp[%d] = %d, want %d", v, comp[v], ref[v])
+		}
+	}
+}
+
+func dedupEdges(edges []Edge) []Edge {
+	seen := make(map[[2]int]bool, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		k := [2]int{e.U, e.V}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

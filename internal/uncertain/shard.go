@@ -1,6 +1,10 @@
 package uncertain
 
-import "iter"
+import (
+	"iter"
+	"runtime"
+	"sync"
+)
 
 // Shard is one support component extracted as a self-contained graph.
 // Vertex i of G corresponds to NewToOld[i] in the parent graph; NewToOld is
@@ -29,34 +33,131 @@ func (g *Graph) NumComponents() int {
 	return count
 }
 
-// componentLabels labels every vertex with its component ID (components
-// numbered by smallest member, matching Components()) and returns the label
-// array and component count.
-func (g *Graph) componentLabels() ([]int32, int) {
-	comp := make([]int32, g.n)
-	for i := range comp {
-		comp[i] = -1
+// dsu is a union-by-min disjoint-set forest: every root is the smallest
+// member of its set. Union is commutative and associative, so per-worker
+// forests built from disjoint edge chunks merge into exactly the forest a
+// sequential scan produces.
+type dsu struct{ parent []int32 }
+
+func newDSU(n int) dsu {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
 	}
-	count := 0
-	queue := make([]int32, 0, 64)
-	for s := 0; s < g.n; s++ {
-		if comp[s] != -1 {
-			continue
-		}
-		id := int32(count)
-		count++
-		comp[s] = id
-		queue = append(queue[:0], int32(s))
-		for len(queue) > 0 {
-			v := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
+	return dsu{parent: p}
+}
+
+func (d dsu) find(v int) int {
+	r := v
+	for int(d.parent[r]) != r {
+		r = int(d.parent[r])
+	}
+	for int(d.parent[v]) != v {
+		d.parent[v], v = int32(r), int(d.parent[v])
+	}
+	return r
+}
+
+func (d dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	switch {
+	case ra == rb:
+	case ra < rb:
+		d.parent[rb] = int32(ra)
+	default:
+		d.parent[ra] = int32(rb)
+	}
+}
+
+// Parallel labeling kicks in only when the support graph is big enough to
+// amortize the per-worker forest allocations and the single merge pass.
+const (
+	dsuParVertices = 1 << 14
+	maxDSUWorkers  = 8
+)
+
+// componentForest unions every support edge into one forest. Large graphs
+// split the CSR into edge-balanced vertex ranges, one private forest per
+// worker, merged once at the end — the classic chunked union-find. Each
+// worker only reads its own rows and writes its own forest, and union-by-min
+// makes the merged result independent of scheduling, so the labels are
+// bit-identical to the sequential scan.
+func (g *Graph) componentForest() dsu {
+	n := g.n
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxDSUWorkers {
+		workers = maxDSUWorkers
+	}
+	if n < dsuParVertices || workers < 2 {
+		d := newDSU(n)
+		for v := 0; v < n; v++ {
 			for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
-				w := g.nbrs[i]
-				if comp[w] == -1 {
-					comp[w] = id
-					queue = append(queue, w)
+				if w := int(g.nbrs[i]); w > v {
+					d.union(v, w)
 				}
 			}
+		}
+		return d
+	}
+	// Edge-balanced ranges: cut vertex boundaries so each worker scans
+	// roughly the same number of CSR entries, not the same number of rows.
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, 0)
+	total := int64(g.offsets[n])
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		v := bounds[len(bounds)-1]
+		for v < n && int64(g.offsets[v]) < target {
+			v++
+		}
+		bounds = append(bounds, v)
+	}
+	bounds = append(bounds, n)
+
+	forests := make([]dsu, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			d := newDSU(n)
+			for v := lo; v < hi; v++ {
+				for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
+					if x := int(g.nbrs[i]); x > v {
+						d.union(v, x)
+					}
+				}
+			}
+			forests[w] = d
+		}(w, bounds[w], bounds[w+1])
+	}
+	wg.Wait()
+	master := forests[0]
+	for _, f := range forests[1:] {
+		for v := 0; v < n; v++ {
+			if p := int(f.parent[v]); p != v {
+				master.union(v, p)
+			}
+		}
+	}
+	return master
+}
+
+// componentLabels labels every vertex with its component ID (components
+// numbered by smallest member, matching Components()) and returns the label
+// array and component count. The roots of the union-by-min forest are each
+// component's smallest member, so assigning IDs in ascending vertex order
+// reproduces the smallest-member numbering exactly.
+func (g *Graph) componentLabels() ([]int32, int) {
+	forest := g.componentForest()
+	comp := make([]int32, g.n)
+	count := 0
+	for v := 0; v < g.n; v++ {
+		if r := forest.find(v); r == v {
+			comp[v] = int32(count)
+			count++
+		} else {
+			comp[v] = comp[r] // r < v: union-by-min roots are minimal
 		}
 	}
 	return comp, count

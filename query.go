@@ -50,7 +50,9 @@ const (
 	kindQuasi
 	kindTruss
 	kindCore
-	kindAll = kindClique | kindBiclique | kindQuasi | kindTruss | kindCore
+	kindDensest
+	kindCluster
+	kindAll = kindClique | kindBiclique | kindQuasi | kindTruss | kindCore | kindDensest | kindCluster
 )
 
 // kindName names a query kind for ErrConfig messages.
@@ -66,6 +68,10 @@ func kindName(k queryKind) string {
 		return "truss"
 	case kindCore:
 		return "core"
+	case kindDensest:
+		return "densest"
+	case kindCluster:
+		return "cluster"
 	default:
 		return "unknown"
 	}
@@ -80,6 +86,7 @@ type queryOptions struct {
 	gamma      float64       // quasi: density threshold γ
 	maxSize    int           // quasi: search-depth cap
 	minL, minR int           // biclique: per-side minima
+	centers    int           // cluster: center count k
 	ex         *Executor     // shared scheduling/admission domain (nil = default)
 	exSet      bool          // WithExecutor was passed (distinguishes explicit nil)
 	tenant     string        // admission-control tenant ID ("" = untenanted)
@@ -186,7 +193,8 @@ func WithLimit(n int64) Option {
 // exhausts the budget aborts with an error wrapping ErrBudget. The unit is
 // the engine's dominant cost: search-tree node expansions for clique,
 // biclique, and quasi-clique queries, support-probability evaluations for
-// truss queries, η-degree recomputations for core queries. The budget is
+// truss queries, η-degree recomputations for core queries, peel steps for
+// densest queries, center sweeps for cluster queries. The budget is
 // charged in batches, so runs can overshoot by a few thousand units. Use it
 // to cap worst-case work on untrusted inputs, where the output count — and
 // hence any time bound — is exponential in the worst case.
@@ -233,6 +241,15 @@ func WithGamma(gamma float64) Option {
 // is "maximal among expected γ-quasi-cliques of size ≤ n".
 func WithMaxSize(n int) Option {
 	return Option{"WithMaxSize", kindQuasi, func(o *queryOptions) { o.maxSize = n }}
+}
+
+// WithCenters sets a cluster query's center count k: the partition has
+// exactly k clusters, each around one center vertex. It is required and
+// must lie in [1, NumVertices]; anything else — including the zero value
+// from omitting the option — is rejected by NewClusterQuery with a wrapped
+// ErrCentersRange.
+func WithCenters(k int) Option {
+	return Option{"WithCenters", kindCluster, func(o *queryOptions) { o.centers = k }}
 }
 
 // WithSides restricts a biclique query to α-maximal bicliques with at least

@@ -12,6 +12,7 @@ import (
 	"github.com/uncertain-graphs/mule/internal/core"
 	"github.com/uncertain-graphs/mule/internal/ubiclique"
 	"github.com/uncertain-graphs/mule/internal/ucore"
+	"github.com/uncertain-graphs/mule/internal/udensest"
 	"github.com/uncertain-graphs/mule/internal/uquasi"
 	"github.com/uncertain-graphs/mule/internal/utruss"
 )
@@ -660,6 +661,103 @@ func (q *TrussQuery) runSharded(ctx context.Context, visit TrussVisitor) (stats 
 	if !countOnly {
 		agg.Emitted = d.delivered
 	}
+	return agg, d.userStopped, err
+}
+
+// --- Densest queries ---
+
+// runSharded peels every component independently (the engine's candidate
+// family is defined per component, so the peel phase shards exactly), then
+// runs one global scoring pass — the score threshold d̂ is a whole-family
+// property — and reports the merged family in canonical order, so the
+// report loop behaves exactly like an unsharded run.
+func (q *DensestQuery) runSharded(ctx context.Context, visit DensestVisitor) (stats DensestStats, userStopped bool, err error) {
+	release, err := q.ten.admit(ctx, q.cfg.Budget)
+	if err != nil {
+		return DensestStats{Status: StatusFailed}, false, err
+	}
+	defer release()
+
+	conc := resolveShards(q.shards)
+	if q.cfg.Budget > 0 {
+		conc = 1
+	}
+
+	var (
+		mu        sync.Mutex
+		agg       DensestStats
+		remaining = q.cfg.Budget
+	)
+	fold := func(s DensestStats) {
+		mu.Lock()
+		agg.PeelSteps += s.PeelSteps
+		agg.Candidates += s.Candidates
+		if s.BestDensity > agg.BestDensity {
+			agg.BestDensity = s.BestDensity
+		}
+		mu.Unlock()
+	}
+
+	tasks := func(yield func(shardTask[DenseSubgraph]) bool) {
+		for sh := range q.g.ShardByComponent() {
+			t := shardTask[DenseSubgraph]{id: sh.ID, run: func(runCtx context.Context) ([]DenseSubgraph, error) {
+				cfg := q.cfg
+				if cfg.Budget > 0 {
+					if remaining <= 0 {
+						return nil, fmt.Errorf("mule: search budget exhausted before component %d: %w", sh.ID, ErrBudget)
+					}
+					cfg.Budget = remaining
+				}
+				cands, s, err := udensest.PeelContext(runCtx, sh.G, cfg)
+				fold(s)
+				if q.cfg.Budget > 0 {
+					remaining -= s.PeelSteps
+				}
+				for _, c := range cands {
+					// The remap is monotone, so the sets stay ascending.
+					for i, v := range c.Vertices {
+						c.Vertices[i] = sh.NewToOld[v]
+					}
+				}
+				return cands, err
+			}}
+			if !yield(t) {
+				return
+			}
+		}
+	}
+
+	d := shardDelivery{limit: q.limit, progress: q.shardProg}
+	if q.shardProg != nil {
+		d.begin(q.g.NumComponents())
+	}
+	var all []DenseSubgraph
+	driveErr := driveShards(ctx, tasks, conc, func(out []DenseSubgraph) bool {
+		all = append(all, out...)
+		d.shardDone()
+		return true
+	})
+	if driveErr != nil {
+		agg.Status = statusForError(driveErr)
+		return agg, false, driveErr
+	}
+	// One global scoring pass against the whole-family champion density; a
+	// component's internal edges are the same set in the parent graph, so
+	// scoring against q.g reproduces the unsharded probabilities exactly.
+	sstats, err := udensest.ScoreContext(ctx, q.g, all, udensest.BestDensity(all), q.cfg)
+	agg.Scored += sstats.Scored
+	if err != nil {
+		agg.Status = statusForError(err)
+		return agg, false, err
+	}
+	udensest.SortCandidates(all)
+	for _, c := range all {
+		if !d.emit(func() bool { return visit == nil || visit(c) }) {
+			break
+		}
+	}
+	agg.Status, err = d.finish(nil)
+	agg.Emitted = d.delivered
 	return agg, d.userStopped, err
 }
 

@@ -125,7 +125,7 @@ type tenancy struct {
 }
 
 // validateTenancy applies the constructor-time option contract shared by all
-// five query surfaces: WithExecutor(nil), WithTenant(""), and a malformed
+// seven query surfaces: WithExecutor(nil), WithTenant(""), and a malformed
 // WithRetry policy are programming errors reported eagerly, not silent
 // no-ops at run time.
 func (o *queryOptions) validateTenancy() (tenancy, error) {
